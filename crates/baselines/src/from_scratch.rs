@@ -1,0 +1,202 @@
+//! The from-scratch shared coin — what generating every coin individually
+//! costs without a D-PRBG.
+//!
+//! "A straightforward way to generate a coin would be to interpolate a
+//! number of polynomials which at least equals the number of the faults
+//! to be tolerated. Coins generated this way, however, would still be
+//! highly expensive." (§4.)
+//!
+//! Here, `t + 1` designated contributors each run a full cut-and-choose
+//! VSS ([`crate::ccd`]) of a random secret (no pre-existing shared coins
+//! exist to power the paper's cheap VSS — that absence is the whole
+//! point); the coin is the sum of the accepted contributions, exposed by
+//! one final interpolation. Per coin this costs `(t + 1)·k`
+//! interpolations and `O(t·n·k)` field elements of traffic, against the
+//! paper's amortized **one** interpolation and `O(n)` messages.
+
+use dprbg_field::Field;
+use dprbg_metrics::WireSize;
+use dprbg_poly::interpolate;
+use dprbg_sim::{Embeds, PartyCtx, PartyId};
+
+use crate::ccd::{ccd_vss, CcdMsg, CcdOpts, VssVerdict};
+
+/// Wire messages of the from-scratch coin: cut-and-choose traffic plus
+/// the final share reveal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FromScratchMsg<F: Field> {
+    /// One contributor's VSS traffic, tagged by contributor.
+    Ccd {
+        /// Which contributor's VSS instance this belongs to.
+        instance: PartyId,
+        /// The inner cut-and-choose message.
+        inner: CcdMsg<F>,
+    },
+    /// The final expose: this party's summed share.
+    Sum(F),
+}
+
+impl<F: Field> WireSize for FromScratchMsg<F> {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            FromScratchMsg::Ccd { inner, .. } => 1 + inner.wire_bytes(),
+            FromScratchMsg::Sum(s) => s.wire_bytes(),
+        }
+    }
+}
+
+/// Generate ONE shared coin from scratch.
+///
+/// Contributors `1..=t+1` each cut-and-choose-VSS a random secret
+/// (sequentially — their instances could be interleaved round-wise, but
+/// the per-coin cost is identical and the paper's comparison is about
+/// totals); the coin is the sum of accepted contributions.
+///
+/// `challenge_seed` seeds the public cut-and-choose challenges.
+///
+/// Returns the coin value, or `None` when reconstruction fails (more
+/// faults than the model allows).
+pub fn from_scratch_coin<F: Field>(
+    ctx: &mut PartyCtx<FromScratchMsg<F>>,
+    t: usize,
+    ccd_rounds: usize,
+    challenge_seed: u64,
+) -> Option<F>
+where
+    FromScratchMsg<F>: Embeds<CcdMsg<F>>,
+{
+    let contributors: Vec<PartyId> = (1..=t + 1).collect();
+    let mut my_sum = F::zero();
+    let mut accepted = 0usize;
+
+    for (idx, &dealer) in contributors.iter().enumerate() {
+        CURRENT_INSTANCE.with(|c| c.set(dealer));
+        let secret = (ctx.id() == dealer).then(|| F::random(ctx.rng()));
+        let opts = CcdOpts {
+            rounds: ccd_rounds,
+            challenge_seed: challenge_seed.wrapping_add(idx as u64),
+        };
+        let (verdict, share) = ccd_vss::<FromScratchMsg<F>, F>(ctx, dealer, secret, t, opts);
+        if verdict == VssVerdict::Accept {
+            my_sum += share;
+            accepted += 1;
+        }
+    }
+    if accepted == 0 {
+        return None;
+    }
+
+    // Final expose of the summed shares: one interpolation.
+    ctx.broadcast(FromScratchMsg::Sum(my_sum));
+    let inbox = ctx.next_round();
+    let mut points: Vec<(F, F)> = Vec::new();
+    for rcv in inbox.broadcasts() {
+        if let FromScratchMsg::Sum(s) = &rcv.msg {
+            let x = F::element(rcv.from as u64);
+            if points.iter().all(|(px, _)| *px != x) {
+                points.push((x, *s));
+            }
+        }
+    }
+    if points.len() <= t {
+        return None;
+    }
+    let poly = interpolate(&points).ok()?;
+    (poly.degree().is_none_or(|d| d <= t)).then(|| poly.constant_term())
+}
+
+thread_local! {
+    /// The CCD instance currently running on this party's thread — used
+    /// by the [`Embeds`] adapter to tag outgoing messages.
+    static CURRENT_INSTANCE: std::cell::Cell<PartyId> = const { std::cell::Cell::new(0) };
+}
+
+impl<F: Field> Embeds<CcdMsg<F>> for FromScratchMsg<F> {
+    fn wrap(inner: CcdMsg<F>) -> Self {
+        FromScratchMsg::Ccd {
+            instance: CURRENT_INSTANCE.with(|c| c.get()),
+            inner,
+        }
+    }
+    fn peek(&self) -> Option<&CcdMsg<F>> {
+        match self {
+            FromScratchMsg::Ccd { instance, inner }
+                if *instance == CURRENT_INSTANCE.with(|c| c.get()) =>
+            {
+                Some(inner)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprbg_field::Gf2k;
+    use dprbg_sim::{run_network, Behavior};
+
+    type F = Gf2k<32>;
+    type M = FromScratchMsg<F>;
+
+    fn run(n: usize, t: usize, k: usize, seed: u64) -> (Vec<Option<F>>, dprbg_metrics::CostReport) {
+        let behaviors: Vec<Behavior<M, Option<F>>> = (1..=n)
+            .map(|_| {
+                Box::new(move |ctx: &mut PartyCtx<M>| {
+                    from_scratch_coin(ctx, t, k, seed ^ 0x5EED)
+                }) as Behavior<M, _>
+            })
+            .collect();
+        let res = run_network(n, seed, behaviors);
+        let report = res.report.clone();
+        (res.unwrap_all(), report)
+    }
+
+    #[test]
+    fn coin_is_unanimous() {
+        let (outs, _) = run(7, 2, 8, 1);
+        let v = outs[0].expect("coin must be produced");
+        assert!(outs.iter().all(|o| *o == Some(v)));
+    }
+
+    #[test]
+    fn different_seeds_different_coins() {
+        let (a, _) = run(7, 2, 8, 2);
+        let (b, _) = run(7, 2, 8, 3);
+        assert_ne!(a[0], b[0], "coins from independent runs should differ");
+    }
+
+    #[test]
+    fn per_coin_cost_scales_with_t_times_k_interpolations() {
+        let n = 7;
+        let t = 2;
+        let k = 8;
+        let (_, report) = run(n, t, k, 4);
+        // Each player: (t+1) VSS instances × k interpolations + 1 expose.
+        let expected = ((t + 1) * k + 1) as u64;
+        for pc in &report.per_party {
+            assert_eq!(pc.cost.interpolations, expected, "party {}", pc.party);
+        }
+    }
+
+    #[test]
+    fn no_contributors_yields_none() {
+        // t = 0 → single contributor; if it crashes the coin fails.
+        let n = 4;
+        let behaviors: Vec<Behavior<M, Option<F>>> = (1..=n)
+            .map(|id| {
+                Box::new(move |ctx: &mut PartyCtx<M>| {
+                    if id == 1 {
+                        // The only contributor goes silent entirely.
+                        return None;
+                    }
+                    from_scratch_coin(ctx, 0, 4, 99)
+                }) as Behavior<M, _>
+            })
+            .collect();
+        let res = run_network(n, 5, behaviors);
+        for id in 2..=n {
+            assert_eq!(res.outputs[id - 1], Some(None), "party {id}");
+        }
+    }
+}

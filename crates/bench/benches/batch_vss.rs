@@ -1,0 +1,50 @@
+//! Wall-time companion to experiment E2: Batch-VSS verification across
+//! batch sizes (Lemma 4 — cost of one interpolation regardless of M).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dprbg_bench::experiments::common::{challenge_coins, F32};
+use dprbg_core::batch_vss::{batch_vss_verify, cheating_batch_deal, BatchOpts};
+use dprbg_core::{BatchVssMsg, CoinError, VssVerdict};
+use dprbg_sim::{run_network, Behavior, PartyCtx};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 7;
+const T: usize = 2;
+
+fn verify_batch(m: usize, seed: u64) {
+    let coins = challenge_coins::<F32>(N, T, seed);
+    let mut rng = StdRng::seed_from_u64(seed + 1);
+    let all = cheating_batch_deal::<F32, _>(N, T, m, 0, &mut rng);
+    let behaviors: Vec<Behavior<BatchVssMsg<F32>, Result<VssVerdict, CoinError>>> = (1..=N)
+        .map(|id| {
+            let coin = coins[id - 1];
+            let shares = all[id - 1].clone();
+            Box::new(move |ctx: &mut PartyCtx<BatchVssMsg<F32>>| {
+                batch_vss_verify(ctx, T, &shares, m, coin, BatchOpts::default())
+            }) as Behavior<_, _>
+        })
+        .collect();
+    for v in run_network(N, seed, behaviors).unwrap_all() {
+        assert_eq!(v.unwrap(), VssVerdict::Accept);
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_vss_verify_n7");
+    group.sample_size(20);
+    for m in [1usize, 16, 64, 256] {
+        group.throughput(Throughput::Elements(m as u64));
+        let mut seed = m as u64 * 1000;
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| {
+                seed += 1;
+                verify_batch(m, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(e2, benches);
+criterion_main!(e2);

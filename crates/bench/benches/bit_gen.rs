@@ -1,0 +1,43 @@
+//! Wall-time companion to experiment E3: Bit-Gen with a single dealer
+//! across batch sizes (Lemma 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dprbg_bench::experiments::common::{challenge_coins, F32};
+use dprbg_core::{bit_gen_all, BitGenMsg};
+use dprbg_sim::{run_network, Behavior, PartyCtx};
+
+const N: usize = 7;
+const T: usize = 1;
+
+fn run_bit_gen(m: usize, seed: u64) {
+    let coins = challenge_coins::<F32>(N, T, seed);
+    let behaviors: Vec<Behavior<BitGenMsg<F32>, bool>> = (1..=N)
+        .map(|id| {
+            let coin = coins[id - 1];
+            Box::new(move |ctx: &mut PartyCtx<BitGenMsg<F32>>| {
+                let run = bit_gen_all(ctx, T, m, coin, &[1]).unwrap();
+                run.views[0].check_poly.is_some()
+            }) as Behavior<_, _>
+        })
+        .collect();
+    assert!(run_network(N, seed, behaviors).unwrap_all().iter().all(|&ok| ok));
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bit_gen_single_dealer_n7");
+    group.sample_size(20);
+    for m in [1usize, 16, 64, 256] {
+        group.throughput(Throughput::Elements(m as u64));
+        let mut seed = m as u64 * 7;
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| {
+                seed += 1;
+                run_bit_gen(m, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(e3, benches);
+criterion_main!(e3);

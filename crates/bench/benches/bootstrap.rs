@@ -1,0 +1,50 @@
+//! Wall-time companion to experiment E7: sustained beacon draws through
+//! the bootstrapped reservoir (Fig. 1), including refills.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dprbg_bench::experiments::common::{seed_wallets, F32};
+use dprbg_core::{Bootstrap, BootstrapConfig, CoinGenConfig, CoinGenMsg, Params};
+use dprbg_sim::{run_network, Behavior, PartyCtx};
+
+const N: usize = 7;
+const T: usize = 1;
+const DRAWS: usize = 30;
+
+fn beacon(seed: u64) {
+    let params = Params::p2p_model(N, T).unwrap();
+    let cfg = BootstrapConfig::with_default_low_water(CoinGenConfig {
+        params,
+        batch_size: 16,
+    });
+    let mut wallets = seed_wallets::<F32>(N, T, 6, seed);
+    let behaviors: Vec<Behavior<CoinGenMsg<F32>, usize>> = (0..N)
+        .map(|_| {
+            let mut b = Bootstrap::new(cfg, wallets.remove(0));
+            Box::new(move |ctx: &mut PartyCtx<CoinGenMsg<F32>>| {
+                for _ in 0..DRAWS {
+                    b.draw(ctx).unwrap();
+                }
+                b.stats().draws
+            }) as Behavior<_, _>
+        })
+        .collect();
+    let outs = run_network(N, seed, behaviors).unwrap_all();
+    assert!(outs.iter().all(|&d| d == DRAWS));
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bootstrap_beacon_n7");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(DRAWS as u64));
+    let mut seed = 0u64;
+    group.bench_function("draws_30_with_refills", |b| {
+        b.iter(|| {
+            seed += 1;
+            beacon(seed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(e7, benches);
+criterion_main!(e7);

@@ -1,0 +1,69 @@
+//! Wall-time companion to experiment E5: one delivered coin via the
+//! D-PRBG (amortized over a batch) vs one from-scratch coin (§1.4).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dprbg_baselines::{from_scratch_coin, FromScratchMsg};
+use dprbg_bench::experiments::common::{seed_wallets, F32};
+use dprbg_core::{
+    coin_expose, coin_gen, CoinGenConfig, CoinGenMsg, CoinWallet, ExposeVia, Params,
+};
+use dprbg_sim::{run_network, Behavior, PartyCtx};
+
+const N: usize = 7;
+const T: usize = 1;
+const M: usize = 64;
+
+/// D-PRBG path: one batch of M coins, all exposed (M delivered coins).
+fn dprbg_batch(seed: u64) {
+    let params = Params::p2p_model(N, T).unwrap();
+    let cfg = CoinGenConfig { params, batch_size: M };
+    let mut wallets: Vec<CoinWallet<F32>> = seed_wallets(N, T, 5, seed);
+    let behaviors: Vec<Behavior<CoinGenMsg<F32>, ()>> = (0..N)
+        .map(|_| {
+            let mut w = wallets.remove(0);
+            Box::new(move |ctx: &mut PartyCtx<CoinGenMsg<F32>>| {
+                let batch = coin_gen(ctx, &cfg, &mut w).unwrap();
+                for s in batch.shares {
+                    let _ = coin_expose(ctx, s, T, ExposeVia::PointToPoint).unwrap();
+                }
+            }) as Behavior<_, _>
+        })
+        .collect();
+    run_network(N, seed, behaviors);
+}
+
+/// From-scratch path: one coin (matched 2^-32 soundness).
+fn from_scratch_one(seed: u64) {
+    let behaviors: Vec<Behavior<FromScratchMsg<F32>, Option<F32>>> = (0..N)
+        .map(|_| {
+            Box::new(move |ctx: &mut PartyCtx<FromScratchMsg<F32>>| {
+                from_scratch_coin(ctx, T, 32, seed)
+            }) as Behavior<_, _>
+        })
+        .collect();
+    assert!(run_network(N, seed, behaviors).unwrap_all()[0].is_some());
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coin_delivery_n7_t1");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(M as u64));
+    let mut seed = 0u64;
+    group.bench_function("dprbg_batch_of_64", |b| {
+        b.iter(|| {
+            seed += 1;
+            dprbg_batch(seed)
+        })
+    });
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("from_scratch_single", |b| {
+        b.iter(|| {
+            seed += 1;
+            from_scratch_one(seed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(e5, benches);
+criterion_main!(e5);

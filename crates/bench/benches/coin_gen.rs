@@ -1,0 +1,57 @@
+//! Wall-time companion to experiment E4: the full Coin-Gen protocol
+//! (Theorem 2) — throughput in coins/second rises with the batch size,
+//! the wall-clock face of Corollary 3's amortization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dprbg_bench::experiments::common::{seed_wallets, F32};
+use dprbg_core::{coin_gen, CoinGenConfig, CoinGenMsg, CoinWallet, Params};
+use dprbg_sim::{run_network, Behavior, PartyCtx};
+
+fn run_coin_gen(n: usize, t: usize, m: usize, seed: u64) {
+    let params = Params::p2p_model(n, t).unwrap();
+    let cfg = CoinGenConfig { params, batch_size: m };
+    let mut wallets: Vec<CoinWallet<F32>> = seed_wallets(n, t, 4 + t, seed);
+    let behaviors: Vec<Behavior<CoinGenMsg<F32>, usize>> = (0..n)
+        .map(|_| {
+            let mut w = wallets.remove(0);
+            Box::new(move |ctx: &mut PartyCtx<CoinGenMsg<F32>>| {
+                coin_gen(ctx, &cfg, &mut w).unwrap().len()
+            }) as Behavior<_, _>
+        })
+        .collect();
+    let outs = run_network(n, seed, behaviors).unwrap_all();
+    assert!(outs.iter().all(|&c| c == m));
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coin_gen_n7_t1");
+    group.sample_size(15);
+    for m in [1usize, 16, 64] {
+        group.throughput(Throughput::Elements(m as u64));
+        let mut seed = m as u64 * 31;
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| {
+                seed += 1;
+                run_coin_gen(7, 1, m, seed)
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("coin_gen_n13_t2");
+    group.sample_size(10);
+    for m in [16usize, 64] {
+        group.throughput(Throughput::Elements(m as u64));
+        let mut seed = m as u64 * 77;
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| {
+                seed += 1;
+                run_coin_gen(13, 2, m, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(e4, benches);
+criterion_main!(e4);

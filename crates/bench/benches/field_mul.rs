@@ -1,0 +1,48 @@
+//! Wall-time companion to experiment E8: field-multiplication cost in
+//! GF(2^k) (naive carry-less) vs GF(q^l) (schoolbook vs DFT) — §2's
+//! "an implementation should be careful about which method it uses".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dprbg_field::{Field, Gf2k, GfQlParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_gf2k<const K: usize>(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(K as u64);
+    let a = Gf2k::<K>::random(&mut rng);
+    let b = Gf2k::<K>::random(&mut rng);
+    c.bench_function(&format!("gf2k_mul/k={K}"), |bench| {
+        bench.iter(|| black_box(black_box(a) * black_box(b)))
+    });
+    c.bench_function(&format!("gf2k_inv/k={K}"), |bench| {
+        bench.iter(|| black_box(black_box(a).inv()))
+    });
+}
+
+fn bench_gfql(c: &mut Criterion, q: u64, l: usize) {
+    let f = GfQlParams::new(q, l).unwrap();
+    let mut rng = StdRng::seed_from_u64(q + l as u64);
+    let a = f.random(&mut rng);
+    let b = f.random(&mut rng);
+    c.bench_function(&format!("gfql_naive/q={q}_l={l}"), |bench| {
+        bench.iter(|| black_box(f.mul_naive(black_box(&a), black_box(&b))))
+    });
+    c.bench_function(&format!("gfql_fft/q={q}_l={l}"), |bench| {
+        bench.iter(|| black_box(f.mul_fft(black_box(&a), black_box(&b))))
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    bench_gf2k::<8>(c);
+    bench_gf2k::<16>(c);
+    bench_gf2k::<32>(c);
+    bench_gf2k::<64>(c);
+    bench_gfql(c, 17, 8);
+    bench_gfql(c, 97, 16);
+    bench_gfql(c, 193, 32);
+    bench_gfql(c, 769, 64);
+}
+
+criterion_group!(e8, benches);
+criterion_main!(e8);

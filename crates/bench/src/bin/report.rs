@@ -1,0 +1,72 @@
+//! The experiment report generator: regenerates every table of the
+//! paper's evaluation in the paper's own cost units.
+//!
+//! ```text
+//! cargo run -p dprbg-bench --release --bin report               # all, full sweeps
+//! cargo run -p dprbg-bench --release --bin report -- --quick    # all, small sweeps
+//! cargo run -p dprbg-bench --release --bin report -- e4 e5      # selected experiments
+//! ```
+
+use std::time::Instant;
+
+use dprbg_bench::experiments::{self, ExperimentCtx};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let want = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
+    let ctx = ExperimentCtx::new(quick);
+
+    println!("dprbg experiment report — Bellare–Garay–Rabin, PODC 1996");
+    println!(
+        "mode: {}  (cost units: field ops / interpolations / messages / bytes / rounds)\n",
+        if quick { "quick" } else { "full" }
+    );
+
+    let t0 = Instant::now();
+    if want("e1") {
+        print_section(experiments::e1::run(&ctx).render());
+    }
+    if want("e2") {
+        print_section(experiments::e2::run(&ctx).render());
+        print_section(experiments::e2::run_k_sweep(&ctx).render());
+    }
+    if want("e3") {
+        print_section(experiments::e3::run(&ctx).render());
+    }
+    if want("e4") {
+        for table in experiments::e4::run(&ctx) {
+            print_section(table.render());
+        }
+    }
+    if want("e5") {
+        print_section(experiments::e5::run(&ctx).render());
+    }
+    if want("e6") {
+        for table in experiments::e6::run(&ctx) {
+            print_section(table.render());
+        }
+    }
+    if want("e7") {
+        print_section(experiments::e7::run(&ctx).render());
+    }
+    if want("e8") {
+        print_section(experiments::e8::run(&ctx).render());
+    }
+    if want("e9") {
+        print_section(experiments::e9::run(&ctx).render());
+    }
+    if want("e10") {
+        print_section(experiments::e10::run(&ctx).render());
+    }
+    println!("report generated in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+fn print_section(rendered: String) {
+    println!("{rendered}");
+}

@@ -1,0 +1,121 @@
+//! Shared plumbing for the experiments: the standard field, challenge-coin
+//! dealing, and cost-shaping helpers.
+
+use dprbg_core::{CoinWallet, SealedShare};
+use dprbg_field::{Field, Gf2k};
+use dprbg_metrics::{CostReport, CostSnapshot};
+use dprbg_poly::{share_points, share_polynomial};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The standard experiment field (the paper's `k = 32` working point).
+pub type F32 = Gf2k<32>;
+
+/// Experiment configuration shared by every module.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentCtx {
+    /// Reduced sweeps / trial counts for fast runs.
+    pub quick: bool,
+    /// Master seed (all experiments are deterministic given it).
+    pub seed: u64,
+}
+
+impl ExperimentCtx {
+    /// The default context.
+    pub fn new(quick: bool) -> Self {
+        ExperimentCtx { quick, seed: 0xD12B6 }
+    }
+
+    /// Pick between the full and the quick variant of a sweep.
+    pub fn sweep<'a, T: Copy>(&self, full: &'a [T], quick: &'a [T]) -> &'a [T] {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// Deal one sealed challenge coin out-of-band (the dealing itself is not
+/// part of any measured protocol, matching the paper's accounting where
+/// the k-ary coin is a "Given").
+pub fn challenge_coins<F: Field>(n: usize, t: usize, seed: u64) -> Vec<SealedShare<F>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let poly = share_polynomial(F::random(&mut rng), t, &mut rng);
+    share_points(&poly, n)
+        .into_iter()
+        .map(|s| SealedShare::of(s.y))
+        .collect()
+}
+
+/// Deal per-party seed wallets out-of-band.
+pub fn seed_wallets<F: Field>(n: usize, t: usize, count: usize, seed: u64) -> Vec<CoinWallet<F>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut wallets: Vec<CoinWallet<F>> = (0..n).map(|_| CoinWallet::new()).collect();
+    for _ in 0..count {
+        let poly = share_polynomial(F::random(&mut rng), t, &mut rng);
+        for (i, w) in wallets.iter_mut().enumerate() {
+            w.push(SealedShare::of(poly.eval(F::element(i as u64 + 1))));
+        }
+    }
+    wallets
+}
+
+/// The paper reports **per-player** costs: the maximum over players of
+/// each computation counter, paired with whole-run communication.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlayerCost {
+    /// Field additions (worst player).
+    pub adds: u64,
+    /// Field multiplications (worst player).
+    pub muls: u64,
+    /// Field inversions (worst player).
+    pub invs: u64,
+    /// Polynomial interpolations (worst player).
+    pub interps: u64,
+    /// Total messages across the run.
+    pub messages: u64,
+    /// Total payload bytes across the run.
+    pub bytes: u64,
+    /// Synchronous rounds.
+    pub rounds: u64,
+}
+
+impl PlayerCost {
+    /// Extract the per-player shape from a run's [`CostReport`].
+    pub fn from_report(report: &CostReport) -> Self {
+        let mut worst = CostSnapshot::default();
+        for p in &report.per_party {
+            if p.cost.field_adds + p.cost.field_muls > worst.field_adds + worst.field_muls {
+                worst = p.cost;
+            }
+        }
+        PlayerCost {
+            adds: worst.field_adds,
+            muls: worst.field_muls,
+            invs: worst.field_invs,
+            interps: worst.interpolations,
+            messages: report.comm.messages,
+            bytes: report.comm.bytes,
+            rounds: report.comm.rounds,
+        }
+    }
+
+    /// Computation in the paper's "additions" unit, charging `k·log k`
+    /// additions per multiplication/inversion for field bit-size `k`.
+    pub fn total_adds(&self, k: u32) -> u64 {
+        let mul_cost = (k as u64) * (32 - k.leading_zeros()) as u64;
+        self.adds + (self.muls + self.invs) * mul_cost
+    }
+}
+
+/// Format a float compactly for table cells.
+pub fn fmt_f(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}

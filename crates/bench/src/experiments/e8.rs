@@ -1,0 +1,147 @@
+//! E8 — The field-arithmetic crossover (§2).
+//!
+//! Paper claims: the specially constructed GF(q^l) supports `O(k log k)`
+//! multiplication via DFTs, but "in practice, when k is small, working
+//! over GF(2^k) with the naive O(k²) multiplication is faster than
+//! working over our special field with the O(k log k) multiplication,
+//! because of the sizes of the constants involved. So an implementation
+//! should be careful about which method it uses."
+//!
+//! This experiment times all three multiplications at matched field
+//! sizes — naive GF(2^k), schoolbook GF(q^l), and DFT GF(q^l) — and
+//! reports ns/multiplication, locating (a) the GF(2^k)-vs-GF(q^l)
+//! crossover the paper warns about and (b) the naive-vs-DFT crossover
+//! inside GF(q^l) itself.
+
+use std::time::Instant;
+
+use dprbg_field::{Field, Gf2k, GfQlParams};
+use dprbg_metrics::Table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use super::common::{fmt_f, ExperimentCtx};
+
+/// Time `iters` dependent GF(2^k) multiplications; returns ns/mul.
+fn time_gf2k<const K: usize>(iters: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Gf2k::<K>::random(&mut rng);
+    let y = {
+        // Avoid a zero multiplier collapsing the chain.
+        let v = Gf2k::<K>::random(&mut rng);
+        if v.is_zero() {
+            Gf2k::<K>::one()
+        } else {
+            v
+        }
+    };
+    let start = Instant::now();
+    for _ in 0..iters {
+        x *= y;
+    }
+    let elapsed = start.elapsed().as_nanos() as f64 / iters as f64;
+    std::hint::black_box(x);
+    elapsed
+}
+
+/// Time `iters` dependent GF(q^l) multiplications; returns ns/mul for
+/// `(naive, fft)`.
+fn time_gfql(f: &GfQlParams, iters: usize, seed: u64) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let y = f.random(&mut rng);
+    let mut x = f.random(&mut rng);
+    let start = Instant::now();
+    for _ in 0..iters {
+        x = f.mul_naive(&x, &y);
+    }
+    let naive = start.elapsed().as_nanos() as f64 / iters as f64;
+    std::hint::black_box(&x);
+    let mut x = f.random(&mut rng);
+    let start = Instant::now();
+    for _ in 0..iters {
+        x = f.mul_fft(&x, &y);
+    }
+    let fft = start.elapsed().as_nanos() as f64 / iters as f64;
+    std::hint::black_box(&x);
+    (naive, fft)
+}
+
+/// Run E8 and render its table.
+pub fn run(ctx: &ExperimentCtx) -> Table {
+    let iters = if ctx.quick { 20_000 } else { 200_000 };
+    let mut table = Table::new(
+        &format!("E8: multiplication cost, ns/mul over {iters} dependent muls (§2 crossover)"),
+        &["~bits", "GF(2^k) naive", "GF(q^l) naive", "GF(q^l) DFT", "DFT wins?"],
+    );
+    // Matched-size pairs: (GF(2^k) timer, GF(q^l) params, label).
+    let rows: Vec<(&str, f64, GfQlParams)> = vec![
+        ("k=16", time_gf2k::<16>(iters, ctx.seed), GfQlParams::new(17, 4).unwrap()),
+        ("k=32", time_gf2k::<32>(iters, ctx.seed + 1), GfQlParams::new(17, 8).unwrap()),
+        ("k=64", time_gf2k::<64>(iters, ctx.seed + 2), GfQlParams::new(97, 16).unwrap()),
+    ];
+    for (label, gf2k_ns, params) in rows {
+        let (naive, fft) = time_gfql(&params, iters / 4, ctx.seed + 7);
+        table.row(
+            &format!("{label} | GF({}^{})", params.q(), params.l()),
+            &[
+                params.bits().to_string(),
+                fmt_f(gf2k_ns),
+                fmt_f(naive),
+                fmt_f(fft),
+                (fft < naive).to_string(),
+            ],
+        );
+    }
+    // Large extension degrees: the asymptotic regime where the DFT pays.
+    for (q, l) in [(193u64, 32usize), (769, 64)] {
+        let params = GfQlParams::new(q, l).unwrap();
+        let (naive, fft) = time_gfql(&params, iters / 8, ctx.seed + 9);
+        table.row(
+            &format!("      GF({q}^{l})"),
+            &[
+                params.bits().to_string(),
+                "-".into(),
+                fmt_f(naive),
+                fmt_f(fft),
+                (fft < naive).to_string(),
+            ],
+        );
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_small_k_prefers_gf2k() {
+        // The paper's practical remark: naive GF(2^k) beats the special
+        // field at small k by a wide margin.
+        let gf2k = time_gf2k::<32>(50_000, 1);
+        let f = GfQlParams::new(17, 8).unwrap();
+        let (naive, fft) = time_gfql(&f, 10_000, 2);
+        assert!(
+            gf2k < naive && gf2k < fft,
+            "GF(2^32): {gf2k:.1} ns vs GF(17^8) naive {naive:.1} / fft {fft:.1}"
+        );
+    }
+
+    #[test]
+    fn e8_large_l_prefers_dft() {
+        // The asymptotic side: at l = 64 the O(l log l) DFT beats the
+        // O(l^2) schoolbook inside GF(q^l).
+        let f = GfQlParams::new(769, 64).unwrap();
+        let (naive, fft) = time_gfql(&f, 4_000, 3);
+        assert!(
+            fft < naive,
+            "GF(769^64): fft {fft:.1} ns should beat naive {naive:.1} ns"
+        );
+    }
+
+    #[test]
+    fn e8_renders() {
+        let s = run(&ExperimentCtx::new(true)).render();
+        assert!(s.contains("GF(2^k)"));
+    }
+}

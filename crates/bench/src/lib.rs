@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! The experiment harness: regenerates every quantitative claim of the
+//! paper as a measured table.
+//!
+//! The paper is a protocol-design paper — its "evaluation" consists of
+//! stated complexity bounds (Lemmas 1–8, Theorems 1–2, Corollaries 1–3)
+//! and the §1.4 comparison against prior shared-coin and VSS protocols.
+//! Each module here reproduces one of those artifacts by *running* the
+//! protocols on the instrumented simulator and reporting in the paper's
+//! own units: field additions/multiplications, polynomial interpolations,
+//! messages, bits, rounds, and empirical error rates.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run -p dprbg-bench --release --bin report            # full sweeps
+//! cargo run -p dprbg-bench --release --bin report -- --quick # smaller sweeps
+//! cargo run -p dprbg-bench --release --bin report -- e4      # one experiment
+//! ```
+//!
+//! Wall-clock Criterion benches (supplementary shape evidence; the model
+//! counts above are the primary reproduction) live in `benches/`.
+//!
+//! | Experiment | Paper claim |
+//! |---|---|
+//! | [`experiments::e1`] | single VSS: 2 interpolations, 2 rounds, 2nk bits (Lemma 2) vs CCD's k interpolations and Feldman's t·log p multiplications (§3.1) |
+//! | [`experiments::e2`] | Batch-VSS: M secrets, 2 interpolations total, O(1) amortized communication (Lemma 4, Corollary 1) |
+//! | [`experiments::e3`] | Bit-Gen: 3 rounds, nMk + 2n²k bits, amortized ≈ n bits/bit (Lemma 6, Corollary 2) |
+//! | [`experiments::e4`] | Coin-Gen: amortized O(n log k) ops and n²k + O(n⁴k)/M bits per coin (Theorem 2, Corollary 3) |
+//! | [`experiments::e5`] | §1.4: D-PRBG vs from-scratch coin vs Rabin's dealer — who wins, by what factor |
+//! | [`experiments::e6`] | soundness error ≤ 1/p, M/p (Lemmas 1, 3, 5); unanimity under t corruptions (Theorem 1) |
+//! | [`experiments::e7`] | bootstrapping: steady-state cost ≈ amortized cost; the initial seed is "effectively neglected" (Fig. 1) |
+//! | [`experiments::e8`] | §2: GF(q^l) O(k log k) multiplication vs naive GF(2^k) — the small-k crossover the paper predicts |
+
+pub mod experiments;
+
+pub use experiments::ExperimentCtx;

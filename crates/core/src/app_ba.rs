@@ -1,0 +1,348 @@
+//! Common-coin randomized Byzantine agreement — the paper's flagship
+//! application.
+//!
+//! "Shared coins are needed, amongst other things, for Byzantine
+//! agreement (BA) and broadcast" (§1.1); "this result straightaway yields
+//! speed-ups in many applications including broadcast and Byzantine
+//! agreement" (§1.1). This module is that application: a Rabin-style
+//! randomized BA whose per-phase coin comes from the bootstrapped D-PRBG
+//! reservoir, so the *expected* number of phases is constant regardless
+//! of `t` — against `t + 1` phases for any deterministic protocol.
+//!
+//! Per phase (for `n ≥ 6t + 1`, matching the coin machinery's model):
+//!
+//! 1. everyone sends its current bit;
+//! 2. everyone draws the **same** shared coin from the beacon;
+//! 3. a party seeing ≥ `n − t` votes for `b` decides `b`; one seeing
+//!    ≥ `2t + 1` adopts the majority; otherwise it adopts the coin.
+//!
+//! Once some honest party decides `b` in phase `p`, every honest party
+//! has ≥ `n − 2t ≥ 2t + 1 + 2t`… votes for `b` in phase `p + 1` and
+//! decides too; if votes are split, the common coin matches the
+//! eventual majority with probability ≥ 1/2, so the expected number of
+//! phases to the first decision is ≤ 2 + O(1).
+//!
+//! The protocol runs a **fixed phase schedule** (`phases`, typically a
+//! small constant multiple of the expectation): all honest parties stay
+//! in lock-step through every beacon draw and refill, which keeps the
+//! reservoir state synchronized — the deciding phase is reported so
+//! callers can observe the expected-constant behaviour.
+
+use dprbg_field::Field;
+use dprbg_metrics::WireSize;
+use dprbg_sim::{Embeds, PartyCtx};
+
+use crate::bootstrap::Bootstrap;
+use crate::coin_gen::CoinGenWire;
+use crate::errors::CoinGenError;
+
+/// The vote message of the common-coin BA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CcbaVote(pub bool);
+
+impl WireSize for CcbaVote {
+    fn wire_bytes(&self) -> usize {
+        1
+    }
+}
+
+/// The outcome of a common-coin BA run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CcbaOutcome {
+    /// The agreed bit.
+    pub decision: bool,
+    /// The phase at which this party first saw ≥ n − t support (Lemma-8
+    /// style: expected O(1)); `None` if the fixed schedule ended first
+    /// (probability 2^-Ω(phases)).
+    pub decided_in_phase: Option<usize>,
+}
+
+/// Run common-coin randomized BA on `input` over a fixed schedule of
+/// `phases` phases, drawing one shared coin per phase from `beacon`.
+///
+/// All honest parties call this together with beacons in the same state.
+/// Needs `M: CoinGenWire<F> + Embeds<CcbaVote>` — the wire type carries
+/// both the generator's traffic (for beacon refills) and the votes.
+///
+/// # Errors
+///
+/// Propagates beacon failures (seed exhaustion etc.).
+#[allow(clippy::int_plus_one)] // thresholds written as the paper states them
+pub fn common_coin_ba<M, F>(
+    ctx: &mut PartyCtx<M>,
+    input: bool,
+    t: usize,
+    beacon: &mut Bootstrap<F>,
+    phases: usize,
+) -> Result<CcbaOutcome, CoinGenError>
+where
+    M: CoinGenWire<F> + Embeds<CcbaVote>,
+    F: Field,
+{
+    let n = ctx.n();
+    let mut v = input;
+    let mut decided: Option<(bool, usize)> = None;
+
+    for phase in 1..=phases {
+        // Vote round.
+        ctx.send_to_all(<M as Embeds<CcbaVote>>::wrap(CcbaVote(v)));
+        let inbox = ctx.next_round();
+        let mut ones = 0usize;
+        let mut zeros = 0usize;
+        let mut seen = vec![false; n];
+        for r in inbox.iter() {
+            if let Some(CcbaVote(b)) = <M as Embeds<CcbaVote>>::peek(&r.msg) {
+                if !seen[r.from - 1] {
+                    seen[r.from - 1] = true;
+                    if *b {
+                        ones += 1;
+                    } else {
+                        zeros += 1;
+                    }
+                }
+            }
+        }
+
+        // The shared coin — drawn by everyone every phase so the beacon
+        // (including its refills) stays in global lock-step.
+        let coin = beacon.draw_bit(ctx)?;
+
+        if ones >= n - t {
+            v = true;
+            decided = decided.or(Some((true, phase)));
+        } else if zeros >= n - t {
+            v = false;
+            decided = decided.or(Some((false, phase)));
+        } else if ones >= 2 * t + 1 && ones > zeros {
+            v = true;
+        } else if zeros >= 2 * t + 1 && zeros > ones {
+            v = false;
+        } else {
+            v = coin;
+        }
+    }
+    Ok(CcbaOutcome {
+        decision: decided.map(|(d, _)| d).unwrap_or(v),
+        decided_in_phase: decided.map(|(_, p)| p),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bit_gen::BitGenMsg;
+    use crate::bootstrap::BootstrapConfig;
+    use crate::coin::ExposeMsg;
+    use crate::coin_gen::{CliqueAnnounce, CoinGenConfig};
+    use crate::dealer::TrustedDealer;
+    use crate::params::Params;
+    use dprbg_field::Gf2k;
+    use dprbg_protocols::{BaMsg, GcMsg};
+    use dprbg_sim::{run_network, FaultPlan};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    type F = Gf2k<32>;
+
+    /// Wire type: generator traffic + votes.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum Wire {
+        Vote(CcbaVote),
+        BitGen(BitGenMsg<F>),
+        Expose(ExposeMsg<F>),
+        Gc(GcMsg<CliqueAnnounce<F>>),
+        Ba(BaMsg),
+    }
+
+    impl WireSize for Wire {
+        fn wire_bytes(&self) -> usize {
+            match self {
+                Wire::Vote(m) => m.wire_bytes(),
+                Wire::BitGen(m) => m.wire_bytes(),
+                Wire::Expose(m) => m.wire_bytes(),
+                Wire::Gc(m) => m.wire_bytes(),
+                Wire::Ba(m) => m.wire_bytes(),
+            }
+        }
+    }
+
+    macro_rules! embed {
+        ($inner:ty, $variant:ident) => {
+            impl Embeds<$inner> for Wire {
+                fn wrap(inner: $inner) -> Self {
+                    Wire::$variant(inner)
+                }
+                fn peek(&self) -> Option<&$inner> {
+                    match self {
+                        Wire::$variant(m) => Some(m),
+                        _ => None,
+                    }
+                }
+            }
+        };
+    }
+    embed!(CcbaVote, Vote);
+    embed!(BitGenMsg<F>, BitGen);
+    embed!(ExposeMsg<F>, Expose);
+    embed!(GcMsg<CliqueAnnounce<F>>, Gc);
+    embed!(BaMsg, Ba);
+
+    fn beacons(n: usize, t: usize, seed: u64) -> Vec<Bootstrap<F>> {
+        let params = Params::p2p_model(n, t).unwrap();
+        let cfg = BootstrapConfig::with_default_low_water(CoinGenConfig {
+            params,
+            batch_size: 16,
+        });
+        TrustedDealer::deal_wallets::<F>(params, 6, seed)
+            .into_iter()
+            .map(|w| Bootstrap::new(cfg, w))
+            .collect()
+    }
+
+    #[test]
+    fn validity_with_unanimous_inputs() {
+        for bit in [false, true] {
+            let n = 7;
+            let t = 1;
+            let mut bs = beacons(n, t, 1);
+            let behaviors: Vec<dprbg_sim::Behavior<Wire, CcbaOutcome>> = (0..n)
+                .map(|_| {
+                    let mut b = bs.remove(0);
+                    Box::new(move |ctx: &mut PartyCtx<Wire>| {
+                        common_coin_ba(ctx, bit, t, &mut b, 6).unwrap()
+                    }) as dprbg_sim::Behavior<Wire, CcbaOutcome>
+                })
+                .collect();
+            for out in run_network(n, 2, behaviors).unwrap_all() {
+                assert_eq!(out.decision, bit);
+                assert_eq!(out.decided_in_phase, Some(1), "unanimous → phase 1");
+            }
+        }
+    }
+
+    #[test]
+    fn split_inputs_converge_fast() {
+        let n = 7;
+        let t = 1;
+        let mut bs = beacons(n, t, 3);
+        let behaviors: Vec<dprbg_sim::Behavior<Wire, CcbaOutcome>> = (1..=n)
+            .map(|id| {
+                let mut b = bs.remove(0);
+                Box::new(move |ctx: &mut PartyCtx<Wire>| {
+                    common_coin_ba(ctx, id % 2 == 0, 1, &mut b, 8).unwrap()
+                }) as dprbg_sim::Behavior<Wire, CcbaOutcome>
+            })
+            .collect();
+        let outs = run_network(n, 4, behaviors).unwrap_all();
+        let d = outs[0].decision;
+        for out in &outs {
+            assert_eq!(out.decision, d, "agreement");
+            let p = out.decided_in_phase.expect("must decide within 8 phases");
+            assert!(p <= 4, "expected-constant phases, got {p}");
+        }
+    }
+
+    #[test]
+    fn agreement_under_adaptive_byzantine_voter() {
+        // The faulty party splits its votes to keep honest counts near
+        // the threshold; the common coin still forces convergence.
+        let n = 7;
+        let t = 1;
+        let plan = FaultPlan::explicit(n, vec![2]);
+        let mut bs = beacons(n, t, 5);
+        let mut honest_beacons: Vec<Bootstrap<F>> = Vec::new();
+        for id in 1..=n {
+            let b = bs.remove(0);
+            if !plan.is_faulty(id) {
+                honest_beacons.push(b);
+            }
+        }
+        let phases = 10;
+        let behaviors = plan.behaviors::<Wire, Option<CcbaOutcome>>(
+            |id| {
+                let mut b = honest_beacons.remove(0);
+                Box::new(move |ctx| {
+                    common_coin_ba(ctx, id % 2 == 0, 1, &mut b, phases).ok()
+                })
+            },
+            |_| {
+                Box::new(move |ctx| {
+                    let mut rng = StdRng::seed_from_u64(99);
+                    // Vote round: split; coin round: corrupt expose share.
+                    // It cannot predict the coin, so its split fails in
+                    // expectation within a couple of phases.
+                    loop {
+                        if ctx.active_parties() <= 1 {
+                            return None;
+                        }
+                        let n = ctx.n();
+                        for to in 1..=n {
+                            ctx.send(to, Wire::Vote(CcbaVote(rng.random())));
+                        }
+                        let _ = ctx.next_round();
+                        if ctx.active_parties() <= 1 {
+                            return None;
+                        }
+                        ctx.send_to_all(Wire::Expose(ExposeMsg(F::from_u64(
+                            rng.random::<u32>() as u64,
+                        ))));
+                        let _ = ctx.next_round();
+                    }
+                })
+            },
+        );
+        let res = run_network(n, 6, behaviors);
+        let outs: Vec<CcbaOutcome> = plan
+            .honest()
+            .map(|id| res.outputs[id - 1].as_ref().unwrap().unwrap())
+            .collect();
+        let d = outs[0].decision;
+        for out in &outs {
+            assert_eq!(out.decision, d, "agreement under Byzantine votes");
+            assert!(out.decided_in_phase.is_some(), "must decide in 10 phases");
+        }
+    }
+
+    #[test]
+    fn validity_is_never_overridden_by_the_coin() {
+        // All honest input true; the adversary votes false and corrupts
+        // coin shares: true must win (validity).
+        let n = 7;
+        let t = 1;
+        let plan = FaultPlan::explicit(n, vec![7]);
+        let mut bs = beacons(n, t, 7);
+        let mut honest_beacons: Vec<Bootstrap<F>> = Vec::new();
+        for id in 1..=n {
+            let b = bs.remove(0);
+            if !plan.is_faulty(id) {
+                honest_beacons.push(b);
+            }
+        }
+        let behaviors = plan.behaviors::<Wire, Option<CcbaOutcome>>(
+            |_| {
+                let mut b = honest_beacons.remove(0);
+                Box::new(move |ctx| common_coin_ba(ctx, true, 1, &mut b, 6).ok())
+            },
+            |_| {
+                Box::new(move |ctx| {
+                    for _ in 0..12 {
+                        if ctx.active_parties() <= 1 {
+                            return None;
+                        }
+                        ctx.send_to_all(Wire::Vote(CcbaVote(false)));
+                        let _ = ctx.next_round();
+                        ctx.send_to_all(Wire::Expose(ExposeMsg(F::from_u64(0xBAD))));
+                        let _ = ctx.next_round();
+                    }
+                    None
+                })
+            },
+        );
+        let res = run_network(n, 8, behaviors);
+        for id in plan.honest() {
+            let out = res.outputs[id - 1].as_ref().unwrap().unwrap();
+            assert!(out.decision, "validity at party {id}");
+            assert_eq!(out.decided_in_phase, Some(1));
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! Protocol Bit-Gen (Fig. 4): sealed-bit generation, point-to-point model.
+//!
+//! §4 model: `n ≥ 6t + 1`, **no broadcast channel**. "Bit-Gen enables a
+//! dealer to share M secrets, while allowing the players to verify that
+//! the dealer has shared proper secrets." Because announcements travel on
+//! private channels only, players reach merely *local* verdicts — the
+//! output is the pair `(F(x), S)` per instance, which Coin-Gen later
+//! reconciles via the agreement-graph/clique machinery.
+//!
+//! Per instance (dealer `D`):
+//!
+//! 1. `D` defines `f_1 … f_M` (degree ≤ t, random — these are the future
+//!    coins) and sends `P_i` the values `f_j(i)`.
+//! 2. `r ← Coin-Expose(k-ary-coin)` — the same `r` serves all `n`
+//!    parallel instances (the computation saving noted in Theorem 2).
+//! 3. `P_i` computes the Horner combination `β_i` and sends it to all
+//!    players.
+//! 4. `S ← {β_{i1}, …}` as received.
+//! 5. Using the Berlekamp–Welch decoder, interpolate `F(x)` through the
+//!    shares in `S`; if `deg F ≤ t` and ≥ `n − t` values in `S` satisfy
+//!    `F(i_j) = β_{i_j}`, output `(F(x), S)`, else `(⊥, S)`.
+//!
+//! Soundness (Lemma 5): a dealer whose sharing is invalid on ≥ `n − 2t`
+//! honest players survives with probability ≤ `M/p`. Cost (Lemma 6):
+//! `O(M(t + 2)k log k)` additions, 2 interpolations, 3 rounds,
+//! `nMk + 2n²k` bits; Corollary 2: amortized `≈ n` bits of communication
+//! per generated bit.
+//!
+//! Like Batch-VSS, the combination is blinded with one extra masking
+//! polynomial per dealer by default (see DESIGN.md deviation #2).
+
+use dprbg_field::Field;
+use dprbg_metrics::WireSize;
+use dprbg_poly::{bw_decode, Poly};
+use dprbg_sim::{Embeds, PartyCtx, PartyId};
+
+use crate::batch_vss::horner_combine;
+use crate::coin::{coin_expose, ExposeMsg, ExposeVia, SealedShare};
+use crate::errors::CoinError;
+
+/// Wire messages of the `n` parallel Bit-Gen instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitGenMsg<F: Field> {
+    /// Round 1: the dealer's share vector for the recipient (instance =
+    /// sender).
+    Deal {
+        /// `f_1(i) … f_M(i)`.
+        alphas: Vec<F>,
+        /// The masking share `g(i)`.
+        gamma: F,
+    },
+    /// Coin-Expose traffic for the shared challenge.
+    Expose(ExposeMsg<F>),
+    /// Round 3: the sender's combined shares, one entry per dealer
+    /// instance it holds valid shares in (batched into a single message
+    /// of size ≈ nk — Theorem 2's "n² messages of size kn").
+    Betas(Vec<(PartyId, F)>),
+}
+
+impl<F: Field> WireSize for BitGenMsg<F> {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            BitGenMsg::Deal { alphas, gamma } => alphas.wire_bytes() + gamma.wire_bytes(),
+            BitGenMsg::Expose(e) => e.wire_bytes(),
+            // Dealer tags are log n bits; charge one byte per entry.
+            BitGenMsg::Betas(entries) => {
+                entries.iter().map(|(_, b)| 1 + b.wire_bytes()).sum()
+            }
+        }
+    }
+}
+
+impl<F: Field> Embeds<ExposeMsg<F>> for BitGenMsg<F> {
+    fn wrap(inner: ExposeMsg<F>) -> Self {
+        BitGenMsg::Expose(inner)
+    }
+    fn peek(&self) -> Option<&ExposeMsg<F>> {
+        match self {
+            BitGenMsg::Expose(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// This party's record of one dealer's Bit-Gen instance — the `(F(x), S)`
+/// output of Fig. 4 plus the shares the party must keep for Coin-Expose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DealerView<F: Field> {
+    /// The instance's dealer.
+    pub dealer: PartyId,
+    /// My shares `f_1(i) … f_M(i)` from this dealer (empty if the dealer
+    /// stayed silent or sent a malformed vector).
+    pub alphas: Vec<F>,
+    /// My masking share `g(i)`.
+    pub gamma: F,
+    /// My own combination `β_i` (what I sent; `None` if I had no valid
+    /// shares).
+    pub my_beta: Option<F>,
+    /// The set `S`: combination values received, indexed by party − 1.
+    pub betas: Vec<Option<F>>,
+    /// `F(x)` if step 5 succeeded (degree ≤ t, ≥ n − t agreement), else
+    /// `⊥`.
+    pub check_poly: Option<Poly<F>>,
+}
+
+/// The result of running the `n` parallel Bit-Gen instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitGenRun<F: Field> {
+    /// The exposed challenge `r`.
+    pub r: F,
+    /// One view per dealer instance, indexed by dealer − 1.
+    pub views: Vec<DealerView<F>>,
+    /// If this party dealt, its secret polynomials (`f_1 … f_M`) — the
+    /// coins it contributed.
+    pub my_polys: Option<Vec<Poly<F>>>,
+}
+
+/// What the dealers share — fresh random coins (Coin-Gen) or zero
+/// sharings (the proactive refresh of [`crate::refresh`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BitGenMode {
+    /// Fig. 4 verbatim: `M` uniformly random secrets, blinded combination.
+    #[default]
+    RandomCoins,
+    /// Proactive refresh: `M` sharings of **zero** (`f_j(0) = 0`),
+    /// unblinded, and acceptance additionally requires `F(0) = 0` — so a
+    /// cheating dealer cannot shift existing coin values (w.p. > 1 − M/p).
+    ZeroRefresh,
+}
+
+/// Run Bit-Gen (Fig. 4) with every party in `dealers` acting as a dealer
+/// of `m` random sealed secrets, all instances sharing one challenge coin
+/// (Coin-Gen step 3: "using the same coin r for all invocations").
+///
+/// Exactly 3 rounds: deal, coin-expose, combination exchange.
+///
+/// # Errors
+///
+/// Propagates [`CoinError`] from the challenge expose.
+pub fn bit_gen_all<M, F>(
+    ctx: &mut PartyCtx<M>,
+    t: usize,
+    m: usize,
+    coin: SealedShare<F>,
+    dealers: &[PartyId],
+) -> Result<BitGenRun<F>, CoinError>
+where
+    M: Clone + Send + WireSize + Embeds<ExposeMsg<F>> + Embeds<BitGenMsg<F>> + 'static,
+    F: Field,
+{
+    bit_gen_all_with(ctx, t, m, coin, dealers, BitGenMode::RandomCoins)
+}
+
+/// [`bit_gen_all`] with an explicit [`BitGenMode`].
+///
+/// # Errors
+///
+/// Propagates [`CoinError`] from the challenge expose.
+pub fn bit_gen_all_with<M, F>(
+    ctx: &mut PartyCtx<M>,
+    t: usize,
+    m: usize,
+    coin: SealedShare<F>,
+    dealers: &[PartyId],
+    mode: BitGenMode,
+) -> Result<BitGenRun<F>, CoinError>
+where
+    M: Clone + Send + WireSize + Embeds<ExposeMsg<F>> + Embeds<BitGenMsg<F>> + 'static,
+    F: Field,
+{
+    let n = ctx.n();
+    let me = ctx.id();
+
+    // Round 1: deal. Each dealer samples M secret polynomials and one
+    // masking polynomial, and sends each player its share vector.
+    let mut my_polys = None;
+    if dealers.contains(&me) {
+        let polys: Vec<Poly<F>> = (0..m)
+            .map(|_| match mode {
+                BitGenMode::RandomCoins => Poly::random(t, ctx.rng()),
+                BitGenMode::ZeroRefresh => {
+                    Poly::random_with_constant(F::zero(), t, ctx.rng())
+                }
+            })
+            .collect();
+        let blind = match mode {
+            BitGenMode::RandomCoins => Poly::random(t, ctx.rng()),
+            // Zero sharings need no blinding: the revealed combination's
+            // constant term is zero by construction and the z's are pure
+            // masking randomness.
+            BitGenMode::ZeroRefresh => Poly::zero(),
+        };
+        for i in 1..=n {
+            let x = F::element(i as u64);
+            let alphas: Vec<F> = polys.iter().map(|f| f.eval(x)).collect();
+            ctx.send(
+                i,
+                <M as Embeds<BitGenMsg<F>>>::wrap(BitGenMsg::Deal {
+                    alphas,
+                    gamma: blind.eval(x),
+                }),
+            );
+        }
+        my_polys = Some(polys);
+    }
+    let inbox = ctx.next_round();
+    let mut views: Vec<DealerView<F>> = (1..=n)
+        .map(|dealer| DealerView {
+            dealer,
+            alphas: Vec::new(),
+            gamma: F::zero(),
+            my_beta: None,
+            betas: vec![None; n],
+            check_poly: None,
+        })
+        .collect();
+    for rcv in inbox.iter() {
+        if let Some(BitGenMsg::Deal { alphas, gamma }) =
+            <M as Embeds<BitGenMsg<F>>>::peek(&rcv.msg)
+        {
+            let view = &mut views[rcv.from - 1];
+            if view.alphas.is_empty() && alphas.len() == m {
+                view.alphas = alphas.clone();
+                view.gamma = *gamma;
+            }
+        }
+    }
+
+    // Round 2: the shared challenge.
+    let r = coin_expose(ctx, coin, t, ExposeVia::PointToPoint)?;
+
+    // Round 3: per instance, combine and exchange (n² messages of size k).
+    for view in views.iter_mut() {
+        if view.alphas.len() == m {
+            let beta = horner_combine(&view.alphas, view.gamma, r);
+            view.my_beta = Some(beta);
+        }
+    }
+    let entries: Vec<(PartyId, F)> = views
+        .iter()
+        .filter_map(|v| v.my_beta.map(|b| (v.dealer, b)))
+        .collect();
+    if !entries.is_empty() {
+        ctx.send_to_all(<M as Embeds<BitGenMsg<F>>>::wrap(BitGenMsg::Betas(entries)));
+    }
+    let inbox = ctx.next_round();
+    for rcv in inbox.iter() {
+        if let Some(BitGenMsg::Betas(entries)) = <M as Embeds<BitGenMsg<F>>>::peek(&rcv.msg) {
+            for (dealer, beta) in entries {
+                if (1..=n).contains(dealer) {
+                    let slot = &mut views[dealer - 1].betas[rcv.from - 1];
+                    if slot.is_none() {
+                        *slot = Some(*beta);
+                    }
+                }
+            }
+        }
+    }
+
+    // Step 5: Berlekamp–Welch per instance.
+    for view in views.iter_mut() {
+        view.check_poly = decode_instance(&view.betas, n, t);
+        if mode == BitGenMode::ZeroRefresh {
+            // Zero sharings: the combination must vanish at the origin,
+            // or the dealer is shifting coin values.
+            if view
+                .check_poly
+                .as_ref()
+                .is_some_and(|f| !f.constant_term().is_zero())
+            {
+                view.check_poly = None;
+            }
+        }
+    }
+
+    Ok(BitGenRun { r, views, my_polys })
+}
+
+/// Fig. 4 step 5: decode `F(x)` from the received combinations; `Some`
+/// iff `deg F ≤ t` and at least `n − t` received values lie on `F`.
+fn decode_instance<F: Field>(betas: &[Option<F>], n: usize, t: usize) -> Option<Poly<F>> {
+    let points: Vec<(F, F)> = betas
+        .iter()
+        .enumerate()
+        .filter_map(|(i, b)| b.map(|y| (F::element(i as u64 + 1), y)))
+        .collect();
+    if points.len() < n - t {
+        return None;
+    }
+    let f = bw_decode(&points, t, t).ok()?;
+    let agreements = points.iter().filter(|&&(x, y)| f.eval(x) == y).count();
+    (agreements >= n - t).then_some(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprbg_field::Gf2k;
+    use dprbg_poly::{share_points, share_polynomial};
+    use dprbg_sim::{run_network, Behavior, FaultPlan};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    type F = Gf2k<32>;
+    type M = BitGenMsg<F>;
+
+    fn coin_shares(n: usize, t: usize, seed: u64) -> Vec<SealedShare<F>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let poly = share_polynomial(F::random(&mut rng), t, &mut rng);
+        share_points(&poly, n)
+            .into_iter()
+            .map(|s| SealedShare::of(s.y))
+            .collect()
+    }
+
+    fn run_all(
+        n: usize,
+        t: usize,
+        m: usize,
+        seed: u64,
+    ) -> Vec<Result<BitGenRun<F>, CoinError>> {
+        let coins = coin_shares(n, t, seed + 500);
+        let dealers: Vec<PartyId> = (1..=n).collect();
+        let behaviors: Vec<Behavior<M, _>> = (1..=n)
+            .map(|id| {
+                let coin = coins[id - 1];
+                let dealers = dealers.clone();
+                Box::new(move |ctx: &mut PartyCtx<M>| bit_gen_all(ctx, t, m, coin, &dealers))
+                    as Behavior<M, _>
+            })
+            .collect();
+        run_network(n, seed, behaviors).unwrap_all()
+    }
+
+    #[test]
+    fn all_honest_every_instance_validates() {
+        let n = 7;
+        let t = 1;
+        let m = 4;
+        let outs = run_all(n, t, m, 1);
+        for (i, out) in outs.iter().enumerate() {
+            let run = out.as_ref().unwrap();
+            for view in &run.views {
+                assert!(
+                    view.check_poly.is_some(),
+                    "party {} rejected dealer {}",
+                    i + 1,
+                    view.dealer
+                );
+                assert_eq!(view.alphas.len(), m);
+            }
+        }
+        // All parties exposed the same challenge.
+        let r0 = outs[0].as_ref().unwrap().r;
+        assert!(outs.iter().all(|o| o.as_ref().unwrap().r == r0));
+    }
+
+    #[test]
+    fn shares_reconstruct_dealers_secrets() {
+        let n = 7;
+        let t = 1;
+        let m = 3;
+        let outs = run_all(n, t, m, 2);
+        let dealer_polys = outs[0].as_ref().unwrap().my_polys.clone().unwrap();
+        for (h, poly) in dealer_polys.iter().enumerate() {
+            // Gather every party's h-th share from dealer 1 and decode.
+            let shares: Vec<dprbg_poly::Share<F>> = outs
+                .iter()
+                .enumerate()
+                .map(|(i, o)| dprbg_poly::Share {
+                    x: F::element(i as u64 + 1),
+                    y: o.as_ref().unwrap().views[0].alphas[h],
+                })
+                .collect();
+            assert_eq!(
+                dprbg_poly::reconstruct_secret(&shares, t).unwrap(),
+                poly.constant_term()
+            );
+        }
+    }
+
+    #[test]
+    fn cheating_dealer_detected_by_all_honest() {
+        // Dealer 1 shares a degree-(t+1) polynomial among its M.
+        let n = 7;
+        let t = 1;
+        let m = 4;
+        let coins = coin_shares(n, t, 10);
+        let plan = FaultPlan::explicit(n, vec![1]);
+        let dealers: Vec<PartyId> = (1..=n).collect();
+        let behaviors = plan.behaviors::<M, Option<BitGenRun<F>>>(
+            |id| {
+                let coin = coins[id - 1];
+                let dealers = dealers.clone();
+                Box::new(move |ctx| bit_gen_all(ctx, t, m, coin, &dealers).ok())
+            },
+            |id| {
+                let coin = coins[id - 1];
+                Box::new(move |ctx| {
+                    let n = ctx.n();
+                    // Deal one high-degree polynomial among honest ones.
+                    let mut polys: Vec<Poly<F>> =
+                        (0..m - 1).map(|_| Poly::random(t, ctx.rng())).collect();
+                    polys.push(Poly::random(t + 1, ctx.rng()));
+                    let blind = Poly::random(t, ctx.rng());
+                    for i in 1..=n {
+                        let x = F::element(i as u64);
+                        ctx.send(
+                            i,
+                            BitGenMsg::Deal {
+                                alphas: polys.iter().map(|f| f.eval(x)).collect(),
+                                gamma: blind.eval(x),
+                            },
+                        );
+                    }
+                    let _ = ctx.next_round();
+                    let r = coin_expose(ctx, coin, t, ExposeVia::PointToPoint).ok()?;
+                    // Participate honestly in round 3 for its own instance.
+                    let _ = r;
+                    let _ = ctx.next_round();
+                    None
+                })
+            },
+        );
+        let res = run_network(n, 11, behaviors);
+        for id in plan.honest() {
+            let run = res.outputs[id - 1].as_ref().unwrap().as_ref().unwrap();
+            assert!(
+                run.views[0].check_poly.is_none(),
+                "party {id} failed to reject the cheating dealer"
+            );
+            // Honest dealers still validate.
+            for j in plan.honest() {
+                assert!(run.views[j - 1].check_poly.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn byzantine_beta_senders_cannot_break_honest_instances() {
+        let n = 7;
+        let t = 1;
+        let m = 2;
+        let coins = coin_shares(n, t, 20);
+        let plan = FaultPlan::explicit(n, vec![4]);
+        let dealers: Vec<PartyId> = plan.honest().collect();
+        let behaviors = plan.behaviors::<M, Option<BitGenRun<F>>>(
+            |id| {
+                let coin = coins[id - 1];
+                let dealers = dealers.clone();
+                Box::new(move |ctx| bit_gen_all(ctx, t, m, coin, &dealers).ok())
+            },
+            |_| {
+                Box::new(move |ctx| {
+                    let n = ctx.n();
+                    let _ = ctx.next_round(); // no dealing
+                    let _ = ctx.next_round(); // skip expose
+                    // Round 3: garbage betas in every instance.
+                    let garbage: Vec<(PartyId, F)> =
+                        (1..=n).map(|d| (d, F::from_u64(0xBAD))).collect();
+                    ctx.send_to_all(BitGenMsg::Betas(garbage));
+                    let _ = ctx.next_round();
+                    None
+                })
+            },
+        );
+        let res = run_network(n, 21, behaviors);
+        for id in plan.honest() {
+            let run = res.outputs[id - 1].as_ref().unwrap().as_ref().unwrap();
+            for j in plan.honest() {
+                assert!(
+                    run.views[j - 1].check_poly.is_some(),
+                    "party {id} rejected honest dealer {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn silent_dealer_yields_bottom() {
+        let n = 7;
+        let t = 1;
+        let m = 2;
+        let coins = coin_shares(n, t, 30);
+        // Only parties 2..=n deal; instance 1 must come out ⊥ everywhere.
+        let dealers: Vec<PartyId> = (2..=n).collect();
+        let behaviors: Vec<Behavior<M, Result<BitGenRun<F>, CoinError>>> = (1..=n)
+            .map(|id| {
+                let coin = coins[id - 1];
+                let dealers = dealers.clone();
+                Box::new(move |ctx: &mut PartyCtx<M>| bit_gen_all(ctx, t, m, coin, &dealers))
+                    as Behavior<M, _>
+            })
+            .collect();
+        for out in run_network(n, 31, behaviors).unwrap_all() {
+            let run = out.unwrap();
+            assert!(run.views[0].check_poly.is_none());
+            assert!(run.views[0].my_beta.is_none());
+        }
+    }
+
+    #[test]
+    fn three_rounds_and_message_shape() {
+        // Lemma 6: 3 rounds; round 1 has n dealer messages of ~Mk bits
+        // each per dealer, rounds 2-3 have n² messages of ~k bits.
+        let n = 7;
+        let t = 1;
+        let m = 8;
+        let res = {
+            let coins = coin_shares(n, t, 40);
+            let dealers: Vec<PartyId> = (1..=n).collect();
+            let behaviors: Vec<Behavior<M, Result<BitGenRun<F>, CoinError>>> = (1..=n)
+                .map(|id| {
+                    let coin = coins[id - 1];
+                    let dealers = dealers.clone();
+                    Box::new(move |ctx: &mut PartyCtx<M>| {
+                        bit_gen_all(ctx, t, m, coin, &dealers)
+                    }) as Behavior<M, _>
+                })
+                .collect();
+            run_network(n, 41, behaviors)
+        };
+        assert_eq!(res.report.comm.rounds, 3);
+        // n² deal + n² expose + n² (batched) beta messages.
+        assert_eq!(res.report.comm.messages as usize, 3 * n * n);
+        let k_bytes = 4;
+        let deal_bytes = n * n * (m + 1) * k_bytes;
+        let expose_bytes = n * n * k_bytes;
+        // Each beta message carries n (dealer, value) entries.
+        let beta_bytes = n * n * n * (k_bytes + 1);
+        assert_eq!(
+            res.report.comm.bytes as usize,
+            deal_bytes + expose_bytes + beta_bytes
+        );
+    }
+}

@@ -1,0 +1,333 @@
+//! Bootstrapping (Fig. 1, §1.2): a self-sustaining source of shared coins.
+//!
+//! "An initial distributed seed is generated via some known, not
+//! necessarily fast protocol. Then the generator is run to produce as many
+//! coins as the current execution of the application needs, plus another
+//! (distributed) seed. … we envision an adaptive mechanism, in which coins
+//! are generated on demand, with a constant threshold triggering the
+//! generation of new coins."
+//!
+//! [`Bootstrap`] is that adaptive mechanism: a reservoir of sealed coins
+//! that refills itself (by running the D-PRBG) whenever a draw would drop
+//! it below the low-water mark. Once kicked off, the source is
+//! self-sufficient — each refill consumes a constant expected number of
+//! seed coins and deposits `M`.
+
+use dprbg_field::Field;
+use dprbg_sim::PartyCtx;
+
+use crate::coin::{coin_expose, CoinWallet, ExposeVia, SealedShare};
+use crate::coin_gen::{CoinGenConfig, CoinGenWire};
+use crate::dprbg::dprbg_expand;
+use crate::errors::CoinGenError;
+
+/// Configuration of the bootstrap reservoir.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BootstrapConfig {
+    /// The generator configuration (parameters + batch size `M`).
+    pub coin_gen: CoinGenConfig,
+    /// Refill when the reservoir is about to drop below this level. Must
+    /// cover the generator's own seed needs: ≥ 2 (one challenge + one
+    /// leader coin), comfortably more to absorb extra BA attempts under
+    /// faults.
+    pub low_water: usize,
+}
+
+impl BootstrapConfig {
+    /// A sensible default low-water mark: `4 + t` (challenge + expected
+    /// leader coins + slack proportional to the number of corruptible
+    /// leaders).
+    pub fn with_default_low_water(coin_gen: CoinGenConfig) -> Self {
+        BootstrapConfig { coin_gen, low_water: 4 + coin_gen.params.t }
+    }
+}
+
+/// Cumulative statistics of a bootstrap reservoir.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BootstrapStats {
+    /// Coins drawn (consumed by the application).
+    pub draws: usize,
+    /// D-PRBG refill runs triggered.
+    pub refills: usize,
+    /// Seed coins the refills consumed.
+    pub seeds_consumed: usize,
+    /// Coins the refills produced.
+    pub coins_produced: usize,
+    /// Leader attempts across all refills (Lemma 8: expected O(1) each).
+    pub attempts: usize,
+}
+
+/// The bootstrap reservoir of Fig. 1.
+///
+/// One instance per party; all honest parties drive theirs in lock-step
+/// (the refill decision depends only on the shared reservoir level, so
+/// honest parties always agree on when to refill).
+///
+/// # Examples
+///
+/// See `examples/coin_beacon.rs` for a full application loop.
+#[derive(Debug, Clone)]
+pub struct Bootstrap<F: Field> {
+    cfg: BootstrapConfig,
+    wallet: CoinWallet<F>,
+    stats: BootstrapStats,
+}
+
+impl<F: Field> Bootstrap<F> {
+    /// Start the reservoir from an initial seed wallet (trusted dealer or
+    /// preprocessing — see [`crate::dealer`]).
+    pub fn new(cfg: BootstrapConfig, initial: CoinWallet<F>) -> Self {
+        Bootstrap { cfg, wallet: initial, stats: BootstrapStats::default() }
+    }
+
+    /// Coins currently sealed in the reservoir.
+    pub fn level(&self) -> usize {
+        self.wallet.len()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> BootstrapStats {
+        self.stats
+    }
+
+    /// The generator configuration.
+    pub fn config(&self) -> &BootstrapConfig {
+        &self.cfg
+    }
+
+    /// Refill if a draw now would leave fewer than `low_water` coins.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors; on error the reservoir is unchanged
+    /// except for the seeds the failed run consumed.
+    pub fn maybe_refill<M: CoinGenWire<F>>(
+        &mut self,
+        ctx: &mut PartyCtx<M>,
+    ) -> Result<bool, CoinGenError> {
+        if self.wallet.len() > self.cfg.low_water {
+            return Ok(false);
+        }
+        let run = dprbg_expand(ctx, &self.cfg.coin_gen, &mut self.wallet)?;
+        self.stats.refills += 1;
+        self.stats.seeds_consumed += run.seeds_consumed;
+        self.stats.coins_produced += run.coins_produced;
+        self.stats.attempts += run.attempts;
+        Ok(true)
+    }
+
+    /// Draw the next sealed coin *without* exposing it (for protocols
+    /// that consume sealed coins, e.g. further VSS runs). Refills first
+    /// when needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates refill errors; [`crate::CoinError::WalletEmpty`] (as
+    /// `CoinGenError::Coin`) only if refilling is impossible.
+    pub fn draw_sealed<M: CoinGenWire<F>>(
+        &mut self,
+        ctx: &mut PartyCtx<M>,
+    ) -> Result<SealedShare<F>, CoinGenError> {
+        self.maybe_refill(ctx)?;
+        let share = self.wallet.pop()?;
+        self.stats.draws += 1;
+        Ok(share)
+    }
+
+    /// Draw and expose the next coin: the application-facing "give me a
+    /// fresh shared random value" call (one round, plus a refill when the
+    /// reservoir is low).
+    ///
+    /// # Errors
+    ///
+    /// See [`Bootstrap::draw_sealed`] and [`coin_expose`].
+    pub fn draw<M: CoinGenWire<F>>(&mut self, ctx: &mut PartyCtx<M>) -> Result<F, CoinGenError> {
+        let share = self.draw_sealed(ctx)?;
+        let t = self.cfg.coin_gen.params.t;
+        coin_expose(ctx, share, t, ExposeVia::PointToPoint).map_err(CoinGenError::Coin)
+    }
+
+    /// Draw one *binary* shared coin: the low bit of a k-ary draw (the
+    /// paper: "as all our coins will be generated in the field GF(2^k) we
+    /// can assume that each coin generates in fact k random coins in
+    /// {0,1}").
+    ///
+    /// # Errors
+    ///
+    /// See [`Bootstrap::draw`].
+    pub fn draw_bit<M: CoinGenWire<F>>(&mut self, ctx: &mut PartyCtx<M>) -> Result<bool, CoinGenError> {
+        Ok(self.draw(ctx)?.to_u64() & 1 == 1)
+    }
+
+    /// Proactively re-randomize every sealed share in the reservoir
+    /// (epoch boundary in the §1.2 mobile-adversary setting). Refills
+    /// first if the reservoir is low, so the refresh's own seed
+    /// consumption cannot drain it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates refill and refresh failures.
+    pub fn refresh<M: CoinGenWire<F>>(
+        &mut self,
+        ctx: &mut PartyCtx<M>,
+    ) -> Result<crate::refresh::RefreshReport, CoinGenError> {
+        self.maybe_refill(ctx)?;
+        crate::refresh::refresh_wallet(ctx, &self.cfg.coin_gen, &mut self.wallet)
+    }
+
+    /// Draw one k-ary coin and return all `k` of its binary coins, least
+    /// significant first — applications that consume bits in bulk get
+    /// `k` shared bits per expose round.
+    ///
+    /// # Errors
+    ///
+    /// See [`Bootstrap::draw`].
+    pub fn draw_bits<M: CoinGenWire<F>>(
+        &mut self,
+        ctx: &mut PartyCtx<M>,
+    ) -> Result<Vec<bool>, CoinGenError> {
+        let v = self.draw(ctx)?.to_u64();
+        Ok((0..F::bits()).map(|i| (v >> i) & 1 == 1).collect())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::type_complexity)]
+mod tests {
+    use super::*;
+    use crate::coin_gen::CoinGenMsg;
+    use crate::dealer::TrustedDealer;
+    use crate::params::Params;
+    use dprbg_field::Gf2k;
+    use dprbg_sim::{run_network, Behavior};
+
+    type F = Gf2k<32>;
+    type M = CoinGenMsg<F>;
+
+    fn setup(n: usize, t: usize, m: usize, initial: usize, seed: u64) -> Vec<Bootstrap<F>> {
+        let params = Params::p2p_model(n, t).unwrap();
+        let cfg = BootstrapConfig::with_default_low_water(CoinGenConfig {
+            params,
+            batch_size: m,
+        });
+        TrustedDealer::deal_wallets::<F>(params, initial, seed)
+            .into_iter()
+            .map(|w| Bootstrap::new(cfg, w))
+            .collect()
+    }
+
+    #[test]
+    fn draws_beyond_initial_seed_sustain_themselves() {
+        // Initial seed of 6; draw 40 coins — far more than dealt. The
+        // reservoir must refill on demand and all parties must see the
+        // same 40 values.
+        let n = 7;
+        let t = 1;
+        let draws = 40;
+        let mut boots = setup(n, t, 16, 6, 1);
+        let behaviors: Vec<Behavior<M, Result<(Vec<F>, BootstrapStats), CoinGenError>>> = (0..n)
+            .map(|_| {
+                let mut b = boots.remove(0);
+                Box::new(move |ctx: &mut PartyCtx<M>| {
+                    let vals: Result<Vec<F>, _> =
+                        (0..draws).map(|_| b.draw(ctx)).collect();
+                    vals.map(|v| (v, b.stats()))
+                }) as Behavior<M, _>
+            })
+            .collect();
+        let outs = run_network(n, 2, behaviors).unwrap_all();
+        let (vals0, stats0) = outs[0].as_ref().unwrap();
+        assert_eq!(vals0.len(), draws);
+        assert!(stats0.refills >= 2, "must have refilled: {stats0:?}");
+        assert!(stats0.coins_produced > stats0.seeds_consumed);
+        for out in &outs {
+            let (vals, _) = out.as_ref().unwrap();
+            assert_eq!(vals, vals0, "coin values must be unanimous");
+        }
+    }
+
+    #[test]
+    fn refill_only_when_low() {
+        let n = 7;
+        let t = 1;
+        let mut boots = setup(n, t, 8, 20, 3);
+        let behaviors: Vec<Behavior<M, Result<BootstrapStats, CoinGenError>>> = (0..n)
+            .map(|_| {
+                let mut b = boots.remove(0);
+                Box::new(move |ctx: &mut PartyCtx<M>| {
+                    // 3 draws from a 20-coin reservoir: no refill needed.
+                    for _ in 0..3 {
+                        b.draw(ctx)?;
+                    }
+                    Ok::<_, CoinGenError>(b.stats())
+                }) as Behavior<M, _>
+            })
+            .collect();
+        for out in run_network(n, 4, behaviors).unwrap_all() {
+            let stats = out.unwrap();
+            assert_eq!(stats.refills, 0);
+            assert_eq!(stats.draws, 3);
+        }
+    }
+
+    #[test]
+    fn draw_bit_is_unanimous() {
+        let n = 7;
+        let t = 1;
+        let mut boots = setup(n, t, 8, 6, 5);
+        let behaviors: Vec<Behavior<M, Result<Vec<bool>, CoinGenError>>> = (0..n)
+            .map(|_| {
+                let mut b = boots.remove(0);
+                Box::new(move |ctx: &mut PartyCtx<M>| {
+                    let bits: Result<Vec<bool>, _> =
+                        (0..8).map(|_| b.draw_bit(ctx)).collect();
+                    bits
+                }) as Behavior<M, _>
+            })
+            .collect();
+        let outs = run_network(n, 6, behaviors).unwrap_all();
+        let b0 = outs[0].as_ref().unwrap().clone();
+        assert!(outs.iter().all(|o| o.as_ref().unwrap() == &b0));
+        // Not all bits equal (probability 2^-7 per pattern; seeded test).
+        assert!(b0.iter().any(|&x| x) || b0.iter().any(|&x| !x));
+    }
+
+    #[test]
+    fn draw_bits_yields_k_unanimous_bits() {
+        let n = 7;
+        let t = 1;
+        let mut boots = setup(n, t, 8, 6, 8);
+        let behaviors: Vec<Behavior<M, Result<Vec<bool>, CoinGenError>>> = (0..n)
+            .map(|_| {
+                let mut b = boots.remove(0);
+                Box::new(move |ctx: &mut PartyCtx<M>| b.draw_bits(ctx)) as Behavior<M, _>
+            })
+            .collect();
+        let outs = run_network(n, 9, behaviors).unwrap_all();
+        let bits = outs[0].as_ref().unwrap().clone();
+        assert_eq!(bits.len(), 32, "one bit per field bit");
+        assert!(outs.iter().all(|o| o.as_ref().unwrap() == &bits));
+        // 32 coin flips: both values present except w.p. 2^-31.
+        assert!(bits.iter().any(|&b| b) && bits.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn empty_initial_seed_fails_cleanly() {
+        let n = 7;
+        let t = 1;
+        let params = Params::p2p_model(n, t).unwrap();
+        let cfg = BootstrapConfig::with_default_low_water(CoinGenConfig {
+            params,
+            batch_size: 8,
+        });
+        let behaviors: Vec<Behavior<M, _>> = (0..n)
+            .map(|_| {
+                let mut b = Bootstrap::<F>::new(cfg, CoinWallet::new());
+                Box::new(move |ctx: &mut PartyCtx<M>| b.draw(ctx).err()) as Behavior<M, _>
+            })
+            .collect();
+        for out in run_network(n, 7, behaviors).unwrap_all() {
+            assert_eq!(out, Some(CoinGenError::SeedExhausted));
+        }
+    }
+}

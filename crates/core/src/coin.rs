@@ -1,0 +1,390 @@
+//! Sealed coins, wallets, and Protocol Coin-Expose (Fig. 6).
+//!
+//! A **sealed k-ary coin** is a uniformly random element of GF(2^k) held
+//! jointly: each party `P_i` holds a Shamir share `σ_i = G(i)` of a
+//! degree-≤t polynomial `G`, and the coin's value is `G(0)`. Until the
+//! expose, no coalition of ≤ t parties learns anything about the value;
+//! at expose, all honest parties reconstruct the *same* value (unanimity)
+//! despite up to `t` corrupted shares, via the Berlekamp–Welch decoder:
+//!
+//! > "Using the Berlekamp-Welch decoder, interpolate a polynomial F(x)
+//! > through the shares received in the previous step. Set
+//! > coin_h = F(0)." (Fig. 6.)
+//!
+//! The paper's Fig. 6 computes `σ_i` as the sum of the party's h-th shares
+//! from the chosen clique's dealers; in this crate that sum is performed at
+//! the end of Coin-Gen, so a wallet uniformly stores one ready-to-send
+//! share per coin regardless of whether the coin came from a trusted
+//! dealer (§1.2) or from a Coin-Gen batch.
+
+use std::collections::VecDeque;
+
+use dprbg_field::Field;
+use dprbg_metrics::WireSize;
+use dprbg_poly::{bw_decode, Poly};
+use dprbg_sim::{Embeds, PartyCtx};
+
+use crate::errors::CoinError;
+
+/// One party's share of one sealed coin.
+///
+/// `None` means this party cannot contribute to the expose (it did not
+/// hold valid shares from every summed dealer); it still *learns* the coin
+/// from the other parties' contributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SealedShare<F: Field> {
+    /// The share value `G(i)`, if this party can vouch for it.
+    pub sigma: Option<F>,
+}
+
+impl<F: Field> SealedShare<F> {
+    /// A contributing share.
+    pub fn of(value: F) -> Self {
+        SealedShare { sigma: Some(value) }
+    }
+
+    /// A non-contributing placeholder.
+    pub fn absent() -> Self {
+        SealedShare { sigma: None }
+    }
+}
+
+/// The wire message of Coin-Expose: a bare share (size `k`, matching the
+/// paper's "n messages, each of size k").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExposeMsg<F: Field>(pub F);
+
+impl<F: Field> WireSize for ExposeMsg<F> {
+    fn wire_bytes(&self) -> usize {
+        self.0.wire_bytes()
+    }
+}
+
+/// A party's FIFO reserve of sealed-coin shares (the bootstrap reservoir
+/// of Fig. 1).
+///
+/// All honest parties' wallets stay in lock-step: they push the same
+/// batches and pop in the same protocol steps, so "coin `h`" means the
+/// same polynomial at every party.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoinWallet<F: Field> {
+    shares: VecDeque<SealedShare<F>>,
+}
+
+impl<F: Field> CoinWallet<F> {
+    /// An empty wallet.
+    pub fn new() -> Self {
+        CoinWallet { shares: VecDeque::new() }
+    }
+
+    /// Number of sealed coins remaining.
+    pub fn len(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// Whether no coins remain.
+    pub fn is_empty(&self) -> bool {
+        self.shares.is_empty()
+    }
+
+    /// Add a freshly sealed coin share (newest coins go to the back).
+    pub fn push(&mut self, share: SealedShare<F>) {
+        self.shares.push_back(share);
+    }
+
+    /// Consume the oldest sealed coin share.
+    ///
+    /// # Errors
+    ///
+    /// [`CoinError::WalletEmpty`] if no coin remains.
+    pub fn pop(&mut self) -> Result<SealedShare<F>, CoinError> {
+        self.shares.pop_front().ok_or(CoinError::WalletEmpty)
+    }
+
+    /// Consume the coin at position `index` (0 = oldest) — the paper's
+    /// "random access to the bits" (§1.4): any sealed coin can be
+    /// revealed out of order, as long as all honest parties pick the same
+    /// index.
+    ///
+    /// # Errors
+    ///
+    /// [`CoinError::WalletEmpty`] if `index` is out of range.
+    pub fn remove_at(&mut self, index: usize) -> Result<SealedShare<F>, CoinError> {
+        self.shares.remove(index).ok_or(CoinError::WalletEmpty)
+    }
+
+    /// Inspect (without consuming) the share at `index`.
+    pub fn peek_at(&self, index: usize) -> Option<&SealedShare<F>> {
+        self.shares.get(index)
+    }
+}
+
+impl<F: Field> Extend<SealedShare<F>> for CoinWallet<F> {
+    fn extend<I: IntoIterator<Item = SealedShare<F>>>(&mut self, iter: I) {
+        self.shares.extend(iter);
+    }
+}
+
+impl<F: Field> FromIterator<SealedShare<F>> for CoinWallet<F> {
+    fn from_iter<I: IntoIterator<Item = SealedShare<F>>>(iter: I) -> Self {
+        CoinWallet { shares: iter.into_iter().collect() }
+    }
+}
+
+/// How expose shares travel — the two models of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExposeVia {
+    /// §3 model: publish the share on the ideal broadcast channel — one
+    /// message per contributor (Lemma 2 counts `n` messages of size `k`).
+    Broadcast,
+    /// §4 model: private channels only — each contributor sends its share
+    /// to every player individually (`n²` messages, Theorem 2's counting).
+    #[default]
+    PointToPoint,
+}
+
+/// Protocol Coin-Expose (Fig. 6): reveal a sealed coin.
+///
+/// Every honest party calls this in the same round with its share of the
+/// same coin. One communication round: contributors send their share to
+/// all players (over `via`); everyone Berlekamp–Welch-decodes the received
+/// shares (tolerating up to `t` corrupted ones) and returns `F(0)`.
+///
+/// The paper's per-player cost (discussion after Lemma 2): `n` additions
+/// and a single interpolation.
+///
+/// # Errors
+///
+/// [`CoinError::NotEnoughShares`] / [`CoinError::DecodeFailed`] when the
+/// adversary exceeds the model (fewer than `t + 1` honest contributors, or
+/// shares beyond the decoding radius).
+pub fn coin_expose<M, F>(
+    ctx: &mut PartyCtx<M>,
+    share: SealedShare<F>,
+    t: usize,
+    via: ExposeVia,
+) -> Result<F, CoinError>
+where
+    M: Clone + Send + WireSize + Embeds<ExposeMsg<F>> + 'static,
+    F: Field,
+{
+    if let Some(sigma) = share.sigma {
+        let msg = <M as Embeds<ExposeMsg<F>>>::wrap(ExposeMsg(sigma));
+        match via {
+            ExposeVia::Broadcast => ctx.broadcast(msg),
+            ExposeVia::PointToPoint => ctx.send_to_all(msg),
+        }
+    }
+    let inbox = ctx.next_round();
+    let mut points: Vec<(F, F)> = Vec::new();
+    for r in inbox.iter() {
+        if let Some(ExposeMsg(y)) = <M as Embeds<ExposeMsg<F>>>::peek(&r.msg) {
+            let x = F::element(r.from as u64);
+            if points.iter().all(|(px, _)| *px != x) {
+                points.push((x, *y));
+            }
+        }
+    }
+    decode_coin(&points, t)
+}
+
+/// Decode a coin value from collected `(party point, share)` pairs.
+///
+/// Shared by [`coin_expose`] and tests; applies the radius policy
+/// `e = min(t, ⌊(m − t − 1)/2⌋)` of the Berlekamp–Welch decoder.
+///
+/// # Errors
+///
+/// See [`coin_expose`].
+pub fn decode_coin<F: Field>(points: &[(F, F)], t: usize) -> Result<F, CoinError> {
+    let poly: Poly<F> = bw_decode(points, t, t).map_err(|e| match e {
+        dprbg_poly::BwError::TooFewPoints { got, need } => {
+            CoinError::NotEnoughShares { got, need }
+        }
+        _ => CoinError::DecodeFailed,
+    })?;
+    Ok(poly.constant_term())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprbg_field::Gf2k;
+    use dprbg_poly::{share_points, share_polynomial};
+    use dprbg_sim::{run_network, Behavior, FaultPlan};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    type F = Gf2k<32>;
+    type M = ExposeMsg<F>;
+
+    /// Deal one coin to n parties; return (true value, per-party shares).
+    fn deal_coin(n: usize, t: usize, seed: u64) -> (F, Vec<SealedShare<F>>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let value = F::random(&mut rng);
+        let poly = share_polynomial(value, t, &mut rng);
+        let shares = share_points(&poly, n)
+            .into_iter()
+            .map(|s| SealedShare::of(s.y))
+            .collect();
+        (value, shares)
+    }
+
+    #[test]
+    fn wallet_random_access() {
+        let mut w: CoinWallet<F> = (0..5).map(|i| SealedShare::of(F::from_u64(i))).collect();
+        // Random access (§1.4): pull coin 3 out of order.
+        assert_eq!(w.remove_at(3).unwrap().sigma, Some(F::from_u64(3)));
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.peek_at(0).unwrap().sigma, Some(F::from_u64(0)));
+        // FIFO continues around the hole.
+        assert_eq!(w.pop().unwrap().sigma, Some(F::from_u64(0)));
+        assert_eq!(w.remove_at(2).unwrap().sigma, Some(F::from_u64(4)));
+        assert_eq!(w.remove_at(9), Err(CoinError::WalletEmpty));
+    }
+
+    #[test]
+    fn wallet_fifo_semantics() {
+        let mut w = CoinWallet::<F>::new();
+        assert!(w.is_empty());
+        assert_eq!(w.pop(), Err(CoinError::WalletEmpty));
+        w.push(SealedShare::of(F::from_u64(1)));
+        w.push(SealedShare::absent());
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.pop().unwrap().sigma, Some(F::from_u64(1)));
+        assert_eq!(w.pop().unwrap().sigma, None);
+        let w2: CoinWallet<F> = (0..3).map(|i| SealedShare::of(F::from_u64(i))).collect();
+        assert_eq!(w2.len(), 3);
+    }
+
+    #[test]
+    fn unanimous_expose_all_honest() {
+        let n = 7;
+        let t = 1;
+        let (value, shares) = deal_coin(n, t, 1);
+        let behaviors: Vec<Behavior<M, Result<F, CoinError>>> = shares
+            .into_iter()
+            .map(|s| {
+                Box::new(move |ctx: &mut dprbg_sim::PartyCtx<M>| coin_expose(ctx, s, t, ExposeVia::PointToPoint))
+                    as Behavior<M, _>
+            })
+            .collect();
+        let res = run_network(n, 2, behaviors);
+        for out in res.unwrap_all() {
+            assert_eq!(out.unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn unanimity_despite_byzantine_shares() {
+        let n = 7;
+        let t = 1;
+        let plan = FaultPlan::first_t(n, t);
+        let (value, shares) = deal_coin(n, t, 3);
+        let behaviors = plan.behaviors::<M, Option<F>>(
+            |id| {
+                let s = shares[id - 1];
+                Box::new(move |ctx| coin_expose(ctx, s, 1, ExposeVia::PointToPoint).ok())
+            },
+            |_| {
+                Box::new(|ctx| {
+                    // Send a corrupted share.
+                    ctx.send_to_all(ExposeMsg(F::from_u64(0xBAD)));
+                    let _ = ctx.next_round();
+                    None
+                })
+            },
+        );
+        let res = run_network(n, 4, behaviors);
+        for id in plan.honest() {
+            assert_eq!(res.outputs[id - 1], Some(Some(value)), "party {id}");
+        }
+    }
+
+    #[test]
+    fn absent_contributors_tolerated() {
+        // n = 7, t = 1: two parties abstain; the rest still reconstruct.
+        let n = 7;
+        let t = 1;
+        let (value, mut shares) = deal_coin(n, t, 5);
+        shares[2] = SealedShare::absent();
+        shares[6] = SealedShare::absent();
+        let behaviors: Vec<Behavior<M, Result<F, CoinError>>> = shares
+            .into_iter()
+            .map(|s| {
+                Box::new(move |ctx: &mut dprbg_sim::PartyCtx<M>| coin_expose(ctx, s, t, ExposeVia::PointToPoint))
+                    as Behavior<M, _>
+            })
+            .collect();
+        let res = run_network(n, 6, behaviors);
+        for out in res.unwrap_all() {
+            assert_eq!(out.unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn too_few_shares_reported() {
+        let n = 4;
+        let t = 1;
+        let (_, shares) = deal_coin(n, t, 7);
+        // Only party 1 contributes: 1 point < t + 1.
+        let behaviors: Vec<Behavior<M, Result<F, CoinError>>> = shares
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let s = if i == 0 { s } else { SealedShare::absent() };
+                Box::new(move |ctx: &mut dprbg_sim::PartyCtx<M>| coin_expose(ctx, s, t, ExposeVia::PointToPoint))
+                    as Behavior<M, _>
+            })
+            .collect();
+        let res = run_network(n, 8, behaviors);
+        for out in res.unwrap_all() {
+            assert_eq!(out, Err(CoinError::NotEnoughShares { got: 1, need: 2 }));
+        }
+    }
+
+    #[test]
+    fn duplicate_sender_shares_ignored() {
+        // A faulty party sending two different shares only gets its first
+        // counted (deterministic inbox order), never a decode crash.
+        let n = 7;
+        let t = 1;
+        let (value, shares) = deal_coin(n, t, 9);
+        let plan = FaultPlan::explicit(n, vec![2]);
+        let behaviors = plan.behaviors::<M, Option<F>>(
+            |id| {
+                let s = shares[id - 1];
+                Box::new(move |ctx| coin_expose(ctx, s, 1, ExposeVia::PointToPoint).ok())
+            },
+            |_| {
+                Box::new(|ctx| {
+                    ctx.send_to_all(ExposeMsg(F::from_u64(111)));
+                    ctx.send_to_all(ExposeMsg(F::from_u64(222)));
+                    let _ = ctx.next_round();
+                    None
+                })
+            },
+        );
+        let res = run_network(n, 10, behaviors);
+        for id in plan.honest() {
+            assert_eq!(res.outputs[id - 1], Some(Some(value)));
+        }
+    }
+
+    #[test]
+    fn decode_coin_radius_policy() {
+        let n = 7;
+        let t = 2;
+        let (value, shares) = deal_coin(n, t, 11);
+        let mut pts: Vec<(F, F)> = shares
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (F::element(i as u64 + 1), s.sigma.unwrap()))
+            .collect();
+        assert_eq!(decode_coin(&pts, t).unwrap(), value);
+        // Corrupt exactly t shares: still decodes.
+        pts[0].1 = F::from_u64(1);
+        pts[1].1 = F::from_u64(2);
+        assert_eq!(decode_coin(&pts, t).unwrap(), value);
+    }
+}

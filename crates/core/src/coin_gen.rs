@@ -1,0 +1,561 @@
+//! Protocol Coin-Gen (Fig. 5): generation of sealed coins, the paper's
+//! main protocol.
+//!
+//! §4 model: `n ≥ 6t + 1`, point-to-point channels only. Every player
+//! runs Bit-Gen as a dealer in parallel (all instances sharing one
+//! challenge coin), then the players agree on *which* dealers' batches to
+//! combine:
+//!
+//! 1–3. Bit-Gen × n with the shared challenge `r`; per dealer `j`, local
+//!      output `(F_j, S_j)`.
+//! 4.   Directed graph `G'`: edge `j → k` iff `F_j ≠ ⊥` and `P_k`'s
+//!      combination in `S_j` satisfies `F_j(k) = β_k`.
+//! 5.   `G`: keep mutual edges.
+//! 6.   Find a clique `C` of size ≥ `n − 2t` (Gavril's approximation —
+//!      one exists because the ≥ `n − t` honest players are mutually
+//!      consistent).
+//! 7.   Grade-Cast `{(j, F_j) : j ∈ C}`.
+//! 8.   Record each player's grade-cast clique and confidence.
+//! 9.   `l ← Coin-Expose(k-ary-coin) mod n` — a random leader.
+//! 10.  Run (deterministic) BA with input 1 iff (i) `conf_l = 2`,
+//!      (ii) `|C_l| ≥ n − 2t`, and (iii) ≥ `3t + 1` players' combinations
+//!      (in this player's own view) satisfy every `F_k`, `k ∈ C_l`.
+//! 11.  If BA outputs 1, adopt `C_l`; otherwise repeat from step 9 with a
+//!      fresh leader coin (expected O(1) iterations — Lemma 8).
+//!
+//! The adopted batch seals `M` coins: coin `h` is
+//! `Σ_{j ∈ C_l} f_{j,h}(0)`, held as the share-sums
+//! `σ_i = Σ_{j ∈ C_l} α_{i,j,h}` (Fig. 6's preparation), with ≥ `2t + 1`
+//! honest parties able to vouch for their sums — enough for Coin-Expose's
+//! Berlekamp–Welch reconstruction (Theorem 1). Since ≥ `|C_l| − t ≥ 3t + 1`
+//! of the summed dealers are honest, the coins are uniform and unknown to
+//! any coalition of ≤ t players until exposed.
+
+use dprbg_field::Field;
+use dprbg_metrics::WireSize;
+use dprbg_poly::Poly;
+use dprbg_protocols::{approx_clique, gradecast_exchange, BaMsg, DiGraph, GcMsg, phase_king_ba};
+use dprbg_sim::{Embeds, PartyCtx, PartyId};
+
+use crate::bit_gen::{bit_gen_all, BitGenMsg, BitGenRun};
+use crate::coin::{coin_expose, CoinWallet, ExposeMsg, ExposeVia, SealedShare};
+use crate::errors::CoinGenError;
+use crate::params::Params;
+
+/// The value grade-cast in step 7: the sender's clique with the check
+/// polynomial of every member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliqueAnnounce<F: Field> {
+    /// Pairs `(j, F_j)` for each dealer `j` in the sender's clique,
+    /// ascending by dealer id.
+    pub pairs: Vec<(PartyId, Poly<F>)>,
+}
+
+impl<F: Field> CliqueAnnounce<F> {
+    /// The dealer ids in the announced clique.
+    pub fn dealers(&self) -> Vec<PartyId> {
+        self.pairs.iter().map(|(j, _)| *j).collect()
+    }
+
+    /// Basic well-formedness: ids valid, strictly ascending (hence
+    /// unique), polynomials of degree ≤ t.
+    pub fn well_formed(&self, n: usize, t: usize) -> bool {
+        self.pairs.windows(2).all(|w| w[0].0 < w[1].0)
+            && self.pairs.iter().all(|(j, f)| {
+                (1..=n).contains(j) && f.degree().is_none_or(|d| d <= t)
+            })
+    }
+}
+
+impl<F: Field> WireSize for CliqueAnnounce<F> {
+    fn wire_bytes(&self) -> usize {
+        self.pairs
+            .iter()
+            .map(|(_, f)| 1 + f.wire_bytes())
+            .sum()
+    }
+}
+
+/// The composite wire type of Coin-Gen: Bit-Gen, expose, grade-cast and
+/// BA traffic multiplexed over one synchronous network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoinGenMsg<F: Field> {
+    /// Bit-Gen dealing/combination traffic.
+    BitGen(BitGenMsg<F>),
+    /// Coin-Expose shares (challenge `r` and the leader coins).
+    Expose(ExposeMsg<F>),
+    /// Grade-cast of clique announcements.
+    Gc(GcMsg<CliqueAnnounce<F>>),
+    /// Byzantine-agreement traffic.
+    Ba(BaMsg),
+}
+
+impl<F: Field> WireSize for CoinGenMsg<F> {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            CoinGenMsg::BitGen(m) => m.wire_bytes(),
+            CoinGenMsg::Expose(m) => m.wire_bytes(),
+            CoinGenMsg::Gc(m) => m.wire_bytes(),
+            CoinGenMsg::Ba(m) => m.wire_bytes(),
+        }
+    }
+}
+
+macro_rules! embed {
+    ($inner:ty, $variant:ident) => {
+        impl<F: Field> Embeds<$inner> for CoinGenMsg<F> {
+            fn wrap(inner: $inner) -> Self {
+                CoinGenMsg::$variant(inner)
+            }
+            fn peek(&self) -> Option<&$inner> {
+                match self {
+                    CoinGenMsg::$variant(m) => Some(m),
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+embed!(BitGenMsg<F>, BitGen);
+embed!(ExposeMsg<F>, Expose);
+embed!(GcMsg<CliqueAnnounce<F>>, Gc);
+embed!(BaMsg, Ba);
+
+/// The wire-type capability Coin-Gen needs: any message enum that can
+/// carry Bit-Gen, Coin-Expose, Grade-Cast and BA traffic.
+///
+/// [`CoinGenMsg`] is the canonical implementation; applications that
+/// multiplex their own traffic over the same network define their own
+/// enum, implement the four [`Embeds`] instances, and get this trait for
+/// free via the blanket impl.
+pub trait CoinGenWire<F: Field>:
+    Clone
+    + Send
+    + WireSize
+    + Embeds<BitGenMsg<F>>
+    + Embeds<ExposeMsg<F>>
+    + Embeds<GcMsg<CliqueAnnounce<F>>>
+    + Embeds<BaMsg>
+    + 'static
+{
+}
+
+impl<F: Field, T> CoinGenWire<F> for T where
+    T: Clone
+        + Send
+        + WireSize
+        + Embeds<BitGenMsg<F>>
+        + Embeds<ExposeMsg<F>>
+        + Embeds<GcMsg<CliqueAnnounce<F>>>
+        + Embeds<BaMsg>
+        + 'static
+{
+}
+
+/// Configuration of one Coin-Gen execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoinGenConfig {
+    /// System parameters (`n ≥ 6t + 1`).
+    pub params: Params,
+    /// `M`: sealed coins produced per run (per dealer batch).
+    pub batch_size: usize,
+}
+
+/// The sealed coins a party walks away with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoinBatch<F: Field> {
+    /// The agreed dealer set `C_l` whose secrets are summed.
+    pub dealers: Vec<PartyId>,
+    /// This party's share of each of the `M` coins (`None` = cannot
+    /// vouch / abstains from the expose).
+    pub shares: Vec<SealedShare<F>>,
+    /// Leader-selection attempts the BA loop took (Lemma 8: expected
+    /// O(1)).
+    pub attempts: usize,
+    /// Seed coins consumed from the wallet (1 challenge + 1 per attempt).
+    pub seeds_consumed: usize,
+}
+
+impl<F: Field> CoinBatch<F> {
+    /// Number of coins sealed.
+    pub fn len(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shares.is_empty()
+    }
+}
+
+/// Leader attempts before giving up (the expected number is constant —
+/// Lemma 8 — so hitting this limit indicates seed exhaustion or a model
+/// violation).
+const MAX_LEADER_ATTEMPTS: usize = 32;
+
+/// Protocol Coin-Gen (Fig. 5). See the module docs for the step list.
+///
+/// Consumes `1 + attempts` sealed coins from `wallet` (the challenge `r`
+/// plus one leader coin per BA iteration). All honest parties must call
+/// this in the same round with wallets in the same state.
+///
+/// # Errors
+///
+/// [`CoinGenError::SeedExhausted`] if the wallet runs dry,
+/// [`CoinGenError::Coin`] if an expose fails,
+/// [`CoinGenError::NoAgreement`] if the BA loop exceeds its budget.
+pub fn coin_gen<M: CoinGenWire<F>, F: Field>(
+    ctx: &mut PartyCtx<M>,
+    cfg: &CoinGenConfig,
+    wallet: &mut CoinWallet<F>,
+) -> Result<CoinBatch<F>, CoinGenError> {
+    let Params { n, t } = cfg.params;
+    assert_eq!(ctx.n(), n, "network size must match the configured n");
+    let m = cfg.batch_size;
+    let me = ctx.id();
+    let mut seeds_consumed = 0;
+
+    // Steps 1–3: n parallel Bit-Gens under one challenge coin.
+    let r_coin = wallet.pop().map_err(|_| CoinGenError::SeedExhausted)?;
+    seeds_consumed += 1;
+    let dealers: Vec<PartyId> = (1..=n).collect();
+    let run: BitGenRun<F> = bit_gen_all(ctx, t, m, r_coin, &dealers)?;
+
+    // Steps 4–11: agree on a dealer clique.
+    let agreement = agree_on_dealers(ctx, cfg, wallet, &run)?;
+    seeds_consumed += agreement.seeds_consumed;
+    let announce = &agreement.announce;
+    let dealers = announce.dealers();
+
+    // Can I vouch for my share sums? Only if my own combination fits
+    // every adopted dealer's polynomial (then, w.h.p., each of my
+    // individual shares is correct — the random-challenge argument).
+    let my_point = F::element(me as u64);
+    let i_fit = announce.pairs.iter().all(|(j, f)| {
+        run.views[j - 1].my_beta == Some(f.eval(my_point))
+            && run.views[j - 1].alphas.len() == m
+    });
+
+    let shares: Vec<SealedShare<F>> = (0..m)
+        .map(|h| {
+            if i_fit {
+                let sigma: F = dealers
+                    .iter()
+                    .map(|&j| run.views[j - 1].alphas[h])
+                    .sum();
+                SealedShare::of(sigma)
+            } else {
+                SealedShare::absent()
+            }
+        })
+        .collect();
+
+    Ok(CoinBatch {
+        dealers,
+        shares,
+        attempts: agreement.attempts,
+        seeds_consumed,
+    })
+}
+
+/// The outcome of Coin-Gen steps 4–11: an agreed dealer clique.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct DealerAgreement<F: Field> {
+    /// The adopted clique announcement (dealers + check polynomials),
+    /// identical at every honest party.
+    pub announce: CliqueAnnounce<F>,
+    /// Leader attempts the BA loop took.
+    pub attempts: usize,
+    /// Seed coins consumed by the leader elections.
+    pub seeds_consumed: usize,
+}
+
+/// Coin-Gen steps 4–11 (shared with the proactive refresh of
+/// [`crate::refresh`]): build the agreement graph over a completed
+/// Bit-Gen run, find a clique, grade-cast it, and repeat
+/// leader-election + BA until a clique is adopted.
+pub(crate) fn agree_on_dealers<M: CoinGenWire<F>, F: Field>(
+    ctx: &mut PartyCtx<M>,
+    cfg: &CoinGenConfig,
+    wallet: &mut CoinWallet<F>,
+    run: &BitGenRun<F>,
+) -> Result<DealerAgreement<F>, CoinGenError> {
+    let Params { n, t } = cfg.params;
+    let mut seeds_consumed = 0;
+
+    // Steps 4–5: the agreement graph.
+    let mut digraph = DiGraph::new(n);
+    for view in &run.views {
+        if let Some(f) = &view.check_poly {
+            for k in 1..=n {
+                if let Some(beta) = view.betas[k - 1] {
+                    if f.eval(F::element(k as u64)) == beta {
+                        digraph.add_edge(view.dealer, k);
+                    }
+                }
+            }
+        }
+    }
+    let graph = digraph.mutual();
+
+    // Step 6: the clique approximation.
+    let clique = approx_clique(&graph);
+
+    // Step 7: grade-cast my clique with its check polynomials.
+    let announce = CliqueAnnounce {
+        pairs: clique
+            .iter()
+            .filter_map(|&j| {
+                run.views[j - 1]
+                    .check_poly
+                    .clone()
+                    .map(|f| (j, f))
+            })
+            .collect(),
+    };
+    // Step 8: everyone's announcements with confidences.
+    let graded = gradecast_exchange::<M, CliqueAnnounce<F>>(ctx, announce);
+
+    // Steps 9–11: the leader/BA loop.
+    for attempt in 1..=MAX_LEADER_ATTEMPTS {
+        let l_coin = wallet.pop().map_err(|_| CoinGenError::SeedExhausted)?;
+        seeds_consumed += 1;
+        let l_value = coin_expose(ctx, l_coin, t, ExposeVia::PointToPoint)?;
+        let mut l = (l_value.to_u64() % n as u64) as usize;
+        if l == 0 {
+            l = n;
+        }
+
+        let grade = &graded[l - 1];
+        let candidate = grade.value.as_ref().filter(|a| a.well_formed(n, t));
+        let my_input = match candidate {
+            Some(a) if grade.confidence == 2 => {
+                let dealers = a.dealers();
+                dealers.len() >= n - 2 * t && count_universal_fitters(a, run, n) > 3 * t
+            }
+            _ => false,
+        };
+
+        let agreed = phase_king_ba::<M>(ctx, my_input, t);
+        if !agreed {
+            continue;
+        }
+
+        // Adopt C_l. Grade-cast guarantees every honest party holds the
+        // same announcement (confidence ≥ 1) once one honest party voted
+        // with confidence 2.
+        let announce = candidate
+            .or(grade.value.as_ref())
+            .ok_or(CoinGenError::NoAgreement { attempts: attempt })?;
+        return Ok(DealerAgreement {
+            announce: announce.clone(),
+            attempts: attempt,
+            seeds_consumed,
+        });
+    }
+    Err(CoinGenError::NoAgreement { attempts: MAX_LEADER_ATTEMPTS })
+}
+
+/// Condition (iii) of step 10: how many players' combinations — in *my*
+/// view of the Bit-Gen exchanges — satisfy every announced dealer's
+/// polynomial.
+fn count_universal_fitters<F: Field>(
+    announce: &CliqueAnnounce<F>,
+    run: &BitGenRun<F>,
+    n: usize,
+) -> usize {
+    (1..=n)
+        .filter(|&j| {
+            let x = F::element(j as u64);
+            announce.pairs.iter().all(|(k, f)| {
+                run.views[k - 1].betas[j - 1] == Some(f.eval(x))
+            })
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coin::decode_coin;
+    use crate::dealer::TrustedDealer;
+    use dprbg_field::Gf2k;
+    use dprbg_sim::{run_network, Behavior, FaultPlan};
+
+    type F = Gf2k<32>;
+    type M = CoinGenMsg<F>;
+
+    fn cfg(n: usize, t: usize, m: usize) -> CoinGenConfig {
+        CoinGenConfig {
+            params: Params::p2p_model(n, t).unwrap(),
+            batch_size: m,
+        }
+    }
+
+    fn honest_behavior(
+        cfg: CoinGenConfig,
+        mut wallet: CoinWallet<F>,
+    ) -> Behavior<M, Result<CoinBatch<F>, CoinGenError>> {
+        Box::new(move |ctx| coin_gen(ctx, &cfg, &mut wallet))
+    }
+
+    #[test]
+    fn all_honest_one_attempt() {
+        let n = 7;
+        let t = 1;
+        let c = cfg(n, t, 4);
+        let mut wallets = TrustedDealer::deal_wallets::<F>(c.params, 4, 1);
+        let behaviors: Vec<_> = (0..n)
+            .map(|_| honest_behavior(c, wallets.remove(0)))
+            .collect();
+        let outs = run_network(n, 2, behaviors).unwrap_all();
+        let first = outs[0].as_ref().unwrap();
+        assert_eq!(first.attempts, 1);
+        assert_eq!(first.len(), 4);
+        assert_eq!(first.dealers.len(), n); // everyone honest → full clique
+        for out in &outs {
+            let b = out.as_ref().unwrap();
+            assert_eq!(b.dealers, first.dealers);
+            assert!(b.shares.iter().all(|s| s.sigma.is_some()));
+        }
+    }
+
+    #[test]
+    fn sealed_coins_are_consistent_and_unanimous() {
+        // Decode each sealed coin from the parties' share sums directly:
+        // every coin must be a degree-≤t polynomial's constant term.
+        let n = 7;
+        let t = 1;
+        let m = 3;
+        let c = cfg(n, t, m);
+        let mut wallets = TrustedDealer::deal_wallets::<F>(c.params, 4, 7);
+        let behaviors: Vec<_> = (0..n)
+            .map(|_| honest_behavior(c, wallets.remove(0)))
+            .collect();
+        let outs = run_network(n, 8, behaviors).unwrap_all();
+        for h in 0..m {
+            let pts: Vec<(F, F)> = outs
+                .iter()
+                .enumerate()
+                .map(|(i, o)| {
+                    (
+                        F::element(i as u64 + 1),
+                        o.as_ref().unwrap().shares[h].sigma.unwrap(),
+                    )
+                })
+                .collect();
+            decode_coin(&pts, t).expect("sealed coin must decode");
+        }
+    }
+
+    #[test]
+    fn tolerates_fully_byzantine_party() {
+        // One party deals garbage, sends corrupt betas, lies in gradecast
+        // and BA. The honest 6 still seal a batch and agree on dealers.
+        let n = 7;
+        let t = 1;
+        let m = 2;
+        let c = cfg(n, t, m);
+        let plan = FaultPlan::explicit(n, vec![2]);
+        let mut wallets = TrustedDealer::deal_wallets::<F>(c.params, 4, 21);
+        let mut honest_wallets: Vec<CoinWallet<F>> = Vec::new();
+        for id in 1..=n {
+            let w = wallets.remove(0);
+            if !plan.is_faulty(id) {
+                honest_wallets.push(w);
+            }
+        }
+        let behaviors = plan.behaviors::<M, Option<CoinBatch<F>>>(
+            |_| {
+                let mut w = honest_wallets.remove(0);
+                Box::new(move |ctx| coin_gen(ctx, &c, &mut w).ok())
+            },
+            |_| {
+                Box::new(move |ctx| {
+                    let n = ctx.n();
+                    // Garbage dealing.
+                    for i in 1..=n {
+                        ctx.send(
+                            i,
+                            CoinGenMsg::BitGen(BitGenMsg::Deal {
+                                alphas: vec![F::from_u64(i as u64); 2],
+                                gamma: F::zero(),
+                            }),
+                        );
+                    }
+                    let _ = ctx.next_round();
+                    // Corrupt expose share.
+                    ctx.send_to_all(CoinGenMsg::Expose(crate::coin::ExposeMsg(
+                        F::from_u64(0xEF11u64),
+                    )));
+                    let _ = ctx.next_round();
+                    // Garbage betas.
+                    let garbage: Vec<(dprbg_sim::PartyId, F)> =
+                        (1..=n).map(|d| (d, F::from_u64(d as u64 * 3))).collect();
+                    ctx.send_to_all(CoinGenMsg::BitGen(BitGenMsg::Betas(garbage)));
+                    let _ = ctx.next_round();
+                    // Stay silent through gradecast (3 rounds).
+                    for _ in 0..3 {
+                        let _ = ctx.next_round();
+                    }
+                    // Then vanish (dynamic barrier carries the rest).
+                    None
+                })
+            },
+        );
+        let res = run_network(n, 22, behaviors);
+        let honest_batches: Vec<&CoinBatch<F>> = plan
+            .honest()
+            .map(|id| res.outputs[id - 1].as_ref().unwrap().as_ref().unwrap())
+            .collect();
+        let dealers = &honest_batches[0].dealers;
+        assert!(dealers.len() >= n - 2 * t);
+        for b in &honest_batches {
+            assert_eq!(&b.dealers, dealers);
+            assert_eq!(b.len(), m);
+        }
+        // The sealed coins decode consistently from honest contributions.
+        for h in 0..m {
+            let pts: Vec<(F, F)> = plan
+                .honest()
+                .filter_map(|id| {
+                    res.outputs[id - 1].as_ref().unwrap().as_ref().unwrap().shares[h]
+                        .sigma
+                        .map(|s| (F::element(id as u64), s))
+                })
+                .collect();
+            assert!(pts.len() > 2 * t);
+            decode_coin(&pts, t).expect("coin must decode from honest shares");
+        }
+    }
+
+    #[test]
+    fn seed_exhaustion_is_reported() {
+        let n = 7;
+        let t = 1;
+        let c = cfg(n, t, 2);
+        // Empty wallets: the very first pop must fail on every party.
+        let behaviors: Vec<_> = (0..n)
+            .map(|_| honest_behavior(c, CoinWallet::new()))
+            .collect();
+        for out in run_network(n, 30, behaviors).unwrap_all() {
+            assert_eq!(out.unwrap_err(), CoinGenError::SeedExhausted);
+        }
+    }
+
+    #[test]
+    fn batch_accounting_fields() {
+        let n = 7;
+        let t = 1;
+        let c = cfg(n, t, 5);
+        let mut wallets = TrustedDealer::deal_wallets::<F>(c.params, 6, 40);
+        let behaviors: Vec<_> = (0..n)
+            .map(|_| honest_behavior(c, wallets.remove(0)))
+            .collect();
+        for out in run_network(n, 41, behaviors).unwrap_all() {
+            let b = out.unwrap();
+            assert_eq!(b.seeds_consumed, 1 + b.attempts);
+            assert!(!b.is_empty());
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! The initial distributed seed (§1.2).
+//!
+//! "The initial set of coins can be obtained from a trusted third party,
+//! as in the case of Rabin \[17\], or through other pre-processing methods
+//! (for example, the interpolation of a number m of polynomials … ). We
+//! remark that in our approach the services of a trusted dealer would be
+//! used only once, and for a small number of coins."
+//!
+//! [`TrustedDealer`] implements the one-shot trusted setup;
+//! [`preprocessing_seed`] implements the dealerless alternative (every
+//! party contributes a random polynomial during a fault-free setup window
+//! and the contributions are summed — the cost "can be amortized over the
+//! entire execution of the system").
+
+use dprbg_field::Field;
+use dprbg_poly::{share_polynomial, Poly};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::coin::{CoinWallet, SealedShare};
+use crate::params::Params;
+
+/// The one-shot trusted dealer of §1.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrustedDealer;
+
+impl TrustedDealer {
+    /// Deal `count` sealed k-ary coins to `n` parties: one wallet per
+    /// party, in party order. Deterministic in `seed` (tests and
+    /// simulations re-derive identical setups).
+    pub fn deal_wallets<F: Field>(params: Params, count: usize, seed: u64) -> Vec<CoinWallet<F>> {
+        Self::deal_wallets_with_values(params, count, seed).0
+    }
+
+    /// Like [`TrustedDealer::deal_wallets`], also returning the coins'
+    /// true values (for assertions in tests and experiments; a real
+    /// dealer would discard them).
+    pub fn deal_wallets_with_values<F: Field>(
+        params: Params,
+        count: usize,
+        seed: u64,
+    ) -> (Vec<CoinWallet<F>>, Vec<F>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut wallets: Vec<CoinWallet<F>> = (0..params.n).map(|_| CoinWallet::new()).collect();
+        let mut values = Vec::with_capacity(count);
+        for _ in 0..count {
+            let value = F::random(&mut rng);
+            let poly = share_polynomial(value, params.t, &mut rng);
+            for (i, wallet) in wallets.iter_mut().enumerate() {
+                wallet.push(SealedShare::of(poly.eval(F::element(i as u64 + 1))));
+            }
+            values.push(value);
+        }
+        (wallets, values)
+    }
+}
+
+/// The dealerless pre-processing alternative: each party contributes a
+/// random degree-≤t polynomial per coin during a trusted setup window,
+/// and coin polynomials are the sums of all contributions (so any single
+/// honest contributor makes the coin uniform).
+///
+/// This simulates the "interpolation of a number m of polynomials"
+/// pre-processing of §1.2. `contribution_seeds[i]` is party `P_{i+1}`'s
+/// local randomness.
+///
+/// # Panics
+///
+/// Panics unless exactly `n` contribution seeds are supplied.
+pub fn preprocessing_seed<F: Field>(
+    params: Params,
+    count: usize,
+    contribution_seeds: &[u64],
+) -> Vec<CoinWallet<F>> {
+    assert_eq!(
+        contribution_seeds.len(),
+        params.n,
+        "one contribution seed per party"
+    );
+    let mut rngs: Vec<StdRng> = contribution_seeds
+        .iter()
+        .map(|&s| StdRng::seed_from_u64(s))
+        .collect();
+    let mut wallets: Vec<CoinWallet<F>> = (0..params.n).map(|_| CoinWallet::new()).collect();
+    for _ in 0..count {
+        let total: Poly<F> = rngs
+            .iter_mut()
+            .map(|rng| Poly::random(params.t, rng))
+            .fold(Poly::zero(), |acc, p| acc.add(&p));
+        for (i, wallet) in wallets.iter_mut().enumerate() {
+            wallet.push(SealedShare::of(total.eval(F::element(i as u64 + 1))));
+        }
+    }
+    wallets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coin::decode_coin;
+    use dprbg_field::Gf2k;
+
+    type F = Gf2k<32>;
+
+    #[test]
+    fn dealt_coins_decode_to_true_values() {
+        let params = Params::p2p_model(7, 1).unwrap();
+        let (mut wallets, values) =
+            TrustedDealer::deal_wallets_with_values::<F>(params, 3, 42);
+        for value in values {
+            let pts: Vec<(F, F)> = wallets
+                .iter_mut()
+                .enumerate()
+                .map(|(i, w)| (F::element(i as u64 + 1), w.pop().unwrap().sigma.unwrap()))
+                .collect();
+            assert_eq!(decode_coin(&pts, params.t).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn dealing_is_deterministic_in_seed() {
+        let params = Params::p2p_model(7, 1).unwrap();
+        let a = TrustedDealer::deal_wallets::<F>(params, 2, 5);
+        let b = TrustedDealer::deal_wallets::<F>(params, 2, 5);
+        let c = TrustedDealer::deal_wallets::<F>(params, 2, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn coins_tolerate_t_corrupted_shares() {
+        let params = Params::p2p_model(13, 2).unwrap();
+        let (mut wallets, values) =
+            TrustedDealer::deal_wallets_with_values::<F>(params, 1, 9);
+        let mut pts: Vec<(F, F)> = wallets
+            .iter_mut()
+            .enumerate()
+            .map(|(i, w)| (F::element(i as u64 + 1), w.pop().unwrap().sigma.unwrap()))
+            .collect();
+        pts[0].1 = F::from_u64(1);
+        pts[1].1 = F::from_u64(2);
+        assert_eq!(decode_coin(&pts, params.t).unwrap(), values[0]);
+    }
+
+    #[test]
+    fn preprocessing_matches_dealer_shape() {
+        let params = Params::p2p_model(7, 1).unwrap();
+        let seeds: Vec<u64> = (0..7).collect();
+        let mut wallets = preprocessing_seed::<F>(params, 2, &seeds);
+        assert_eq!(wallets.len(), 7);
+        for _ in 0..2 {
+            let pts: Vec<(F, F)> = wallets
+                .iter_mut()
+                .enumerate()
+                .map(|(i, w)| (F::element(i as u64 + 1), w.pop().unwrap().sigma.unwrap()))
+                .collect();
+            decode_coin(&pts, params.t).expect("preprocessed coin decodes");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one contribution seed per party")]
+    fn preprocessing_validates_seed_count() {
+        let params = Params::p2p_model(7, 1).unwrap();
+        let _ = preprocessing_seed::<F>(params, 1, &[1, 2, 3]);
+    }
+}

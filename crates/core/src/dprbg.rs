@@ -1,0 +1,135 @@
+//! The D-PRBG abstraction (§1.1).
+//!
+//! "A D-PRBG is a protocol which 'expands' a 'distributed seed,'
+//! consisting of shared coins, into a longer 'sequence' of shared coins,
+//! at low amortized cost per coin produced."
+//!
+//! [`dprbg_expand`] is that protocol: it consumes a handful of sealed
+//! seed coins from the party's wallet (the challenge coin plus an
+//! expected-O(1) number of leader coins) and deposits `M` fresh sealed
+//! coins back into it. With `M ≫ seeds consumed`, each run *grows* the
+//! reservoir — the property bootstrapping (Fig. 1) relies on.
+
+use dprbg_field::Field;
+use dprbg_sim::{PartyCtx, PartyId};
+
+use crate::coin::CoinWallet;
+use crate::coin_gen::{coin_gen, CoinGenConfig, CoinGenWire};
+use crate::errors::CoinGenError;
+
+/// Statistics of one D-PRBG expansion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DprbgRun {
+    /// Coins produced (the configured batch size `M`).
+    pub coins_produced: usize,
+    /// Seed coins consumed (1 challenge + 1 per leader attempt).
+    pub seeds_consumed: usize,
+    /// Leader attempts the BA loop took.
+    pub attempts: usize,
+    /// The agreed dealer set backing the new coins.
+    pub dealers: Vec<PartyId>,
+}
+
+impl DprbgRun {
+    /// The net growth of the reservoir: produced − consumed.
+    pub fn net_gain(&self) -> isize {
+        self.coins_produced as isize - self.seeds_consumed as isize
+    }
+}
+
+/// Run the D-PRBG once: expand the distributed seed in `wallet` by `M`
+/// fresh sealed coins (appended to the wallet's back).
+///
+/// All honest parties call this in the same round with consistent
+/// wallets.
+///
+/// # Errors
+///
+/// See [`crate::coin_gen::coin_gen`].
+pub fn dprbg_expand<M: CoinGenWire<F>, F: Field>(
+    ctx: &mut PartyCtx<M>,
+    cfg: &CoinGenConfig,
+    wallet: &mut CoinWallet<F>,
+) -> Result<DprbgRun, CoinGenError> {
+    let batch = coin_gen(ctx, cfg, wallet)?;
+    let run = DprbgRun {
+        coins_produced: batch.len(),
+        seeds_consumed: batch.seeds_consumed,
+        attempts: batch.attempts,
+        dealers: batch.dealers.clone(),
+    };
+    wallet.extend(batch.shares);
+    Ok(run)
+}
+
+#[cfg(test)]
+#[allow(clippy::type_complexity)]
+mod tests {
+    use super::*;
+    use crate::coin_gen::CoinGenMsg;
+    use crate::dealer::TrustedDealer;
+    use crate::params::Params;
+    use dprbg_field::Gf2k;
+    use dprbg_sim::{run_network, Behavior};
+
+    type F = Gf2k<32>;
+    type M = CoinGenMsg<F>;
+
+    #[test]
+    fn expansion_grows_the_wallet() {
+        let n = 7;
+        let t = 1;
+        let params = Params::p2p_model(n, t).unwrap();
+        let cfg = CoinGenConfig { params, batch_size: 16 };
+        let mut wallets = TrustedDealer::deal_wallets::<F>(params, 4, 3);
+        let behaviors: Vec<Behavior<M, Result<(usize, usize, DprbgRun), CoinGenError>>> = (0..n)
+            .map(|_| {
+                let mut w = wallets.remove(0);
+                Box::new(move |ctx: &mut PartyCtx<M>| {
+                    let before = w.len();
+                    let run = dprbg_expand(ctx, &cfg, &mut w)?;
+                    Ok::<_, CoinGenError>((before, w.len(), run))
+                }) as Behavior<M, _>
+            })
+            .collect();
+        for out in run_network(n, 4, behaviors).unwrap_all() {
+            let (before, after, run) = out.unwrap();
+            assert_eq!(before, 4);
+            assert_eq!(run.coins_produced, 16);
+            assert_eq!(after, before - run.seeds_consumed + 16);
+            assert!(run.net_gain() > 0, "the generator must stretch the seed");
+        }
+    }
+
+    #[test]
+    fn expanded_coins_are_spendable_as_next_seed() {
+        // Two back-to-back expansions: the second runs entirely on coins
+        // produced by the first (the seed of run 2 was generated, not
+        // dealt) — the essence of the D-PRBG.
+        let n = 7;
+        let t = 1;
+        let params = Params::p2p_model(n, t).unwrap();
+        let cfg = CoinGenConfig { params, batch_size: 8 };
+        let mut wallets = TrustedDealer::deal_wallets::<F>(params, 2, 5);
+        let behaviors: Vec<Behavior<M, Result<(DprbgRun, DprbgRun), CoinGenError>>> = (0..n)
+            .map(|_| {
+                let mut w = wallets.remove(0);
+                Box::new(move |ctx: &mut PartyCtx<M>| {
+                    let run1 = dprbg_expand(ctx, &cfg, &mut w)?;
+                    // Drop any leftover dealer-seeded coins so run 2 can
+                    // only draw generated ones.
+                    for _ in 0..(2usize.saturating_sub(run1.seeds_consumed)) {
+                        let _ = w.pop();
+                    }
+                    let run2 = dprbg_expand(ctx, &cfg, &mut w)?;
+                    Ok::<_, CoinGenError>((run1, run2))
+                }) as Behavior<M, _>
+            })
+            .collect();
+        for out in run_network(n, 6, behaviors).unwrap_all() {
+            let (run1, run2) = out.unwrap();
+            assert_eq!(run1.coins_produced, 8);
+            assert_eq!(run2.coins_produced, 8);
+        }
+    }
+}

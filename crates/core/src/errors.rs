@@ -1,0 +1,108 @@
+//! Error types of the core protocols.
+
+use std::fmt;
+
+/// Errors exposing a sealed coin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoinError {
+    /// Too few shares arrived to determine the coin (more crashes than the
+    /// model allows).
+    NotEnoughShares {
+        /// Shares received.
+        got: usize,
+        /// Shares needed (`t + 1` after error correction headroom).
+        need: usize,
+    },
+    /// The received shares do not fit any degree-≤t polynomial within the
+    /// error radius (more corruption than the model allows).
+    DecodeFailed,
+    /// The party's wallet has no sealed coin left to consume.
+    WalletEmpty,
+}
+
+impl fmt::Display for CoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoinError::NotEnoughShares { got, need } => {
+                write!(f, "coin expose received {got} shares, needs {need}")
+            }
+            CoinError::DecodeFailed => write!(f, "coin shares decode to no valid polynomial"),
+            CoinError::WalletEmpty => write!(f, "no sealed coins left in the wallet"),
+        }
+    }
+}
+
+impl std::error::Error for CoinError {}
+
+/// Errors running the generation protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoinGenError {
+    /// The `(n, t)` pair violates the model's resilience requirement.
+    BadParams {
+        /// Offered player count.
+        n: usize,
+        /// Offered fault bound.
+        t: usize,
+        /// The violated requirement.
+        need: &'static str,
+    },
+    /// A seed coin was needed but the wallet ran dry mid-protocol.
+    SeedExhausted,
+    /// A coin-expose step failed (propagated [`CoinError`]).
+    Coin(CoinError),
+    /// The Byzantine-agreement loop exceeded its iteration budget (the
+    /// expected number of iterations is constant — Lemma 8 — so this
+    /// signals either seed exhaustion or a model violation).
+    NoAgreement {
+        /// Leader-selection attempts made.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for CoinGenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoinGenError::BadParams { n, t, need } => {
+                write!(f, "invalid parameters n = {n}, t = {t}: {need}")
+            }
+            CoinGenError::SeedExhausted => write!(f, "distributed seed exhausted"),
+            CoinGenError::Coin(e) => write!(f, "coin expose failed: {e}"),
+            CoinGenError::NoAgreement { attempts } => {
+                write!(f, "no agreement after {attempts} leader attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoinGenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoinGenError::Coin(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoinError> for CoinGenError {
+    fn from(e: CoinError) -> Self {
+        CoinGenError::Coin(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CoinError::NotEnoughShares { got: 2, need: 4 };
+        assert!(e.to_string().contains('2') && e.to_string().contains('4'));
+        assert!(!CoinError::DecodeFailed.to_string().is_empty());
+        assert!(!CoinError::WalletEmpty.to_string().is_empty());
+        let g: CoinGenError = CoinError::WalletEmpty.into();
+        assert!(g.to_string().contains("wallet"));
+        assert!(std::error::Error::source(&g).is_some());
+        let b = CoinGenError::BadParams { n: 6, t: 1, need: "n >= 6t+1" };
+        assert!(b.to_string().contains("6t+1"));
+    }
+}

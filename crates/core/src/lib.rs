@@ -1,0 +1,87 @@
+#![warn(missing_docs)]
+
+//! # `dprbg-core` — Distributed Pseudo-Random Bit Generators
+//!
+//! The primary contribution of Bellare, Garay and Rabin, *"Distributed
+//! Pseudo-Random Bit Generators — A New Way to Speed-Up Shared Coin
+//! Tossing"* (PODC 1996), implemented in full:
+//!
+//! | Paper artifact | Module |
+//! |---|---|
+//! | Protocol VSS (Fig. 2) | [`mod@vss`] |
+//! | VSS dispute resolution (§3.1's "two rounds of broadcast") | [`vss_dispute`] |
+//! | Protocol Batch-VSS (Fig. 3), incl. `Batch-VSS(l)` | [`mod@batch_vss`] |
+//! | Protocol Bit-Gen (Fig. 4) | [`bit_gen`] |
+//! | Protocol Coin-Gen (Fig. 5) | [`mod@coin_gen`] |
+//! | Protocol Coin-Expose (Fig. 6) | [`coin`] |
+//! | The D-PRBG abstraction (§1.1) | [`dprbg`] |
+//! | Bootstrapping (Fig. 1, §1.2) | [`bootstrap`] |
+//! | Proactive share refresh (§1.2's mobile-adversary setting) | [`refresh`] |
+//! | Common-coin randomized BA (the §1.1 application) | [`app_ba`] |
+//! | Initial seed via trusted dealer / preprocessing (§1.2) | [`dealer`] |
+//!
+//! A **shared (sealed) coin** is a random field element `F(0)` of a
+//! degree-≤t polynomial jointly held as Shamir shares: no coalition of ≤ t
+//! parties can predict or bias it, and one round of share exchange plus a
+//! Berlekamp–Welch decode reveals it unanimously. A **D-PRBG** stretches a
+//! small *distributed seed* of such coins into `M` fresh ones at an
+//! amortized cost far below generating each from scratch; **bootstrapping**
+//! reserves a few output coins as the next run's seed so the source never
+//! runs dry.
+//!
+//! # Quick start
+//!
+//! ```
+//! use dprbg_core::{coin_gen, dealer::TrustedDealer, CoinGenConfig, CoinGenMsg, Params};
+//! use dprbg_field::Gf2k;
+//! use dprbg_sim::{run_network, Behavior};
+//!
+//! type F = Gf2k<32>;
+//! let params = Params::p2p_model(7, 1).unwrap();
+//! // One-time setup: a trusted dealer seeds each party's wallet (§1.2).
+//! let mut wallets = TrustedDealer::deal_wallets::<F>(params, 4, 99);
+//! type Out = Result<usize, dprbg_core::CoinGenError>;
+//! let behaviors: Vec<Behavior<CoinGenMsg<F>, Out>> = (0..7)
+//!     .map(|_| {
+//!         let mut wallet = wallets.remove(0);
+//!         let cfg = CoinGenConfig { params, batch_size: 8 };
+//!         Box::new(move |ctx: &mut dprbg_sim::PartyCtx<CoinGenMsg<F>>| {
+//!             coin_gen(ctx, &cfg, &mut wallet).map(|batch| batch.len())
+//!         }) as Behavior<CoinGenMsg<F>, Out>
+//!     })
+//!     .collect();
+//! let result = run_network(7, 7, behaviors);
+//! for out in result.unwrap_all() {
+//!     assert_eq!(out.unwrap(), 8); // everyone sealed 8 fresh coins
+//! }
+//! ```
+
+pub mod app_ba;
+pub mod batch_vss;
+pub mod bit_gen;
+pub mod bootstrap;
+pub mod coin;
+pub mod coin_gen;
+pub mod dealer;
+pub mod dprbg;
+mod errors;
+mod params;
+pub mod refresh;
+pub mod vss;
+pub mod vss_dispute;
+
+pub use app_ba::{common_coin_ba, CcbaOutcome, CcbaVote};
+pub use batch_vss::{
+    batch_vss_deal, batch_vss_verify, horner_combine, BatchOpts, BatchShares, BatchVssMsg,
+};
+pub use bit_gen::{bit_gen_all, bit_gen_all_with, BitGenMode, BitGenMsg, BitGenRun, DealerView};
+pub use bootstrap::{Bootstrap, BootstrapConfig, BootstrapStats};
+pub use coin::{coin_expose, decode_coin, CoinWallet, ExposeMsg, ExposeVia, SealedShare};
+pub use coin_gen::{coin_gen, CliqueAnnounce, CoinBatch, CoinGenConfig, CoinGenMsg, CoinGenWire};
+pub use dealer::{preprocessing_seed, TrustedDealer};
+pub use dprbg::{dprbg_expand, DprbgRun};
+pub use errors::{CoinError, CoinGenError};
+pub use params::Params;
+pub use refresh::{refresh_wallet, RefreshReport};
+pub use vss::{vss, vss_deal, vss_verify, DealtShares, VssMode, VssMsg, VssVerdict};
+pub use vss_dispute::{vss_verify_with_disputes, DisputeOutcome, DisputeVssMsg};

@@ -1,0 +1,102 @@
+//! Protocol parameters: player count, fault threshold, model.
+
+use crate::errors::CoinGenError;
+
+/// System parameters `(n, t)` with the paper's resilience requirements.
+///
+/// §3's protocols (VSS, Batch-VSS) assume a broadcast channel and
+/// `n ≥ 3t + 1`; §4's protocols (Bit-Gen, Coin-Gen, Coin-Expose) remove
+/// the broadcast channel and assume `n ≥ 6t + 1`.
+///
+/// # Examples
+///
+/// ```
+/// use dprbg_core::Params;
+/// let p = Params::p2p_model(7, 1).unwrap();
+/// assert_eq!((p.n, p.t), (7, 1));
+/// assert!(Params::p2p_model(6, 1).is_err());
+/// assert_eq!(Params::max_t_p2p(13), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Params {
+    /// Total number of players (the paper's `n ≥ 4`).
+    pub n: usize,
+    /// Maximum number of faulty players tolerated.
+    pub t: usize,
+}
+
+impl Params {
+    /// Parameters for the §3 (broadcast-channel) model: `n ≥ 3t + 1`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoinGenError::BadParams`] if the resilience bound or the paper's
+    /// `n ≥ 4` baseline fails.
+    pub fn broadcast_model(n: usize, t: usize) -> Result<Self, CoinGenError> {
+        if n >= 4 && n > 3 * t {
+            Ok(Params { n, t })
+        } else {
+            Err(CoinGenError::BadParams {
+                n,
+                t,
+                need: "n >= max(4, 3t + 1) for the broadcast model",
+            })
+        }
+    }
+
+    /// Parameters for the §4 (point-to-point) model: `n ≥ 6t + 1`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoinGenError::BadParams`] if the resilience bound fails.
+    pub fn p2p_model(n: usize, t: usize) -> Result<Self, CoinGenError> {
+        if n >= 4 && n > 6 * t {
+            Ok(Params { n, t })
+        } else {
+            Err(CoinGenError::BadParams {
+                n,
+                t,
+                need: "n >= max(4, 6t + 1) for the point-to-point model",
+            })
+        }
+    }
+
+    /// Largest `t` the broadcast model tolerates for a given `n`.
+    pub fn max_t_broadcast(n: usize) -> usize {
+        n.saturating_sub(1) / 3
+    }
+
+    /// Largest `t` the point-to-point model tolerates for a given `n`.
+    pub fn max_t_p2p(n: usize) -> usize {
+        n.saturating_sub(1) / 6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_bounds() {
+        assert!(Params::broadcast_model(4, 1).is_ok());
+        assert!(Params::broadcast_model(3, 0).is_err()); // n >= 4 baseline
+        assert!(Params::broadcast_model(6, 2).is_err());
+        assert!(Params::broadcast_model(7, 2).is_ok());
+    }
+
+    #[test]
+    fn p2p_bounds() {
+        assert!(Params::p2p_model(7, 1).is_ok());
+        assert!(Params::p2p_model(6, 1).is_err());
+        assert!(Params::p2p_model(13, 2).is_ok());
+        assert!(Params::p2p_model(12, 2).is_err());
+        assert!(Params::p2p_model(4, 0).is_ok());
+    }
+
+    #[test]
+    fn max_t_helpers() {
+        assert_eq!(Params::max_t_broadcast(10), 3);
+        assert_eq!(Params::max_t_p2p(19), 3);
+        assert_eq!(Params::max_t_p2p(0), 0);
+    }
+}

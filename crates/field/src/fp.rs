@@ -1,0 +1,313 @@
+//! Prime fields `F_p` with a compile-time modulus.
+//!
+//! Used by the Feldman-VSS baseline (discrete-log commitments modulo a safe
+//! prime, §3.1's comparison) and available as an alternative protocol field.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use dprbg_metrics::{ops, WireSize};
+use rand::{Rng, RngExt};
+
+use crate::traits::Field;
+
+/// A 62-bit safe prime: `p = 2q + 1` with `q` prime.
+///
+/// The Feldman baseline commits in the order-`q` subgroup of `F_p^*`.
+pub const SAFE_PRIME_P: u64 = 4_611_686_018_427_377_339;
+
+/// The Sophie Germain prime `q = (p − 1) / 2` for [`SAFE_PRIME_P`].
+pub const SAFE_PRIME_Q: u64 = (SAFE_PRIME_P - 1) / 2;
+
+/// A generator of the order-`q` subgroup of `F_p^*` (a quadratic residue).
+pub const SAFE_PRIME_GEN: u64 = 4;
+
+/// An element of the prime field `F_P`.
+///
+/// `P` must be prime (inversion uses Fermat's little theorem; the library
+/// asserts primality once per monomorphization in debug builds) and must be
+/// below 2^63 so products fit comfortably in `u128`.
+///
+/// # Examples
+///
+/// ```
+/// use dprbg_field::{Field, Fp};
+/// type F = Fp<65537>;
+/// let a = F::from_u64(65536);
+/// assert_eq!(a + F::one(), F::zero());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Fp<const P: u64>(u64);
+
+impl<const P: u64> Fp<P> {
+    #[inline]
+    fn debug_check_modulus() {
+        debug_assert!(P >= 2 && P < (1 << 63), "modulus out of range");
+        debug_assert!(crate::zq::is_prime(P), "Fp modulus must be prime");
+    }
+
+    /// Raw modular multiplication without cost counting.
+    #[inline]
+    fn mul_raw(self, rhs: Self) -> Self {
+        Fp(((self.0 as u128 * rhs.0 as u128) % P as u128) as u64)
+    }
+}
+
+impl<const P: u64> Add for Fp<P> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        ops::count_add(1);
+        let s = self.0 + rhs.0;
+        Fp(if s >= P { s - P } else { s })
+    }
+}
+
+impl<const P: u64> Sub for Fp<P> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        ops::count_add(1);
+        Fp(if self.0 >= rhs.0 {
+            self.0 - rhs.0
+        } else {
+            self.0 + P - rhs.0
+        })
+    }
+}
+
+impl<const P: u64> Mul for Fp<P> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        ops::count_mul(1);
+        self.mul_raw(rhs)
+    }
+}
+
+impl<const P: u64> Div for Fp<P> {
+    type Output = Self;
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    // Division in a field is multiplication by the inverse.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv().expect("division by zero in Fp")
+    }
+}
+
+impl<const P: u64> Neg for Fp<P> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        if self.0 == 0 {
+            self
+        } else {
+            Fp(P - self.0)
+        }
+    }
+}
+
+impl<const P: u64> AddAssign for Fp<P> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<const P: u64> SubAssign for Fp<P> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<const P: u64> MulAssign for Fp<P> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<const P: u64> Sum for Fp<P> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(<Self as Field>::zero(), |a, b| a + b)
+    }
+}
+
+impl<const P: u64> Product for Fp<P> {
+    fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(<Self as Field>::one(), |a, b| a * b)
+    }
+}
+
+impl<const P: u64> fmt::Debug for Fp<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp<{P}>({})", self.0)
+    }
+}
+
+impl<const P: u64> fmt::Display for Fp<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl<const P: u64> WireSize for Fp<P> {
+    fn wire_bytes(&self) -> usize {
+        <Self as Field>::wire_bytes_static()
+    }
+}
+
+impl<const P: u64> From<u64> for Fp<P> {
+    fn from(x: u64) -> Self {
+        <Self as Field>::from_u64(x)
+    }
+}
+
+impl<const P: u64> Field for Fp<P> {
+    const NAME: &'static str = "F_p";
+
+    #[inline]
+    fn zero() -> Self {
+        Fp(0)
+    }
+
+    #[inline]
+    fn one() -> Self {
+        Self::debug_check_modulus();
+        Fp(1 % P)
+    }
+
+    #[inline]
+    fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+
+    fn inv(&self) -> Option<Self> {
+        if self.0 == 0 {
+            return None;
+        }
+        ops::count_inv(1);
+        // Fermat: a^(p-2); raw multiplications so the inversion is charged
+        // as a single `inv` tick.
+        let mut e = P - 2;
+        let mut base = *self;
+        let mut acc = Fp(1 % P);
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mul_raw(base);
+            }
+            e >>= 1;
+            if e > 0 {
+                base = base.mul_raw(base);
+            }
+        }
+        Some(acc)
+    }
+
+    fn from_u64(x: u64) -> Self {
+        Self::debug_check_modulus();
+        Fp(x % P)
+    }
+
+    #[inline]
+    fn to_u64(&self) -> u64 {
+        self.0
+    }
+
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Fp(rng.random_range(0..P))
+    }
+
+    #[inline]
+    fn bits() -> u32 {
+        64 - P.leading_zeros()
+    }
+
+    #[inline]
+    fn order() -> u128 {
+        P as u128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    type F = Fp<SAFE_PRIME_P>;
+    type Small = Fp<101>;
+
+    #[test]
+    fn safe_prime_structure() {
+        assert!(crate::zq::is_prime(SAFE_PRIME_P));
+        assert!(crate::zq::is_prime(SAFE_PRIME_Q));
+        assert_eq!(SAFE_PRIME_P, 2 * SAFE_PRIME_Q + 1);
+        // The generator has order q.
+        let g = F::from_u64(SAFE_PRIME_GEN);
+        assert_eq!(g.pow(SAFE_PRIME_Q as u128), F::one());
+        assert_ne!(g, F::one());
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Small::from_u64(55);
+        let b = Small::from_u64(77);
+        assert_eq!((a + b).to_u64(), (55 + 77) % 101);
+        assert_eq!((a - b).to_u64(), (55 + 101 - 77));
+        assert_eq!((a * b).to_u64(), 55 * 77 % 101);
+        assert_eq!((-a + a), Small::zero());
+        assert_eq!(-Small::zero(), Small::zero());
+    }
+
+    #[test]
+    fn inversion_and_division() {
+        let a = Small::from_u64(13);
+        assert_eq!(a * a.inv().unwrap(), Small::one());
+        assert_eq!(Small::zero().inv(), None);
+        let b = Small::from_u64(7);
+        assert_eq!((a / b) * b, a);
+    }
+
+    #[test]
+    fn fermat_exponent() {
+        let a = F::from_u64(123_456_789);
+        assert_eq!(a.pow((SAFE_PRIME_P - 1) as u128), F::one());
+    }
+
+    #[test]
+    fn bits_and_order() {
+        assert_eq!(Small::bits(), 7);
+        assert_eq!(Small::order(), 101);
+        assert_eq!(Small::wire_bytes_static(), 1);
+        assert_eq!(F::bits(), 62);
+    }
+
+    #[test]
+    fn random_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            assert!(Small::random(&mut rng).to_u64() < 101);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn field_axioms(a: u64, b: u64, c: u64) {
+            let (a, b, c) = (F::from_u64(a), F::from_u64(b), F::from_u64(c));
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_eq!((a + b) + c, a + (b + c));
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+            prop_assert_eq!(a - a, F::zero());
+            if !a.is_zero() {
+                prop_assert_eq!(a * a.inv().unwrap(), F::one());
+            }
+        }
+    }
+}

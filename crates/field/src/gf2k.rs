@@ -1,0 +1,561 @@
+//! GF(2^k): binary extension fields with carry-less arithmetic.
+//!
+//! This is the field the paper's protocols are stated over ("for simplicity
+//! however the algorithms we provide below assume we work over GF(2^k)",
+//! §2). Elements are polynomials over GF(2) of degree < k packed into a
+//! `u64`; addition is XOR; multiplication is a carry-less (shift/XOR)
+//! product followed by reduction modulo a fixed irreducible polynomial
+//! `x^k + R(x)`.
+//!
+//! The moduli in [`reduction_poly`] are the lexicographically smallest
+//! irreducible polynomials of each supported degree; the test suite
+//! re-verifies irreducibility with Rabin's test.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use dprbg_metrics::{ops, WireSize};
+use rand::{Rng, RngExt};
+
+use crate::traits::Field;
+
+/// The degrees `k` for which a verified irreducible modulus is built in.
+pub const SUPPORTED_GF2K_DEGREES: &[usize] = &[4, 8, 16, 24, 32, 40, 48, 56, 64];
+
+/// The low part `R` of the irreducible modulus `x^k + R(x)` for GF(2^k).
+///
+/// Returns the coefficients of `R` packed into a `u64` (bit `i` is the
+/// coefficient of `x^i`).
+///
+/// # Panics
+///
+/// Panics if `k` is not one of [`SUPPORTED_GF2K_DEGREES`].
+pub const fn reduction_poly(k: usize) -> u64 {
+    match k {
+        4 => 0x3,   // x^4 + x + 1
+        8 => 0x1B,  // x^8 + x^4 + x^3 + x + 1
+        16 => 0x2B, // x^16 + x^5 + x^3 + x + 1
+        24 => 0x1B, // x^24 + x^4 + x^3 + x + 1
+        32 => 0x8D, // x^32 + x^7 + x^3 + x^2 + 1
+        40 => 0x39, // x^40 + x^5 + x^4 + x^3 + 1
+        48 => 0x2D, // x^48 + x^5 + x^3 + x^2 + 1
+        56 => 0x95, // x^56 + x^7 + x^4 + x^2 + 1
+        64 => 0x1B, // x^64 + x^4 + x^3 + x + 1
+        _ => panic!("unsupported GF(2^k) degree"),
+    }
+}
+
+const fn mask(k: usize) -> u64 {
+    if k == 64 {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+/// An element of GF(2^k).
+///
+/// The value is the canonical representative: a polynomial of degree < `K`
+/// over GF(2), packed bit `i` = coefficient of `x^i`.
+///
+/// # Examples
+///
+/// ```
+/// use dprbg_field::{Field, Gf2k};
+/// // In GF(2^8), x * x^7 = x^8 = R(x) = x^4 + x^3 + x + 1 = 0x1B.
+/// let x = Gf2k::<8>::from_u64(0b10);
+/// let x7 = Gf2k::<8>::from_u64(0x80);
+/// assert_eq!((x * x7).to_u64(), 0x1B);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Gf2k<const K: usize>(u64);
+
+impl<const K: usize> Gf2k<K> {
+    /// Carry-less 64×64 → 128 multiplication (no reduction, no counting).
+    #[inline]
+    fn clmul(a: u64, b: u64) -> u128 {
+        let mut r: u128 = 0;
+        let a = a as u128;
+        let mut b = b;
+        while b != 0 {
+            let i = b.trailing_zeros();
+            r ^= a << i;
+            b &= b - 1;
+        }
+        r
+    }
+
+    /// Reduce a carry-less product (< 2^(2K-1)) modulo `x^K + R`.
+    #[inline]
+    fn reduce(mut v: u128) -> u64 {
+        let r = reduction_poly(K);
+        loop {
+            let hi = v >> K;
+            if hi == 0 {
+                break;
+            }
+            // x^K ≡ R, so hi·x^K + lo ≡ clmul(hi, R) + lo.
+            v = (v & mask(K) as u128) ^ Self::clmul(hi as u64, r);
+        }
+        v as u64
+    }
+
+    /// Construct from a canonical (< 2^K) raw value without reduction.
+    #[inline]
+    fn from_canonical(v: u64) -> Self {
+        debug_assert!(K == 64 || v < (1u64 << K));
+        Gf2k(v)
+    }
+
+    /// Raw carry-less field multiplication without cost counting.
+    ///
+    /// Used internally by [`Field::inv`] so that an inversion is charged as
+    /// one `inv` tick rather than as its constituent multiplications.
+    #[inline]
+    fn mul_raw(self, rhs: Self) -> Self {
+        Gf2k(Self::reduce(Self::clmul(self.0, rhs.0)))
+    }
+
+    /// Degree of the polynomial `v` over GF(2) (`v` must be nonzero).
+    #[inline]
+    fn degree(v: u128) -> i32 {
+        127 - v.leading_zeros() as i32
+    }
+
+    /// The full modulus `x^K + R` as a 128-bit polynomial.
+    #[inline]
+    fn modulus() -> u128 {
+        (1u128 << K) ^ reduction_poly(K) as u128
+    }
+}
+
+impl<const K: usize> Add for Gf2k<K> {
+    type Output = Self;
+    // XOR *is* addition in characteristic 2.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        ops::count_add(1);
+        Gf2k(self.0 ^ rhs.0)
+    }
+}
+
+impl<const K: usize> Sub for Gf2k<K> {
+    type Output = Self;
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        // Characteristic 2: subtraction is addition.
+        ops::count_add(1);
+        Gf2k(self.0 ^ rhs.0)
+    }
+}
+
+impl<const K: usize> Mul for Gf2k<K> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        ops::count_mul(1);
+        self.mul_raw(rhs)
+    }
+}
+
+impl<const K: usize> Div for Gf2k<K> {
+    type Output = Self;
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    // Division in a field is multiplication by the inverse.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv().expect("division by zero in GF(2^k)")
+    }
+}
+
+impl<const K: usize> Neg for Gf2k<K> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        // Characteristic 2: every element is its own negation.
+        self
+    }
+}
+
+impl<const K: usize> AddAssign for Gf2k<K> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<const K: usize> SubAssign for Gf2k<K> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<const K: usize> MulAssign for Gf2k<K> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<const K: usize> Sum for Gf2k<K> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(<Self as Field>::zero(), |a, b| a + b)
+    }
+}
+
+impl<const K: usize> Product for Gf2k<K> {
+    fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(<Self as Field>::one(), |a, b| a * b)
+    }
+}
+
+impl<const K: usize> fmt::Debug for Gf2k<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf2k<{K}>({:#x})", self.0)
+    }
+}
+
+impl<const K: usize> fmt::Display for Gf2k<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl<const K: usize> WireSize for Gf2k<K> {
+    fn wire_bytes(&self) -> usize {
+        K.div_ceil(8)
+    }
+}
+
+impl<const K: usize> From<u64> for Gf2k<K> {
+    fn from(x: u64) -> Self {
+        <Self as Field>::from_u64(x)
+    }
+}
+
+impl<const K: usize> Field for Gf2k<K> {
+    const NAME: &'static str = match K {
+        4 => "GF(2^4)",
+        8 => "GF(2^8)",
+        16 => "GF(2^16)",
+        24 => "GF(2^24)",
+        32 => "GF(2^32)",
+        40 => "GF(2^40)",
+        48 => "GF(2^48)",
+        56 => "GF(2^56)",
+        64 => "GF(2^64)",
+        _ => panic!("unsupported GF(2^k) degree"),
+    };
+
+    #[inline]
+    fn zero() -> Self {
+        Gf2k(0)
+    }
+
+    #[inline]
+    fn one() -> Self {
+        Gf2k(1)
+    }
+
+    #[inline]
+    fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+
+    fn inv(&self) -> Option<Self> {
+        if self.0 == 0 {
+            return None;
+        }
+        ops::count_inv(1);
+        // Extended Euclidean algorithm over GF(2)[x]:
+        // maintain u·self ≡ a  and  v·self ≡ b  (mod x^K + R).
+        let mut a: u128 = self.0 as u128;
+        let mut b: u128 = Self::modulus();
+        let mut u = Gf2k::<K>(1);
+        let mut v = Gf2k::<K>(0);
+        while a != 0 {
+            let da = Self::degree(a);
+            let db = Self::degree(b);
+            if da < db {
+                std::mem::swap(&mut a, &mut b);
+                std::mem::swap(&mut u, &mut v);
+                continue;
+            }
+            let shift = (da - db) as u32;
+            a ^= b << shift;
+            // u ← u + x^shift · v, reduced.
+            let xs = Gf2k::<K>(Self::reduce(1u128 << shift));
+            u = Gf2k(u.0 ^ xs.mul_raw(v).0);
+        }
+        debug_assert_eq!(b, 1, "gcd(self, modulus) must be 1 in a field");
+        Some(v)
+    }
+
+    fn from_u64(x: u64) -> Self {
+        Gf2k(Self::reduce(x as u128))
+    }
+
+    #[inline]
+    fn to_u64(&self) -> u64 {
+        self.0
+    }
+
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::from_canonical(rng.random::<u64>() & mask(K))
+    }
+
+    #[inline]
+    fn bits() -> u32 {
+        K as u32
+    }
+
+    #[inline]
+    fn order() -> u128 {
+        1u128 << K
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Rabin's irreducibility test for `x^k + r` over GF(2).
+    fn is_irreducible(k: usize, r: u64) -> bool {
+        let m: u128 = (1u128 << k) ^ r as u128;
+        fn deg(v: u128) -> i32 {
+            127 - v.leading_zeros() as i32
+        }
+        fn pmod(mut a: u128, m: u128) -> u128 {
+            let dm = deg(m);
+            while a != 0 && deg(a) >= dm {
+                a ^= m << (deg(a) - dm);
+            }
+            a
+        }
+        // Multiply two ≤64-bit polys mod m.
+        fn pmulmod(a: u128, b: u128, m: u128) -> u128 {
+            let mut r: u128 = 0;
+            let mut b = b;
+            let mut a = a;
+            while b != 0 {
+                if b & 1 == 1 {
+                    r ^= a;
+                }
+                b >>= 1;
+                a = pmod(a << 1, m);
+            }
+            pmod(r, m)
+        }
+        fn frobenius(e: usize, m: u128) -> u128 {
+            // x^(2^e) mod m by repeated squaring.
+            let mut r: u128 = 2;
+            for _ in 0..e {
+                r = pmulmod(r, r, m);
+            }
+            r
+        }
+        fn pgcd(mut a: u128, mut b: u128) -> u128 {
+            while b != 0 {
+                let t = pmod(a, b);
+                a = b;
+                b = t;
+            }
+            a
+        }
+        if frobenius(k, m) != 2 {
+            return false;
+        }
+        let mut primes = vec![];
+        let mut n = k;
+        let mut d = 2;
+        while d * d <= n {
+            if n.is_multiple_of(d) {
+                primes.push(d);
+                while n.is_multiple_of(d) {
+                    n /= d;
+                }
+            }
+            d += 1;
+        }
+        if n > 1 {
+            primes.push(n);
+        }
+        primes
+            .into_iter()
+            .all(|p| pgcd(m, frobenius(k / p, m) ^ 2) == 1)
+    }
+
+    #[test]
+    fn all_moduli_are_irreducible() {
+        for &k in SUPPORTED_GF2K_DEGREES {
+            assert!(
+                is_irreducible(k, reduction_poly(k)),
+                "modulus for GF(2^{k}) is reducible"
+            );
+        }
+    }
+
+    #[test]
+    fn basic_identities_gf256() {
+        type F = Gf2k<8>;
+        let a = F::from_u64(0x57);
+        let b = F::from_u64(0x83);
+        // Known AES-field product: 0x57 * 0x83 = 0xC1 under 0x11B.
+        assert_eq!((a * b).to_u64(), 0xC1);
+        assert_eq!(a + a, F::zero());
+        assert_eq!(a * F::one(), a);
+        assert_eq!(-a, a);
+    }
+
+    #[test]
+    fn from_u64_reduces() {
+        type F = Gf2k<4>;
+        // x^4 ≡ x + 1, so 0b10000 reduces to 0b0011.
+        assert_eq!(F::from_u64(0b10000).to_u64(), 0b0011);
+    }
+
+    #[test]
+    fn inv_of_zero_is_none() {
+        assert_eq!(Gf2k::<16>::zero().inv(), None);
+    }
+
+    #[test]
+    fn division_matches_inverse() {
+        type F = Gf2k<32>;
+        let a = F::from_u64(0xDEADBEEF);
+        let b = F::from_u64(0x1234567);
+        assert_eq!(a / b, a * b.inv().unwrap());
+        assert_eq!((a / b) * b, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = Gf2k::<8>::one() / Gf2k::<8>::zero();
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        type F = Gf2k<16>;
+        let g = F::from_u64(0xAB);
+        let mut acc = F::one();
+        for e in 0..20u128 {
+            assert_eq!(g.pow(e), acc);
+            acc *= g;
+        }
+    }
+
+    #[test]
+    fn element_order_divides_group_order() {
+        // Fermat: a^(2^k - 1) = 1 for nonzero a.
+        type F = Gf2k<24>;
+        let a = F::from_u64(0xBEEF01);
+        assert_eq!(a.pow((1u128 << 24) - 1), F::one());
+    }
+
+    #[test]
+    fn k64_full_width_roundtrip() {
+        type F = Gf2k<64>;
+        let a = F::from_u64(u64::MAX);
+        assert_eq!(a.to_u64(), u64::MAX);
+        assert_eq!((a * a.inv().unwrap()), F::one());
+    }
+
+    #[test]
+    fn wire_bytes_is_k_over_8() {
+        assert_eq!(Gf2k::<8>::zero().wire_bytes(), 1);
+        assert_eq!(Gf2k::<32>::zero().wire_bytes(), 4);
+        assert_eq!(Gf2k::<64>::zero().wire_bytes(), 8);
+        assert_eq!(Gf2k::<4>::zero().wire_bytes(), 1);
+        assert_eq!(Gf2k::<8>::wire_bytes_static(), 1);
+    }
+
+    #[test]
+    fn random_elements_stay_canonical() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let v = Gf2k::<16>::random(&mut rng);
+            assert!(v.to_u64() < (1 << 16));
+        }
+    }
+
+    #[test]
+    fn counts_ops() {
+        use dprbg_metrics::CostSnapshot;
+        type F = Gf2k<8>;
+        let before = CostSnapshot::capture();
+        let a = F::from_u64(3);
+        let b = F::from_u64(5);
+        let _ = a + b;
+        let _ = a * b;
+        let _ = a.inv();
+        let d = CostSnapshot::capture().since(&before);
+        assert_eq!(d.field_adds, 1);
+        assert_eq!(d.field_muls, 1);
+        assert_eq!(d.field_invs, 1);
+    }
+
+    #[test]
+    fn display_and_debug_nonempty() {
+        let a = Gf2k::<8>::from_u64(0);
+        assert!(!format!("{a}").is_empty());
+        assert!(format!("{a:?}").contains("Gf2k"));
+    }
+
+    #[test]
+    fn element_panics_out_of_range() {
+        let r = std::panic::catch_unwind(|| Gf2k::<4>::element(16));
+        assert!(r.is_err());
+    }
+
+    fn axioms_hold<const K: usize>(a: u64, b: u64, c: u64) {
+        let (a, b, c) = (
+            Gf2k::<K>::from_u64(a),
+            Gf2k::<K>::from_u64(b),
+            Gf2k::<K>::from_u64(c),
+        );
+        assert_eq!(a + b, b + a);
+        assert_eq!(a * b, b * a);
+        assert_eq!((a + b) + c, a + (b + c));
+        assert_eq!((a * b) * c, a * (b * c));
+        assert_eq!(a * (b + c), a * b + a * c);
+        assert_eq!(a + Gf2k::<K>::zero(), a);
+        assert_eq!(a * Gf2k::<K>::one(), a);
+        if !a.is_zero() {
+            assert_eq!(a * a.inv().unwrap(), Gf2k::<K>::one());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn field_axioms_gf2_8(a: u64, b: u64, c: u64) {
+            axioms_hold::<8>(a, b, c);
+        }
+
+        #[test]
+        fn field_axioms_gf2_32(a: u64, b: u64, c: u64) {
+            axioms_hold::<32>(a, b, c);
+        }
+
+        #[test]
+        fn field_axioms_gf2_64(a: u64, b: u64, c: u64) {
+            axioms_hold::<64>(a, b, c);
+        }
+
+        #[test]
+        fn from_to_u64_roundtrip_canonical(a: u64) {
+            let v = a & 0xFFFF;
+            prop_assert_eq!(Gf2k::<16>::from_u64(v).to_u64(), v);
+        }
+    }
+}

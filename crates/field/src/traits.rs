@@ -1,0 +1,143 @@
+//! The [`Field`] abstraction shared by every protocol in the workspace.
+
+use std::fmt::{Debug, Display};
+use std::hash::Hash;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use dprbg_metrics::WireSize;
+use rand::Rng;
+
+/// A finite field element.
+///
+/// All protocol code in the workspace is generic over this trait. Elements
+/// are small `Copy` values; the field itself (modulus, degree) is carried in
+/// the type, so there is no runtime context to thread through protocols.
+///
+/// Arithmetic must tick the [`dprbg_metrics::ops`] counters: exactly one
+/// `add` per `+`/`-`, one `mul` per `*`, one `inv` per [`Field::inv`] — the
+/// unit in which the paper states its computation bounds.
+///
+/// # Examples
+///
+/// ```
+/// use dprbg_field::{Field, Gf2k};
+/// let x = Gf2k::<8>::element(3);
+/// assert_eq!(x - x, Gf2k::<8>::zero());
+/// assert_eq!(x * Gf2k::<8>::one(), x);
+/// ```
+pub trait Field:
+    Copy
+    + Clone
+    + Eq
+    + PartialEq
+    + Hash
+    + Debug
+    + Display
+    + Default
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + Sum
+    + Product
+    + WireSize
+{
+    /// Human-readable field name (e.g. `"GF(2^32)"`), used in reports.
+    const NAME: &'static str;
+
+    /// The additive identity.
+    fn zero() -> Self;
+
+    /// The multiplicative identity.
+    fn one() -> Self;
+
+    /// Whether this element is the additive identity.
+    fn is_zero(&self) -> bool;
+
+    /// The multiplicative inverse, or `None` for zero.
+    fn inv(&self) -> Option<Self>;
+
+    /// Raise to the power `e` by square-and-multiply.
+    ///
+    /// Internal multiplications are charged to the cost counters, matching
+    /// the paper's accounting of exponentiation as `log p` multiplications
+    /// (its discussion of Feldman's protocol, §3.1).
+    fn pow(&self, mut e: u128) -> Self {
+        let mut base = *self;
+        let mut acc = Self::one();
+        while e > 0 {
+            if e & 1 == 1 {
+                acc *= base;
+            }
+            e >>= 1;
+            if e > 0 {
+                base = base * base;
+            }
+        }
+        acc
+    }
+
+    /// The canonical field element for an integer, reduced into the field.
+    ///
+    /// For GF(2^k) this interprets `x` as a polynomial over GF(2) and
+    /// reduces it modulo the field polynomial; for prime fields it reduces
+    /// modulo `p`.
+    fn from_u64(x: u64) -> Self;
+
+    /// The canonical `u64` representative of this element.
+    ///
+    /// Inverse of [`Field::from_u64`] on the canonical range. For fields
+    /// with more than 2^64 elements this is lossy only for elements outside
+    /// `u64` range (none of our supported fields exceed 64 bits).
+    fn to_u64(&self) -> u64;
+
+    /// A uniformly random field element.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+
+    /// The size of the field in bits: `⌈log2 p⌉` (the paper's `k`).
+    fn bits() -> u32;
+
+    /// The number of field elements `p`.
+    fn order() -> u128;
+
+    /// The model cost of one multiplication, expressed in additions.
+    ///
+    /// The paper charges `O(k log k)` via the special field (§2); we charge
+    /// `k·⌈log2 k⌉` so reports can convert multiplication counts into the
+    /// paper's addition unit.
+    fn mul_cost_in_adds() -> u64 {
+        let k = Self::bits() as u64;
+        k * (64 - k.leading_zeros() as u64).max(1)
+    }
+
+    /// Bytes one element occupies on the wire: `⌈k/8⌉`.
+    fn wire_bytes_static() -> usize {
+        (Self::bits() as usize).div_ceil(8)
+    }
+
+    /// The distinguished evaluation point of party `i` (or any small index).
+    ///
+    /// Party `P_i` in the paper holds the share `f(i)`; this maps the
+    /// integer id to the field element written `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not less than the field order (there would be no
+    /// injective embedding).
+    fn element(i: u64) -> Self {
+        assert!(
+            (i as u128) < Self::order(),
+            "index {i} does not embed into a field of order {}",
+            Self::order()
+        );
+        Self::from_u64(i)
+    }
+}

@@ -1,0 +1,195 @@
+//! Supporting number theory over `Z_q` with runtime moduli.
+//!
+//! The special field GF(q^l) (§2 of the paper) performs its DFTs over a
+//! small prime `Z_q`; these helpers provide the modular arithmetic, a
+//! deterministic Miller–Rabin primality test for `u64`, and primitive-root
+//! search used to derive DFT twiddle factors and the field modulus
+//! `x^l − a`.
+
+/// Modular addition in `Z_q`.
+#[inline]
+pub fn add_mod(a: u64, b: u64, q: u64) -> u64 {
+    let s = a + b;
+    if s >= q {
+        s - q
+    } else {
+        s
+    }
+}
+
+/// Modular subtraction in `Z_q`.
+#[inline]
+pub fn sub_mod(a: u64, b: u64, q: u64) -> u64 {
+    if a >= b {
+        a - b
+    } else {
+        a + q - b
+    }
+}
+
+/// Modular multiplication in `Z_q` (inputs must already be reduced).
+#[inline]
+pub fn mul_mod(a: u64, b: u64, q: u64) -> u64 {
+    ((a as u128 * b as u128) % q as u128) as u64
+}
+
+/// Modular exponentiation `a^e mod q`.
+pub fn pow_mod(mut a: u64, mut e: u64, q: u64) -> u64 {
+    a %= q;
+    let mut r = 1 % q;
+    while e > 0 {
+        if e & 1 == 1 {
+            r = mul_mod(r, a, q);
+        }
+        a = mul_mod(a, a, q);
+        e >>= 1;
+    }
+    r
+}
+
+/// Modular inverse in `Z_q` for prime `q`, `None` for zero.
+pub fn inv_mod(a: u64, q: u64) -> Option<u64> {
+    let a = a % q;
+    if a == 0 {
+        None
+    } else {
+        Some(pow_mod(a, q - 2, q))
+    }
+}
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64`.
+///
+/// Uses the standard 12-base witness set that is proven sufficient below
+/// 2^64.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n.is_multiple_of(p) {
+            return n == p;
+        }
+    }
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        s += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// The distinct prime factors of `n` (trial division; fine for the small
+/// `q − 1` values this crate uses).
+pub fn prime_factors(mut n: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut d = 2;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            out.push(d);
+            while n.is_multiple_of(d) {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+/// The smallest primitive root modulo the prime `q`, or `None` if `q` is
+/// not prime or `q < 3`.
+pub fn primitive_root(q: u64) -> Option<u64> {
+    if q < 3 || !is_prime(q) {
+        return None;
+    }
+    let factors = prime_factors(q - 1);
+    (2..q).find(|&g| factors.iter().all(|&f| pow_mod(g, (q - 1) / f, q) != 1))
+}
+
+/// An element of multiplicative order exactly `m` in `Z_q^*`, or `None` if
+/// `m` does not divide `q − 1` (or `q` is not prime).
+pub fn root_of_unity(q: u64, m: u64) -> Option<u64> {
+    if m == 0 || !is_prime(q) || !(q - 1).is_multiple_of(m) {
+        return None;
+    }
+    let g = primitive_root(q)?;
+    let w = pow_mod(g, (q - 1) / m, q);
+    // Order is exactly m because g is primitive.
+    Some(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality_small_cases() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 101, 193, 257, 769, 65537];
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        for c in [0u64, 1, 4, 9, 91, 561, 1105, 6601, 2u64.pow(32) - 1] {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn primality_large_known() {
+        assert!(is_prime(2u64.pow(61) - 1)); // Mersenne prime
+        assert!(is_prime(crate::SAFE_PRIME_P));
+        assert!(!is_prime(2u64.pow(61) + 1));
+    }
+
+    #[test]
+    fn pow_and_inv() {
+        assert_eq!(pow_mod(3, 16, 17), 1);
+        assert_eq!(inv_mod(0, 17), None);
+        for a in 1..17u64 {
+            assert_eq!(mul_mod(a, inv_mod(a, 17).unwrap(), 17), 1);
+        }
+    }
+
+    #[test]
+    fn known_primitive_roots() {
+        assert_eq!(primitive_root(17), Some(3));
+        assert_eq!(primitive_root(97), Some(5));
+        assert_eq!(primitive_root(193), Some(5));
+        assert_eq!(primitive_root(4), None);
+    }
+
+    #[test]
+    fn roots_of_unity_have_exact_order() {
+        let q = 97;
+        for m in [2u64, 4, 8, 16, 32] {
+            let w = root_of_unity(q, m).unwrap();
+            assert_eq!(pow_mod(w, m, q), 1);
+            for f in prime_factors(m) {
+                assert_ne!(pow_mod(w, m / f, q), 1, "order must be exactly {m}");
+            }
+        }
+        assert_eq!(root_of_unity(97, 5), None); // 5 does not divide 96
+    }
+
+    #[test]
+    fn prime_factor_sets() {
+        assert_eq!(prime_factors(96), vec![2, 3]);
+        assert_eq!(prime_factors(1), Vec::<u64>::new());
+        assert_eq!(prime_factors(97), vec![97]);
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Cost-model instrumentation for the `dprbg` workspace.
+//!
+//! The PODC '96 paper states all of its complexity results in an abstract
+//! cost model (Section 2): computation is measured in *field additions*
+//! (with a multiplication in GF(2^k) costing `O(k log k)` additions in the
+//! specially constructed field, or `O(k^2)` naively), and communication is
+//! measured in *messages* and *bits*. This crate provides the counters that
+//! let every protocol in the workspace report its cost in exactly those
+//! units, so the benchmark harness can regenerate the paper's claims
+//! (Lemmas 2, 4, 6; Theorem 2; Corollaries 1–3) as measured tables.
+//!
+//! Counters are thread-local: in the thread-per-party simulator each party's
+//! work accumulates in its own thread, and the runner collects per-party
+//! [`CostSnapshot`]s which aggregate into a [`CostReport`].
+//!
+//! # Examples
+//!
+//! ```
+//! use dprbg_metrics::{ops, CostSnapshot};
+//!
+//! let before = CostSnapshot::capture();
+//! ops::count_add(10);
+//! ops::count_mul(3);
+//! let spent = CostSnapshot::capture().since(&before);
+//! assert_eq!(spent.field_adds, 10);
+//! assert_eq!(spent.field_muls, 3);
+//! ```
+
+mod counters;
+mod report;
+mod wire;
+
+pub use counters::{comm, ops, CostSnapshot, OpsGuard};
+pub use report::{CommStats, CostReport, PartyCost, Table, TableRow};
+pub use wire::WireSize;

@@ -1,0 +1,99 @@
+//! Wire-size accounting.
+//!
+//! The paper counts communication in *bits* of payload (e.g. Lemma 2: "2n
+//! messages, each of size k, for a total of 2nk bits"). Messages in this
+//! workspace are typed in-memory values, so instead of serializing we compute
+//! each message's wire size analytically through [`WireSize`]: a field
+//! element of GF(2^k) is ⌈k/8⌉ bytes, a vector is the sum of its elements,
+//! and so on. The simulator charges [`crate::comm`] with these figures.
+
+/// Number of bytes a value would occupy on the wire.
+///
+/// Implementations should mirror a minimal natural encoding (no framing or
+/// type tags), matching the paper's payload-bit counting.
+pub trait WireSize {
+    /// The encoded size of `self` in bytes.
+    fn wire_bytes(&self) -> usize;
+}
+
+impl WireSize for () {
+    fn wire_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl WireSize for bool {
+    fn wire_bytes(&self) -> usize {
+        1
+    }
+}
+
+macro_rules! int_wire {
+    ($($t:ty),*) => {$(
+        impl WireSize for $t {
+            fn wire_bytes(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        }
+    )*};
+}
+int_wire!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: WireSize> WireSize for Vec<T> {
+    fn wire_bytes(&self) -> usize {
+        self.iter().map(WireSize::wire_bytes).sum()
+    }
+}
+
+impl<T: WireSize> WireSize for [T] {
+    fn wire_bytes(&self) -> usize {
+        self.iter().map(WireSize::wire_bytes).sum()
+    }
+}
+
+impl<T: WireSize> WireSize for Option<T> {
+    fn wire_bytes(&self) -> usize {
+        1 + self.as_ref().map_or(0, WireSize::wire_bytes)
+    }
+}
+
+impl<T: WireSize, U: WireSize> WireSize for (T, U) {
+    fn wire_bytes(&self) -> usize {
+        self.0.wire_bytes() + self.1.wire_bytes()
+    }
+}
+
+impl<T: WireSize, U: WireSize, V: WireSize> WireSize for (T, U, V) {
+    fn wire_bytes(&self) -> usize {
+        self.0.wire_bytes() + self.1.wire_bytes() + self.2.wire_bytes()
+    }
+}
+
+impl<T: WireSize + ?Sized> WireSize for &T {
+    fn wire_bytes(&self) -> usize {
+        (**self).wire_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(().wire_bytes(), 0);
+        assert_eq!(true.wire_bytes(), 1);
+        assert_eq!(0u8.wire_bytes(), 1);
+        assert_eq!(0u64.wire_bytes(), 8);
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(vec![1u32, 2, 3].wire_bytes(), 12);
+        assert_eq!(Some(7u16).wire_bytes(), 3);
+        assert_eq!(None::<u16>.wire_bytes(), 1);
+        assert_eq!((1u8, 2u32).wire_bytes(), 5);
+        let s: &[u8] = &[1, 2, 3];
+        assert_eq!(s.wire_bytes(), 3);
+    }
+}

@@ -1,0 +1,206 @@
+//! Lagrange interpolation.
+//!
+//! "The basic solution … is to choose any t+1 values (points) … and to
+//! compute the unique polynomial f(x) that they define (using, say, the
+//! Lagrange method)" (§3.1). Each call ticks the paper's "interpolations
+//! per player" counter.
+
+use dprbg_field::Field;
+use dprbg_metrics::ops;
+
+use crate::poly::Poly;
+
+/// Errors from [`interpolate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterpolateError {
+    /// Two supplied points share the same x-coordinate.
+    DuplicateAbscissa,
+    /// No points were supplied.
+    Empty,
+}
+
+impl std::fmt::Display for InterpolateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpolateError::DuplicateAbscissa => {
+                write!(f, "duplicate x-coordinate among interpolation points")
+            }
+            InterpolateError::Empty => write!(f, "no interpolation points supplied"),
+        }
+    }
+}
+
+impl std::error::Error for InterpolateError {}
+
+/// The unique polynomial of degree `< points.len()` through all `points`.
+///
+/// Runs the classical `O(m²)` Lagrange construction and ticks one
+/// interpolation on the cost counters.
+///
+/// # Errors
+///
+/// [`InterpolateError::Empty`] without points,
+/// [`InterpolateError::DuplicateAbscissa`] if x-coordinates repeat.
+pub fn interpolate<F: Field>(points: &[(F, F)]) -> Result<Poly<F>, InterpolateError> {
+    if points.is_empty() {
+        return Err(InterpolateError::Empty);
+    }
+    for (i, (xi, _)) in points.iter().enumerate() {
+        if points[i + 1..].iter().any(|(xj, _)| xj == xi) {
+            return Err(InterpolateError::DuplicateAbscissa);
+        }
+    }
+    ops::count_interpolation(1);
+    let mut acc = Poly::zero();
+    for (i, &(xi, yi)) in points.iter().enumerate() {
+        if yi.is_zero() {
+            continue;
+        }
+        // Basis polynomial L_i(x) = Π_{j≠i} (x − x_j) / (x_i − x_j).
+        let mut num = Poly::constant(F::one());
+        let mut denom = F::one();
+        for (j, &(xj, _)) in points.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            num = num.mul(&Poly::new(vec![-xj, F::one()]));
+            denom *= xi - xj;
+        }
+        let scale = yi * denom.inv().expect("distinct abscissas give nonzero denominator");
+        acc = acc.add(&num.scale(scale));
+    }
+    Ok(acc)
+}
+
+/// Evaluate the interpolating polynomial at zero without constructing it —
+/// the classic "reconstruct the Shamir secret" shortcut, `O(m²)` additions
+/// and multiplications but no polynomial arithmetic.
+///
+/// # Errors
+///
+/// Same conditions as [`interpolate`]; additionally duplicates are detected
+/// the same way.
+pub fn lagrange_eval_at_zero<F: Field>(points: &[(F, F)]) -> Result<F, InterpolateError> {
+    if points.is_empty() {
+        return Err(InterpolateError::Empty);
+    }
+    for (i, (xi, _)) in points.iter().enumerate() {
+        if points[i + 1..].iter().any(|(xj, _)| xj == xi) {
+            return Err(InterpolateError::DuplicateAbscissa);
+        }
+    }
+    ops::count_interpolation(1);
+    let mut acc = F::zero();
+    for (i, &(xi, yi)) in points.iter().enumerate() {
+        let mut num = F::one();
+        let mut denom = F::one();
+        for (j, &(xj, _)) in points.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            num *= -xj;
+            denom *= xi - xj;
+        }
+        acc += yi * num * denom.inv().expect("distinct abscissas");
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprbg_field::{Fp, Gf2k};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    type F = Gf2k<16>;
+
+    #[test]
+    fn recovers_known_polynomial() {
+        let f = Poly::new(vec![F::from_u64(9), F::from_u64(4), F::from_u64(7)]);
+        let pts: Vec<(F, F)> = (1..=3).map(|i| (F::element(i), f.eval(F::element(i)))).collect();
+        assert_eq!(interpolate(&pts).unwrap(), f);
+    }
+
+    #[test]
+    fn exact_degree_bound() {
+        // m points define a polynomial of degree < m.
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = Poly::<F>::random(4, &mut rng);
+        let pts: Vec<(F, F)> = (1..=5).map(|i| (F::element(i), f.eval(F::element(i)))).collect();
+        let g = interpolate(&pts).unwrap();
+        assert_eq!(g, f);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(interpolate::<F>(&[]), Err(InterpolateError::Empty));
+        let p = (F::one(), F::one());
+        assert_eq!(
+            interpolate(&[p, p]),
+            Err(InterpolateError::DuplicateAbscissa)
+        );
+        assert_eq!(lagrange_eval_at_zero::<F>(&[]), Err(InterpolateError::Empty));
+        assert_eq!(
+            lagrange_eval_at_zero(&[p, p]),
+            Err(InterpolateError::DuplicateAbscissa)
+        );
+    }
+
+    #[test]
+    fn works_over_prime_field() {
+        type P = Fp<101>;
+        // f(x) = 10 + 3x over F_101
+        let f = Poly::new(vec![P::from_u64(10), P::from_u64(3)]);
+        let pts = [(P::from_u64(1), f.eval(P::from_u64(1))), (P::from_u64(2), f.eval(P::from_u64(2)))];
+        assert_eq!(interpolate(&pts).unwrap(), f);
+        assert_eq!(lagrange_eval_at_zero(&pts).unwrap(), P::from_u64(10));
+    }
+
+    #[test]
+    fn eval_at_zero_matches_full_interpolation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = Poly::<F>::random(6, &mut rng);
+        let pts: Vec<(F, F)> = (1..=7).map(|i| (F::element(i), f.eval(F::element(i)))).collect();
+        assert_eq!(
+            lagrange_eval_at_zero(&pts).unwrap(),
+            interpolate(&pts).unwrap().constant_term()
+        );
+    }
+
+    #[test]
+    fn counts_interpolations() {
+        use dprbg_metrics::CostSnapshot;
+        let pts = [(F::element(1), F::one()), (F::element(2), F::zero())];
+        let before = CostSnapshot::capture();
+        let _ = interpolate(&pts).unwrap();
+        let _ = lagrange_eval_at_zero(&pts).unwrap();
+        let d = CostSnapshot::capture().since(&before);
+        assert_eq!(d.interpolations, 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_interpolate_roundtrip(seed: u64, deg in 0usize..8) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let f = Poly::<F>::random(deg, &mut rng);
+            let pts: Vec<(F, F)> = (1..=(deg as u64 + 1))
+                .map(|i| (F::element(i), f.eval(F::element(i))))
+                .collect();
+            prop_assert_eq!(interpolate(&pts).unwrap(), f);
+        }
+
+        #[test]
+        fn prop_extra_points_do_not_change_result(seed: u64) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let f = Poly::<F>::random(3, &mut rng);
+            let pts: Vec<(F, F)> = (1..=9)
+                .map(|i| (F::element(i), f.eval(F::element(i))))
+                .collect();
+            // 9 points on a degree-3 polynomial still interpolate to it.
+            prop_assert_eq!(interpolate(&pts).unwrap(), f);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Dense linear algebra over a [`Field`]: just enough Gaussian elimination
+//! to drive the Berlekamp–Welch decoder's linear system.
+
+use dprbg_field::Field;
+
+/// A dense row-major matrix over `F`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix<F: Field> {
+    rows: usize,
+    cols: usize,
+    data: Vec<F>,
+}
+
+impl<F: Field> Matrix<F> {
+    /// An all-zero `rows × cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![F::zero(); rows * cols],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The entry at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> F {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Set the entry at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: F) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+}
+
+/// Solve the linear system `A·x = b` by Gaussian elimination.
+///
+/// Returns *some* solution if the system is consistent (free variables are
+/// set to zero), or `None` if it is inconsistent. This "any solution"
+/// contract is exactly what Berlekamp–Welch needs: its system is usually
+/// underdetermined when there are fewer errors than the decoder allows for.
+///
+/// # Panics
+///
+/// Panics if `b.len() != a.rows()`.
+#[allow(clippy::needless_range_loop)]
+pub fn solve_linear<F: Field>(a: &Matrix<F>, b: &[F]) -> Option<Vec<F>> {
+    assert_eq!(b.len(), a.rows(), "rhs length must match row count");
+    let rows = a.rows();
+    let cols = a.cols();
+    // Augmented matrix [A | b].
+    let mut m = Matrix::<F>::zeros(rows, cols + 1);
+    for r in 0..rows {
+        for c in 0..cols {
+            m.set(r, c, a.get(r, c));
+        }
+        m.set(r, cols, b[r]);
+    }
+
+    let mut pivot_of_col: Vec<Option<usize>> = vec![None; cols];
+    let mut rank = 0usize;
+    for col in 0..cols {
+        // Find a pivot at or below `rank`.
+        let Some(pr) = (rank..rows).find(|&r| !m.get(r, col).is_zero()) else {
+            continue;
+        };
+        m.swap_rows(rank, pr);
+        let inv = m.get(rank, col).inv().expect("pivot is nonzero");
+        for c in col..=cols {
+            m.set(rank, c, m.get(rank, c) * inv);
+        }
+        for r in 0..rows {
+            if r != rank && !m.get(r, col).is_zero() {
+                let factor = m.get(r, col);
+                for c in col..=cols {
+                    let v = m.get(r, c) - factor * m.get(rank, c);
+                    m.set(r, c, v);
+                }
+            }
+        }
+        pivot_of_col[col] = Some(rank);
+        rank += 1;
+        if rank == rows {
+            break;
+        }
+    }
+
+    // Inconsistent if any zero row has nonzero rhs.
+    for r in rank..rows {
+        if !m.get(r, cols).is_zero() {
+            return None;
+        }
+    }
+
+    let mut x = vec![F::zero(); cols];
+    for (col, pivot) in pivot_of_col.iter().enumerate() {
+        if let Some(r) = pivot {
+            x[col] = m.get(*r, cols);
+        }
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use dprbg_field::{Field, Fp, Gf2k};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    type F = Fp<101>;
+
+    fn mat<Fd: Field>(rows: &[&[u64]]) -> Matrix<Fd> {
+        let mut m = Matrix::zeros(rows.len(), rows[0].len());
+        for (r, row) in rows.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                m.set(r, c, Fd::from_u64(v));
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn solves_unique_system() {
+        // x + y = 3, x - y = 1  (over F_101) → x = 2, y = 1.
+        let a = mat::<F>(&[&[1, 1], &[1, 100]]);
+        let b = [F::from_u64(3), F::from_u64(1)];
+        let x = solve_linear(&a, &b).unwrap();
+        assert_eq!(x, vec![F::from_u64(2), F::from_u64(1)]);
+    }
+
+    #[test]
+    fn detects_inconsistency() {
+        // x + y = 1, x + y = 2 → no solution.
+        let a = mat::<F>(&[&[1, 1], &[1, 1]]);
+        let b = [F::from_u64(1), F::from_u64(2)];
+        assert_eq!(solve_linear(&a, &b), None);
+    }
+
+    #[test]
+    fn underdetermined_returns_some_solution() {
+        // x + y = 5 with two unknowns: any solution acceptable.
+        let a = mat::<F>(&[&[1, 1]]);
+        let b = [F::from_u64(5)];
+        let x = solve_linear(&a, &b).unwrap();
+        assert_eq!(x[0] + x[1], F::from_u64(5));
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero_solution() {
+        let a = mat::<F>(&[&[3, 7], &[2, 9]]);
+        let b = [F::zero(), F::zero()];
+        let x = solve_linear(&a, &b).unwrap();
+        assert_eq!(x, vec![F::zero(), F::zero()]);
+    }
+
+    #[test]
+    fn works_over_gf2k() {
+        type G = Gf2k<8>;
+        // Random invertible-ish 3x3 system: verify A·x = b.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut a = Matrix::<G>::zeros(3, 3);
+        for r in 0..3 {
+            for c in 0..3 {
+                a.set(r, c, G::random(&mut rng));
+            }
+        }
+        let b = [G::random(&mut rng), G::random(&mut rng), G::random(&mut rng)];
+        if let Some(x) = solve_linear(&a, &b) {
+            for r in 0..3 {
+                let lhs: G = (0..3).map(|c| a.get(r, c) * x[c]).sum();
+                assert_eq!(lhs, b[r]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs length")]
+    fn rejects_mismatched_rhs() {
+        let a = Matrix::<F>::zeros(2, 2);
+        let _ = solve_linear(&a, &[F::zero()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_bounds_checked() {
+        let m = Matrix::<F>::zeros(2, 2);
+        let _ = m.get(2, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_solution_satisfies_system(seed: u64, n in 1usize..6) {
+            type G = Gf2k<16>;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut a = Matrix::<G>::zeros(n, n);
+            for r in 0..n {
+                for c in 0..n {
+                    a.set(r, c, G::random(&mut rng));
+                }
+            }
+            // Build b from a known x so the system is always consistent.
+            let x_true: Vec<G> = (0..n).map(|_| G::random(&mut rng)).collect();
+            let b: Vec<G> = (0..n)
+                .map(|r| (0..n).map(|c| a.get(r, c) * x_true[c]).sum())
+                .collect();
+            let x = solve_linear(&a, &b).expect("consistent by construction");
+            for r in 0..n {
+                let lhs: G = (0..n).map(|c| a.get(r, c) * x[c]).sum();
+                prop_assert_eq!(lhs, b[r]);
+            }
+        }
+    }
+}

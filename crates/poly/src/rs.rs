@@ -1,0 +1,156 @@
+//! A thin Reed–Solomon codec view over [`Poly`] + [`bw_decode`].
+//!
+//! Shamir sharing *is* Reed–Solomon encoding (share `i` is the codeword
+//! symbol at evaluation point `i`); this module packages that view with
+//! explicit code parameters so tests and benches can speak in coding
+//! terms: an `[n, t+1]` code corrects `⌊(n − t − 1)/2⌋` errors.
+
+use dprbg_field::Field;
+
+use crate::berlekamp_welch::{bw_decode, BwError};
+use crate::poly::Poly;
+
+/// Errors from [`RsCode::decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RsDecodeError {
+    /// The decoder could not find a codeword within the error radius.
+    BeyondRadius,
+    /// The received word was malformed (wrong length or repeated
+    /// positions).
+    Malformed,
+}
+
+impl std::fmt::Display for RsDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RsDecodeError::BeyondRadius => write!(f, "more errors than the code can correct"),
+            RsDecodeError::Malformed => write!(f, "malformed received word"),
+        }
+    }
+}
+
+impl std::error::Error for RsDecodeError {}
+
+/// An `[n, t+1]` Reed–Solomon code over `F`, evaluated at points `1..=n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RsCode {
+    n: usize,
+    t: usize,
+}
+
+impl RsCode {
+    /// Define an `[n, t+1]` code.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t < n`.
+    pub fn new(n: usize, t: usize) -> Self {
+        assert!(t < n, "message degree must be below the code length");
+        RsCode { n, t }
+    }
+
+    /// Code length `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Degree bound `t` (dimension `t + 1`).
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// The number of symbol errors the code corrects.
+    pub fn radius(&self) -> usize {
+        (self.n - self.t - 1) / 2
+    }
+
+    /// Encode a message polynomial into its `n` codeword symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `message` has degree above `t`, or if `n` does not embed
+    /// into the field.
+    pub fn encode<F: Field>(&self, message: &Poly<F>) -> Vec<F> {
+        assert!(
+            message.degree().is_none_or(|d| d <= self.t),
+            "message degree exceeds code dimension"
+        );
+        (1..=self.n as u64).map(|i| message.eval(F::element(i))).collect()
+    }
+
+    /// Decode a (possibly corrupted) codeword back to the message
+    /// polynomial.
+    ///
+    /// # Errors
+    ///
+    /// [`RsDecodeError::Malformed`] if `received.len() != n`;
+    /// [`RsDecodeError::BeyondRadius`] if more than [`RsCode::radius`]
+    /// symbols are wrong.
+    pub fn decode<F: Field>(&self, received: &[F]) -> Result<Poly<F>, RsDecodeError> {
+        if received.len() != self.n {
+            return Err(RsDecodeError::Malformed);
+        }
+        let pts: Vec<(F, F)> = received
+            .iter()
+            .enumerate()
+            .map(|(i, &y)| (F::element(i as u64 + 1), y))
+            .collect();
+        bw_decode(&pts, self.t, self.radius()).map_err(|e| match e {
+            BwError::DecodingFailed => RsDecodeError::BeyondRadius,
+            _ => RsDecodeError::Malformed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprbg_field::Gf2k;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    type F = Gf2k<16>;
+
+    #[test]
+    fn roundtrip_clean() {
+        let code = RsCode::new(10, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let msg = Poly::<F>::random(3, &mut rng);
+        let cw = code.encode(&msg);
+        assert_eq!(cw.len(), 10);
+        assert_eq!(code.decode(&cw).unwrap(), msg);
+    }
+
+    #[test]
+    fn corrects_radius_errors() {
+        let code = RsCode::new(10, 3);
+        assert_eq!(code.radius(), 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let msg = Poly::<F>::random(3, &mut rng);
+        let mut cw = code.encode(&msg);
+        cw[0] += F::one();
+        cw[5] = F::from_u64(0xFFFF);
+        cw[9] = F::zero();
+        assert_eq!(code.decode(&cw).unwrap(), msg);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let code = RsCode::new(6, 2);
+        assert_eq!(code.decode::<F>(&[]), Err(RsDecodeError::Malformed));
+    }
+
+    #[test]
+    #[should_panic(expected = "degree exceeds")]
+    fn encode_rejects_big_message() {
+        let code = RsCode::new(6, 2);
+        let msg = Poly::<F>::new(vec![F::one(); 4]);
+        let _ = code.encode(&msg);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the code length")]
+    fn constructor_validates() {
+        let _ = RsCode::new(3, 3);
+    }
+}

@@ -1,0 +1,273 @@
+//! Deterministic Byzantine agreement: the phase-king protocol.
+//!
+//! Coin-Gen step 10 "run[s] any BA protocol", and the paper assumes
+//! deterministic BA "for simplicity" (§1.2). We implement the simple
+//! two-round-per-phase **phase-king** protocol (Berman–Garay–Perry
+//! family): `t + 1` phases, each with a *suggest* round (everyone
+//! exchanges its current bit) and a *king* round (the phase's king
+//! tie-breaks for parties without overwhelming support).
+//!
+//! This variant is correct for `n > 4t`; the paper's §4 model has
+//! `n ≥ 6t + 1`, which satisfies it with room to spare. Properties:
+//!
+//! - **Validity**: if every honest party inputs `b`, every honest party
+//!   outputs `b`.
+//! - **Agreement**: all honest parties output the same bit.
+//! - **Termination**: exactly `2(t + 1)` rounds.
+
+use dprbg_metrics::WireSize;
+use dprbg_sim::{Embeds, PartyCtx, PartyId};
+
+/// Phase-king wire messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaMsg {
+    /// Suggest round: the sender's current bit.
+    Suggest(bool),
+    /// King round: the king's tie-breaking bit.
+    King(bool),
+}
+
+impl WireSize for BaMsg {
+    fn wire_bytes(&self) -> usize {
+        1
+    }
+}
+
+/// Run phase-king Byzantine agreement on the binary `input`.
+///
+/// Takes exactly `2(t + 1)` rounds, where `t = ⌊(n − 1) / 4⌋` is the
+/// largest tolerable fault count for this protocol (callers with a
+/// stronger model — e.g. Coin-Gen's `n ≥ 6t + 1` — may pass their own
+/// smaller `t_bound`; the round count and king schedule follow it).
+///
+/// # Panics
+///
+/// Panics unless `n > 4 · t_bound`.
+pub fn phase_king_ba<M>(ctx: &mut PartyCtx<M>, input: bool, t_bound: usize) -> bool
+where
+    M: Clone + Send + WireSize + Embeds<BaMsg> + 'static,
+{
+    let n = ctx.n();
+    assert!(n > 4 * t_bound, "phase-king requires n > 4t");
+    let t = t_bound;
+    let mut v = input;
+
+    for phase in 1..=t + 1 {
+        let king: PartyId = phase; // kings are parties 1, 2, …, t+1
+
+        // Suggest round.
+        ctx.send_to_all(M::wrap(BaMsg::Suggest(v)));
+        let inbox = ctx.next_round();
+        let mut heard: Vec<Option<bool>> = vec![None; n];
+        for r in inbox.iter() {
+            if let Some(BaMsg::Suggest(b)) = r.msg.peek() {
+                if heard[r.from - 1].is_none() {
+                    heard[r.from - 1] = Some(*b);
+                }
+            }
+        }
+        let ones = heard.iter().filter(|h| **h == Some(true)).count();
+        let zeros = heard.iter().filter(|h| **h == Some(false)).count();
+        // Strong support: ≥ n − t parties said the same thing.
+        let strong = if ones >= n - t {
+            v = true;
+            true
+        } else if zeros >= n - t {
+            v = false;
+            true
+        } else {
+            v = ones > zeros;
+            false
+        };
+
+        // King round.
+        if ctx.id() == king {
+            ctx.send_to_all(M::wrap(BaMsg::King(v)));
+        }
+        let inbox = ctx.next_round();
+        if !strong {
+            // Adopt the king's bit (a silent/garbled king defaults to 0).
+            v = inbox
+                .first_from(king)
+                .and_then(|r| match r.msg.peek() {
+                    Some(BaMsg::King(b)) => Some(*b),
+                    _ => None,
+                })
+                .unwrap_or(false);
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprbg_sim::{run_network, Behavior, FaultPlan};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn honest(input: bool, t: usize) -> Behavior<BaMsg, bool> {
+        Box::new(move |ctx| phase_king_ba::<BaMsg>(ctx, input, t))
+    }
+
+    #[test]
+    fn validity_all_same_input() {
+        for bit in [false, true] {
+            let n = 5;
+            let behaviors: Vec<_> = (0..n).map(|_| honest(bit, 1)).collect();
+            let res = run_network(n, 1, behaviors);
+            assert_eq!(res.unwrap_all(), vec![bit; n]);
+        }
+    }
+
+    #[test]
+    fn agreement_mixed_inputs_no_faults() {
+        let n = 5;
+        let behaviors: Vec<_> = (0..n).map(|i| honest(i % 2 == 0, 1)).collect();
+        let res = run_network(n, 2, behaviors).unwrap_all();
+        assert!(res.windows(2).all(|w| w[0] == w[1]), "disagreement: {res:?}");
+    }
+
+    #[test]
+    fn agreement_under_byzantine_king() {
+        // Party 1 (the first king) equivocates maximally.
+        let n = 9;
+        let t = 2;
+        let plan = FaultPlan::first_t(n, t);
+        let behaviors = plan.behaviors::<BaMsg, bool>(
+            |id| honest(id % 2 == 0, t),
+            |_| {
+                Box::new(move |ctx| {
+                    let n = ctx.n();
+                    let t = 2;
+                    for _phase in 0..=t {
+                        // Suggest different bits to different parties.
+                        for to in 1..=n {
+                            ctx.send(to, BaMsg::Suggest(to % 2 == 0));
+                        }
+                        let _ = ctx.next_round();
+                        // Usurp the king round with a split message too.
+                        for to in 1..=n {
+                            ctx.send(to, BaMsg::King(to % 3 == 0));
+                        }
+                        let _ = ctx.next_round();
+                    }
+                    false
+                })
+            },
+        );
+        let res = run_network(n, 3, behaviors);
+        let honest_out: Vec<bool> = plan.honest().map(|id| res.outputs[id - 1].unwrap()).collect();
+        assert!(
+            honest_out.windows(2).all(|w| w[0] == w[1]),
+            "honest disagreement: {honest_out:?}"
+        );
+    }
+
+    #[test]
+    fn validity_under_faults() {
+        // All honest input `true`; t Byzantine parties push `false`.
+        let n = 9;
+        let t = 2;
+        let plan = FaultPlan::explicit(n, vec![4, 8]);
+        let behaviors = plan.behaviors::<BaMsg, bool>(
+            |_| honest(true, t),
+            |_| {
+                Box::new(move |ctx| {
+                    let t = 2;
+                    for _ in 0..=t {
+                        ctx.send_to_all(BaMsg::Suggest(false));
+                        let _ = ctx.next_round();
+                        ctx.send_to_all(BaMsg::King(false));
+                        let _ = ctx.next_round();
+                    }
+                    false
+                })
+            },
+        );
+        let res = run_network(n, 4, behaviors);
+        for id in plan.honest() {
+            assert_eq!(res.outputs[id - 1], Some(true), "party {id} lost validity");
+        }
+    }
+
+    #[test]
+    fn silent_faults_default_safely() {
+        let n = 5;
+        let t = 1;
+        let plan = FaultPlan::explicit(n, vec![1]); // the first king crashes
+        let behaviors = plan.behaviors::<BaMsg, bool>(
+            |id| honest(id >= 4, t),
+            |_| Box::new(|_ctx| false),
+        );
+        let res = run_network(n, 5, behaviors);
+        let outs: Vec<bool> = plan.honest().map(|id| res.outputs[id - 1].unwrap()).collect();
+        assert!(outs.windows(2).all(|w| w[0] == w[1]), "{outs:?}");
+    }
+
+    #[test]
+    fn round_count_is_two_t_plus_one_phases() {
+        let n = 5;
+        let behaviors: Vec<_> = (0..n).map(|_| honest(true, 1)).collect();
+        let res = run_network(n, 6, behaviors);
+        assert_eq!(res.report.comm.rounds, 4); // 2 rounds × (t+1 = 2) phases
+    }
+
+    #[test]
+    fn randomized_fault_sweep_keeps_agreement() {
+        // Property-style sweep over random inputs and fault sets.
+        let mut rng = StdRng::seed_from_u64(0xBA);
+        for trial in 0..12u64 {
+            let n = 9;
+            let t = 2;
+            let mut ids: Vec<usize> = (1..=n).collect();
+            // Pick two random faulty parties.
+            for i in 0..t {
+                let j = rng.random_range(i..n);
+                ids.swap(i, j);
+            }
+            let plan = FaultPlan::explicit(n, ids[..t].to_vec());
+            let inputs: Vec<bool> = (0..n).map(|_| rng.random()).collect();
+            let behaviors = plan.behaviors::<BaMsg, bool>(
+                |id| honest(inputs[id - 1], t),
+                |_| {
+                    Box::new(move |ctx| {
+                        let t = 2;
+                        for round in 0..2 * (t + 1) {
+                            let n = ctx.n();
+                            for to in 1..=n {
+                                let bit = (to + round) % 2 == 0;
+                                let msg = if round % 2 == 0 {
+                                    BaMsg::Suggest(bit)
+                                } else {
+                                    BaMsg::King(bit)
+                                };
+                                ctx.send(to, msg);
+                            }
+                            let _ = ctx.next_round();
+                        }
+                        false
+                    })
+                },
+            );
+            let res = run_network(n, 100 + trial, behaviors);
+            let outs: Vec<bool> =
+                plan.honest().map(|id| res.outputs[id - 1].unwrap()).collect();
+            assert!(
+                outs.windows(2).all(|w| w[0] == w[1]),
+                "trial {trial}: disagreement {outs:?} (faulty {:?})",
+                plan.faulty().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_insufficient_n() {
+        // n = 4, t = 1 violates n > 4t: every party's assertion fires and
+        // the runner reports all outputs as failed.
+        let behaviors: Vec<Behavior<BaMsg, bool>> =
+            (0..4).map(|_| honest(true, 1)).collect();
+        let res = run_network(4, 7, behaviors);
+        assert!(res.outputs.iter().all(Option::is_none));
+    }
+}

@@ -1,0 +1,228 @@
+//! Reliable broadcast from grade-cast + Byzantine agreement.
+//!
+//! The paper's motivation runs in this direction: "Coins are often used
+//! as a source of randomness to execute Byzantine agreement, and hence
+//! implement a broadcast channel" (§4). This module closes that loop as
+//! a library primitive: once BA is available, a single sender's value can
+//! be *reliably broadcast* over point-to-point channels —
+//!
+//! 1. the sender grade-casts `v`;
+//! 2. everyone runs BA with input "my confidence was 2";
+//! 3. if BA decides 1, output the grade-cast value (grade-cast property 2
+//!    guarantees every honest party holds the same value with confidence
+//!    ≥ 1 once any honest party had confidence 2); otherwise output ⊥.
+//!
+//! Guarantees (`n > 4t`, from the phase-king bound):
+//! - **Validity**: an honest sender's value is delivered by all.
+//! - **Agreement**: all honest parties deliver the same
+//!   `Option<V>` — even under a Byzantine sender.
+//!
+//! This is how the §3 protocols' "broadcast channel facility" assumption
+//! can be discharged in the §4 model, at the cost of one grade-cast and
+//! one BA per broadcast.
+
+use dprbg_metrics::WireSize;
+use dprbg_sim::{Embeds, PartyCtx, PartyId};
+
+use crate::ba::{phase_king_ba, BaMsg};
+use crate::gradecast::{gradecast_exchange, GcMsg};
+
+/// Reliably broadcast `value_if_sender` from `sender` to everyone.
+///
+/// All parties call this together; only the `sender` passes `Some`.
+/// Takes `3 + 2(t + 1)` rounds (grade-cast + phase-king). Returns the
+/// delivered value, `None` meaning "sender disqualified" (identical at
+/// every honest party).
+pub fn reliable_broadcast<M, V>(
+    ctx: &mut PartyCtx<M>,
+    sender: PartyId,
+    value_if_sender: Option<V>,
+    t: usize,
+) -> Option<V>
+where
+    M: Clone + Send + WireSize + Embeds<GcMsg<V>> + Embeds<BaMsg> + 'static,
+    V: Clone + Eq + WireSize,
+{
+    let mine = if ctx.id() == sender { value_if_sender } else { None };
+    let graded = gradecast_exchange::<M, V>(ctx, mine);
+    let grade = &graded[sender - 1];
+    let delivered = phase_king_ba::<M>(ctx, grade.confidence == 2, t);
+    if delivered {
+        grade.value.clone()
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprbg_sim::{run_network, Behavior, FaultPlan};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Composite wire type for the broadcast: grade-cast + BA traffic.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum Wire {
+        Gc(GcMsg<u64>),
+        Ba(BaMsg),
+    }
+
+    impl WireSize for Wire {
+        fn wire_bytes(&self) -> usize {
+            match self {
+                Wire::Gc(m) => m.wire_bytes(),
+                Wire::Ba(m) => m.wire_bytes(),
+            }
+        }
+    }
+
+    impl Embeds<GcMsg<u64>> for Wire {
+        fn wrap(inner: GcMsg<u64>) -> Self {
+            Wire::Gc(inner)
+        }
+        fn peek(&self) -> Option<&GcMsg<u64>> {
+            match self {
+                Wire::Gc(m) => Some(m),
+                _ => None,
+            }
+        }
+    }
+
+    impl Embeds<BaMsg> for Wire {
+        fn wrap(inner: BaMsg) -> Self {
+            Wire::Ba(inner)
+        }
+        fn peek(&self) -> Option<&BaMsg> {
+            match self {
+                Wire::Ba(m) => Some(m),
+                _ => None,
+            }
+        }
+    }
+
+    #[test]
+    fn honest_sender_delivers_to_all() {
+        let n = 7;
+        let t = 1;
+        let behaviors: Vec<Behavior<Wire, Option<u64>>> = (1..=n)
+            .map(|id| {
+                Box::new(move |ctx: &mut PartyCtx<Wire>| {
+                    let v = (id == 3).then_some(0xB40ADCA57);
+                    reliable_broadcast::<Wire, u64>(ctx, 3, v, t)
+                }) as Behavior<_, _>
+            })
+            .collect();
+        for out in run_network(n, 1, behaviors).unwrap_all() {
+            assert_eq!(out, Some(0xB40ADCA57));
+        }
+    }
+
+    #[test]
+    fn equivocating_sender_yields_agreement_anyway() {
+        let n = 9;
+        let t = 2;
+        let plan = FaultPlan::explicit(n, vec![1]);
+        let behaviors = plan.behaviors::<Wire, Option<Option<u64>>>(
+            |_| {
+                Box::new(move |ctx| {
+                    Some(reliable_broadcast::<Wire, u64>(ctx, 1, None, 2))
+                })
+            },
+            |_| {
+                Box::new(|ctx| {
+                    let n = ctx.n();
+                    // Split round 1, then stay silent.
+                    for to in 1..=n {
+                        ctx.send(to, Wire::Gc(GcMsg::Value(if to % 2 == 0 { 7 } else { 8 })));
+                    }
+                    // Burn the remaining gradecast + BA rounds.
+                    for _ in 0..(3 + 2 * (2 + 1)) {
+                        let _ = ctx.next_round();
+                    }
+                    None
+                })
+            },
+        );
+        let res = run_network(n, 2, behaviors);
+        let outs: Vec<Option<u64>> = plan
+            .honest()
+            .map(|id| res.outputs[id - 1].as_ref().unwrap().unwrap())
+            .collect();
+        assert!(
+            outs.windows(2).all(|w| w[0] == w[1]),
+            "honest parties disagree: {outs:?}"
+        );
+        let _ = t;
+    }
+
+    #[test]
+    fn silent_sender_delivers_bottom_everywhere() {
+        let n = 7;
+        let behaviors: Vec<Behavior<Wire, Option<u64>>> = (1..=n)
+            .map(|_| {
+                Box::new(move |ctx: &mut PartyCtx<Wire>| {
+                    // Sender 5 never speaks (passes None).
+                    reliable_broadcast::<Wire, u64>(ctx, 5, None, 1)
+                }) as Behavior<_, _>
+            })
+            .collect();
+        for out in run_network(n, 3, behaviors).unwrap_all() {
+            assert_eq!(out, None);
+        }
+    }
+
+    #[test]
+    fn random_fault_sweep_keeps_agreement_and_validity() {
+        let mut rng = StdRng::seed_from_u64(0xBC);
+        for trial in 0..10u64 {
+            let n = 9;
+            let _t = 2;
+            let sender = rng.random_range(1..=n);
+            let bad = loop {
+                let b = rng.random_range(1..=n);
+                if b != sender {
+                    break b;
+                }
+            };
+            let plan = FaultPlan::explicit(n, vec![bad]);
+            let behaviors = plan.behaviors::<Wire, Option<Option<u64>>>(
+                |_| {
+                    Box::new(move |ctx| {
+                        let v = (ctx.id() == sender).then_some(42 + trial);
+                        Some(reliable_broadcast::<Wire, u64>(ctx, sender, v, 2))
+                    })
+                },
+                |_| {
+                    Box::new(move |ctx| {
+                        // Random byzantine noise for a few rounds.
+                        for round in 0..6 {
+                            let n = ctx.n();
+                            for to in 1..=n {
+                                if (to + round) % 3 == 0 {
+                                    ctx.send(
+                                        to,
+                                        Wire::Gc(GcMsg::Echo {
+                                            instance: sender,
+                                            value: 999,
+                                        }),
+                                    );
+                                }
+                            }
+                            let _ = ctx.next_round();
+                        }
+                        None
+                    })
+                },
+            );
+            let res = run_network(n, 700 + trial, behaviors);
+            for id in plan.honest() {
+                assert_eq!(
+                    res.outputs[id - 1].as_ref().unwrap().unwrap(),
+                    Some(42 + trial),
+                    "trial {trial}: validity at party {id} (sender {sender}, bad {bad})"
+                );
+            }
+        }
+    }
+}

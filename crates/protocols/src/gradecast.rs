@@ -1,0 +1,313 @@
+//! Grade-Cast (Feldman–Micali [14]).
+//!
+//! "Grade-Cast is the three level-outcome primitive … [the sender sends]
+//! his/her value to the rest of the players. In the next round everybody
+//! echoes, and this is followed by another round of echos. Each player
+//! outputs a value ν … and a confidence value conf ∈ {0, 1, 2} … A
+//! confidence of 2 indicates that all other honest players have seen the
+//! value ν." (§4 of the paper.)
+//!
+//! Guarantees for `n ≥ 3t + 1`:
+//!
+//! 1. **Honest sender** ⇒ every honest party outputs the sender's value
+//!    with confidence 2.
+//! 2. **Soft agreement** — if any honest party outputs confidence 2 for
+//!    `v`, every honest party outputs `v` with confidence ≥ 1.
+//! 3. **No two honest parties output confidence ≥ 1 for different
+//!    values.**
+//!
+//! All `n` instances (one per sender) run in parallel in three rounds —
+//! exactly how Coin-Gen step 7 uses them.
+
+use dprbg_metrics::WireSize;
+use dprbg_sim::{Embeds, PartyCtx, PartyId};
+
+/// Wire messages of the parallel grade-cast instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GcMsg<V> {
+    /// Round 1: instance sender's value.
+    Value(V),
+    /// Round 2: echo of what was received from `instance`'s sender.
+    Echo {
+        /// The instance (sender id) being echoed.
+        instance: PartyId,
+        /// The echoed value.
+        value: V,
+    },
+    /// Round 3: vote that ≥ n−t echoes supported `value` in `instance`.
+    Vote {
+        /// The instance (sender id) being voted on.
+        instance: PartyId,
+        /// The supported value.
+        value: V,
+    },
+}
+
+impl<V: WireSize> WireSize for GcMsg<V> {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            GcMsg::Value(v) => v.wire_bytes(),
+            // Instance tags are log n bits; charge one byte.
+            GcMsg::Echo { value, .. } | GcMsg::Vote { value, .. } => 1 + value.wire_bytes(),
+        }
+    }
+}
+
+/// One party's output for one grade-cast instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GradeOutput<V> {
+    /// The received value, if any support materialized.
+    pub value: Option<V>,
+    /// Confidence ∈ {0, 1, 2}.
+    pub confidence: u8,
+}
+
+impl<V> GradeOutput<V> {
+    fn none() -> Self {
+        GradeOutput { value: None, confidence: 0 }
+    }
+}
+
+/// Count, among `(party, value)` pairs, the support for each distinct
+/// value, counting at most one entry per party; return the best value with
+/// its count.
+fn best_supported<V: Clone + Eq>(entries: &[(PartyId, V)]) -> Option<(V, usize)> {
+    let mut tally: Vec<(V, usize)> = Vec::new();
+    let mut seen: Vec<PartyId> = Vec::new();
+    for (p, v) in entries {
+        if seen.contains(p) {
+            continue; // a party only gets one voice per instance
+        }
+        seen.push(*p);
+        match tally.iter_mut().find(|(tv, _)| tv == v) {
+            Some((_, c)) => *c += 1,
+            None => tally.push((v.clone(), 1)),
+        }
+    }
+    tally.into_iter().max_by_key(|(_, c)| *c)
+}
+
+/// Run `n` parallel grade-cast instances — party `j` is the sender of
+/// instance `j` — and return this party's `n` outputs (index `j − 1` is
+/// instance `j`).
+///
+/// `my_value` is what this party grade-casts in its own instance
+/// (`None` = originate nothing; this party still echoes and votes for
+/// the other instances). Takes exactly 3 rounds. Requires `n ≥ 3t + 1`
+/// for the guarantees above; the threshold `t` is `⌊(n − 1) / 3⌋`.
+pub fn gradecast_exchange<M, V>(
+    ctx: &mut PartyCtx<M>,
+    my_value: impl Into<Option<V>>,
+) -> Vec<GradeOutput<V>>
+where
+    M: Clone + Send + WireSize + Embeds<GcMsg<V>> + 'static,
+    V: Clone + Eq + WireSize,
+{
+    let n = ctx.n();
+    let t = (n - 1) / 3;
+    let me = ctx.id();
+
+    // Round 1: every sender distributes its value.
+    if let Some(v) = my_value.into() {
+        ctx.send_to_all(M::wrap(GcMsg::Value(v)));
+    }
+    let inbox = ctx.next_round();
+    // received[j-1] = what instance j's sender told us.
+    let mut received: Vec<Option<V>> = vec![None; n];
+    for r in inbox.iter() {
+        if let Some(GcMsg::Value(v)) = r.msg.peek() {
+            if received[r.from - 1].is_none() {
+                received[r.from - 1] = Some(v.clone());
+            }
+        }
+    }
+
+    // Round 2: echo every instance's value.
+    for j in 1..=n {
+        if let Some(v) = &received[j - 1] {
+            ctx.send_to_all(M::wrap(GcMsg::Echo { instance: j, value: v.clone() }));
+        }
+    }
+    let inbox = ctx.next_round();
+    let mut echoes: Vec<Vec<(PartyId, V)>> = vec![Vec::new(); n];
+    for r in inbox.iter() {
+        if let Some(GcMsg::Echo { instance, value }) = r.msg.peek() {
+            if (1..=n).contains(instance) {
+                echoes[instance - 1].push((r.from, value.clone()));
+            }
+        }
+    }
+
+    // Round 3: vote for any value with ≥ n − t echo support.
+    for j in 1..=n {
+        if let Some((v, c)) = best_supported(&echoes[j - 1]) {
+            if c >= n - t {
+                ctx.send_to_all(M::wrap(GcMsg::Vote { instance: j, value: v }));
+            }
+        }
+    }
+    let inbox = ctx.next_round();
+    let mut votes: Vec<Vec<(PartyId, V)>> = vec![Vec::new(); n];
+    for r in inbox.iter() {
+        if let Some(GcMsg::Vote { instance, value }) = r.msg.peek() {
+            if (1..=n).contains(instance) {
+                votes[instance - 1].push((r.from, value.clone()));
+            }
+        }
+    }
+
+    let _ = me;
+    (0..n)
+        .map(|idx| match best_supported(&votes[idx]) {
+            Some((v, c)) if c >= n - t => GradeOutput { value: Some(v), confidence: 2 },
+            Some((v, c)) if c > t => GradeOutput { value: Some(v), confidence: 1 },
+            _ => GradeOutput::none(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprbg_sim::{run_network, Behavior, FaultPlan};
+
+    type V = u64;
+    type M = GcMsg<V>;
+
+    fn honest(value: V) -> Behavior<M, Vec<GradeOutput<V>>> {
+        Box::new(move |ctx| gradecast_exchange::<M, V>(ctx, value))
+    }
+
+    #[test]
+    fn all_honest_full_confidence() {
+        let n = 4;
+        let behaviors: Vec<_> = (1..=n).map(|id| honest(id as u64 * 100)).collect();
+        let res = run_network(n, 1, behaviors);
+        for outputs in res.unwrap_all() {
+            for (j, out) in outputs.iter().enumerate() {
+                assert_eq!(out.confidence, 2);
+                assert_eq!(out.value, Some((j as u64 + 1) * 100));
+            }
+        }
+    }
+
+    #[test]
+    fn equivocating_sender_cannot_split_high_confidence() {
+        // Party 1 sends different values to different parties in round 1
+        // and echoes inconsistently; honest parties must never end with
+        // confidence >= 1 on different values for instance 1.
+        let n = 7;
+        let plan = FaultPlan::first_t(n, 2);
+        let behaviors = plan.behaviors::<M, Vec<GradeOutput<V>>>(
+            |_| honest(5),
+            |_| {
+                Box::new(|ctx| {
+                    let n = ctx.n();
+                    // Equivocate: half get 111, half get 222.
+                    for to in 1..=n {
+                        let v = if to <= n / 2 { 111 } else { 222 };
+                        ctx.send(to, GcMsg::Value(v));
+                    }
+                    let _ = ctx.next_round();
+                    // Echo garbage for our own instance, split again.
+                    for to in 1..=n {
+                        let v = if to % 2 == 0 { 111 } else { 222 };
+                        ctx.send(to, GcMsg::Echo { instance: 1, value: v });
+                    }
+                    let _ = ctx.next_round();
+                    let _ = ctx.next_round();
+                    vec![]
+                })
+            },
+        );
+        let res = run_network(n, 2, behaviors);
+        let mut graded: Vec<(Option<V>, u8)> = Vec::new();
+        for id in plan.honest() {
+            let outs = res.outputs[id - 1].as_ref().unwrap();
+            graded.push((outs[0].value, outs[0].confidence));
+        }
+        // Property 3: all confidence >= 1 values agree.
+        let confident: Vec<V> = graded
+            .iter()
+            .filter(|(_, c)| *c >= 1)
+            .map(|(v, _)| v.unwrap())
+            .collect();
+        assert!(
+            confident.windows(2).all(|w| w[0] == w[1]),
+            "honest parties graded different values: {graded:?}"
+        );
+    }
+
+    #[test]
+    fn confidence_two_implies_all_honest_see_value() {
+        // Faulty parties echo/vote selectively; whenever an honest party
+        // reaches confidence 2 on an honest instance, everyone honest has
+        // confidence >= 1 with the same value.
+        let n = 7;
+        let plan = FaultPlan::first_t(n, 2);
+        let behaviors = plan.behaviors::<M, Vec<GradeOutput<V>>>(
+            |id| honest(id as u64),
+            |_| {
+                Box::new(|ctx| {
+                    // Stay silent in rounds 1-2, vote randomly in round 3.
+                    let _ = ctx.next_round();
+                    let _ = ctx.next_round();
+                    let n = ctx.n();
+                    for to in 1..=n {
+                        ctx.send(to, GcMsg::Vote { instance: 3, value: 999 });
+                    }
+                    let _ = ctx.next_round();
+                    vec![]
+                })
+            },
+        );
+        let res = run_network(n, 3, behaviors);
+        for j in plan.honest() {
+            // Instance j had an honest sender: everyone must grade (j, 2).
+            for id in plan.honest() {
+                let outs = res.outputs[id - 1].as_ref().unwrap();
+                assert_eq!(outs[j - 1].confidence, 2, "instance {j} at party {id}");
+                assert_eq!(outs[j - 1].value, Some(j as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn silent_sender_gets_zero_confidence() {
+        let n = 4;
+        let plan = FaultPlan::explicit(n, vec![2]);
+        let behaviors = plan.behaviors::<M, Vec<GradeOutput<V>>>(
+            |id| honest(id as u64),
+            |_| {
+                Box::new(|ctx| {
+                    for _ in 0..3 {
+                        let _ = ctx.next_round();
+                    }
+                    vec![]
+                })
+            },
+        );
+        let res = run_network(n, 4, behaviors);
+        for id in plan.honest() {
+            let outs = res.outputs[id - 1].as_ref().unwrap();
+            assert_eq!(outs[1].confidence, 0, "silent instance at party {id}");
+            assert_eq!(outs[1].value, None);
+        }
+    }
+
+    #[test]
+    fn duplicate_voices_counted_once() {
+        let entries = vec![(1, 7u64), (1, 7), (1, 7), (2, 7), (3, 9)];
+        let (v, c) = best_supported(&entries).unwrap();
+        assert_eq!((v, c), (7, 2));
+        assert_eq!(best_supported::<u64>(&[]), None);
+    }
+
+    #[test]
+    fn takes_exactly_three_rounds() {
+        let n = 4;
+        let behaviors: Vec<_> = (1..=n).map(|id| honest(id as u64)).collect();
+        let res = run_network(n, 5, behaviors);
+        assert_eq!(res.report.comm.rounds, 3);
+    }
+}

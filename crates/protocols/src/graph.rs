@@ -1,0 +1,306 @@
+//! The Coin-Gen agreement graph and Gavril's clique approximation.
+//!
+//! Coin-Gen steps 4–6 (Fig. 5): each player builds a *directed* graph
+//! `G'(V', E')` — "add a directed edge from j to k if F_j ≠ ⊥ and P_k's
+//! share β_k is in S_j and satisfies F_j(k) = β_k" — symmetrizes it into
+//! `G(V, E)` by keeping mutual edges, and then finds a clique of size at
+//! least `n − 2t`:
+//!
+//! > "Due to the above, there is a clique of size at least n − t in G.
+//! > Utilizing the protocol of Gabril ([15], p. 134), a clique can be
+//! > found of size at least n − 2t."
+//!
+//! The approximation: if `G` contains a clique of size `n − t`, its
+//! complement has a vertex cover of size ≤ `t`; any **maximal matching**
+//! in the complement has ≤ `t` edges and its endpoint set (size ≤ `2t`)
+//! covers every complement edge, so removing those endpoints leaves an
+//! independent set of the complement — a clique of `G` — of size
+//! ≥ `n − 2t`. The greedy matching is deterministic, so every party
+//! computing on the same graph finds the same clique.
+
+use dprbg_sim::PartyId;
+
+/// A directed graph over parties `1..=n` (Coin-Gen's `G'`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiGraph {
+    n: usize,
+    adj: Vec<bool>,
+}
+
+impl DiGraph {
+    /// An edgeless directed graph on `n` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "graph needs at least one vertex");
+        DiGraph { n, adj: vec![false; n * n] }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Add the directed edge `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: PartyId, to: PartyId) {
+        assert!((1..=self.n).contains(&from) && (1..=self.n).contains(&to));
+        self.adj[(from - 1) * self.n + (to - 1)] = true;
+    }
+
+    /// Whether `from → to` is present.
+    pub fn has_edge(&self, from: PartyId, to: PartyId) -> bool {
+        (1..=self.n).contains(&from)
+            && (1..=self.n).contains(&to)
+            && self.adj[(from - 1) * self.n + (to - 1)]
+    }
+
+    /// Coin-Gen step 5: the undirected graph with `{j, k} ∈ E` iff both
+    /// `j → k` and `k → j` are in `E'`.
+    pub fn mutual(&self) -> Graph {
+        let mut g = Graph::new(self.n);
+        for j in 1..=self.n {
+            for k in j + 1..=self.n {
+                if self.has_edge(j, k) && self.has_edge(k, j) {
+                    g.add_edge(j, k);
+                }
+            }
+        }
+        g
+    }
+}
+
+/// An undirected graph over parties `1..=n` (Coin-Gen's `G`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    adj: Vec<bool>,
+}
+
+impl Graph {
+    /// An edgeless graph on `n` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "graph needs at least one vertex");
+        Graph { n, adj: vec![false; n * n] }
+    }
+
+    /// A complete graph on `n` vertices.
+    pub fn complete(n: usize) -> Self {
+        let mut g = Graph::new(n);
+        for a in 1..=n {
+            for b in a + 1..=n {
+                g.add_edge(a, b);
+            }
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Add the undirected edge `{a, b}` (self-loops are ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, a: PartyId, b: PartyId) {
+        assert!((1..=self.n).contains(&a) && (1..=self.n).contains(&b));
+        if a == b {
+            return;
+        }
+        self.adj[(a - 1) * self.n + (b - 1)] = true;
+        self.adj[(b - 1) * self.n + (a - 1)] = true;
+    }
+
+    /// Whether `{a, b}` is an edge.
+    pub fn has_edge(&self, a: PartyId, b: PartyId) -> bool {
+        a != b
+            && (1..=self.n).contains(&a)
+            && (1..=self.n).contains(&b)
+            && self.adj[(a - 1) * self.n + (b - 1)]
+    }
+
+    /// Whether `set` induces a clique.
+    pub fn is_clique(&self, set: &[PartyId]) -> bool {
+        set.iter().enumerate().all(|(i, &a)| {
+            set[i + 1..].iter().all(|&b| self.has_edge(a, b))
+        })
+    }
+}
+
+/// Gavril's clique approximation.
+///
+/// Returns a clique of the graph, deterministically. If the graph contains
+/// a clique of size `n − t` for some `t`, the returned clique has size at
+/// least `n − 2t` — the guarantee Coin-Gen step 6 relies on (with the
+/// `n − t` clique being the honest parties under an honest-dealer
+/// majority).
+///
+/// The result is sorted by party id.
+pub fn approx_clique(g: &Graph) -> Vec<PartyId> {
+    let n = g.n();
+    // Greedy maximal matching on the complement graph: scan pairs in
+    // deterministic order, match any still-unmatched complement edge.
+    let mut matched = vec![false; n + 1];
+    for a in 1..=n {
+        if matched[a] {
+            continue;
+        }
+        for b in a + 1..=n {
+            if !matched[b] && !g.has_edge(a, b) {
+                matched[a] = true;
+                matched[b] = true;
+                break;
+            }
+        }
+    }
+    // Unmatched vertices form an independent set of the complement —
+    // i.e. a clique of g (any non-adjacent unmatched pair would have been
+    // matched by maximality).
+    let clique: Vec<PartyId> = (1..=n).filter(|&v| !matched[v]).collect();
+    debug_assert!(g.is_clique(&clique), "Gavril result must be a clique");
+    clique
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn mutual_requires_both_directions() {
+        let mut d = DiGraph::new(3);
+        d.add_edge(1, 2);
+        d.add_edge(2, 1);
+        d.add_edge(1, 3); // one-way only
+        let g = d.mutual();
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(1, 3));
+        assert!(!g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn complete_graph_returns_everything() {
+        let g = Graph::complete(7);
+        assert_eq!(approx_clique(&g), vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn planted_clique_bound_holds() {
+        // n = 7, t = 2: parties 3..=7 form the honest clique (size n−t=5);
+        // the approximation must return a clique of size ≥ n−2t = 3.
+        let n = 7;
+        let t = 2;
+        let mut g = Graph::new(n);
+        for a in 3..=7 {
+            for b in a + 1..=7 {
+                g.add_edge(a, b);
+            }
+        }
+        // Faulty parties connect arbitrarily.
+        g.add_edge(1, 3);
+        g.add_edge(2, 7);
+        let c = approx_clique(&g);
+        assert!(g.is_clique(&c));
+        assert!(c.len() >= n - 2 * t, "clique too small: {c:?}");
+    }
+
+    #[test]
+    fn empty_graph_yields_singleton_at_most() {
+        let g = Graph::new(5);
+        let c = approx_clique(&g);
+        // Complement is complete: max matching leaves ≤ 1 unmatched.
+        assert!(c.len() <= 1);
+        assert!(g.is_clique(&c));
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 10;
+        let mut g = Graph::new(n);
+        for a in 1..=n {
+            for b in a + 1..=n {
+                if rng.random::<bool>() {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        assert_eq!(approx_clique(&g), approx_clique(&g));
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1);
+        assert!(!g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn is_clique_checks_all_pairs() {
+        let mut g = Graph::new(4);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        assert!(g.is_clique(&[1, 2]));
+        assert!(!g.is_clique(&[1, 2, 3])); // missing 1-3
+        assert!(g.is_clique(&[])); // vacuous
+        assert!(g.is_clique(&[4]));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn prop_result_is_always_a_clique(seed: u64, n in 1usize..16) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut g = Graph::new(n);
+            for a in 1..=n {
+                for b in a + 1..=n {
+                    if rng.random::<bool>() {
+                        g.add_edge(a, b);
+                    }
+                }
+            }
+            let c = approx_clique(&g);
+            prop_assert!(g.is_clique(&c));
+        }
+
+        #[test]
+        fn prop_planted_clique_bound(seed: u64, n in 7usize..20, t_frac in 0usize..3) {
+            // Plant a clique of size n − t; random extra edges; check the
+            // n − 2t guarantee.
+            let t = (n / 6).max(1) + t_frac.min(n / 6);
+            prop_assume!(n > 2 * t);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut g = Graph::new(n);
+            // Plant on parties t+1..=n.
+            for a in t + 1..=n {
+                for b in a + 1..=n {
+                    g.add_edge(a, b);
+                }
+            }
+            for a in 1..=t {
+                for b in 1..=n {
+                    if a != b && rng.random::<bool>() {
+                        g.add_edge(a, b);
+                    }
+                }
+            }
+            let c = approx_clique(&g);
+            prop_assert!(g.is_clique(&c));
+            prop_assert!(c.len() >= n - 2 * t, "got {} want ≥ {}", c.len(), n - 2 * t);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Adversary planning helpers.
+//!
+//! The paper's adversary controls up to `t` parties which "deviate
+//! arbitrarily from the protocol, and even collude" (§2). In this
+//! simulator, an adversarial party is simply a different [`Behavior`]
+//! passed to [`crate::run_network`]; protocol crates define
+//! attack-specific behaviors next to each protocol. This module provides
+//! the generic pieces: a [`FaultPlan`] describing *which* parties are
+//! corrupted, and behaviors every attack shares (crashing).
+
+use crate::network::{Behavior, PartyCtx};
+use crate::router::PartyId;
+use dprbg_metrics::WireSize;
+
+/// Which parties the adversary controls in a given execution.
+///
+/// # Examples
+///
+/// ```
+/// use dprbg_sim::FaultPlan;
+/// let plan = FaultPlan::first_t(7, 2);
+/// assert!(plan.is_faulty(1) && plan.is_faulty(2) && !plan.is_faulty(3));
+/// assert_eq!(plan.honest().count(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    n: usize,
+    faulty: Vec<PartyId>,
+}
+
+impl FaultPlan {
+    /// No faults at all.
+    pub fn none(n: usize) -> Self {
+        FaultPlan { n, faulty: vec![] }
+    }
+
+    /// Corrupt parties `1..=t` (the canonical worst-case labelling; the
+    /// protocols are symmetric in party ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t > n`.
+    pub fn first_t(n: usize, t: usize) -> Self {
+        assert!(t <= n, "cannot corrupt more parties than exist");
+        FaultPlan {
+            n,
+            faulty: (1..=t).collect(),
+        }
+    }
+
+    /// Corrupt an explicit set of parties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range or repeated.
+    pub fn explicit(n: usize, faulty: Vec<PartyId>) -> Self {
+        for (i, &p) in faulty.iter().enumerate() {
+            assert!((1..=n).contains(&p), "party id {p} out of range");
+            assert!(!faulty[i + 1..].contains(&p), "duplicate faulty id {p}");
+        }
+        FaultPlan { n, faulty }
+    }
+
+    /// Total number of parties.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of corrupted parties.
+    pub fn t(&self) -> usize {
+        self.faulty.len()
+    }
+
+    /// Whether `id` is corrupted.
+    pub fn is_faulty(&self, id: PartyId) -> bool {
+        self.faulty.contains(&id)
+    }
+
+    /// Iterator over honest party ids in increasing order.
+    pub fn honest(&self) -> impl Iterator<Item = PartyId> + '_ {
+        (1..=self.n).filter(move |id| !self.is_faulty(*id))
+    }
+
+    /// Iterator over corrupted party ids.
+    pub fn faulty(&self) -> impl Iterator<Item = PartyId> + '_ {
+        self.faulty.iter().copied()
+    }
+
+    /// Build the behavior vector for a run: `honest(id)` for honest
+    /// parties, `corrupt(id)` for corrupted ones.
+    pub fn behaviors<M, Out>(
+        &self,
+        mut honest: impl FnMut(PartyId) -> Behavior<M, Out>,
+        mut corrupt: impl FnMut(PartyId) -> Behavior<M, Out>,
+    ) -> Vec<Behavior<M, Out>> {
+        (1..=self.n)
+            .map(|id| {
+                if self.is_faulty(id) {
+                    corrupt(id)
+                } else {
+                    honest(id)
+                }
+            })
+            .collect()
+    }
+}
+
+/// The crash-fault behavior: the party goes down before sending anything.
+///
+/// Thanks to the dynamic round barrier the remaining parties keep running;
+/// the crashed party simply never speaks again.
+pub fn crash_immediately<M, Out>() -> Behavior<M, Out>
+where
+    M: Clone + WireSize + 'static,
+    Out: Default + 'static,
+{
+    Box::new(|_ctx: &mut PartyCtx<M>| Out::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::run_network;
+
+    #[test]
+    fn fault_plan_shapes() {
+        let p = FaultPlan::first_t(7, 2);
+        assert_eq!(p.t(), 2);
+        assert_eq!(p.honest().collect::<Vec<_>>(), vec![3, 4, 5, 6, 7]);
+        assert_eq!(p.faulty().collect::<Vec<_>>(), vec![1, 2]);
+        let q = FaultPlan::explicit(5, vec![2, 4]);
+        assert!(q.is_faulty(4) && !q.is_faulty(5));
+        assert_eq!(FaultPlan::none(3).t(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn explicit_rejects_duplicates() {
+        let _ = FaultPlan::explicit(5, vec![2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn explicit_rejects_out_of_range() {
+        let _ = FaultPlan::explicit(5, vec![6]);
+    }
+
+    #[test]
+    fn crashed_parties_dont_stop_the_rest() {
+        let plan = FaultPlan::first_t(4, 1);
+        let behaviors = plan.behaviors::<u8, u8>(
+            |_id| {
+                Box::new(|ctx| {
+                    ctx.send_to_all(1);
+                    let inbox = ctx.next_round();
+                    inbox.len() as u8
+                })
+            },
+            |_id| crash_immediately(),
+        );
+        let res = run_network(4, 11, behaviors);
+        // Three honest senders; the crashed party contributed nothing.
+        for id in plan.honest() {
+            assert_eq!(res.outputs[id - 1], Some(3));
+        }
+    }
+}

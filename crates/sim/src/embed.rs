@@ -1,0 +1,68 @@
+//! Message-type composition.
+//!
+//! A protocol like Coin-Gen (Fig. 5) runs several sub-protocols —
+//! Bit-Gen, Grade-Cast, Byzantine agreement — over one synchronous
+//! network, so the network's wire type `M` must be able to carry each
+//! sub-protocol's messages. [`Embeds`] is that capability: a sub-protocol
+//! written against `M: Embeds<ItsMsg>` can be reused standalone (where
+//! `M = ItsMsg`, via the reflexive impl) or inside any composed wire enum.
+
+/// `Self` can carry `Inner` messages.
+pub trait Embeds<Inner>: Sized {
+    /// Wrap an inner message for the wire.
+    fn wrap(inner: Inner) -> Self;
+
+    /// View the inner message if this wire value carries one.
+    ///
+    /// Returns `None` for wire values belonging to other sub-protocols —
+    /// *and for malformed traffic from Byzantine parties*, which honest
+    /// code must simply ignore.
+    fn peek(&self) -> Option<&Inner>;
+}
+
+impl<T> Embeds<T> for T {
+    fn wrap(inner: T) -> Self {
+        inner
+    }
+
+    fn peek(&self) -> Option<&T> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Wire {
+        A(u32),
+        B(&'static str),
+    }
+
+    impl Embeds<u32> for Wire {
+        fn wrap(inner: u32) -> Self {
+            Wire::A(inner)
+        }
+        fn peek(&self) -> Option<&u32> {
+            match self {
+                Wire::A(v) => Some(v),
+                Wire::B(_) => None,
+            }
+        }
+    }
+
+    #[test]
+    fn reflexive_embedding() {
+        let m: u32 = Embeds::<u32>::wrap(5);
+        assert_eq!(m.peek(), Some(&5));
+    }
+
+    #[test]
+    fn enum_embedding_filters_foreign_traffic() {
+        let a = Wire::wrap(7);
+        assert_eq!(a.peek(), Some(&7));
+        let b = Wire::B("other protocol");
+        assert_eq!(Embeds::<u32>::peek(&b), None);
+    }
+}

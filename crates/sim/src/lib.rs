@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! A synchronous multi-party network simulator.
+//!
+//! Implements the paper's model (§2): "a synchronous network of n players
+//! P_1, …, P_n (probabilistic polynomial-time machines with a source of
+//! perfectly random bits), which communicate by sending messages. We assume
+//! that private channels are available between the players."
+//!
+//! Each party runs as its own thread executing straight-line protocol code
+//! against a [`PartyCtx`]: it sends typed messages over private
+//! point-to-point channels ([`PartyCtx::send`]), optionally uses the §3
+//! model's *ideal broadcast channel* ([`PartyCtx::broadcast`] — the
+//! facility §4 shows how to remove), and advances the global round clock
+//! with [`PartyCtx::next_round`], which delivers everything sent to it in
+//! the round that just ended.
+//!
+//! Lock-step synchrony is enforced by a dynamic barrier: a round completes
+//! only when every *live* party has finished sending, so a message sent in
+//! round `r` is delivered at the start of round `r + 1`, exactly once, to
+//! exactly its addressee. Parties that return early (crash faults, or
+//! honest parties that finished) simply leave the barrier; the rest keep
+//! running.
+//!
+//! Everything is deterministic given the master seed: per-party randomness
+//! comes from seeded [`rand::rngs::StdRng`]s, and inboxes are sorted by
+//! (sender, send order). Communication is charged to the
+//! [`dprbg_metrics::comm`] counters using [`WireSize`]: one unicast = one
+//! message of the payload's size; one ideal-channel broadcast = one message
+//! (matching the paper's counting, e.g. "2n messages, each of size k" in
+//! Lemma 2).
+//!
+//! # Examples
+//!
+//! ```
+//! use dprbg_sim::{run_network, Behavior, PartyCtx};
+//!
+//! // Three parties each send their id to everyone and sum what they hear.
+//! let behaviors: Vec<Behavior<u64, u64>> = (1..=3)
+//!     .map(|_| {
+//!         Box::new(|ctx: &mut PartyCtx<u64>| {
+//!             ctx.send_to_all(ctx.id() as u64);
+//!             let inbox = ctx.next_round();
+//!             inbox.iter().map(|r| r.msg).sum::<u64>()
+//!         }) as Behavior<u64, u64>
+//!     })
+//!     .collect();
+//! let result = run_network(3, 42, behaviors);
+//! assert_eq!(result.outputs, vec![Some(6), Some(6), Some(6)]);
+//! ```
+
+mod adversary;
+mod embed;
+mod network;
+mod router;
+
+pub use adversary::{crash_immediately, FaultPlan};
+pub use embed::Embeds;
+pub use network::{run_network, Behavior, PartyCtx, RunResult};
+pub use router::{Inbox, PartyId, Received, RoundProfile};
+
+pub use dprbg_metrics::WireSize;

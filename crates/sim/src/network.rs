@@ -1,0 +1,375 @@
+//! Party execution contexts and the network runner.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use dprbg_metrics::{comm, CostReport, CostSnapshot, WireSize};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::router::{Inbox, PartyId, Received, RoundProfile, Router};
+
+/// A party's protocol code: straight-line logic against a [`PartyCtx`].
+pub type Behavior<M, Out> = Box<dyn FnOnce(&mut PartyCtx<M>) -> Out + Send>;
+
+/// A party's handle onto the synchronous network.
+///
+/// Obtained only through [`run_network`]; protocol functions take
+/// `&mut PartyCtx<M>` and use it to send, broadcast, and advance rounds.
+pub struct PartyCtx<M> {
+    id: PartyId,
+    router: Arc<Router<M>>,
+    rng: StdRng,
+    seq: u32,
+    left: bool,
+}
+
+impl<M: Clone + WireSize> PartyCtx<M> {
+    /// This party's 1-based identifier (`P_1 … P_n`).
+    pub fn id(&self) -> PartyId {
+        self.id
+    }
+
+    /// The total number of parties `n`.
+    pub fn n(&self) -> usize {
+        self.router.n()
+    }
+
+    /// This party's private randomness (deterministic per master seed).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Send `msg` to party `to` over the private channel. Delivered at the
+    /// start of the next round. Charged as one message of the payload's
+    /// wire size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a valid party id.
+    pub fn send(&mut self, to: PartyId, msg: M) {
+        assert!((1..=self.n()).contains(&to), "invalid recipient {to}");
+        comm::count_message(msg.wire_bytes() as u64);
+        let rcv = Received {
+            from: self.id,
+            broadcast: false,
+            seq: self.seq,
+            msg,
+        };
+        self.seq += 1;
+        self.router.post(to, rcv);
+    }
+
+    /// Send `msg` to every party (including self) over private channels:
+    /// `n` messages — the paper's point-to-point "send to all players"
+    /// (e.g. Bit-Gen's `n²` messages per round when all parties do it).
+    pub fn send_to_all(&mut self, msg: M) {
+        for to in 1..=self.n() {
+            self.send(to, msg.clone());
+        }
+    }
+
+    /// Publish `msg` on the **ideal broadcast channel** (the §3 model
+    /// assumption): every party receives the identical value next round,
+    /// attributable to this sender. Charged as **one** message (the
+    /// paper's Lemma 2/4 counting); §4's protocols never call this.
+    pub fn broadcast(&mut self, msg: M) {
+        comm::count_message(msg.wire_bytes() as u64);
+        let seq = self.seq;
+        self.seq += 1;
+        for to in 1..=self.n() {
+            self.router.post(
+                to,
+                Received {
+                    from: self.id,
+                    broadcast: true,
+                    seq,
+                    msg: msg.clone(),
+                },
+            );
+        }
+    }
+
+    /// Finish the current round: blocks until every live party has done
+    /// the same, then returns everything addressed to this party during
+    /// the round that just ended.
+    pub fn next_round(&mut self) -> Inbox<M> {
+        comm::count_rounds(1);
+        self.router.next_round(self.id)
+    }
+
+    /// How many parties are still running their protocol code.
+    pub fn active_parties(&self) -> usize {
+        self.router.active()
+    }
+
+    fn leave(&mut self) {
+        if !self.left {
+            self.left = true;
+            self.router.leave();
+        }
+    }
+}
+
+impl<M> Drop for PartyCtx<M> {
+    fn drop(&mut self) {
+        if !self.left {
+            self.left = true;
+            self.router.leave();
+        }
+    }
+}
+
+/// The outcome of a network execution.
+#[derive(Debug)]
+pub struct RunResult<Out> {
+    /// Each party's protocol output, in id order; `None` if that party's
+    /// code panicked.
+    pub outputs: Vec<Option<Out>>,
+    /// The aggregated cost report (per-party computation, total
+    /// communication).
+    pub report: CostReport,
+    /// Per-round delivery profile — the protocol's round anatomy.
+    pub rounds: Vec<RoundProfile>,
+}
+
+impl<Out> RunResult<Out> {
+    /// The outputs of the parties that completed, paired with their ids.
+    pub fn completed(&self) -> impl Iterator<Item = (PartyId, &Out)> {
+        self.outputs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.as_ref().map(|out| (i + 1, out)))
+    }
+
+    /// Unwrap every output, panicking if any party failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any party's behavior panicked.
+    pub fn unwrap_all(self) -> Vec<Out> {
+        self.outputs
+            .into_iter()
+            .enumerate()
+            .map(|(i, o)| o.unwrap_or_else(|| panic!("party {} panicked", i + 1)))
+            .collect()
+    }
+}
+
+/// Execute one behavior per party on a fresh synchronous network.
+///
+/// Spawns one thread per party; each gets a deterministic RNG derived from
+/// `seed` and its id. Returns when every behavior has returned (or
+/// panicked — a panicking party is removed from the round barrier so the
+/// rest can finish, and its output is `None`).
+///
+/// # Panics
+///
+/// Panics if `behaviors` is empty.
+pub fn run_network<M, Out>(n: usize, seed: u64, behaviors: Vec<Behavior<M, Out>>) -> RunResult<Out>
+where
+    M: Clone + Send + WireSize + 'static,
+    Out: Send + 'static,
+{
+    assert_eq!(behaviors.len(), n, "need exactly one behavior per party");
+    assert!(n >= 1, "need at least one party");
+    let router = Arc::new(Router::<M>::new(n));
+    let (tx, rx) = mpsc::channel::<(PartyId, Option<Out>, CostSnapshot)>();
+
+    std::thread::scope(|scope| {
+        for (idx, behavior) in behaviors.into_iter().enumerate() {
+            let id = idx + 1;
+            let router = Arc::clone(&router);
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let mut ctx = PartyCtx {
+                    id,
+                    router,
+                    rng: StdRng::seed_from_u64(
+                        seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    ),
+                    seq: 0,
+                    left: false,
+                };
+                let before = CostSnapshot::capture();
+                let out = catch_unwind(AssertUnwindSafe(|| behavior(&mut ctx))).ok();
+                ctx.leave();
+                let cost = CostSnapshot::capture().since(&before);
+                let _ = tx.send((id, out, cost));
+            });
+        }
+    });
+    drop(tx);
+
+    let mut outputs: Vec<Option<Out>> = (0..n).map(|_| None).collect();
+    let mut costs = vec![CostSnapshot::default(); n];
+    for (id, out, cost) in rx {
+        outputs[id - 1] = out;
+        costs[id - 1] = cost;
+    }
+    RunResult {
+        outputs,
+        report: CostReport::from_snapshots(costs),
+        rounds: router.profile(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed<M, Out>(
+        f: impl FnOnce(&mut PartyCtx<M>) -> Out + Send + 'static,
+    ) -> Behavior<M, Out> {
+        Box::new(f)
+    }
+
+    #[test]
+    fn round_trip_unicast() {
+        // Party 1 sends 10 to party 2; party 2 replies with double.
+        let behaviors: Vec<Behavior<u32, u32>> = vec![
+            boxed(|ctx| {
+                ctx.send(2, 10);
+                let _ = ctx.next_round();
+                let inbox = ctx.next_round();
+                inbox.first_from(2).map(|r| r.msg).unwrap_or(0)
+            }),
+            boxed(|ctx| {
+                let inbox = ctx.next_round();
+                let v = inbox.first_from(1).map(|r| r.msg).unwrap_or(0);
+                ctx.send(1, v * 2);
+                let _ = ctx.next_round();
+                v
+            }),
+        ];
+        let res = run_network(2, 1, behaviors);
+        assert_eq!(res.outputs, vec![Some(20), Some(10)]);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_identically() {
+        let behaviors: Vec<Behavior<u32, u32>> = (0..4)
+            .map(|i| {
+                boxed(move |ctx: &mut PartyCtx<u32>| {
+                    if ctx.id() == 3 {
+                        ctx.broadcast(99);
+                    }
+                    let inbox = ctx.next_round();
+                    let b: Vec<u32> = inbox.broadcasts().map(|r| r.msg).collect();
+                    assert_eq!(b, vec![99], "party {} saw {:?}", i + 1, b);
+                    b[0]
+                })
+            })
+            .collect();
+        let res = run_network(4, 7, behaviors);
+        assert_eq!(res.unwrap_all(), vec![99; 4]);
+    }
+
+    #[test]
+    fn broadcast_counts_one_message() {
+        let behaviors: Vec<Behavior<u64, ()>> = vec![
+            boxed(|ctx| {
+                ctx.broadcast(5u64);
+                let _ = ctx.next_round();
+            }),
+            boxed(|ctx| {
+                let _ = ctx.next_round();
+            }),
+        ];
+        let res = run_network(2, 3, behaviors);
+        assert_eq!(res.report.comm.messages, 1);
+        assert_eq!(res.report.comm.bytes, 8);
+        assert_eq!(res.report.comm.rounds, 1);
+    }
+
+    #[test]
+    fn send_to_all_counts_n_messages() {
+        let behaviors: Vec<Behavior<u8, ()>> = (0..3)
+            .map(|_| {
+                boxed(|ctx: &mut PartyCtx<u8>| {
+                    ctx.send_to_all(1);
+                    let inbox = ctx.next_round();
+                    assert_eq!(inbox.len(), 3);
+                })
+            })
+            .collect();
+        let res = run_network(3, 4, behaviors);
+        assert_eq!(res.report.comm.messages, 9); // n per party
+    }
+
+    #[test]
+    fn early_return_does_not_deadlock_others() {
+        let behaviors: Vec<Behavior<u8, u8>> = vec![
+            boxed(|_ctx| 0), // leaves immediately
+            boxed(|ctx| {
+                for _ in 0..5 {
+                    let _ = ctx.next_round();
+                }
+                1
+            }),
+            boxed(|ctx| {
+                for _ in 0..5 {
+                    let _ = ctx.next_round();
+                }
+                2
+            }),
+        ];
+        let res = run_network(3, 5, behaviors);
+        assert_eq!(res.outputs, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn panicking_party_is_contained() {
+        let behaviors: Vec<Behavior<u8, u8>> = vec![
+            boxed(|_ctx| panic!("byzantine meltdown")),
+            boxed(|ctx| {
+                let _ = ctx.next_round();
+                7
+            }),
+        ];
+        let res = run_network(2, 6, behaviors);
+        assert_eq!(res.outputs[0], None);
+        assert_eq!(res.outputs[1], Some(7));
+        assert_eq!(res.completed().count(), 1);
+    }
+
+    #[test]
+    fn per_party_rng_is_deterministic() {
+        use rand::RngExt;
+        let mk = || -> Vec<Behavior<u8, u64>> {
+            (0..3)
+                .map(|_| boxed(|ctx: &mut PartyCtx<u8>| ctx.rng().random::<u64>()))
+                .collect()
+        };
+        let a = run_network(3, 99, mk()).unwrap_all();
+        let b = run_network(3, 99, mk()).unwrap_all();
+        assert_eq!(a, b);
+        // Different parties draw different randomness.
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn equivocation_is_possible_on_private_channels() {
+        // A Byzantine sender can tell different things to different parties.
+        let behaviors: Vec<Behavior<u8, Option<u8>>> = vec![
+            boxed(|ctx| {
+                ctx.send(2, 1);
+                ctx.send(3, 2);
+                let _ = ctx.next_round();
+                None
+            }),
+            boxed(|ctx| ctx.next_round().first_from(1).map(|r| r.msg)),
+            boxed(|ctx| ctx.next_round().first_from(1).map(|r| r.msg)),
+        ];
+        let res = run_network(3, 8, behaviors);
+        assert_eq!(res.outputs[1], Some(Some(1)));
+        assert_eq!(res.outputs[2], Some(Some(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "one behavior per party")]
+    fn behavior_count_must_match() {
+        let _ = run_network::<u8, ()>(3, 0, vec![]);
+    }
+}

@@ -1,0 +1,279 @@
+//! The round-synchronous message router.
+//!
+//! One shared structure holds, under a single mutex, both the barrier state
+//! (live-party count, arrivals, generation) and the message buffers
+//! (`pending` accumulates sends of the current round, `ready` holds
+//! deliveries of the round that just ended). Performing the buffer flip
+//! *inside* the barrier release keeps the two perfectly atomic: a message
+//! sent in round `r` is visible exactly at round `r + 1`, and parties that
+//! leave mid-protocol can still complete a generation for the others.
+
+use std::sync::{Condvar, Mutex};
+
+/// A party identifier, 1-based to match the paper's `P_1 … P_n`.
+pub type PartyId = usize;
+
+/// A message as delivered to a recipient.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Received<M> {
+    /// The sending party.
+    pub from: PartyId,
+    /// Whether it arrived via the ideal broadcast channel (§3 model) as
+    /// opposed to a private point-to-point channel.
+    pub broadcast: bool,
+    /// Send-order sequence number within the sender's round (used for
+    /// deterministic inbox ordering).
+    pub seq: u32,
+    /// The payload.
+    pub msg: M,
+}
+
+/// Per-round delivery statistics, recorded at each barrier flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundProfile {
+    /// Messages delivered at this round boundary (unicast copies and
+    /// broadcast copies each count once per recipient here — this is the
+    /// router's delivery view, not the cost model's send view).
+    pub deliveries: usize,
+    /// Parties still live when the round completed.
+    pub live_parties: usize,
+}
+
+/// The messages a party receives at the start of a round, sorted by
+/// (sender, send order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inbox<M> {
+    msgs: Vec<Received<M>>,
+}
+
+impl<M> Inbox<M> {
+    /// All messages, in deterministic order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Received<M>> {
+        self.msgs.iter()
+    }
+
+    /// Number of messages delivered.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Whether nothing was delivered.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Messages from one particular sender.
+    pub fn from(&self, sender: PartyId) -> impl Iterator<Item = &Received<M>> {
+        self.msgs.iter().filter(move |r| r.from == sender)
+    }
+
+    /// The first (and usually only) message from `sender`, if any.
+    pub fn first_from(&self, sender: PartyId) -> Option<&Received<M>> {
+        self.msgs.iter().find(|r| r.from == sender)
+    }
+
+    /// Only the messages that arrived over the ideal broadcast channel.
+    pub fn broadcasts(&self) -> impl Iterator<Item = &Received<M>> {
+        self.msgs.iter().filter(|r| r.broadcast)
+    }
+
+    /// Consume the inbox into its message vector.
+    pub fn into_vec(self) -> Vec<Received<M>> {
+        self.msgs
+    }
+}
+
+impl<'a, M> IntoIterator for &'a Inbox<M> {
+    type Item = &'a Received<M>;
+    type IntoIter = std::slice::Iter<'a, Received<M>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.msgs.iter()
+    }
+}
+
+struct Inner<M> {
+    /// Parties still participating in the barrier.
+    active: usize,
+    /// Parties that have arrived at the current barrier generation.
+    arrived: usize,
+    /// Barrier generation (== global round number).
+    generation: u64,
+    /// Messages queued during the current round, per recipient (0-based).
+    pending: Vec<Vec<Received<M>>>,
+    /// Messages deliverable this round, per recipient (0-based).
+    ready: Vec<Vec<Received<M>>>,
+    /// One entry per completed round: the delivery profile.
+    profile: Vec<RoundProfile>,
+}
+
+impl<M> Inner<M> {
+    /// Complete a barrier generation: deliver pending sends and wake
+    /// everyone.
+    fn flip(&mut self) {
+        self.arrived = 0;
+        self.generation += 1;
+        let n = self.pending.len();
+        self.ready = std::mem::replace(&mut self.pending, (0..n).map(|_| Vec::new()).collect());
+        for q in &mut self.ready {
+            q.sort_by_key(|r| (r.from, r.seq));
+        }
+        self.profile.push(RoundProfile {
+            deliveries: self.ready.iter().map(Vec::len).sum(),
+            live_parties: self.active,
+        });
+    }
+}
+
+pub(crate) struct Router<M> {
+    inner: Mutex<Inner<M>>,
+    cv: Condvar,
+    n: usize,
+}
+
+impl<M> Router<M> {
+    pub(crate) fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one party");
+        Router {
+            inner: Mutex::new(Inner {
+                active: n,
+                arrived: 0,
+                generation: 0,
+                pending: (0..n).map(|_| Vec::new()).collect(),
+                ready: (0..n).map(|_| Vec::new()).collect(),
+                profile: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            n,
+        }
+    }
+
+    pub(crate) fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Queue a message for delivery to `to` at the next round boundary.
+    pub(crate) fn post(&self, to: PartyId, rcv: Received<M>) {
+        debug_assert!((1..=self.n).contains(&to), "recipient out of range");
+        let mut st = self.inner.lock().unwrap();
+        st.pending[to - 1].push(rcv);
+    }
+
+    /// Arrive at the round barrier; when every live party has arrived the
+    /// round flips and this returns the caller's inbox for the new round.
+    pub(crate) fn next_round(&self, id: PartyId) -> Inbox<M> {
+        let mut st = self.inner.lock().unwrap();
+        let gen = st.generation;
+        st.arrived += 1;
+        if st.arrived >= st.active {
+            st.flip();
+            self.cv.notify_all();
+        } else {
+            while st.generation == gen {
+                st = self.cv.wait(st).unwrap();
+            }
+        }
+        Inbox {
+            msgs: std::mem::take(&mut st.ready[id - 1]),
+        }
+    }
+
+    /// Permanently remove a party from the barrier (crash, or protocol
+    /// completed). If it was the last straggler, the round completes for
+    /// the others.
+    pub(crate) fn leave(&self) {
+        let mut st = self.inner.lock().unwrap();
+        st.active -= 1;
+        if st.active > 0 && st.arrived >= st.active {
+            st.flip();
+            self.cv.notify_all();
+        }
+    }
+
+    /// How many parties are still participating.
+    pub(crate) fn active(&self) -> usize {
+        self.inner.lock().unwrap().active
+    }
+
+    /// The per-round delivery profile recorded so far.
+    pub(crate) fn profile(&self) -> Vec<RoundProfile> {
+        self.inner.lock().unwrap().profile.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn inbox_ordering_is_deterministic() {
+        let router = Router::<u32>::new(1);
+        router.post(
+            1,
+            Received { from: 2, broadcast: false, seq: 1, msg: 20 },
+        );
+        router.post(
+            1,
+            Received { from: 1, broadcast: false, seq: 0, msg: 10 },
+        );
+        router.post(
+            1,
+            Received { from: 2, broadcast: false, seq: 0, msg: 19 },
+        );
+        let inbox = router.next_round(1);
+        let vals: Vec<u32> = inbox.iter().map(|r| r.msg).collect();
+        assert_eq!(vals, vec![10, 19, 20]);
+        assert_eq!(inbox.first_from(2).unwrap().msg, 19);
+        assert_eq!(inbox.from(2).count(), 2);
+    }
+
+    #[test]
+    fn messages_cross_round_boundary_once() {
+        let router = Router::<u32>::new(1);
+        router.post(1, Received { from: 1, broadcast: false, seq: 0, msg: 7 });
+        let inbox = router.next_round(1);
+        assert_eq!(inbox.len(), 1);
+        // Next round: nothing new.
+        let inbox = router.next_round(1);
+        assert!(inbox.is_empty());
+    }
+
+    #[test]
+    fn barrier_synchronizes_two_threads() {
+        let router = Arc::new(Router::<u32>::new(2));
+        let r2 = Arc::clone(&router);
+        let handle = std::thread::spawn(move || {
+            r2.post(1, Received { from: 2, broadcast: false, seq: 0, msg: 42 });
+            let inbox = r2.next_round(2);
+            inbox.iter().map(|r| r.msg).sum::<u32>()
+        });
+        router.post(2, Received { from: 1, broadcast: false, seq: 0, msg: 8 });
+        let inbox = router.next_round(1);
+        assert_eq!(inbox.first_from(2).unwrap().msg, 42);
+        assert_eq!(handle.join().unwrap(), 8);
+    }
+
+    #[test]
+    fn leaver_releases_waiters() {
+        let router = Arc::new(Router::<u32>::new(2));
+        let r2 = Arc::clone(&router);
+        let handle = std::thread::spawn(move || {
+            // Party 2 waits at the barrier…
+            let _ = r2.next_round(2);
+            r2.active()
+        });
+        // …while party 1 leaves instead of arriving.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        router.leave();
+        assert_eq!(handle.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn broadcast_flag_preserved() {
+        let router = Router::<u32>::new(1);
+        router.post(1, Received { from: 1, broadcast: true, seq: 0, msg: 1 });
+        router.post(1, Received { from: 1, broadcast: false, seq: 1, msg: 2 });
+        let inbox = router.next_round(1);
+        assert_eq!(inbox.broadcasts().count(), 1);
+    }
+}

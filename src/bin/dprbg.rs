@@ -1,0 +1,224 @@
+//! `dprbg` — command-line demonstrations of the shared-coin machinery.
+//!
+//! ```text
+//! dprbg demo   [n] [t] [coins]     seal a batch of shared coins and reveal it
+//! dprbg beacon [draws]             run the bootstrapped randomness beacon
+//! dprbg ba     [n] [t]             common-coin randomized Byzantine agreement
+//! dprbg anatomy                    per-round profile of one Coin-Gen run
+//! ```
+//!
+//! Everything runs on the built-in synchronous simulator with a fresh
+//! deterministic seed per invocation (pass `--seed <u64>` to fix it).
+
+use dprbg::core::{
+    coin_expose, coin_gen, common_coin_ba, BitGenMsg, Bootstrap, BootstrapConfig, CcbaVote,
+    CliqueAnnounce, CoinGenConfig, CoinGenMsg, ExposeMsg, ExposeVia, Params, TrustedDealer,
+};
+use dprbg::field::{Field, Gf2k};
+use dprbg::metrics::WireSize;
+use dprbg::protocols::{BaMsg, GcMsg};
+use dprbg::sim::{run_network, Behavior, Embeds, PartyCtx};
+
+type F = Gf2k<32>;
+type M = CoinGenMsg<F>;
+
+/// Wire type of the `ba` subcommand: generator traffic + votes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum BaWire {
+    Vote(CcbaVote),
+    BitGen(BitGenMsg<F>),
+    Expose(ExposeMsg<F>),
+    Gc(GcMsg<CliqueAnnounce<F>>),
+    Ba(BaMsg),
+}
+
+impl WireSize for BaWire {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            BaWire::Vote(m) => m.wire_bytes(),
+            BaWire::BitGen(m) => m.wire_bytes(),
+            BaWire::Expose(m) => m.wire_bytes(),
+            BaWire::Gc(m) => m.wire_bytes(),
+            BaWire::Ba(m) => m.wire_bytes(),
+        }
+    }
+}
+
+macro_rules! embed {
+    ($inner:ty, $variant:ident) => {
+        impl Embeds<$inner> for BaWire {
+            fn wrap(inner: $inner) -> Self {
+                BaWire::$variant(inner)
+            }
+            fn peek(&self) -> Option<&$inner> {
+                match self {
+                    BaWire::$variant(m) => Some(m),
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+embed!(CcbaVote, Vote);
+embed!(BitGenMsg<F>, BitGen);
+embed!(ExposeMsg<F>, Expose);
+embed!(GcMsg<CliqueAnnounce<F>>, Gc);
+embed!(BaMsg, Ba);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut seed: u64 = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(1);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--seed" {
+            seed = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die("--seed needs a u64 value"));
+        } else {
+            positional.push(a);
+        }
+    }
+
+    match positional.first().copied() {
+        Some("demo") => demo(
+            parse_or(positional.get(1), 7),
+            parse_or(positional.get(2), 1),
+            parse_or(positional.get(3), 8),
+            seed,
+        ),
+        Some("beacon") => beacon(parse_or(positional.get(1), 24), seed),
+        Some("ba") => ba(parse_or(positional.get(1), 7), parse_or(positional.get(2), 1), seed),
+        Some("anatomy") => anatomy(seed),
+        _ => {
+            eprintln!(
+                "usage: dprbg <demo [n] [t] [coins] | beacon [draws] | ba [n] [t] | anatomy> [--seed u64]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("dprbg: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_or(arg: Option<&&str>, default: usize) -> usize {
+    arg.map(|v| v.parse().unwrap_or_else(|_| die("arguments must be integers")))
+        .unwrap_or(default)
+}
+
+fn params_or_die(n: usize, t: usize) -> Params {
+    Params::p2p_model(n, t).unwrap_or_else(|e| die(&format!("{e}")))
+}
+
+fn demo(n: usize, t: usize, coins: usize, seed: u64) {
+    let params = params_or_die(n, t);
+    let cfg = CoinGenConfig { params, batch_size: coins };
+    let mut wallets = TrustedDealer::deal_wallets::<F>(params, 4 + t, seed);
+    println!("dprbg demo: n={n} t={t}, sealing {coins} coins (seed {seed})\n");
+    let behaviors: Vec<Behavior<M, Vec<F>>> = (0..n)
+        .map(|_| {
+            let mut w = wallets.remove(0);
+            Box::new(move |ctx: &mut PartyCtx<M>| {
+                let batch = coin_gen(ctx, &cfg, &mut w).expect("generation succeeds");
+                if ctx.id() == 1 {
+                    println!(
+                        "agreed dealer set {:?} in {} attempt(s)",
+                        batch.dealers, batch.attempts
+                    );
+                }
+                batch
+                    .shares
+                    .into_iter()
+                    .map(|s| coin_expose(ctx, s, t, ExposeVia::PointToPoint).unwrap())
+                    .collect()
+            }) as Behavior<M, Vec<F>>
+        })
+        .collect();
+    let outs = run_network(n, seed, behaviors).unwrap_all();
+    assert!(outs.iter().all(|o| o == &outs[0]), "unanimity violated?!");
+    for (h, v) in outs[0].iter().enumerate() {
+        println!("coin {h:>3}: {v}");
+    }
+    println!("\nall {n} parties agree on all {coins} coins ✓");
+}
+
+fn beacon(draws: usize, seed: u64) {
+    let n = 7;
+    let t = 1;
+    let params = params_or_die(n, t);
+    let cfg = BootstrapConfig::with_default_low_water(CoinGenConfig { params, batch_size: 16 });
+    let mut wallets = TrustedDealer::deal_wallets::<F>(params, 6, seed);
+    println!("dprbg beacon: {draws} draws from a 6-coin dealer seed (seed {seed})\n");
+    let behaviors: Vec<Behavior<M, (Vec<F>, usize)>> = (0..n)
+        .map(|_| {
+            let mut b = Bootstrap::new(cfg, wallets.remove(0));
+            Box::new(move |ctx: &mut PartyCtx<M>| {
+                let vals: Vec<F> = (0..draws).map(|_| b.draw(ctx).unwrap()).collect();
+                (vals, b.stats().refills)
+            }) as Behavior<M, _>
+        })
+        .collect();
+    let outs = run_network(n, seed, behaviors).unwrap_all();
+    for (i, v) in outs[0].0.iter().enumerate() {
+        println!("draw {i:>3}: {v}  bit={}", v.to_u64() & 1);
+    }
+    println!("\n{} refills; all {n} parties saw the same stream ✓", outs[0].1);
+}
+
+fn ba(n: usize, t: usize, seed: u64) {
+    let params = params_or_die(n, t);
+    println!("dprbg ba: common-coin Byzantine agreement, n={n} t={t}, split inputs (seed {seed})\n");
+    let cfg = BootstrapConfig::with_default_low_water(CoinGenConfig { params, batch_size: 16 });
+    let mut wallets = TrustedDealer::deal_wallets::<F>(params, 6, seed);
+    let behaviors: Vec<Behavior<BaWire, (bool, Option<usize>)>> = (1..=n)
+        .map(|id| {
+            let mut b = Bootstrap::new(cfg, wallets.remove(0));
+            let input = id % 2 == 0;
+            Box::new(move |ctx: &mut PartyCtx<BaWire>| {
+                let out = common_coin_ba(ctx, input, t, &mut b, 12).expect("beacon holds");
+                (out.decision, out.decided_in_phase)
+            }) as Behavior<BaWire, _>
+        })
+        .collect();
+    let outs = run_network(n, seed, behaviors).unwrap_all();
+    for (i, (d, p)) in outs.iter().enumerate() {
+        println!(
+            "party {:>2}: input {:>5} -> decided {:>5} in phase {:?}",
+            i + 1,
+            (i + 1) % 2 == 0,
+            d,
+            p
+        );
+    }
+    assert!(outs.iter().all(|(d, _)| *d == outs[0].0));
+    println!("\nagreement ✓");
+}
+
+fn anatomy(seed: u64) {
+    let n = 7;
+    let t = 1;
+    let params = params_or_die(n, t);
+    let cfg = CoinGenConfig { params, batch_size: 16 };
+    let mut wallets = TrustedDealer::deal_wallets::<F>(params, 5, seed);
+    let behaviors: Vec<Behavior<M, usize>> = (0..n)
+        .map(|_| {
+            let mut w = wallets.remove(0);
+            Box::new(move |ctx: &mut PartyCtx<M>| {
+                coin_gen(ctx, &cfg, &mut w).expect("generation succeeds").attempts
+            }) as Behavior<M, usize>
+        })
+        .collect();
+    let res = run_network(n, seed, behaviors);
+    println!("dprbg anatomy: one Coin-Gen run, n={n} t={t} M=16 (seed {seed})\n");
+    println!("{:>6}  {:>10}  {:>4}", "round", "deliveries", "live");
+    for (r, p) in res.rounds.iter().enumerate() {
+        println!("{:>6}  {:>10}  {:>4}", r + 1, p.deliveries, p.live_parties);
+    }
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! # dprbg — Distributed Pseudo-Random Bit Generators
+//!
+//! A complete Rust implementation of Bellare, Garay and Rabin,
+//! *"Distributed Pseudo-Random Bit Generators — A New Way to Speed-Up
+//! Shared Coin Tossing"* (PODC 1996): batch verifiable secret sharing,
+//! the Coin-Gen protocol, and the bootstrapping coin reservoir, together
+//! with the synchronous-network simulator, finite-field/polynomial
+//! substrates, and the baseline protocols the paper compares against.
+//!
+//! This umbrella crate re-exports the whole workspace under one name;
+//! the subsystems are:
+//!
+//! | Re-export | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `dprbg-core` | VSS, Batch-VSS, Bit-Gen, Coin-Gen, Coin-Expose, D-PRBG, bootstrapping |
+//! | [`field`] | `dprbg-field` | GF(2^k), prime fields, the DFT field GF(q^l) |
+//! | [`poly`] | `dprbg-poly` | polynomials, Lagrange, Berlekamp–Welch, Shamir |
+//! | [`sim`] | `dprbg-sim` | the synchronous network + adversary framework |
+//! | [`protocols`] | `dprbg-protocols` | grade-cast, phase-king BA, clique approximation |
+//! | [`baselines`] | `dprbg-baselines` | CCD cut-and-choose, Feldman VSS, from-scratch coin, Rabin dealer |
+//! | [`metrics`] | `dprbg-metrics` | the paper's cost model (additions / messages / bits / rounds) |
+//!
+//! # Example
+//!
+//! Seed seven parties once, then let a bootstrapped beacon hand out
+//! shared coins forever (see `examples/` for full programs):
+//!
+//! ```
+//! use dprbg::core::{Bootstrap, BootstrapConfig, CoinGenConfig, CoinGenMsg, Params, TrustedDealer};
+//! use dprbg::field::Gf2k;
+//! use dprbg::sim::{run_network, Behavior, PartyCtx};
+//!
+//! type F = Gf2k<32>;
+//! type M = CoinGenMsg<F>;
+//!
+//! let params = Params::p2p_model(7, 1).unwrap();
+//! let cfg = BootstrapConfig::with_default_low_water(CoinGenConfig { params, batch_size: 8 });
+//! let mut wallets = TrustedDealer::deal_wallets::<F>(params, 6, 42);
+//! let behaviors: Vec<Behavior<M, Vec<F>>> = (0..7)
+//!     .map(|_| {
+//!         let mut beacon = Bootstrap::new(cfg, wallets.remove(0));
+//!         Box::new(move |ctx: &mut PartyCtx<M>| {
+//!             (0..10).map(|_| beacon.draw(ctx).unwrap()).collect::<Vec<F>>()
+//!         }) as Behavior<M, Vec<F>>
+//!     })
+//!     .collect();
+//! let outs = run_network(7, 1, behaviors).unwrap_all();
+//! assert!(outs.iter().all(|o| o == &outs[0]), "coins are unanimous");
+//! ```
+
+pub use dprbg_baselines as baselines;
+pub use dprbg_core as core;
+pub use dprbg_field as field;
+pub use dprbg_metrics as metrics;
+pub use dprbg_poly as poly;
+pub use dprbg_protocols as protocols;
+pub use dprbg_sim as sim;

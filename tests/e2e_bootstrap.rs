@@ -1,0 +1,97 @@
+//! End-to-end bootstrapping (Fig. 1): long-horizon self-sufficiency of
+//! the coin reservoir, reproducibility, and reservoir invariants.
+
+use dprbg::core::{
+    Bootstrap, BootstrapConfig, BootstrapStats, CoinGenConfig, CoinGenMsg, Params, TrustedDealer,
+};
+use dprbg::field::Gf2k;
+use dprbg::sim::{run_network, Behavior, PartyCtx};
+
+type F = Gf2k<32>;
+type M = CoinGenMsg<F>;
+
+fn beacon_run(
+    n: usize,
+    t: usize,
+    batch: usize,
+    initial: usize,
+    draws: usize,
+    seed: u64,
+) -> Vec<(Vec<F>, BootstrapStats)> {
+    let params = Params::p2p_model(n, t).unwrap();
+    let cfg = BootstrapConfig::with_default_low_water(CoinGenConfig { params, batch_size: batch });
+    let mut wallets = TrustedDealer::deal_wallets::<F>(params, initial, seed);
+    let behaviors: Vec<Behavior<M, (Vec<F>, BootstrapStats)>> = (0..n)
+        .map(|_| {
+            let mut b = Bootstrap::new(cfg, wallets.remove(0));
+            Box::new(move |ctx: &mut PartyCtx<M>| {
+                let vals: Vec<F> = (0..draws).map(|_| b.draw(ctx).unwrap()).collect();
+                (vals, b.stats())
+            }) as Behavior<M, (Vec<F>, BootstrapStats)>
+        })
+        .collect();
+    run_network(n, seed, behaviors).unwrap_all()
+}
+
+#[test]
+fn hundred_draws_from_six_seed_coins() {
+    let outs = beacon_run(7, 1, 16, 6, 100, 1);
+    let (vals, stats) = &outs[0];
+    assert_eq!(vals.len(), 100);
+    assert!(outs.iter().all(|(v, _)| v == vals), "beacon is unanimous");
+    // Self-sufficiency: the generator produced more than it consumed.
+    assert!(stats.coins_produced > stats.seeds_consumed + 100 - 6);
+    assert!(stats.refills >= 6, "100 draws at M=16 need several refills");
+}
+
+#[test]
+fn per_refill_seed_cost_is_constant() {
+    // Lemma 8: expected O(1) BA iterations per generation run, so seeds
+    // consumed per refill should be a small constant (2 with no faults).
+    let outs = beacon_run(7, 1, 12, 6, 60, 2);
+    let (_, stats) = &outs[0];
+    assert!(stats.refills > 0);
+    let per_refill = stats.seeds_consumed as f64 / stats.refills as f64;
+    assert!(
+        (2.0..3.0).contains(&per_refill),
+        "seeds per refill = {per_refill}, expected ≈ 2 without faults"
+    );
+    assert_eq!(stats.attempts, stats.refills, "one leader attempt per run");
+}
+
+#[test]
+fn beacon_stream_is_deterministic() {
+    let a = beacon_run(7, 1, 8, 6, 30, 77);
+    let b = beacon_run(7, 1, 8, 6, 30, 77);
+    assert_eq!(a[0].0, b[0].0);
+}
+
+#[test]
+fn different_seeds_different_streams() {
+    let a = beacon_run(7, 1, 8, 6, 10, 100);
+    let b = beacon_run(7, 1, 8, 6, 10, 101);
+    assert_ne!(a[0].0, b[0].0);
+}
+
+#[test]
+fn larger_system_sustains_too() {
+    let outs = beacon_run(13, 2, 16, 8, 40, 3);
+    assert_eq!(outs[0].0.len(), 40);
+    assert!(outs.iter().all(|(v, _)| v == &outs[0].0));
+}
+
+#[test]
+fn bits_are_roughly_balanced() {
+    // 100 k-ary coins → low bits should not be constant (p < 2^-99) and
+    // should be within a loose binomial window.
+    let outs = beacon_run(7, 1, 16, 6, 100, 4);
+    let ones: usize = outs[0]
+        .0
+        .iter()
+        .filter(|v| dprbg::field::Field::to_u64(*v) & 1 == 1)
+        .count();
+    assert!(
+        (20..=80).contains(&ones),
+        "low-bit count {ones}/100 is wildly unbalanced"
+    );
+}

@@ -1,0 +1,116 @@
+//! Long-horizon stress: the full system — bootstrapped beacon, refills,
+//! proactive refreshes — running for many epochs under a persistent
+//! Byzantine fault, in a single network execution.
+
+use dprbg::core::{
+    Bootstrap, BootstrapConfig, CoinGenConfig, CoinGenMsg, CoinWallet, ExposeMsg, Params,
+    TrustedDealer,
+};
+use dprbg::field::{Field, Gf2k};
+use dprbg::sim::{run_network, FaultPlan, PartyCtx};
+
+type F = Gf2k<32>;
+type M = CoinGenMsg<F>;
+
+#[test]
+fn epochs_of_draws_refills_and_refreshes_under_a_fault() {
+    let n = 7;
+    let t = 1;
+    let epochs = 6;
+    let draws_per_epoch = 8;
+    let params = Params::p2p_model(n, t).unwrap();
+    let cfg = BootstrapConfig::with_default_low_water(CoinGenConfig {
+        params,
+        batch_size: 16,
+    });
+    let mut wallets: Vec<CoinWallet<F>> = TrustedDealer::deal_wallets::<F>(params, 6, 77);
+    let plan = FaultPlan::explicit(n, vec![4]);
+    let mut honest_wallets: Vec<CoinWallet<F>> = Vec::new();
+    for id in 1..=n {
+        let w = wallets.remove(0);
+        if !plan.is_faulty(id) {
+            honest_wallets.push(w);
+        }
+    }
+
+    let behaviors = plan.behaviors::<M, Option<Vec<u64>>>(
+        |_| {
+            let mut beacon = Bootstrap::new(cfg, honest_wallets.remove(0));
+            Box::new(move |ctx: &mut PartyCtx<M>| {
+                let mut stream = Vec::new();
+                for _epoch in 0..epochs {
+                    for _ in 0..draws_per_epoch {
+                        stream.push(beacon.draw(ctx).ok()?.to_u64());
+                    }
+                    // Epoch boundary: re-randomize every remaining share.
+                    let report = beacon.refresh(ctx).ok()?;
+                    assert!(report.coins_refreshed > 0);
+                    assert!(!report.dealers.contains(&4), "silent fault never a dealer");
+                }
+                Some(stream)
+            })
+        },
+        |_| {
+            Box::new(|ctx| {
+                // A persistent low-effort Byzantine: spams corrupt expose
+                // shares for a while, then goes quiet.
+                for i in 0..20u64 {
+                    ctx.send_to_all(CoinGenMsg::Expose(ExposeMsg(F::from_u64(i * 1337))));
+                    let _ = ctx.next_round();
+                }
+                None
+            })
+        },
+    );
+    let res = run_network(n, 999, behaviors);
+    let mut streams = plan
+        .honest()
+        .map(|id| {
+            res.outputs[id - 1]
+                .as_ref()
+                .unwrap_or_else(|| panic!("party {id} panicked"))
+                .as_ref()
+                .unwrap_or_else(|| panic!("party {id} aborted"))
+        })
+        .collect::<Vec<_>>();
+    let first = streams.remove(0);
+    assert_eq!(first.len(), epochs * draws_per_epoch);
+    for s in streams {
+        assert_eq!(s, first, "the beacon stream must be unanimous");
+    }
+    // Randomness sanity over the 48-coin stream.
+    let ones = first.iter().filter(|v| *v & 1 == 1).count();
+    assert!((8..=40).contains(&ones), "low-bit balance {ones}/48");
+}
+
+#[test]
+fn refresh_interleaves_with_generation_thirteen_parties() {
+    // n = 13, t = 2: draw → refresh → draw, all honest, checking that
+    // refreshed shares keep exposing correctly after subsequent refills.
+    let n = 13;
+    let t = 2;
+    let params = Params::p2p_model(n, t).unwrap();
+    let cfg = BootstrapConfig::with_default_low_water(CoinGenConfig {
+        params,
+        batch_size: 12,
+    });
+    let mut wallets: Vec<CoinWallet<F>> = TrustedDealer::deal_wallets::<F>(params, 8, 13);
+    let behaviors: Vec<dprbg::sim::Behavior<M, Vec<u64>>> = (0..n)
+        .map(|_| {
+            let mut beacon = Bootstrap::new(cfg, wallets.remove(0));
+            Box::new(move |ctx: &mut PartyCtx<M>| {
+                let mut out = Vec::new();
+                for _ in 0..3 {
+                    for _ in 0..5 {
+                        out.push(beacon.draw(ctx).unwrap().to_u64());
+                    }
+                    beacon.refresh(ctx).unwrap();
+                }
+                out
+            }) as dprbg::sim::Behavior<M, Vec<u64>>
+        })
+        .collect();
+    let outs = run_network(n, 131, behaviors).unwrap_all();
+    assert_eq!(outs[0].len(), 15);
+    assert!(outs.iter().all(|o| o == &outs[0]));
+}

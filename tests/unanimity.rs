@@ -1,0 +1,241 @@
+//! The paper's unanimity property, tested across protocols: "All players
+//! in the system view the same coin" — and, more broadly, all honest
+//! players reach the same verdicts and values in every sub-protocol.
+
+use dprbg::core::{
+    batch_vss_deal, batch_vss_verify, coin_expose, vss, BatchVssMsg, CoinError, ExposeMsg,
+    ExposeVia, SealedShare, VssMode, VssVerdict,
+};
+use dprbg::core::batch_vss::BatchOpts;
+use dprbg::field::{Field, Gf2k};
+use dprbg::poly::{share_points, share_polynomial};
+use dprbg::sim::{run_network, Behavior, FaultPlan, PartyCtx};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+type F = Gf2k<32>;
+
+fn coin_shares(n: usize, t: usize, seed: u64) -> (F, Vec<SealedShare<F>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let value = F::random(&mut rng);
+    let poly = share_polynomial(value, t, &mut rng);
+    (
+        value,
+        share_points(&poly, n)
+            .into_iter()
+            .map(|s| SealedShare::of(s.y))
+            .collect(),
+    )
+}
+
+#[test]
+fn expose_unanimity_under_every_single_corruption_pattern() {
+    // For each possible corrupted party, the exposed value matches the
+    // dealt value at every honest party.
+    let n = 7;
+    let t = 1;
+    for bad in 1..=n {
+        let (value, shares) = coin_shares(n, t, 100 + bad as u64);
+        let plan = FaultPlan::explicit(n, vec![bad]);
+        let behaviors = plan.behaviors::<ExposeMsg<F>, Option<F>>(
+            |id| {
+                let s = shares[id - 1];
+                Box::new(move |ctx| {
+                    coin_expose(ctx, s, 1, ExposeVia::PointToPoint).ok()
+                })
+            },
+            |_| {
+                Box::new(move |ctx| {
+                    let mut rng = StdRng::seed_from_u64(7);
+                    ctx.send_to_all(ExposeMsg(F::random(&mut rng)));
+                    let _ = ctx.next_round();
+                    None
+                })
+            },
+        );
+        let res = run_network(n, 200 + bad as u64, behaviors);
+        for id in plan.honest() {
+            assert_eq!(
+                res.outputs[id - 1],
+                Some(Some(value)),
+                "corrupted party {bad}, honest party {id}"
+            );
+        }
+    }
+}
+
+#[test]
+fn expose_with_t_corruptions_at_the_bound() {
+    // n = 13, t = 2: exactly t corrupted shares plus one silent party.
+    let n = 13;
+    let t = 2;
+    let (value, shares) = coin_shares(n, t, 55);
+    let plan = FaultPlan::explicit(n, vec![1, 7]);
+    let behaviors = plan.behaviors::<ExposeMsg<F>, Option<F>>(
+        |id| {
+            let s = if id == 13 { SealedShare::absent() } else { shares[id - 1] };
+            Box::new(move |ctx| coin_expose(ctx, s, 2, ExposeVia::PointToPoint).ok())
+        },
+        |id| {
+            Box::new(move |ctx| {
+                ctx.send_to_all(ExposeMsg(F::from_u64(id as u64 * 31)));
+                let _ = ctx.next_round();
+                None
+            })
+        },
+    );
+    let res = run_network(n, 56, behaviors);
+    for id in plan.honest() {
+        assert_eq!(res.outputs[id - 1], Some(Some(value)), "party {id}");
+    }
+}
+
+#[test]
+fn vss_verdicts_are_uniform_across_honest_parties() {
+    // Sweep random dealers (honest and cheating): every honest party must
+    // output the *same* verdict in every run.
+    let n = 7;
+    let t = 2;
+    let mut rng = StdRng::seed_from_u64(9);
+    for trial in 0..8u64 {
+        let cheat = rng.random::<bool>();
+        let (_, coins) = coin_shares(n, t, 300 + trial);
+        let behaviors: Vec<Behavior<dprbg::core::VssMsg<F>, Option<VssVerdict>>> = (1..=n)
+            .map(|id| {
+                let coin = coins[id - 1];
+                Box::new(move |ctx: &mut PartyCtx<dprbg::core::VssMsg<F>>| {
+                    if id == 1 && cheat {
+                        // Deal a wrong-degree polynomial manually.
+                        let n = ctx.n();
+                        let f = dprbg::poly::Poly::<F>::random(t + 1, ctx.rng());
+                        let g = dprbg::poly::Poly::<F>::random(t, ctx.rng());
+                        for i in 1..=n {
+                            let x = F::element(i as u64);
+                            ctx.send(
+                                i,
+                                dprbg::core::VssMsg::Deal {
+                                    alpha: f.eval(x),
+                                    gamma: g.eval(x),
+                                },
+                            );
+                        }
+                        let (shares, _) =
+                            dprbg::core::vss_deal::<dprbg::core::VssMsg<F>, F>(
+                                ctx, 1, None, t,
+                            );
+                        return dprbg::core::vss_verify(
+                            ctx,
+                            t,
+                            shares,
+                            coin,
+                            VssMode::Strict,
+                        )
+                        .ok();
+                    }
+                    let secret = (id == 1).then(|| F::from_u64(1234));
+                    vss(ctx, 1, secret, t, coin, VssMode::Strict)
+                        .ok()
+                        .map(|(v, _)| v)
+                }) as Behavior<_, _>
+            })
+            .collect();
+        let outs = run_network(n, 400 + trial, behaviors).unwrap_all();
+        let expected = if cheat { VssVerdict::Reject } else { VssVerdict::Accept };
+        for (i, o) in outs.iter().enumerate() {
+            assert_eq!(o, &Some(expected), "trial {trial}, party {}", i + 1);
+        }
+    }
+}
+
+#[test]
+fn batch_vss_verdict_uniform_with_partial_corruption() {
+    // Dealer corrupts only the share vectors of two specific parties;
+    // the broadcast check still yields one global verdict (Reject under
+    // Strict — the corrupted parties' combinations break interpolation).
+    let n = 7;
+    let t = 2;
+    let m = 8;
+    let (_, coins) = coin_shares(n, t, 500);
+    let behaviors: Vec<Behavior<BatchVssMsg<F>, Option<VssVerdict>>> = (1..=n)
+        .map(|id| {
+            let coin = coins[id - 1];
+            Box::new(move |ctx: &mut PartyCtx<BatchVssMsg<F>>| {
+                if id == 1 {
+                    // Dealer: correct polynomials, but parties 3 and 5 get
+                    // perturbed share vectors.
+                    let n = ctx.n();
+                    let polys: Vec<dprbg::poly::Poly<F>> =
+                        (0..m).map(|_| dprbg::poly::Poly::random(t, ctx.rng())).collect();
+                    let blind = dprbg::poly::Poly::<F>::random(t, ctx.rng());
+                    for i in 1..=n {
+                        let x = F::element(i as u64);
+                        let mut alphas: Vec<F> = polys.iter().map(|f| f.eval(x)).collect();
+                        if i == 3 || i == 5 {
+                            alphas[0] += F::one();
+                        }
+                        ctx.send(
+                            i,
+                            BatchVssMsg::Deal { alphas, gamma: blind.eval(x) },
+                        );
+                    }
+                    let (shares, _) = batch_vss_deal::<BatchVssMsg<F>, F>(
+                        ctx,
+                        1,
+                        None,
+                        t,
+                        BatchOpts::default(),
+                    );
+                    return batch_vss_verify(ctx, t, &shares, m, coin, BatchOpts::default())
+                        .ok();
+                }
+                let (shares, _) = batch_vss_deal::<BatchVssMsg<F>, F>(
+                    ctx,
+                    1,
+                    None,
+                    t,
+                    BatchOpts::default(),
+                );
+                batch_vss_verify(ctx, t, &shares, m, coin, BatchOpts::default()).ok()
+            }) as Behavior<_, _>
+        })
+        .collect();
+    let outs = run_network(n, 501, behaviors).unwrap_all();
+    for (i, o) in outs.iter().enumerate() {
+        assert_eq!(o, &Some(VssVerdict::Reject), "party {}", i + 1);
+    }
+}
+
+#[test]
+fn expose_fails_loudly_not_wrongly() {
+    // Beyond the fault bound (t+1 corruptions with minimal points), the
+    // expose must error or still give the right value — never silently
+    // return a different coin accepted by some parties only.
+    let n = 7;
+    let t = 2;
+    let (value, shares) = coin_shares(n, t, 600);
+    let plan = FaultPlan::explicit(n, vec![1, 2, 3]); // t+1 corruptions!
+    let behaviors = plan.behaviors::<ExposeMsg<F>, Option<Result<F, CoinError>>>(
+        |id| {
+            let s = shares[id - 1];
+            Box::new(move |ctx| Some(coin_expose(ctx, s, 2, ExposeVia::PointToPoint)))
+        },
+        |id| {
+            Box::new(move |ctx| {
+                ctx.send_to_all(ExposeMsg(F::from_u64(id as u64)));
+                let _ = ctx.next_round();
+                None
+            })
+        },
+    );
+    let res = run_network(n, 601, behaviors);
+    let mut answers = Vec::new();
+    for id in plan.honest() {
+        let out = res.outputs[id - 1].as_ref().unwrap().as_ref().unwrap();
+        answers.push(*out);
+    }
+    // All honest agree with each other; any Ok value equals the truth.
+    assert!(answers.windows(2).all(|w| w[0] == w[1]));
+    if let Ok(v) = &answers[0] {
+        assert_eq!(*v, value);
+    }
+}
