@@ -17,8 +17,8 @@ use dprbg_field::Field;
 use dprbg_metrics::WireSize;
 use dprbg_poly::{interpolate, Poly};
 use dprbg_sim::{Embeds, PartyCtx, PartyId};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use dprbg_rng::rngs::StdRng;
+use dprbg_rng::{RngExt, SeedableRng};
 
 pub use dprbg_core::{VssMode, VssVerdict};
 

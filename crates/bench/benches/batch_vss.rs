@@ -1,13 +1,14 @@
 //! Wall-time companion to experiment E2: Batch-VSS verification across
 //! batch sizes (Lemma 4 — cost of one interpolation regardless of M).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dprbg_bench::harness::{BenchmarkId, Criterion, Throughput};
+use dprbg_bench::{criterion_group, criterion_main};
 use dprbg_bench::experiments::common::{challenge_coins, F32};
 use dprbg_core::batch_vss::{batch_vss_verify, cheating_batch_deal, BatchOpts};
 use dprbg_core::{BatchVssMsg, CoinError, VssVerdict};
 use dprbg_sim::{run_network, Behavior, PartyCtx};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dprbg_rng::rngs::StdRng;
+use dprbg_rng::SeedableRng;
 
 const N: usize = 7;
 const T: usize = 2;

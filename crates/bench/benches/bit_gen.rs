@@ -1,7 +1,8 @@
 //! Wall-time companion to experiment E3: Bit-Gen with a single dealer
 //! across batch sizes (Lemma 6).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dprbg_bench::harness::{BenchmarkId, Criterion, Throughput};
+use dprbg_bench::{criterion_group, criterion_main};
 use dprbg_bench::experiments::common::{challenge_coins, F32};
 use dprbg_core::{bit_gen_all, BitGenMsg};
 use dprbg_sim::{run_network, Behavior, PartyCtx};

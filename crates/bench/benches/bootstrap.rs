@@ -1,7 +1,8 @@
 //! Wall-time companion to experiment E7: sustained beacon draws through
 //! the bootstrapped reservoir (Fig. 1), including refills.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dprbg_bench::harness::{Criterion, Throughput};
+use dprbg_bench::{criterion_group, criterion_main};
 use dprbg_bench::experiments::common::{seed_wallets, F32};
 use dprbg_core::{Bootstrap, BootstrapConfig, CoinGenConfig, CoinGenMsg, Params};
 use dprbg_sim::{run_network, Behavior, PartyCtx};

@@ -1,7 +1,8 @@
 //! Wall-time companion to experiment E5: one delivered coin via the
 //! D-PRBG (amortized over a batch) vs one from-scratch coin (§1.4).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dprbg_bench::harness::{Criterion, Throughput};
+use dprbg_bench::{criterion_group, criterion_main};
 use dprbg_baselines::{from_scratch_coin, FromScratchMsg};
 use dprbg_bench::experiments::common::{seed_wallets, F32};
 use dprbg_core::{

@@ -2,7 +2,8 @@
 //! (Theorem 2) — throughput in coins/second rises with the batch size,
 //! the wall-clock face of Corollary 3's amortization.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dprbg_bench::harness::{BenchmarkId, Criterion, Throughput};
+use dprbg_bench::{criterion_group, criterion_main};
 use dprbg_bench::experiments::common::{seed_wallets, F32};
 use dprbg_core::{coin_gen, CoinGenConfig, CoinGenMsg, CoinWallet, Params};
 use dprbg_sim::{run_network, Behavior, PartyCtx};

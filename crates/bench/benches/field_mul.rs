@@ -2,10 +2,11 @@
 //! GF(2^k) (naive carry-less) vs GF(q^l) (schoolbook vs DFT) — §2's
 //! "an implementation should be careful about which method it uses".
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dprbg_bench::harness::{Criterion};
+use dprbg_bench::{criterion_group, criterion_main};
 use dprbg_field::{Field, Gf2k, GfQlParams};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dprbg_rng::rngs::StdRng;
+use dprbg_rng::SeedableRng;
 use std::hint::black_box;
 
 fn bench_gf2k<const K: usize>(c: &mut Criterion) {

@@ -2,7 +2,8 @@
 //! protocol (one interpolation) vs CCD cut-and-choose (k interpolations)
 //! vs Feldman (t exponentiations), full network simulation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dprbg_bench::harness::{Criterion};
+use dprbg_bench::{criterion_group, criterion_main};
 use dprbg_baselines::feldman::Exp;
 use dprbg_baselines::{ccd_vss, feldman_vss, CcdMsg, CcdOpts, FeldmanMsg};
 use dprbg_bench::experiments::common::{challenge_coins, F32};
@@ -10,8 +11,8 @@ use dprbg_core::{vss_verify, DealtShares, VssMode, VssMsg, VssVerdict};
 use dprbg_field::Field;
 use dprbg_poly::Poly;
 use dprbg_sim::{run_network, Behavior, PartyCtx};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dprbg_rng::rngs::StdRng;
+use dprbg_rng::SeedableRng;
 
 const N: usize = 7;
 const T: usize = 2;

@@ -5,14 +5,24 @@
 //! cargo run -p dprbg-bench --release --bin report               # all, full sweeps
 //! cargo run -p dprbg-bench --release --bin report -- --quick    # all, small sweeps
 //! cargo run -p dprbg-bench --release --bin report -- e4 e5      # selected experiments
+//! cargo run -p dprbg-bench --release --bin report -- --timing bench.json
 //! ```
+//!
+//! `--timing <files...>` renders wall-clock tables from the JSON lines the
+//! in-tree bench harness emits (`DPRBG_BENCH_JSON=bench.json cargo bench`).
 
 use std::time::Instant;
 
 use dprbg_bench::experiments::{self, ExperimentCtx};
+use dprbg_bench::harness::{parse_json_line, BenchRecord};
+use dprbg_metrics::Table;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--timing") {
+        render_timing(&args[pos + 1..]);
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     let selected: Vec<String> = args
         .iter()
@@ -69,4 +79,64 @@ fn main() {
 
 fn print_section(rendered: String) {
     println!("{rendered}");
+}
+
+/// Render wall-clock tables (one per bench group) from harness JSON files.
+fn render_timing(paths: &[String]) {
+    if paths.is_empty() {
+        eprintln!("--timing requires at least one JSON file (from DPRBG_BENCH_JSON)");
+        std::process::exit(2);
+    }
+    let mut records: Vec<BenchRecord> = Vec::new();
+    for path in paths {
+        let contents = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        records.extend(contents.lines().filter_map(parse_json_line));
+    }
+    if records.is_empty() {
+        eprintln!("no bench records found in {paths:?}");
+        std::process::exit(2);
+    }
+    println!("dprbg wall-clock timing report ({} records)\n", records.len());
+    let mut groups: Vec<String> = records.iter().map(|r| r.group.clone()).collect();
+    groups.dedup();
+    groups.sort();
+    groups.dedup();
+    for group in groups {
+        let title = if group.is_empty() { "(ungrouped)" } else { &group };
+        let mut table = Table::new(
+            &format!("timing: {title}"),
+            &["median", "mean", "min", "max", "samples", "rate"],
+        );
+        for r in records.iter().filter(|r| r.group == group) {
+            table.row(
+                &r.name,
+                &[
+                    format_ns(r.median_ns),
+                    format_ns(r.mean_ns),
+                    format_ns(r.min_ns),
+                    format_ns(r.max_ns),
+                    r.samples.to_string(),
+                    r.rate_per_sec()
+                        .map(|x| format!("{x:.0}/s"))
+                        .unwrap_or_else(|| "-".into()),
+                ],
+            );
+        }
+        print_section(table.render());
+    }
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
 }

@@ -5,8 +5,8 @@ use dprbg_core::{CoinWallet, SealedShare};
 use dprbg_field::{Field, Gf2k};
 use dprbg_metrics::{CostReport, CostSnapshot};
 use dprbg_poly::{share_points, share_polynomial};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dprbg_rng::rngs::StdRng;
+use dprbg_rng::SeedableRng;
 
 /// The standard experiment field (the paper's `k = 32` working point).
 pub type F32 = Gf2k<32>;

@@ -23,8 +23,8 @@ use dprbg_field::Field;
 use dprbg_metrics::Table;
 use dprbg_poly::Poly;
 use dprbg_sim::{run_network, Behavior, PartyCtx};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dprbg_rng::rngs::StdRng;
+use dprbg_rng::SeedableRng;
 
 use super::common::{challenge_coins, ExperimentCtx, PlayerCost, F32};
 

@@ -16,8 +16,8 @@ use dprbg_core::{BatchVssMsg, CoinError, VssVerdict};
 use dprbg_field::{Field, Gf2k};
 use dprbg_metrics::Table;
 use dprbg_sim::{run_network, Behavior, PartyCtx};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dprbg_rng::rngs::StdRng;
+use dprbg_rng::SeedableRng;
 
 use super::common::{challenge_coins, fmt_f, ExperimentCtx, PlayerCost, F32};
 

@@ -20,8 +20,8 @@ use dprbg_core::{decode_coin, VssMode, VssVerdict};
 use dprbg_field::{Field, Gf2k};
 use dprbg_metrics::Table;
 use dprbg_poly::{share_points, share_polynomial, Poly};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dprbg_rng::rngs::StdRng;
+use dprbg_rng::SeedableRng;
 
 use super::common::{fmt_f, ExperimentCtx};
 

@@ -17,8 +17,8 @@ use std::time::Instant;
 
 use dprbg_field::{Field, Gf2k, GfQlParams};
 use dprbg_metrics::Table;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dprbg_rng::rngs::StdRng;
+use dprbg_rng::SeedableRng;
 
 use super::common::{fmt_f, ExperimentCtx};
 

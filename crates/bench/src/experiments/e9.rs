@@ -22,8 +22,8 @@ use dprbg_core::{
 };
 use dprbg_metrics::Table;
 use dprbg_sim::{run_network, Behavior, PartyCtx};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dprbg_rng::rngs::StdRng;
+use dprbg_rng::SeedableRng;
 
 use super::common::{challenge_coins, fmt_f, seed_wallets, ExperimentCtx, PlayerCost, F32};
 

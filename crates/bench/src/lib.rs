@@ -19,8 +19,11 @@
 //! cargo run -p dprbg-bench --release --bin report -- e4      # one experiment
 //! ```
 //!
-//! Wall-clock Criterion benches (supplementary shape evidence; the model
-//! counts above are the primary reproduction) live in `benches/`.
+//! Wall-clock benches (supplementary shape evidence; the model counts
+//! above are the primary reproduction) live in `benches/` and run on the
+//! in-tree [`harness`] — a hermetic, criterion-compatible warmup +
+//! median-of-K timer that emits JSON consumable by
+//! `bin/report.rs --timing`.
 //!
 //! | Experiment | Paper claim |
 //! |---|---|
@@ -34,5 +37,6 @@
 //! | [`experiments::e8`] | §2: GF(q^l) O(k log k) multiplication vs naive GF(2^k) — the small-k crossover the paper predicts |
 
 pub mod experiments;
+pub mod harness;
 
 pub use experiments::ExperimentCtx;

@@ -139,8 +139,8 @@ mod tests {
     use dprbg_field::Gf2k;
     use dprbg_protocols::{BaMsg, GcMsg};
     use dprbg_sim::{run_network, FaultPlan};
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use dprbg_rng::rngs::StdRng;
+    use dprbg_rng::{RngExt, SeedableRng};
 
     type F = Gf2k<32>;
 

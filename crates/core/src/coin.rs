@@ -212,8 +212,8 @@ mod tests {
     use dprbg_field::Gf2k;
     use dprbg_poly::{share_points, share_polynomial};
     use dprbg_sim::{run_network, Behavior, FaultPlan};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use dprbg_rng::rngs::StdRng;
+    use dprbg_rng::SeedableRng;
 
     type F = Gf2k<32>;
     type M = ExposeMsg<F>;

@@ -14,8 +14,8 @@
 
 use dprbg_field::Field;
 use dprbg_poly::{share_polynomial, Poly};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dprbg_rng::rngs::StdRng;
+use dprbg_rng::SeedableRng;
 
 use crate::coin::{CoinWallet, SealedShare};
 use crate::params::Params;

@@ -32,7 +32,7 @@ use dprbg_field::Field;
 use dprbg_metrics::WireSize;
 use dprbg_poly::{bw_decode, interpolate, share_points, share_polynomial, Poly};
 use dprbg_sim::{Embeds, PartyCtx, PartyId};
-use rand::Rng;
+use dprbg_rng::Rng;
 
 use crate::coin::{coin_expose, ExposeMsg, ExposeVia, SealedShare};
 use crate::errors::CoinError;
@@ -265,8 +265,8 @@ mod tests {
     use dprbg_field::Gf2k;
     use dprbg_poly::{share_points as sp, share_polynomial as spoly};
     use dprbg_sim::{run_network, Behavior, FaultPlan};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use dprbg_rng::rngs::StdRng;
+    use dprbg_rng::SeedableRng;
 
     type F = Gf2k<32>;
     type M = VssMsg<F>;

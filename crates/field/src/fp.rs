@@ -8,7 +8,7 @@ use std::iter::{Product, Sum};
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
 use dprbg_metrics::{ops, WireSize};
-use rand::{Rng, RngExt};
+use dprbg_rng::{Rng, RngExt};
 
 use crate::traits::Field;
 
@@ -237,9 +237,9 @@ impl<const P: u64> Field for Fp<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use dprbg_rng::prelude::*;
+    use dprbg_rng::rngs::StdRng;
+    use dprbg_rng::SeedableRng;
 
     type F = Fp<SAFE_PRIME_P>;
     type Small = Fp<101>;

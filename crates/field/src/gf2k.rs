@@ -16,7 +16,7 @@ use std::iter::{Product, Sum};
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
 use dprbg_metrics::{ops, WireSize};
-use rand::{Rng, RngExt};
+use dprbg_rng::{Rng, RngExt};
 
 use crate::traits::Field;
 
@@ -325,9 +325,9 @@ impl<const K: usize> Field for Gf2k<K> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use dprbg_rng::prelude::*;
+    use dprbg_rng::rngs::StdRng;
+    use dprbg_rng::SeedableRng;
 
     /// Rabin's irreducibility test for `x^k + r` over GF(2).
     fn is_irreducible(k: usize, r: u64) -> bool {

@@ -22,7 +22,7 @@
 
 use std::fmt;
 
-use rand::{Rng, RngExt};
+use dprbg_rng::{Rng, RngExt};
 
 use crate::zq;
 
@@ -80,7 +80,7 @@ impl std::error::Error for GfQlError {}
 /// # fn main() -> Result<(), dprbg_field::GfQlError> {
 /// let f = GfQlParams::new(97, 16)?;
 /// assert!(f.bits() >= 64);
-/// let mut rng = rand::rng();
+/// let mut rng = dprbg_rng::rng();
 /// let x = f.random(&mut rng);
 /// let y = f.random(&mut rng);
 /// assert_eq!(f.mul_naive(&x, &y), f.mul_fft(&x, &y));
@@ -474,9 +474,9 @@ fn poly_divmod(a: &[u64], b: &[u64], q: u64) -> (Vec<u64>, Vec<u64>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use dprbg_rng::prelude::*;
+    use dprbg_rng::rngs::StdRng;
+    use dprbg_rng::SeedableRng;
 
     #[test]
     fn builtin_parameter_sets_are_valid() {

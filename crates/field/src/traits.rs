@@ -6,7 +6,7 @@ use std::iter::{Product, Sum};
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
 use dprbg_metrics::WireSize;
-use rand::Rng;
+use dprbg_rng::Rng;
 
 /// A finite field element.
 ///

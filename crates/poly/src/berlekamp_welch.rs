@@ -119,10 +119,10 @@ pub fn bw_decode<F: Field>(points: &[(F, F)], t: usize, e_max: usize) -> Result<
 mod tests {
     use super::*;
     use dprbg_field::Gf2k;
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::seq::SliceRandom;
-    use rand::{RngExt, SeedableRng};
+    use dprbg_rng::prelude::*;
+    use dprbg_rng::rngs::StdRng;
+    use dprbg_rng::seq::SliceRandom;
+    use dprbg_rng::{RngExt, SeedableRng};
 
     type F = Gf2k<16>;
 

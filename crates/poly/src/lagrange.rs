@@ -110,9 +110,9 @@ pub fn lagrange_eval_at_zero<F: Field>(points: &[(F, F)]) -> Result<F, Interpola
 mod tests {
     use super::*;
     use dprbg_field::{Fp, Gf2k};
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use dprbg_rng::prelude::*;
+    use dprbg_rng::rngs::StdRng;
+    use dprbg_rng::SeedableRng;
 
     type F = Gf2k<16>;
 

@@ -139,9 +139,9 @@ pub fn solve_linear<F: Field>(a: &Matrix<F>, b: &[F]) -> Option<Vec<F>> {
 mod tests {
     use super::*;
     use dprbg_field::{Field, Fp, Gf2k};
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use dprbg_rng::prelude::*;
+    use dprbg_rng::rngs::StdRng;
+    use dprbg_rng::SeedableRng;
 
     type F = Fp<101>;
 

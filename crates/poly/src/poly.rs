@@ -3,7 +3,7 @@
 use std::fmt;
 
 use dprbg_field::Field;
-use rand::Rng;
+use dprbg_rng::Rng;
 
 /// A dense univariate polynomial, constant term first.
 ///
@@ -199,9 +199,9 @@ impl<F: Field> fmt::Debug for Poly<F> {
 mod tests {
     use super::*;
     use dprbg_field::Gf2k;
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use dprbg_rng::prelude::*;
+    use dprbg_rng::rngs::StdRng;
+    use dprbg_rng::SeedableRng;
 
     type F = Gf2k<16>;
 

@@ -106,8 +106,8 @@ impl RsCode {
 mod tests {
     use super::*;
     use dprbg_field::Gf2k;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use dprbg_rng::rngs::StdRng;
+    use dprbg_rng::SeedableRng;
 
     type F = Gf2k<16>;
 

@@ -7,7 +7,7 @@
 
 use dprbg_field::Field;
 use dprbg_metrics::WireSize;
-use rand::Rng;
+use dprbg_rng::Rng;
 
 use crate::berlekamp_welch::{bw_decode, BwError};
 use crate::lagrange::lagrange_eval_at_zero;
@@ -142,9 +142,9 @@ pub fn reconstruct_robust<F: Field>(
 mod tests {
     use super::*;
     use dprbg_field::Gf2k;
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use dprbg_rng::prelude::*;
+    use dprbg_rng::rngs::StdRng;
+    use dprbg_rng::SeedableRng;
 
     type F = Gf2k<32>;
 

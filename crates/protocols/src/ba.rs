@@ -103,8 +103,8 @@ where
 mod tests {
     use super::*;
     use dprbg_sim::{run_network, Behavior, FaultPlan};
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use dprbg_rng::rngs::StdRng;
+    use dprbg_rng::{RngExt, SeedableRng};
 
     fn honest(input: bool, t: usize) -> Behavior<BaMsg, bool> {
         Box::new(move |ctx| phase_king_ba::<BaMsg>(ctx, input, t))

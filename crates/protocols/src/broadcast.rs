@@ -58,8 +58,8 @@ where
 mod tests {
     use super::*;
     use dprbg_sim::{run_network, Behavior, FaultPlan};
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use dprbg_rng::rngs::StdRng;
+    use dprbg_rng::{RngExt, SeedableRng};
 
     /// Composite wire type for the broadcast: grade-cast + BA traffic.
     #[derive(Debug, Clone, PartialEq, Eq)]

@@ -176,9 +176,9 @@ pub fn approx_clique(g: &Graph) -> Vec<PartyId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use dprbg_rng::prelude::*;
+    use dprbg_rng::rngs::StdRng;
+    use dprbg_rng::{RngExt, SeedableRng};
 
     #[test]
     fn mutual_requires_both_directions() {

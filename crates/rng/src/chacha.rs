@@ -1,0 +1,150 @@
+//! The ChaCha stream-cipher core used by [`crate::rngs::StdRng`].
+//!
+//! ChaCha (Bernstein 2008) with a compile-time round count. The workspace
+//! uses 12 rounds — the same core the `rand` crate's `StdRng` is built on —
+//! which keeps a large safety margin over the best known distinguishers
+//! while being ~40% cheaper than ChaCha20. The block function is verified
+//! against the RFC 8439 test vector (at 20 rounds) in this module's tests,
+//! so the quarter-round plumbing itself is vector-checked even though the
+//! 12-round profile has no official vectors.
+
+/// Number of 32-bit words in a ChaCha state / output block.
+const STATE_WORDS: usize = 16;
+
+/// The "expand 32-byte k" constants.
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// A ChaCha keystream generator with `R` double-rounds worth of mixing
+/// (`R = 6` ⇒ ChaCha12, `R = 10` ⇒ ChaCha20).
+#[derive(Clone, Debug)]
+pub struct ChaCha<const R: usize> {
+    /// Input state: constants ‖ key ‖ counter ‖ nonce.
+    state: [u32; STATE_WORDS],
+    /// Current output block.
+    buf: [u32; STATE_WORDS],
+    /// Next unread word index into `buf`; `STATE_WORDS` means "refill".
+    idx: usize,
+}
+
+impl<const R: usize> ChaCha<R> {
+    /// Build a generator from a 32-byte key, zero nonce, zero counter.
+    pub fn new(key: [u8; 32]) -> Self {
+        let mut state = [0u32; STATE_WORDS];
+        state[..4].copy_from_slice(&CONSTANTS);
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // Words 12..16: 64-bit block counter + 64-bit nonce (zero).
+        ChaCha { state, buf: [0; STATE_WORDS], idx: STATE_WORDS }
+    }
+
+    #[inline]
+    fn quarter_round(s: &mut [u32; STATE_WORDS], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    /// Run the block function on the current state into `buf`, then advance
+    /// the 64-bit block counter.
+    fn refill(&mut self) {
+        let mut w = self.state;
+        for _ in 0..R {
+            // Column round.
+            Self::quarter_round(&mut w, 0, 4, 8, 12);
+            Self::quarter_round(&mut w, 1, 5, 9, 13);
+            Self::quarter_round(&mut w, 2, 6, 10, 14);
+            Self::quarter_round(&mut w, 3, 7, 11, 15);
+            // Diagonal round.
+            Self::quarter_round(&mut w, 0, 5, 10, 15);
+            Self::quarter_round(&mut w, 1, 6, 11, 12);
+            Self::quarter_round(&mut w, 2, 7, 8, 13);
+            Self::quarter_round(&mut w, 3, 4, 9, 14);
+        }
+        for i in 0..STATE_WORDS {
+            self.buf[i] = w[i].wrapping_add(self.state[i]);
+        }
+        // 64-bit counter over words 12 and 13.
+        self.state[12] = self.state[12].wrapping_add(1);
+        if self.state[12] == 0 {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.idx = 0;
+    }
+
+    /// Next 32 bits of keystream.
+    #[inline]
+    pub fn next_word(&mut self) -> u32 {
+        if self.idx == STATE_WORDS {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    /// Set the 64-bit block counter (words 12–13) and flush the buffer.
+    #[cfg(test)]
+    fn set_counter(&mut self, ctr: u64) {
+        self.state[12] = ctr as u32;
+        self.state[13] = (ctr >> 32) as u32;
+        self.idx = STATE_WORDS;
+    }
+
+    /// Set the 64-bit nonce (words 14–15) and flush the buffer.
+    #[cfg(test)]
+    fn set_nonce(&mut self, nonce: u64) {
+        self.state[14] = nonce as u32;
+        self.state[15] = (nonce >> 32) as u32;
+        self.idx = STATE_WORDS;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.3.2 block-function test vector (ChaCha20).
+    ///
+    /// The RFC uses a 32-bit-counter/96-bit-nonce layout; ours is the
+    /// original 64/64 split, so we reproduce the RFC's state words 12..16
+    /// (counter 1, nonce `00:00:00:09 00:00:00:4a 00:00:00:00`) by putting
+    /// 0x0900_0000 in the high counter half and 0x4a00_0000 in word 14.
+    #[test]
+    fn rfc8439_block_vector() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let mut c: ChaCha<10> = ChaCha::new(key);
+        // RFC state words 12..16 = counter 1, nonce 00:00:00:09, 00:00:00:4a, 00:00:00:00.
+        c.set_counter(1 | ((0x0900_0000u64) << 32));
+        c.set_nonce(0x4a00_0000);
+        let expect: [u32; 16] = [
+            0xe4e7_f110, 0x1559_3bd1, 0x1fdd_0f50, 0xc471_20a3, 0xc7f4_d1c7, 0x0368_c033,
+            0x9aaa_2204, 0x4e6c_d4c3, 0x4664_82d2, 0x09aa_9f07, 0x05d7_c214, 0xa202_8bd9,
+            0xd19c_12b5, 0xb94e_16de, 0xe883_d0cb, 0x4e3c_50a2,
+        ];
+        let got: Vec<u32> = (0..16).map(|_| c.next_word()).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn counter_advances_blocks_differ() {
+        let mut c: ChaCha<6> = ChaCha::new([7u8; 32]);
+        let b0: Vec<u32> = (0..16).map(|_| c.next_word()).collect();
+        let b1: Vec<u32> = (0..16).map(|_| c.next_word()).collect();
+        assert_ne!(b0, b1);
+    }
+
+    #[test]
+    fn keystream_is_deterministic() {
+        let mut a: ChaCha<6> = ChaCha::new([42u8; 32]);
+        let mut b: ChaCha<6> = ChaCha::new([42u8; 32]);
+        for _ in 0..100 {
+            assert_eq!(a.next_word(), b.next_word());
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Sampling distributions: full-range values ([`StandardUniform`]) and
+//! uniform ranges ([`SampleRange`] for `a..b` / `a..=b`).
+//!
+//! Range sampling uses Lemire's multiply-shift with rejection, so it is
+//! exactly uniform and — crucially for the reproduction — consumes a
+//! deterministic prefix of the generator's word stream for a given
+//! (seed, call-sequence) pair.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::core::Rng;
+
+/// Types samplable uniformly over their whole domain.
+pub trait StandardUniform: Sized {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_32 {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_standard_64 {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_32!(u8, i8, u16, i16, u32, i32);
+impl_standard_64!(u64, i64, usize, isize);
+
+impl StandardUniform for u128 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let lo = rng.next_u64() as u128;
+        let hi = rng.next_u64() as u128;
+        (hi << 64) | lo
+    }
+}
+
+impl StandardUniform for i128 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl StandardUniform for bool {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl StandardUniform for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl<T: StandardUniform, const N: usize> StandardUniform for [T; N] {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        core::array::from_fn(|_| T::sample(rng))
+    }
+}
+
+/// Unbiased uniform `u64` in `[0, bound)` via Lemire multiply-shift.
+///
+/// # Panics
+///
+/// Panics if `bound == 0`.
+#[inline]
+pub(crate) fn sample_below_u64<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    assert!(bound > 0, "empty sampling range");
+    let mut m = rng.next_u64() as u128 * bound as u128;
+    if (m as u64) < bound {
+        // Rejection threshold 2^64 mod bound, computed without u128 division.
+        let t = bound.wrapping_neg() % bound;
+        while (m as u64) < t {
+            m = rng.next_u64() as u128 * bound as u128;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Unbiased uniform `u128` in `[0, bound)` (widening rejection).
+#[inline]
+pub(crate) fn sample_below_u128<R: Rng + ?Sized>(rng: &mut R, bound: u128) -> u128 {
+    assert!(bound > 0, "empty sampling range");
+    if bound <= u64::MAX as u128 {
+        return sample_below_u64(rng, bound as u64) as u128;
+    }
+    // Plain rejection from a power-of-two envelope.
+    let mask = u128::MAX >> (bound - 1).leading_zeros();
+    loop {
+        let x = u128::sample(rng) & mask;
+        if x < bound {
+            return x;
+        }
+    }
+}
+
+/// A range argument accepted by `RngExt::random_range`.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty => $wide:ty, $below:ident);* $(;)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as $wide;
+                self.start.wrapping_add($below(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in random_range");
+                let span = (end as $wide).wrapping_sub(start as $wide).wrapping_add(1);
+                if span == 0 {
+                    // Full domain of $t.
+                    return <$t as StandardUniform>::sample(rng);
+                }
+                start.wrapping_add($below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range! {
+    u8 => u64, sample_below_u64;
+    u16 => u64, sample_below_u64;
+    u32 => u64, sample_below_u64;
+    u64 => u64, sample_below_u64;
+    usize => u64, sample_below_u64;
+    u128 => u128, sample_below_u128;
+}
+
+macro_rules! impl_sample_range_signed {
+    ($($t:ty => $u:ty);* $(;)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                self.start.wrapping_add(sample_below_u64(rng, span as u64) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in random_range");
+                let span = (end as $u).wrapping_sub(start as $u).wrapping_add(1);
+                if span == 0 {
+                    return <$t as StandardUniform>::sample(rng);
+                }
+                start.wrapping_add(sample_below_u64(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_signed! {
+    i8 => u8;
+    i16 => u16;
+    i32 => u32;
+    i64 => u64;
+    isize => usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::core::{RngExt, SeedableRng};
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..2000 {
+            let x = rng.random_range(10u64..17);
+            assert!((10..17).contains(&x));
+            let y = rng.random_range(3usize..=9);
+            assert!((3..=9).contains(&y));
+            let z = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn all_residues_hit() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            seen[rng.random_range(0usize..7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn single_element_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(rng.random_range(4u32..5), 4);
+        assert_eq!(rng.random_range(4u32..=4), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.random_range(5u64..5);
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_works() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.random_range(0u64..=u64::MAX);
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! An in-tree, seed-deterministic property-testing harness with a
+//! `proptest`-compatible macro surface.
+//!
+//! Supports the subset of `proptest` the workspace uses:
+//!
+//! - `proptest! { #[test] fn name(a: u64, x in 0usize..8) { .. } }`
+//! - an optional leading `#![proptest_config(ProptestConfig::with_cases(N))]`
+//! - `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`
+//!
+//! Each case runs from its own [`StdRng`] seed derived deterministically
+//! from a per-test base. There is no shrinking; instead every failure
+//! prints the exact case seed and the environment variables that replay
+//! that single case:
+//!
+//! ```text
+//! DPRBG_PROPTEST_SEED=<failing-seed> DPRBG_PROPTEST_CASES=1 cargo test <name>
+//! ```
+//!
+//! `DPRBG_PROPTEST_SEED` overrides the base seed of case 0 (subsequent
+//! cases use `base + case_index`), and `DPRBG_PROPTEST_CASES` overrides
+//! every test's case count.
+
+use crate::core::{Rng, SeedableRng};
+use crate::rngs::StdRng;
+
+/// Per-block configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 256 cases, matching `proptest`'s default.
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the inputs; the case is redrawn, not failed.
+    Reject,
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build the failure variant (used by the `prop_assert*` macros).
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Value source for a `name: Type` parameter (implicit strategy).
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_arbitrary_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[inline]
+            fn arbitrary<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                <$t as $crate::dist::StandardUniform>::sample(rng)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_standard!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, f32, f64
+);
+
+/// Explicit strategy for a `name in <expr>` parameter.
+///
+/// Integer ranges are strategies; so is any `Vec` of strategies via
+/// [`vec_of`]. `Strategy` is consumed per case, so implementors are
+/// `Clone`d by the runner.
+pub trait Strategy: Clone {
+    /// The generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::Value;
+}
+
+macro_rules! impl_strategy_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            #[inline]
+            fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                use crate::dist::SampleRange;
+                self.clone().sample(rng)
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            #[inline]
+            fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                use crate::dist::SampleRange;
+                self.clone().sample(rng)
+            }
+        }
+    )*};
+}
+
+impl_strategy_range!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+
+/// A strategy producing `Vec`s with lengths in `len` and elements from
+/// `elem` — the analogue of `proptest::collection::vec`.
+#[derive(Clone)]
+pub struct VecStrategy<S: Strategy> {
+    elem: S,
+    len: std::ops::Range<usize>,
+}
+
+/// Build a [`VecStrategy`].
+pub fn vec_of<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+    VecStrategy { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<S::Value> {
+        let n = self.len.clone().generate(rng);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// FNV-1a, used to give every property its own default seed stream.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The driver behind `proptest!`: run `cfg.cases` cases of `property`,
+/// panicking with a replay recipe on the first failure.
+///
+/// Each case's generator is `StdRng::seed_from_u64(base + case_index)`.
+/// `prop_assume!` rejections redraw the case (with a budget of 16× the
+/// case count) instead of failing it, matching `proptest`'s semantics.
+pub fn run_cases<F>(name: &str, cfg: &ProptestConfig, mut property: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let base = match std::env::var("DPRBG_PROPTEST_SEED") {
+        Ok(v) => v
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("DPRBG_PROPTEST_SEED is not a u64: {v:?}")),
+        Err(_) => hash_name(name),
+    };
+    let cases = std::env::var("DPRBG_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(cfg.cases);
+
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let reject_budget = cases.saturating_mul(16).max(256);
+    let mut case_index = 0u64;
+    while passed < cases {
+        let seed = base.wrapping_add(case_index);
+        case_index += 1;
+        let mut rng = StdRng::seed_from_u64(seed);
+        match property(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= reject_budget,
+                    "property `{name}`: prop_assume! rejected {rejected} cases \
+                     (budget {reject_budget}); strategy is too narrow"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property `{name}` failed at case {} (seed {seed}): {msg}\n\
+                     replay just this case with:\n  \
+                     DPRBG_PROPTEST_SEED={seed} DPRBG_PROPTEST_CASES=1 cargo test {name}",
+                    case_index - 1,
+                );
+            }
+        }
+    }
+}
+
+/// Define properties as `#[test]` functions over seeded random inputs.
+///
+/// See the [module docs](crate::proptest) for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($params:tt)*) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::proptest::ProptestConfig = $cfg;
+                $crate::proptest::run_cases(
+                    stringify!($name),
+                    &__cfg,
+                    |__proptest_rng| {
+                        $crate::__proptest_bind!(__proptest_rng, $($params)*);
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($params:tt)*) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config(<$crate::proptest::ProptestConfig as ::core::default::Default>::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($params)*) $body
+            )*
+        }
+    };
+}
+
+/// Parameter binder for [`proptest!`]: `name: Type` draws via
+/// [`Arbitrary`], `name in strategy` draws via [`Strategy`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $name:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        let $name: $ty = <$ty as $crate::proptest::Arbitrary>::arbitrary($rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, $name:ident in $strategy:expr $(, $($rest:tt)*)?) => {
+        let $name = $crate::proptest::Strategy::generate(&$strategy, $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+}
+
+/// `assert!` that reports the failing property seed instead of panicking
+/// mid-case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::proptest::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` for properties.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs == rhs,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), lhs, rhs
+        );
+    }};
+}
+
+/// `assert_ne!` for properties.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs != rhs,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs), stringify!($rhs), lhs
+        );
+    }};
+}
+
+/// Filter the current case: a false condition redraws instead of failing.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::proptest::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::RngExt;
+
+    proptest! {
+        #[test]
+        fn addition_commutes(a: u32, b: u32) {
+            prop_assert_eq!(a as u64 + b as u64, b as u64 + a as u64);
+        }
+
+        #[test]
+        fn range_strategy_in_bounds(x in 3usize..9, y in 1u64..=4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+        }
+
+        #[test]
+        fn assume_redraws(n: u64) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+        #[test]
+        fn configured_case_count(seed: u64) {
+            // Exercises the config path; the body draws from the per-case rng.
+            let mut rng = crate::rngs::StdRng::seed_from_u64(seed);
+            let v: bool = rng.random();
+            prop_assert!(v || !v);
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_seed() {
+        let err = std::panic::catch_unwind(|| {
+            super::run_cases(
+                "always_fails",
+                &super::ProptestConfig::with_cases(5),
+                |_| Err(super::TestCaseError::Fail("boom".into())),
+            );
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("DPRBG_PROPTEST_SEED="), "message: {msg}");
+        assert!(msg.contains("boom"), "message: {msg}");
+    }
+
+    #[test]
+    fn narrow_assume_exhausts_budget() {
+        let err = std::panic::catch_unwind(|| {
+            super::run_cases(
+                "always_rejects",
+                &super::ProptestConfig::with_cases(4),
+                |_| Err(super::TestCaseError::Reject),
+            );
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("too narrow"), "message: {msg}");
+    }
+
+    #[test]
+    fn vec_strategy_generates_in_spec() {
+        let mut rng = crate::rngs::StdRng::seed_from_u64(8);
+        let strat = super::vec_of(0u32..10, 2..5);
+        for _ in 0..50 {
+            let v = super::Strategy::generate(&strat, &mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+}

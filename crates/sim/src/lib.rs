@@ -23,7 +23,7 @@
 //! running.
 //!
 //! Everything is deterministic given the master seed: per-party randomness
-//! comes from seeded [`rand::rngs::StdRng`]s, and inboxes are sorted by
+//! comes from seeded [`dprbg_rng::rngs::StdRng`]s, and inboxes are sorted by
 //! (sender, send order). Communication is charged to the
 //! [`dprbg_metrics::comm`] counters using [`WireSize`]: one unicast = one
 //! message of the payload's size; one ideal-channel broadcast = one message

@@ -5,8 +5,8 @@ use std::sync::mpsc;
 use std::sync::Arc;
 
 use dprbg_metrics::{comm, CostReport, CostSnapshot, WireSize};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dprbg_rng::rngs::StdRng;
+use dprbg_rng::SeedableRng;
 
 use crate::router::{Inbox, PartyId, Received, RoundProfile, Router};
 
@@ -336,7 +336,7 @@ mod tests {
 
     #[test]
     fn per_party_rng_is_deterministic() {
-        use rand::RngExt;
+        use dprbg_rng::RngExt;
         let mk = || -> Vec<Behavior<u8, u64>> {
             (0..3)
                 .map(|_| boxed(|ctx: &mut PartyCtx<u8>| ctx.rng().random::<u64>()))

@@ -20,8 +20,8 @@ use dprbg::field::{Field, Gf2k};
 use dprbg::metrics::CostSnapshot;
 use dprbg::poly::{share_points, share_polynomial};
 use dprbg::sim::{run_network, Behavior, PartyCtx};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dprbg_rng::rngs::StdRng;
+use dprbg_rng::SeedableRng;
 
 type F = Gf2k<32>;
 type M = BatchVssMsg<F>;

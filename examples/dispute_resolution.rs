@@ -22,8 +22,8 @@ use dprbg::core::{
 use dprbg::field::{Field, Gf2k};
 use dprbg::poly::{share_points, share_polynomial, Poly};
 use dprbg::sim::{run_network, FaultPlan, PartyCtx};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dprbg_rng::rngs::StdRng;
+use dprbg_rng::SeedableRng;
 
 type F = Gf2k<32>;
 type M = DisputeVssMsg<F>;

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Hermetic-build verification: offline build + tests + dependency-policy guard.
+#
+# Usage: scripts/verify.sh
+# Exits non-zero if the build fails, a test fails, or any manifest declares
+# a dependency that is not an in-tree `path` crate (no registry, no git).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== guard: every dependency must be an in-tree path crate =="
+bad=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    # Inside any *dependencies section, each entry must be either
+    # `name.workspace = true`, `name = { workspace = true }`, or a
+    # `path = "..."` table. Registry (`version = ...`), `git = ...`, and
+    # `registry = ...` sources are forbidden.
+    if ! awk -v file="$manifest" '
+        /^\[/ { indep = ($0 ~ /dependencies\]$/) }
+        indep && /^[ \t]*[a-zA-Z0-9_-]+/ && !/^[ \t]*#/ {
+            ok = ($0 ~ /\.workspace[ \t]*=[ \t]*true/) \
+              || ($0 ~ /workspace[ \t]*=[ \t]*true/)   \
+              || ($0 ~ /path[ \t]*=[ \t]*"/)
+            banned = ($0 ~ /version[ \t]*=/) || ($0 ~ /git[ \t]*=/) \
+                  || ($0 ~ /registry[ \t]*=/) || ($0 ~ /=[ \t]*"[^"]*"[ \t]*$/)
+            if (!ok || banned) {
+                printf "%s:%d: non-path dependency: %s\n", file, NR, $0
+                status = 1
+            }
+        }
+        END { exit status }
+    ' "$manifest"; then
+        bad=1
+    fi
+done
+if [ "$bad" -ne 0 ]; then
+    echo "dependency-policy guard FAILED: external crates are not allowed" >&2
+    echo "(see 'Dependency policy' in DESIGN.md)" >&2
+    exit 1
+fi
+echo "ok: manifests declare only path/workspace dependencies"
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== tests (workspace, offline) =="
+cargo test -q --workspace --offline
+
+echo "verify.sh: all green"

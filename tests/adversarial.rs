@@ -88,7 +88,7 @@ fn equivocating_dealer_excluded_or_consistent() {
                 let n = ctx.n();
                 // Split dealing: parties 1..=3 get shares of one random
                 // polynomial set, 4..=n of another.
-                let mk = |rng: &mut rand::rngs::StdRng| {
+                let mk = |rng: &mut dprbg_rng::rngs::StdRng| {
                     (0..3)
                         .map(|_| dprbg::poly::Poly::<F>::random(1, rng))
                         .collect::<Vec<_>>()

@@ -5,8 +5,8 @@
 use dprbg::core::{coin_gen, CoinBatch, CoinGenConfig, CoinGenMsg, CoinWallet, Params, TrustedDealer};
 use dprbg::field::{Field, Gf2k};
 use dprbg::sim::{run_network, Behavior, FaultPlan, PartyCtx};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use dprbg_rng::rngs::StdRng;
+use dprbg_rng::{RngExt, SeedableRng};
 
 type F = Gf2k<32>;
 
@@ -80,7 +80,7 @@ fn coin_gen_parameter_sweep_with_random_crash_sets() {
     let mut rng = StdRng::seed_from_u64(0xC0C0A);
     for trial in 0..10u64 {
         let (n, t) = *[(7usize, 1usize), (13, 2)]
-            .get(rng.random_range(0..2))
+            .get(rng.random_range(0..2usize))
             .unwrap();
         let m = rng.random_range(1..24);
         let f = rng.random_range(0..=t);

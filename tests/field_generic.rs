@@ -46,8 +46,8 @@ fn coin_gen_over_a_prime_field() {
 fn vss_over_a_prime_field() {
     use dprbg::core::{vss, SealedShare, VssMode, VssMsg, VssVerdict};
     use dprbg::poly::{share_points, share_polynomial};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use dprbg_rng::rngs::StdRng;
+    use dprbg_rng::SeedableRng;
 
     let n = 7;
     let t = 2;

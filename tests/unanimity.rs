@@ -10,8 +10,8 @@ use dprbg::core::batch_vss::BatchOpts;
 use dprbg::field::{Field, Gf2k};
 use dprbg::poly::{share_points, share_polynomial};
 use dprbg::sim::{run_network, Behavior, FaultPlan, PartyCtx};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use dprbg_rng::rngs::StdRng;
+use dprbg_rng::{RngExt, SeedableRng};
 
 type F = Gf2k<32>;
 
