@@ -74,6 +74,9 @@ fn main() {
     if want("e10") {
         print_section(experiments::e10::run(&ctx).render());
     }
+    if want("e11") {
+        print_section(experiments::e11::run(&ctx).render());
+    }
     println!("report generated in {:.1}s", t0.elapsed().as_secs_f64());
 }
 

@@ -1,4 +1,4 @@
-//! Experiment modules E1–E8 and shared plumbing.
+//! Experiment modules E1–E11 and shared plumbing.
 
 pub mod common;
 pub mod e1;
@@ -11,5 +11,6 @@ pub mod e7;
 pub mod e8;
 pub mod e9;
 pub mod e10;
+pub mod e11;
 
 pub use common::ExperimentCtx;

@@ -34,13 +34,15 @@
 //! The `Batch-VSS(l)` variant of the paper — verification restricted to a
 //! designated point subset — is [`judge_batch_subset`].
 
+use std::mem;
+
 use dprbg_field::Field;
 use dprbg_metrics::WireSize;
 use dprbg_poly::{bw_decode, interpolate, share_polynomial, Poly};
-use dprbg_sim::{Embeds, PartyCtx, PartyId};
+use dprbg_sim::{drive_blocking, Embeds, PartyCtx, PartyId, RoundMachine, RoundView, Step};
 use dprbg_rng::Rng;
 
-use crate::coin::{coin_expose, ExposeMsg, ExposeVia, SealedShare};
+use crate::coin::{ExposeMachine, ExposeMsg, ExposeVia, SealedShare};
 use crate::errors::CoinError;
 pub use crate::vss::{VssMode, VssVerdict};
 
@@ -137,44 +139,94 @@ where
     M: Clone + Send + WireSize + Embeds<ExposeMsg<F>> + Embeds<BatchVssMsg<F>> + 'static,
     F: Field,
 {
-    let mut dealt = None;
-    if let (true, Some(secrets)) = (ctx.id() == dealer, secrets_if_dealer) {
-        let n = ctx.n();
-        let polys: Vec<Poly<F>> = secrets
-            .iter()
-            .map(|&s| share_polynomial(s, t, ctx.rng()))
-            .collect();
-        let blind = if opts.blinding {
-            Poly::random(t, ctx.rng())
-        } else {
-            Poly::zero()
-        };
-        for i in 1..=n {
-            let x = F::element(i as u64);
-            let alphas: Vec<F> = polys.iter().map(|f| f.eval(x)).collect();
-            let gamma = blind.eval(x);
-            ctx.send(
-                i,
-                <M as Embeds<BatchVssMsg<F>>>::wrap(BatchVssMsg::Deal { alphas, gamma }),
-            );
+    let secrets = secrets_if_dealer.map(<[F]>::to_vec);
+    drive_blocking(ctx, BatchVssDealMachine::new(dealer, secrets, t, opts))
+}
+
+/// The batch dealing round as a sans-IO round machine: one `Continue`
+/// (the dealer's share vectors), then `Done` with this party's holdings.
+pub struct BatchVssDealMachine<M, F: Field> {
+    dealer: PartyId,
+    secrets: Option<Vec<F>>,
+    t: usize,
+    opts: BatchOpts,
+    dealt: Option<Vec<Poly<F>>>,
+    sent: bool,
+    _wire: std::marker::PhantomData<fn() -> M>,
+}
+
+impl<M, F: Field> BatchVssDealMachine<M, F> {
+    /// A machine for `dealer`'s batch; `secrets` must be `Some` only at
+    /// the dealer itself.
+    pub fn new(dealer: PartyId, secrets: Option<Vec<F>>, t: usize, opts: BatchOpts) -> Self {
+        BatchVssDealMachine {
+            dealer,
+            secrets,
+            t,
+            opts,
+            dealt: None,
+            sent: false,
+            _wire: std::marker::PhantomData,
         }
-        let mut all = polys;
-        all.push(blind);
-        dealt = Some(all);
     }
-    let inbox = ctx.next_round();
-    let shares = inbox
-        .first_from(dealer)
-        .and_then(|r| <M as Embeds<BatchVssMsg<F>>>::peek(&r.msg))
-        .and_then(|m| match m {
-            BatchVssMsg::Deal { alphas, gamma } => Some(BatchShares {
-                alphas: alphas.clone(),
-                gamma: *gamma,
-            }),
-            _ => None,
-        })
-        .unwrap_or_default();
-    (shares, dealt)
+}
+
+impl<M, F> RoundMachine<M> for BatchVssDealMachine<M, F>
+where
+    M: Clone + WireSize + Embeds<BatchVssMsg<F>>,
+    F: Field,
+{
+    type Output = (BatchShares<F>, Option<Vec<Poly<F>>>);
+
+    fn round(&mut self, view: RoundView<'_, M>) -> Step<M, Self::Output> {
+        if !self.sent {
+            self.sent = true;
+            let mut out = view.outbox();
+            if view.id == self.dealer {
+                if let Some(secrets) = self.secrets.take() {
+                    let n = view.n;
+                    let polys: Vec<Poly<F>> = secrets
+                        .iter()
+                        .map(|&s| share_polynomial(s, self.t, view.rng))
+                        .collect();
+                    let blind = if self.opts.blinding {
+                        Poly::random(self.t, view.rng)
+                    } else {
+                        Poly::zero()
+                    };
+                    for i in 1..=n {
+                        let x = F::element(i as u64);
+                        let alphas: Vec<F> = polys.iter().map(|f| f.eval(x)).collect();
+                        let gamma = blind.eval(x);
+                        out.send(
+                            i,
+                            <M as Embeds<BatchVssMsg<F>>>::wrap(BatchVssMsg::Deal {
+                                alphas,
+                                gamma,
+                            }),
+                        );
+                    }
+                    let mut all = polys;
+                    all.push(blind);
+                    self.dealt = Some(all);
+                }
+            }
+            return Step::Continue(out);
+        }
+        let shares = view
+            .inbox
+            .first_from(self.dealer)
+            .and_then(|r| <M as Embeds<BatchVssMsg<F>>>::peek(&r.msg))
+            .and_then(|m| match m {
+                BatchVssMsg::Deal { alphas, gamma } => Some(BatchShares {
+                    alphas: alphas.clone(),
+                    gamma: *gamma,
+                }),
+                _ => None,
+            })
+            .unwrap_or_default();
+        Step::Done((shares, self.dealt.take()))
+    }
 }
 
 /// Steps 1–4 of Fig. 3: verify all `M` sharings with one interpolation.
@@ -198,30 +250,102 @@ where
     M: Clone + Send + WireSize + Embeds<ExposeMsg<F>> + Embeds<BatchVssMsg<F>> + 'static,
     F: Field,
 {
-    let r = coin_expose(ctx, coin, t, ExposeVia::Broadcast)?;
+    drive_blocking(
+        ctx,
+        BatchVssVerifyMachine::new(t, shares.clone(), expected_m, coin, opts),
+    )
+}
 
-    // A malformed share vector means a misbehaving dealer; broadcast a
-    // *random* combination so the malformed instance cannot fit any
-    // low-degree polynomial (all-zero fallbacks would themselves
-    // interpolate to a valid sharing).
-    let beta = if shares.alphas.len() == expected_m {
-        horner_combine(&shares.alphas, shares.gamma, r)
-    } else {
-        F::random(ctx.rng())
-    };
-    ctx.broadcast(<M as Embeds<BatchVssMsg<F>>>::wrap(BatchVssMsg::Beta(beta)));
-    let inbox = ctx.next_round();
+/// Fig. 3's verification as a sans-IO round machine: the challenge
+/// expose (an embedded [`ExposeMachine`] over the broadcast channel),
+/// the combination broadcast, then the interpolation verdict — 2 rounds.
+pub struct BatchVssVerifyMachine<M, F: Field> {
+    t: usize,
+    shares: BatchShares<F>,
+    expected_m: usize,
+    opts: BatchOpts,
+    stage: BvStage<M, F>,
+}
 
-    let mut points: Vec<(F, F)> = Vec::new();
-    for rcv in inbox.broadcasts() {
-        if let Some(BatchVssMsg::Beta(b)) = <M as Embeds<BatchVssMsg<F>>>::peek(&rcv.msg) {
-            let x = F::element(rcv.from as u64);
-            if points.iter().all(|(px, _)| *px != x) {
-                points.push((x, *b));
-            }
+enum BvStage<M, F: Field> {
+    /// Step 1 in flight (two calls: share send, then decode + beta send).
+    Expose(ExposeMachine<M, F>),
+    /// Inbox holds the broadcast betas; judge.
+    Betas,
+    Finished,
+}
+
+impl<M, F: Field> BatchVssVerifyMachine<M, F> {
+    /// A machine verifying `shares` against an expected batch size, with
+    /// `coin` as the challenge.
+    pub fn new(
+        t: usize,
+        shares: BatchShares<F>,
+        expected_m: usize,
+        coin: SealedShare<F>,
+        opts: BatchOpts,
+    ) -> Self {
+        BatchVssVerifyMachine {
+            t,
+            shares,
+            expected_m,
+            opts,
+            stage: BvStage::Expose(ExposeMachine::new(coin, t, ExposeVia::Broadcast)),
         }
     }
-    Ok(judge_batch(&points, ctx.n(), t, opts.mode))
+}
+
+impl<M, F> RoundMachine<M> for BatchVssVerifyMachine<M, F>
+where
+    M: Clone + WireSize + Embeds<ExposeMsg<F>> + Embeds<BatchVssMsg<F>>,
+    F: Field,
+{
+    type Output = Result<VssVerdict, CoinError>;
+
+    fn round(&mut self, mut view: RoundView<'_, M>) -> Step<M, Self::Output> {
+        match mem::replace(&mut self.stage, BvStage::Finished) {
+            BvStage::Expose(mut expose) => match expose.round(view.reborrow()) {
+                Step::Continue(out) => {
+                    self.stage = BvStage::Expose(expose);
+                    Step::Continue(out)
+                }
+                Step::Done(Err(e)) => Step::Done(Err(e)),
+                Step::Done(Ok(r)) => {
+                    // A malformed share vector means a misbehaving dealer;
+                    // broadcast a *random* combination so the malformed
+                    // instance cannot fit any low-degree polynomial
+                    // (all-zero fallbacks would themselves interpolate to
+                    // a valid sharing).
+                    let beta = if self.shares.alphas.len() == self.expected_m {
+                        horner_combine(&self.shares.alphas, self.shares.gamma, r)
+                    } else {
+                        F::random(view.rng)
+                    };
+                    let mut out = view.outbox();
+                    out.broadcast(<M as Embeds<BatchVssMsg<F>>>::wrap(BatchVssMsg::Beta(
+                        beta,
+                    )));
+                    self.stage = BvStage::Betas;
+                    Step::Continue(out)
+                }
+            },
+            BvStage::Betas => {
+                let mut points: Vec<(F, F)> = Vec::new();
+                for rcv in view.inbox.broadcasts() {
+                    if let Some(BatchVssMsg::Beta(b)) =
+                        <M as Embeds<BatchVssMsg<F>>>::peek(&rcv.msg)
+                    {
+                        let x = F::element(rcv.from as u64);
+                        if points.iter().all(|(px, _)| *px != x) {
+                            points.push((x, *b));
+                        }
+                    }
+                }
+                Step::Done(Ok(judge_batch(&points, view.n, self.t, self.opts.mode)))
+            }
+            BvStage::Finished => panic!("BatchVssVerifyMachine driven past completion"),
+        }
+    }
 }
 
 /// Step 4's decision from the collected combination points.

@@ -29,13 +29,15 @@
 //! Like Batch-VSS, the combination is blinded with one extra masking
 //! polynomial per dealer by default (see DESIGN.md deviation #2).
 
+use std::mem;
+
 use dprbg_field::Field;
 use dprbg_metrics::WireSize;
 use dprbg_poly::{bw_decode, Poly};
-use dprbg_sim::{Embeds, PartyCtx, PartyId};
+use dprbg_sim::{drive_blocking, Embeds, PartyCtx, PartyId, RoundMachine, RoundView, Step};
 
 use crate::batch_vss::horner_combine;
-use crate::coin::{coin_expose, ExposeMsg, ExposeVia, SealedShare};
+use crate::coin::{ExposeMachine, ExposeMsg, ExposeVia, SealedShare};
 use crate::errors::CoinError;
 
 /// Wire messages of the `n` parallel Bit-Gen instances.
@@ -168,112 +170,192 @@ where
     M: Clone + Send + WireSize + Embeds<ExposeMsg<F>> + Embeds<BitGenMsg<F>> + 'static,
     F: Field,
 {
-    let n = ctx.n();
-    let me = ctx.id();
+    drive_blocking(ctx, BitGenMachine::new(t, m, coin, dealers.to_vec(), mode))
+}
 
-    // Round 1: deal. Each dealer samples M secret polynomials and one
-    // masking polynomial, and sends each player its share vector.
-    let mut my_polys = None;
-    if dealers.contains(&me) {
-        let polys: Vec<Poly<F>> = (0..m)
-            .map(|_| match mode {
-                BitGenMode::RandomCoins => Poly::random(t, ctx.rng()),
-                BitGenMode::ZeroRefresh => {
-                    Poly::random_with_constant(F::zero(), t, ctx.rng())
+/// The `n` parallel Bit-Gen instances (Fig. 4) as a sans-IO round
+/// machine: deal, challenge expose (an embedded [`ExposeMachine`]), and
+/// combination exchange — Lemma 6's exact 3 rounds, one `Continue` each.
+pub struct BitGenMachine<M, F: Field> {
+    t: usize,
+    m: usize,
+    dealers: Vec<PartyId>,
+    mode: BitGenMode,
+    stage: BgStage<M, F>,
+}
+
+enum BgStage<M, F: Field> {
+    /// First call: deal (if a dealer) and bank the challenge share.
+    Deal { coin: SealedShare<F> },
+    /// Inbox holds deals: record them, then start the challenge expose.
+    Deals { coin: SealedShare<F>, my_polys: Option<Vec<Poly<F>>> },
+    /// Inbox holds expose shares: decode `r`, send the combinations.
+    Expose {
+        expose: ExposeMachine<M, F>,
+        views: Vec<DealerView<F>>,
+        my_polys: Option<Vec<Poly<F>>>,
+    },
+    /// Inbox holds combinations: fill `S` and decode every instance.
+    Betas { r: F, views: Vec<DealerView<F>>, my_polys: Option<Vec<Poly<F>>> },
+    Finished,
+}
+
+impl<M, F: Field> BitGenMachine<M, F> {
+    /// A machine running the parallel instances dealt by `dealers`, `m`
+    /// secrets each, sharing the challenge `coin`.
+    pub fn new(
+        t: usize,
+        m: usize,
+        coin: SealedShare<F>,
+        dealers: Vec<PartyId>,
+        mode: BitGenMode,
+    ) -> Self {
+        BitGenMachine { t, m, dealers, mode, stage: BgStage::Deal { coin } }
+    }
+}
+
+impl<M, F> RoundMachine<M> for BitGenMachine<M, F>
+where
+    M: Clone + WireSize + Embeds<ExposeMsg<F>> + Embeds<BitGenMsg<F>>,
+    F: Field,
+{
+    type Output = Result<BitGenRun<F>, CoinError>;
+
+    fn round(&mut self, mut view: RoundView<'_, M>) -> Step<M, Self::Output> {
+        let n = view.n;
+        match mem::replace(&mut self.stage, BgStage::Finished) {
+            BgStage::Deal { coin } => {
+                // Round 1: deal. Each dealer samples M secret polynomials
+                // and one masking polynomial, and sends each player its
+                // share vector.
+                let mut out = view.outbox();
+                let mut my_polys = None;
+                if self.dealers.contains(&view.id) {
+                    let polys: Vec<Poly<F>> = (0..self.m)
+                        .map(|_| match self.mode {
+                            BitGenMode::RandomCoins => Poly::random(self.t, view.rng),
+                            BitGenMode::ZeroRefresh => {
+                                Poly::random_with_constant(F::zero(), self.t, view.rng)
+                            }
+                        })
+                        .collect();
+                    let blind = match self.mode {
+                        BitGenMode::RandomCoins => Poly::random(self.t, view.rng),
+                        // Zero sharings need no blinding: the revealed
+                        // combination's constant term is zero by
+                        // construction and the z's are pure masking
+                        // randomness.
+                        BitGenMode::ZeroRefresh => Poly::zero(),
+                    };
+                    for i in 1..=n {
+                        let x = F::element(i as u64);
+                        let alphas: Vec<F> = polys.iter().map(|f| f.eval(x)).collect();
+                        out.send(
+                            i,
+                            <M as Embeds<BitGenMsg<F>>>::wrap(BitGenMsg::Deal {
+                                alphas,
+                                gamma: blind.eval(x),
+                            }),
+                        );
+                    }
+                    my_polys = Some(polys);
                 }
-            })
-            .collect();
-        let blind = match mode {
-            BitGenMode::RandomCoins => Poly::random(t, ctx.rng()),
-            // Zero sharings need no blinding: the revealed combination's
-            // constant term is zero by construction and the z's are pure
-            // masking randomness.
-            BitGenMode::ZeroRefresh => Poly::zero(),
-        };
-        for i in 1..=n {
-            let x = F::element(i as u64);
-            let alphas: Vec<F> = polys.iter().map(|f| f.eval(x)).collect();
-            ctx.send(
-                i,
-                <M as Embeds<BitGenMsg<F>>>::wrap(BitGenMsg::Deal {
-                    alphas,
-                    gamma: blind.eval(x),
-                }),
-            );
-        }
-        my_polys = Some(polys);
-    }
-    let inbox = ctx.next_round();
-    let mut views: Vec<DealerView<F>> = (1..=n)
-        .map(|dealer| DealerView {
-            dealer,
-            alphas: Vec::new(),
-            gamma: F::zero(),
-            my_beta: None,
-            betas: vec![None; n],
-            check_poly: None,
-        })
-        .collect();
-    for rcv in inbox.iter() {
-        if let Some(BitGenMsg::Deal { alphas, gamma }) =
-            <M as Embeds<BitGenMsg<F>>>::peek(&rcv.msg)
-        {
-            let view = &mut views[rcv.from - 1];
-            if view.alphas.is_empty() && alphas.len() == m {
-                view.alphas = alphas.clone();
-                view.gamma = *gamma;
+                self.stage = BgStage::Deals { coin, my_polys };
+                Step::Continue(out)
             }
-        }
-    }
-
-    // Round 2: the shared challenge.
-    let r = coin_expose(ctx, coin, t, ExposeVia::PointToPoint)?;
-
-    // Round 3: per instance, combine and exchange (n² messages of size k).
-    for view in views.iter_mut() {
-        if view.alphas.len() == m {
-            let beta = horner_combine(&view.alphas, view.gamma, r);
-            view.my_beta = Some(beta);
-        }
-    }
-    let entries: Vec<(PartyId, F)> = views
-        .iter()
-        .filter_map(|v| v.my_beta.map(|b| (v.dealer, b)))
-        .collect();
-    if !entries.is_empty() {
-        ctx.send_to_all(<M as Embeds<BitGenMsg<F>>>::wrap(BitGenMsg::Betas(entries)));
-    }
-    let inbox = ctx.next_round();
-    for rcv in inbox.iter() {
-        if let Some(BitGenMsg::Betas(entries)) = <M as Embeds<BitGenMsg<F>>>::peek(&rcv.msg) {
-            for (dealer, beta) in entries {
-                if (1..=n).contains(dealer) {
-                    let slot = &mut views[dealer - 1].betas[rcv.from - 1];
-                    if slot.is_none() {
-                        *slot = Some(*beta);
+            BgStage::Deals { coin, my_polys } => {
+                let mut views: Vec<DealerView<F>> = (1..=n)
+                    .map(|dealer| DealerView {
+                        dealer,
+                        alphas: Vec::new(),
+                        gamma: F::zero(),
+                        my_beta: None,
+                        betas: vec![None; n],
+                        check_poly: None,
+                    })
+                    .collect();
+                for rcv in view.inbox.iter() {
+                    if let Some(BitGenMsg::Deal { alphas, gamma }) =
+                        <M as Embeds<BitGenMsg<F>>>::peek(&rcv.msg)
+                    {
+                        let slot = &mut views[rcv.from - 1];
+                        if slot.alphas.is_empty() && alphas.len() == self.m {
+                            slot.alphas = alphas.clone();
+                            slot.gamma = *gamma;
+                        }
                     }
                 }
+
+                // Round 2: the shared challenge.
+                let mut expose = ExposeMachine::new(coin, self.t, ExposeVia::PointToPoint);
+                let Step::Continue(out) = expose.round(view.reborrow()) else {
+                    unreachable!("expose sends on its first call")
+                };
+                self.stage = BgStage::Expose { expose, views, my_polys };
+                Step::Continue(out)
             }
+            BgStage::Expose { mut expose, mut views, my_polys } => {
+                let r = match expose.round(view.reborrow()) {
+                    Step::Done(Ok(r)) => r,
+                    Step::Done(Err(e)) => return Step::Done(Err(e)),
+                    Step::Continue(_) => unreachable!("expose decodes on its second call"),
+                };
+
+                // Round 3: per instance, combine and exchange (n² messages
+                // of size k).
+                for v in views.iter_mut() {
+                    if v.alphas.len() == self.m {
+                        v.my_beta = Some(horner_combine(&v.alphas, v.gamma, r));
+                    }
+                }
+                let entries: Vec<(PartyId, F)> = views
+                    .iter()
+                    .filter_map(|v| v.my_beta.map(|b| (v.dealer, b)))
+                    .collect();
+                let mut out = view.outbox();
+                if !entries.is_empty() {
+                    out.send_to_all(<M as Embeds<BitGenMsg<F>>>::wrap(BitGenMsg::Betas(
+                        entries,
+                    )));
+                }
+                self.stage = BgStage::Betas { r, views, my_polys };
+                Step::Continue(out)
+            }
+            BgStage::Betas { r, mut views, my_polys } => {
+                for rcv in view.inbox.iter() {
+                    if let Some(BitGenMsg::Betas(entries)) =
+                        <M as Embeds<BitGenMsg<F>>>::peek(&rcv.msg)
+                    {
+                        for (dealer, beta) in entries {
+                            if (1..=n).contains(dealer) {
+                                let slot = &mut views[dealer - 1].betas[rcv.from - 1];
+                                if slot.is_none() {
+                                    *slot = Some(*beta);
+                                }
+                            }
+                        }
+                    }
+                }
+
+                // Step 5: Berlekamp–Welch per instance.
+                for v in views.iter_mut() {
+                    v.check_poly = decode_instance(&v.betas, n, self.t);
+                    if self.mode == BitGenMode::ZeroRefresh {
+                        // Zero sharings: the combination must vanish at the
+                        // origin, or the dealer is shifting coin values.
+                        if v.check_poly
+                            .as_ref()
+                            .is_some_and(|f| !f.constant_term().is_zero())
+                        {
+                            v.check_poly = None;
+                        }
+                    }
+                }
+                Step::Done(Ok(BitGenRun { r, views, my_polys }))
+            }
+            BgStage::Finished => panic!("BitGenMachine driven past completion"),
         }
     }
-
-    // Step 5: Berlekamp–Welch per instance.
-    for view in views.iter_mut() {
-        view.check_poly = decode_instance(&view.betas, n, t);
-        if mode == BitGenMode::ZeroRefresh {
-            // Zero sharings: the combination must vanish at the origin,
-            // or the dealer is shifting coin values.
-            if view
-                .check_poly
-                .as_ref()
-                .is_some_and(|f| !f.constant_term().is_zero())
-            {
-                view.check_poly = None;
-            }
-        }
-    }
-
-    Ok(BitGenRun { r, views, my_polys })
 }
 
 /// Fig. 4 step 5: decode `F(x)` from the received combinations; `Some`
@@ -295,6 +377,7 @@ fn decode_instance<F: Field>(betas: &[Option<F>], n: usize, t: usize) -> Option<
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::coin::coin_expose;
     use dprbg_field::Gf2k;
     use dprbg_poly::{share_points, share_polynomial};
     use dprbg_sim::{run_network, Behavior, FaultPlan};

@@ -18,11 +18,12 @@
 //! dealer (§1.2) or from a Coin-Gen batch.
 
 use std::collections::VecDeque;
+use std::marker::PhantomData;
 
 use dprbg_field::Field;
 use dprbg_metrics::WireSize;
 use dprbg_poly::{bw_decode, Poly};
-use dprbg_sim::{Embeds, PartyCtx};
+use dprbg_sim::{drive_blocking, Embeds, PartyCtx, RoundMachine, RoundView, Step};
 
 use crate::errors::CoinError;
 
@@ -143,12 +144,68 @@ pub enum ExposeVia {
     PointToPoint,
 }
 
+/// Protocol Coin-Expose (Fig. 6) as a sans-IO round machine: one
+/// `Continue` (the share send — or nothing, for a non-contributor),
+/// then `Done` with the Berlekamp–Welch-decoded coin.
+///
+/// Larger phases ([`BitGenMachine`](crate::BitGenMachine), Batch-VSS
+/// verification, Coin-Gen's leader elections) embed this machine for
+/// their expose sub-steps via [`RoundView::reborrow`].
+pub struct ExposeMachine<M, F: Field> {
+    share: SealedShare<F>,
+    t: usize,
+    via: ExposeVia,
+    sent: bool,
+    _wire: PhantomData<fn() -> M>,
+}
+
+impl<M, F: Field> ExposeMachine<M, F> {
+    /// A machine exposing `share` with decoding threshold `t` over `via`.
+    pub fn new(share: SealedShare<F>, t: usize, via: ExposeVia) -> Self {
+        ExposeMachine { share, t, via, sent: false, _wire: PhantomData }
+    }
+}
+
+impl<M, F> RoundMachine<M> for ExposeMachine<M, F>
+where
+    M: Clone + WireSize + Embeds<ExposeMsg<F>>,
+    F: Field,
+{
+    type Output = Result<F, CoinError>;
+
+    fn round(&mut self, view: RoundView<'_, M>) -> Step<M, Self::Output> {
+        if !self.sent {
+            self.sent = true;
+            let mut out = view.outbox();
+            if let Some(sigma) = self.share.sigma {
+                let msg = <M as Embeds<ExposeMsg<F>>>::wrap(ExposeMsg(sigma));
+                match self.via {
+                    ExposeVia::Broadcast => out.broadcast(msg),
+                    ExposeVia::PointToPoint => out.send_to_all(msg),
+                }
+            }
+            return Step::Continue(out);
+        }
+        let mut points: Vec<(F, F)> = Vec::new();
+        for r in view.inbox.iter() {
+            if let Some(ExposeMsg(y)) = <M as Embeds<ExposeMsg<F>>>::peek(&r.msg) {
+                let x = F::element(r.from as u64);
+                if points.iter().all(|(px, _)| *px != x) {
+                    points.push((x, *y));
+                }
+            }
+        }
+        Step::Done(decode_coin(&points, self.t))
+    }
+}
+
 /// Protocol Coin-Expose (Fig. 6): reveal a sealed coin.
 ///
-/// Every honest party calls this in the same round with its share of the
-/// same coin. One communication round: contributors send their share to
-/// all players (over `via`); everyone Berlekamp–Welch-decodes the received
-/// shares (tolerating up to `t` corrupted ones) and returns `F(0)`.
+/// Blocking shim over [`ExposeMachine`]. Every honest party calls this in
+/// the same round with its share of the same coin. One communication
+/// round: contributors send their share to all players (over `via`);
+/// everyone Berlekamp–Welch-decodes the received shares (tolerating up to
+/// `t` corrupted ones) and returns `F(0)`.
 ///
 /// The paper's per-player cost (discussion after Lemma 2): `n` additions
 /// and a single interpolation.
@@ -168,24 +225,7 @@ where
     M: Clone + Send + WireSize + Embeds<ExposeMsg<F>> + 'static,
     F: Field,
 {
-    if let Some(sigma) = share.sigma {
-        let msg = <M as Embeds<ExposeMsg<F>>>::wrap(ExposeMsg(sigma));
-        match via {
-            ExposeVia::Broadcast => ctx.broadcast(msg),
-            ExposeVia::PointToPoint => ctx.send_to_all(msg),
-        }
-    }
-    let inbox = ctx.next_round();
-    let mut points: Vec<(F, F)> = Vec::new();
-    for r in inbox.iter() {
-        if let Some(ExposeMsg(y)) = <M as Embeds<ExposeMsg<F>>>::peek(&r.msg) {
-            let x = F::element(r.from as u64);
-            if points.iter().all(|(px, _)| *px != x) {
-                points.push((x, *y));
-            }
-        }
-    }
-    decode_coin(&points, t)
+    drive_blocking(ctx, ExposeMachine::new(share, t, via))
 }
 
 /// Decode a coin value from collected `(party point, share)` pairs.

@@ -31,14 +31,18 @@
 //! of the summed dealers are honest, the coins are uniform and unknown to
 //! any coalition of ≤ t players until exposed.
 
+use std::mem;
+
 use dprbg_field::Field;
 use dprbg_metrics::WireSize;
 use dprbg_poly::Poly;
-use dprbg_protocols::{approx_clique, gradecast_exchange, BaMsg, DiGraph, GcMsg, phase_king_ba};
-use dprbg_sim::{Embeds, PartyCtx, PartyId};
+use dprbg_protocols::{
+    approx_clique, BaMsg, DiGraph, GcMsg, GradeOutput, GradecastMachine, PhaseKingMachine,
+};
+use dprbg_sim::{drive_blocking, Embeds, PartyCtx, PartyId, RoundMachine, RoundView, Step};
 
-use crate::bit_gen::{bit_gen_all, BitGenMsg, BitGenRun};
-use crate::coin::{coin_expose, CoinWallet, ExposeMsg, ExposeVia, SealedShare};
+use crate::bit_gen::{BitGenMachine, BitGenMode, BitGenMsg, BitGenRun};
+use crate::coin::{CoinWallet, ExposeMachine, ExposeMsg, ExposeVia, SealedShare};
 use crate::errors::CoinGenError;
 use crate::params::Params;
 
@@ -209,53 +213,140 @@ pub fn coin_gen<M: CoinGenWire<F>, F: Field>(
     cfg: &CoinGenConfig,
     wallet: &mut CoinWallet<F>,
 ) -> Result<CoinBatch<F>, CoinGenError> {
-    let Params { n, t } = cfg.params;
-    assert_eq!(ctx.n(), n, "network size must match the configured n");
-    let m = cfg.batch_size;
-    let me = ctx.id();
-    let mut seeds_consumed = 0;
+    let owned = mem::take(wallet);
+    let (rest, res) = drive_blocking(ctx, CoinGenMachine::new(*cfg, owned));
+    *wallet = rest;
+    res
+}
 
-    // Steps 1–3: n parallel Bit-Gens under one challenge coin.
-    let r_coin = wallet.pop().map_err(|_| CoinGenError::SeedExhausted)?;
-    seeds_consumed += 1;
-    let dealers: Vec<PartyId> = (1..=n).collect();
-    let run: BitGenRun<F> = bit_gen_all(ctx, t, m, r_coin, &dealers)?;
+/// Protocol Coin-Gen (Fig. 5) as a sans-IO round machine: the Bit-Gen
+/// phase ([`BitGenMachine`]) followed by the dealer agreement
+/// ([`AgreeMachine`]), with the share sums computed at the end.
+///
+/// The machine owns the wallet for the duration of the run and hands it
+/// back (minus the consumed seed coins) in its output, so the same wallet
+/// keeps working under any executor.
+pub struct CoinGenMachine<M, F: Field> {
+    cfg: CoinGenConfig,
+    stage: CgStage<M, F>,
+}
 
-    // Steps 4–11: agree on a dealer clique.
-    let agreement = agree_on_dealers(ctx, cfg, wallet, &run)?;
-    seeds_consumed += agreement.seeds_consumed;
-    let announce = &agreement.announce;
-    let dealers = announce.dealers();
+enum CgStage<M, F: Field> {
+    /// First call: pop the challenge and start the Bit-Gen deal.
+    Start { wallet: CoinWallet<F> },
+    /// Steps 1–3 in flight.
+    BitGen { bg: BitGenMachine<M, F>, wallet: CoinWallet<F> },
+    /// Steps 4–11 in flight.
+    Agree { agree: AgreeMachine<M, F> },
+    Finished,
+}
 
-    // Can I vouch for my share sums? Only if my own combination fits
-    // every adopted dealer's polynomial (then, w.h.p., each of my
-    // individual shares is correct — the random-challenge argument).
-    let my_point = F::element(me as u64);
-    let i_fit = announce.pairs.iter().all(|(j, f)| {
-        run.views[j - 1].my_beta == Some(f.eval(my_point))
-            && run.views[j - 1].alphas.len() == m
-    });
+impl<M, F: Field> CoinGenMachine<M, F> {
+    /// A machine sealing one batch per `cfg`, consuming seeds from
+    /// `wallet`.
+    pub fn new(cfg: CoinGenConfig, wallet: CoinWallet<F>) -> Self {
+        CoinGenMachine { cfg, stage: CgStage::Start { wallet } }
+    }
+}
 
-    let shares: Vec<SealedShare<F>> = (0..m)
-        .map(|h| {
-            if i_fit {
-                let sigma: F = dealers
-                    .iter()
-                    .map(|&j| run.views[j - 1].alphas[h])
-                    .sum();
-                SealedShare::of(sigma)
-            } else {
-                SealedShare::absent()
+impl<M, F> RoundMachine<M> for CoinGenMachine<M, F>
+where
+    M: Clone
+        + WireSize
+        + Embeds<BitGenMsg<F>>
+        + Embeds<ExposeMsg<F>>
+        + Embeds<GcMsg<CliqueAnnounce<F>>>
+        + Embeds<BaMsg>,
+    F: Field,
+{
+    type Output = (CoinWallet<F>, Result<CoinBatch<F>, CoinGenError>);
+
+    fn round(&mut self, mut view: RoundView<'_, M>) -> Step<M, Self::Output> {
+        let Params { n, t } = self.cfg.params;
+        let m = self.cfg.batch_size;
+        match mem::replace(&mut self.stage, CgStage::Finished) {
+            CgStage::Start { mut wallet } => {
+                assert_eq!(view.n, n, "network size must match the configured n");
+                // Steps 1–3: n parallel Bit-Gens under one challenge coin.
+                let r_coin = match wallet.pop() {
+                    Ok(c) => c,
+                    Err(_) => {
+                        return Step::Done((wallet, Err(CoinGenError::SeedExhausted)))
+                    }
+                };
+                let dealers: Vec<PartyId> = (1..=n).collect();
+                let mut bg =
+                    BitGenMachine::new(t, m, r_coin, dealers, BitGenMode::RandomCoins);
+                let Step::Continue(out) = bg.round(view.reborrow()) else {
+                    unreachable!("bit-gen deals on its first call")
+                };
+                self.stage = CgStage::BitGen { bg, wallet };
+                Step::Continue(out)
             }
-        })
-        .collect();
+            CgStage::BitGen { mut bg, wallet } => match bg.round(view.reborrow()) {
+                Step::Continue(out) => {
+                    self.stage = CgStage::BitGen { bg, wallet };
+                    Step::Continue(out)
+                }
+                Step::Done(Err(e)) => Step::Done((wallet, Err(e.into()))),
+                Step::Done(Ok(run)) => {
+                    // Steps 4–11: agree on a dealer clique.
+                    let mut agree = AgreeMachine::new(self.cfg.params, wallet, run);
+                    let Step::Continue(out) = agree.round(view.reborrow()) else {
+                        unreachable!("agreement grade-casts on its first call")
+                    };
+                    self.stage = CgStage::Agree { agree };
+                    Step::Continue(out)
+                }
+            },
+            CgStage::Agree { mut agree } => match agree.round(view.reborrow()) {
+                Step::Continue(out) => {
+                    self.stage = CgStage::Agree { agree };
+                    Step::Continue(out)
+                }
+                Step::Done((_, wallet, Err(e))) => Step::Done((wallet, Err(e))),
+                Step::Done((run, wallet, Ok(agreement))) => {
+                    let announce = &agreement.announce;
+                    let dealers = announce.dealers();
 
-    Ok(CoinBatch {
-        dealers,
-        shares,
-        attempts: agreement.attempts,
-        seeds_consumed,
-    })
+                    // Can I vouch for my share sums? Only if my own
+                    // combination fits every adopted dealer's polynomial
+                    // (then, w.h.p., each of my individual shares is
+                    // correct — the random-challenge argument).
+                    let my_point = F::element(view.id as u64);
+                    let i_fit = announce.pairs.iter().all(|(j, f)| {
+                        run.views[j - 1].my_beta == Some(f.eval(my_point))
+                            && run.views[j - 1].alphas.len() == m
+                    });
+
+                    let shares: Vec<SealedShare<F>> = (0..m)
+                        .map(|h| {
+                            if i_fit {
+                                let sigma: F = dealers
+                                    .iter()
+                                    .map(|&j| run.views[j - 1].alphas[h])
+                                    .sum();
+                                SealedShare::of(sigma)
+                            } else {
+                                SealedShare::absent()
+                            }
+                        })
+                        .collect();
+
+                    Step::Done((
+                        wallet,
+                        Ok(CoinBatch {
+                            dealers,
+                            shares,
+                            attempts: agreement.attempts,
+                            seeds_consumed: 1 + agreement.seeds_consumed,
+                        }),
+                    ))
+                }
+            },
+            CgStage::Finished => panic!("CoinGenMachine driven past completion"),
+        }
+    }
 }
 
 /// The outcome of Coin-Gen steps 4–11: an agreed dealer clique.
@@ -271,89 +362,228 @@ pub(crate) struct DealerAgreement<F: Field> {
 }
 
 /// Coin-Gen steps 4–11 (shared with the proactive refresh of
-/// [`crate::refresh`]): build the agreement graph over a completed
-/// Bit-Gen run, find a clique, grade-cast it, and repeat
-/// leader-election + BA until a clique is adopted.
-pub(crate) fn agree_on_dealers<M: CoinGenWire<F>, F: Field>(
-    ctx: &mut PartyCtx<M>,
-    cfg: &CoinGenConfig,
-    wallet: &mut CoinWallet<F>,
-    run: &BitGenRun<F>,
-) -> Result<DealerAgreement<F>, CoinGenError> {
-    let Params { n, t } = cfg.params;
-    let mut seeds_consumed = 0;
+/// [`crate::refresh`]) as a sans-IO round machine: build the agreement
+/// graph over a completed Bit-Gen run, find a clique, grade-cast it, and
+/// repeat leader-election + BA until a clique is adopted.
+///
+/// Leader elections are *biased away from failed parties*: a leader whose
+/// announcement a BA round unanimously voted down is blacklisted, and
+/// later coins index into the surviving candidate list. BA unanimity
+/// keeps the blacklist — and hence the elected leader — identical at
+/// every honest party (a local-confidence filter would not be: grade-cast
+/// confidences may differ between honest parties). See DESIGN.md.
+///
+/// The machine owns the wallet and Bit-Gen run while it executes and
+/// returns both in its output so the enclosing phase can finish its
+/// share accounting.
+pub(crate) struct AgreeMachine<M, F: Field> {
+    n: usize,
+    t: usize,
+    wallet: CoinWallet<F>,
+    run: BitGenRun<F>,
+    graded: Vec<GradeOutput<CliqueAnnounce<F>>>,
+    /// Leaders a BA has already rejected (step-9 bias).
+    rejected: Vec<PartyId>,
+    attempts: usize,
+    seeds_consumed: usize,
+    stage: AgStage<M, F>,
+}
 
-    // Steps 4–5: the agreement graph.
-    let mut digraph = DiGraph::new(n);
-    for view in &run.views {
-        if let Some(f) = &view.check_poly {
-            for k in 1..=n {
-                if let Some(beta) = view.betas[k - 1] {
-                    if f.eval(F::element(k as u64)) == beta {
-                        digraph.add_edge(view.dealer, k);
+/// What [`AgreeMachine`] yields: the Bit-Gen run and wallet it owned,
+/// plus the agreement (or the failure that ended the loop).
+pub(crate) type AgreeOutput<F> =
+    (BitGenRun<F>, CoinWallet<F>, Result<DealerAgreement<F>, CoinGenError>);
+
+enum AgStage<M, F: Field> {
+    /// First call: build the graph/clique and send the grade-cast value.
+    Start,
+    /// Steps 7–8 in flight.
+    Gc(GradecastMachine<M, CliqueAnnounce<F>>),
+    /// Step 9: a leader coin mid-expose.
+    Expose(ExposeMachine<M, F>),
+    /// Step 10: BA on the elected leader's announcement.
+    Ba { ba: PhaseKingMachine<M>, leader: PartyId },
+    Finished,
+}
+
+impl<M, F: Field> AgreeMachine<M, F> {
+    pub(crate) fn new(params: Params, wallet: CoinWallet<F>, run: BitGenRun<F>) -> Self {
+        AgreeMachine {
+            n: params.n,
+            t: params.t,
+            wallet,
+            run,
+            graded: Vec::new(),
+            rejected: Vec::new(),
+            attempts: 0,
+            seeds_consumed: 0,
+            stage: AgStage::Start,
+        }
+    }
+
+    fn finish(&mut self, res: Result<DealerAgreement<F>, CoinGenError>) -> Step<M, AgreeOutput<F>> {
+        let run = mem::replace(
+            &mut self.run,
+            BitGenRun { r: F::zero(), views: Vec::new(), my_polys: None },
+        );
+        Step::Done((run, mem::take(&mut self.wallet), res))
+    }
+
+    /// Steps 9–11, loop entry: pop a leader coin and start its expose.
+    fn start_attempt(&mut self, view: &mut RoundView<'_, M>) -> Step<M, AgreeOutput<F>>
+    where
+        M: Clone + WireSize + Embeds<ExposeMsg<F>>,
+    {
+        if self.attempts >= MAX_LEADER_ATTEMPTS {
+            return self
+                .finish(Err(CoinGenError::NoAgreement { attempts: MAX_LEADER_ATTEMPTS }));
+        }
+        self.attempts += 1;
+        let l_coin = match self.wallet.pop() {
+            Ok(c) => c,
+            Err(_) => return self.finish(Err(CoinGenError::SeedExhausted)),
+        };
+        self.seeds_consumed += 1;
+        let mut expose = ExposeMachine::new(l_coin, self.t, ExposeVia::PointToPoint);
+        let Step::Continue(out) = expose.round(view.reborrow()) else {
+            unreachable!("expose sends on its first call")
+        };
+        self.stage = AgStage::Expose(expose);
+        Step::Continue(out)
+    }
+}
+
+impl<M, F> RoundMachine<M> for AgreeMachine<M, F>
+where
+    M: Clone
+        + WireSize
+        + Embeds<ExposeMsg<F>>
+        + Embeds<GcMsg<CliqueAnnounce<F>>>
+        + Embeds<BaMsg>,
+    F: Field,
+{
+    type Output = AgreeOutput<F>;
+
+    fn round(&mut self, mut view: RoundView<'_, M>) -> Step<M, Self::Output> {
+        let n = self.n;
+        let t = self.t;
+        match mem::replace(&mut self.stage, AgStage::Finished) {
+            AgStage::Start => {
+                // Steps 4–5: the agreement graph.
+                let mut digraph = DiGraph::new(n);
+                for v in &self.run.views {
+                    if let Some(f) = &v.check_poly {
+                        for k in 1..=n {
+                            if let Some(beta) = v.betas[k - 1] {
+                                if f.eval(F::element(k as u64)) == beta {
+                                    digraph.add_edge(v.dealer, k);
+                                }
+                            }
+                        }
                     }
                 }
+                let graph = digraph.mutual();
+
+                // Step 6: the clique approximation.
+                let clique = approx_clique(&graph);
+
+                // Step 7: grade-cast my clique with its check polynomials.
+                let announce = CliqueAnnounce {
+                    pairs: clique
+                        .iter()
+                        .filter_map(|&j| {
+                            self.run.views[j - 1].check_poly.clone().map(|f| (j, f))
+                        })
+                        .collect(),
+                };
+                let mut gc = GradecastMachine::new(announce);
+                let Step::Continue(out) = gc.round(view.reborrow()) else {
+                    unreachable!("grade-cast sends on its first call")
+                };
+                self.stage = AgStage::Gc(gc);
+                Step::Continue(out)
             }
+            AgStage::Gc(mut gc) => match gc.round(view.reborrow()) {
+                Step::Continue(out) => {
+                    self.stage = AgStage::Gc(gc);
+                    Step::Continue(out)
+                }
+                // Step 8: everyone's announcements with confidences are
+                // in; move straight into the first leader election.
+                Step::Done(graded) => {
+                    self.graded = graded;
+                    self.start_attempt(&mut view)
+                }
+            },
+            AgStage::Expose(mut expose) => {
+                let l_value = match expose.round(view.reborrow()) {
+                    Step::Done(Ok(v)) => v,
+                    Step::Done(Err(e)) => return self.finish(Err(e.into())),
+                    Step::Continue(_) => unreachable!("expose decodes on its second call"),
+                };
+
+                // Step 9, biased: elect among the parties no BA has
+                // rejected yet.
+                let candidates: Vec<PartyId> =
+                    (1..=n).filter(|p| !self.rejected.contains(p)).collect();
+                if candidates.is_empty() {
+                    let attempts = self.attempts;
+                    return self.finish(Err(CoinGenError::NoAgreement { attempts }));
+                }
+                let leader = candidates[(l_value.to_u64() % candidates.len() as u64) as usize];
+
+                // Step 10's input conditions.
+                let grade = &self.graded[leader - 1];
+                let candidate = grade.value.as_ref().filter(|a| a.well_formed(n, t));
+                let my_input = match candidate {
+                    Some(a) if grade.confidence == 2 => {
+                        a.dealers().len() >= n - 2 * t
+                            && count_universal_fitters(a, &self.run, n) > 3 * t
+                    }
+                    _ => false,
+                };
+
+                let mut ba = PhaseKingMachine::new(my_input, t);
+                let Step::Continue(out) = ba.round(view.reborrow()) else {
+                    unreachable!("BA suggests on its first call")
+                };
+                self.stage = AgStage::Ba { ba, leader };
+                Step::Continue(out)
+            }
+            AgStage::Ba { mut ba, leader } => match ba.round(view.reborrow()) {
+                Step::Continue(out) => {
+                    self.stage = AgStage::Ba { ba, leader };
+                    Step::Continue(out)
+                }
+                Step::Done(false) => {
+                    // Step 11: the leader was voted down — unanimously, by
+                    // BA agreement — so bias later elections away from it.
+                    self.rejected.push(leader);
+                    self.start_attempt(&mut view)
+                }
+                Step::Done(true) => {
+                    // Adopt C_l. Grade-cast guarantees every honest party
+                    // holds the same announcement (confidence ≥ 1) once
+                    // one honest party voted with confidence 2.
+                    let grade = &self.graded[leader - 1];
+                    let res = grade
+                        .value
+                        .as_ref()
+                        .filter(|a| a.well_formed(n, t))
+                        .or(grade.value.as_ref())
+                        .cloned()
+                        .map(|announce| DealerAgreement {
+                            announce,
+                            attempts: self.attempts,
+                            seeds_consumed: self.seeds_consumed,
+                        })
+                        .ok_or(CoinGenError::NoAgreement { attempts: self.attempts });
+                    self.finish(res)
+                }
+            },
+            AgStage::Finished => panic!("AgreeMachine driven past completion"),
         }
     }
-    let graph = digraph.mutual();
-
-    // Step 6: the clique approximation.
-    let clique = approx_clique(&graph);
-
-    // Step 7: grade-cast my clique with its check polynomials.
-    let announce = CliqueAnnounce {
-        pairs: clique
-            .iter()
-            .filter_map(|&j| {
-                run.views[j - 1]
-                    .check_poly
-                    .clone()
-                    .map(|f| (j, f))
-            })
-            .collect(),
-    };
-    // Step 8: everyone's announcements with confidences.
-    let graded = gradecast_exchange::<M, CliqueAnnounce<F>>(ctx, announce);
-
-    // Steps 9–11: the leader/BA loop.
-    for attempt in 1..=MAX_LEADER_ATTEMPTS {
-        let l_coin = wallet.pop().map_err(|_| CoinGenError::SeedExhausted)?;
-        seeds_consumed += 1;
-        let l_value = coin_expose(ctx, l_coin, t, ExposeVia::PointToPoint)?;
-        let mut l = (l_value.to_u64() % n as u64) as usize;
-        if l == 0 {
-            l = n;
-        }
-
-        let grade = &graded[l - 1];
-        let candidate = grade.value.as_ref().filter(|a| a.well_formed(n, t));
-        let my_input = match candidate {
-            Some(a) if grade.confidence == 2 => {
-                let dealers = a.dealers();
-                dealers.len() >= n - 2 * t && count_universal_fitters(a, run, n) > 3 * t
-            }
-            _ => false,
-        };
-
-        let agreed = phase_king_ba::<M>(ctx, my_input, t);
-        if !agreed {
-            continue;
-        }
-
-        // Adopt C_l. Grade-cast guarantees every honest party holds the
-        // same announcement (confidence ≥ 1) once one honest party voted
-        // with confidence 2.
-        let announce = candidate
-            .or(grade.value.as_ref())
-            .ok_or(CoinGenError::NoAgreement { attempts: attempt })?;
-        return Ok(DealerAgreement {
-            announce: announce.clone(),
-            attempts: attempt,
-            seeds_consumed,
-        });
-    }
-    Err(CoinGenError::NoAgreement { attempts: MAX_LEADER_ATTEMPTS })
 }
 
 /// Condition (iii) of step 10: how many players' combinations — in *my*

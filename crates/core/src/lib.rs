@@ -72,16 +72,23 @@ pub mod vss_dispute;
 
 pub use app_ba::{common_coin_ba, CcbaOutcome, CcbaVote};
 pub use batch_vss::{
-    batch_vss_deal, batch_vss_verify, horner_combine, BatchOpts, BatchShares, BatchVssMsg,
+    batch_vss_deal, batch_vss_verify, horner_combine, BatchOpts, BatchShares,
+    BatchVssDealMachine, BatchVssMsg, BatchVssVerifyMachine,
 };
-pub use bit_gen::{bit_gen_all, bit_gen_all_with, BitGenMode, BitGenMsg, BitGenRun, DealerView};
+pub use bit_gen::{
+    bit_gen_all, bit_gen_all_with, BitGenMachine, BitGenMode, BitGenMsg, BitGenRun, DealerView,
+};
 pub use bootstrap::{Bootstrap, BootstrapConfig, BootstrapStats};
-pub use coin::{coin_expose, decode_coin, CoinWallet, ExposeMsg, ExposeVia, SealedShare};
-pub use coin_gen::{coin_gen, CliqueAnnounce, CoinBatch, CoinGenConfig, CoinGenMsg, CoinGenWire};
+pub use coin::{
+    coin_expose, decode_coin, CoinWallet, ExposeMachine, ExposeMsg, ExposeVia, SealedShare,
+};
+pub use coin_gen::{
+    coin_gen, CliqueAnnounce, CoinBatch, CoinGenConfig, CoinGenMachine, CoinGenMsg, CoinGenWire,
+};
 pub use dealer::{preprocessing_seed, TrustedDealer};
 pub use dprbg::{dprbg_expand, DprbgRun};
 pub use errors::{CoinError, CoinGenError};
 pub use params::Params;
-pub use refresh::{refresh_wallet, RefreshReport};
+pub use refresh::{refresh_wallet, RefreshMachine, RefreshReport};
 pub use vss::{vss, vss_deal, vss_verify, DealtShares, VssMode, VssMsg, VssVerdict};
 pub use vss_dispute::{vss_verify_with_disputes, DisputeOutcome, DisputeVssMsg};

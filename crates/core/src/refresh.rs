@@ -25,14 +25,19 @@
 //! Cost: identical to one Coin-Gen run at batch size `W` — the refresh
 //! rides the same amortization (Corollary 3).
 
-use dprbg_field::Field;
-use dprbg_sim::{PartyCtx, PartyId};
+use std::mem;
 
-use crate::bit_gen::{bit_gen_all_with, BitGenMode, BitGenRun};
-use crate::coin::{CoinWallet, SealedShare};
-use crate::coin_gen::{agree_on_dealers, CoinGenConfig, CoinGenWire};
+use dprbg_field::Field;
+use dprbg_metrics::WireSize;
+use dprbg_protocols::BaMsg;
+use dprbg_sim::{drive_blocking, Embeds, PartyCtx, PartyId, RoundMachine, RoundView, Step};
+
+use crate::bit_gen::{BitGenMachine, BitGenMode, BitGenMsg};
+use crate::coin::{CoinWallet, ExposeMsg, SealedShare};
+use crate::coin_gen::{AgreeMachine, CliqueAnnounce, CoinGenConfig, CoinGenWire};
 use crate::errors::CoinGenError;
 use crate::params::Params;
+use dprbg_protocols::GcMsg;
 
 /// The outcome of one wallet refresh.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,85 +69,173 @@ pub fn refresh_wallet<M: CoinGenWire<F>, F: Field>(
     cfg: &CoinGenConfig,
     wallet: &mut CoinWallet<F>,
 ) -> Result<RefreshReport, CoinGenError> {
-    let Params { n, t } = cfg.params;
-    assert_eq!(ctx.n(), n, "network size must match the configured n");
-    let me = ctx.id();
-    let mut seeds_consumed = 0;
+    let owned = mem::take(wallet);
+    let (rest, res) = drive_blocking(ctx, RefreshMachine::new(*cfg, owned));
+    *wallet = rest;
+    res
+}
 
-    // The protocol itself consumes seed coins; pop the challenge first so
-    // the refreshed count is what remains.
-    let r_coin = wallet.pop().map_err(|_| CoinGenError::SeedExhausted)?;
-    seeds_consumed += 1;
+/// The proactive refresh as a sans-IO round machine: Bit-Gen in
+/// [`BitGenMode::ZeroRefresh`] followed by the dealer agreement
+/// ([`AgreeMachine`]), with the zero-maskings folded into the surviving
+/// wallet coins at the end.
+pub struct RefreshMachine<M, F: Field> {
+    params: Params,
+    stage: RfStage<M, F>,
+}
 
-    // Upper-bound the leader coins: refresh everything except a small
-    // working buffer for the agreement loop. We refresh the *back* W
-    // coins and leave the front ones (consumed first by the loop) alone.
-    // For simplicity and lock-step determinism, the number of refreshed
-    // coins is fixed before the loop: everything currently in the wallet
-    // minus what the loop may consume is unknown in advance, so we
-    // refresh all coins present *after* the agreement completes.
-    let w_upper = wallet.len();
-    if w_upper == 0 {
-        return Err(CoinGenError::SeedExhausted);
+enum RfStage<M, F: Field> {
+    /// First call: pop the challenge, fix `W_upper`, start the zero deal.
+    Start { wallet: CoinWallet<F> },
+    /// Steps 1–3 (ZeroRefresh) in flight.
+    BitGen { bg: BitGenMachine<M, F>, wallet: CoinWallet<F>, w_upper: usize },
+    /// Steps 4–11 in flight.
+    Agree { agree: AgreeMachine<M, F>, w_upper: usize },
+    Finished,
+}
+
+impl<M, F: Field> RefreshMachine<M, F> {
+    /// A machine refreshing every share in `wallet` under `cfg.params`
+    /// (the batch size is the wallet length; `cfg.batch_size` is unused).
+    pub fn new(cfg: CoinGenConfig, wallet: CoinWallet<F>) -> Self {
+        RefreshMachine { params: cfg.params, stage: RfStage::Start { wallet } }
     }
+}
 
-    // Steps 1–3 in ZeroRefresh mode: W_upper zero-polynomials per dealer
-    // (enough for every coin that can still be in the wallet afterwards).
-    let dealers: Vec<PartyId> = (1..=n).collect();
-    let run: BitGenRun<F> =
-        bit_gen_all_with(ctx, t, w_upper, r_coin, &dealers, BitGenMode::ZeroRefresh)?;
+impl<M, F> RoundMachine<M> for RefreshMachine<M, F>
+where
+    M: Clone
+        + WireSize
+        + Embeds<BitGenMsg<F>>
+        + Embeds<ExposeMsg<F>>
+        + Embeds<GcMsg<CliqueAnnounce<F>>>
+        + Embeds<BaMsg>,
+    F: Field,
+{
+    type Output = (CoinWallet<F>, Result<RefreshReport, CoinGenError>);
 
-    // Steps 4–11: agree on the zero-dealer clique.
-    let agreement = agree_on_dealers(ctx, cfg, wallet, &run)?;
-    seeds_consumed += agreement.seeds_consumed;
-    let announce = &agreement.announce;
-    let dealer_set = announce.dealers();
+    fn round(&mut self, mut view: RoundView<'_, M>) -> Step<M, Self::Output> {
+        let Params { n, t } = self.params;
+        match mem::replace(&mut self.stage, RfStage::Finished) {
+            RfStage::Start { mut wallet } => {
+                assert_eq!(view.n, n, "network size must match the configured n");
 
-    // Apply the maskings to every coin still in the wallet. Coin index
-    // alignment: wallet coins are refreshed oldest-first with the first
-    // zero-sharings; the leader coins the loop consumed came off the
-    // front, so surviving coin `h` (0-based from the current front) uses
-    // zero-sharing `h + consumed_by_loop`.
-    let offset = agreement.seeds_consumed;
-    let my_point = F::element(me as u64);
-    let i_fit = announce.pairs.iter().all(|(j, f)| {
-        run.views[j - 1].my_beta == Some(f.eval(my_point))
-            && run.views[j - 1].alphas.len() == w_upper
-    });
+                // The protocol itself consumes seed coins; pop the
+                // challenge first so the refreshed count is what remains.
+                let r_coin = match wallet.pop() {
+                    Ok(c) => c,
+                    Err(_) => {
+                        return Step::Done((wallet, Err(CoinGenError::SeedExhausted)))
+                    }
+                };
 
-    let survivors = wallet.len();
-    let mut refreshed = CoinWallet::new();
-    for h in 0..survivors {
-        let old = wallet.pop().expect("length checked");
-        let idx = h + offset;
-        let share = match (old.sigma, i_fit) {
-            (Some(sigma), true) if idx < w_upper => {
-                let mask: F = dealer_set
-                    .iter()
-                    .map(|&j| run.views[j - 1].alphas[idx])
-                    .sum();
-                SealedShare::of(sigma + mask)
+                // Upper-bound the zero-sharings: the agreement loop still
+                // consumes leader coins off the front, so deal one
+                // zero-polynomial per coin that can possibly survive.
+                let w_upper = wallet.len();
+                if w_upper == 0 {
+                    return Step::Done((wallet, Err(CoinGenError::SeedExhausted)));
+                }
+
+                // Steps 1–3 in ZeroRefresh mode.
+                let dealers: Vec<PartyId> = (1..=n).collect();
+                let mut bg = BitGenMachine::new(
+                    t,
+                    w_upper,
+                    r_coin,
+                    dealers,
+                    BitGenMode::ZeroRefresh,
+                );
+                let Step::Continue(out) = bg.round(view.reborrow()) else {
+                    unreachable!("bit-gen deals on its first call")
+                };
+                self.stage = RfStage::BitGen { bg, wallet, w_upper };
+                Step::Continue(out)
             }
-            // Either I could not vouch before, my zero-shares do not fit,
-            // or the sharing index ran out — abstain for this epoch.
-            _ => SealedShare::absent(),
-        };
-        refreshed.push(share);
-    }
-    *wallet = refreshed;
+            RfStage::BitGen { mut bg, wallet, w_upper } => {
+                match bg.round(view.reborrow()) {
+                    Step::Continue(out) => {
+                        self.stage = RfStage::BitGen { bg, wallet, w_upper };
+                        Step::Continue(out)
+                    }
+                    Step::Done(Err(e)) => Step::Done((wallet, Err(e.into()))),
+                    Step::Done(Ok(run)) => {
+                        // Steps 4–11: agree on the zero-dealer clique.
+                        let mut agree = AgreeMachine::new(self.params, wallet, run);
+                        let Step::Continue(out) = agree.round(view.reborrow()) else {
+                            unreachable!("agreement grade-casts on its first call")
+                        };
+                        self.stage = RfStage::Agree { agree, w_upper };
+                        Step::Continue(out)
+                    }
+                }
+            }
+            RfStage::Agree { mut agree, w_upper } => match agree.round(view.reborrow()) {
+                Step::Continue(out) => {
+                    self.stage = RfStage::Agree { agree, w_upper };
+                    Step::Continue(out)
+                }
+                Step::Done((_, wallet, Err(e))) => Step::Done((wallet, Err(e))),
+                Step::Done((run, mut wallet, Ok(agreement))) => {
+                    let announce = &agreement.announce;
+                    let dealer_set = announce.dealers();
 
-    Ok(RefreshReport {
-        dealers: dealer_set,
-        coins_refreshed: survivors,
-        attempts: agreement.attempts,
-        seeds_consumed,
-    })
+                    // Apply the maskings to every coin still in the
+                    // wallet. Coin index alignment: wallet coins are
+                    // refreshed oldest-first with the first zero-sharings;
+                    // the leader coins the loop consumed came off the
+                    // front, so surviving coin `h` (0-based from the
+                    // current front) uses zero-sharing
+                    // `h + consumed_by_loop`.
+                    let offset = agreement.seeds_consumed;
+                    let my_point = F::element(view.id as u64);
+                    let i_fit = announce.pairs.iter().all(|(j, f)| {
+                        run.views[j - 1].my_beta == Some(f.eval(my_point))
+                            && run.views[j - 1].alphas.len() == w_upper
+                    });
+
+                    let survivors = wallet.len();
+                    let mut refreshed = CoinWallet::new();
+                    for h in 0..survivors {
+                        let old = wallet.pop().expect("length checked");
+                        let idx = h + offset;
+                        let share = match (old.sigma, i_fit) {
+                            (Some(sigma), true) if idx < w_upper => {
+                                let mask: F = dealer_set
+                                    .iter()
+                                    .map(|&j| run.views[j - 1].alphas[idx])
+                                    .sum();
+                                SealedShare::of(sigma + mask)
+                            }
+                            // Either I could not vouch before, my
+                            // zero-shares do not fit, or the sharing index
+                            // ran out — abstain for this epoch.
+                            _ => SealedShare::absent(),
+                        };
+                        refreshed.push(share);
+                    }
+
+                    Step::Done((
+                        refreshed,
+                        Ok(RefreshReport {
+                            dealers: dealer_set,
+                            coins_refreshed: survivors,
+                            attempts: agreement.attempts,
+                            seeds_consumed: 1 + agreement.seeds_consumed,
+                        }),
+                    ))
+                }
+            },
+            RfStage::Finished => panic!("RefreshMachine driven past completion"),
+        }
+    }
 }
 
 #[cfg(test)]
 #[allow(clippy::type_complexity)]
 mod tests {
     use super::*;
+    use crate::bit_gen::bit_gen_all_with;
     use crate::coin::{coin_expose, decode_coin, ExposeVia};
     use crate::coin_gen::CoinGenMsg;
     use crate::dealer::TrustedDealer;
@@ -317,6 +410,10 @@ mod tests {
             let out = res.outputs[id - 1].as_ref().unwrap().as_ref().unwrap();
             let (seeds_consumed, vals) = out;
             assert!(*seeds_consumed >= 2, "challenge + at least one leader coin");
+            // Leader elections are biased away from BA-rejected parties,
+            // so the crashed dealer can cost at most one wasted attempt:
+            // challenge + its rejection + one honest leader.
+            assert!(*seeds_consumed <= 3, "rejected leader must not be re-elected");
             assert_eq!(
                 vals.as_slice(),
                 &values[*seeds_consumed..],

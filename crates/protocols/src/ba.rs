@@ -15,8 +15,10 @@
 //! - **Agreement**: all honest parties output the same bit.
 //! - **Termination**: exactly `2(t + 1)` rounds.
 
+use std::marker::PhantomData;
+
 use dprbg_metrics::WireSize;
-use dprbg_sim::{Embeds, PartyCtx, PartyId};
+use dprbg_sim::{drive_blocking, Embeds, PartyCtx, PartyId, RoundMachine, RoundView, Step};
 
 /// Phase-king wire messages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +35,131 @@ impl WireSize for BaMsg {
     }
 }
 
+/// Phase-king Byzantine agreement as a sans-IO round machine.
+///
+/// Each call consumes one round's inbox and emits the next round's sends:
+/// the first call sends the initial suggestion, then the machine
+/// alternates *suggest-tally / king-send* and *king-tally / next-suggest*
+/// calls until phase `t + 1` completes — exactly `2(t + 1)` rounds.
+pub struct PhaseKingMachine<M> {
+    t: usize,
+    v: bool,
+    /// Current phase, 1-based; the phase's king is party `phase`.
+    phase: usize,
+    /// Whether this phase saw ≥ n − t support for `v`.
+    strong: bool,
+    stage: BaStage,
+    _wire: PhantomData<fn() -> M>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BaStage {
+    /// First call: send the initial suggestion (empty inbox).
+    Start,
+    /// Inbox holds suggest messages; tally and (if king) send the king bit.
+    Suggests,
+    /// Inbox holds the king message; adopt it if weak, then either start
+    /// the next phase or finish.
+    Kings,
+}
+
+impl<M> PhaseKingMachine<M> {
+    /// A machine entering agreement on `input`; see [`phase_king_ba`] for
+    /// the `t_bound` contract.
+    pub fn new(input: bool, t_bound: usize) -> Self {
+        PhaseKingMachine {
+            t: t_bound,
+            v: input,
+            phase: 1,
+            strong: false,
+            stage: BaStage::Start,
+            _wire: PhantomData,
+        }
+    }
+
+    fn suggest(&self, view: &RoundView<'_, M>) -> Step<M, bool>
+    where
+        M: Clone + WireSize + Embeds<BaMsg>,
+    {
+        let mut out = view.outbox();
+        out.send_to_all(M::wrap(BaMsg::Suggest(self.v)));
+        Step::Continue(out)
+    }
+}
+
+impl<M> RoundMachine<M> for PhaseKingMachine<M>
+where
+    M: Clone + WireSize + Embeds<BaMsg>,
+{
+    type Output = bool;
+
+    fn round(&mut self, view: RoundView<'_, M>) -> Step<M, bool> {
+        let n = view.n;
+        let t = self.t;
+        match self.stage {
+            BaStage::Start => {
+                assert!(n > 4 * t, "phase-king requires n > 4t");
+                self.stage = BaStage::Suggests;
+                self.suggest(&view)
+            }
+            BaStage::Suggests => {
+                let mut heard: Vec<Option<bool>> = vec![None; n];
+                for r in view.inbox.iter() {
+                    if let Some(BaMsg::Suggest(b)) = r.msg.peek() {
+                        if heard[r.from - 1].is_none() {
+                            heard[r.from - 1] = Some(*b);
+                        }
+                    }
+                }
+                let ones = heard.iter().filter(|h| **h == Some(true)).count();
+                let zeros = heard.iter().filter(|h| **h == Some(false)).count();
+                // Strong support: ≥ n − t parties said the same thing.
+                self.strong = if ones >= n - t {
+                    self.v = true;
+                    true
+                } else if zeros >= n - t {
+                    self.v = false;
+                    true
+                } else {
+                    self.v = ones > zeros;
+                    false
+                };
+                let king: PartyId = self.phase; // kings are parties 1, …, t+1
+                let mut out = view.outbox();
+                if view.id == king {
+                    out.send_to_all(M::wrap(BaMsg::King(self.v)));
+                }
+                self.stage = BaStage::Kings;
+                Step::Continue(out)
+            }
+            BaStage::Kings => {
+                let king: PartyId = self.phase;
+                if !self.strong {
+                    // Adopt the king's bit (a silent/garbled king
+                    // defaults to 0).
+                    self.v = view
+                        .inbox
+                        .first_from(king)
+                        .and_then(|r| match r.msg.peek() {
+                            Some(BaMsg::King(b)) => Some(*b),
+                            _ => None,
+                        })
+                        .unwrap_or(false);
+                }
+                if self.phase == t + 1 {
+                    return Step::Done(self.v);
+                }
+                self.phase += 1;
+                self.stage = BaStage::Suggests;
+                self.suggest(&view)
+            }
+        }
+    }
+}
+
 /// Run phase-king Byzantine agreement on the binary `input`.
+///
+/// Blocking shim over [`PhaseKingMachine`], driven by [`drive_blocking`].
 ///
 /// Takes exactly `2(t + 1)` rounds, where `t = ⌊(n − 1) / 4⌋` is the
 /// largest tolerable fault count for this protocol (callers with a
@@ -47,56 +173,7 @@ pub fn phase_king_ba<M>(ctx: &mut PartyCtx<M>, input: bool, t_bound: usize) -> b
 where
     M: Clone + Send + WireSize + Embeds<BaMsg> + 'static,
 {
-    let n = ctx.n();
-    assert!(n > 4 * t_bound, "phase-king requires n > 4t");
-    let t = t_bound;
-    let mut v = input;
-
-    for phase in 1..=t + 1 {
-        let king: PartyId = phase; // kings are parties 1, 2, …, t+1
-
-        // Suggest round.
-        ctx.send_to_all(M::wrap(BaMsg::Suggest(v)));
-        let inbox = ctx.next_round();
-        let mut heard: Vec<Option<bool>> = vec![None; n];
-        for r in inbox.iter() {
-            if let Some(BaMsg::Suggest(b)) = r.msg.peek() {
-                if heard[r.from - 1].is_none() {
-                    heard[r.from - 1] = Some(*b);
-                }
-            }
-        }
-        let ones = heard.iter().filter(|h| **h == Some(true)).count();
-        let zeros = heard.iter().filter(|h| **h == Some(false)).count();
-        // Strong support: ≥ n − t parties said the same thing.
-        let strong = if ones >= n - t {
-            v = true;
-            true
-        } else if zeros >= n - t {
-            v = false;
-            true
-        } else {
-            v = ones > zeros;
-            false
-        };
-
-        // King round.
-        if ctx.id() == king {
-            ctx.send_to_all(M::wrap(BaMsg::King(v)));
-        }
-        let inbox = ctx.next_round();
-        if !strong {
-            // Adopt the king's bit (a silent/garbled king defaults to 0).
-            v = inbox
-                .first_from(king)
-                .and_then(|r| match r.msg.peek() {
-                    Some(BaMsg::King(b)) => Some(*b),
-                    _ => None,
-                })
-                .unwrap_or(false);
-        }
-    }
-    v
+    drive_blocking(ctx, PhaseKingMachine::new(input, t_bound))
 }
 
 #[cfg(test)]

@@ -22,17 +22,43 @@
 //! one BA per broadcast.
 
 use dprbg_metrics::WireSize;
-use dprbg_sim::{Embeds, PartyCtx, PartyId};
+use dprbg_sim::{drive_blocking, Embeds, MachineExt, PartyCtx, PartyId, RoundMachine};
 
-use crate::ba::{phase_king_ba, BaMsg};
-use crate::gradecast::{gradecast_exchange, GcMsg};
+use crate::ba::{BaMsg, PhaseKingMachine};
+use crate::gradecast::{GcMsg, GradeOutput, GradecastMachine};
+
+/// Reliable broadcast as a composition of round machines: grade-cast,
+/// [`then`](MachineExt::then) BA on "my confidence was 2",
+/// [`map`](MachineExt::map)ped to the delivered value. The sequencing is
+/// pure combinator plumbing — no transport code.
+///
+/// `my_value` must be `Some` only at the `sender` (the blocking shim
+/// [`reliable_broadcast`] derives this from the ctx id; machine callers
+/// decide per party at construction time).
+pub fn reliable_broadcast_machine<M, V>(
+    sender: PartyId,
+    my_value: Option<V>,
+    t: usize,
+) -> impl RoundMachine<M, Output = Option<V>> + Send
+where
+    M: Clone + WireSize + Embeds<GcMsg<V>> + Embeds<BaMsg>,
+    V: Clone + Eq + WireSize + Send + 'static,
+{
+    GradecastMachine::new(my_value).then(move |graded: Vec<GradeOutput<V>>| {
+        let grade = graded[sender - 1].clone();
+        let conf2 = grade.confidence == 2;
+        PhaseKingMachine::new(conf2, t)
+            .map(move |delivered: bool| if delivered { grade.value } else { None })
+    })
+}
 
 /// Reliably broadcast `value_if_sender` from `sender` to everyone.
 ///
 /// All parties call this together; only the `sender` passes `Some`.
 /// Takes `3 + 2(t + 1)` rounds (grade-cast + phase-king). Returns the
 /// delivered value, `None` meaning "sender disqualified" (identical at
-/// every honest party).
+/// every honest party). Blocking shim over
+/// [`reliable_broadcast_machine`].
 pub fn reliable_broadcast<M, V>(
     ctx: &mut PartyCtx<M>,
     sender: PartyId,
@@ -41,17 +67,10 @@ pub fn reliable_broadcast<M, V>(
 ) -> Option<V>
 where
     M: Clone + Send + WireSize + Embeds<GcMsg<V>> + Embeds<BaMsg> + 'static,
-    V: Clone + Eq + WireSize,
+    V: Clone + Eq + WireSize + Send + 'static,
 {
     let mine = if ctx.id() == sender { value_if_sender } else { None };
-    let graded = gradecast_exchange::<M, V>(ctx, mine);
-    let grade = &graded[sender - 1];
-    let delivered = phase_king_ba::<M>(ctx, grade.confidence == 2, t);
-    if delivered {
-        grade.value.clone()
-    } else {
-        None
-    }
+    drive_blocking(ctx, reliable_broadcast_machine(sender, mine, t))
 }
 
 #[cfg(test)]
@@ -154,6 +173,39 @@ mod tests {
             "honest parties disagree: {outs:?}"
         );
         let _ = t;
+    }
+
+    #[test]
+    fn machine_form_matches_blocking_shim_across_executors() {
+        // The same broadcast, once as blocking behaviors on the threaded
+        // runner and once as machines on the single-threaded StepRunner:
+        // outputs, cost report, and round profile must all agree.
+        use dprbg_sim::{BoxedMachine, StepRunner};
+        let n = 7;
+        let t = 1;
+        let seed = 0xB0;
+        let blocking: Vec<Behavior<Wire, Option<u64>>> = (1..=n)
+            .map(|id| {
+                Box::new(move |ctx: &mut PartyCtx<Wire>| {
+                    let v = (id == 4).then_some(777);
+                    reliable_broadcast::<Wire, u64>(ctx, 4, v, t)
+                }) as Behavior<_, _>
+            })
+            .collect();
+        let machines: Vec<BoxedMachine<Wire, Option<u64>>> = (1..=n)
+            .map(|id| {
+                let v = (id == 4).then_some(777u64);
+                Box::new(reliable_broadcast_machine::<Wire, u64>(4, v, t)) as BoxedMachine<_, _>
+            })
+            .collect();
+        let threaded = run_network(n, seed, blocking);
+        let stepped = StepRunner::new(n, seed).run(machines);
+        assert_eq!(threaded.outputs, stepped.outputs);
+        assert_eq!(threaded.report, stepped.report);
+        assert_eq!(threaded.rounds, stepped.rounds);
+        assert_eq!(stepped.outputs[0], Some(Some(777)));
+        // 3 gradecast rounds + 2(t+1) BA rounds.
+        assert_eq!(stepped.report.comm.rounds as usize, 3 + 2 * (t + 1));
     }
 
     #[test]

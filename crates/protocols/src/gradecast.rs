@@ -19,8 +19,10 @@
 //! All `n` instances (one per sender) run in parallel in three rounds —
 //! exactly how Coin-Gen step 7 uses them.
 
+use std::marker::PhantomData;
+
 use dprbg_metrics::WireSize;
-use dprbg_sim::{Embeds, PartyCtx, PartyId};
+use dprbg_sim::{drive_blocking, Embeds, PartyCtx, PartyId, RoundMachine, RoundView, Step};
 
 /// Wire messages of the parallel grade-cast instances.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,9 +89,130 @@ fn best_supported<V: Clone + Eq>(entries: &[(PartyId, V)]) -> Option<(V, usize)>
     tally.into_iter().max_by_key(|(_, c)| *c)
 }
 
+/// The `n` parallel grade-cast instances as a sans-IO round machine —
+/// party `j` is the sender of instance `j`; the output is this party's
+/// `n` [`GradeOutput`]s (index `j − 1` is instance `j`).
+///
+/// Each round call consumes the previous round's inbox and emits the next
+/// round's sends, so no cross-round message storage is needed beyond the
+/// phase tag. Exactly 3 rounds (`Continue`s); the `Done` call only tallies
+/// votes.
+pub struct GradecastMachine<M, V> {
+    my_value: Option<V>,
+    phase: GcPhase,
+    _wire: PhantomData<fn() -> M>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GcPhase {
+    /// Round 1: senders distribute values.
+    Send,
+    /// Round 2: echo what each instance's sender said.
+    Echo,
+    /// Round 3: vote for values with ≥ n − t echo support.
+    Vote,
+    /// Tally votes into grades.
+    Decide,
+}
+
+impl<M, V> GradecastMachine<M, V> {
+    /// A machine grade-casting `my_value` in this party's own instance
+    /// (`None` = originate nothing; the party still echoes and votes for
+    /// the other instances).
+    pub fn new(my_value: impl Into<Option<V>>) -> Self {
+        GradecastMachine { my_value: my_value.into(), phase: GcPhase::Send, _wire: PhantomData }
+    }
+}
+
+impl<M, V> RoundMachine<M> for GradecastMachine<M, V>
+where
+    M: Clone + WireSize + Embeds<GcMsg<V>>,
+    V: Clone + Eq + WireSize,
+{
+    type Output = Vec<GradeOutput<V>>;
+
+    fn round(&mut self, view: RoundView<'_, M>) -> Step<M, Self::Output> {
+        let n = view.n;
+        let t = (n - 1) / 3;
+        match self.phase {
+            GcPhase::Send => {
+                let mut out = view.outbox();
+                if let Some(v) = self.my_value.take() {
+                    out.send_to_all(M::wrap(GcMsg::Value(v)));
+                }
+                self.phase = GcPhase::Echo;
+                Step::Continue(out)
+            }
+            GcPhase::Echo => {
+                // received[j-1] = what instance j's sender told us.
+                let mut received: Vec<Option<V>> = vec![None; n];
+                for r in view.inbox.iter() {
+                    if let Some(GcMsg::Value(v)) = r.msg.peek() {
+                        if received[r.from - 1].is_none() {
+                            received[r.from - 1] = Some(v.clone());
+                        }
+                    }
+                }
+                let mut out = view.outbox();
+                for j in 1..=n {
+                    if let Some(v) = &received[j - 1] {
+                        out.send_to_all(M::wrap(GcMsg::Echo { instance: j, value: v.clone() }));
+                    }
+                }
+                self.phase = GcPhase::Vote;
+                Step::Continue(out)
+            }
+            GcPhase::Vote => {
+                let mut echoes: Vec<Vec<(PartyId, V)>> = vec![Vec::new(); n];
+                for r in view.inbox.iter() {
+                    if let Some(GcMsg::Echo { instance, value }) = r.msg.peek() {
+                        if (1..=n).contains(instance) {
+                            echoes[instance - 1].push((r.from, value.clone()));
+                        }
+                    }
+                }
+                let mut out = view.outbox();
+                for j in 1..=n {
+                    if let Some((v, c)) = best_supported(&echoes[j - 1]) {
+                        if c >= n - t {
+                            out.send_to_all(M::wrap(GcMsg::Vote { instance: j, value: v }));
+                        }
+                    }
+                }
+                self.phase = GcPhase::Decide;
+                Step::Continue(out)
+            }
+            GcPhase::Decide => {
+                let mut votes: Vec<Vec<(PartyId, V)>> = vec![Vec::new(); n];
+                for r in view.inbox.iter() {
+                    if let Some(GcMsg::Vote { instance, value }) = r.msg.peek() {
+                        if (1..=n).contains(instance) {
+                            votes[instance - 1].push((r.from, value.clone()));
+                        }
+                    }
+                }
+                Step::Done(
+                    (0..n)
+                        .map(|idx| match best_supported(&votes[idx]) {
+                            Some((v, c)) if c >= n - t => {
+                                GradeOutput { value: Some(v), confidence: 2 }
+                            }
+                            Some((v, c)) if c > t => GradeOutput { value: Some(v), confidence: 1 },
+                            _ => GradeOutput::none(),
+                        })
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
 /// Run `n` parallel grade-cast instances — party `j` is the sender of
 /// instance `j` — and return this party's `n` outputs (index `j − 1` is
 /// instance `j`).
+///
+/// Blocking shim over [`GradecastMachine`]: same logic, driven on this
+/// party's [`PartyCtx`] by [`drive_blocking`].
 ///
 /// `my_value` is what this party grade-casts in its own instance
 /// (`None` = originate nothing; this party still echoes and votes for
@@ -103,67 +226,7 @@ where
     M: Clone + Send + WireSize + Embeds<GcMsg<V>> + 'static,
     V: Clone + Eq + WireSize,
 {
-    let n = ctx.n();
-    let t = (n - 1) / 3;
-    let me = ctx.id();
-
-    // Round 1: every sender distributes its value.
-    if let Some(v) = my_value.into() {
-        ctx.send_to_all(M::wrap(GcMsg::Value(v)));
-    }
-    let inbox = ctx.next_round();
-    // received[j-1] = what instance j's sender told us.
-    let mut received: Vec<Option<V>> = vec![None; n];
-    for r in inbox.iter() {
-        if let Some(GcMsg::Value(v)) = r.msg.peek() {
-            if received[r.from - 1].is_none() {
-                received[r.from - 1] = Some(v.clone());
-            }
-        }
-    }
-
-    // Round 2: echo every instance's value.
-    for j in 1..=n {
-        if let Some(v) = &received[j - 1] {
-            ctx.send_to_all(M::wrap(GcMsg::Echo { instance: j, value: v.clone() }));
-        }
-    }
-    let inbox = ctx.next_round();
-    let mut echoes: Vec<Vec<(PartyId, V)>> = vec![Vec::new(); n];
-    for r in inbox.iter() {
-        if let Some(GcMsg::Echo { instance, value }) = r.msg.peek() {
-            if (1..=n).contains(instance) {
-                echoes[instance - 1].push((r.from, value.clone()));
-            }
-        }
-    }
-
-    // Round 3: vote for any value with ≥ n − t echo support.
-    for j in 1..=n {
-        if let Some((v, c)) = best_supported(&echoes[j - 1]) {
-            if c >= n - t {
-                ctx.send_to_all(M::wrap(GcMsg::Vote { instance: j, value: v }));
-            }
-        }
-    }
-    let inbox = ctx.next_round();
-    let mut votes: Vec<Vec<(PartyId, V)>> = vec![Vec::new(); n];
-    for r in inbox.iter() {
-        if let Some(GcMsg::Vote { instance, value }) = r.msg.peek() {
-            if (1..=n).contains(instance) {
-                votes[instance - 1].push((r.from, value.clone()));
-            }
-        }
-    }
-
-    let _ = me;
-    (0..n)
-        .map(|idx| match best_supported(&votes[idx]) {
-            Some((v, c)) if c >= n - t => GradeOutput { value: Some(v), confidence: 2 },
-            Some((v, c)) if c > t => GradeOutput { value: Some(v), confidence: 1 },
-            _ => GradeOutput::none(),
-        })
-        .collect()
+    drive_blocking(ctx, GradecastMachine::new(my_value))
 }
 
 #[cfg(test)]

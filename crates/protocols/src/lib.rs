@@ -31,7 +31,7 @@ mod broadcast;
 mod gradecast;
 mod graph;
 
-pub use ba::{phase_king_ba, BaMsg};
-pub use broadcast::reliable_broadcast;
-pub use gradecast::{gradecast_exchange, GcMsg, GradeOutput};
+pub use ba::{phase_king_ba, BaMsg, PhaseKingMachine};
+pub use broadcast::{reliable_broadcast, reliable_broadcast_machine};
+pub use gradecast::{gradecast_exchange, GcMsg, GradeOutput, GradecastMachine};
 pub use graph::{approx_clique, DiGraph, Graph};

@@ -66,8 +66,8 @@ impl<const R: usize> ChaCha<R> {
             Self::quarter_round(&mut w, 2, 7, 8, 13);
             Self::quarter_round(&mut w, 3, 4, 9, 14);
         }
-        for i in 0..STATE_WORDS {
-            self.buf[i] = w[i].wrapping_add(self.state[i]);
+        for (out, (wi, si)) in self.buf.iter_mut().zip(w.iter().zip(self.state.iter())) {
+            *out = wi.wrapping_add(*si);
         }
         // 64-bit counter over words 12 and 13.
         self.state[12] = self.state[12].wrapping_add(1);

@@ -47,7 +47,9 @@ pub mod rngs {
 /// Everything the property-test modules need: the `proptest!` macro family
 /// plus its config and strategy types.
 pub mod prelude {
-    pub use crate::proptest::{vec_of, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::proptest::{
+        any, vec_of, AnyStrategy, Arbitrary, ProptestConfig, Shrink, Strategy, StrategyTuple,
+    };
     pub use crate::rngs::StdRng;
     pub use crate::{
         prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Rng, RngExt,

@@ -6,11 +6,15 @@
 //! - `proptest! { #[test] fn name(a: u64, x in 0usize..8) { .. } }`
 //! - an optional leading `#![proptest_config(ProptestConfig::with_cases(N))]`
 //! - `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`
+//! - bisection shrinking: on failure the inputs are greedily minimized
+//!   before the panic is reported
 //!
 //! Each case runs from its own [`StdRng`] seed derived deterministically
-//! from a per-test base. There is no shrinking; instead every failure
-//! prints the exact case seed and the environment variables that replay
-//! that single case:
+//! from a per-test base. On failure the runner re-checks smaller candidate
+//! inputs (integers bisect toward the range start or zero, `Vec`s halve
+//! toward their minimum length and shrink element-wise) and reports both
+//! the minimal failing input and the environment variables that replay
+//! the original, unshrunk case:
 //!
 //! ```text
 //! DPRBG_PROPTEST_SEED=<failing-seed> DPRBG_PROPTEST_CASES=1 cargo test <name>
@@ -81,6 +85,93 @@ impl_arbitrary_standard!(
     u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, f32, f64
 );
 
+/// Candidate simpler values for a failing input, biased toward the type's
+/// origin (zero / `false`). An empty list means the value is already
+/// minimal. Drives shrinking for `name: Type` parameters via [`any`].
+pub trait Shrink: Sized {
+    /// Strictly "simpler" candidates, most aggressive first.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! impl_shrink_unsigned {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0];
+                if v / 2 != 0 {
+                    out.push(v / 2);
+                }
+                if v - 1 != 0 && v - 1 != v / 2 {
+                    out.push(v - 1);
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_unsigned!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_shrink_signed {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0];
+                let half = v / 2; // rounds toward zero for both signs
+                if half != 0 {
+                    out.push(half);
+                }
+                let step = if v > 0 { v - 1 } else { v + 1 };
+                if step != 0 && step != half {
+                    out.push(step);
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_signed!(i8, i16, i32, i64, i128, isize);
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+macro_rules! impl_shrink_float {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                if v == 0.0 {
+                    return Vec::new();
+                }
+                if !v.is_finite() {
+                    return vec![0.0];
+                }
+                vec![0.0, v / 2.0]
+            }
+        }
+    )*};
+}
+
+impl_shrink_float!(f32, f64);
+
 /// Explicit strategy for a `name in <expr>` parameter.
 ///
 /// Integer ranges are strategies; so is any `Vec` of strategies via
@@ -92,16 +183,39 @@ pub trait Strategy: Clone {
 
     /// Draw one value.
     fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::Value;
+
+    /// Candidate simpler values for `v`, all of which must still satisfy
+    /// the strategy's invariants (e.g. stay inside the range). Empty means
+    /// `v` is minimal; the default performs no shrinking.
+    fn shrink(&self, _v: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 }
 
 macro_rules! impl_strategy_range {
-    ($($t:ty),*) => {$(
+    ($($t:ty => $mid:expr),* $(,)?) => {$(
         impl Strategy for std::ops::Range<$t> {
             type Value = $t;
             #[inline]
             fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
                 use crate::dist::SampleRange;
                 self.clone().sample(rng)
+            }
+
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                let (lo, v) = (self.start, *v);
+                if v <= lo {
+                    return Vec::new();
+                }
+                let mid: $t = ($mid)(lo, v);
+                let mut out = vec![lo];
+                if mid > lo && mid < v {
+                    out.push(mid);
+                }
+                if v - 1 > lo && v - 1 != mid {
+                    out.push(v - 1);
+                }
+                out
             }
         }
 
@@ -112,11 +226,76 @@ macro_rules! impl_strategy_range {
                 use crate::dist::SampleRange;
                 self.clone().sample(rng)
             }
+
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                let (lo, v) = (*self.start(), *v);
+                if v <= lo {
+                    return Vec::new();
+                }
+                let mid: $t = ($mid)(lo, v);
+                let mut out = vec![lo];
+                if mid > lo && mid < v {
+                    out.push(mid);
+                }
+                if v - 1 > lo && v - 1 != mid {
+                    out.push(v - 1);
+                }
+                out
+            }
         }
     )*};
 }
 
-impl_strategy_range!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+// Ranges shrink toward their start: the midpoint between `lo` and the
+// failing value bisects, `v - 1` handles the final linear steps. Unsigned
+// arithmetic cannot overflow (`v >= lo`); signed types widen through i128.
+impl_strategy_range!(
+    u8 => |lo, v| lo + (v - lo) / 2,
+    u16 => |lo, v| lo + (v - lo) / 2,
+    u32 => |lo, v| lo + (v - lo) / 2,
+    u64 => |lo, v| lo + (v - lo) / 2,
+    u128 => |lo, v| lo + (v - lo) / 2,
+    usize => |lo, v| lo + (v - lo) / 2,
+    i8 => |lo, v| (i128::from(lo) + (i128::from(v) - i128::from(lo)) / 2) as i8,
+    i16 => |lo, v| (i128::from(lo) + (i128::from(v) - i128::from(lo)) / 2) as i16,
+    i32 => |lo, v| (i128::from(lo) + (i128::from(v) - i128::from(lo)) / 2) as i32,
+    i64 => |lo, v| (i128::from(lo) + (i128::from(v) - i128::from(lo)) / 2) as i64,
+    isize => |lo, v| (lo as i128 + (v as i128 - lo as i128) / 2) as isize,
+);
+
+/// The [`Strategy`] behind `name: Type` parameters: generates via
+/// [`Arbitrary`], shrinks via [`Shrink`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Build the implicit whole-domain strategy for `T`.
+pub fn any<T: Arbitrary + Shrink>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary + Shrink> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    #[inline]
+    fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        T::arbitrary(rng)
+    }
+
+    fn shrink(&self, v: &T) -> Vec<T> {
+        Shrink::shrink(v)
+    }
+}
 
 /// A strategy producing `Vec`s with lengths in `len` and elements from
 /// `elem` — the analogue of `proptest::collection::vec`.
@@ -131,14 +310,103 @@ pub fn vec_of<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<
     VecStrategy { elem, len }
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<S::Value> {
         let n = self.len.clone().generate(rng);
         (0..n).map(|_| self.elem.generate(rng)).collect()
     }
+
+    fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        let min = self.len.start;
+        // Structural shrinks first: halve the length toward the minimum,
+        // then drop a single trailing element.
+        if v.len() > min {
+            let half = min + (v.len() - min) / 2;
+            out.push(v[..half].to_vec());
+            if v.len() - 1 != half {
+                out.push(v[..v.len() - 1].to_vec());
+            }
+        }
+        // Element-wise shrinks, one position at a time.
+        for (i, x) in v.iter().enumerate() {
+            for cand in self.elem.shrink(x) {
+                let mut next = v.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
+    }
 }
+
+/// A fixed tuple of [`Strategy`]s, generated and shrunk together — the
+/// input shape of [`run_cases_shrink`]. Shrinking proposes candidates that
+/// change exactly one tuple position at a time.
+pub trait StrategyTuple: Clone {
+    /// The generated tuple of values.
+    type Values: Clone + std::fmt::Debug;
+
+    /// Draw one tuple of values, one strategy at a time, in order.
+    fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::Values;
+
+    /// Candidate simpler tuples, each differing from `values` in exactly
+    /// one position.
+    fn shrink(&self, values: &Self::Values) -> Vec<Self::Values>;
+}
+
+impl StrategyTuple for () {
+    type Values = ();
+
+    fn generate<R: Rng + ?Sized>(&self, _rng: &mut R) -> Self::Values {}
+
+    fn shrink(&self, _values: &Self::Values) -> Vec<Self::Values> {
+        Vec::new()
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> StrategyTuple for ($($s,)+)
+        where
+            $($s::Value: Clone + std::fmt::Debug,)+
+        {
+            type Values = ($($s::Value,)+);
+
+            fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::Values {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, values: &Self::Values) -> Vec<Self::Values> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&values.$idx) {
+                        let mut next = values.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+impl_strategy_tuple!(
+    (S0 0),
+    (S0 0, S1 1),
+    (S0 0, S1 1, S2 2),
+    (S0 0, S1 1, S2 2, S3 3),
+    (S0 0, S1 1, S2 2, S3 3, S4 4),
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5),
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6),
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6, S7 7),
+);
 
 /// FNV-1a, used to give every property its own default seed stream.
 fn hash_name(name: &str) -> u64 {
@@ -150,8 +418,26 @@ fn hash_name(name: &str) -> u64 {
     h
 }
 
-/// The driver behind `proptest!`: run `cfg.cases` cases of `property`,
-/// panicking with a replay recipe on the first failure.
+fn base_seed(name: &str) -> u64 {
+    match std::env::var("DPRBG_PROPTEST_SEED") {
+        Ok(v) => v
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("DPRBG_PROPTEST_SEED is not a u64: {v:?}")),
+        Err(_) => hash_name(name),
+    }
+}
+
+fn case_count(cfg: &ProptestConfig) -> u32 {
+    std::env::var("DPRBG_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(cfg.cases)
+}
+
+/// The rng-level driver: run `cfg.cases` cases of `property`, panicking
+/// with a replay recipe on the first failure. No shrinking — the property
+/// draws directly from the per-case rng, so the runner has no value to
+/// minimize. The `proptest!` macro uses [`run_cases_shrink`] instead.
 ///
 /// Each case's generator is `StdRng::seed_from_u64(base + case_index)`.
 /// `prop_assume!` rejections redraw the case (with a budget of 16× the
@@ -160,16 +446,8 @@ pub fn run_cases<F>(name: &str, cfg: &ProptestConfig, mut property: F)
 where
     F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
 {
-    let base = match std::env::var("DPRBG_PROPTEST_SEED") {
-        Ok(v) => v
-            .parse::<u64>()
-            .unwrap_or_else(|_| panic!("DPRBG_PROPTEST_SEED is not a u64: {v:?}")),
-        Err(_) => hash_name(name),
-    };
-    let cases = std::env::var("DPRBG_PROPTEST_CASES")
-        .ok()
-        .and_then(|v| v.parse::<u32>().ok())
-        .unwrap_or(cfg.cases);
+    let base = base_seed(name);
+    let cases = case_count(cfg);
 
     let mut passed = 0u32;
     let mut rejected = 0u32;
@@ -201,6 +479,92 @@ where
     }
 }
 
+/// Total extra property evaluations a single failure may spend minimizing
+/// its input before reporting.
+const SHRINK_BUDGET: usize = 1024;
+
+/// Greedy bisection shrink: repeatedly adopt the first candidate that
+/// still fails, restarting candidate generation from the improved value,
+/// until no candidate fails or the budget runs out.
+fn shrink_failure<S, C>(
+    strategies: &S,
+    mut values: S::Values,
+    mut msg: String,
+    check: &mut C,
+) -> (S::Values, String, usize)
+where
+    S: StrategyTuple,
+    C: FnMut(&S::Values) -> Result<(), TestCaseError>,
+{
+    let mut budget = SHRINK_BUDGET;
+    let mut steps = 0usize;
+    'outer: loop {
+        for cand in strategies.shrink(&values) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            // A passing or rejected candidate is simply not adopted.
+            if let Err(TestCaseError::Fail(m)) = check(&cand) {
+                values = cand;
+                msg = m;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (values, msg, steps)
+}
+
+/// The driver behind `proptest!`: like [`run_cases`], but the runner owns
+/// value generation (via a [`StrategyTuple`]), so a failing case is
+/// bisection-shrunk to a minimal failing input before panicking.
+///
+/// The replay recipe in the panic reproduces the *original* (unshrunk)
+/// case; the minimal input is printed alongside it.
+pub fn run_cases_shrink<S, C>(name: &str, cfg: &ProptestConfig, strategies: S, mut check: C)
+where
+    S: StrategyTuple,
+    C: FnMut(&S::Values) -> Result<(), TestCaseError>,
+{
+    let base = base_seed(name);
+    let cases = case_count(cfg);
+
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let reject_budget = cases.saturating_mul(16).max(256);
+    let mut case_index = 0u64;
+    while passed < cases {
+        let seed = base.wrapping_add(case_index);
+        case_index += 1;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values = strategies.generate(&mut rng);
+        match check(&values) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= reject_budget,
+                    "property `{name}`: prop_assume! rejected {rejected} cases \
+                     (budget {reject_budget}); strategy is too narrow"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                let (min_values, min_msg, steps) =
+                    shrink_failure(&strategies, values, msg, &mut check);
+                panic!(
+                    "property `{name}` failed at case {} (seed {seed}): {min_msg}\n\
+                     minimal failing input (after {steps} shrink steps): {min_values:?}\n\
+                     replay the original case with:\n  \
+                     DPRBG_PROPTEST_SEED={seed} DPRBG_PROPTEST_CASES=1 cargo test {name}",
+                    case_index - 1,
+                );
+            }
+        }
+    }
+}
+
 /// Define properties as `#[test]` functions over seeded random inputs.
 ///
 /// See the [module docs](crate::proptest) for the supported grammar.
@@ -217,11 +581,13 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let __cfg: $crate::proptest::ProptestConfig = $cfg;
-                $crate::proptest::run_cases(
+                let __strategies = $crate::__proptest_strategies!([] $($params)*);
+                $crate::proptest::run_cases_shrink(
                     stringify!($name),
                     &__cfg,
-                    |__proptest_rng| {
-                        $crate::__proptest_bind!(__proptest_rng, $($params)*);
+                    __strategies,
+                    |__proptest_vals| {
+                        $crate::__proptest_destructure!(__proptest_vals, [] $($params)*);
                         $body
                         ::core::result::Result::Ok(())
                     },
@@ -245,19 +611,36 @@ macro_rules! proptest {
     };
 }
 
-/// Parameter binder for [`proptest!`]: `name: Type` draws via
-/// [`Arbitrary`], `name in strategy` draws via [`Strategy`].
+/// Strategy collector for [`proptest!`]: folds the parameter list into a
+/// tuple of strategies. `name: Type` becomes [`any::<Type>()`](any),
+/// `name in strategy` passes the strategy through.
 #[doc(hidden)]
 #[macro_export]
-macro_rules! __proptest_bind {
-    ($rng:ident $(,)?) => {};
-    ($rng:ident, $name:ident : $ty:ty $(, $($rest:tt)*)?) => {
-        let $name: $ty = <$ty as $crate::proptest::Arbitrary>::arbitrary($rng);
-        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+macro_rules! __proptest_strategies {
+    ([$($acc:expr,)*]) => {
+        ($($acc,)*)
     };
-    ($rng:ident, $name:ident in $strategy:expr $(, $($rest:tt)*)?) => {
-        let $name = $crate::proptest::Strategy::generate(&$strategy, $rng);
-        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    ([$($acc:expr,)*] $name:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        $crate::__proptest_strategies!([$($acc,)* $crate::proptest::any::<$ty>(),] $($($rest)*)?)
+    };
+    ([$($acc:expr,)*] $name:ident in $strategy:expr $(, $($rest:tt)*)?) => {
+        $crate::__proptest_strategies!([$($acc,)* $strategy,] $($($rest)*)?)
+    };
+}
+
+/// Pattern collector for [`proptest!`]: folds the parameter list into one
+/// tuple destructuring of the generated values reference.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_destructure {
+    ($vals:ident, [$($bound:ident,)*]) => {
+        let ($($bound,)*) = ::core::clone::Clone::clone($vals);
+    };
+    ($vals:ident, [$($bound:ident,)*] $name:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        $crate::__proptest_destructure!($vals, [$($bound,)* $name,] $($($rest)*)?)
+    };
+    ($vals:ident, [$($bound:ident,)*] $name:ident in $strategy:expr $(, $($rest:tt)*)?) => {
+        $crate::__proptest_destructure!($vals, [$($bound,)* $name,] $($($rest)*)?)
     };
 }
 
@@ -335,6 +718,12 @@ mod tests {
             prop_assume!(n % 2 == 0);
             prop_assert_eq!(n % 2, 0);
         }
+
+        #[test]
+        fn vec_params_bind(v in vec_of(0u32..10, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
     }
 
     proptest! {
@@ -386,5 +775,93 @@ mod tests {
             assert!((2..5).contains(&v.len()));
             assert!(v.iter().all(|&x| x < 10));
         }
+    }
+
+    #[test]
+    fn range_shrink_bisects_toward_start() {
+        use super::Strategy;
+        let strat = 3usize..100;
+        assert!(strat.shrink(&3).is_empty(), "range start is minimal");
+        let cands = strat.shrink(&80);
+        assert!(cands.contains(&3), "must offer the range start");
+        assert!(cands.contains(&41), "must offer the midpoint toward start");
+        assert!(cands.contains(&79), "must offer the linear step");
+        // Signed ranges stay in bounds even around extreme values.
+        let signed = (i64::MIN..i64::MAX).shrink(&(i64::MAX - 1));
+        assert!(signed.iter().all(|&c| c < i64::MAX - 1 && c >= i64::MIN));
+    }
+
+    #[test]
+    fn int_shrink_targets_zero() {
+        use super::Shrink;
+        assert!(0u32.shrink().is_empty());
+        assert_eq!(1u32.shrink(), vec![0]);
+        assert_eq!(40u32.shrink(), vec![0, 20, 39]);
+        assert_eq!((-40i32).shrink(), vec![0, -20, -39]);
+        assert_eq!(true.shrink(), vec![false]);
+        assert!(false.shrink().is_empty());
+    }
+
+    #[test]
+    fn tuple_shrink_changes_one_position() {
+        use super::StrategyTuple;
+        let strats = (0u32..10, 0u32..10);
+        let cands = strats.shrink(&(4, 7));
+        assert!(!cands.is_empty());
+        for (a, b) in cands {
+            assert!(
+                (a, b) != (4, 7) && (a == 4 || b == 7),
+                "candidate ({a}, {b}) must differ in exactly one position"
+            );
+        }
+    }
+
+    #[test]
+    fn shrinking_minimizes_range_failure() {
+        let err = std::panic::catch_unwind(|| {
+            super::run_cases_shrink(
+                "shrink_to_threshold",
+                &super::ProptestConfig::with_cases(64),
+                (0u64..1000,),
+                |&(x,)| {
+                    if x >= 10 {
+                        Err(super::TestCaseError::Fail(format!("x = {x}")))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(
+            msg.contains("minimal failing input") && msg.contains("(10,)"),
+            "expected the threshold value 10, got: {msg}"
+        );
+        assert!(msg.contains("DPRBG_PROPTEST_SEED="), "message: {msg}");
+    }
+
+    #[test]
+    fn shrinking_minimizes_vec_failure() {
+        let err = std::panic::catch_unwind(|| {
+            super::run_cases_shrink(
+                "shrink_to_shortest_vec",
+                &super::ProptestConfig::with_cases(64),
+                (super::vec_of(0u32..100, 0..8),),
+                |(v,)| {
+                    if v.len() >= 3 {
+                        Err(super::TestCaseError::Fail(format!("len = {}", v.len())))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(
+            msg.contains("([0, 0, 0],)"),
+            "expected the 3-element all-zero vec, got: {msg}"
+        );
     }
 }

@@ -6,11 +6,71 @@
 //! passed to [`crate::run_network`]; protocol crates define
 //! attack-specific behaviors next to each protocol. This module provides
 //! the generic pieces: a [`FaultPlan`] describing *which* parties are
-//! corrupted, and behaviors every attack shares (crashing).
+//! corrupted, behaviors every attack shares (crashing), and the
+//! **per-message hop**: a [`MsgTap`] installed on an executor sees every
+//! individual envelope in flight and may drop, delay, or tamper with it —
+//! a strictly finer adversary surface than swapping out whole behaviors.
 
 use crate::network::{Behavior, PartyCtx};
 use crate::router::PartyId;
 use dprbg_metrics::WireSize;
+
+/// One message in flight, as shown to a [`MsgTap`] at the executor's
+/// message hop — after the sender has been charged for it, before it is
+/// queued for delivery.
+#[derive(Debug)]
+pub struct MsgHop<'a, M> {
+    /// The sending party.
+    pub from: PartyId,
+    /// The recipient of this copy. A broadcast passes through the hop
+    /// once per recipient, so a tap can equivocate on the §3 ideal
+    /// channel by tampering per copy.
+    pub to: PartyId,
+    /// The global round in which the message was sent (0-based).
+    pub round: u64,
+    /// Whether this copy travels on the ideal broadcast channel.
+    pub broadcast: bool,
+    /// The payload.
+    pub msg: &'a M,
+}
+
+/// What the adversary decides to do with one in-flight message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MsgFate<M> {
+    /// Deliver unchanged at the next round boundary.
+    Deliver,
+    /// Silently discard. The sender still paid the message cost — the
+    /// network ate it, the sender doesn't know.
+    Drop,
+    /// Deliver `extra` rounds late (`Delay(0)` ≡ `Deliver`). The copy
+    /// keeps its original sender/sequence coordinates, so a delayed
+    /// message merges deterministically into the later inbox.
+    Delay(u64),
+    /// Replace the payload before delivery (per-copy, enabling broadcast
+    /// equivocation).
+    Tamper(M),
+}
+
+/// A per-message adversary installed at an executor's message hop.
+///
+/// Both executors consult the tap for every posted copy. For the
+/// cross-executor determinism guarantee to extend to tapped runs, the tap
+/// must be a pure function of the [`MsgHop`] (the threaded runner offers
+/// no ordering guarantee between hops of different senders in the same
+/// round).
+pub trait MsgTap<M>: Send {
+    /// Decide this message's fate.
+    fn intercept(&mut self, hop: MsgHop<'_, M>) -> MsgFate<M>;
+}
+
+impl<M, F> MsgTap<M> for F
+where
+    F: FnMut(MsgHop<'_, M>) -> MsgFate<M> + Send,
+{
+    fn intercept(&mut self, hop: MsgHop<'_, M>) -> MsgFate<M> {
+        self(hop)
+    }
+}
 
 /// Which parties the adversary controls in a given execution.
 ///
@@ -143,6 +203,126 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn explicit_rejects_out_of_range() {
         let _ = FaultPlan::explicit(5, vec![6]);
+    }
+
+    #[test]
+    fn tap_drops_individual_copies() {
+        // Sever only the 1 → 3 link: finer than any behavior swap could
+        // be, since party 1 is honest and its other copies arrive.
+        let behaviors = || -> Vec<Behavior<u64, usize>> {
+            (1..=3)
+                .map(|_| {
+                    Box::new(|ctx: &mut PartyCtx<u64>| {
+                        ctx.send_to_all(ctx.id() as u64);
+                        ctx.next_round().len()
+                    }) as Behavior<u64, usize>
+                })
+                .collect()
+        };
+        let tap = |hop: MsgHop<'_, u64>| {
+            if hop.from == 1 && hop.to == 3 {
+                MsgFate::Drop
+            } else {
+                MsgFate::Deliver
+            }
+        };
+        let res = crate::network::run_network_with_tap(3, 5, behaviors(), Box::new(tap));
+        assert_eq!(res.outputs, vec![Some(3), Some(3), Some(2)]);
+        // The sender still paid for the eaten copy.
+        assert_eq!(res.report.comm.messages, 9);
+    }
+
+    #[test]
+    fn tap_delays_across_round_boundaries() {
+        // Party 1's round-0 message to party 2 is held back one extra
+        // round: absent from round 1's inbox, present in round 2's.
+        let behaviors: Vec<Behavior<u64, (usize, usize)>> = vec![
+            Box::new(|ctx: &mut PartyCtx<u64>| {
+                ctx.send(2, 41);
+                let _ = ctx.next_round();
+                let _ = ctx.next_round();
+                (0, 0)
+            }),
+            Box::new(|ctx: &mut PartyCtx<u64>| {
+                let r1 = ctx.next_round().len();
+                let r2 = ctx.next_round().len();
+                (r1, r2)
+            }),
+        ];
+        let tap = |_hop: MsgHop<'_, u64>| MsgFate::Delay(1);
+        let res = crate::network::run_network_with_tap(2, 5, behaviors, Box::new(tap));
+        assert_eq!(res.outputs[1], Some((0, 1)));
+    }
+
+    #[test]
+    fn tap_equivocates_on_the_ideal_broadcast_channel() {
+        // The §3 ideal channel promises every party the identical value;
+        // a per-copy tamper breaks exactly that promise for one victim.
+        let behaviors = || -> Vec<Behavior<u64, u64>> {
+            (1..=3)
+                .map(|_| {
+                    Box::new(|ctx: &mut PartyCtx<u64>| {
+                        if ctx.id() == 1 {
+                            ctx.broadcast(10);
+                        }
+                        let inbox = ctx.next_round();
+                        inbox.broadcasts().map(|r| r.msg).sum()
+                    }) as Behavior<u64, u64>
+                })
+                .collect()
+        };
+        let tap = |hop: MsgHop<'_, u64>| {
+            if hop.broadcast && hop.to == 3 {
+                MsgFate::Tamper(*hop.msg + 90)
+            } else {
+                MsgFate::Deliver
+            }
+        };
+        let res = crate::network::run_network_with_tap(3, 5, behaviors(), Box::new(tap));
+        assert_eq!(res.outputs, vec![Some(10), Some(10), Some(100)]);
+    }
+
+    #[test]
+    fn tapped_runs_agree_across_executors() {
+        use crate::machine::{BoxedMachine, RoundMachine, RoundView, Step};
+        use crate::step::StepRunner;
+
+        /// Two gossip rounds so delayed messages have somewhere to land.
+        struct TwoRounds;
+        impl RoundMachine<u64> for TwoRounds {
+            type Output = Vec<(usize, u64)>;
+            fn round(&mut self, view: RoundView<'_, u64>) -> Step<u64, Self::Output> {
+                if view.round < 2 {
+                    let mut out = view.outbox();
+                    out.send_to_all(view.id as u64 * 10 + view.round);
+                    Step::Continue(out)
+                } else {
+                    Step::Done(view.inbox.iter().map(|r| (r.from, r.msg)).collect())
+                }
+            }
+        }
+        let fleet = || -> Vec<BoxedMachine<u64, Vec<(usize, u64)>>> {
+            (0..4).map(|_| Box::new(TwoRounds) as _).collect()
+        };
+        // A pure function of the hop: drop 2→1, delay 3→2 by one round,
+        // tamper 4→3.
+        let tap = || {
+            |hop: MsgHop<'_, u64>| match (hop.from, hop.to) {
+                (2, 1) => MsgFate::Drop,
+                (3, 2) => MsgFate::Delay(1),
+                (4, 3) => MsgFate::Tamper(hop.msg + 1000),
+                _ => MsgFate::Deliver,
+            }
+        };
+        let threaded =
+            crate::network::run_machines_with_tap(4, 21, fleet(), Box::new(tap()));
+        let stepped = StepRunner::new(4, 21).with_tap(tap()).run(fleet());
+        assert_eq!(threaded.outputs, stepped.outputs);
+        assert_eq!(threaded.report, stepped.report);
+        assert_eq!(threaded.rounds, stepped.rounds);
+        // And the tamper actually landed.
+        let p3 = threaded.outputs[2].as_ref().unwrap();
+        assert!(p3.iter().any(|&(from, v)| from == 4 && v > 1000));
     }
 
     #[test]

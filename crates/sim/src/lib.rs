@@ -49,14 +49,43 @@
 //! assert_eq!(result.outputs, vec![Some(6), Some(6), Some(6)]);
 //! ```
 
+//! # Sans-IO round engine
+//!
+//! Protocol logic can also be written transport-free as a
+//! [`RoundMachine`]: a state machine whose [`round`](RoundMachine::round)
+//! method maps an [`Inbox`] view to an [`Outbox`] of sends (or a final
+//! output). Two interchangeable executors drive machines:
+//!
+//! * [`run_machines`] — the scoped-thread runner above, with a thin
+//!   blocking driver per party ([`drive_blocking`]);
+//! * [`StepRunner`] — a deterministic single-threaded executor that
+//!   interleaves all parties round-by-round with no threads or barriers,
+//!   making big-n sweeps cheap.
+//!
+//! Both executors share sequence numbering, RNG derivation, and cost
+//! accounting, so the same seed yields byte-identical transcripts and
+//! identical cost reports under either. Each in-flight message copy also
+//! passes a **message hop** where an optional [`MsgTap`] adversary can
+//! drop, delay, or tamper per message (see [`run_network_with_tap`],
+//! [`StepRunner::with_tap`]).
+
 mod adversary;
 mod embed;
+mod machine;
 mod network;
 mod router;
+mod step;
 
-pub use adversary::{crash_immediately, FaultPlan};
+pub use adversary::{crash_immediately, FaultPlan, MsgFate, MsgHop, MsgTap};
 pub use embed::Embeds;
-pub use network::{run_network, Behavior, PartyCtx, RunResult};
+pub use machine::{
+    drive_blocking, BoxedMachine, Chain, MachineExt, Map, Outbox, RoundMachine, RoundView, Step,
+};
+pub use network::{
+    run_machines, run_machines_with_tap, run_network, run_network_with_tap, Behavior, PartyCtx,
+    RunResult,
+};
 pub use router::{Inbox, PartyId, Received, RoundProfile};
+pub use step::StepRunner;
 
 pub use dprbg_metrics::WireSize;

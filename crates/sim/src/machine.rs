@@ -1,0 +1,424 @@
+//! The sans-IO round engine: protocol logic as explicit round machines.
+//!
+//! A [`RoundMachine`] owns a protocol's state and exposes exactly one
+//! entry point, [`round`](RoundMachine::round): given everything delivered
+//! at the last round boundary (a [`RoundView`]), it either queues this
+//! round's sends into an [`Outbox`] and yields [`Step::Continue`], or
+//! terminates with [`Step::Done`]. The machine never touches a socket,
+//! thread, or barrier — *how* the outbox reaches the other parties is an
+//! executor concern, so the same machine runs unchanged under the
+//! scoped-thread runner ([`run_machines`](crate::run_machines)) and the
+//! deterministic single-threaded [`StepRunner`](crate::StepRunner).
+//!
+//! Two invariants make the executors interchangeable:
+//!
+//! 1. **Identical cost accounting.** [`Outbox::flush`] is the single place
+//!    where queued envelopes become router posts, sequence numbers, and
+//!    [`comm`] counter increments — both executors call it, so a machine's
+//!    `CostReport` cannot depend on the executor.
+//! 2. **Identical randomness.** Executors derive each party's RNG from the
+//!    master seed the same way, and a machine only draws through
+//!    [`RoundView::rng`].
+//!
+//! The first `round` call sees an empty inbox (there is no round `-1` to
+//! deliver from); a machine's initial sends happen there.
+
+use dprbg_metrics::{comm, WireSize};
+use dprbg_rng::rngs::StdRng;
+
+use crate::network::PartyCtx;
+use crate::router::{Inbox, PartyId, Received};
+
+/// What a machine does with its round: keep going (with sends) or finish.
+#[derive(Debug)]
+pub enum Step<M, Out> {
+    /// The protocol continues; deliver these envelopes at the next round
+    /// boundary and call [`RoundMachine::round`] again with the resulting
+    /// inbox.
+    Continue(Outbox<M>),
+    /// The protocol finished with this output. The executor must not call
+    /// `round` again.
+    Done(Out),
+}
+
+/// Everything a machine may observe in one round: identity, the inbox
+/// delivered at the last round boundary, and this party's private
+/// randomness.
+pub struct RoundView<'a, M> {
+    /// This party's 1-based identifier.
+    pub id: PartyId,
+    /// The total number of parties.
+    pub n: usize,
+    /// Rounds this machine has already completed (0 on the first call).
+    pub round: u64,
+    /// Messages delivered to this party at the last round boundary.
+    pub inbox: &'a Inbox<M>,
+    /// This party's private randomness (deterministic per master seed).
+    pub rng: &'a mut StdRng,
+}
+
+impl<'a, M> RoundView<'a, M> {
+    /// A fresh outbox sized for this network.
+    pub fn outbox(&self) -> Outbox<M> {
+        Outbox::new(self.n)
+    }
+
+    /// Reborrow the view so it can be lent to a sub-machine and used again
+    /// afterwards (embedding one machine inside another).
+    pub fn reborrow(&mut self) -> RoundView<'_, M> {
+        RoundView {
+            id: self.id,
+            n: self.n,
+            round: self.round,
+            inbox: self.inbox,
+            rng: self.rng,
+        }
+    }
+
+    /// The view as presented to a successor machine that starts mid-run:
+    /// a fresh round counter and (on its very first call) an inbox that
+    /// is not the predecessor's leftover.
+    fn rebase<'b>(&'b mut self, base: u64, inbox: &'b Inbox<M>) -> RoundView<'b, M> {
+        RoundView {
+            id: self.id,
+            n: self.n,
+            round: self.round - base,
+            inbox,
+            rng: self.rng,
+        }
+    }
+}
+
+/// Where one queued envelope is headed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dest {
+    /// Private channel to one party.
+    One(PartyId),
+    /// Private channels to every party (n unicasts — the paper's
+    /// point-to-point "send to all players").
+    All,
+    /// The ideal broadcast channel (one message in the §3 cost model).
+    Broadcast,
+}
+
+/// A round's queued sends, recorded without touching the network or the
+/// cost counters. [`Outbox::flush`] later expands each envelope with
+/// exactly the semantics of the corresponding [`PartyCtx`] method, so
+/// metrics and inbox ordering are executor-independent.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    n: usize,
+    envelopes: Vec<(Dest, M)>,
+}
+
+impl<M> Outbox<M> {
+    /// An empty outbox for an `n`-party network.
+    pub fn new(n: usize) -> Self {
+        Outbox { n, envelopes: Vec::new() }
+    }
+
+    /// Queue `msg` for party `to` over the private channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a valid party id.
+    pub fn send(&mut self, to: PartyId, msg: M) {
+        assert!((1..=self.n).contains(&to), "invalid recipient {to}");
+        self.envelopes.push((Dest::One(to), msg));
+    }
+
+    /// Queue `msg` for every party (including self) over private
+    /// channels: `n` messages in the cost model.
+    pub fn send_to_all(&mut self, msg: M) {
+        self.envelopes.push((Dest::All, msg));
+    }
+
+    /// Queue `msg` on the ideal broadcast channel: every party receives
+    /// the identical value, charged as **one** message (Lemma 2/4
+    /// counting).
+    pub fn broadcast(&mut self, msg: M) {
+        self.envelopes.push((Dest::Broadcast, msg));
+    }
+
+    /// Number of queued envelopes (a broadcast or send-to-all counts as
+    /// one envelope here, before expansion).
+    pub fn len(&self) -> usize {
+        self.envelopes.len()
+    }
+
+    /// Whether nothing was queued this round.
+    pub fn is_empty(&self) -> bool {
+        self.envelopes.is_empty()
+    }
+
+    pub(crate) fn n(&self) -> usize {
+        self.n
+    }
+}
+
+impl<M: Clone + WireSize> Outbox<M> {
+    /// Expand every envelope into router posts, assigning sequence numbers
+    /// and charging the communication counters exactly as
+    /// [`PartyCtx::send`], [`PartyCtx::send_to_all`], and
+    /// [`PartyCtx::broadcast`] do: one message per unicast copy, one
+    /// message per ideal broadcast.
+    pub(crate) fn flush(
+        self,
+        from: PartyId,
+        seq: &mut u32,
+        mut post: impl FnMut(PartyId, Received<M>),
+    ) {
+        let n = self.n;
+        for (dest, msg) in self.envelopes {
+            match dest {
+                Dest::One(to) => {
+                    comm::count_message(msg.wire_bytes() as u64);
+                    post(to, Received { from, broadcast: false, seq: *seq, msg });
+                    *seq += 1;
+                }
+                Dest::All => {
+                    for to in 1..=n {
+                        comm::count_message(msg.wire_bytes() as u64);
+                        post(
+                            to,
+                            Received { from, broadcast: false, seq: *seq, msg: msg.clone() },
+                        );
+                        *seq += 1;
+                    }
+                }
+                Dest::Broadcast => {
+                    comm::count_message(msg.wire_bytes() as u64);
+                    for to in 1..=n {
+                        post(to, Received { from, broadcast: true, seq: *seq, msg: msg.clone() });
+                    }
+                    *seq += 1;
+                }
+            }
+        }
+    }
+}
+
+/// A protocol written as an explicit round-state machine.
+///
+/// Implementations must be executor-agnostic: observe only the
+/// [`RoundView`], send only through the returned [`Outbox`], and keep all
+/// cross-round state in `self`.
+pub trait RoundMachine<M> {
+    /// What the protocol produces when it terminates.
+    type Output;
+
+    /// Execute one round: consume the inbox, queue this round's sends, and
+    /// either continue or finish.
+    fn round(&mut self, view: RoundView<'_, M>) -> Step<M, Self::Output>;
+}
+
+impl<M, T: RoundMachine<M> + ?Sized> RoundMachine<M> for Box<T> {
+    type Output = T::Output;
+    fn round(&mut self, view: RoundView<'_, M>) -> Step<M, Self::Output> {
+        (**self).round(view)
+    }
+}
+
+/// A type-erased machine, as consumed by the executors.
+pub type BoxedMachine<M, Out> = Box<dyn RoundMachine<M, Output = Out> + Send>;
+
+/// Sequential composition: run `A`, then feed its output to a closure that
+/// builds the successor machine `B`. Mirrors blocking control flow: when
+/// `A` finishes in some round, `B`'s first (send) round executes in that
+/// same round — exactly as straight-line code calls the next protocol
+/// function immediately after the previous one returns.
+pub struct Chain<A, B, F> {
+    state: ChainState<A, B>,
+    make: Option<F>,
+}
+
+enum ChainState<A, B> {
+    First(A),
+    /// `base` is the driver round in which `B` started; `B` sees rounds
+    /// relative to it.
+    Second { b: B, base: u64 },
+}
+
+impl<M, A, B, F> RoundMachine<M> for Chain<A, B, F>
+where
+    A: RoundMachine<M>,
+    B: RoundMachine<M>,
+    F: FnOnce(A::Output) -> B,
+{
+    type Output = B::Output;
+
+    fn round(&mut self, mut view: RoundView<'_, M>) -> Step<M, B::Output> {
+        let a_out = match &mut self.state {
+            ChainState::Second { b, base } => {
+                let base = *base;
+                let inbox = view.inbox;
+                return b.round(view.rebase(base, inbox));
+            }
+            ChainState::First(a) => match a.round(view.reborrow()) {
+                Step::Continue(out) => return Step::Continue(out),
+                Step::Done(a_out) => a_out,
+            },
+        };
+        let make = self.make.take().expect("Chain continuation already consumed");
+        let mut b = make(a_out);
+        // The successor starts in the same driver round with an empty
+        // inbox (the predecessor consumed this round's deliveries) and a
+        // round counter of its own.
+        let base = view.round;
+        let empty = Inbox::empty();
+        let step = b.round(view.rebase(base, &empty));
+        self.state = ChainState::Second { b, base };
+        step
+    }
+}
+
+/// Transform a machine's output with a closure when it finishes.
+pub struct Map<A, F> {
+    inner: A,
+    f: Option<F>,
+}
+
+impl<M, A, F, T> RoundMachine<M> for Map<A, F>
+where
+    A: RoundMachine<M>,
+    F: FnOnce(A::Output) -> T,
+{
+    type Output = T;
+
+    fn round(&mut self, view: RoundView<'_, M>) -> Step<M, T> {
+        match self.inner.round(view) {
+            Step::Continue(out) => Step::Continue(out),
+            Step::Done(x) => Step::Done((self.f.take().expect("Map closure already consumed"))(x)),
+        }
+    }
+}
+
+/// Combinator methods on every [`RoundMachine`].
+pub trait MachineExt<M>: RoundMachine<M> + Sized {
+    /// Run `self` to completion, then the machine built from its output.
+    fn then<B, F>(self, make: F) -> Chain<Self, B, F>
+    where
+        B: RoundMachine<M>,
+        F: FnOnce(Self::Output) -> B,
+    {
+        Chain { state: ChainState::First(self), make: Some(make) }
+    }
+
+    /// Transform the final output.
+    fn map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        F: FnOnce(Self::Output) -> T,
+    {
+        Map { inner: self, f: Some(f) }
+    }
+}
+
+impl<M, A: RoundMachine<M>> MachineExt<M> for A {}
+
+/// Drive a machine to completion on a blocking [`PartyCtx`] — the bridge
+/// that lets every legacy straight-line call site keep its signature while
+/// the logic lives in a [`RoundMachine`].
+///
+/// One `Continue` costs exactly one [`PartyCtx::next_round`] (and hence
+/// one round in the cost model); `Done` costs nothing.
+pub fn drive_blocking<M, R>(ctx: &mut PartyCtx<M>, mut machine: R) -> R::Output
+where
+    M: Clone + WireSize,
+    R: RoundMachine<M>,
+{
+    let id = ctx.id();
+    let n = ctx.n();
+    let mut inbox = Inbox::empty();
+    let mut round = 0u64;
+    loop {
+        let step = machine.round(RoundView { id, n, round, inbox: &inbox, rng: ctx.rng() });
+        match step {
+            Step::Continue(outbox) => {
+                ctx.flush_outbox(outbox);
+                inbox = ctx.next_round();
+                round += 1;
+            }
+            Step::Done(out) => return out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echo machine: round 0 sends `value` to everyone, round 1 sums what
+    /// arrived.
+    struct EchoSum {
+        value: u32,
+    }
+
+    impl RoundMachine<u32> for EchoSum {
+        type Output = u32;
+        fn round(&mut self, view: RoundView<'_, u32>) -> Step<u32, u32> {
+            if view.round == 0 {
+                let mut out = view.outbox();
+                out.send_to_all(self.value);
+                Step::Continue(out)
+            } else {
+                Step::Done(view.inbox.iter().map(|r| r.msg).sum())
+            }
+        }
+    }
+
+    #[test]
+    fn outbox_flush_matches_partyctx_counting() {
+        // 2 unicasts + 1 send_to_all(3) + 1 broadcast over n = 3:
+        // messages = 2 + 3 + 1, seqs = 2 + 3 + 1, posts = 2 + 3 + 3.
+        let mut out = Outbox::<u32>::new(3);
+        out.send(1, 7);
+        out.send(3, 8);
+        out.send_to_all(9);
+        out.broadcast(10);
+        let mut posts = Vec::new();
+        let mut seq = 0;
+        out.flush(2, &mut seq, |to, rcv| posts.push((to, rcv)));
+        assert_eq!(seq, 6);
+        assert_eq!(posts.len(), 8);
+        let bcast: Vec<_> = posts.iter().filter(|(_, r)| r.broadcast).collect();
+        assert_eq!(bcast.len(), 3);
+        assert!(bcast.iter().all(|(_, r)| r.seq == 5 && r.msg == 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid recipient")]
+    fn outbox_rejects_out_of_range_recipient() {
+        Outbox::<u32>::new(3).send(4, 0);
+    }
+
+    #[test]
+    fn chain_starts_successor_in_same_round() {
+        use crate::step::StepRunner;
+        // EchoSum (2 calls, 1 round) chained into another EchoSum keyed on
+        // the first sum: total rounds per party = 2, not 3 — B's send
+        // happens in the round A finishes.
+        let machines: Vec<BoxedMachine<u32, u32>> = (0..3)
+            .map(|i| {
+                Box::new(EchoSum { value: i + 1 }.then(|sum| EchoSum { value: sum }))
+                    as BoxedMachine<u32, u32>
+            })
+            .collect();
+        let res = StepRunner::new(3, 1).run(machines);
+        assert_eq!(res.report.comm.rounds, 2);
+        // Round 1 sums: 1+2+3 = 6 for everyone; round 2 sums: 6*3 = 18.
+        assert_eq!(res.unwrap_all(), vec![18, 18, 18]);
+    }
+
+    #[test]
+    fn map_transforms_output() {
+        use crate::step::StepRunner;
+        let machines: Vec<BoxedMachine<u32, String>> = (0..2)
+            .map(|i| {
+                Box::new(EchoSum { value: i + 10 }.map(|sum| format!("sum={sum}")))
+                    as BoxedMachine<u32, String>
+            })
+            .collect();
+        let res = StepRunner::new(2, 1).run(machines);
+        assert_eq!(res.unwrap_all(), vec!["sum=21".to_string(), "sum=21".to_string()]);
+    }
+}

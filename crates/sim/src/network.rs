@@ -8,6 +8,8 @@ use dprbg_metrics::{comm, CostReport, CostSnapshot, WireSize};
 use dprbg_rng::rngs::StdRng;
 use dprbg_rng::SeedableRng;
 
+use crate::adversary::MsgTap;
+use crate::machine::{drive_blocking, BoxedMachine, Outbox};
 use crate::router::{Inbox, PartyId, Received, RoundProfile, Router};
 
 /// A party's protocol code: straight-line logic against a [`PartyCtx`].
@@ -91,6 +93,19 @@ impl<M: Clone + WireSize> PartyCtx<M> {
         }
     }
 
+    /// Deliver a queued [`Outbox`], assigning sequence numbers and
+    /// charging the communication counters exactly as the direct
+    /// [`send`](Self::send)/[`broadcast`](Self::broadcast) calls would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outbox was built for a different network size.
+    pub fn flush_outbox(&mut self, outbox: Outbox<M>) {
+        assert_eq!(outbox.n(), self.n(), "outbox built for a different network size");
+        let router = Arc::clone(&self.router);
+        outbox.flush(self.id, &mut self.seq, |to, rcv| router.post(to, rcv));
+    }
+
     /// Finish the current round: blocks until every live party has done
     /// the same, then returns everything addressed to this party during
     /// the round that just ended.
@@ -172,9 +187,83 @@ where
     M: Clone + Send + WireSize + 'static,
     Out: Send + 'static,
 {
+    run_network_inner(n, seed, behaviors, None)
+}
+
+/// [`run_network`] with a per-message adversary installed at the message
+/// hop (see [`MsgTap`]).
+pub fn run_network_with_tap<M, Out>(
+    n: usize,
+    seed: u64,
+    behaviors: Vec<Behavior<M, Out>>,
+    tap: Box<dyn MsgTap<M>>,
+) -> RunResult<Out>
+where
+    M: Clone + Send + WireSize + 'static,
+    Out: Send + 'static,
+{
+    run_network_inner(n, seed, behaviors, Some(tap))
+}
+
+/// Execute one [`RoundMachine`](crate::RoundMachine) per party on the
+/// scoped-thread runner: each machine is driven by a thin blocking loop
+/// ([`drive_blocking`]), so the threaded executor is now a transport
+/// driver over the same sans-IO logic the [`StepRunner`](crate::StepRunner)
+/// interleaves on one thread.
+pub fn run_machines<M, Out>(
+    n: usize,
+    seed: u64,
+    machines: Vec<BoxedMachine<M, Out>>,
+) -> RunResult<Out>
+where
+    M: Clone + Send + WireSize + 'static,
+    Out: Send + 'static,
+{
+    run_network_inner(n, seed, machines_as_behaviors(machines), None)
+}
+
+/// [`run_machines`] with a per-message adversary at the message hop.
+pub fn run_machines_with_tap<M, Out>(
+    n: usize,
+    seed: u64,
+    machines: Vec<BoxedMachine<M, Out>>,
+    tap: Box<dyn MsgTap<M>>,
+) -> RunResult<Out>
+where
+    M: Clone + Send + WireSize + 'static,
+    Out: Send + 'static,
+{
+    run_network_inner(n, seed, machines_as_behaviors(machines), Some(tap))
+}
+
+fn machines_as_behaviors<M, Out>(machines: Vec<BoxedMachine<M, Out>>) -> Vec<Behavior<M, Out>>
+where
+    M: Clone + Send + WireSize + 'static,
+    Out: Send + 'static,
+{
+    machines
+        .into_iter()
+        .map(|m| Box::new(move |ctx: &mut PartyCtx<M>| drive_blocking(ctx, m)) as Behavior<M, Out>)
+        .collect()
+}
+
+fn run_network_inner<M, Out>(
+    n: usize,
+    seed: u64,
+    behaviors: Vec<Behavior<M, Out>>,
+    tap: Option<Box<dyn MsgTap<M>>>,
+) -> RunResult<Out>
+where
+    M: Clone + Send + WireSize + 'static,
+    Out: Send + 'static,
+{
     assert_eq!(behaviors.len(), n, "need exactly one behavior per party");
     assert!(n >= 1, "need at least one party");
-    let router = Arc::new(Router::<M>::new(n));
+    let mut router = Router::<M>::new(n);
+    if let Some(tap) = tap {
+        router = router.with_tap(tap);
+    }
+    let router = Arc::new(router);
     let (tx, rx) = mpsc::channel::<(PartyId, Option<Out>, CostSnapshot)>();
 
     std::thread::scope(|scope| {

@@ -10,6 +10,8 @@
 
 use std::sync::{Condvar, Mutex};
 
+use crate::adversary::{MsgFate, MsgHop, MsgTap};
+
 /// A party identifier, 1-based to match the paper's `P_1 … P_n`.
 pub type PartyId = usize;
 
@@ -47,6 +49,16 @@ pub struct Inbox<M> {
 }
 
 impl<M> Inbox<M> {
+    /// An inbox with nothing in it (what a machine's first round sees).
+    pub fn empty() -> Self {
+        Inbox { msgs: Vec::new() }
+    }
+
+    /// Build an inbox from messages already sorted by `(from, seq)`.
+    pub(crate) fn from_sorted(msgs: Vec<Received<M>>) -> Self {
+        Inbox { msgs }
+    }
+
     /// All messages, in deterministic order.
     pub fn iter(&self) -> std::slice::Iter<'_, Received<M>> {
         self.msgs.iter()
@@ -102,18 +114,30 @@ struct Inner<M> {
     pending: Vec<Vec<Received<M>>>,
     /// Messages deliverable this round, per recipient (0-based).
     ready: Vec<Vec<Received<M>>>,
+    /// Adversarially delayed messages: `(deliver_at_generation, to, msg)`.
+    delayed: Vec<(u64, PartyId, Received<M>)>,
     /// One entry per completed round: the delivery profile.
     profile: Vec<RoundProfile>,
 }
 
 impl<M> Inner<M> {
-    /// Complete a barrier generation: deliver pending sends and wake
-    /// everyone.
+    /// Complete a barrier generation: deliver pending sends (plus any
+    /// delayed messages that have come due) and wake everyone.
     fn flip(&mut self) {
         self.arrived = 0;
         self.generation += 1;
         let n = self.pending.len();
         self.ready = std::mem::replace(&mut self.pending, (0..n).map(|_| Vec::new()).collect());
+        let due = self.generation;
+        let mut i = 0;
+        while i < self.delayed.len() {
+            if self.delayed[i].0 <= due {
+                let (_, to, rcv) = self.delayed.swap_remove(i);
+                self.ready[to - 1].push(rcv);
+            } else {
+                i += 1;
+            }
+        }
         for q in &mut self.ready {
             q.sort_by_key(|r| (r.from, r.seq));
         }
@@ -126,6 +150,8 @@ impl<M> Inner<M> {
 
 pub(crate) struct Router<M> {
     inner: Mutex<Inner<M>>,
+    /// Optional per-message adversary, consulted on every post.
+    tap: Option<Mutex<Box<dyn MsgTap<M>>>>,
     cv: Condvar,
     n: usize,
 }
@@ -140,11 +166,19 @@ impl<M> Router<M> {
                 generation: 0,
                 pending: (0..n).map(|_| Vec::new()).collect(),
                 ready: (0..n).map(|_| Vec::new()).collect(),
+                delayed: Vec::new(),
                 profile: Vec::new(),
             }),
+            tap: None,
             cv: Condvar::new(),
             n,
         }
+    }
+
+    /// Install a per-message adversary before the run starts.
+    pub(crate) fn with_tap(mut self, tap: Box<dyn MsgTap<M>>) -> Self {
+        self.tap = Some(Mutex::new(tap));
+        self
     }
 
     pub(crate) fn n(&self) -> usize {
@@ -152,9 +186,34 @@ impl<M> Router<M> {
     }
 
     /// Queue a message for delivery to `to` at the next round boundary.
+    ///
+    /// This is the executor's **message hop**: if a tap is installed it
+    /// sees every copy here and can drop, delay, or tamper with it.
     pub(crate) fn post(&self, to: PartyId, rcv: Received<M>) {
         debug_assert!((1..=self.n).contains(&to), "recipient out of range");
         let mut st = self.inner.lock().unwrap();
+        let rcv = match &self.tap {
+            None => rcv,
+            Some(tap) => {
+                let fate = tap.lock().unwrap().intercept(MsgHop {
+                    from: rcv.from,
+                    to,
+                    round: st.generation,
+                    broadcast: rcv.broadcast,
+                    msg: &rcv.msg,
+                });
+                match fate {
+                    MsgFate::Deliver => rcv,
+                    MsgFate::Drop => return,
+                    MsgFate::Delay(extra) => {
+                        let deliver_at = st.generation + 1 + extra;
+                        st.delayed.push((deliver_at, to, rcv));
+                        return;
+                    }
+                    MsgFate::Tamper(msg) => Received { msg, ..rcv },
+                }
+            }
+        };
         st.pending[to - 1].push(rcv);
     }
 

@@ -1,0 +1,316 @@
+//! The deterministic single-threaded executor.
+//!
+//! [`StepRunner`] drives one [`RoundMachine`] per party by interleaving
+//! all `n` parties round-by-round on the calling thread: no OS threads,
+//! no barriers, no locks. Round `r` calls every live machine once (in id
+//! order), collects their outboxes through the same
+//! [`Outbox::flush`](crate::machine::Outbox) expansion the threaded
+//! runner uses, then performs the round flip — delivering every posted
+//! copy, sorted by `(sender, send order)`, exactly as the barrier-backed
+//! [`Router`](crate::router) does.
+//!
+//! Because per-party RNG derivation, sequence numbering, cost counting,
+//! and inbox ordering all match the scoped-thread runner, a machine run
+//! under either executor from the same master seed produces the same
+//! transcript and the same [`CostReport`]. The single-threaded form is
+//! what makes big-n sweeps tractable: n = 61 full Coin-Gen is a loop, not
+//! 61 stacks.
+//!
+//! Cost attribution: the thread-local [`comm`]/ops counters are windowed
+//! around each party's `round` call (including its outbox flush), so the
+//! per-party ledger in the final report matches what each party's own
+//! thread would have recorded.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use dprbg_metrics::{comm, CostReport, CostSnapshot, WireSize};
+use dprbg_rng::rngs::StdRng;
+use dprbg_rng::SeedableRng;
+
+use crate::adversary::{MsgFate, MsgHop, MsgTap};
+use crate::machine::{BoxedMachine, RoundView, Step};
+use crate::network::RunResult;
+use crate::router::{Inbox, PartyId, Received, RoundProfile};
+
+/// Default cap on rounds before the runner declares non-termination.
+const DEFAULT_MAX_ROUNDS: u64 = 1 << 20;
+
+/// The deterministic single-threaded executor (see module docs).
+pub struct StepRunner<M> {
+    n: usize,
+    seed: u64,
+    tap: Option<Box<dyn MsgTap<M>>>,
+    max_rounds: u64,
+}
+
+struct Slot<M, Out> {
+    machine: BoxedMachine<M, Out>,
+    rng: StdRng,
+    seq: u32,
+    round: u64,
+    cost: CostSnapshot,
+    done: bool,
+}
+
+impl<M: Clone + WireSize> StepRunner<M> {
+    /// A runner for `n` parties, all randomness derived from `seed` with
+    /// the same per-party derivation as the threaded runner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n >= 1, "need at least one party");
+        StepRunner { n, seed, tap: None, max_rounds: DEFAULT_MAX_ROUNDS }
+    }
+
+    /// Install a per-message adversary at the message hop.
+    pub fn with_tap(mut self, tap: impl MsgTap<M> + 'static) -> Self {
+        self.tap = Some(Box::new(tap));
+        self
+    }
+
+    /// Override the non-termination backstop (default 2²⁰ rounds).
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Drive every machine to completion and return the same
+    /// [`RunResult`] shape the threaded runner produces. A machine that
+    /// panics is contained (`None` output) and the rest keep running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine count differs from `n`, or if any machine is
+    /// still running after the `max_rounds` backstop.
+    pub fn run<Out>(mut self, machines: Vec<BoxedMachine<M, Out>>) -> RunResult<Out> {
+        let n = self.n;
+        assert_eq!(machines.len(), n, "need exactly one machine per party");
+        let mut slots: Vec<Slot<M, Out>> = machines
+            .into_iter()
+            .enumerate()
+            .map(|(idx, machine)| Slot {
+                machine,
+                rng: StdRng::seed_from_u64(
+                    self.seed ^ ((idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                ),
+                seq: 0,
+                round: 0,
+                cost: CostSnapshot::default(),
+                done: false,
+            })
+            .collect();
+        let mut outputs: Vec<Option<Out>> = (0..n).map(|_| None).collect();
+        let mut ready: Vec<Inbox<M>> = (0..n).map(|_| Inbox::empty()).collect();
+        let mut pending: Vec<Vec<Received<M>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut delayed: Vec<(u64, PartyId, Received<M>)> = Vec::new();
+        let mut profile: Vec<RoundProfile> = Vec::new();
+        let mut active = n;
+        let mut generation: u64 = 0;
+
+        while active > 0 {
+            assert!(
+                generation < self.max_rounds,
+                "StepRunner exceeded {} rounds without terminating",
+                self.max_rounds
+            );
+            for id in 1..=n {
+                let slot = &mut slots[id - 1];
+                if slot.done {
+                    continue;
+                }
+                let inbox = std::mem::replace(&mut ready[id - 1], Inbox::empty());
+                let before = CostSnapshot::capture();
+                let step = catch_unwind(AssertUnwindSafe(|| {
+                    slot.machine.round(RoundView {
+                        id,
+                        n,
+                        round: slot.round,
+                        inbox: &inbox,
+                        rng: &mut slot.rng,
+                    })
+                }));
+                match step {
+                    Ok(Step::Continue(outbox)) => {
+                        assert_eq!(
+                            outbox.n(),
+                            n,
+                            "outbox built for a different network size"
+                        );
+                        comm::count_rounds(1);
+                        let tap = &mut self.tap;
+                        outbox.flush(id, &mut slot.seq, |to, rcv| {
+                            let rcv = match tap.as_deref_mut() {
+                                None => rcv,
+                                Some(tap) => {
+                                    let fate = tap.intercept(MsgHop {
+                                        from: rcv.from,
+                                        to,
+                                        round: generation,
+                                        broadcast: rcv.broadcast,
+                                        msg: &rcv.msg,
+                                    });
+                                    match fate {
+                                        MsgFate::Deliver => rcv,
+                                        MsgFate::Drop => return,
+                                        MsgFate::Delay(extra) => {
+                                            delayed.push((generation + 1 + extra, to, rcv));
+                                            return;
+                                        }
+                                        MsgFate::Tamper(msg) => Received { msg, ..rcv },
+                                    }
+                                }
+                            };
+                            pending[to - 1].push(rcv);
+                        });
+                        slot.round += 1;
+                    }
+                    Ok(Step::Done(out)) => {
+                        outputs[id - 1] = Some(out);
+                        slot.done = true;
+                        active -= 1;
+                    }
+                    Err(_) => {
+                        slot.done = true;
+                        active -= 1;
+                    }
+                }
+                slot.cost = slot.cost.plus(&CostSnapshot::capture().since(&before));
+            }
+            if active == 0 {
+                // Nobody is left to observe the next round; like the
+                // threaded runner's final leave, the last pending sends
+                // never flip and no profile entry is recorded for them.
+                break;
+            }
+            generation += 1;
+            let mut deliveries = 0;
+            for (to0, queue) in pending.iter_mut().enumerate() {
+                let mut msgs = std::mem::take(queue);
+                let mut i = 0;
+                while i < delayed.len() {
+                    if delayed[i].0 <= generation && delayed[i].1 == to0 + 1 {
+                        let (_, _, rcv) = delayed.swap_remove(i);
+                        msgs.push(rcv);
+                    } else {
+                        i += 1;
+                    }
+                }
+                msgs.sort_by_key(|r| (r.from, r.seq));
+                deliveries += msgs.len();
+                ready[to0] = Inbox::from_sorted(msgs);
+            }
+            profile.push(RoundProfile { deliveries, live_parties: active });
+        }
+
+        RunResult {
+            outputs,
+            report: CostReport::from_snapshots(slots.into_iter().map(|s| s.cost)),
+            rounds: profile,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::RoundMachine;
+
+    /// Sends `id` to everyone in round 0, outputs the sorted senders seen
+    /// in round 1.
+    struct Gossip;
+
+    impl RoundMachine<u64> for Gossip {
+        type Output = Vec<u64>;
+        fn round(&mut self, view: RoundView<'_, u64>) -> Step<u64, Vec<u64>> {
+            if view.round == 0 {
+                let mut out = view.outbox();
+                out.send_to_all(view.id as u64);
+                Step::Continue(out)
+            } else {
+                Step::Done(view.inbox.iter().map(|r| r.msg).collect())
+            }
+        }
+    }
+
+    fn gossip_fleet(n: usize) -> Vec<BoxedMachine<u64, Vec<u64>>> {
+        (0..n).map(|_| Box::new(Gossip) as BoxedMachine<u64, Vec<u64>>).collect()
+    }
+
+    #[test]
+    fn single_threaded_round_trip() {
+        let res = StepRunner::new(4, 9).run(gossip_fleet(4));
+        assert_eq!(res.report.comm.rounds, 1);
+        assert_eq!(res.report.comm.messages, 16);
+        assert_eq!(res.rounds.len(), 1);
+        assert_eq!(res.rounds[0].deliveries, 16);
+        assert_eq!(res.rounds[0].live_parties, 4);
+        let expect: Vec<u64> = vec![1, 2, 3, 4];
+        assert_eq!(res.unwrap_all(), vec![expect.clone(); 4]);
+    }
+
+    #[test]
+    fn matches_threaded_runner_exactly() {
+        let threaded = crate::network::run_machines(5, 77, gossip_fleet(5));
+        let stepped = StepRunner::new(5, 77).run(gossip_fleet(5));
+        assert_eq!(threaded.outputs, stepped.outputs);
+        assert_eq!(threaded.report, stepped.report);
+        assert_eq!(threaded.rounds, stepped.rounds);
+    }
+
+    #[test]
+    fn panicking_machine_is_contained() {
+        struct Bomb;
+        impl RoundMachine<u64> for Bomb {
+            type Output = Vec<u64>;
+            fn round(&mut self, _view: RoundView<'_, u64>) -> Step<u64, Vec<u64>> {
+                panic!("byzantine meltdown");
+            }
+        }
+        let mut machines = gossip_fleet(3);
+        machines[1] = Box::new(Bomb);
+        let res = StepRunner::new(3, 1).run(machines);
+        assert!(res.outputs[1].is_none());
+        // The survivors see only each other (and themselves).
+        assert_eq!(res.outputs[0], Some(vec![1, 3]));
+        assert_eq!(res.outputs[2], Some(vec![1, 3]));
+    }
+
+    #[test]
+    fn per_party_rng_matches_threaded_derivation() {
+        struct Draw;
+        impl RoundMachine<u64> for Draw {
+            type Output = u64;
+            fn round(&mut self, view: RoundView<'_, u64>) -> Step<u64, u64> {
+                use dprbg_rng::RngExt;
+                Step::Done(view.rng.random::<u64>())
+            }
+        }
+        let fleet = || (0..3).map(|_| Box::new(Draw) as BoxedMachine<u64, u64>).collect();
+        let a = StepRunner::new(3, 99).run(fleet()).unwrap_all();
+        let b = crate::network::run_machines(3, 99, fleet()).unwrap_all();
+        assert_eq!(a, b);
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn max_rounds_backstop_fires() {
+        struct Forever;
+        impl RoundMachine<u64> for Forever {
+            type Output = ();
+            fn round(&mut self, view: RoundView<'_, u64>) -> Step<u64, ()> {
+                Step::Continue(view.outbox())
+            }
+        }
+        let machines = vec![Box::new(Forever) as BoxedMachine<u64, ()>];
+        let _ = StepRunner::new(1, 0).with_max_rounds(8).run(machines);
+    }
+
+    #[test]
+    #[should_panic(expected = "one machine per party")]
+    fn machine_count_must_match() {
+        let _ = StepRunner::new(3, 0).run(gossip_fleet(2));
+    }
+}

@@ -46,4 +46,7 @@ cargo build --release --offline
 echo "== tests (workspace, offline) =="
 cargo test -q --workspace --offline
 
+echo "== lint (clippy, workspace, offline) =="
+cargo clippy --workspace --offline -- -D warnings
+
 echo "verify.sh: all green"

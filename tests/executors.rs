@@ -1,0 +1,242 @@
+//! Cross-executor equivalence of the sans-IO round engine.
+//!
+//! The same `RoundMachine` fleet must behave identically under the
+//! scoped-thread runner ([`run_machines`]) and the deterministic
+//! single-threaded [`StepRunner`]: byte-identical transcripts, identical
+//! [`CostReport`]s, identical per-round delivery profiles. The blocking
+//! `PartyCtx` pipeline (the pre-refactor API, now a shim over the same
+//! machines) must agree with both. A large-n smoke test then exercises
+//! the scale the single-threaded executor exists for: full Coin-Gen at
+//! n = 61, t = 10 — beyond what the thread-per-party runner is asked to
+//! do anywhere else in the suite.
+
+use std::collections::VecDeque;
+
+use dprbg::core::{
+    coin_expose, coin_gen, CoinGenConfig, CoinGenMachine, CoinGenMsg, CoinWallet, ExposeMachine,
+    ExposeVia, Params, SealedShare, TrustedDealer,
+};
+use dprbg::field::{Field, Gf2k};
+use dprbg::metrics::CostReport;
+use dprbg::sim::{
+    run_machines, run_network, Behavior, BoxedMachine, PartyCtx, RoundMachine, RoundProfile,
+    RoundView, RunResult, Step,
+};
+
+type F = Gf2k<32>;
+type M = CoinGenMsg<F>;
+
+const N: usize = 7;
+const T: usize = 1;
+const BATCH: usize = 8;
+
+/// One party's observable outcome: agreed dealers, leader-election
+/// attempts, and every coin in the batch exposed to a value.
+type PartyTranscript = (Vec<usize>, usize, Vec<F>);
+
+/// Coin-Gen followed by Coin-Expose of every sealed coin, as a single
+/// composed round machine (the machine-level twin of the blocking
+/// `coin_gen` + `coin_expose` pipeline in `tests/determinism.rs`).
+struct PartyMachine<G: Field> {
+    t: usize,
+    stage: Stage<G>,
+}
+
+enum Stage<G: Field> {
+    Coin(CoinGenMachine<CoinGenMsg<G>, G>),
+    Expose {
+        expose: ExposeMachine<CoinGenMsg<G>, G>,
+        queue: VecDeque<SealedShare<G>>,
+        dealers: Vec<usize>,
+        attempts: usize,
+        values: Vec<G>,
+    },
+    Finished,
+}
+
+impl<G: Field> PartyMachine<G> {
+    fn new(cfg: CoinGenConfig, wallet: CoinWallet<G>) -> Self {
+        PartyMachine {
+            t: cfg.params.t,
+            stage: Stage::Coin(CoinGenMachine::new(cfg, wallet)),
+        }
+    }
+}
+
+impl<G: Field> RoundMachine<CoinGenMsg<G>> for PartyMachine<G> {
+    type Output = (Vec<usize>, usize, Vec<G>);
+
+    fn round(&mut self, mut view: RoundView<'_, CoinGenMsg<G>>) -> Step<CoinGenMsg<G>, Self::Output> {
+        match std::mem::replace(&mut self.stage, Stage::Finished) {
+            Stage::Coin(mut cg) => match cg.round(view.reborrow()) {
+                Step::Continue(out) => {
+                    self.stage = Stage::Coin(cg);
+                    Step::Continue(out)
+                }
+                Step::Done((_, res)) => {
+                    let batch = res.expect("coin generation succeeds");
+                    let mut queue: VecDeque<SealedShare<G>> = batch.shares.into_iter().collect();
+                    let first = queue.pop_front().expect("batch is non-empty");
+                    let mut expose = ExposeMachine::new(first, self.t, ExposeVia::PointToPoint);
+                    let Step::Continue(out) = expose.round(view.reborrow()) else {
+                        unreachable!("coin expose sends before it can decode");
+                    };
+                    self.stage = Stage::Expose {
+                        expose,
+                        queue,
+                        dealers: batch.dealers,
+                        attempts: batch.attempts,
+                        values: Vec::new(),
+                    };
+                    Step::Continue(out)
+                }
+            },
+            Stage::Expose { mut expose, mut queue, dealers, attempts, mut values } => {
+                match expose.round(view.reborrow()) {
+                    Step::Continue(out) => {
+                        self.stage = Stage::Expose { expose, queue, dealers, attempts, values };
+                        Step::Continue(out)
+                    }
+                    Step::Done(res) => {
+                        values.push(res.expect("expose succeeds"));
+                        match queue.pop_front() {
+                            Some(share) => {
+                                let mut next =
+                                    ExposeMachine::new(share, self.t, ExposeVia::PointToPoint);
+                                let Step::Continue(out) = next.round(view.reborrow()) else {
+                                    unreachable!("coin expose sends before it can decode");
+                                };
+                                self.stage =
+                                    Stage::Expose { expose: next, queue, dealers, attempts, values };
+                                Step::Continue(out)
+                            }
+                            None => Step::Done((dealers, attempts, values)),
+                        }
+                    }
+                }
+            }
+            Stage::Finished => panic!("PartyMachine driven past completion"),
+        }
+    }
+}
+
+fn machine_fleet(seed: u64) -> Vec<BoxedMachine<M, PartyTranscript>> {
+    let params = Params::p2p_model(N, T).unwrap();
+    let cfg = CoinGenConfig { params, batch_size: BATCH };
+    let mut wallets: Vec<CoinWallet<F>> =
+        TrustedDealer::deal_wallets::<F>(params, 4 + T, seed ^ 0xA11CE);
+    (1..=N)
+        .map(|_| {
+            Box::new(PartyMachine::new(cfg, wallets.remove(0))) as BoxedMachine<M, PartyTranscript>
+        })
+        .collect()
+}
+
+/// Canonical transcript bytes, same encoding as `tests/determinism.rs`.
+fn transcript_bytes(outputs: Vec<PartyTranscript>) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for (dealers, attempts, values) in outputs {
+        bytes.push(dealers.len() as u8);
+        bytes.extend(dealers.iter().map(|&d| d as u8));
+        bytes.extend((attempts as u32).to_le_bytes());
+        for v in &values {
+            bytes.extend(&v.to_u64().to_le_bytes()[..F::wire_bytes_static()]);
+        }
+    }
+    bytes
+}
+
+fn summarize(res: RunResult<PartyTranscript>) -> (Vec<u8>, CostReport, Vec<RoundProfile>) {
+    let report = res.report.clone();
+    let rounds = res.rounds.clone();
+    (transcript_bytes(res.unwrap_all()), report, rounds)
+}
+
+/// The blocking (pre-refactor) pipeline over the same seed, via the
+/// `PartyCtx` shims.
+fn blocking_pipeline(seed: u64) -> (Vec<u8>, CostReport) {
+    let params = Params::p2p_model(N, T).unwrap();
+    let cfg = CoinGenConfig { params, batch_size: BATCH };
+    let mut wallets: Vec<CoinWallet<F>> =
+        TrustedDealer::deal_wallets::<F>(params, 4 + T, seed ^ 0xA11CE);
+    let behaviors: Vec<Behavior<M, PartyTranscript>> = (1..=N)
+        .map(|_| {
+            let mut w = wallets.remove(0);
+            Box::new(move |ctx: &mut PartyCtx<M>| {
+                let batch = coin_gen(ctx, &cfg, &mut w).expect("coin generation succeeds");
+                let values: Vec<F> = batch
+                    .shares
+                    .iter()
+                    .map(|s| {
+                        coin_expose(ctx, s.clone(), T, ExposeVia::PointToPoint)
+                            .expect("expose succeeds")
+                    })
+                    .collect();
+                (batch.dealers, batch.attempts, values)
+            }) as Behavior<M, PartyTranscript>
+        })
+        .collect();
+    let res = run_network(N, seed, behaviors);
+    let report = res.report.clone();
+    (transcript_bytes(res.unwrap_all()), report)
+}
+
+#[test]
+fn executors_agree_on_full_coin_gen() {
+    for seed in [3u64, 42, 1996] {
+        let threaded = summarize(run_machines(N, seed, machine_fleet(seed)));
+        let stepped = summarize(dprbg::sim::StepRunner::new(N, seed).run(machine_fleet(seed)));
+        assert_eq!(threaded.0, stepped.0, "transcripts diverged for seed {seed}");
+        assert!(!threaded.0.is_empty(), "pipeline produced an empty transcript");
+        assert_eq!(threaded.1, stepped.1, "cost reports diverged for seed {seed}");
+        assert_eq!(threaded.2, stepped.2, "round profiles diverged for seed {seed}");
+    }
+}
+
+#[test]
+fn machines_agree_with_blocking_shims() {
+    let seed = 42u64;
+    let (machine_bytes, machine_report, _) =
+        summarize(dprbg::sim::StepRunner::new(N, seed).run(machine_fleet(seed)));
+    let (blocking_bytes, blocking_report) = blocking_pipeline(seed);
+    assert_eq!(machine_bytes, blocking_bytes, "machine vs blocking transcript");
+    assert_eq!(machine_report, blocking_report, "machine vs blocking cost report");
+}
+
+#[test]
+fn step_runner_runs_coin_gen_at_n61() {
+    // The scale target the single-threaded executor exists for (ISSUE 2 /
+    // ROADMAP "Scenario breadth"): full Coin-Gen plus expose-every-coin at
+    // n = 61, t = 10, on one thread. GF(2^8) keeps the n² Berlekamp–Welch
+    // decodes cheap while still holding 61 distinct evaluation points.
+    type G = Gf2k<8>;
+    const BIG_N: usize = 61;
+    const BIG_T: usize = 10;
+    let params = Params::p2p_model(BIG_N, BIG_T).unwrap();
+    let cfg = CoinGenConfig { params, batch_size: 2 };
+    let mut wallets: Vec<CoinWallet<G>> = TrustedDealer::deal_wallets::<G>(params, 4, 61);
+    let machines: Vec<BoxedMachine<CoinGenMsg<G>, (Vec<usize>, usize, Vec<G>)>> = (1..=BIG_N)
+        .map(|_| {
+            Box::new(PartyMachine::new(cfg, wallets.remove(0)))
+                as BoxedMachine<CoinGenMsg<G>, (Vec<usize>, usize, Vec<G>)>
+        })
+        .collect();
+    let res = dprbg::sim::StepRunner::new(BIG_N, 1996).run(machines);
+    let rounds = res.report.comm.rounds;
+    let outputs = res.unwrap_all();
+    assert_eq!(outputs.len(), BIG_N);
+    let (dealers, attempts, values) = outputs[0].clone();
+    assert!(dealers.len() >= BIG_N - 2 * BIG_T, "agreed clique too small");
+    assert!(attempts >= 1);
+    assert_eq!(values.len(), 2, "every coin in the batch must expose");
+    for (id, out) in outputs.iter().enumerate() {
+        assert_eq!(
+            out,
+            &(dealers.clone(), attempts, values.clone()),
+            "party {} disagrees with party 1",
+            id + 1
+        );
+    }
+    // One thread, n parties: the whole run is just a round count.
+    assert!(rounds > 0);
+}
