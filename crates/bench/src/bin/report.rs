@@ -77,6 +77,11 @@ fn main() {
     if want("e11") {
         print_section(experiments::e11::run(&ctx).render());
     }
+    if want("e12") {
+        for table in experiments::e12::run(&ctx) {
+            print_section(table.render());
+        }
+    }
     println!("report generated in {:.1}s", t0.elapsed().as_secs_f64());
 }
 

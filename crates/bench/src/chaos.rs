@@ -1,0 +1,472 @@
+//! The chaos campaign: seeded fault-injection sweeps over the paper's
+//! protocols, classified by outcome.
+//!
+//! Each **episode** runs one protocol instance (Bit-Gen, Coin-Gen,
+//! Batch-VSS verification, or proactive refresh) under an
+//! [`AdaptiveAdversary`] driving one [`Attack`] strategy with a
+//! corruption budget `f`. The episode is fully described by
+//! `(master_seed, strategy, schedule)` — both executors
+//! ([`StepRunner`] and the threaded runner) replay it byte-identically,
+//! so any classified failure can be handed to a debugger as three
+//! numbers.
+//!
+//! Classification looks only at the *honest* parties — those outside the
+//! adversary's final corrupted set:
+//!
+//! * [`Outcome::Agreed`] — every honest party produced `Ok` with the
+//!   same digest (unanimity, the Theorem 1 guarantee);
+//! * [`Outcome::GracefulAbort`] — every honest party produced an error
+//!   (seed exhaustion, no agreement, …): the run failed *safely*, no
+//!   honest party was fooled;
+//! * [`Outcome::Unsound`] — anything else: honest parties disagree, some
+//!   accept while others abort, or a machine died mid-run. This is the
+//!   verdict the paper's theorems say must not happen while `f ≤ t` and
+//!   the adversary stays within the model.
+//!
+//! [`Attack::BreakBroadcast`] exists precisely to show the harness can
+//! *reach* the `Unsound` verdict: it violates the §3 ideal-broadcast
+//! Given, and against a strict-mode Batch-VSS it deterministically
+//! splits honest verdicts (see the tests).
+
+use std::collections::BTreeSet;
+
+use dprbg_core::batch_vss::cheating_batch_deal;
+use dprbg_core::{
+    BatchOpts, BatchVssMsg, BatchVssVerifyMachine, BitGenMachine, BitGenMode, BitGenMsg,
+    BitGenRun, CoinBatch, CoinError, CoinGenConfig, CoinGenError, CoinGenMachine, CoinGenMsg,
+    CoinWallet, Params, RefreshMachine, RefreshReport, VssMode, VssVerdict,
+};
+use dprbg_rng::rngs::StdRng;
+use dprbg_rng::SeedableRng;
+use dprbg_sim::{
+    run_machines_with_tap, AdaptiveAdversary, Attack, BoxedMachine, PartyId, RunResult,
+    StepRunner, WireSize,
+};
+
+use crate::experiments::common::{challenge_coins, seed_wallets, F32};
+use crate::harness::wilson_interval;
+
+/// Round backstop for attacked runs (delays stretch protocols, but
+/// nothing legitimate approaches this).
+const MAX_CAMPAIGN_ROUNDS: u64 = 4096;
+
+/// Local seed mixer (SplitMix64 finalizer) for deriving per-episode
+/// seeds from a campaign master seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Seed for episode `i` of a campaign.
+pub fn episode_seed(master_seed: u64, i: u64) -> u64 {
+    splitmix64(master_seed ^ splitmix64(i))
+}
+
+/// Which protocol an episode attacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Fig. 4 Bit-Gen, all parties dealing.
+    BitGen,
+    /// Fig. 5 Coin-Gen (the full clique/grade-cast/BA pipeline).
+    CoinGen,
+    /// Fig. 3 Batch-VSS verification of an honest dealing.
+    BatchVss,
+    /// §1.2 proactive wallet refresh.
+    Refresh,
+}
+
+impl Protocol {
+    /// Every campaign target.
+    pub const ALL: [Protocol; 4] =
+        [Protocol::BitGen, Protocol::CoinGen, Protocol::BatchVss, Protocol::Refresh];
+
+    /// Short table label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Protocol::BitGen => "bit-gen",
+            Protocol::CoinGen => "coin-gen",
+            Protocol::BatchVss => "batch-vss",
+            Protocol::Refresh => "refresh",
+        }
+    }
+}
+
+/// One campaign point: parameters plus the attack strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Schedule {
+    /// Parties.
+    pub n: usize,
+    /// The protocol's corruption tolerance.
+    pub t: usize,
+    /// The adversary's corruption budget (may exceed `t` — that is the
+    /// point of the beyond-threshold legs).
+    pub f: usize,
+    /// Batch size for Bit-Gen / Coin-Gen / Batch-VSS.
+    pub m: usize,
+    /// The adversary strategy.
+    pub attack: Attack,
+    /// Verdict mode for Batch-VSS episodes (ignored elsewhere).
+    pub vss_mode: VssMode,
+}
+
+impl Schedule {
+    /// A schedule with the default robust Batch-VSS verdict mode.
+    pub fn new(n: usize, t: usize, f: usize, m: usize, attack: Attack) -> Self {
+        Schedule { n, t, f, m, attack, vss_mode: VssMode::Robust }
+    }
+}
+
+/// How an episode ended, judged over the honest parties only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// All honest parties succeeded with identical results.
+    Agreed,
+    /// All honest parties failed — safely and explicitly.
+    GracefulAbort,
+    /// Honest parties disagree, or some honest machine died: the
+    /// soundness guarantee broke.
+    Unsound,
+}
+
+/// Which executor drives the episode (both must agree — that is tested).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Executor {
+    /// The single-threaded [`StepRunner`].
+    Stepped,
+    /// The scoped-thread runner ([`run_machines_with_tap`]).
+    Threaded,
+}
+
+/// The replayable record of one episode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Episode {
+    /// The soundness classification.
+    pub outcome: Outcome,
+    /// The adversary's final corrupted set.
+    pub corrupted: BTreeSet<PartyId>,
+    /// Synchronous rounds the run took.
+    pub rounds: u64,
+}
+
+/// Drive `machines` under `adv` on the chosen executor, returning the
+/// run result plus the adversary's final corrupted set.
+fn run_tapped<M, Out>(
+    n: usize,
+    seed: u64,
+    machines: Vec<BoxedMachine<M, Out>>,
+    adv: AdaptiveAdversary<M>,
+    executor: Executor,
+) -> (RunResult<Out>, BTreeSet<PartyId>)
+where
+    M: Clone + Send + WireSize + 'static,
+    Out: Send + 'static,
+{
+    let handle = adv.handle();
+    let res = match executor {
+        Executor::Stepped => StepRunner::new(n, seed)
+            .with_tap(adv)
+            .with_max_rounds(MAX_CAMPAIGN_ROUNDS)
+            .run(machines),
+        Executor::Threaded => run_machines_with_tap(n, seed, machines, Box::new(adv)),
+    };
+    let corrupted = handle.snapshot();
+    (res, corrupted)
+}
+
+/// Classify the honest parties' digests: `None` = machine died,
+/// `Some(Ok(d))` = success with digest `d`, `Some(Err(_))` = explicit
+/// protocol error.
+fn classify(honest: &[Option<Result<String, String>>]) -> Outcome {
+    if honest.iter().any(Option::is_none) {
+        return Outcome::Unsound;
+    }
+    let oks: Vec<&String> = honest
+        .iter()
+        .filter_map(|d| d.as_ref().unwrap().as_ref().ok())
+        .collect();
+    let errs = honest.len() - oks.len();
+    if oks.is_empty() {
+        // No honest party at all (f = n) counts as vacuously agreed;
+        // otherwise everyone aborted explicitly.
+        return if errs == 0 { Outcome::Agreed } else { Outcome::GracefulAbort };
+    }
+    if errs > 0 || oks.windows(2).any(|w| w[0] != w[1]) {
+        return Outcome::Unsound;
+    }
+    Outcome::Agreed
+}
+
+/// Run machines, snapshot the corrupted set, digest honest outputs,
+/// classify.
+fn digest_episode<M, Out, D>(
+    s: &Schedule,
+    seed: u64,
+    machines: Vec<BoxedMachine<M, Out>>,
+    executor: Executor,
+    digest: D,
+) -> Episode
+where
+    M: Clone + Send + WireSize + 'static,
+    Out: Send + 'static,
+    D: Fn(&Out, &BTreeSet<PartyId>) -> Result<String, String>,
+{
+    let adv = AdaptiveAdversary::new(s.attack, s.n, s.f, seed);
+    let (res, corrupted) = run_tapped(s.n, seed, machines, adv, executor);
+    let honest: Vec<Option<Result<String, String>>> = (1..=s.n)
+        .filter(|id| !corrupted.contains(id))
+        .map(|id| res.outputs[id - 1].as_ref().map(|out| digest(out, &corrupted)))
+        .collect();
+    Episode { outcome: classify(&honest), corrupted, rounds: res.report.comm.rounds }
+}
+
+/// Run one episode: protocol `protocol` under `schedule`, fully
+/// determined by `seed` and the executor choice (which must not matter —
+/// see the replay tests).
+pub fn run_episode(
+    protocol: Protocol,
+    schedule: &Schedule,
+    seed: u64,
+    executor: Executor,
+) -> Episode {
+    let s = schedule;
+    match protocol {
+        Protocol::BitGen => {
+            type BgOut = Result<BitGenRun<F32>, CoinError>;
+            let coins = challenge_coins::<F32>(s.n, s.t, seed ^ 0xB17);
+            let dealers: Vec<PartyId> = (1..=s.n).collect();
+            let machines: Vec<BoxedMachine<BitGenMsg<F32>, BgOut>> = coins
+                .into_iter()
+                .map(|coin| {
+                    Box::new(BitGenMachine::new(
+                        s.t,
+                        s.m,
+                        coin,
+                        dealers.clone(),
+                        BitGenMode::RandomCoins,
+                    )) as _
+                })
+                .collect();
+            digest_episode(s, seed, machines, executor, |out, corrupted| match out {
+                // Unanimity = same challenge point and the same verdict on
+                // every *honest* dealer's instance. Fig. 4 alone makes no
+                // agreement promise about corrupted dealers — that is what
+                // Coin-Gen's clique/grade-cast/BA layer adds — so their
+                // verdicts may legitimately differ between honest parties.
+                Ok(run) => {
+                    let accepted: Vec<PartyId> = run
+                        .views
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, v)| {
+                            !corrupted.contains(&(i + 1)) && v.check_poly.is_some()
+                        })
+                        .map(|(i, _)| i + 1)
+                        .collect();
+                    Ok(format!("{:?}|{:?}", run.r, accepted))
+                }
+                Err(e) => Err(format!("{e:?}")),
+            })
+        }
+        Protocol::CoinGen => {
+            let cfg = CoinGenConfig {
+                params: Params::p2p_model(s.n, s.t).expect("schedule violates the p2p model"),
+                batch_size: s.m,
+            };
+            let mut wallets = seed_wallets::<F32>(s.n, s.t, 6 + s.t, seed ^ 0xC61);
+            type CgOut = (CoinWallet<F32>, Result<CoinBatch<F32>, CoinGenError>);
+            let machines: Vec<BoxedMachine<CoinGenMsg<F32>, CgOut>> = (0..s.n)
+                .map(|_| Box::new(CoinGenMachine::new(cfg, wallets.remove(0))) as _)
+                .collect();
+            digest_episode(s, seed, machines, executor, |(_wallet, res), _| match res {
+                Ok(b) => Ok(format!("{:?}|{}|{}", b.dealers, b.attempts, b.seeds_consumed)),
+                Err(e) => Err(format!("{e:?}")),
+            })
+        }
+        Protocol::BatchVss => {
+            // An honest dealing handed out out-of-band; the attack is on
+            // the verification traffic.
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xBA7C);
+            let shares = cheating_batch_deal::<F32, _>(s.n, s.t, s.m, 0, &mut rng);
+            let coins = challenge_coins::<F32>(s.n, s.t, seed ^ 0x5EA1);
+            let opts = BatchOpts { blinding: true, mode: s.vss_mode };
+            let machines: Vec<BoxedMachine<BatchVssMsg<F32>, Result<VssVerdict, CoinError>>> =
+                shares
+                .into_iter()
+                .zip(coins)
+                .map(|(sh, coin)| {
+                    Box::new(BatchVssVerifyMachine::new(s.t, sh, s.m, coin, opts)) as _
+                })
+                .collect();
+            digest_episode(s, seed, machines, executor, |out, _| match out {
+                Ok(verdict) => Ok(format!("{verdict:?}")),
+                Err(e) => Err(format!("{e:?}")),
+            })
+        }
+        Protocol::Refresh => {
+            let cfg = CoinGenConfig {
+                params: Params::p2p_model(s.n, s.t).expect("schedule violates the p2p model"),
+                batch_size: s.m,
+            };
+            let mut wallets = seed_wallets::<F32>(s.n, s.t, 6 + s.t, seed ^ 0x5EED);
+            type RfOut = (CoinWallet<F32>, Result<RefreshReport, CoinGenError>);
+            let machines: Vec<BoxedMachine<CoinGenMsg<F32>, RfOut>> = (0..s.n)
+                .map(|_| Box::new(RefreshMachine::new(cfg, wallets.remove(0))) as _)
+                .collect();
+            digest_episode(s, seed, machines, executor, |(_wallet, res), _| match res {
+                Ok(r) => Ok(format!(
+                    "{:?}|{}|{}|{}",
+                    r.dealers, r.coins_refreshed, r.attempts, r.seeds_consumed
+                )),
+                Err(e) => Err(format!("{e:?}")),
+            })
+        }
+    }
+}
+
+/// Outcome counts for one `(protocol, schedule)` campaign leg.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignStats {
+    /// Episodes run.
+    pub episodes: usize,
+    /// [`Outcome::Agreed`] count.
+    pub agreed: usize,
+    /// [`Outcome::GracefulAbort`] count.
+    pub aborted: usize,
+    /// [`Outcome::Unsound`] count.
+    pub unsound: usize,
+}
+
+impl CampaignStats {
+    /// Tally one episode.
+    pub fn record(&mut self, outcome: Outcome) {
+        self.episodes += 1;
+        match outcome {
+            Outcome::Agreed => self.agreed += 1,
+            Outcome::GracefulAbort => self.aborted += 1,
+            Outcome::Unsound => self.unsound += 1,
+        }
+    }
+
+    /// Wilson-score confidence interval on the unsound rate.
+    pub fn unsound_ci(&self, z: f64) -> (f64, f64) {
+        wilson_interval(self.unsound, self.episodes, z)
+    }
+}
+
+/// Run `episodes` seeded episodes of `(protocol, schedule)` and tally
+/// the outcomes. Episode `i` uses [`episode_seed`]`(master_seed, i)`, so
+/// any tallied failure is replayable in isolation via [`run_episode`].
+pub fn run_campaign(
+    protocol: Protocol,
+    schedule: &Schedule,
+    episodes: usize,
+    master_seed: u64,
+    executor: Executor,
+) -> CampaignStats {
+    let mut stats = CampaignStats::default();
+    for i in 0..episodes {
+        let ep = run_episode(protocol, schedule, episode_seed(master_seed, i as u64), executor);
+        stats.record(ep.outcome);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WITHIN_MODEL: [Attack; 6] = [
+        Attack::LeaderEclipse,
+        Attack::DealerDelay { delay: 2 },
+        Attack::Equivocate,
+        Attack::CrashAtRound { round: 3 },
+        Attack::RandomChaos { drop_pct: 20, delay_pct: 20, max_delay: 2 },
+        Attack::Partition { until_round: 2 },
+    ];
+
+    #[test]
+    fn episodes_replay_identically_across_executors() {
+        for protocol in [Protocol::CoinGen, Protocol::BatchVss] {
+            for attack in [
+                Attack::LeaderEclipse,
+                Attack::RandomChaos { drop_pct: 25, delay_pct: 25, max_delay: 2 },
+            ] {
+                let s = Schedule::new(7, 1, 1, 4, attack);
+                for seed in [11, 42] {
+                    let a = run_episode(protocol, &s, seed, Executor::Stepped);
+                    let b = run_episode(protocol, &s, seed, Executor::Threaded);
+                    assert_eq!(
+                        a, b,
+                        "{} under {} seed {seed} diverged between executors",
+                        protocol.name(),
+                        attack.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn within_model_attacks_never_go_unsound() {
+        for protocol in Protocol::ALL {
+            for attack in WITHIN_MODEL {
+                assert!(attack.within_model());
+                let s = Schedule::new(7, 1, 1, 4, attack);
+                for i in 0..2u64 {
+                    let ep = run_episode(protocol, &s, episode_seed(0xCAFE, i), Executor::Stepped);
+                    assert_ne!(
+                        ep.outcome,
+                        Outcome::Unsound,
+                        "{} under {} episode {i}: corrupted {:?}",
+                        protocol.name(),
+                        attack.name(),
+                        ep.corrupted
+                    );
+                    assert!(ep.corrupted.len() <= s.f, "budget violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn over_threshold_crash_fails_gracefully_not_silently() {
+        // 3 crashes against t = 1: Coin-Gen cannot form its n − 2t clique,
+        // so every honest party must abort explicitly — unanimously.
+        let s = Schedule::new(7, 1, 3, 4, Attack::CrashAtRound { round: 2 });
+        let mut aborted = 0;
+        for i in 0..3u64 {
+            let ep = run_episode(Protocol::CoinGen, &s, episode_seed(0xDEAD, i), Executor::Stepped);
+            assert_ne!(ep.outcome, Outcome::Agreed, "f > t crash cannot just succeed");
+            if ep.outcome == Outcome::GracefulAbort {
+                aborted += 1;
+            }
+        }
+        assert!(aborted > 0, "expected at least one graceful abort");
+    }
+
+    #[test]
+    fn break_broadcast_splits_strict_batch_vss() {
+        // The beyond-model strategy: equivocating over the §3 ideal
+        // channel deterministically splits a strict-mode verdict (even
+        // recipients lose one β point and reject; odd ones accept), so
+        // the harness provably *can* reach the Unsound verdict.
+        let mut s = Schedule::new(7, 1, 1, 4, Attack::BreakBroadcast);
+        s.vss_mode = VssMode::Strict;
+        let ep = run_episode(Protocol::BatchVss, &s, 7, Executor::Stepped);
+        assert_eq!(ep.outcome, Outcome::Unsound);
+        let ep2 = run_episode(Protocol::BatchVss, &s, 7, Executor::Threaded);
+        assert_eq!(ep, ep2, "the unsound episode must replay identically");
+    }
+
+    #[test]
+    fn campaign_stats_tally_and_ci() {
+        let s = Schedule::new(7, 1, 1, 4, Attack::LeaderEclipse);
+        let stats = run_campaign(Protocol::CoinGen, &s, 4, 0xF00D, Executor::Stepped);
+        assert_eq!(stats.episodes, 4);
+        assert_eq!(stats.agreed + stats.aborted + stats.unsound, 4);
+        let (lo, hi) = stats.unsound_ci(1.96);
+        assert!(lo >= 0.0 && hi <= 1.0 && lo <= hi);
+    }
+}

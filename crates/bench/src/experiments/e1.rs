@@ -18,37 +18,41 @@
 
 use dprbg_baselines::{ccd_vss, feldman_vss, CcdMsg, CcdOpts, FeldmanMsg};
 use dprbg_baselines::feldman::Exp;
-use dprbg_core::{vss_verify, DealtShares, Params, VssMode, VssMsg, VssVerdict};
+use dprbg_core::{CoinError, DealtShares, Params, VssMode, VssMsg, VssVerdict, VssVerifyMachine};
 use dprbg_field::Field;
 use dprbg_metrics::Table;
 use dprbg_poly::Poly;
-use dprbg_sim::{run_network, Behavior, PartyCtx};
+use dprbg_sim::{run_network, Behavior, BoxedMachine, PartyCtx, StepRunner};
 use dprbg_rng::rngs::StdRng;
 use dprbg_rng::SeedableRng;
 
 use super::common::{challenge_coins, ExperimentCtx, PlayerCost, F32};
 
-/// Measure this paper's VSS verification for one `(n, t)`.
+/// Measure this paper's VSS verification for one `(n, t)`, on the
+/// single-threaded executor (the baselines below stay on the threaded
+/// runner — they are straight-line comparator code with no machine
+/// form; both executors share cost accounting, so the columns are
+/// comparable).
 fn ours(n: usize, t: usize, seed: u64) -> PlayerCost {
     let coins = challenge_coins::<F32>(n, t, seed);
     let mut rng = StdRng::seed_from_u64(seed + 1);
     let f = Poly::<F32>::random(t, &mut rng);
     let g = Poly::<F32>::random(t, &mut rng);
-    let behaviors: Vec<Behavior<VssMsg<F32>, VssVerdict>> = (1..=n)
+    let machines: Vec<BoxedMachine<VssMsg<F32>, Result<VssVerdict, CoinError>>> = (1..=n)
         .map(|id| {
-            let coin = coins[id - 1];
             let shares = DealtShares {
                 alpha: f.eval(F32::element(id as u64)),
                 gamma: g.eval(F32::element(id as u64)),
             };
-            Box::new(move |ctx: &mut PartyCtx<VssMsg<F32>>| {
-                vss_verify(ctx, t, shares, coin, VssMode::Strict).expect("verify runs")
-            }) as Behavior<_, _>
+            Box::new(VssVerifyMachine::new(t, shares, coins[id - 1], VssMode::Strict)) as _
         })
         .collect();
-    let res = run_network(n, seed, behaviors);
+    let res = StepRunner::new(n, seed).run(machines);
     let report = res.report.clone();
-    assert!(res.unwrap_all().iter().all(|v| *v == VssVerdict::Accept));
+    assert!(res
+        .unwrap_all()
+        .iter()
+        .all(|v| matches!(v, Ok(VssVerdict::Accept))));
     PlayerCost::from_report(&report)
 }
 

@@ -11,33 +11,36 @@
 //! (2), constant bytes (2nk), and per-secret multiplications converging
 //! to the Horner combination's single multiply.
 
-use dprbg_core::batch_vss::{batch_vss_verify, cheating_batch_deal, BatchOpts};
-use dprbg_core::{BatchVssMsg, CoinError, VssVerdict};
+use dprbg_core::batch_vss::{cheating_batch_deal, BatchOpts};
+use dprbg_core::{BatchVssMsg, BatchVssVerifyMachine, CoinError, VssVerdict};
 use dprbg_field::{Field, Gf2k};
 use dprbg_metrics::Table;
-use dprbg_sim::{run_network, Behavior, PartyCtx};
+use dprbg_sim::{BoxedMachine, StepRunner};
 use dprbg_rng::rngs::StdRng;
 use dprbg_rng::SeedableRng;
 
 use super::common::{challenge_coins, fmt_f, ExperimentCtx, PlayerCost, F32};
 
 /// Measure one Batch-VSS verification of `m` (honest) sharings over any
-/// field (the k-sweep table runs this across GF(2^k) sizes).
+/// field (the k-sweep table runs this across GF(2^k) sizes), on the
+/// single-threaded executor.
 pub fn measure_over<F: Field>(n: usize, t: usize, m: usize, seed: u64) -> PlayerCost {
     let coins = challenge_coins::<F>(n, t, seed);
     let mut rng = StdRng::seed_from_u64(seed + 1);
     // bad_count = 0 → an honest batch, dealt out-of-band (the "Given").
     let all = cheating_batch_deal::<F, _>(n, t, m, 0, &mut rng);
-    let behaviors: Vec<Behavior<BatchVssMsg<F>, Result<VssVerdict, CoinError>>> = (1..=n)
+    let machines: Vec<BoxedMachine<BatchVssMsg<F>, Result<VssVerdict, CoinError>>> = (1..=n)
         .map(|id| {
-            let coin = coins[id - 1];
-            let shares = all[id - 1].clone();
-            Box::new(move |ctx: &mut PartyCtx<BatchVssMsg<F>>| {
-                batch_vss_verify(ctx, t, &shares, m, coin, BatchOpts::default())
-            }) as Behavior<_, _>
+            Box::new(BatchVssVerifyMachine::new(
+                t,
+                all[id - 1].clone(),
+                m,
+                coins[id - 1],
+                BatchOpts::default(),
+            )) as _
         })
         .collect();
-    let res = run_network(n, seed, behaviors);
+    let res = StepRunner::new(n, seed).run(machines);
     let report = res.report.clone();
     for v in res.unwrap_all() {
         assert_eq!(v.unwrap(), VssVerdict::Accept);

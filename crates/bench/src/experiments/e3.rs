@@ -11,28 +11,37 @@
 //! parallel instances of Coin-Gen are measured in E4) and report
 //! total and per-coin costs as `M` grows.
 
-use dprbg_core::{bit_gen_all, BitGenMsg, Params};
+use dprbg_core::{BitGenMachine, BitGenMode, BitGenMsg, BitGenRun, CoinError, Params};
 use dprbg_metrics::Table;
-use dprbg_sim::{run_network, Behavior, PartyCtx, PartyId};
+use dprbg_sim::{BoxedMachine, PartyId, StepRunner};
 
 use super::common::{challenge_coins, fmt_f, ExperimentCtx, PlayerCost, F32};
 
-/// Measure Bit-Gen with the given dealer set and batch size `m`.
+/// Measure Bit-Gen with the given dealer set and batch size `m`, on the
+/// single-threaded executor.
 pub fn measure(n: usize, t: usize, m: usize, dealers: &[PartyId], seed: u64) -> PlayerCost {
+    type Out = Result<BitGenRun<F32>, CoinError>;
     let coins = challenge_coins::<F32>(n, t, seed);
-    let behaviors: Vec<Behavior<BitGenMsg<F32>, bool>> = (1..=n)
+    let machines: Vec<BoxedMachine<BitGenMsg<F32>, Out>> = (1..=n)
         .map(|id| {
-            let coin = coins[id - 1];
-            let dealers = dealers.to_vec();
-            Box::new(move |ctx: &mut PartyCtx<BitGenMsg<F32>>| {
-                let run = bit_gen_all(ctx, t, m, coin, &dealers).expect("bit-gen runs");
-                dealers.iter().all(|&d| run.views[d - 1].check_poly.is_some())
-            }) as Behavior<_, _>
+            Box::new(BitGenMachine::new(
+                t,
+                m,
+                coins[id - 1],
+                dealers.to_vec(),
+                BitGenMode::RandomCoins,
+            )) as _
         })
         .collect();
-    let res = run_network(n, seed, behaviors);
+    let res = StepRunner::new(n, seed).run(machines);
     let report = res.report.clone();
-    assert!(res.unwrap_all().into_iter().all(|ok| ok), "all instances validate");
+    for out in res.unwrap_all() {
+        let run = out.expect("bit-gen runs");
+        assert!(
+            dealers.iter().all(|&d| run.views[d - 1].check_poly.is_some()),
+            "all instances validate"
+        );
+    }
     PlayerCost::from_report(&report)
 }
 

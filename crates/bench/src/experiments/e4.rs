@@ -12,28 +12,25 @@
 //! vanishes as the batch grows. This experiment measures the whole
 //! protocol and locates that crossover.
 
-use dprbg_core::{coin_gen, CoinGenConfig, CoinGenMsg, CoinWallet, Params};
+use dprbg_core::{CoinBatch, CoinGenConfig, CoinGenError, CoinGenMachine, CoinGenMsg, CoinWallet, Params};
 use dprbg_metrics::Table;
-use dprbg_sim::{run_network, Behavior, PartyCtx};
+use dprbg_sim::{BoxedMachine, StepRunner};
 
 use super::common::{fmt_f, seed_wallets, ExperimentCtx, PlayerCost, F32};
 
-/// Measure one full Coin-Gen run; returns (cost, attempts).
+/// Measure one full Coin-Gen run on the single-threaded executor;
+/// returns (cost, attempts).
 pub fn measure(n: usize, t: usize, m: usize, seed: u64) -> (PlayerCost, usize) {
+    type Out = (CoinWallet<F32>, Result<CoinBatch<F32>, CoinGenError>);
     let params = Params::p2p_model(n, t).unwrap();
     let cfg = CoinGenConfig { params, batch_size: m };
     let mut wallets: Vec<CoinWallet<F32>> = seed_wallets(n, t, 4 + t, seed);
-    let behaviors: Vec<Behavior<CoinGenMsg<F32>, usize>> = (0..n)
-        .map(|_| {
-            let mut w = wallets.remove(0);
-            Box::new(move |ctx: &mut PartyCtx<CoinGenMsg<F32>>| {
-                coin_gen(ctx, &cfg, &mut w).expect("generation succeeds").attempts
-            }) as Behavior<_, _>
-        })
+    let machines: Vec<BoxedMachine<CoinGenMsg<F32>, Out>> = (0..n)
+        .map(|_| Box::new(CoinGenMachine::new(cfg, wallets.remove(0))) as _)
         .collect();
-    let res = run_network(n, seed, behaviors);
+    let res = StepRunner::new(n, seed).run(machines);
     let report = res.report.clone();
-    let attempts = res.unwrap_all()[0];
+    let attempts = res.unwrap_all()[0].1.as_ref().expect("generation succeeds").attempts;
     (PlayerCost::from_report(&report), attempts)
 }
 

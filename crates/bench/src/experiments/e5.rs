@@ -18,30 +18,86 @@
 
 use dprbg_baselines::{from_scratch_coin, FromScratchMsg};
 use dprbg_core::{
-    coin_expose, coin_gen, CoinGenConfig, CoinGenMsg, CoinWallet, ExposeMsg, ExposeVia, Params,
+    CoinError, CoinGenConfig, CoinGenMsg, CoinWallet, ExposeMachine, ExposeMsg, ExposeVia, Params,
+    SealedShare,
 };
-use dprbg_metrics::Table;
-use dprbg_sim::{run_network, Behavior, PartyCtx};
+use dprbg_core::CoinGenMachine;
+use dprbg_field::Field;
+use dprbg_metrics::{Table, WireSize};
+use dprbg_sim::{
+    run_network, Behavior, BoxedMachine, Embeds, MachineExt, PartyCtx, RoundMachine, RoundView,
+    Step, StepRunner,
+};
 
 use super::common::{challenge_coins, fmt_f, seed_wallets, ExperimentCtx, PlayerCost, F32};
 
-/// D-PRBG cost per delivered coin: generate a batch of `m`, expose all.
+/// Expose every share in a batch, one Coin-Expose after another —
+/// the sans-IO equivalent of a loop of blocking `coin_expose` calls.
+struct ExposeAllMachine<M, F: Field> {
+    t: usize,
+    /// Remaining shares, last-to-expose first.
+    stack: Vec<SealedShare<F>>,
+    cur: Option<ExposeMachine<M, F>>,
+}
+
+impl<M, F: Field> ExposeAllMachine<M, F> {
+    fn new(t: usize, mut shares: Vec<SealedShare<F>>) -> Self {
+        shares.reverse();
+        ExposeAllMachine { t, stack: shares, cur: None }
+    }
+}
+
+impl<M, F> RoundMachine<M> for ExposeAllMachine<M, F>
+where
+    M: Clone + WireSize + Embeds<ExposeMsg<F>>,
+    F: Field,
+{
+    type Output = Result<(), CoinError>;
+
+    fn round(&mut self, mut view: RoundView<'_, M>) -> Step<M, Self::Output> {
+        loop {
+            let mut m = match self.cur.take() {
+                Some(m) => m,
+                None => match self.stack.pop() {
+                    Some(s) => ExposeMachine::new(s, self.t, ExposeVia::PointToPoint),
+                    None => return Step::Done(Ok(())),
+                },
+            };
+            match m.round(view.reborrow()) {
+                Step::Continue(out) => {
+                    self.cur = Some(m);
+                    return Step::Continue(out);
+                }
+                // The next expose's send goes out in the same round the
+                // previous decode landed — exactly the blocking cadence.
+                Step::Done(Ok(_)) => continue,
+                Step::Done(Err(e)) => return Step::Done(Err(e)),
+            }
+        }
+    }
+}
+
+/// D-PRBG cost per delivered coin: generate a batch of `m`, expose all —
+/// on the single-threaded executor.
 fn dprbg_per_coin(n: usize, t: usize, m: usize, seed: u64) -> PlayerCost {
     let params = Params::p2p_model(n, t).unwrap();
     let cfg = CoinGenConfig { params, batch_size: m };
     let mut wallets: Vec<CoinWallet<F32>> = seed_wallets(n, t, 4 + t, seed);
-    let behaviors: Vec<Behavior<CoinGenMsg<F32>, ()>> = (0..n)
+    let machines: Vec<BoxedMachine<CoinGenMsg<F32>, Result<(), CoinError>>> = (0..n)
         .map(|_| {
-            let mut w = wallets.remove(0);
-            Box::new(move |ctx: &mut PartyCtx<CoinGenMsg<F32>>| {
-                let batch = coin_gen(ctx, &cfg, &mut w).expect("generation succeeds");
-                for s in batch.shares {
-                    let _ = coin_expose(ctx, s, t, ExposeVia::PointToPoint).unwrap();
-                }
-            }) as Behavior<_, _>
+            let machine = CoinGenMachine::new(cfg, wallets.remove(0)).then(
+                move |(_wallet, res): (CoinWallet<F32>, _)| {
+                    let batch = res.expect("generation succeeds");
+                    ExposeAllMachine::new(t, batch.shares)
+                },
+            );
+            Box::new(machine) as _
         })
         .collect();
-    let res = run_network(n, seed, behaviors);
+    let res = StepRunner::new(n, seed).run(machines);
+    for out in &res.outputs {
+        assert_eq!(out.as_ref().expect("machine ran"), &Ok(()));
+    }
     let mut c = PlayerCost::from_report(&res.report);
     // Per-coin figures.
     c.adds /= m as u64;
@@ -70,19 +126,20 @@ fn from_scratch_per_coin(n: usize, t: usize, seed: u64) -> PlayerCost {
 }
 
 /// Rabin-dealer cost per coin: the parties only expose (the dealing is
-/// the trusted party's).
+/// the trusted party's) — on the single-threaded executor.
 fn rabin_per_coin(n: usize, t: usize, seed: u64) -> PlayerCost {
     let coins = challenge_coins::<F32>(n, t, seed);
-    let behaviors: Vec<Behavior<ExposeMsg<F32>, F32>> = (1..=n)
+    let machines: Vec<BoxedMachine<ExposeMsg<F32>, Result<F32, CoinError>>> = (1..=n)
         .map(|id| {
-            let share = coins[id - 1];
-            Box::new(move |ctx: &mut PartyCtx<ExposeMsg<F32>>| {
-                coin_expose(ctx, share, t, ExposeVia::PointToPoint).unwrap()
-            }) as Behavior<_, _>
+            Box::new(ExposeMachine::new(coins[id - 1], t, ExposeVia::PointToPoint)) as _
         })
         .collect();
-    let res = run_network(n, seed, behaviors);
-    PlayerCost::from_report(&res.report)
+    let res = StepRunner::new(n, seed).run(machines);
+    let report = res.report.clone();
+    for out in res.unwrap_all() {
+        out.expect("expose succeeds");
+    }
+    PlayerCost::from_report(&report)
 }
 
 /// Run E5 and render its table.

@@ -1,4 +1,4 @@
-//! Experiment modules E1–E11 and shared plumbing.
+//! Experiment modules E1–E12 and shared plumbing.
 
 pub mod common;
 pub mod e1;
@@ -12,5 +12,6 @@ pub mod e8;
 pub mod e9;
 pub mod e10;
 pub mod e11;
+pub mod e12;
 
 pub use common::ExperimentCtx;

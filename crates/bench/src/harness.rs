@@ -206,10 +206,73 @@ impl Bencher {
         }
         per_iter_ns.sort_unstable();
         let median = per_iter_ns[per_iter_ns.len() / 2];
-        let mean = per_iter_ns.iter().sum::<u128>() / per_iter_ns.len() as u128;
+        // The mean is computed after IQR outlier rejection: a single
+        // scheduler hiccup in one sample should not move the reported
+        // center. Median/min/max stay raw (the spread is information).
+        let kept = iqr_filter(&per_iter_ns);
+        let mean = kept.iter().sum::<u128>() / kept.len() as u128;
         let (min, max) = (per_iter_ns[0], per_iter_ns[per_iter_ns.len() - 1]);
         self.result = Some((median, mean, min, max, iters));
     }
+}
+
+/// Tukey-fence outlier rejection: keep samples within
+/// `[Q1 − 1.5·IQR, Q3 + 1.5·IQR]`. Returns all samples when fewer than 4
+/// exist (quartiles are meaningless) or when the IQR is zero.
+///
+/// The input need not be sorted; the kept samples are returned in sorted
+/// order. Never returns an empty vector for non-empty input (the
+/// quartiles themselves always survive their own fences).
+pub fn iqr_filter(samples: &[u128]) -> Vec<u128> {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    if sorted.len() < 4 {
+        return sorted;
+    }
+    let q1 = sorted[sorted.len() / 4];
+    let q3 = sorted[(3 * sorted.len()) / 4];
+    let iqr = q3 - q1;
+    let lo = q1.saturating_sub(iqr + iqr / 2);
+    let hi = q3.saturating_add(iqr + iqr / 2);
+    sorted.retain(|&s| (lo..=hi).contains(&s));
+    sorted
+}
+
+/// The mean of the middle `1 − 2·trim_frac` of the samples (e.g.
+/// `trim_frac = 0.1` discards the fastest and slowest 10%). An
+/// alternative robust center to [`iqr_filter`]-then-mean; `trim_frac`
+/// is clamped so at least one sample always remains.
+pub fn trimmed_mean(samples: &[u128], trim_frac: f64) -> u128 {
+    assert!(!samples.is_empty(), "trimmed mean of no samples");
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let cut = ((sorted.len() as f64 * trim_frac.clamp(0.0, 0.5)) as usize)
+        .min((sorted.len() - 1) / 2);
+    let mid = &sorted[cut..sorted.len() - cut];
+    mid.iter().sum::<u128>() / mid.len() as u128
+}
+
+/// The Wilson score interval: a `(lo, hi)` confidence interval for a
+/// binomial proportion after observing `successes` out of `trials`, at
+/// critical value `z` (1.96 ≈ 95%, 2.58 ≈ 99%).
+///
+/// Unlike the naive normal interval, Wilson stays inside `[0, 1]` and
+/// gives a non-degenerate bound at 0 observed successes — exactly the
+/// regime E12's soundness-error rates live in (the interesting claim is
+/// the *upper* bound on an empirically-zero failure rate). `(0.0, 1.0)`
+/// when `trials` is zero.
+pub fn wilson_interval(successes: usize, trials: usize, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    assert!(successes <= trials, "more successes than trials");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
 }
 
 /// The top-level harness handle (mirrors `criterion::Criterion`).
@@ -419,7 +482,8 @@ pub fn parse_json_line(line: &str) -> Option<BenchRecord> {
     })
 }
 
-/// Define a bench-group function runnable by [`criterion_main!`].
+/// Define a bench-group function runnable by
+/// [`criterion_main!`](crate::criterion_main).
 #[macro_export]
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
@@ -522,5 +586,60 @@ mod tests {
     #[test]
     fn quick_escape_handles_specials() {
         assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn iqr_filter_rejects_the_scheduler_hiccup() {
+        // 19 well-behaved samples and one 100× outlier.
+        let mut samples: Vec<u128> = (100..119).collect();
+        samples.push(10_000);
+        let kept = iqr_filter(&samples);
+        assert_eq!(kept.len(), 19);
+        assert!(!kept.contains(&10_000));
+        // Tiny inputs come back whole.
+        assert_eq!(iqr_filter(&[5, 1_000_000]), vec![5, 1_000_000]);
+        // Uniform inputs survive intact (zero IQR keeps the value itself).
+        assert_eq!(iqr_filter(&[7; 8]), vec![7; 8]);
+    }
+
+    #[test]
+    fn trimmed_mean_is_robust() {
+        let mut samples: Vec<u128> = vec![10; 18];
+        samples.push(1);
+        samples.push(1_000_000);
+        let tm = trimmed_mean(&samples, 0.1);
+        assert_eq!(tm, 10);
+        // Zero trim is the plain mean.
+        assert_eq!(trimmed_mean(&[1, 2, 3], 0.0), 2);
+        // A single sample survives any trim fraction.
+        assert_eq!(trimmed_mean(&[42], 0.5), 42);
+    }
+
+    #[test]
+    fn wilson_interval_brackets_sensibly() {
+        // 0 failures in 200 trials at 95%: lower bound 0, upper ≈ 1.9%.
+        let (lo, hi) = wilson_interval(0, 200, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.015 && hi < 0.025, "upper bound {hi}");
+        // Symmetric case contains the point estimate.
+        let (lo, hi) = wilson_interval(50, 100, 1.96);
+        assert!(lo < 0.5 && 0.5 < hi);
+        assert!(lo > 0.39 && hi < 0.61);
+        // All successes at high confidence still below 1.
+        let (_, hi) = wilson_interval(100, 100, 2.58);
+        assert!(hi <= 1.0);
+        // Degenerate trials.
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    fn bencher_mean_survives_iqr_rejection() {
+        // The mean stored by iter() is computed over IQR-kept samples, so
+        // it stays within the raw min/max envelope.
+        std::env::set_var("DPRBG_BENCH_QUICK", "1");
+        let mut c = Criterion::new("harness_stats_selftest");
+        c.bench_function("sum1k", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        let r = &c.records[0];
+        assert!(r.min_ns <= r.mean_ns && r.mean_ns <= r.max_ns);
     }
 }

@@ -221,7 +221,7 @@ pub fn coin_gen<M: CoinGenWire<F>, F: Field>(
 
 /// Protocol Coin-Gen (Fig. 5) as a sans-IO round machine: the Bit-Gen
 /// phase ([`BitGenMachine`]) followed by the dealer agreement
-/// ([`AgreeMachine`]), with the share sums computed at the end.
+/// (`AgreeMachine`), with the share sums computed at the end.
 ///
 /// The machine owns the wallet for the duration of the run and hands it
 /// back (minus the consumed seed coins) in its output, so the same wallet

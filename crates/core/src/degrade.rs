@@ -1,0 +1,230 @@
+//! Graceful degradation: bounded retry with explicit seed-budget
+//! accounting.
+//!
+//! The paper's protocols consume *sealed coins* as a resource: Coin-Gen
+//! burns `1 + attempts` wallet coins per run (the challenge plus one per
+//! leader election). When a run fails — seed exhaustion, a failed expose,
+//! no agreement — the natural recovery is to retry, but naive retry loops
+//! can silently drain the distributed seed that the whole system's
+//! amortized cost story depends on (Theorem 2 charges `O(1)` seeds per
+//! batch *in expectation*; an adversary that forces retries attacks
+//! exactly that expectation).
+//!
+//! [`coin_gen_with_retry`] makes the trade-off explicit: the caller sets a
+//! [`RetryPolicy`] with an attempt cap **and a seed budget**, every wallet
+//! coin consumed (by successes and failures alike) is accounted against
+//! the budget, and the loop refuses to start an attempt the budget cannot
+//! cover — surfacing [`ProtocolError::SeedBudgetExceeded`] with exact
+//! spending figures instead of an empty wallet. All honest parties make
+//! identical retry decisions (failures are symmetric deterministic
+//! functions of the same traffic), so the loop stays in lock-step without
+//! extra coordination.
+
+use dprbg_field::Field;
+use dprbg_sim::PartyCtx;
+
+use crate::coin::CoinWallet;
+use crate::coin_gen::{coin_gen, CoinBatch, CoinGenConfig, CoinGenWire};
+use crate::errors::ProtocolError;
+
+/// The cheapest possible Coin-Gen run: one challenge coin plus one
+/// leader-election coin.
+pub const MIN_SEEDS_PER_ATTEMPT: usize = 2;
+
+/// Bounds on a retry loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum protocol runs (≥ 1; the first run counts as an attempt).
+    pub max_attempts: usize,
+    /// Total wallet coins the loop may consume across all attempts.
+    pub seed_budget: usize,
+}
+
+impl RetryPolicy {
+    /// A single attempt with `budget` seeds — retry disabled.
+    pub fn single(budget: usize) -> Self {
+        RetryPolicy { max_attempts: 1, seed_budget: budget }
+    }
+}
+
+/// What a (successful) retry loop actually cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryReport {
+    /// Protocol runs made, including the successful one.
+    pub attempts: usize,
+    /// Wallet coins consumed across all runs (failures included).
+    pub seeds_spent: usize,
+}
+
+/// Run Coin-Gen under `policy`, retrying failed runs while the attempt
+/// cap and seed budget allow.
+///
+/// Every attempt's wallet consumption is measured as the wallet-length
+/// delta, so the accounting covers failed runs (which still burn the
+/// challenge and any leader coins popped before the failure). The
+/// seed-budget bound is asserted on success: a batch is never returned
+/// with more than `policy.seed_budget` coins spent.
+///
+/// # Errors
+///
+/// [`ProtocolError::SeedBudgetExceeded`] when the budget cannot cover the
+/// next attempt (including a budget below [`MIN_SEEDS_PER_ATTEMPT`] up
+/// front); otherwise the final attempt's error, converted into the
+/// unified taxonomy.
+///
+/// # Panics
+///
+/// If `policy.max_attempts` is zero.
+pub fn coin_gen_with_retry<M: CoinGenWire<F>, F: Field>(
+    ctx: &mut PartyCtx<M>,
+    cfg: &CoinGenConfig,
+    wallet: &mut CoinWallet<F>,
+    policy: RetryPolicy,
+) -> Result<(CoinBatch<F>, RetryReport), ProtocolError> {
+    assert!(policy.max_attempts >= 1, "retry policy must allow one attempt");
+    let mut attempts = 0;
+    let mut seeds_spent = 0;
+    loop {
+        if seeds_spent + MIN_SEEDS_PER_ATTEMPT > policy.seed_budget {
+            return Err(ProtocolError::SeedBudgetExceeded {
+                spent: seeds_spent,
+                budget: policy.seed_budget,
+            });
+        }
+        let before = wallet.len();
+        let res = coin_gen(ctx, cfg, wallet);
+        seeds_spent += before - wallet.len();
+        attempts += 1;
+        match res {
+            Ok(batch) => {
+                debug_assert_eq!(
+                    batch.seeds_consumed,
+                    before - wallet.len(),
+                    "wallet delta must match the batch's own accounting"
+                );
+                assert!(
+                    seeds_spent <= policy.seed_budget + batch.seeds_consumed,
+                    "seed spending {seeds_spent} violates budget {} by more than the \
+                     final attempt's own cost",
+                    policy.seed_budget
+                );
+                return Ok((batch, RetryReport { attempts, seeds_spent }));
+            }
+            Err(e) => {
+                if attempts >= policy.max_attempts || wallet.len() < MIN_SEEDS_PER_ATTEMPT {
+                    return Err(e.into());
+                }
+                // Otherwise loop: the budget check at the top decides
+                // whether another run may start.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coin_gen::CoinGenMsg;
+    use crate::dealer::TrustedDealer;
+    use crate::params::Params;
+    use dprbg_field::Gf2k;
+    use dprbg_sim::{run_network, Behavior, FaultPlan};
+
+    type F = Gf2k<32>;
+    type M = CoinGenMsg<F>;
+
+    fn wallets(n: usize, t: usize, count: usize, seed: u64) -> Vec<CoinWallet<F>> {
+        let params = Params::p2p_model(n, t).unwrap();
+        TrustedDealer::deal_wallets::<F>(params, count, seed)
+    }
+
+    #[test]
+    fn first_try_success_accounts_exactly() {
+        let n = 7;
+        let t = 1;
+        let cfg = CoinGenConfig { params: Params::p2p_model(n, t).unwrap(), batch_size: 4 };
+        let mut ws = wallets(n, t, 8, 100);
+        type Out = Result<(CoinBatch<F>, RetryReport), ProtocolError>;
+        let behaviors: Vec<Behavior<M, Out>> = (1..=n)
+            .map(|_| {
+                let mut wallet = ws.remove(0);
+                Box::new(move |ctx: &mut PartyCtx<M>| {
+                    let policy = RetryPolicy { max_attempts: 3, seed_budget: 8 };
+                    coin_gen_with_retry(ctx, &cfg, &mut wallet, policy)
+                }) as Behavior<M, _>
+            })
+            .collect();
+        for out in run_network(n, 101, behaviors).unwrap_all() {
+            let (batch, report) = out.unwrap();
+            assert_eq!(report.attempts, 1);
+            assert_eq!(report.seeds_spent, batch.seeds_consumed);
+            assert!(report.seeds_spent <= 8);
+        }
+    }
+
+    #[test]
+    fn unaffordable_budget_rejected_up_front() {
+        let n = 7;
+        let t = 1;
+        let cfg = CoinGenConfig { params: Params::p2p_model(n, t).unwrap(), batch_size: 4 };
+        let mut ws = wallets(n, t, 8, 110);
+        type Out = Result<(CoinBatch<F>, RetryReport), ProtocolError>;
+        let behaviors: Vec<Behavior<M, Out>> = (1..=n)
+            .map(|_| {
+                let mut wallet = ws.remove(0);
+                Box::new(move |ctx: &mut PartyCtx<M>| {
+                    // A budget of 1 cannot cover even the cheapest run.
+                    let policy = RetryPolicy::single(1);
+                    coin_gen_with_retry(ctx, &cfg, &mut wallet, policy)
+                }) as Behavior<M, _>
+            })
+            .collect();
+        for out in run_network(n, 111, behaviors).unwrap_all() {
+            assert_eq!(
+                out.unwrap_err(),
+                ProtocolError::SeedBudgetExceeded { spent: 0, budget: 1 }
+            );
+        }
+    }
+
+    #[test]
+    fn over_threshold_crashes_exhaust_budget_gracefully() {
+        // 3 of 7 parties crash with t = 1 (f > t): no n − 2t clique can
+        // form, so every leader attempt fails and burns a seed. The retry
+        // loop must stop with an explicit budget/exhaustion error rather
+        // than loop forever — and all surviving parties must agree on it.
+        let n = 7;
+        let t = 1;
+        let cfg = CoinGenConfig { params: Params::p2p_model(n, t).unwrap(), batch_size: 4 };
+        let ws = wallets(n, t, 5, 120);
+        let plan = FaultPlan::explicit(n, vec![5, 6, 7]);
+        let behaviors = plan.behaviors::<M, Option<Result<RetryReport, ProtocolError>>>(
+            |id| {
+                let mut wallet = ws[id - 1].clone();
+                Box::new(move |ctx| {
+                    let policy = RetryPolicy { max_attempts: 4, seed_budget: 4 };
+                    Some(
+                        coin_gen_with_retry(ctx, &cfg, &mut wallet, policy)
+                            .map(|(_, report)| report),
+                    )
+                })
+            },
+            |_| Box::new(|_ctx| None),
+        );
+        let res = run_network(n, 121, behaviors);
+        let mut errors = Vec::new();
+        for id in plan.honest() {
+            let out = res.outputs[id - 1].clone().unwrap().unwrap();
+            errors.push(out.unwrap_err());
+        }
+        // Unanimous graceful failure.
+        assert!(errors.windows(2).all(|w| w[0] == w[1]), "parties disagree: {errors:?}");
+        match &errors[0] {
+            ProtocolError::SeedBudgetExceeded { spent, budget } => {
+                assert!(*spent >= *budget + 1 - MIN_SEEDS_PER_ATTEMPT);
+            }
+            ProtocolError::SeedExhausted | ProtocolError::NoAgreement { .. } => {}
+            other => panic!("unexpected terminal error {other:?}"),
+        }
+    }
+}

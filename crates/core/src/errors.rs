@@ -89,6 +89,99 @@ impl From<CoinError> for CoinGenError {
     }
 }
 
+/// Unified error taxonomy for every core protocol, absorbing both
+/// [`CoinError`] and [`CoinGenError`] so callers can `?` across layers.
+///
+/// The graceful-degradation paths ([`crate::coin_gen_with_retry`],
+/// [`crate::vss_verify_or_blame`]) all surface through this type: an
+/// `Aborted` carries the parties the dispute protocol convicted, and a
+/// `SeedBudgetExceeded` records exactly how many wallet coins retries
+/// were allowed to burn before giving up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A coin-expose step failed (propagated [`CoinError`]).
+    Coin(CoinError),
+    /// The `(n, t)` pair violates the model's resilience requirement.
+    BadParams {
+        /// Offered player count.
+        n: usize,
+        /// Offered fault bound.
+        t: usize,
+        /// The violated requirement.
+        need: &'static str,
+    },
+    /// A seed coin was needed but the wallet ran dry mid-protocol.
+    SeedExhausted,
+    /// The Byzantine-agreement loop exceeded its iteration budget.
+    NoAgreement {
+        /// Leader-selection attempts made.
+        attempts: usize,
+    },
+    /// The protocol aborted and the dispute sub-protocol convicted the
+    /// listed parties; the run is safe to retry without them.
+    Aborted {
+        /// Parties blamed for the abort (1-based ids).
+        blame: Vec<usize>,
+        /// Human-readable reason for the abort.
+        reason: &'static str,
+    },
+    /// Bounded retry gave up: the next attempt would push seed spending
+    /// past the caller's budget.
+    SeedBudgetExceeded {
+        /// Seed coins consumed by the attempts actually made.
+        spent: usize,
+        /// The caller's seed budget.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Coin(e) => write!(f, "coin expose failed: {e}"),
+            ProtocolError::BadParams { n, t, need } => {
+                write!(f, "invalid parameters n = {n}, t = {t}: {need}")
+            }
+            ProtocolError::SeedExhausted => write!(f, "distributed seed exhausted"),
+            ProtocolError::NoAgreement { attempts } => {
+                write!(f, "no agreement after {attempts} leader attempts")
+            }
+            ProtocolError::Aborted { blame, reason } => {
+                write!(f, "protocol aborted ({reason}); blamed parties: {blame:?}")
+            }
+            ProtocolError::SeedBudgetExceeded { spent, budget } => {
+                write!(f, "retry seed budget exceeded: spent {spent} of {budget} seed coins")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Coin(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoinError> for ProtocolError {
+    fn from(e: CoinError) -> Self {
+        ProtocolError::Coin(e)
+    }
+}
+
+impl From<CoinGenError> for ProtocolError {
+    fn from(e: CoinGenError) -> Self {
+        match e {
+            CoinGenError::BadParams { n, t, need } => ProtocolError::BadParams { n, t, need },
+            CoinGenError::SeedExhausted => ProtocolError::SeedExhausted,
+            CoinGenError::Coin(c) => ProtocolError::Coin(c),
+            CoinGenError::NoAgreement { attempts } => ProtocolError::NoAgreement { attempts },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +197,40 @@ mod tests {
         assert!(std::error::Error::source(&g).is_some());
         let b = CoinGenError::BadParams { n: 6, t: 1, need: "n >= 6t+1" };
         assert!(b.to_string().contains("6t+1"));
+    }
+
+    #[test]
+    fn protocol_error_absorbs_both_layers() {
+        let p: ProtocolError = CoinError::DecodeFailed.into();
+        assert_eq!(p, ProtocolError::Coin(CoinError::DecodeFailed));
+        assert!(std::error::Error::source(&p).is_some());
+
+        let p: ProtocolError = CoinGenError::NoAgreement { attempts: 9 }.into();
+        assert_eq!(p, ProtocolError::NoAgreement { attempts: 9 });
+
+        let p: ProtocolError = CoinGenError::Coin(CoinError::WalletEmpty).into();
+        assert_eq!(p, ProtocolError::Coin(CoinError::WalletEmpty));
+
+        // `?` chains compile across all three layers.
+        fn chain() -> Result<(), ProtocolError> {
+            fn inner() -> Result<(), CoinError> {
+                Err(CoinError::WalletEmpty)
+            }
+            fn mid() -> Result<(), CoinGenError> {
+                inner()?;
+                Ok(())
+            }
+            mid()?;
+            Ok(())
+        }
+        assert_eq!(chain(), Err(ProtocolError::Coin(CoinError::WalletEmpty)));
+    }
+
+    #[test]
+    fn protocol_error_display_covers_new_variants() {
+        let a = ProtocolError::Aborted { blame: vec![3], reason: "dealer rejected" };
+        assert!(a.to_string().contains('3') && a.to_string().contains("dealer rejected"));
+        let s = ProtocolError::SeedBudgetExceeded { spent: 5, budget: 4 };
+        assert!(s.to_string().contains('5') && s.to_string().contains('4'));
     }
 }

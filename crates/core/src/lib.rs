@@ -63,6 +63,7 @@ pub mod bootstrap;
 pub mod coin;
 pub mod coin_gen;
 pub mod dealer;
+pub mod degrade;
 pub mod dprbg;
 mod errors;
 mod params;
@@ -86,9 +87,14 @@ pub use coin_gen::{
     coin_gen, CliqueAnnounce, CoinBatch, CoinGenConfig, CoinGenMachine, CoinGenMsg, CoinGenWire,
 };
 pub use dealer::{preprocessing_seed, TrustedDealer};
+pub use degrade::{coin_gen_with_retry, RetryPolicy, RetryReport, MIN_SEEDS_PER_ATTEMPT};
 pub use dprbg::{dprbg_expand, DprbgRun};
-pub use errors::{CoinError, CoinGenError};
+pub use errors::{CoinError, CoinGenError, ProtocolError};
 pub use params::Params;
 pub use refresh::{refresh_wallet, RefreshMachine, RefreshReport};
-pub use vss::{vss, vss_deal, vss_verify, DealtShares, VssMode, VssMsg, VssVerdict};
-pub use vss_dispute::{vss_verify_with_disputes, DisputeOutcome, DisputeVssMsg};
+pub use vss::{
+    vss, vss_deal, vss_verify, DealtShares, VssMode, VssMsg, VssVerdict, VssVerifyMachine,
+};
+pub use vss_dispute::{
+    vss_verify_or_blame, vss_verify_with_disputes, DisputeOutcome, DisputeVssMsg,
+};

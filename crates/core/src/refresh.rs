@@ -77,7 +77,7 @@ pub fn refresh_wallet<M: CoinGenWire<F>, F: Field>(
 
 /// The proactive refresh as a sans-IO round machine: Bit-Gen in
 /// [`BitGenMode::ZeroRefresh`] followed by the dealer agreement
-/// ([`AgreeMachine`]), with the zero-maskings folded into the surviving
+/// (`AgreeMachine`), with the zero-maskings folded into the surviving
 /// wallet coins at the end.
 pub struct RefreshMachine<M, F: Field> {
     params: Params,

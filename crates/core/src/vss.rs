@@ -28,13 +28,15 @@
 //! broadcasts (the Bit-Gen-style rule, §4), so ≤ t faulty *verifiers*
 //! cannot frame an honest dealer.
 
+use std::mem;
+
 use dprbg_field::Field;
 use dprbg_metrics::WireSize;
 use dprbg_poly::{bw_decode, interpolate, share_points, share_polynomial, Poly};
-use dprbg_sim::{Embeds, PartyCtx, PartyId};
+use dprbg_sim::{drive_blocking, Embeds, PartyCtx, PartyId, RoundMachine, RoundView, Step};
 use dprbg_rng::Rng;
 
-use crate::coin::{coin_expose, ExposeMsg, ExposeVia, SealedShare};
+use crate::coin::{ExposeMachine, ExposeMsg, ExposeVia, SealedShare};
 use crate::errors::CoinError;
 
 /// Wire messages of Protocol VSS.
@@ -174,25 +176,79 @@ where
     M: Clone + Send + WireSize + Embeds<ExposeMsg<F>> + Embeds<VssMsg<F>> + 'static,
     F: Field,
 {
-    // Step 2: the public random challenge.
-    let r = coin_expose(ctx, coin, t, ExposeVia::Broadcast)?;
+    drive_blocking(ctx, VssVerifyMachine::new(t, shares, coin, mode))
+}
 
-    // Step 3: broadcast the blinded share β_i = α_i + r·γ_i.
-    let beta = shares.alpha + r * shares.gamma;
-    ctx.broadcast(<M as Embeds<VssMsg<F>>>::wrap(VssMsg::Beta(beta)));
-    let inbox = ctx.next_round();
+/// Fig. 2's verification as a sans-IO round machine: the challenge
+/// expose (an embedded [`ExposeMachine`] over the broadcast channel),
+/// the blinded-share broadcast, then the interpolation verdict —
+/// 2 rounds.
+pub struct VssVerifyMachine<M, F: Field> {
+    t: usize,
+    shares: DealtShares<F>,
+    mode: VssMode,
+    stage: VvStage<M, F>,
+}
 
-    let mut points: Vec<(F, F)> = Vec::new();
-    for rcv in inbox.broadcasts() {
-        if let Some(VssMsg::Beta(b)) = <M as Embeds<VssMsg<F>>>::peek(&rcv.msg) {
-            let x = F::element(rcv.from as u64);
-            if points.iter().all(|(px, _)| *px != x) {
-                points.push((x, *b));
-            }
+enum VvStage<M, F: Field> {
+    /// Step 2 in flight (two calls: share send, then decode + beta send).
+    Expose(ExposeMachine<M, F>),
+    /// Inbox holds the broadcast betas; judge.
+    Betas,
+    Finished,
+}
+
+impl<M, F: Field> VssVerifyMachine<M, F> {
+    /// A machine verifying `shares` with `coin` as the challenge.
+    pub fn new(t: usize, shares: DealtShares<F>, coin: SealedShare<F>, mode: VssMode) -> Self {
+        VssVerifyMachine {
+            t,
+            shares,
+            mode,
+            stage: VvStage::Expose(ExposeMachine::new(coin, t, ExposeVia::Broadcast)),
         }
     }
+}
 
-    Ok(judge(&points, ctx.n(), t, mode))
+impl<M, F> RoundMachine<M> for VssVerifyMachine<M, F>
+where
+    M: Clone + WireSize + Embeds<ExposeMsg<F>> + Embeds<VssMsg<F>>,
+    F: Field,
+{
+    type Output = Result<VssVerdict, CoinError>;
+
+    fn round(&mut self, mut view: RoundView<'_, M>) -> Step<M, Self::Output> {
+        match mem::replace(&mut self.stage, VvStage::Finished) {
+            VvStage::Expose(mut expose) => match expose.round(view.reborrow()) {
+                Step::Continue(out) => {
+                    self.stage = VvStage::Expose(expose);
+                    Step::Continue(out)
+                }
+                Step::Done(Err(e)) => Step::Done(Err(e)),
+                Step::Done(Ok(r)) => {
+                    // Step 3: broadcast the blinded share β_i = α_i + r·γ_i.
+                    let beta = self.shares.alpha + r * self.shares.gamma;
+                    let mut out = view.outbox();
+                    out.broadcast(<M as Embeds<VssMsg<F>>>::wrap(VssMsg::Beta(beta)));
+                    self.stage = VvStage::Betas;
+                    Step::Continue(out)
+                }
+            },
+            VvStage::Betas => {
+                let mut points: Vec<(F, F)> = Vec::new();
+                for rcv in view.inbox.broadcasts() {
+                    if let Some(VssMsg::Beta(b)) = <M as Embeds<VssMsg<F>>>::peek(&rcv.msg) {
+                        let x = F::element(rcv.from as u64);
+                        if points.iter().all(|(px, _)| *px != x) {
+                            points.push((x, *b));
+                        }
+                    }
+                }
+                Step::Done(Ok(judge(&points, view.n, self.t, self.mode)))
+            }
+            VvStage::Finished => panic!("VssVerifyMachine driven past completion"),
+        }
+    }
 }
 
 /// Step 4's acceptance decision from the collected broadcast points.
@@ -262,6 +318,7 @@ pub fn cheating_high_degree_deal<F: Field, R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::coin::coin_expose;
     use dprbg_field::Gf2k;
     use dprbg_poly::{share_points as sp, share_polynomial as spoly};
     use dprbg_sim::{run_network, Behavior, FaultPlan};

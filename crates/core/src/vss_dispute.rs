@@ -37,7 +37,7 @@ use dprbg_poly::{bw_decode, Poly};
 use dprbg_sim::{Embeds, PartyCtx, PartyId};
 
 use crate::coin::{coin_expose, ExposeMsg, ExposeVia, SealedShare};
-use crate::errors::CoinError;
+use crate::errors::{CoinError, ProtocolError};
 use crate::vss::{DealtShares, VssVerdict};
 
 /// Wire messages of the dispute-resolving VSS (a superset of Fig. 2's).
@@ -223,6 +223,42 @@ where
     })
 }
 
+/// Abort-with-blame: run the dispute-resolving verification and convert a
+/// `Reject` into [`ProtocolError::Aborted`] naming the dealer.
+///
+/// The conviction is sound because the dispute protocol **always** accepts
+/// an honest dealer (even against `t` Byzantine verifiers it simply
+/// republishes the shares they lied about — see the module docs), so any
+/// `Reject` proves the dealer deviated. This is the graceful-degradation
+/// entry point the campaign harness classifies as "gracefully aborted":
+/// the caller learns *who* to exclude before retrying.
+///
+/// # Errors
+///
+/// [`ProtocolError::Coin`] if the challenge expose fails;
+/// [`ProtocolError::Aborted`] (blaming the dealer) if verification rejects.
+pub fn vss_verify_or_blame<M, F>(
+    ctx: &mut PartyCtx<M>,
+    dealer: PartyId,
+    dealer_polys: Option<&(Poly<F>, Poly<F>)>,
+    t: usize,
+    shares: DealtShares<F>,
+    coin: SealedShare<F>,
+) -> Result<DisputeOutcome<F>, ProtocolError>
+where
+    M: Clone + Send + WireSize + Embeds<ExposeMsg<F>> + Embeds<DisputeVssMsg<F>> + 'static,
+    F: Field,
+{
+    let outcome = vss_verify_with_disputes(ctx, dealer, dealer_polys, t, shares, coin)?;
+    match outcome.verdict {
+        VssVerdict::Accept => Ok(outcome),
+        VssVerdict::Reject => Err(ProtocolError::Aborted {
+            blame: vec![dealer],
+            reason: "VSS dispute resolution convicted the dealer",
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,6 +434,49 @@ mod tests {
             .collect();
         for out in run_network(n, 42, behaviors).unwrap_all() {
             assert_eq!(out.unwrap().verdict, VssVerdict::Reject);
+        }
+    }
+
+    #[test]
+    fn blame_wrapper_accepts_honest_and_convicts_cheater() {
+        let n = 7;
+        let t = 2;
+        // Honest dealer: wrapper passes the outcome through.
+        let coins = coin_shares(n, t, 50);
+        let (f, g, shares) = deal(n, t, 51);
+        let behaviors: Vec<Behavior<M, Result<DisputeOutcome<F>, ProtocolError>>> = (1..=n)
+            .map(|id| {
+                let coin = coins[id - 1];
+                let my = shares[id - 1];
+                let polys = (id == 1).then(|| (f.clone(), g.clone()));
+                Box::new(move |ctx: &mut PartyCtx<M>| {
+                    vss_verify_or_blame(ctx, 1, polys.as_ref(), t, my, coin)
+                }) as Behavior<_, _>
+            })
+            .collect();
+        for out in run_network(n, 52, behaviors).unwrap_all() {
+            assert_eq!(out.unwrap().verdict, VssVerdict::Accept);
+        }
+
+        // Unresponsive dealer with a garbled position: every honest party
+        // gets Aborted blaming the dealer.
+        let coins = coin_shares(n, t, 53);
+        let (_, _, mut shares) = deal(n, t, 54);
+        shares[4].alpha += F::one();
+        let behaviors: Vec<Behavior<M, Result<DisputeOutcome<F>, ProtocolError>>> = (1..=n)
+            .map(|id| {
+                let coin = coins[id - 1];
+                let my = shares[id - 1];
+                Box::new(move |ctx: &mut PartyCtx<M>| {
+                    vss_verify_or_blame(ctx, 1, None, t, my, coin)
+                }) as Behavior<_, _>
+            })
+            .collect();
+        for out in run_network(n, 55, behaviors).unwrap_all() {
+            match out {
+                Err(ProtocolError::Aborted { blame, .. }) => assert_eq!(blame, vec![1]),
+                other => panic!("expected Aborted blaming the dealer, got {other:?}"),
+            }
         }
     }
 }

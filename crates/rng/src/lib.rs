@@ -17,7 +17,7 @@
 //! the same core the external `StdRng` uses.
 //!
 //! The crate also hosts the in-tree property-testing harness (the
-//! [`proptest!`](crate::proptest!) macro; see [`proptest`](crate::proptest)
+//! [`proptest!`](crate::proptest!) macro; see [`proptest`](mod@crate::proptest)
 //! and [`prelude`]) used across `field`, `poly` and `protocols`.
 //!
 //! ```

@@ -567,7 +567,7 @@ where
 
 /// Define properties as `#[test]` functions over seeded random inputs.
 ///
-/// See the [module docs](crate::proptest) for the supported grammar.
+/// See the [module docs](mod@crate::proptest) for the supported grammar.
 #[macro_export]
 macro_rules! proptest {
     (

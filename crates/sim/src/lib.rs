@@ -70,6 +70,7 @@
 //! [`StepRunner::with_tap`]).
 
 mod adversary;
+mod chaos;
 mod embed;
 mod machine;
 mod network;
@@ -77,6 +78,7 @@ mod router;
 mod step;
 
 pub use adversary::{crash_immediately, FaultPlan, MsgFate, MsgHop, MsgTap};
+pub use chaos::{AdaptiveAdversary, Attack, CorruptionHandle};
 pub use embed::Embeds;
 pub use machine::{
     drive_blocking, BoxedMachine, Chain, MachineExt, Map, Outbox, RoundMachine, RoundView, Step,

@@ -12,7 +12,7 @@
 //!
 //! Two invariants make the executors interchangeable:
 //!
-//! 1. **Identical cost accounting.** [`Outbox::flush`] is the single place
+//! 1. **Identical cost accounting.** `Outbox::flush` is the single place
 //!    where queued envelopes become router posts, sequence numbers, and
 //!    [`comm`] counter increments — both executors call it, so a machine's
 //!    `CostReport` cannot depend on the executor.
@@ -102,7 +102,7 @@ enum Dest {
 }
 
 /// A round's queued sends, recorded without touching the network or the
-/// cost counters. [`Outbox::flush`] later expands each envelope with
+/// cost counters. `Outbox::flush` later expands each envelope with
 /// exactly the semantics of the corresponding [`PartyCtx`] method, so
 /// metrics and inbox ordering are executor-independent.
 #[derive(Debug)]

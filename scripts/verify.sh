@@ -49,4 +49,10 @@ cargo test -q --workspace --offline
 echo "== lint (clippy, workspace, offline) =="
 cargo clippy --workspace --offline -- -D warnings
 
+echo "== docs (no warnings, offline) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline -q
+
+echo "== chaos campaign smoke (fixed seed, quick) =="
+cargo run -p dprbg-bench --release --offline -q --bin report -- e12 --quick
+
 echo "verify.sh: all green"
