@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Baseline protocols the paper compares against (§1.4 and §3.1).

@@ -38,6 +38,7 @@ use dprbg_core::{
 };
 use dprbg_rng::rngs::StdRng;
 use dprbg_rng::SeedableRng;
+// lint: allow-file(transport) — the campaign replays every episode on BOTH executors; the threaded runner is half the equivalence check
 use dprbg_sim::{
     run_machines_with_tap, AdaptiveAdversary, Attack, BoxedMachine, PartyId, RunResult,
     StepRunner, WireSize,

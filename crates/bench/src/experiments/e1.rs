@@ -22,6 +22,7 @@ use dprbg_core::{CoinError, DealtShares, Params, VssMode, VssMsg, VssVerdict, Vs
 use dprbg_field::Field;
 use dprbg_metrics::Table;
 use dprbg_poly::Poly;
+// lint: allow-file(transport) — the §1.4 baseline comparators are straight-line behavior code and deliberately stay on the threaded runner (shared cost accounting)
 use dprbg_sim::{run_network, Behavior, BoxedMachine, PartyCtx, StepRunner};
 use dprbg_rng::rngs::StdRng;
 use dprbg_rng::SeedableRng;

@@ -16,6 +16,7 @@
 
 use dprbg_core::{coin_gen, CoinGenConfig, CoinGenMsg, CoinWallet, Params};
 use dprbg_metrics::Table;
+// lint: allow-file(transport) — E10 still runs on the threaded shim; StepRunner port is tracked in ROADMAP ("StepRunner-first E-series")
 use dprbg_sim::{run_network, Behavior, PartyCtx, RoundProfile};
 
 use super::common::{seed_wallets, ExperimentCtx, F32};

@@ -24,6 +24,7 @@ use dprbg_core::{
 use dprbg_core::CoinGenMachine;
 use dprbg_field::Field;
 use dprbg_metrics::{Table, WireSize};
+// lint: allow-file(transport) — the trusted-dealer baseline is straight-line behavior code and deliberately stays on the threaded runner (shared cost accounting)
 use dprbg_sim::{
     run_network, Behavior, BoxedMachine, Embeds, MachineExt, PartyCtx, RoundMachine, RoundView,
     Step, StepRunner,

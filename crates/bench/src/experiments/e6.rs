@@ -13,15 +13,23 @@
 //! The bounds are only *visible* over a small field, so the soundness
 //! trials run over GF(2^8) (`p = 256`) where `M/p` is percent-scale,
 //! using the pure verification judgment (no network) for speed; the
-//! unanimity trials run the full expose protocol machinery.
+//! unanimity trials drive a full [`ExposeMachine`] fleet — one machine
+//! per party, corrupted and abstaining parties included — under the
+//! single-threaded [`StepRunner`], and a trial fails unless **every**
+//! party (Theorem 1 is a statement about all honest players, and a
+//! corrupted *share* does not make its holder's decoder dishonest)
+//! reconstructs the dealt value.
 
 use dprbg_core::batch_vss::{cheating_batch_deal, judge_batch};
-use dprbg_core::{decode_coin, VssMode, VssVerdict};
+use dprbg_core::{
+    CoinError, ExposeMachine, ExposeMsg, ExposeVia, SealedShare, VssMode, VssVerdict,
+};
 use dprbg_field::{Field, Gf2k};
 use dprbg_metrics::Table;
 use dprbg_poly::{share_points, share_polynomial, Poly};
 use dprbg_rng::rngs::StdRng;
 use dprbg_rng::SeedableRng;
+use dprbg_sim::{BoxedMachine, StepRunner};
 
 use super::common::{fmt_f, ExperimentCtx};
 
@@ -54,8 +62,15 @@ pub fn batch_cheat_rate(n: usize, t: usize, m: usize, bad: usize, trials: usize,
     accepts as f64 / trials as f64
 }
 
-/// Empirical unanimity-failure rate of Coin-Expose under `e` corrupted
-/// and `a` absent shares (expected: zero within the model).
+/// Empirical unanimity-failure rate of Coin-Expose under `corrupt`
+/// corrupted and `absent` abstaining parties (expected: zero within the
+/// model).
+///
+/// Each trial runs the full Fig. 6 protocol as an [`ExposeMachine`] per
+/// party under the single-threaded [`StepRunner`]: the first `corrupt`
+/// parties hold (and send) a random wrong share, the last `absent`
+/// parties abstain, and the trial counts as a failure unless every party
+/// decodes the dealt value.
 pub fn expose_failure_rate(
     n: usize,
     t: usize,
@@ -64,24 +79,34 @@ pub fn expose_failure_rate(
     trials: usize,
     seed: u64,
 ) -> f64 {
+    type Out = Result<F8, CoinError>;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut failures = 0usize;
-    for _ in 0..trials {
+    for trial in 0..trials {
         let value = F8::random(&mut rng);
         let poly = share_polynomial(value, t, &mut rng);
-        let mut pts: Vec<(F8, F8)> = share_points(&poly, n)
+        let mut shares: Vec<SealedShare<F8>> = share_points(&poly, n)
             .into_iter()
-            .map(|s| (s.x, s.y))
+            .map(|s| SealedShare::of(s.y))
             .collect();
-        // Corrupt the first `corrupt` shares with random values, drop the
-        // last `absent`.
-        for p in pts.iter_mut().take(corrupt) {
-            p.1 = F8::random(&mut rng);
+        // The first `corrupt` parties hold random wrong shares; the last
+        // `absent` parties cannot vouch and send nothing.
+        for s in shares.iter_mut().take(corrupt) {
+            *s = SealedShare::of(F8::random(&mut rng));
         }
-        pts.truncate(n - absent);
-        match decode_coin(&pts, t) {
-            Ok(v) if v == value => {}
-            _ => failures += 1,
+        for s in shares.iter_mut().skip(n - absent) {
+            *s = SealedShare::absent();
+        }
+        let machines: Vec<BoxedMachine<ExposeMsg<F8>, Out>> = shares
+            .into_iter()
+            .map(|s| {
+                Box::new(ExposeMachine::new(s, t, ExposeVia::PointToPoint))
+                    as BoxedMachine<ExposeMsg<F8>, Out>
+            })
+            .collect();
+        let res = StepRunner::new(n, seed.wrapping_add(trial as u64)).run(machines);
+        if !res.unwrap_all().into_iter().all(|out| out == Ok(value)) {
+            failures += 1;
         }
     }
     failures as f64 / trials as f64

@@ -16,6 +16,7 @@
 
 use dprbg_core::{Bootstrap, BootstrapConfig, CoinGenConfig, CoinGenMsg, Params};
 use dprbg_metrics::{CostSnapshot, Table};
+// lint: allow-file(transport) — E7 still runs on the threaded shim; StepRunner port is tracked in ROADMAP ("StepRunner-first E-series")
 use dprbg_sim::{run_network, Behavior, PartyCtx};
 
 use super::common::{fmt_f, seed_wallets, ExperimentCtx, F32};

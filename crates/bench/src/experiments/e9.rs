@@ -21,6 +21,7 @@ use dprbg_core::{
     Params, VssMode, VssVerdict,
 };
 use dprbg_metrics::Table;
+// lint: allow-file(transport) — E9 still runs on the threaded shim; StepRunner port is tracked in ROADMAP ("StepRunner-first E-series")
 use dprbg_sim::{run_network, Behavior, PartyCtx};
 use dprbg_rng::rngs::StdRng;
 use dprbg_rng::SeedableRng;

@@ -353,6 +353,7 @@ where
                 }
                 Step::Done(Ok(BitGenRun { r, views, my_polys }))
             }
+            // lint: allow(error-discipline) — driver contract: no executor calls round() after Done
             BgStage::Finished => panic!("BitGenMachine driven past completion"),
         }
     }

@@ -344,6 +344,7 @@ where
                     ))
                 }
             },
+            // lint: allow(error-discipline) — driver contract: no executor calls round() after Done
             CgStage::Finished => panic!("CoinGenMachine driven past completion"),
         }
     }
@@ -581,6 +582,7 @@ where
                     self.finish(res)
                 }
             },
+            // lint: allow(error-discipline) — driver contract: no executor calls round() after Done
             AgStage::Finished => panic!("AgreeMachine driven past completion"),
         }
     }

@@ -196,8 +196,8 @@ where
 
                     let survivors = wallet.len();
                     let mut refreshed = CoinWallet::new();
-                    for h in 0..survivors {
-                        let old = wallet.pop().expect("length checked");
+                    let mut h = 0;
+                    while let Ok(old) = wallet.pop() {
                         let idx = h + offset;
                         let share = match (old.sigma, i_fit) {
                             (Some(sigma), true) if idx < w_upper => {
@@ -213,6 +213,7 @@ where
                             _ => SealedShare::absent(),
                         };
                         refreshed.push(share);
+                        h += 1;
                     }
 
                     Step::Done((
@@ -226,6 +227,7 @@ where
                     ))
                 }
             },
+            // lint: allow(error-discipline) — driver contract: no executor calls round() after Done
             RfStage::Finished => panic!("RefreshMachine driven past completion"),
         }
     }

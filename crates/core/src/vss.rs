@@ -246,6 +246,7 @@ where
                 }
                 Step::Done(Ok(judge(&points, view.n, self.t, self.mode)))
             }
+            // lint: allow(error-discipline) — driver contract: no executor calls round() after Done
             VvStage::Finished => panic!("VssVerifyMachine driven past completion"),
         }
     }

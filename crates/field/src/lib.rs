@@ -1,4 +1,5 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 //! Finite-field arithmetic for the `dprbg` workspace.
 //!

@@ -1,0 +1,467 @@
+//! A minimal Rust lexer: just enough structure for invariant rules.
+//!
+//! The analyzer never needs a syntax tree — every rule in
+//! [`crate::rules`] is a statement about *tokens in non-test library
+//! code* ("the identifier `HashMap` appears", "`^` is used as an
+//! operator"). What it does need, and what naive `grep` cannot give, is
+//! to know when text is **not** a token at all: inside a `//` or
+//! `/* */` comment, a string or char literal, or a lifetime (`'a` is not
+//! an unterminated char). This module provides exactly that: a
+//! line-number-preserving token stream plus the comment list (comments
+//! carry the `lint: allow(...)` suppressions).
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `unwrap`, `mod`, …).
+    Ident(String),
+    /// A single punctuation character (`^`, `:`, `!`, `{`, …).
+    /// Multi-char operators appear as consecutive tokens (`::` is two
+    /// `:`), which is all the sequence matchers need.
+    Punct(char),
+    /// A lifetime (`'a`, `'static`) — lexed as one unit so the `'` never
+    /// looks like an open char literal.
+    Lifetime,
+    /// A string, raw string, byte string, or char literal. Contents are
+    /// irrelevant to every rule, so they are not kept.
+    Literal,
+    /// A numeric literal (including suffixed and float forms).
+    Num,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// The token's classification.
+    pub kind: TokKind,
+}
+
+/// One comment with its 1-based starting line and body text (delimiters
+/// stripped for line comments; block comments keep interior text).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (differs for block comments).
+    pub end_line: u32,
+    /// The comment text without the leading `//` / `/*` markers.
+    pub text: String,
+    /// Whether this is a doc comment (`///`, `//!`, `/**`, `/*!`). Doc
+    /// comments are documentation — they describe the allow syntax, they
+    /// never *are* an allow.
+    pub doc: bool,
+}
+
+/// The output of [`lex`]: the token stream and the comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// All comments in source order (doc comments included).
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize Rust source. Never fails: unterminated constructs are
+/// consumed to end-of-file, which is the right degradation for a linter.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = b.len();
+
+    // Count newlines in b[start..end) into `line`.
+    macro_rules! advance_lines {
+        ($start:expr, $end:expr) => {
+            for k in $start..$end {
+                if b[k] == '\n' {
+                    line += 1;
+                }
+            }
+        };
+    }
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Line comment (incl. `///` and `//!` doc comments).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i + 2;
+            let doc = start < n && (b[start] == '/' || b[start] == '!');
+            let mut j = start;
+            while j < n && b[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                end_line: line,
+                text: b[start..j].iter().collect::<String>().trim().to_string(),
+                doc,
+            });
+            i = j;
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start_line = line;
+            let start = i + 2;
+            let doc = start < n && (b[start] == '*' || b[start] == '!') && b.get(start + 1) != Some(&'/');
+            let mut depth = 1;
+            let mut j = start;
+            while j < n && depth > 0 {
+                if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    if b[j] == '\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                }
+            }
+            let text_end = if depth == 0 { j - 2 } else { j };
+            out.comments.push(Comment {
+                line: start_line,
+                end_line: line,
+                text: b[start..text_end].iter().collect::<String>().trim().to_string(),
+                doc,
+            });
+            i = j;
+            continue;
+        }
+        // Raw / byte string heads: r"", r#""#, b"", br#""#, ...
+        if c == 'r' || c == 'b' {
+            if let Some(j) = raw_or_byte_string_end(&b, i) {
+                out.tokens.push(Tok { line, kind: TokKind::Literal });
+                advance_lines!(i, j);
+                i = j;
+                continue;
+            }
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            let mut j = i;
+            while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                j += 1;
+            }
+            out.tokens.push(Tok {
+                line,
+                kind: TokKind::Ident(b[start..j].iter().collect()),
+            });
+            i = j;
+            continue;
+        }
+        // Number (identifier-ish tail covers 0x_, suffixes; a trailing
+        // `.digit` covers simple floats).
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < n && (b[j].is_alphanumeric() || b[j] == '_' || b[j] == '.') {
+                // A second dot (e.g. `0..n`) is a range, not part of the number.
+                if b[j] == '.' && (j + 1 >= n || !b[j + 1].is_ascii_digit()) {
+                    break;
+                }
+                j += 1;
+            }
+            out.tokens.push(Tok { line, kind: TokKind::Num });
+            i = j;
+            continue;
+        }
+        // Quote: char literal or lifetime.
+        if c == '\'' {
+            let mut j = i + 1;
+            if j < n && b[j] == '\\' {
+                // Escaped char literal: '\n', '\'', '\u{..}'.
+                j += 2;
+                while j < n && b[j] != '\'' {
+                    j += 1;
+                }
+                out.tokens.push(Tok { line, kind: TokKind::Literal });
+                i = (j + 1).min(n);
+                continue;
+            }
+            if j < n && (b[j].is_alphabetic() || b[j] == '_') {
+                // Could be 'a' (char) or 'a / 'static (lifetime): a
+                // lifetime's identifier is not followed by a closing quote.
+                let mut k = j;
+                while k < n && (b[k].is_alphanumeric() || b[k] == '_') {
+                    k += 1;
+                }
+                if k < n && b[k] == '\'' {
+                    out.tokens.push(Tok { line, kind: TokKind::Literal });
+                    i = k + 1;
+                } else {
+                    out.tokens.push(Tok { line, kind: TokKind::Lifetime });
+                    i = k;
+                }
+                continue;
+            }
+            // Non-alphabetic char literal: '0', '{', …
+            while j < n && b[j] != '\'' {
+                if b[j] == '\n' {
+                    line += 1;
+                }
+                j += 1;
+            }
+            out.tokens.push(Tok { line, kind: TokKind::Literal });
+            i = (j + 1).min(n);
+            continue;
+        }
+        // Plain string literal.
+        if c == '"' {
+            let mut j = i + 1;
+            while j < n {
+                match b[j] {
+                    '\\' => j += 2,
+                    '"' => break,
+                    ch => {
+                        if ch == '\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                }
+            }
+            out.tokens.push(Tok { line, kind: TokKind::Literal });
+            i = (j + 1).min(n);
+            continue;
+        }
+        // Everything else: single punctuation char.
+        out.tokens.push(Tok { line, kind: TokKind::Punct(c) });
+        i += 1;
+    }
+    out
+}
+
+/// If `b[i..]` starts a raw/byte string (`r"`, `r#"`, `b"`, `br##"`, …),
+/// return the index one past its closing delimiter; otherwise `None`.
+fn raw_or_byte_string_end(b: &[char], i: usize) -> Option<usize> {
+    let n = b.len();
+    let mut j = i;
+    // Optional 'b', optional 'r'.
+    if j < n && b[j] == 'b' {
+        j += 1;
+    }
+    let raw = j < n && b[j] == 'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    if raw {
+        while j < n && b[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    if j >= n || b[j] != '"' {
+        return None;
+    }
+    if !raw && j == i {
+        // Plain `"` with no prefix is handled by the caller.
+        return None;
+    }
+    j += 1;
+    if raw {
+        // Scan for `"` followed by `hashes` hashes; escapes are inert.
+        while j < n {
+            if b[j] == '"'
+                && j + hashes < n
+                && b[j + 1..j + 1 + hashes].iter().all(|&h| h == '#')
+            {
+                return Some(j + 1 + hashes);
+            }
+            j += 1;
+        }
+        Some(n)
+    } else {
+        // Byte string: same escape rules as a plain string.
+        while j < n {
+            match b[j] {
+                '\\' => j += 2,
+                '"' => return Some(j + 1),
+                _ => j += 1,
+            }
+        }
+        Some(n)
+    }
+}
+
+/// Line ranges `(start, end)` (inclusive, 1-based) of test-only code:
+/// every item annotated `#[test]` or `#[cfg(test)]` (attribute through
+/// the end of the item's brace block, or its `;` for bodiless items).
+pub fn test_regions(tokens: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !matches!(tokens[i].kind, TokKind::Punct('#')) {
+            i += 1;
+            continue;
+        }
+        let attr_line = tokens[i].line;
+        // Expect `[` ... `]`; look for the ident `test` inside.
+        let Some((attr_end, has_test)) = scan_attribute(tokens, i + 1) else {
+            i += 1;
+            continue;
+        };
+        if !has_test {
+            i = attr_end;
+            continue;
+        }
+        // Skip any further attributes stacked on the same item.
+        let mut j = attr_end;
+        while j < tokens.len() && matches!(tokens[j].kind, TokKind::Punct('#')) {
+            match scan_attribute(tokens, j + 1) {
+                Some((e, _)) => j = e,
+                None => break,
+            }
+        }
+        // Find the item body: the first `{` begins a block we track to
+        // its matching `}`; a `;` first means a bodiless item.
+        let mut depth = 0usize;
+        let mut end_line = attr_line;
+        while j < tokens.len() {
+            match tokens[j].kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end_line = tokens[j].line;
+                        j += 1;
+                        break;
+                    }
+                }
+                TokKind::Punct(';') if depth == 0 => {
+                    end_line = tokens[j].line;
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            end_line = tokens[j].line;
+            j += 1;
+        }
+        regions.push((attr_line, end_line));
+        i = j;
+    }
+    regions
+}
+
+/// Scan an attribute body starting at the `[` token index. Returns
+/// `(index past the closing ']', saw the ident `test`)`.
+fn scan_attribute(tokens: &[Tok], at: usize) -> Option<(usize, bool)> {
+    if !matches!(tokens.get(at)?.kind, TokKind::Punct('[')) {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut has_test = false;
+    let mut j = at;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((j + 1, has_test));
+                }
+            }
+            TokKind::Ident(id) if id == "test" => has_test = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    Some((tokens.len(), has_test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_tokens() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in /* a nested */ block */
+            let s = "HashMap in a string";
+            let r = r#"HashMap raw"#;
+        "##;
+        // The only idents are let/s/let/r.
+        assert!(!idents(src).iter().any(|i| i == "HashMap"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { unwrap_me(x) }";
+        let ids = idents(src);
+        assert!(ids.contains(&"unwrap_me".to_string()));
+        assert!(ids.contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn char_literals_lex_as_literals() {
+        let src = "let c = 'x'; let q = '\\''; let b = '{';";
+        let lx = lex(src);
+        let lits = lx.tokens.iter().filter(|t| t.kind == TokKind::Literal).count();
+        assert_eq!(lits, 3);
+    }
+
+    #[test]
+    fn line_numbers_track_through_multiline_constructs() {
+        let src = "/* one\ntwo */\nlet x = 1;\n\"a\nb\"\nident";
+        let lx = lex(src);
+        let last = lx.tokens.last().unwrap();
+        assert_eq!(last.kind, TokKind::Ident("ident".into()));
+        assert_eq!(last.line, 6);
+    }
+
+    #[test]
+    fn comment_text_is_captured() {
+        let lx = lex("let a = 1; // lint: allow(determinism) — reason\n");
+        assert_eq!(lx.comments.len(), 1);
+        assert!(lx.comments[0].text.starts_with("lint: allow"));
+    }
+
+    #[test]
+    fn cfg_test_region_spans_mod_block() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn tail() {}\n";
+        let lx = lex(src);
+        let regions = test_regions(&lx.tokens);
+        assert_eq!(regions, vec![(2, 5)]);
+    }
+
+    #[test]
+    fn test_attr_fn_region() {
+        let src = "#[test]\nfn t() {\n  boom();\n}\nfn lib() {}\n";
+        let lx = lex(src);
+        assert_eq!(test_regions(&lx.tokens), vec![(1, 4)]);
+    }
+
+    #[test]
+    fn non_test_attrs_make_no_region() {
+        let src = "#[derive(Debug)]\nstruct S;\n#[cfg(feature = \"x\")]\nfn f() {}\n";
+        let lx = lex(src);
+        assert!(test_regions(&lx.tokens).is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+//! # `dprbg-lint` — in-tree determinism & protocol-invariant analyzer
+//!
+//! The reproduction rests on invariants no compiler checks: both
+//! executors must replay byte-identical transcripts (broken the moment
+//! protocol code iterates a `HashMap` or reads a clock), the §2
+//! cost-model tables are honest only if field arithmetic goes through
+//! the counted `dprbg-field` ops, and graceful degradation dies with
+//! every stray `unwrap()` in `dprbg-core`. This crate walks the
+//! workspace with a comment/string/lifetime-aware tokenizer
+//! ([`lexer`]) and enforces those invariants as five rules ([`rules`],
+//! [`manifest`]) with `file:line` diagnostics and
+//! `// lint: allow(<rule>) — <reason>` suppressions.
+//!
+//! See `LINTS.md` at the workspace root for the rule catalog, and
+//! DESIGN.md §"Static invariants" for how the rules relate to the
+//! executor-equivalence tests.
+//!
+//! Per the hermetic policy it itself enforces, the crate has **zero
+//! dependencies** — no `syn`, no `walkdir`; a ~400-line lexer is enough
+//! because every rule is a token-level statement.
+
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+
+pub use manifest::lint_manifest;
+pub use rules::{lint_rust_source, Diagnostic, FileClass, FileKind, RuleId};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lint every manifest and Rust source file under `root` (a workspace
+/// checkout). Returns unsuppressed diagnostics sorted by path and line.
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking or reading the tree.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut diags = lint_manifests(root)?;
+    for (path, class) in rust_sources(root)? {
+        let src = fs::read_to_string(&path)?;
+        diags.extend(lint_rust_source(&label(root, &path), &src, &class));
+    }
+    diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(diags)
+}
+
+/// Lint only the manifests under `root` (the `hermetic` rule — what the
+/// `scripts/verify.sh` dependency guard delegates to).
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading the manifests.
+pub fn lint_manifests(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    for m in workspace_manifests(root)? {
+        let src = fs::read_to_string(&m)?;
+        out.extend(lint_manifest(&label(root, &m), &src));
+    }
+    Ok(out)
+}
+
+/// The workspace manifests: the root `Cargo.toml` plus every
+/// `crates/*/Cargo.toml`, sorted.
+fn workspace_manifests(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let root_manifest = root.join("Cargo.toml");
+    if root_manifest.is_file() {
+        out.push(root_manifest);
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for dir in sorted_entries(&crates_dir)? {
+            let m = dir.join("Cargo.toml");
+            if m.is_file() {
+                out.push(m);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Every Rust source under `root` with its [`FileClass`], sorted by path.
+///
+/// Classification mirrors cargo's layout: `src/` is library/binary code,
+/// `tests/` is integration-test code, `examples/` and `benches/` are
+/// demos. Fixture corpora (`tests/fixtures/**`) are skipped entirely —
+/// they contain deliberate violations for the lint's own test suite.
+fn rust_sources(root: &Path) -> io::Result<Vec<(PathBuf, FileClass)>> {
+    let mut out = Vec::new();
+    let add_package = |pkg_root: &Path, crate_name: &str, out: &mut Vec<_>| -> io::Result<()> {
+        for (dir, kind) in [
+            ("src", FileKind::Lib),
+            ("tests", FileKind::Test),
+            ("examples", FileKind::Example),
+            ("benches", FileKind::Example),
+        ] {
+            let d = pkg_root.join(dir);
+            if d.is_dir() {
+                collect_rs(&d, &mut |p| {
+                    out.push((
+                        p,
+                        FileClass { crate_name: crate_name.to_string(), kind },
+                    ));
+                })?;
+            }
+        }
+        Ok(())
+    };
+
+    add_package(root, &package_name(root).unwrap_or_else(|| "dprbg".into()), &mut out)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for dir in sorted_entries(&crates_dir)? {
+            if !dir.is_dir() {
+                continue;
+            }
+            let name = package_name(&dir).unwrap_or_else(|| {
+                format!("dprbg-{}", dir.file_name().unwrap_or_default().to_string_lossy())
+            });
+            add_package(&dir, &name, &mut out)?;
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+/// Read `name = "…"` from a package's `Cargo.toml`.
+fn package_name(pkg_root: &Path) -> Option<String> {
+    let src = fs::read_to_string(pkg_root.join("Cargo.toml")).ok()?;
+    let mut in_package = false;
+    for line in src.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(v) = rest.strip_prefix('=') {
+                    return Some(v.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Recursively collect `.rs` files under `dir` (sorted), skipping
+/// fixture corpora.
+fn collect_rs(dir: &Path, push: &mut dyn FnMut(PathBuf)) -> io::Result<()> {
+    for entry in sorted_entries(dir)? {
+        if entry.is_dir() {
+            if entry.file_name().is_some_and(|n| n == "fixtures") {
+                continue;
+            }
+            collect_rs(&entry, push)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// Directory entries sorted by name (deterministic diagnostics order).
+fn sorted_entries(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+/// A root-relative, forward-slash path label for diagnostics.
+fn label(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}

@@ -1,0 +1,70 @@
+//! `dprbg-lint` CLI: `cargo run -p dprbg-lint -- --workspace`.
+//!
+//! Exit status: 0 clean, 1 diagnostics found, 2 usage or I/O error.
+//! `scripts/verify.sh` runs `--manifests` as the dependency-policy guard
+//! and `--workspace` as the full invariant pass (see LINTS.md).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dprbg_lint::{lint_manifests, lint_workspace};
+
+fn main() -> ExitCode {
+    let mut manifests_only = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => manifests_only = false,
+            "--manifests" => manifests_only = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("dprbg-lint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: dprbg-lint [--workspace | --manifests] [--root <dir>]\n\
+                     \n\
+                     --workspace  lint every manifest and Rust source (default)\n\
+                     --manifests  hermetic dependency-policy rule only\n\
+                     --root       workspace root to scan (default: .)\n\
+                     \n\
+                     Rules and suppression syntax: see LINTS.md."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("dprbg-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let result = if manifests_only { lint_manifests(&root) } else { lint_workspace(&root) };
+    let diags = match result {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("dprbg-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if diags.is_empty() {
+        let mode = if manifests_only { "manifests" } else { "workspace" };
+        println!("dprbg-lint: {mode} clean");
+        return ExitCode::SUCCESS;
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    eprintln!(
+        "dprbg-lint: {} diagnostic{} (suppress with `// lint: allow(<rule>) — <reason>`, see LINTS.md)",
+        diags.len(),
+        if diags.len() == 1 { "" } else { "s" }
+    );
+    ExitCode::FAILURE
+}

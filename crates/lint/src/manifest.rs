@@ -1,0 +1,195 @@
+//! The `hermetic` rule: manifests declare only in-tree dependencies.
+//!
+//! The workspace's dependency policy (DESIGN.md, "Dependency policy") is
+//! that `cargo build --offline` must always succeed: every dependency in
+//! every `Cargo.toml` is either `name.workspace = true`,
+//! `name = { workspace = true }`, or a `path = "…"` table. Registry
+//! sources (`version = …`, bare `name = "1.0"`), `git = …`, and
+//! `registry = …` are forbidden.
+//!
+//! This used to live as an `awk` script in `scripts/verify.sh`; it is
+//! re-implemented here (the script now delegates to
+//! `dprbg-lint --manifests`) and closes a hole the awk version had:
+//! `[dependencies.foo]` subsection headers were not recognized as
+//! dependency sections at all.
+
+use crate::rules::{Diagnostic, RuleId};
+
+/// Classify a `[section]` header: `Some(false)` for a dependency table
+/// (`[dependencies]`, `[dev-dependencies]`, `[workspace.dependencies]`,
+/// `[target.….dependencies]`), `Some(true)` for the single-dependency
+/// subsection form (`[dependencies.foo]`), `None` otherwise.
+fn dep_header(header: &str) -> Option<bool> {
+    let inner = header.trim().trim_start_matches('[').trim_end_matches(']');
+    if inner.ends_with("dependencies") {
+        return Some(false);
+    }
+    if let Some(dot) = inner.rfind('.') {
+        if inner[..dot].ends_with("dependencies") {
+            return Some(true);
+        }
+    }
+    None
+}
+
+/// Lint one manifest. `label` is the path used in diagnostics.
+pub fn lint_manifest(label: &str, source: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut in_deps = false;
+    let mut in_subsection = false;
+    let mut subsection_ok = false;
+    let mut subsection_line = 0u32;
+
+    let close_subsection = |diags: &mut Vec<Diagnostic>,
+                                in_subsection: &mut bool,
+                                subsection_ok: bool,
+                                subsection_line: u32| {
+        if *in_subsection && !subsection_ok {
+            diags.push(Diagnostic {
+                file: label.to_string(),
+                line: subsection_line,
+                rule: RuleId::Hermetic,
+                message: "dependency subsection without `path`/`workspace` source".to_string(),
+            });
+        }
+        *in_subsection = false;
+    };
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            close_subsection(&mut diags, &mut in_subsection, subsection_ok, subsection_line);
+            match dep_header(line) {
+                None => in_deps = false,
+                Some(subsection) => {
+                    in_deps = true;
+                    if subsection {
+                        in_subsection = true;
+                        subsection_ok = false;
+                        subsection_line = line_no;
+                    }
+                }
+            }
+            continue;
+        }
+        if !in_deps {
+            continue;
+        }
+        let banned = ["version", "git", "registry"]
+            .iter()
+            .any(|k| is_key(line, k) || contains_inline_key(line, k));
+        let ok = line.contains("workspace = true")
+            || line.contains("workspace=true")
+            || contains_inline_key(line, "path")
+            || is_key(line, "path");
+        if in_subsection {
+            // Inside `[dependencies.foo]`: `path = …` / `workspace = true`
+            // keys legitimize the subsection; banned keys fail it.
+            if ok {
+                subsection_ok = true;
+            }
+            if banned {
+                diags.push(Diagnostic {
+                    file: label.to_string(),
+                    line: line_no,
+                    rule: RuleId::Hermetic,
+                    message: format!("non-path dependency source: `{line}`"),
+                });
+                subsection_ok = true; // already reported; don't double up
+            }
+            continue;
+        }
+        // A table-section entry: `name = …` must carry a path/workspace
+        // source and no registry/git key. A bare `name = "1.0"` has
+        // neither and is exactly the registry shorthand.
+        if banned || !ok {
+            diags.push(Diagnostic {
+                file: label.to_string(),
+                line: line_no,
+                rule: RuleId::Hermetic,
+                message: format!("non-path dependency: `{line}`"),
+            });
+        }
+    }
+    close_subsection(&mut diags, &mut in_subsection, subsection_ok, subsection_line);
+    diags
+}
+
+/// Whether the line assigns to exactly `key` (e.g. `path = "…"`).
+fn is_key(line: &str, key: &str) -> bool {
+    line.split('=')
+        .next()
+        .is_some_and(|lhs| lhs.trim() == key)
+}
+
+/// Whether an inline table on the line contains `key =` / `key=`.
+fn contains_inline_key(line: &str, key: &str) -> bool {
+    line.match_indices(key).any(|(at, _)| {
+        // Preceded by a non-ident char (or start) and followed by `=`.
+        let before_ok = at == 0
+            || !line[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '-');
+        let after = line[at + key.len()..].trim_start();
+        before_ok && after.starts_with('=')
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_and_path_deps_pass() {
+        let m = "[dependencies]\ndprbg-core.workspace = true\n\
+                 dprbg-rng = { workspace = true }\nlocal = { path = \"../local\" }\n";
+        assert!(lint_manifest("Cargo.toml", m).is_empty());
+    }
+
+    #[test]
+    fn registry_shorthand_fails() {
+        let m = "[dependencies]\nserde = \"1.0\"\n";
+        let d = lint_manifest("Cargo.toml", m);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RuleId::Hermetic);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn git_and_version_keys_fail() {
+        let m = "[dev-dependencies]\nfoo = { git = \"https://example.com/foo\" }\n\
+                 bar = { version = \"0.3\", features = [\"x\"] }\n";
+        assert_eq!(lint_manifest("Cargo.toml", m).len(), 2);
+    }
+
+    #[test]
+    fn subsection_form_is_checked() {
+        // The hole the awk guard had: [dependencies.foo] with a version.
+        let m = "[dependencies.foo]\nversion = \"1\"\n";
+        let d = lint_manifest("Cargo.toml", m);
+        assert_eq!(d.len(), 1);
+        // And the legitimate path form passes.
+        let ok = "[dependencies.foo]\npath = \"../foo\"\n";
+        assert!(lint_manifest("Cargo.toml", ok).is_empty());
+        // A subsection with no source at all is also flagged.
+        let none = "[dependencies.foo]\nfeatures = [\"x\"]\n";
+        assert_eq!(lint_manifest("Cargo.toml", none).len(), 1);
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored() {
+        let m = "[package]\nname = \"x\"\nversion = \"0.1.0\"\n[features]\ndefault = []\n";
+        assert!(lint_manifest("Cargo.toml", m).is_empty());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let m = "[dependencies]\n# serde = \"1.0\"\n\ndprbg-core.workspace = true\n";
+        assert!(lint_manifest("Cargo.toml", m).is_empty());
+    }
+}

@@ -1,0 +1,556 @@
+//! The rule engine: repo-specific invariants over the token stream.
+//!
+//! Each rule is a statement the compiler cannot check but the test suite
+//! silently depends on (see `LINTS.md` for the catalog and rationale):
+//!
+//! | id | invariant |
+//! |---|---|
+//! | `determinism` | protocol crates never consult iteration-order-unstable types, wall clocks, thread ids, or the environment |
+//! | `error-discipline` | `dprbg-core`/`dprbg-protocols` library code never `unwrap`/`expect`/`panic!` |
+//! | `cost-model` | field arithmetic outside `dprbg-field` goes through the counted ops, never raw bit-hacks |
+//! | `transport` | machines talk only via `Outbox`; threads, channels, and the threaded executor stay in `dprbg-sim` |
+//! | `hermetic` | manifests declare only in-tree path/workspace dependencies (see [`crate::manifest`]) |
+//!
+//! Suppression: `// lint: allow(<rule>) — <reason>` on the offending
+//! line or the line above; `// lint: allow-file(<rule>) — <reason>`
+//! anywhere for the whole file. A reason is mandatory — an allow without
+//! one (or naming an unknown rule) is itself a diagnostic
+//! (`allow-syntax`) and suppresses nothing.
+
+use crate::lexer::{lex, test_regions, Comment, Tok, TokKind};
+
+/// Identity of a lint rule (or of the allow-comment syntax check).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Iteration-order / clock / environment nondeterminism.
+    Determinism,
+    /// `unwrap`/`expect`/`panic!` in library code of the core crates.
+    ErrorDiscipline,
+    /// Raw bit arithmetic bypassing the counted field ops.
+    CostModel,
+    /// Threads, channels, or the threaded executor outside `dprbg-sim`.
+    Transport,
+    /// Non-path dependency in a manifest.
+    Hermetic,
+    /// Malformed `lint: allow` comment.
+    AllowSyntax,
+}
+
+impl RuleId {
+    /// The rule's name as written in allow comments and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::Determinism => "determinism",
+            RuleId::ErrorDiscipline => "error-discipline",
+            RuleId::CostModel => "cost-model",
+            RuleId::Transport => "transport",
+            RuleId::Hermetic => "hermetic",
+            RuleId::AllowSyntax => "allow-syntax",
+        }
+    }
+
+    /// Parse an allow-comment rule name.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s {
+            "determinism" => Some(RuleId::Determinism),
+            "error-discipline" => Some(RuleId::ErrorDiscipline),
+            "cost-model" => Some(RuleId::CostModel),
+            "transport" => Some(RuleId::Transport),
+            "hermetic" => Some(RuleId::Hermetic),
+            _ => None,
+        }
+    }
+}
+
+/// One finding, formatted as `file:line: [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the offending token (or comment).
+    pub line: u32,
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// How a source file is treated by the per-crate rule scopes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library or binary code: all scoped rules apply (minus `#[cfg(test)]`
+    /// regions, which are exempt).
+    Lib,
+    /// Integration-test code: exempt from every token rule.
+    Test,
+    /// Example code: exempt (demo code deliberately uses the blocking API).
+    Example,
+}
+
+/// Which crate a file belongs to and how it is classified.
+#[derive(Debug, Clone)]
+pub struct FileClass {
+    /// Package name (`dprbg`, `dprbg-core`, …).
+    pub crate_name: String,
+    /// Library / test / example classification.
+    pub kind: FileKind,
+}
+
+/// Crates whose non-test code must be transcript-deterministic: protocol
+/// logic, its algebra substrates, and both executors.
+const DETERMINISM_CRATES: &[&str] =
+    &["dprbg-core", "dprbg-protocols", "dprbg-poly", "dprbg-field", "dprbg-sim"];
+
+/// Crates whose library code must surface failures as `ProtocolError`
+/// (PR 3's graceful-degradation taxonomy), never panic.
+const ERROR_CRATES: &[&str] = &["dprbg-core", "dprbg-protocols"];
+
+/// Crates whose field arithmetic must go through the counted
+/// `dprbg-field` ops so the §2 cost-model tables stay honest.
+const COST_CRATES: &[&str] = &["dprbg-core", "dprbg-protocols", "dprbg-poly"];
+
+/// The one crate allowed to own threads, channels, and the threaded
+/// executor entry points.
+const TRANSPORT_HOME: &str = "dprbg-sim";
+
+/// Identifiers that imply iteration-order or ambient nondeterminism.
+const NONDET_IDENTS: &[(&str, &str)] = &[
+    ("HashMap", "iteration order is seed-dependent; use BTreeMap"),
+    ("HashSet", "iteration order is seed-dependent; use BTreeSet"),
+    ("RandomState", "hasher seeding is per-process nondeterministic"),
+    ("DefaultHasher", "hasher seeding is per-process nondeterministic"),
+    ("SystemTime", "wall-clock reads break transcript replay"),
+    ("Instant", "monotonic-clock reads break transcript replay"),
+    ("ThreadId", "thread identity is scheduler-dependent"),
+];
+
+/// `first::second` path pairs that imply nondeterminism.
+const NONDET_PATHS: &[(&str, &str, &str)] = &[
+    ("std", "time", "clock reads break transcript replay"),
+    ("std", "env", "environment reads break transcript replay"),
+    ("env", "var", "environment reads break transcript replay"),
+    ("env", "vars", "environment reads break transcript replay"),
+    ("env", "var_os", "environment reads break transcript replay"),
+    ("thread", "current", "thread identity is scheduler-dependent"),
+];
+
+/// Methods that are raw limb bit-hacks when called outside `dprbg-field`.
+const BITHACK_METHODS: &[&str] = &[
+    "wrapping_mul",
+    "wrapping_add",
+    "wrapping_sub",
+    "rotate_left",
+    "rotate_right",
+    "count_ones",
+    "leading_zeros",
+    "trailing_zeros",
+    "swap_bytes",
+];
+
+/// Threaded-executor entry points (defined in `dprbg-sim`); calling them
+/// anywhere else must be justified with an allow comment.
+const THREADED_ENTRYPOINTS: &[&str] = &["run_network", "run_machines", "run_machines_with_tap"];
+
+/// A parsed `lint: allow` comment.
+#[derive(Debug)]
+struct Allow {
+    line: u32,
+    end_line: u32,
+    rules: Vec<RuleId>,
+    file_scope: bool,
+}
+
+/// Lint one Rust source file. `label` is the path used in diagnostics;
+/// `class` tells the engine which rule scopes apply.
+pub fn lint_rust_source(label: &str, source: &str, class: &FileClass) -> Vec<Diagnostic> {
+    let lexed = lex(source);
+    let mut diags = Vec::new();
+    let (allows, mut allow_diags) = parse_allows(label, &lexed.comments);
+    diags.append(&mut allow_diags);
+
+    if class.kind == FileKind::Lib {
+        let regions = test_regions(&lexed.tokens);
+        let in_test =
+            |line: u32| regions.iter().any(|&(s, e)| line >= s && line <= e);
+        let toks = &lexed.tokens;
+        for (i, tok) in toks.iter().enumerate() {
+            if in_test(tok.line) {
+                continue;
+            }
+            check_token(label, class, toks, i, tok, &mut diags);
+        }
+    }
+
+    // One finding per (line, rule): overlapping patterns (`std::env` and
+    // `env::var`, say) should read as a single diagnostic.
+    diags.sort_by_key(|d| (d.line, d.rule));
+    diags.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+
+    // Apply suppressions: an allow matching the rule on the same line,
+    // the line directly above, or file-wide.
+    diags.retain(|d| {
+        if d.rule == RuleId::AllowSyntax {
+            return true;
+        }
+        !allows.iter().any(|a| {
+            a.rules.contains(&d.rule)
+                && (a.file_scope || d.line == a.line || d.line == a.end_line + 1)
+        })
+    });
+    diags
+}
+
+/// Run every token rule that applies to `class` against token `i`.
+fn check_token(
+    label: &str,
+    class: &FileClass,
+    toks: &[Tok],
+    i: usize,
+    tok: &Tok,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let crate_name = class.crate_name.as_str();
+    let push = |diags: &mut Vec<Diagnostic>, rule: RuleId, line: u32, msg: String| {
+        diags.push(Diagnostic { file: label.to_string(), line, rule, message: msg });
+    };
+
+    // -- determinism ----------------------------------------------------
+    if DETERMINISM_CRATES.contains(&crate_name) {
+        if let TokKind::Ident(id) = &tok.kind {
+            for (banned, why) in NONDET_IDENTS {
+                if id == banned {
+                    push(
+                        diags,
+                        RuleId::Determinism,
+                        tok.line,
+                        format!("`{banned}` in protocol code: {why}"),
+                    );
+                }
+            }
+            for (a, b, why) in NONDET_PATHS {
+                if id == a && path_next(toks, i) == Some(*b) {
+                    push(
+                        diags,
+                        RuleId::Determinism,
+                        tok.line,
+                        format!("`{a}::{b}` in protocol code: {why}"),
+                    );
+                }
+            }
+            // env!/option_env! compile-time reads still smuggle ambient
+            // state into protocol behavior.
+            if (id == "env" || id == "option_env")
+                && matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokKind::Punct('!')))
+            {
+                push(
+                    diags,
+                    RuleId::Determinism,
+                    tok.line,
+                    format!("`{id}!` in protocol code: environment reads break transcript replay"),
+                );
+            }
+        }
+    }
+
+    // -- error-discipline -----------------------------------------------
+    if ERROR_CRATES.contains(&crate_name) {
+        if let TokKind::Ident(id) = &tok.kind {
+            if (id == "unwrap" || id == "expect") && is_method_position(toks, i) {
+                push(
+                    diags,
+                    RuleId::ErrorDiscipline,
+                    tok.line,
+                    format!("`.{id}()` in library code: surface a `ProtocolError` instead"),
+                );
+            }
+            if (id == "panic" || id == "todo" || id == "unimplemented")
+                && matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokKind::Punct('!')))
+            {
+                push(
+                    diags,
+                    RuleId::ErrorDiscipline,
+                    tok.line,
+                    format!("`{id}!` in library code: surface a `ProtocolError` instead"),
+                );
+            }
+        }
+    }
+
+    // -- cost-model ------------------------------------------------------
+    if COST_CRATES.contains(&crate_name) {
+        if let TokKind::Punct('^') = tok.kind {
+            push(
+                diags,
+                RuleId::CostModel,
+                tok.line,
+                "raw XOR on limbs bypasses the counted `dprbg-field` ops (§2 cost model)"
+                    .to_string(),
+            );
+        }
+        if let TokKind::Ident(id) = &tok.kind {
+            if BITHACK_METHODS.contains(&id.as_str()) && is_method_position(toks, i) {
+                push(
+                    diags,
+                    RuleId::CostModel,
+                    tok.line,
+                    format!(
+                        "`.{id}()` bit-hack bypasses the counted `dprbg-field` ops (§2 cost model)"
+                    ),
+                );
+            }
+        }
+    }
+
+    // -- transport -------------------------------------------------------
+    if crate_name != TRANSPORT_HOME {
+        if let TokKind::Ident(id) = &tok.kind {
+            if id == "mpsc" || id == "JoinHandle" {
+                push(
+                    diags,
+                    RuleId::Transport,
+                    tok.line,
+                    format!("`{id}` outside `dprbg-sim`: machine I/O must go through `Outbox`"),
+                );
+            }
+            if id == "thread"
+                && matches!(
+                    path_next(toks, i),
+                    Some("spawn") | Some("scope") | Some("sleep") | Some("Builder")
+                )
+            {
+                push(
+                    diags,
+                    RuleId::Transport,
+                    tok.line,
+                    "thread use outside `dprbg-sim`: machine I/O must go through `Outbox`"
+                        .to_string(),
+                );
+            }
+            if THREADED_ENTRYPOINTS.contains(&id.as_str()) {
+                push(
+                    diags,
+                    RuleId::Transport,
+                    tok.line,
+                    format!(
+                        "threaded-executor entry point `{id}` outside `dprbg-sim`: \
+                         prefer `StepRunner` (sans-IO round engine)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// If tokens `i+1..` are `::ident`, return that identifier.
+fn path_next(toks: &[Tok], i: usize) -> Option<&str> {
+    if matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokKind::Punct(':')))
+        && matches!(toks.get(i + 2).map(|t| &t.kind), Some(TokKind::Punct(':')))
+    {
+        if let Some(TokKind::Ident(id)) = toks.get(i + 3).map(|t| &t.kind) {
+            return Some(id.as_str());
+        }
+    }
+    None
+}
+
+/// Whether token `i` is reached as a method or path segment (`.name` or
+/// `::name`) — distinguishes `x.unwrap()` from a local named `unwrap`.
+fn is_method_position(toks: &[Tok], i: usize) -> bool {
+    matches!(
+        i.checked_sub(1).and_then(|p| toks.get(p)).map(|t| &t.kind),
+        Some(TokKind::Punct('.')) | Some(TokKind::Punct(':'))
+    )
+}
+
+/// Parse `lint: allow(...)` comments; returns the valid allows plus
+/// diagnostics for malformed ones.
+fn parse_allows(label: &str, comments: &[Comment]) -> (Vec<Allow>, Vec<Diagnostic>) {
+    let mut allows = Vec::new();
+    let mut diags = Vec::new();
+    for c in comments {
+        if c.doc {
+            continue;
+        }
+        let Some(at) = c.text.find("lint:") else { continue };
+        let rest = c.text[at + "lint:".len()..].trim_start();
+        let file_scope = rest.starts_with("allow-file(");
+        let line_scope = rest.starts_with("allow(");
+        if !file_scope && !line_scope {
+            diags.push(Diagnostic {
+                file: label.to_string(),
+                line: c.line,
+                rule: RuleId::AllowSyntax,
+                message: "malformed lint comment: expected `lint: allow(<rule>) — <reason>`"
+                    .to_string(),
+            });
+            continue;
+        }
+        let open = rest.find('(').expect("checked by starts_with");
+        let Some(close) = rest[open..].find(')').map(|k| open + k) else {
+            diags.push(Diagnostic {
+                file: label.to_string(),
+                line: c.line,
+                rule: RuleId::AllowSyntax,
+                message: "malformed lint comment: missing `)`".to_string(),
+            });
+            continue;
+        };
+        let mut rules = Vec::new();
+        let mut bad = false;
+        for name in rest[open + 1..close].split(',') {
+            let name = name.trim();
+            match RuleId::parse(name) {
+                Some(r) => rules.push(r),
+                None => {
+                    diags.push(Diagnostic {
+                        file: label.to_string(),
+                        line: c.line,
+                        rule: RuleId::AllowSyntax,
+                        message: format!("unknown lint rule `{name}` in allow comment"),
+                    });
+                    bad = true;
+                }
+            }
+        }
+        // The reason is whatever follows the `)`, minus separator
+        // punctuation. It is mandatory: a suppression must say *why*.
+        let reason = rest[close + 1..]
+            .trim_start_matches([' ', '\t', '—', '-', ':', '–'])
+            .trim();
+        if reason.is_empty() {
+            diags.push(Diagnostic {
+                file: label.to_string(),
+                line: c.line,
+                rule: RuleId::AllowSyntax,
+                message: "allow comment without a reason: write `lint: allow(<rule>) — <why>`"
+                    .to_string(),
+            });
+            bad = true;
+        }
+        if !bad && !rules.is_empty() {
+            allows.push(Allow { line: c.line, end_line: c.end_line, rules, file_scope });
+        }
+    }
+    (allows, diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core_lib() -> FileClass {
+        FileClass { crate_name: "dprbg-core".into(), kind: FileKind::Lib }
+    }
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        lint_rust_source("x.rs", src, &core_lib())
+    }
+
+    #[test]
+    fn hashmap_fires_and_btreemap_does_not() {
+        let d = lint("use std::collections::HashMap;\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RuleId::Determinism);
+        assert!(lint("use std::collections::BTreeMap;\n").is_empty());
+    }
+
+    #[test]
+    fn comment_mentions_do_not_fire() {
+        assert!(lint("// HashMap is banned here\nfn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn allow_on_line_above_suppresses() {
+        let src = "// lint: allow(determinism) — historical wire format\nuse std::collections::HashMap;\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_rejected_and_reported() {
+        let src = "// lint: allow(determinism)\nuse std::collections::HashMap;\n";
+        let d = lint(src);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().any(|x| x.rule == RuleId::AllowSyntax));
+        assert!(d.iter().any(|x| x.rule == RuleId::Determinism));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_reported() {
+        let src = "// lint: allow(speling) — whatever\nfn f() {}\n";
+        let d = lint(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RuleId::AllowSyntax);
+    }
+
+    #[test]
+    fn unwrap_in_cfg_test_is_exempt(){
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
+        assert!(lint(src).is_empty());
+        let d = lint("fn f() { x.unwrap(); }\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RuleId::ErrorDiscipline);
+    }
+
+    #[test]
+    fn unwrap_ident_alone_is_fine() {
+        assert!(lint("fn f() { let unwrap = 1; let _ = unwrap; }\n").is_empty());
+    }
+
+    #[test]
+    fn xor_fires_in_cost_scope_only() {
+        let d = lint("fn f(a: u64, b: u64) -> u64 { a ^ b }\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RuleId::CostModel);
+        let field = FileClass { crate_name: "dprbg-field".into(), kind: FileKind::Lib };
+        assert!(lint_rust_source("x.rs", "fn f(a: u64, b: u64) -> u64 { a ^ b }\n", &field)
+            .is_empty());
+    }
+
+    #[test]
+    fn transport_entry_point_fires_outside_sim() {
+        let bench = FileClass { crate_name: "dprbg-bench".into(), kind: FileKind::Lib };
+        let d = lint_rust_source("x.rs", "fn f() { run_network(3, 0, v); }\n", &bench);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RuleId::Transport);
+        let sim = FileClass { crate_name: "dprbg-sim".into(), kind: FileKind::Lib };
+        assert!(lint_rust_source("x.rs", "fn f() { run_network(3, 0, v); }\n", &sim).is_empty());
+    }
+
+    #[test]
+    fn allow_file_suppresses_everywhere() {
+        let bench = FileClass { crate_name: "dprbg-bench".into(), kind: FileKind::Lib };
+        let src = "// lint: allow-file(transport) — threaded baseline comparator\n\
+                   fn a() { run_network(3, 0, v); }\nfn b() { run_network(5, 1, w); }\n";
+        assert!(lint_rust_source("x.rs", src, &bench).is_empty());
+    }
+
+    #[test]
+    fn tests_and_examples_are_exempt() {
+        let t = FileClass { crate_name: "dprbg".into(), kind: FileKind::Test };
+        assert!(lint_rust_source("t.rs", "fn f() { x.unwrap(); run_network(1,0,v); }", &t)
+            .is_empty());
+        let e = FileClass { crate_name: "dprbg".into(), kind: FileKind::Example };
+        assert!(lint_rust_source("e.rs", "fn f() { run_network(1,0,v); }", &e).is_empty());
+    }
+
+    #[test]
+    fn generic_angle_brackets_do_not_false_positive() {
+        // `<M as Embeds<ExposeMsg<F>>>::wrap(...)` — shifts/generics are
+        // deliberately out of the cost-model rule's reach.
+        let src = "fn f() { let x = <M as Embeds<ExposeMsg<F>>>::wrap(m); }\n";
+        assert!(lint(src).is_empty());
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: malformed suppressions — each is itself a diagnostic.
+// lint: allow(determinism)
+use std::collections::HashMap;
+
+// lint: allow(no-such-rule) — the rule name is wrong
+fn f() -> HashMap<u64, u64> {
+    HashMap::new()
+}
+
+// lint: allowing(determinism) — misspelled verb
+fn g() {}

@@ -1,0 +1,10 @@
+// Fixture: justified bit-twiddling plus arithmetic that is fine.
+// lint: allow(cost-model) — fixture: seed derivation, not share arithmetic
+fn derive(seed: u64, id: u64) -> u64 {
+    seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15) // lint: allow(cost-model) — fixture: same-line form
+}
+
+// Plain `+`/`*` on counters is not a bit-hack.
+fn tally(a: u64, b: u64) -> u64 {
+    a + b * 2
+}

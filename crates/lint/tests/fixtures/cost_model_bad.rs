@@ -1,0 +1,16 @@
+// Fixture: raw limb bit-hacks that bypass the counted field ops.
+fn gf_add(a: u64, b: u64) -> u64 {
+    a ^ b
+}
+
+fn gf_acc(acc: &mut u64, x: u64) {
+    *acc ^= x;
+}
+
+fn weight(x: u64) -> u32 {
+    x.count_ones()
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    a.wrapping_mul(b).rotate_left(7)
+}

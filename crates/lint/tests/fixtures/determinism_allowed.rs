@@ -1,0 +1,13 @@
+// Fixture: the same nondeterminism sources, each justified.
+// lint: allow(determinism) — fixture: pinned wire format predates the BTreeMap sweep
+use std::collections::HashMap;
+
+// lint: allow(determinism) — fixture: value never reaches a transcript
+fn state() -> HashMap<u64, u64> {
+    HashMap::new() // lint: allow(determinism) — fixture: same-line form
+}
+
+// A BTreeMap needs no annotation at all.
+fn ordered() -> std::collections::BTreeMap<u64, u64> {
+    std::collections::BTreeMap::new()
+}

@@ -1,0 +1,24 @@
+// Fixture: every banned ambient-nondeterminism source, unsuppressed.
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+fn state() -> HashMap<u64, u64> {
+    let _seen: HashSet<u64> = HashSet::new();
+    HashMap::new()
+}
+
+fn clock() -> Instant {
+    Instant::now()
+}
+
+fn wall() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+fn ambient() -> Option<String> {
+    std::env::var("SEED").ok()
+}
+
+fn who() -> std::thread::ThreadId {
+    std::thread::current().id()
+}

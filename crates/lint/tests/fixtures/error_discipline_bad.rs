@@ -1,0 +1,20 @@
+// Fixture: library-code panics that should be `ProtocolError`s.
+fn decode(x: Option<u64>) -> u64 {
+    x.unwrap()
+}
+
+fn decode2(x: Option<u64>) -> u64 {
+    x.expect("always present")
+}
+
+fn stage() -> u64 {
+    panic!("driven past completion")
+}
+
+fn later() -> u64 {
+    todo!()
+}
+
+fn never() -> u64 {
+    unimplemented!()
+}

@@ -1,0 +1,9 @@
+// Fixture: a justified threaded-runner user (file-wide form).
+// lint: allow-file(transport) — fixture: cross-executor equivalence needs the threaded half
+fn shim(n: usize, seed: u64, behaviors: Vec<u64>) -> Vec<u64> {
+    run_network(n, seed, behaviors)
+}
+
+fn shim2(n: usize, seed: u64, machines: Vec<u64>) -> Vec<u64> {
+    run_machines_with_tap(n, seed, machines)
+}

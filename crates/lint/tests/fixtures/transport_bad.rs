@@ -1,0 +1,11 @@
+// Fixture: thread/channel/threaded-executor use outside dprbg-sim.
+use std::sync::mpsc;
+
+fn fan_out() {
+    let (_tx, _rx) = mpsc::channel::<u64>();
+    std::thread::spawn(|| {});
+}
+
+fn shim(n: usize, seed: u64, behaviors: Vec<u64>) -> Vec<u64> {
+    run_network(n, seed, behaviors)
+}

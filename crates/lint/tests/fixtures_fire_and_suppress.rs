@@ -1,0 +1,113 @@
+//! Every rule must fire on its bad fixture and stay silent on its
+//! allowed fixture — the analyzer's own regression corpus
+//! (`tests/fixtures/`; the workspace scan deliberately skips that
+//! directory).
+
+use dprbg_lint::{lint_manifest, lint_rust_source, FileClass, FileKind, RuleId};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Lint a fixture as if it were library code of `crate_name`.
+fn lint_as(name: &str, crate_name: &str) -> Vec<dprbg_lint::Diagnostic> {
+    let class = FileClass { crate_name: crate_name.into(), kind: FileKind::Lib };
+    lint_rust_source(name, &fixture(name), &class)
+}
+
+#[test]
+fn determinism_bad_fires() {
+    let d = lint_as("determinism_bad.rs", "dprbg-core");
+    assert!(d.len() >= 6, "want every nondeterminism source flagged, got {d:#?}");
+    assert!(d.iter().all(|x| x.rule == RuleId::Determinism));
+    // Specific sources: hash collections, clocks, env, thread id.
+    // (`SystemTime` lines surface as the `std::time` path diagnostic.)
+    for needle in ["HashMap", "HashSet", "Instant", "std::time", "env", "thread"] {
+        assert!(
+            d.iter().any(|x| x.message.contains(needle)),
+            "no diagnostic mentions {needle}: {d:#?}"
+        );
+    }
+}
+
+#[test]
+fn determinism_allowed_is_clean() {
+    assert_eq!(lint_as("determinism_allowed.rs", "dprbg-core"), vec![]);
+}
+
+#[test]
+fn determinism_is_scoped_to_protocol_crates() {
+    // The same file inside the bench crate is out of scope.
+    assert_eq!(lint_as("determinism_bad.rs", "dprbg-bench").len(), 0);
+}
+
+#[test]
+fn error_discipline_bad_fires() {
+    let d = lint_as("error_discipline_bad.rs", "dprbg-core");
+    assert_eq!(d.len(), 5, "unwrap, expect, panic!, todo!, unimplemented!: {d:#?}");
+    assert!(d.iter().all(|x| x.rule == RuleId::ErrorDiscipline));
+}
+
+#[test]
+fn error_discipline_allowed_is_clean() {
+    assert_eq!(lint_as("error_discipline_allowed.rs", "dprbg-core"), vec![]);
+}
+
+#[test]
+fn cost_model_bad_fires() {
+    let d = lint_as("cost_model_bad.rs", "dprbg-poly");
+    assert!(d.len() >= 4, "xor, xor-assign, count_ones, wrapping/rotate: {d:#?}");
+    assert!(d.iter().all(|x| x.rule == RuleId::CostModel));
+}
+
+#[test]
+fn cost_model_allowed_is_clean() {
+    assert_eq!(lint_as("cost_model_allowed.rs", "dprbg-core"), vec![]);
+}
+
+#[test]
+fn cost_model_exempts_dprbg_field() {
+    // The counted implementation itself is the one place bit-hacks live.
+    assert_eq!(lint_as("cost_model_bad.rs", "dprbg-field").len(), 0);
+}
+
+#[test]
+fn transport_bad_fires() {
+    let d = lint_as("transport_bad.rs", "dprbg-bench");
+    assert!(d.len() >= 3, "mpsc, thread spawn, run_network: {d:#?}");
+    assert!(d.iter().all(|x| x.rule == RuleId::Transport));
+}
+
+#[test]
+fn transport_allowed_is_clean() {
+    assert_eq!(lint_as("transport_allowed.rs", "dprbg-bench"), vec![]);
+}
+
+#[test]
+fn transport_exempts_dprbg_sim() {
+    assert_eq!(lint_as("transport_bad.rs", "dprbg-sim").len(), 0);
+}
+
+#[test]
+fn hermetic_bad_fires() {
+    let d = lint_manifest("hermetic_bad.toml", &fixture("hermetic_bad.toml"));
+    assert!(d.len() >= 5, "five forbidden dependency shapes: {d:#?}");
+    assert!(d.iter().all(|x| x.rule == RuleId::Hermetic));
+}
+
+#[test]
+fn hermetic_allowed_is_clean() {
+    assert_eq!(
+        lint_manifest("hermetic_allowed.toml", &fixture("hermetic_allowed.toml")),
+        vec![]
+    );
+}
+
+#[test]
+fn malformed_allows_are_diagnostics_and_do_not_suppress() {
+    let d = lint_as("allow_syntax_bad.rs", "dprbg-core");
+    // Three malformed allows + the HashMap uses they fail to suppress.
+    assert!(d.iter().filter(|x| x.rule == RuleId::AllowSyntax).count() >= 3, "{d:#?}");
+    assert!(d.iter().any(|x| x.rule == RuleId::Determinism), "{d:#?}");
+}

@@ -1,0 +1,86 @@
+//! The analyzer's ultimate fixture is the repository itself: a full
+//! workspace scan must produce zero unsuppressed diagnostics, and the
+//! CLI must exit non-zero the moment a violation is introduced.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint → workspace root is two levels up.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint has a workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_scan_is_clean() {
+    let diags = dprbg_lint::lint_workspace(&workspace_root()).expect("scan succeeds");
+    assert!(
+        diags.is_empty(),
+        "workspace must lint clean; fix or `// lint: allow(<rule>) — <reason>` these:\n{}",
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn manifests_scan_is_clean() {
+    let diags = dprbg_lint::lint_manifests(&workspace_root()).expect("scan succeeds");
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+/// End-to-end: the binary exits 0 on the real workspace and 1 on a
+/// synthetic workspace seeded with a `HashMap` in protocol code and a
+/// registry dependency.
+#[test]
+fn cli_exit_codes() {
+    let bin = env!("CARGO_BIN_EXE_dprbg-lint");
+
+    let ok = Command::new(bin)
+        .args(["--workspace", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("run dprbg-lint");
+    assert!(ok.status.success(), "clean tree must exit 0: {ok:?}");
+
+    // Build a bad mini-workspace under the cargo-provided tmp dir.
+    let bad_root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint-bad-workspace");
+    let core_src = bad_root.join("crates/core/src");
+    std::fs::create_dir_all(&core_src).expect("mkdir");
+    std::fs::write(
+        bad_root.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/*\"]\n",
+    )
+    .expect("write root manifest");
+    std::fs::write(
+        bad_root.join("crates/core/Cargo.toml"),
+        "[package]\nname = \"dprbg-core\"\nversion = \"0.1.0\"\n\n[dependencies]\nserde = \"1.0\"\n",
+    )
+    .expect("write crate manifest");
+    std::fs::write(
+        core_src.join("lib.rs"),
+        "use std::collections::HashMap;\npub fn m() -> HashMap<u8, u8> { HashMap::new() }\n",
+    )
+    .expect("write source");
+
+    let bad = Command::new(bin)
+        .args(["--workspace", "--root"])
+        .arg(&bad_root)
+        .output()
+        .expect("run dprbg-lint");
+    assert_eq!(bad.status.code(), Some(1), "violations must exit 1: {bad:?}");
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(stdout.contains("[determinism]"), "{stdout}");
+    assert!(stdout.contains("[hermetic]"), "{stdout}");
+
+    // --manifests mode sees only the hermetic violation.
+    let manifests = Command::new(bin)
+        .args(["--manifests", "--root"])
+        .arg(&bad_root)
+        .output()
+        .expect("run dprbg-lint");
+    assert_eq!(manifests.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&manifests.stdout);
+    assert!(stdout.contains("[hermetic]") && !stdout.contains("[determinism]"), "{stdout}");
+}

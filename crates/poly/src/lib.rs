@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Polynomial algebra and decoding for the `dprbg` workspace.

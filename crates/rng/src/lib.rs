@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 //! # dprbg-rng — hermetic deterministic randomness for the workspace
 //!
 //! An in-tree replacement for the external `rand` stack, providing exactly

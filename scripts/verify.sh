@@ -9,33 +9,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== guard: every dependency must be an in-tree path crate =="
-bad=0
-for manifest in Cargo.toml crates/*/Cargo.toml; do
-    # Inside any *dependencies section, each entry must be either
-    # `name.workspace = true`, `name = { workspace = true }`, or a
-    # `path = "..."` table. Registry (`version = ...`), `git = ...`, and
-    # `registry = ...` sources are forbidden.
-    if ! awk -v file="$manifest" '
-        /^\[/ { indep = ($0 ~ /dependencies\]$/) }
-        indep && /^[ \t]*[a-zA-Z0-9_-]+/ && !/^[ \t]*#/ {
-            ok = ($0 ~ /\.workspace[ \t]*=[ \t]*true/) \
-              || ($0 ~ /workspace[ \t]*=[ \t]*true/)   \
-              || ($0 ~ /path[ \t]*=[ \t]*"/)
-            banned = ($0 ~ /version[ \t]*=/) || ($0 ~ /git[ \t]*=/) \
-                  || ($0 ~ /registry[ \t]*=/) || ($0 ~ /=[ \t]*"[^"]*"[ \t]*$/)
-            if (!ok || banned) {
-                printf "%s:%d: non-path dependency: %s\n", file, NR, $0
-                status = 1
-            }
-        }
-        END { exit status }
-    ' "$manifest"; then
-        bad=1
-    fi
-done
-if [ "$bad" -ne 0 ]; then
+# Delegates to dprbg-lint's `hermetic` rule (see LINTS.md), which also
+# catches `[dependencies.foo]` subsection tables the old awk guard missed.
+if ! cargo run -p dprbg-lint --offline -q -- --manifests; then
     echo "dependency-policy guard FAILED: external crates are not allowed" >&2
-    echo "(see 'Dependency policy' in DESIGN.md)" >&2
+    echo "(see 'Dependency policy' in DESIGN.md and LINTS.md)" >&2
     exit 1
 fi
 echo "ok: manifests declare only path/workspace dependencies"
@@ -48,6 +26,9 @@ cargo test -q --workspace --offline
 
 echo "== lint (clippy, workspace, offline) =="
 cargo clippy --workspace --offline -- -D warnings
+
+echo "== lint (dprbg-lint invariants) =="
+cargo run -p dprbg-lint --offline -q -- --workspace
 
 echo "== docs (no warnings, offline) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline -q

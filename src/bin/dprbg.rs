@@ -17,6 +17,7 @@ use dprbg::core::{
 use dprbg::field::{Field, Gf2k};
 use dprbg::metrics::WireSize;
 use dprbg::protocols::{BaMsg, GcMsg};
+// lint: allow-file(transport) — the CLI demos drive the blocking behavior API, which runs on the threaded executor by design
 use dprbg::sim::{run_network, Behavior, Embeds, PartyCtx};
 
 type F = Gf2k<32>;
