@@ -10,6 +10,12 @@
 //!
 //! `--timing <files...>` renders wall-clock tables from the JSON lines the
 //! in-tree bench harness emits (`DPRBG_BENCH_JSON=bench.json cargo bench`).
+//!
+//! `--trace <path>` runs the fixed-seed traced E2 smoke, prints its
+//! per-(round, phase) cost breakdown and text timeline, writes the
+//! Chrome trace-event JSON to `<path>` (load it in Perfetto or
+//! `chrome://tracing`), and reports the E11 tracing-overhead timing.
+//! Combine with `--quick` for the small sweep.
 
 use std::time::Instant;
 
@@ -24,6 +30,14 @@ fn main() {
         return;
     }
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    if let Some(pos) = args.iter().position(|a| a == "--trace") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("--trace requires an output path for the Chrome trace JSON");
+            std::process::exit(2);
+        };
+        dprbg_bench::traced::run_traced_report(path, quick);
+        return;
+    }
     let selected: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with('-'))

@@ -41,7 +41,7 @@ use dprbg_rng::SeedableRng;
 // lint: allow-file(transport) — the campaign replays every episode on BOTH executors; the threaded runner is half the equivalence check
 use dprbg_sim::{
     run_machines_with_tap, AdaptiveAdversary, Attack, BoxedMachine, PartyId, RunResult,
-    StepRunner, WireSize,
+    StepRunner, Trace, TraceConfig, WireSize,
 };
 
 use crate::experiments::common::{challenge_coins, seed_wallets, F32};
@@ -95,7 +95,7 @@ impl Protocol {
 }
 
 /// One campaign point: parameters plus the attack strategy.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Schedule {
     /// Parties.
     pub n: usize,
@@ -141,6 +141,11 @@ pub enum Executor {
 }
 
 /// The replayable record of one episode.
+///
+/// An [`Outcome::Unsound`] episode is a bug report: `seed` and
+/// `schedule` (which carries the attack strategy) are the complete
+/// replay triple — feed them back to [`run_episode`] on either executor
+/// to reproduce the failure byte-identically.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Episode {
     /// The soundness classification.
@@ -149,6 +154,12 @@ pub struct Episode {
     pub corrupted: BTreeSet<PartyId>,
     /// Synchronous rounds the run took.
     pub rounds: u64,
+    /// The exact seed this episode ran with (for a campaign leg, the
+    /// [`episode_seed`] derived from the master seed).
+    pub seed: u64,
+    /// The campaign point — `n`, `t`, `f`, `m`, the attack strategy, and
+    /// the Batch-VSS verdict mode.
+    pub schedule: Schedule,
 }
 
 /// Drive `machines` under `adv` on the chosen executor, returning the
@@ -159,6 +170,7 @@ fn run_tapped<M, Out>(
     machines: Vec<BoxedMachine<M, Out>>,
     adv: AdaptiveAdversary<M>,
     executor: Executor,
+    trace: Option<TraceConfig>,
 ) -> (RunResult<Out>, BTreeSet<PartyId>)
 where
     M: Clone + Send + WireSize + 'static,
@@ -166,11 +178,19 @@ where
 {
     let handle = adv.handle();
     let res = match executor {
-        Executor::Stepped => StepRunner::new(n, seed)
-            .with_tap(adv)
-            .with_max_rounds(MAX_CAMPAIGN_ROUNDS)
-            .run(machines),
-        Executor::Threaded => run_machines_with_tap(n, seed, machines, Box::new(adv)),
+        Executor::Stepped => {
+            let mut runner = StepRunner::new(n, seed)
+                .with_tap(adv)
+                .with_max_rounds(MAX_CAMPAIGN_ROUNDS);
+            if let Some(cfg) = trace {
+                runner = runner.with_trace(cfg);
+            }
+            runner.run(machines)
+        }
+        Executor::Threaded => {
+            assert!(trace.is_none(), "forensic tracing runs on the stepped executor");
+            run_machines_with_tap(n, seed, machines, Box::new(adv))
+        }
     };
     let corrupted = handle.snapshot();
     (res, corrupted)
@@ -206,20 +226,28 @@ fn digest_episode<M, Out, D>(
     seed: u64,
     machines: Vec<BoxedMachine<M, Out>>,
     executor: Executor,
+    trace: Option<TraceConfig>,
     digest: D,
-) -> Episode
+) -> (Episode, Option<Trace>)
 where
     M: Clone + Send + WireSize + 'static,
     Out: Send + 'static,
     D: Fn(&Out, &BTreeSet<PartyId>) -> Result<String, String>,
 {
     let adv = AdaptiveAdversary::new(s.attack, s.n, s.f, seed);
-    let (res, corrupted) = run_tapped(s.n, seed, machines, adv, executor);
+    let (res, corrupted) = run_tapped(s.n, seed, machines, adv, executor, trace);
     let honest: Vec<Option<Result<String, String>>> = (1..=s.n)
         .filter(|id| !corrupted.contains(id))
         .map(|id| res.outputs[id - 1].as_ref().map(|out| digest(out, &corrupted)))
         .collect();
-    Episode { outcome: classify(&honest), corrupted, rounds: res.report.comm.rounds }
+    let episode = Episode {
+        outcome: classify(&honest),
+        corrupted,
+        rounds: res.report.comm.rounds,
+        seed,
+        schedule: *s,
+    };
+    (episode, res.trace)
 }
 
 /// Run one episode: protocol `protocol` under `schedule`, fully
@@ -231,6 +259,40 @@ pub fn run_episode(
     seed: u64,
     executor: Executor,
 ) -> Episode {
+    run_episode_inner(protocol, schedule, seed, executor, None).0
+}
+
+/// Run one episode on the stepped executor with a ring-buffer trace
+/// attached, and return the trace dump when the run *failed* — an
+/// [`Outcome::Unsound`] or [`Outcome::GracefulAbort`] episode comes
+/// back with the last `ring_cap` span events per party (phase names and
+/// per-round cost deltas leading up to the failure), ready for the
+/// timeline or Chrome exporters. An [`Outcome::Agreed`] episode needs
+/// no forensics and returns `None`.
+pub fn run_episode_traced(
+    protocol: Protocol,
+    schedule: &Schedule,
+    seed: u64,
+    ring_cap: usize,
+) -> (Episode, Option<Trace>) {
+    let (episode, trace) = run_episode_inner(
+        protocol,
+        schedule,
+        seed,
+        Executor::Stepped,
+        Some(TraceConfig::ring(ring_cap)),
+    );
+    let forensics = if episode.outcome == Outcome::Agreed { None } else { trace };
+    (episode, forensics)
+}
+
+fn run_episode_inner(
+    protocol: Protocol,
+    schedule: &Schedule,
+    seed: u64,
+    executor: Executor,
+    trace: Option<TraceConfig>,
+) -> (Episode, Option<Trace>) {
     let s = schedule;
     match protocol {
         Protocol::BitGen => {
@@ -249,7 +311,7 @@ pub fn run_episode(
                     )) as _
                 })
                 .collect();
-            digest_episode(s, seed, machines, executor, |out, corrupted| match out {
+            digest_episode(s, seed, machines, executor, trace, |out, corrupted| match out {
                 // Unanimity = same challenge point and the same verdict on
                 // every *honest* dealer's instance. Fig. 4 alone makes no
                 // agreement promise about corrupted dealers — that is what
@@ -280,7 +342,7 @@ pub fn run_episode(
             let machines: Vec<BoxedMachine<CoinGenMsg<F32>, CgOut>> = (0..s.n)
                 .map(|_| Box::new(CoinGenMachine::new(cfg, wallets.remove(0))) as _)
                 .collect();
-            digest_episode(s, seed, machines, executor, |(_wallet, res), _| match res {
+            digest_episode(s, seed, machines, executor, trace, |(_wallet, res), _| match res {
                 Ok(b) => Ok(format!("{:?}|{}|{}", b.dealers, b.attempts, b.seeds_consumed)),
                 Err(e) => Err(format!("{e:?}")),
             })
@@ -300,7 +362,7 @@ pub fn run_episode(
                     Box::new(BatchVssVerifyMachine::new(s.t, sh, s.m, coin, opts)) as _
                 })
                 .collect();
-            digest_episode(s, seed, machines, executor, |out, _| match out {
+            digest_episode(s, seed, machines, executor, trace, |out, _| match out {
                 Ok(verdict) => Ok(format!("{verdict:?}")),
                 Err(e) => Err(format!("{e:?}")),
             })
@@ -315,7 +377,7 @@ pub fn run_episode(
             let machines: Vec<BoxedMachine<CoinGenMsg<F32>, RfOut>> = (0..s.n)
                 .map(|_| Box::new(RefreshMachine::new(cfg, wallets.remove(0))) as _)
                 .collect();
-            digest_episode(s, seed, machines, executor, |(_wallet, res), _| match res {
+            digest_episode(s, seed, machines, executor, trace, |(_wallet, res), _| match res {
                 Ok(r) => Ok(format!(
                     "{:?}|{}|{}|{}",
                     r.dealers, r.coins_refreshed, r.attempts, r.seeds_consumed
@@ -459,6 +521,29 @@ mod tests {
         assert_eq!(ep.outcome, Outcome::Unsound);
         let ep2 = run_episode(Protocol::BatchVss, &s, 7, Executor::Threaded);
         assert_eq!(ep, ep2, "the unsound episode must replay identically");
+    }
+
+    #[test]
+    fn traced_episode_dumps_ring_forensics_on_failure() {
+        // The known-unsound episode must come back with its replay triple
+        // and a ring-bounded trace of the rounds leading up to the split.
+        let mut s = Schedule::new(7, 1, 1, 4, Attack::BreakBroadcast);
+        s.vss_mode = VssMode::Strict;
+        let (ep, forensics) = run_episode_traced(Protocol::BatchVss, &s, 7, 16);
+        assert_eq!(ep.outcome, Outcome::Unsound);
+        assert_eq!((ep.seed, ep.schedule), (7, s), "replay triple must ride along");
+        let trace = forensics.expect("failed episode must carry a forensic dump");
+        assert!(!trace.events.is_empty());
+        for id in 1..=s.n {
+            let per_party = trace.events.iter().filter(|e| e.party == id).count();
+            assert!(per_party <= 16, "ring cap exceeded: {per_party} events for party {id}");
+        }
+        // A clean episode needs no forensics: zero corruption budget means
+        // the attack never engages and the run agrees.
+        let calm = Schedule::new(7, 1, 0, 4, Attack::LeaderEclipse);
+        let (ep2, forensics2) = run_episode_traced(Protocol::BatchVss, &calm, 11, 16);
+        assert_eq!(ep2.outcome, Outcome::Agreed);
+        assert!(forensics2.is_none(), "agreed episodes carry no dump");
     }
 
     #[test]

@@ -21,15 +21,21 @@ use dprbg_rng::SeedableRng;
 
 use super::common::{challenge_coins, fmt_f, ExperimentCtx, PlayerCost, F32};
 
-/// Measure one Batch-VSS verification of `m` (honest) sharings over any
-/// field (the k-sweep table runs this across GF(2^k) sizes), on the
-/// single-threaded executor.
-pub fn measure_over<F: Field>(n: usize, t: usize, m: usize, seed: u64) -> PlayerCost {
+/// The machine fleet E2 measures: `n` verifiers of one honest batch of
+/// `m` sharings, dealt out-of-band (the "Given"). Shared with the
+/// traced report path (`--trace`), which drives the same fleet under a
+/// span-recording executor.
+pub fn fleet_over<F: Field>(
+    n: usize,
+    t: usize,
+    m: usize,
+    seed: u64,
+) -> Vec<BoxedMachine<BatchVssMsg<F>, Result<VssVerdict, CoinError>>> {
     let coins = challenge_coins::<F>(n, t, seed);
     let mut rng = StdRng::seed_from_u64(seed + 1);
-    // bad_count = 0 → an honest batch, dealt out-of-band (the "Given").
+    // bad_count = 0 → an honest batch.
     let all = cheating_batch_deal::<F, _>(n, t, m, 0, &mut rng);
-    let machines: Vec<BoxedMachine<BatchVssMsg<F>, Result<VssVerdict, CoinError>>> = (1..=n)
+    (1..=n)
         .map(|id| {
             Box::new(BatchVssVerifyMachine::new(
                 t,
@@ -39,8 +45,14 @@ pub fn measure_over<F: Field>(n: usize, t: usize, m: usize, seed: u64) -> Player
                 BatchOpts::default(),
             )) as _
         })
-        .collect();
-    let res = StepRunner::new(n, seed).run(machines);
+        .collect()
+}
+
+/// Measure one Batch-VSS verification of `m` (honest) sharings over any
+/// field (the k-sweep table runs this across GF(2^k) sizes), on the
+/// single-threaded executor.
+pub fn measure_over<F: Field>(n: usize, t: usize, m: usize, seed: u64) -> PlayerCost {
+    let res = StepRunner::new(n, seed).run(fleet_over::<F>(n, t, m, seed));
     let report = res.report.clone();
     for v in res.unwrap_all() {
         assert_eq!(v.unwrap(), VssVerdict::Accept);

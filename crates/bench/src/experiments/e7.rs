@@ -8,16 +8,23 @@
 //! off"), with coins "generated in batches, according to need" under a
 //! constant low-water trigger.
 //!
-//! The experiment drives a beacon for many epochs, recording per-window
-//! cost/coin (computation in multiplications and communication in bytes,
-//! including the refills that fall in the window) and reservoir levels:
-//! the early windows pay generation spikes, the running average settles,
-//! and the reservoir never dries up.
+//! The experiment drives a beacon for many epochs as a [`RoundMachine`]
+//! on the single-threaded [`StepRunner`], recording per-window
+//! cost/coin (computation in multiplications and communication in
+//! bytes, including the refills that fall in the window) and reservoir
+//! levels: the early windows pay generation spikes, the running average
+//! settles, and the reservoir never dries up. Window costs come from
+//! the executor's deterministic trace — each window is a span of
+//! synchronous rounds, and the party-1 per-round cost deltas recorded
+//! by `dprbg-trace` sum to exactly the window's share of the ledger.
 
-use dprbg_core::{Bootstrap, BootstrapConfig, CoinGenConfig, CoinGenMsg, Params};
-use dprbg_metrics::{CostSnapshot, Table};
-// lint: allow-file(transport) — E7 still runs on the threaded shim; StepRunner port is tracked in ROADMAP ("StepRunner-first E-series")
-use dprbg_sim::{run_network, Behavior, PartyCtx};
+use dprbg_core::{
+    BootstrapConfig, CoinGenConfig, CoinGenMachine, CoinGenMsg, CoinWallet, ExposeMachine,
+    ExposeVia, Params,
+};
+use dprbg_metrics::Table;
+use dprbg_sim::{BoxedMachine, RoundMachine, RoundView, Step, StepRunner, TraceConfig};
+use dprbg_trace::EventKind;
 
 use super::common::{fmt_f, seed_wallets, ExperimentCtx, F32};
 
@@ -26,9 +33,9 @@ use super::common::{fmt_f, seed_wallets, ExperimentCtx, F32};
 pub struct WindowTrace {
     /// Draws in this window.
     pub draws: usize,
-    /// Whole-network multiplications during the window.
+    /// Party-1 multiplications during the window.
     pub muls: u64,
-    /// Whole-network bytes during the window.
+    /// Party-1 payload bytes sent during the window.
     pub bytes: u64,
     /// Refills that ran during the window.
     pub refills: usize,
@@ -36,8 +43,171 @@ pub struct WindowTrace {
     pub level: usize,
 }
 
+/// What the beacon machine itself observes per window; costs are filled
+/// in afterwards from the executor's trace via the round span.
+#[derive(Debug, Clone)]
+struct WindowRecord {
+    draws: usize,
+    refills: usize,
+    level: usize,
+    /// First synchronous round attributed to this window (inclusive).
+    start_round: u64,
+    /// Last synchronous round attributed to this window (inclusive).
+    end_round: u64,
+}
+
+/// The Fig. 1 reservoir as a round machine: draw coins one expose at a
+/// time, running a full Coin-Gen refill whenever a draw would leave the
+/// reservoir at or below the low-water mark — the machine-level twin of
+/// `Bootstrap::draw` driven in a loop.
+struct BeaconMachine {
+    cfg: BootstrapConfig,
+    windows: usize,
+    per: usize,
+    window: usize,
+    draws_in_window: usize,
+    refills_in_window: usize,
+    round_idx: u64,
+    window_start: u64,
+    records: Vec<WindowRecord>,
+    stage: Stage,
+}
+
+enum Stage {
+    Idle(CoinWallet<F32>),
+    Refill(CoinGenMachine<CoinGenMsg<F32>, F32>),
+    Expose { expose: ExposeMachine<CoinGenMsg<F32>, F32>, wallet: CoinWallet<F32> },
+    Finished,
+}
+
+impl BeaconMachine {
+    fn new(cfg: BootstrapConfig, wallet: CoinWallet<F32>, windows: usize, per: usize) -> Self {
+        BeaconMachine {
+            cfg,
+            windows,
+            per,
+            window: 0,
+            draws_in_window: 0,
+            refills_in_window: 0,
+            round_idx: 0,
+            window_start: 0,
+            records: Vec::new(),
+            stage: Stage::Idle(wallet),
+        }
+    }
+
+    /// Start the next draw: refill first if the reservoir is at or below
+    /// low water (Fig. 1's adaptive trigger), else expose the next coin.
+    fn begin_draw(
+        &mut self,
+        wallet: CoinWallet<F32>,
+        view: &mut RoundView<'_, CoinGenMsg<F32>>,
+    ) -> Step<CoinGenMsg<F32>, Vec<WindowRecord>> {
+        if wallet.len() <= self.cfg.low_water {
+            let mut cg = CoinGenMachine::new(self.cfg.coin_gen, wallet);
+            let Step::Continue(out) = cg.round(view.reborrow()) else {
+                unreachable!("coin generation cannot finish before it sends");
+            };
+            self.stage = Stage::Refill(cg);
+            Step::Continue(out)
+        } else {
+            self.expose_next(wallet, view)
+        }
+    }
+
+    fn expose_next(
+        &mut self,
+        mut wallet: CoinWallet<F32>,
+        view: &mut RoundView<'_, CoinGenMsg<F32>>,
+    ) -> Step<CoinGenMsg<F32>, Vec<WindowRecord>> {
+        let share = wallet.pop().expect("reservoir refilled above low water");
+        let t = self.cfg.coin_gen.params.t;
+        let mut expose = ExposeMachine::new(share, t, ExposeVia::PointToPoint);
+        let Step::Continue(out) = expose.round(view.reborrow()) else {
+            unreachable!("coin expose sends before it can decode");
+        };
+        self.stage = Stage::Expose { expose, wallet };
+        Step::Continue(out)
+    }
+
+    /// One coin fully exposed: close the window when it is full, finish
+    /// after the last window, otherwise start the next draw immediately.
+    fn draw_done(
+        &mut self,
+        wallet: CoinWallet<F32>,
+        view: &mut RoundView<'_, CoinGenMsg<F32>>,
+    ) -> Step<CoinGenMsg<F32>, Vec<WindowRecord>> {
+        self.draws_in_window += 1;
+        if self.draws_in_window == self.per {
+            self.records.push(WindowRecord {
+                draws: self.per,
+                refills: self.refills_in_window,
+                level: wallet.len(),
+                start_round: self.window_start,
+                end_round: self.round_idx,
+            });
+            self.window += 1;
+            self.draws_in_window = 0;
+            self.refills_in_window = 0;
+            self.window_start = self.round_idx + 1;
+            if self.window == self.windows {
+                return Step::Done(std::mem::take(&mut self.records));
+            }
+        }
+        self.begin_draw(wallet, view)
+    }
+}
+
+impl RoundMachine<CoinGenMsg<F32>> for BeaconMachine {
+    type Output = Vec<WindowRecord>;
+
+    fn round(
+        &mut self,
+        mut view: RoundView<'_, CoinGenMsg<F32>>,
+    ) -> Step<CoinGenMsg<F32>, Self::Output> {
+        let step = match std::mem::replace(&mut self.stage, Stage::Finished) {
+            Stage::Idle(wallet) => self.begin_draw(wallet, &mut view),
+            Stage::Refill(mut cg) => match cg.round(view.reborrow()) {
+                Step::Continue(out) => {
+                    self.stage = Stage::Refill(cg);
+                    Step::Continue(out)
+                }
+                Step::Done((mut wallet, res)) => {
+                    let batch = res.expect("refill coin generation succeeds");
+                    self.refills_in_window += 1;
+                    wallet.extend(batch.shares);
+                    self.expose_next(wallet, &mut view)
+                }
+            },
+            Stage::Expose { mut expose, wallet } => match expose.round(view.reborrow()) {
+                Step::Continue(out) => {
+                    self.stage = Stage::Expose { expose, wallet };
+                    Step::Continue(out)
+                }
+                Step::Done(res) => {
+                    res.expect("coin expose succeeds");
+                    self.draw_done(wallet, &mut view)
+                }
+            },
+            Stage::Finished => panic!("BeaconMachine driven past completion"),
+        };
+        self.round_idx += 1;
+        step
+    }
+
+    fn phase_name(&self) -> &'static str {
+        match &self.stage {
+            Stage::Idle(_) => "beacon/draw",
+            Stage::Refill(cg) => cg.phase_name(),
+            Stage::Expose { expose, .. } => expose.phase_name(),
+            Stage::Finished => "beacon/finished",
+        }
+    }
+}
+
 /// Run the beacon for `windows × draws_per_window` draws; returns the
-/// per-window trace (identical at every honest party).
+/// per-window trace (identical at every honest party), with window
+/// costs attributed from the executor's party-1 round spans.
 pub fn trace(
     n: usize,
     t: usize,
@@ -49,35 +219,30 @@ pub fn trace(
     let params = Params::p2p_model(n, t).unwrap();
     let cfg = BootstrapConfig::with_default_low_water(CoinGenConfig { params, batch_size: batch });
     let mut wallets = seed_wallets::<F32>(n, t, 6, seed);
-    let behaviors: Vec<Behavior<CoinGenMsg<F32>, Vec<WindowTrace>>> = (0..n)
+    let machines: Vec<BoxedMachine<CoinGenMsg<F32>, Vec<WindowRecord>>> = (0..n)
         .map(|_| {
-            let mut beacon = Bootstrap::new(cfg, wallets.remove(0));
-            Box::new(move |ctx: &mut PartyCtx<CoinGenMsg<F32>>| {
-                let mut out = Vec::new();
-                let mut prev_refills = 0usize;
-                for _ in 0..windows {
-                    let before = CostSnapshot::capture();
-                    for _ in 0..draws_per_window {
-                        beacon.draw(ctx).expect("beacon never dries up");
-                    }
-                    let cost = CostSnapshot::capture().since(&before);
-                    let s = beacon.stats();
-                    out.push(WindowTrace {
-                        draws: draws_per_window,
-                        muls: cost.field_muls,
-                        bytes: cost.bytes,
-                        refills: s.refills - prev_refills,
-                        level: beacon.level(),
-                    });
-                    prev_refills = s.refills;
-                }
-                out
-            }) as Behavior<_, _>
+            Box::new(BeaconMachine::new(cfg, wallets.remove(0), windows, draws_per_window))
+                as BoxedMachine<CoinGenMsg<F32>, Vec<WindowRecord>>
         })
         .collect();
-    // The per-window cost snapshot above is party-local; aggregate the
-    // *party-1* trace (costs are symmetric across honest parties).
-    run_network(n, seed, behaviors).unwrap_all().remove(0)
+    let mut res = StepRunner::new(n, seed).with_trace(TraceConfig::full()).run(machines);
+    let events = res.trace.take().expect("traced run records a trace").events;
+    let records = res.unwrap_all().remove(0);
+    records
+        .into_iter()
+        .map(|rec| {
+            let (mut muls, mut bytes) = (0u64, 0u64);
+            for ev in &events {
+                if ev.party == 1 && ev.round >= rec.start_round && ev.round <= rec.end_round {
+                    if let EventKind::End { cost } = &ev.kind {
+                        muls += cost.field_muls;
+                        bytes += cost.bytes;
+                    }
+                }
+            }
+            WindowTrace { draws: rec.draws, muls, bytes, refills: rec.refills, level: rec.level }
+        })
+        .collect()
 }
 
 /// Run E7 and render its table.
@@ -145,6 +310,16 @@ mod tests {
             last < overall * 3.0 + 1.0,
             "late-window cost {last} vs average {overall}"
         );
+    }
+
+    #[test]
+    fn e7_window_costs_cover_the_whole_run() {
+        // The window spans partition the rounds, so window costs must be
+        // positive wherever work happened and every window pays at least
+        // the expose traffic of its own draws.
+        let tr = trace(7, 1, 24, 4, 25, 2);
+        assert!(tr.iter().all(|w| w.bytes > 0), "every window sends expose traffic");
+        assert!(tr.iter().any(|w| w.refills > 0 && w.muls > 0), "refill windows pay generation");
     }
 
     #[test]

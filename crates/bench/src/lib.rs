@@ -44,5 +44,6 @@
 pub mod chaos;
 pub mod experiments;
 pub mod harness;
+pub mod traced;
 
 pub use experiments::ExperimentCtx;

@@ -227,6 +227,14 @@ where
             .unwrap_or_default();
         Step::Done((shares, self.dealt.take()))
     }
+
+    fn phase_name(&self) -> &'static str {
+        if self.sent {
+            "batch-vss/record"
+        } else {
+            "batch-vss/deal"
+        }
+    }
 }
 
 /// Steps 1–4 of Fig. 3: verify all `M` sharings with one interpolation.
@@ -345,6 +353,17 @@ where
             }
             // lint: allow(error-discipline) — driver contract: no executor calls round() after Done
             BvStage::Finished => panic!("BatchVssVerifyMachine driven past completion"),
+        }
+    }
+
+    fn phase_name(&self) -> &'static str {
+        match &self.stage {
+            BvStage::Expose(expose) => match expose.phase_name() {
+                "expose/send" => "batch-vss/challenge",
+                _ => "batch-vss/combine",
+            },
+            BvStage::Betas => "batch-vss/judge",
+            BvStage::Finished => "batch-vss/finished",
         }
     }
 }

@@ -357,6 +357,16 @@ where
             BgStage::Finished => panic!("BitGenMachine driven past completion"),
         }
     }
+
+    fn phase_name(&self) -> &'static str {
+        match &self.stage {
+            BgStage::Deal { .. } => "bit-gen/deal",
+            BgStage::Deals { .. } => "bit-gen/record",
+            BgStage::Expose { .. } => "bit-gen/challenge",
+            BgStage::Betas { .. } => "bit-gen/combine",
+            BgStage::Finished => "bit-gen/finished",
+        }
+    }
 }
 
 /// Fig. 4 step 5: decode `F(x)` from the received combinations; `Some`

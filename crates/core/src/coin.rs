@@ -197,6 +197,14 @@ where
         }
         Step::Done(decode_coin(&points, self.t))
     }
+
+    fn phase_name(&self) -> &'static str {
+        if self.sent {
+            "expose/decode"
+        } else {
+            "expose/send"
+        }
+    }
 }
 
 /// Protocol Coin-Expose (Fig. 6): reveal a sealed coin.

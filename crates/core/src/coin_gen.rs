@@ -348,6 +348,15 @@ where
             CgStage::Finished => panic!("CoinGenMachine driven past completion"),
         }
     }
+
+    fn phase_name(&self) -> &'static str {
+        match &self.stage {
+            CgStage::Start { .. } => "coin-gen/start",
+            CgStage::BitGen { bg, .. } => bg.phase_name(),
+            CgStage::Agree { agree } => agree.phase_name(),
+            CgStage::Finished => "coin-gen/finished",
+        }
+    }
 }
 
 /// The outcome of Coin-Gen steps 4–11: an agreed dealer clique.
@@ -584,6 +593,16 @@ where
             },
             // lint: allow(error-discipline) — driver contract: no executor calls round() after Done
             AgStage::Finished => panic!("AgreeMachine driven past completion"),
+        }
+    }
+
+    fn phase_name(&self) -> &'static str {
+        match &self.stage {
+            AgStage::Start => "coin-gen/clique",
+            AgStage::Gc(gc) => gc.phase_name(),
+            AgStage::Expose(expose) => expose.phase_name(),
+            AgStage::Ba { ba, .. } => ba.phase_name(),
+            AgStage::Finished => "coin-gen/agreed",
         }
     }
 }

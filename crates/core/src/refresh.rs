@@ -231,6 +231,15 @@ where
             RfStage::Finished => panic!("RefreshMachine driven past completion"),
         }
     }
+
+    fn phase_name(&self) -> &'static str {
+        match &self.stage {
+            RfStage::Start { .. } => "refresh/start",
+            RfStage::BitGen { bg, .. } => bg.phase_name(),
+            RfStage::Agree { agree, .. } => agree.phase_name(),
+            RfStage::Finished => "refresh/finished",
+        }
+    }
 }
 
 #[cfg(test)]

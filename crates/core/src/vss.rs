@@ -250,6 +250,17 @@ where
             VvStage::Finished => panic!("VssVerifyMachine driven past completion"),
         }
     }
+
+    fn phase_name(&self) -> &'static str {
+        match &self.stage {
+            VvStage::Expose(expose) => match expose.phase_name() {
+                "expose/send" => "vss/challenge",
+                _ => "vss/combine",
+            },
+            VvStage::Betas => "vss/judge",
+            VvStage::Finished => "vss/finished",
+        }
+    }
 }
 
 /// Step 4's acceptance decision from the collected broadcast points.

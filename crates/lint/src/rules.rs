@@ -10,6 +10,7 @@
 //! | `cost-model` | field arithmetic outside `dprbg-field` goes through the counted ops, never raw bit-hacks |
 //! | `transport` | machines talk only via `Outbox`; threads, channels, and the threaded executor stay in `dprbg-sim` |
 //! | `hermetic` | manifests declare only in-tree path/workspace dependencies (see [`crate::manifest`]) |
+//! | `trace-determinism` | `dprbg-trace` keeps to logical time (round, party, seq) — no wall clocks, thread ids, or environment |
 //!
 //! Suppression: `// lint: allow(<rule>) — <reason>` on the offending
 //! line or the line above; `// lint: allow-file(<rule>) — <reason>`
@@ -32,6 +33,8 @@ pub enum RuleId {
     Transport,
     /// Non-path dependency in a manifest.
     Hermetic,
+    /// Wall-clock / ambient state inside the logical-time trace crate.
+    TraceDeterminism,
     /// Malformed `lint: allow` comment.
     AllowSyntax,
 }
@@ -45,6 +48,7 @@ impl RuleId {
             RuleId::CostModel => "cost-model",
             RuleId::Transport => "transport",
             RuleId::Hermetic => "hermetic",
+            RuleId::TraceDeterminism => "trace-determinism",
             RuleId::AllowSyntax => "allow-syntax",
         }
     }
@@ -57,6 +61,7 @@ impl RuleId {
             "cost-model" => Some(RuleId::CostModel),
             "transport" => Some(RuleId::Transport),
             "hermetic" => Some(RuleId::Hermetic),
+            "trace-determinism" => Some(RuleId::TraceDeterminism),
             _ => None,
         }
     }
@@ -162,7 +167,13 @@ const BITHACK_METHODS: &[&str] = &[
 
 /// Threaded-executor entry points (defined in `dprbg-sim`); calling them
 /// anywhere else must be justified with an allow comment.
-const THREADED_ENTRYPOINTS: &[&str] = &["run_network", "run_machines", "run_machines_with_tap"];
+const THREADED_ENTRYPOINTS: &[&str] =
+    &["run_network", "run_machines", "run_machines_with_tap", "run_machines_traced"];
+
+/// The crate whose event records must carry *logical* time only: a trace
+/// is a protocol artifact compared byte-for-byte across executors and
+/// replays, so a wall-clock or ambient read anywhere in it is a bug.
+const TRACE_HOME: &str = "dprbg-trace";
 
 /// A parsed `lint: allow` comment.
 #[derive(Debug)]
@@ -261,6 +272,38 @@ fn check_token(
                     tok.line,
                     format!("`{id}!` in protocol code: environment reads break transcript replay"),
                 );
+            }
+        }
+    }
+
+    // -- trace-determinism ----------------------------------------------
+    if crate_name == TRACE_HOME {
+        if let TokKind::Ident(id) = &tok.kind {
+            for (banned, why) in NONDET_IDENTS {
+                if id == banned {
+                    push(
+                        diags,
+                        RuleId::TraceDeterminism,
+                        tok.line,
+                        format!(
+                            "`{banned}` in `dprbg-trace`: traces carry logical time only \
+                             (round, party, seq) — {why}"
+                        ),
+                    );
+                }
+            }
+            for (a, b, why) in NONDET_PATHS {
+                if id == a && path_next(toks, i) == Some(*b) {
+                    push(
+                        diags,
+                        RuleId::TraceDeterminism,
+                        tok.line,
+                        format!(
+                            "`{a}::{b}` in `dprbg-trace`: traces carry logical time only \
+                             (round, party, seq) — {why}"
+                        ),
+                    );
+                }
             }
         }
     }
@@ -544,6 +587,41 @@ mod tests {
             .is_empty());
         let e = FileClass { crate_name: "dprbg".into(), kind: FileKind::Example };
         assert!(lint_rust_source("e.rs", "fn f() { run_network(1,0,v); }", &e).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_in_trace_crate_fires_trace_determinism() {
+        let trace = FileClass { crate_name: "dprbg-trace".into(), kind: FileKind::Lib };
+        for src in [
+            "use std::time::Instant;\n",
+            "fn f() { let t = SystemTime::now(); }\n",
+            "fn f() { let id = thread::current().id(); }\n",
+        ] {
+            let d = lint_rust_source("x.rs", src, &trace);
+            assert!(
+                d.iter().any(|x| x.rule == RuleId::TraceDeterminism),
+                "expected trace-determinism for {src:?}, got {d:?}"
+            );
+        }
+        // Logical-time code is clean.
+        assert!(lint_rust_source(
+            "x.rs",
+            "fn f(round: u64, seq: u32) -> u64 { round + seq as u64 }\n",
+            &trace
+        )
+        .is_empty());
+        // The rule is scoped: the same tokens elsewhere fire `determinism`
+        // (protocol crates) or nothing (bench code times things on purpose).
+        let bench = FileClass { crate_name: "dprbg-bench".into(), kind: FileKind::Lib };
+        assert!(lint_rust_source("x.rs", "use std::time::Instant;\n", &bench).is_empty());
+    }
+
+    #[test]
+    fn traced_threaded_entry_point_fires_outside_sim() {
+        let bench = FileClass { crate_name: "dprbg-bench".into(), kind: FileKind::Lib };
+        let d = lint_rust_source("x.rs", "fn f() { run_machines_traced(7, 1, m, c); }\n", &bench);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RuleId::Transport);
     }
 
     #[test]

@@ -1,0 +1,14 @@
+// Fixture: logical time needs no clock — plus one justified exception.
+
+/// A logical timestamp: (round, party, seq) ordered lexicographically.
+pub fn key(round: u64, party: usize, seq: u32) -> (u64, usize, u32) {
+    (round, party, seq)
+}
+
+// lint: allow(trace-determinism) — fixture: debug-only stderr note, never serialized into a trace
+use std::time::Instant;
+
+// lint: allow(trace-determinism) — fixture: value never reaches an event record
+fn debug_clock() -> Instant {
+    Instant::now() // lint: allow(trace-determinism) — fixture: same-line form
+}

@@ -1,0 +1,19 @@
+// Fixture: wall-clock and ambient reads inside the logical-time trace
+// crate, unsuppressed.
+use std::time::Instant;
+
+fn clock() -> Instant {
+    Instant::now()
+}
+
+fn wall() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+fn who() -> std::thread::ThreadId {
+    std::thread::current().id()
+}
+
+fn unordered() -> std::collections::HashMap<u64, u64> {
+    std::collections::HashMap::new()
+}

@@ -90,6 +90,34 @@ fn transport_exempts_dprbg_sim() {
 }
 
 #[test]
+fn trace_determinism_bad_fires() {
+    let d = lint_as("trace_determinism_bad.rs", "dprbg-trace");
+    assert!(d.len() >= 4, "Instant, std::time, thread::current, HashMap: {d:#?}");
+    assert!(d.iter().all(|x| x.rule == RuleId::TraceDeterminism));
+    for needle in ["Instant", "std::time", "thread", "HashMap"] {
+        assert!(
+            d.iter().any(|x| x.message.contains(needle)),
+            "no diagnostic mentions {needle}: {d:#?}"
+        );
+    }
+}
+
+#[test]
+fn trace_determinism_allowed_is_clean() {
+    assert_eq!(lint_as("trace_determinism_allowed.rs", "dprbg-trace"), vec![]);
+}
+
+#[test]
+fn trace_determinism_is_scoped_to_the_trace_crate() {
+    // The same file inside the bench crate is out of scope (bench times
+    // things on purpose); inside a protocol crate it is plain
+    // `determinism` territory instead.
+    assert_eq!(lint_as("trace_determinism_bad.rs", "dprbg-bench").len(), 0);
+    let in_core = lint_as("trace_determinism_bad.rs", "dprbg-core");
+    assert!(in_core.iter().all(|x| x.rule == RuleId::Determinism), "{in_core:#?}");
+}
+
+#[test]
 fn hermetic_bad_fires() {
     let d = lint_manifest("hermetic_bad.toml", &fixture("hermetic_bad.toml"));
     assert!(d.len() >= 5, "five forbidden dependency shapes: {d:#?}");

@@ -155,6 +155,14 @@ where
             }
         }
     }
+
+    fn phase_name(&self) -> &'static str {
+        match self.stage {
+            BaStage::Start => "ba/suggest",
+            BaStage::Suggests => "ba/king",
+            BaStage::Kings => "ba/adopt",
+        }
+    }
 }
 
 /// Run phase-king Byzantine agreement on the binary `input`.

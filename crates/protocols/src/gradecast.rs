@@ -205,6 +205,15 @@ where
             }
         }
     }
+
+    fn phase_name(&self) -> &'static str {
+        match self.phase {
+            GcPhase::Send => "gradecast/send",
+            GcPhase::Echo => "gradecast/echo",
+            GcPhase::Vote => "gradecast/vote",
+            GcPhase::Decide => "gradecast/decide",
+        }
+    }
 }
 
 /// Run `n` parallel grade-cast instances — party `j` is the sender of

@@ -82,13 +82,15 @@ pub use adversary::{crash_immediately, FaultPlan, MsgFate, MsgHop, MsgTap};
 pub use chaos::{AdaptiveAdversary, Attack, CorruptionHandle};
 pub use embed::Embeds;
 pub use machine::{
-    drive_blocking, BoxedMachine, Chain, MachineExt, Map, Outbox, RoundMachine, RoundView, Step,
+    drive_blocking, drive_blocking_traced, BoxedMachine, Chain, FlushStats, MachineExt, Map,
+    Outbox, RoundMachine, RoundView, Step,
 };
 pub use network::{
-    run_machines, run_machines_with_tap, run_network, run_network_with_tap, Behavior, PartyCtx,
-    RunResult,
+    run_machines, run_machines_traced, run_machines_with_tap, run_network, run_network_with_tap,
+    Behavior, PartyCtx, RunResult,
 };
 pub use router::{Inbox, PartyId, Received, RoundProfile};
 pub use step::StepRunner;
 
 pub use dprbg_metrics::WireSize;
+pub use dprbg_trace::{Trace, TraceConfig, TraceMode};

@@ -23,8 +23,9 @@
 //! The first `round` call sees an empty inbox (there is no round `-1` to
 //! deliver from); a machine's initial sends happen there.
 
-use dprbg_metrics::{comm, WireSize};
+use dprbg_metrics::{comm, CostSnapshot, WireSize};
 use dprbg_rng::rngs::StdRng;
+use dprbg_trace::PartyTracer;
 
 use crate::network::PartyCtx;
 use crate::router::{Inbox, PartyId, Received};
@@ -156,29 +157,47 @@ impl<M> Outbox<M> {
     }
 }
 
+/// What one [`Outbox`] flush charged to the comm counters: the totals the
+/// executors hand to the trace layer as a `Flush` event. Both executors
+/// observe the same envelopes, so the stats (like the counters) are
+/// executor-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlushStats {
+    /// Messages charged (one per unicast copy, one per ideal broadcast).
+    pub messages: u64,
+    /// Payload bytes charged.
+    pub bytes: u64,
+}
+
 impl<M: Clone + WireSize> Outbox<M> {
     /// Expand every envelope into router posts, assigning sequence numbers
     /// and charging the communication counters exactly as
     /// [`PartyCtx::send`], [`PartyCtx::send_to_all`], and
     /// [`PartyCtx::broadcast`] do: one message per unicast copy, one
-    /// message per ideal broadcast.
+    /// message per ideal broadcast. Returns the charged totals.
     pub(crate) fn flush(
         self,
         from: PartyId,
         seq: &mut u32,
         mut post: impl FnMut(PartyId, Received<M>),
-    ) {
+    ) -> FlushStats {
         let n = self.n;
+        let mut stats = FlushStats::default();
+        let charge = |stats: &mut FlushStats, bytes: u64| {
+            comm::count_message(bytes);
+            stats.messages += 1;
+            stats.bytes += bytes;
+        };
         for (dest, msg) in self.envelopes {
             match dest {
                 Dest::One(to) => {
-                    comm::count_message(msg.wire_bytes() as u64);
+                    charge(&mut stats, msg.wire_bytes() as u64);
                     post(to, Received { from, broadcast: false, seq: *seq, msg });
                     *seq += 1;
                 }
                 Dest::All => {
                     for to in 1..=n {
-                        comm::count_message(msg.wire_bytes() as u64);
+                        charge(&mut stats, msg.wire_bytes() as u64);
                         post(
                             to,
                             Received { from, broadcast: false, seq: *seq, msg: msg.clone() },
@@ -187,7 +206,7 @@ impl<M: Clone + WireSize> Outbox<M> {
                     }
                 }
                 Dest::Broadcast => {
-                    comm::count_message(msg.wire_bytes() as u64);
+                    charge(&mut stats, msg.wire_bytes() as u64);
                     for to in 1..=n {
                         post(to, Received { from, broadcast: true, seq: *seq, msg: msg.clone() });
                     }
@@ -195,6 +214,7 @@ impl<M: Clone + WireSize> Outbox<M> {
                 }
             }
         }
+        stats
     }
 }
 
@@ -210,12 +230,26 @@ pub trait RoundMachine<M> {
     /// Execute one round: consume the inbox, queue this round's sends, and
     /// either continue or finish.
     fn round(&mut self, view: RoundView<'_, M>) -> Step<M, Self::Output>;
+
+    /// The label of the phase the *next* [`round`](RoundMachine::round)
+    /// call will execute — pure state inspection, called by tracing
+    /// executors immediately before `round` to tag that round's span.
+    ///
+    /// The default covers machines that never override it; protocol
+    /// machines report their stage (`"bit-gen/deal"`, `"ba/suggest"`, …)
+    /// and composite machines delegate to the active sub-machine.
+    fn phase_name(&self) -> &'static str {
+        "round"
+    }
 }
 
 impl<M, T: RoundMachine<M> + ?Sized> RoundMachine<M> for Box<T> {
     type Output = T::Output;
     fn round(&mut self, view: RoundView<'_, M>) -> Step<M, Self::Output> {
         (**self).round(view)
+    }
+    fn phase_name(&self) -> &'static str {
+        (**self).phase_name()
     }
 }
 
@@ -270,6 +304,13 @@ where
         self.state = ChainState::Second { b, base };
         step
     }
+
+    fn phase_name(&self) -> &'static str {
+        match &self.state {
+            ChainState::First(a) => a.phase_name(),
+            ChainState::Second { b, .. } => b.phase_name(),
+        }
+    }
 }
 
 /// Transform a machine's output with a closure when it finishes.
@@ -290,6 +331,10 @@ where
             Step::Continue(out) => Step::Continue(out),
             Step::Done(x) => Step::Done((self.f.take().expect("Map closure already consumed"))(x)),
         }
+    }
+
+    fn phase_name(&self) -> &'static str {
+        self.inner.phase_name()
     }
 }
 
@@ -339,6 +384,44 @@ where
                 round += 1;
             }
             Step::Done(out) => return out,
+        }
+    }
+}
+
+/// [`drive_blocking`] with a [`PartyTracer`] recording each round as a
+/// span: phase at entry, flush totals, and the cost delta of the whole
+/// window (machine call + flush + round flip) — the same window the
+/// [`StepRunner`](crate::StepRunner) attributes, so a panic-free run
+/// records identical logical traces under either executor.
+pub fn drive_blocking_traced<M, R>(
+    ctx: &mut PartyCtx<M>,
+    mut machine: R,
+    tracer: &mut PartyTracer,
+) -> R::Output
+where
+    M: Clone + WireSize,
+    R: RoundMachine<M>,
+{
+    let id = ctx.id();
+    let n = ctx.n();
+    let mut inbox = Inbox::empty();
+    let mut round = 0u64;
+    loop {
+        tracer.begin(round, machine.phase_name());
+        let before = CostSnapshot::capture();
+        let step = machine.round(RoundView { id, n, round, inbox: &inbox, rng: ctx.rng() });
+        match step {
+            Step::Continue(outbox) => {
+                let stats = ctx.flush_outbox(outbox);
+                tracer.flush(round, stats.messages, stats.bytes);
+                inbox = ctx.next_round();
+                tracer.end(round, CostSnapshot::capture().since(&before));
+                round += 1;
+            }
+            Step::Done(out) => {
+                tracer.end(round, CostSnapshot::capture().since(&before));
+                return out;
+            }
         }
     }
 }

@@ -8,8 +8,10 @@ use dprbg_metrics::{comm, CostReport, CostSnapshot, WireSize};
 use dprbg_rng::rngs::StdRng;
 use dprbg_rng::SeedableRng;
 
+use dprbg_trace::{Event, PartyTracer, Trace, TraceConfig};
+
 use crate::adversary::MsgTap;
-use crate::machine::{drive_blocking, BoxedMachine, Outbox};
+use crate::machine::{drive_blocking, drive_blocking_traced, BoxedMachine, FlushStats, Outbox};
 use crate::router::{Inbox, PartyId, Received, RoundProfile, Router};
 
 /// A party's protocol code: straight-line logic against a [`PartyCtx`].
@@ -96,14 +98,15 @@ impl<M: Clone + WireSize> PartyCtx<M> {
     /// Deliver a queued [`Outbox`], assigning sequence numbers and
     /// charging the communication counters exactly as the direct
     /// [`send`](Self::send)/[`broadcast`](Self::broadcast) calls would.
+    /// Returns the charged totals.
     ///
     /// # Panics
     ///
     /// Panics if the outbox was built for a different network size.
-    pub fn flush_outbox(&mut self, outbox: Outbox<M>) {
+    pub fn flush_outbox(&mut self, outbox: Outbox<M>) -> FlushStats {
         assert_eq!(outbox.n(), self.n(), "outbox built for a different network size");
         let router = Arc::clone(&self.router);
-        outbox.flush(self.id, &mut self.seq, |to, rcv| router.post(to, rcv));
+        outbox.flush(self.id, &mut self.seq, |to, rcv| router.post(to, rcv))
     }
 
     /// Finish the current round: blocks until every live party has done
@@ -147,6 +150,9 @@ pub struct RunResult<Out> {
     pub report: CostReport,
     /// Per-round delivery profile — the protocol's round anatomy.
     pub rounds: Vec<RoundProfile>,
+    /// The merged logical trace, when the run was executed with tracing
+    /// ([`run_machines_traced`], [`StepRunner::with_trace`](crate::StepRunner::with_trace)).
+    pub trace: Option<Trace>,
 }
 
 impl<Out> RunResult<Out> {
@@ -236,6 +242,83 @@ where
     run_network_inner(n, seed, machines_as_behaviors(machines), Some(tap))
 }
 
+/// [`run_machines`] with a logical-time trace recorded per party: each
+/// thread drives its machine through [`drive_blocking_traced`], and the
+/// per-party event streams merge into [`RunResult::trace`].
+///
+/// For a panic-free, untapped run, the merged trace is byte-identical to
+/// what [`StepRunner::with_trace`](crate::StepRunner::with_trace)
+/// records from the same seed — the cross-executor equivalence the test
+/// suite pins.
+///
+/// # Panics
+///
+/// Panics if `machines` is empty or its length differs from `n`.
+pub fn run_machines_traced<M, Out>(
+    n: usize,
+    seed: u64,
+    machines: Vec<BoxedMachine<M, Out>>,
+    cfg: TraceConfig,
+) -> RunResult<Out>
+where
+    M: Clone + Send + WireSize + 'static,
+    Out: Send + 'static,
+{
+    assert_eq!(machines.len(), n, "need exactly one machine per party");
+    assert!(n >= 1, "need at least one party");
+    let router = Arc::new(Router::<M>::new(n));
+    let (tx, rx) = mpsc::channel::<(PartyId, Option<Out>, CostSnapshot, Vec<Event>)>();
+
+    std::thread::scope(|scope| {
+        for (idx, machine) in machines.into_iter().enumerate() {
+            let id = idx + 1;
+            let router = Arc::clone(&router);
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let mut ctx = PartyCtx {
+                    id,
+                    router,
+                    rng: StdRng::seed_from_u64(
+                        seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    ),
+                    seq: 0,
+                    left: false,
+                };
+                // The tracer lives outside the unwind boundary so a
+                // panicking party still surrenders what it recorded.
+                let mut tracer = PartyTracer::new(id, cfg);
+                let before = CostSnapshot::capture();
+                let out = {
+                    let tracer = &mut tracer;
+                    catch_unwind(AssertUnwindSafe(|| {
+                        drive_blocking_traced(&mut ctx, machine, tracer)
+                    }))
+                    .ok()
+                };
+                ctx.leave();
+                let cost = CostSnapshot::capture().since(&before);
+                let _ = tx.send((id, out, cost, tracer.into_events()));
+            });
+        }
+    });
+    drop(tx);
+
+    let mut outputs: Vec<Option<Out>> = (0..n).map(|_| None).collect();
+    let mut costs = vec![CostSnapshot::default(); n];
+    let mut streams: Vec<Vec<Event>> = (0..n).map(|_| Vec::new()).collect();
+    for (id, out, cost, events) in rx {
+        outputs[id - 1] = out;
+        costs[id - 1] = cost;
+        streams[id - 1] = events;
+    }
+    RunResult {
+        outputs,
+        report: CostReport::from_snapshots(costs),
+        rounds: router.profile(),
+        trace: Some(Trace::from_parties(streams)),
+    }
+}
+
 fn machines_as_behaviors<M, Out>(machines: Vec<BoxedMachine<M, Out>>) -> Vec<Behavior<M, Out>>
 where
     M: Clone + Send + WireSize + 'static,
@@ -301,6 +384,7 @@ where
         outputs,
         report: CostReport::from_snapshots(costs),
         rounds: router.profile(),
+        trace: None,
     }
 }
 

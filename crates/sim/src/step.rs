@@ -26,6 +26,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use dprbg_metrics::{comm, CostReport, CostSnapshot, WireSize};
 use dprbg_rng::rngs::StdRng;
 use dprbg_rng::SeedableRng;
+use dprbg_trace::{PartyTracer, Trace, TraceConfig};
 
 use crate::adversary::{MsgFate, MsgHop, MsgTap};
 use crate::machine::{BoxedMachine, RoundView, Step};
@@ -41,6 +42,7 @@ pub struct StepRunner<M> {
     seed: u64,
     tap: Option<Box<dyn MsgTap<M>>>,
     max_rounds: u64,
+    trace: Option<TraceConfig>,
 }
 
 struct Slot<M, Out> {
@@ -61,12 +63,22 @@ impl<M: Clone + WireSize> StepRunner<M> {
     /// Panics if `n` is zero.
     pub fn new(n: usize, seed: u64) -> Self {
         assert!(n >= 1, "need at least one party");
-        StepRunner { n, seed, tap: None, max_rounds: DEFAULT_MAX_ROUNDS }
+        StepRunner { n, seed, tap: None, max_rounds: DEFAULT_MAX_ROUNDS, trace: None }
     }
 
     /// Install a per-message adversary at the message hop.
     pub fn with_tap(mut self, tap: impl MsgTap<M> + 'static) -> Self {
         self.tap = Some(Box::new(tap));
+        self
+    }
+
+    /// Record a logical-time trace of the run (see `dprbg_trace`): one
+    /// span per (party, round) carrying the phase name, flush totals,
+    /// and the round's cost delta. The merged result lands in
+    /// [`RunResult::trace`]. Without this call tracing is a no-op — the
+    /// run loop only checks an `Option`.
+    pub fn with_trace(mut self, cfg: TraceConfig) -> Self {
+        self.trace = Some(cfg);
         self
     }
 
@@ -101,6 +113,8 @@ impl<M: Clone + WireSize> StepRunner<M> {
                 done: false,
             })
             .collect();
+        let mut tracers: Option<Vec<PartyTracer>> =
+            self.trace.map(|cfg| (1..=n).map(|id| PartyTracer::new(id, cfg)).collect());
         let mut outputs: Vec<Option<Out>> = (0..n).map(|_| None).collect();
         let mut ready: Vec<Inbox<M>> = (0..n).map(|_| Inbox::empty()).collect();
         let mut pending: Vec<Vec<Received<M>>> = (0..n).map(|_| Vec::new()).collect();
@@ -121,6 +135,10 @@ impl<M: Clone + WireSize> StepRunner<M> {
                     continue;
                 }
                 let inbox = std::mem::replace(&mut ready[id - 1], Inbox::empty());
+                let round_now = slot.round;
+                if let Some(tracers) = tracers.as_mut() {
+                    tracers[id - 1].begin(round_now, slot.machine.phase_name());
+                }
                 let before = CostSnapshot::capture();
                 let step = catch_unwind(AssertUnwindSafe(|| {
                     slot.machine.round(RoundView {
@@ -140,7 +158,7 @@ impl<M: Clone + WireSize> StepRunner<M> {
                         );
                         comm::count_rounds(1);
                         let tap = &mut self.tap;
-                        outbox.flush(id, &mut slot.seq, |to, rcv| {
+                        let stats = outbox.flush(id, &mut slot.seq, |to, rcv| {
                             let rcv = match tap.as_deref_mut() {
                                 None => rcv,
                                 Some(tap) => {
@@ -164,6 +182,9 @@ impl<M: Clone + WireSize> StepRunner<M> {
                             };
                             pending[to - 1].push(rcv);
                         });
+                        if let Some(tracers) = tracers.as_mut() {
+                            tracers[id - 1].flush(round_now, stats.messages, stats.bytes);
+                        }
                         slot.round += 1;
                     }
                     Ok(Step::Done(out)) => {
@@ -176,7 +197,11 @@ impl<M: Clone + WireSize> StepRunner<M> {
                         active -= 1;
                     }
                 }
-                slot.cost = slot.cost.plus(&CostSnapshot::capture().since(&before));
+                let delta = CostSnapshot::capture().since(&before);
+                slot.cost = slot.cost.plus(&delta);
+                if let Some(tracers) = tracers.as_mut() {
+                    tracers[id - 1].end(round_now, delta);
+                }
             }
             if active == 0 {
                 // Nobody is left to observe the next round; like the
@@ -208,6 +233,8 @@ impl<M: Clone + WireSize> StepRunner<M> {
             outputs,
             report: CostReport::from_snapshots(slots.into_iter().map(|s| s.cost)),
             rounds: profile,
+            trace: tracers
+                .map(|ts| Trace::from_parties(ts.into_iter().map(PartyTracer::into_events))),
         }
     }
 }

@@ -1,0 +1,106 @@
+//! The compact text timeline: one line per (party, round) span.
+//!
+//! Where the Chrome export targets a visual tool, this renderer targets a
+//! terminal or a log: rounds as headers, each party's span with its phase
+//! and cost delta, marks inlined. Deterministic output — same trace, same
+//! bytes — so timelines can be diffed across runs and executors.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::{EventKind, Trace};
+
+/// Render a merged [`Trace`] as a per-round text timeline.
+pub fn render_timeline(trace: &Trace) -> String {
+    let mut out = String::new();
+    let mut current_round: Option<u64> = None;
+    // Open state per party: (phase, flushed messages/bytes this span).
+    let mut open: BTreeMap<usize, (String, u64, u64)> = BTreeMap::new();
+    for e in &trace.events {
+        if current_round != Some(e.round) {
+            if current_round.is_some() {
+                out.push('\n');
+            }
+            let _ = writeln!(out, "round {}", e.round);
+            current_round = Some(e.round);
+        }
+        match &e.kind {
+            EventKind::Begin { phase } => {
+                open.insert(e.party, (phase.clone(), 0, 0));
+            }
+            EventKind::Flush { messages, bytes } => {
+                if let Some((_, m, b)) = open.get_mut(&e.party) {
+                    *m += messages;
+                    *b += bytes;
+                }
+            }
+            EventKind::End { cost } => {
+                let (phase, msgs, bytes) = open
+                    .remove(&e.party)
+                    .unwrap_or_else(|| ("round".to_string(), cost.messages, cost.bytes));
+                let _ = writeln!(
+                    out,
+                    "  P{:<3} {:<24} adds={} muls={} invs={} interp={} msgs={} bytes={}",
+                    e.party,
+                    phase,
+                    cost.field_adds,
+                    cost.field_muls,
+                    cost.field_invs,
+                    cost.interpolations,
+                    msgs,
+                    bytes
+                );
+            }
+            EventKind::Mark { label } => {
+                let _ = writeln!(out, "  P{:<3} ! {label}", e.party);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PartyTracer, TraceConfig};
+    use dprbg_metrics::CostSnapshot;
+
+    #[test]
+    fn renders_rounds_phases_and_marks() {
+        let trace = Trace::from_parties((1..=2).map(|p| {
+            let mut t = PartyTracer::new(p, TraceConfig::full());
+            t.begin(0, "expose/send");
+            t.flush(0, 2, 16);
+            t.end(
+                0,
+                CostSnapshot { field_adds: 5, messages: 2, bytes: 16, rounds: 1, ..Default::default() },
+            );
+            t.begin(1, "expose/decode");
+            if p == 2 {
+                t.mark(1, "tampered");
+            }
+            t.end(1, CostSnapshot { interpolations: 1, ..Default::default() });
+            t.into_events()
+        }));
+        let text = render_timeline(&trace);
+        assert!(text.contains("round 0"));
+        assert!(text.contains("round 1"));
+        assert!(text.contains("P1   expose/send"));
+        assert!(text.contains("msgs=2 bytes=16"));
+        assert!(text.contains("P2   ! tampered"));
+        assert!(text.contains("interp=1"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let mk = || {
+            Trace::from_parties((1..=3).map(|p| {
+                let mut t = PartyTracer::new(p, TraceConfig::full());
+                t.begin(0, "p");
+                t.end(0, CostSnapshot::default());
+                t.into_events()
+            }))
+        };
+        assert_eq!(render_timeline(&mk()), render_timeline(&mk()));
+    }
+}

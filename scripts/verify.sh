@@ -36,4 +36,16 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline -q
 echo "== chaos campaign smoke (fixed seed, quick) =="
 cargo run -p dprbg-bench --release --offline -q --bin report -- e12 --quick
 
+echo "== traced E2 smoke (fixed seed, Chrome-trace round trip) =="
+trace_out="$(mktemp -t dprbg-trace-XXXXXX.json)"
+trap 'rm -f "$trace_out"' EXIT
+# (Captured rather than piped into `grep -q`: under pipefail an early
+# grep exit would SIGPIPE the producer and fail a green run.)
+trace_report="$(cargo run -p dprbg-bench --release --offline -q --bin report -- --quick --trace "$trace_out")"
+printf '%s\n' "$trace_report"
+if ! grep -q "trace round-trip OK" <<<"$trace_report"; then
+    echo "traced E2 smoke FAILED: Chrome trace did not round-trip" >&2
+    exit 1
+fi
+
 echo "verify.sh: all green"

@@ -22,6 +22,7 @@
 //! | [`protocols`] | `dprbg-protocols` | grade-cast, phase-king BA, clique approximation |
 //! | [`baselines`] | `dprbg-baselines` | CCD cut-and-choose, Feldman VSS, from-scratch coin, Rabin dealer |
 //! | [`metrics`] | `dprbg-metrics` | the paper's cost model (additions / messages / bits / rounds) |
+//! | [`trace`] | `dprbg-trace` | deterministic span/event tracing + Chrome-trace export |
 //!
 //! # Example
 //!
@@ -58,3 +59,4 @@ pub use dprbg_metrics as metrics;
 pub use dprbg_poly as poly;
 pub use dprbg_protocols as protocols;
 pub use dprbg_sim as sim;
+pub use dprbg_trace as trace;

@@ -118,6 +118,14 @@ impl<G: Field> RoundMachine<CoinGenMsg<G>> for PartyMachine<G> {
             Stage::Finished => panic!("PartyMachine driven past completion"),
         }
     }
+
+    fn phase_name(&self) -> &'static str {
+        match &self.stage {
+            Stage::Coin(cg) => cg.phase_name(),
+            Stage::Expose { expose, .. } => expose.phase_name(),
+            Stage::Finished => "finished",
+        }
+    }
 }
 
 fn machine_fleet(seed: u64) -> Vec<BoxedMachine<M, PartyTranscript>> {
@@ -239,4 +247,49 @@ fn step_runner_runs_coin_gen_at_n61() {
     }
     // One thread, n parties: the whole run is just a round count.
     assert!(rounds > 0);
+}
+
+#[test]
+fn executors_record_identical_logical_traces() {
+    // ISSUE 5: a fixed-seed Coin-Gen run traced under both executors must
+    // produce byte-identical logical traces — same spans, same phase names,
+    // same per-(party, round, phase) cost deltas, same flush stats.
+    let cfg = dprbg::sim::TraceConfig::full();
+    for seed in [42u64, 1996] {
+        let threaded = dprbg::sim::run_machines_traced(N, seed, machine_fleet(seed), cfg);
+        let stepped =
+            dprbg::sim::StepRunner::new(N, seed).with_trace(cfg).run(machine_fleet(seed));
+        let a = threaded.trace.clone().expect("traced threaded run records a trace");
+        let b = stepped.trace.clone().expect("traced step run records a trace");
+        assert!(!a.events.is_empty(), "trace captured no events for seed {seed}");
+        assert_eq!(a, b, "logical traces diverged for seed {seed}");
+
+        // Byte-identical through the Chrome exporter too, and the export
+        // survives a parse → re-emit round trip.
+        let ja = dprbg::trace::to_chrome_json(&a);
+        let jb = dprbg::trace::to_chrome_json(&b);
+        assert_eq!(ja, jb, "chrome exports diverged for seed {seed}");
+        dprbg::trace::validate_chrome_json(&ja).expect("chrome export validates");
+
+        // Trace cost attribution must reconcile exactly with the run's
+        // CostReport ledger: span deltas sum to each party's total.
+        for res in [&threaded, &stepped] {
+            let trace = res.trace.as_ref().unwrap();
+            let per = trace.per_party_cost(N);
+            assert_eq!(per.len(), res.report.per_party.len());
+            for (traced, ledger) in per.iter().zip(res.report.per_party.iter()) {
+                assert_eq!(
+                    traced, &ledger.cost,
+                    "trace cost for party {} disagrees with CostReport (seed {seed})",
+                    ledger.party
+                );
+            }
+        }
+
+        // Tracing must not perturb the run itself.
+        let untraced = summarize(run_machines(N, seed, machine_fleet(seed)));
+        let traced = summarize(threaded);
+        assert_eq!(untraced.0, traced.0, "tracing changed the transcript");
+        assert_eq!(untraced.1, traced.1, "tracing changed the cost report");
+    }
 }
