@@ -96,6 +96,9 @@ fn main() {
             print_section(table.render());
         }
     }
+    if want("e13") {
+        print_section(experiments::e13::run(&ctx).render());
+    }
     println!("report generated in {:.1}s", t0.elapsed().as_secs_f64());
 }
 

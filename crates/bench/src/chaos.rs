@@ -40,8 +40,8 @@ use dprbg_rng::rngs::StdRng;
 use dprbg_rng::SeedableRng;
 // lint: allow-file(transport) — the campaign replays every episode on BOTH executors; the threaded runner is half the equivalence check
 use dprbg_sim::{
-    run_machines_with_tap, AdaptiveAdversary, Attack, BoxedMachine, PartyId, RunResult,
-    StepRunner, Trace, TraceConfig, WireSize,
+    run_machines_with_tap, AdaptiveAdversary, Attack, BoxedMachine, ParRunner, PartyId,
+    RunResult, StepRunner, Trace, TraceConfig, WireSize,
 };
 
 use crate::experiments::common::{challenge_coins, seed_wallets, F32};
@@ -138,6 +138,8 @@ pub enum Executor {
     Stepped,
     /// The scoped-thread runner ([`run_machines_with_tap`]).
     Threaded,
+    /// The deterministic work-stealing pool ([`ParRunner`]).
+    Parallel,
 }
 
 /// The replayable record of one episode.
@@ -190,6 +192,15 @@ where
         Executor::Threaded => {
             assert!(trace.is_none(), "forensic tracing runs on the stepped executor");
             run_machines_with_tap(n, seed, machines, Box::new(adv))
+        }
+        Executor::Parallel => {
+            let mut runner = ParRunner::new(n, seed)
+                .with_tap(adv)
+                .with_max_rounds(MAX_CAMPAIGN_ROUNDS);
+            if let Some(cfg) = trace {
+                runner = runner.with_trace(cfg);
+            }
+            runner.run(machines)
         }
     };
     let corrupted = handle.snapshot();
@@ -460,9 +471,16 @@ mod tests {
                 for seed in [11, 42] {
                     let a = run_episode(protocol, &s, seed, Executor::Stepped);
                     let b = run_episode(protocol, &s, seed, Executor::Threaded);
+                    let c = run_episode(protocol, &s, seed, Executor::Parallel);
                     assert_eq!(
                         a, b,
                         "{} under {} seed {seed} diverged between executors",
+                        protocol.name(),
+                        attack.name()
+                    );
+                    assert_eq!(
+                        a, c,
+                        "{} under {} seed {seed}: ParRunner diverged from StepRunner",
                         protocol.name(),
                         attack.name()
                     );
@@ -554,5 +572,25 @@ mod tests {
         assert_eq!(stats.agreed + stats.aborted + stats.unsound, 4);
         let (lo, hi) = stats.unsound_ci(1.96);
         assert!(lo >= 0.0 && hi <= 1.0 && lo <= hi);
+    }
+
+    #[test]
+    fn campaigns_agree_between_stepped_and_parallel() {
+        // Campaign-level executor equivalence: a whole adversarial sweep —
+        // stateful taps, drops, delays, corruption decisions — must tally
+        // identically under the work-stealing pool.
+        for attack in [
+            Attack::RandomChaos { drop_pct: 20, delay_pct: 20, max_delay: 2 },
+            Attack::Equivocate,
+        ] {
+            let s = Schedule::new(7, 1, 1, 4, attack);
+            let stepped = run_campaign(Protocol::CoinGen, &s, 3, 0xBEEF, Executor::Stepped);
+            let parallel = run_campaign(Protocol::CoinGen, &s, 3, 0xBEEF, Executor::Parallel);
+            assert_eq!(
+                stepped, parallel,
+                "campaign stats diverged under {} between executors",
+                attack.name()
+            );
+        }
     }
 }

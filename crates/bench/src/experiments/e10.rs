@@ -14,10 +14,9 @@
 //! accounting: the labels are derived analytically and must line up with
 //! the recorded profile.
 
-use dprbg_core::{coin_gen, CoinGenConfig, CoinGenMsg, CoinWallet, Params};
+use dprbg_core::{CoinBatch, CoinGenConfig, CoinGenError, CoinGenMachine, CoinGenMsg, CoinWallet, Params};
 use dprbg_metrics::Table;
-// lint: allow-file(transport) — E10 still runs on the threaded shim; StepRunner port is tracked in ROADMAP ("StepRunner-first E-series")
-use dprbg_sim::{run_network, Behavior, PartyCtx, RoundProfile};
+use dprbg_sim::{BoxedMachine, RoundProfile, StepRunner};
 
 use super::common::{seed_wallets, ExperimentCtx, F32};
 
@@ -26,17 +25,19 @@ pub fn profile(n: usize, t: usize, m: usize, seed: u64) -> (Vec<RoundProfile>, u
     let params = Params::p2p_model(n, t).unwrap();
     let cfg = CoinGenConfig { params, batch_size: m };
     let mut wallets: Vec<CoinWallet<F32>> = seed_wallets(n, t, 4 + t, seed);
-    let behaviors: Vec<Behavior<CoinGenMsg<F32>, usize>> = (0..n)
-        .map(|_| {
-            let mut w = wallets.remove(0);
-            Box::new(move |ctx: &mut PartyCtx<CoinGenMsg<F32>>| {
-                coin_gen(ctx, &cfg, &mut w).expect("generation succeeds").attempts
-            }) as Behavior<_, _>
-        })
+    type CgOut = (CoinWallet<F32>, Result<CoinBatch<F32>, CoinGenError>);
+    let machines: Vec<BoxedMachine<CoinGenMsg<F32>, CgOut>> = (0..n)
+        .map(|_| Box::new(CoinGenMachine::new(cfg, wallets.remove(0))) as _)
         .collect();
-    let res = run_network(n, seed, behaviors);
-    let attempts = *res.outputs[0].as_ref().unwrap();
-    (res.rounds, attempts)
+    let res = StepRunner::new(n, seed).run(machines);
+    let rounds = res.rounds.clone();
+    let attempts = res
+        .unwrap_all()
+        .into_iter()
+        .next()
+        .map(|(_, batch)| batch.expect("generation succeeds").attempts)
+        .expect("party 1 produced an output");
+    (rounds, attempts)
 }
 
 /// The analytic label of round `r` (0-based) for `attempts` BA attempts.

@@ -15,10 +15,10 @@
 
 use std::time::Instant;
 
-use dprbg_field::{Field, Gf2k, GfQlParams};
+use dprbg_field::{clmul, Field, Gf2k, GfQlParams};
 use dprbg_metrics::Table;
 use dprbg_rng::rngs::StdRng;
-use dprbg_rng::SeedableRng;
+use dprbg_rng::{RngExt, SeedableRng};
 
 use super::common::{fmt_f, ExperimentCtx};
 
@@ -107,6 +107,25 @@ pub fn run(ctx: &ExperimentCtx) -> Table {
             ],
         );
     }
+    // The GF(2^k) column above goes through the runtime-dispatched
+    // carry-less multiply; record which backend ran and check it against
+    // the portable reference ladder so the crossover numbers are never
+    // silently measuring a broken accelerator.
+    let mut rng = StdRng::seed_from_u64(ctx.seed + 11);
+    let parity = (0..4096).all(|_| {
+        let (a, b) = (rng.random(), rng.random());
+        clmul::clmul(a, b) == clmul::clmul_portable(a, b)
+    });
+    table.row(
+        &format!("clmul backend: {}", clmul::backend_name()),
+        &[
+            "-".into(),
+            if parity { "backend parity OK".into() } else { "BACKEND MISMATCH".into() },
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ],
+    );
     table
 }
 
@@ -143,5 +162,6 @@ mod tests {
     fn e8_renders() {
         let s = run(&ExperimentCtx::new(true)).render();
         assert!(s.contains("GF(2^k)"));
+        assert!(s.contains("backend parity OK"), "{s}");
     }
 }

@@ -15,14 +15,14 @@
 //!    W coins costs the same machinery as generating W coins — the
 //!    refresh rides Corollary 3's amortization.
 
-use dprbg_core::batch_vss::{batch_vss_verify, cheating_batch_deal, BatchOpts};
+use dprbg_core::batch_vss::{cheating_batch_deal, BatchOpts};
 use dprbg_core::{
-    coin_gen, refresh_wallet, BatchVssMsg, CoinError, CoinGenConfig, CoinGenMsg, CoinWallet,
-    Params, VssMode, VssVerdict,
+    BatchVssMsg, BatchVssVerifyMachine, CoinBatch, CoinError, CoinGenConfig, CoinGenError,
+    CoinGenMachine, CoinGenMsg, CoinWallet, Params, RefreshMachine, RefreshReport, VssMode,
+    VssVerdict,
 };
 use dprbg_metrics::Table;
-// lint: allow-file(transport) — E9 still runs on the threaded shim; StepRunner port is tracked in ROADMAP ("StepRunner-first E-series")
-use dprbg_sim::{run_network, Behavior, PartyCtx};
+use dprbg_sim::{BoxedMachine, StepRunner};
 use dprbg_rng::rngs::StdRng;
 use dprbg_rng::SeedableRng;
 
@@ -34,17 +34,18 @@ fn batch_cost(n: usize, t: usize, m: usize, blinding: bool, seed: u64) -> Player
     let mut rng = StdRng::seed_from_u64(seed + 1);
     let all = cheating_batch_deal::<F32, _>(n, t, m, 0, &mut rng);
     let opts = BatchOpts { blinding, mode: VssMode::Strict };
-    let behaviors: Vec<Behavior<BatchVssMsg<F32>, Result<VssVerdict, CoinError>>> = (1..=n)
+    let machines: Vec<BoxedMachine<BatchVssMsg<F32>, Result<VssVerdict, CoinError>>> = (1..=n)
         .map(|id| {
-            let coin = coins[id - 1];
-            let shares = all[id - 1].clone();
-            Box::new(move |ctx: &mut PartyCtx<BatchVssMsg<F32>>| {
-                batch_vss_verify(ctx, t, &shares, m, coin, opts)
-            }) as Behavior<_, _>
+            Box::new(BatchVssVerifyMachine::new(t, all[id - 1].clone(), m, coins[id - 1], opts))
+                as _
         })
         .collect();
-    let res = run_network(n, seed, behaviors);
-    PlayerCost::from_report(&res.report)
+    let res = StepRunner::new(n, seed).run(machines);
+    let report = res.report.clone();
+    for v in res.unwrap_all() {
+        assert_eq!(v.unwrap(), VssVerdict::Accept);
+    }
+    PlayerCost::from_report(&report)
 }
 
 /// Batch-VSS verification cost under the given acceptance mode.
@@ -53,16 +54,13 @@ fn mode_cost(n: usize, t: usize, mode: VssMode, seed: u64) -> PlayerCost {
     let mut rng = StdRng::seed_from_u64(seed + 1);
     let all = cheating_batch_deal::<F32, _>(n, t, 16, 0, &mut rng);
     let opts = BatchOpts { blinding: true, mode };
-    let behaviors: Vec<Behavior<BatchVssMsg<F32>, Result<VssVerdict, CoinError>>> = (1..=n)
+    let machines: Vec<BoxedMachine<BatchVssMsg<F32>, Result<VssVerdict, CoinError>>> = (1..=n)
         .map(|id| {
-            let coin = coins[id - 1];
-            let shares = all[id - 1].clone();
-            Box::new(move |ctx: &mut PartyCtx<BatchVssMsg<F32>>| {
-                batch_vss_verify(ctx, t, &shares, 16, coin, opts)
-            }) as Behavior<_, _>
+            Box::new(BatchVssVerifyMachine::new(t, all[id - 1].clone(), 16, coins[id - 1], opts))
+                as _
         })
         .collect();
-    let res = run_network(n, seed, behaviors);
+    let res = StepRunner::new(n, seed).run(machines);
     PlayerCost::from_report(&res.report)
 }
 
@@ -72,29 +70,30 @@ fn gen_vs_refresh(n: usize, t: usize, w: usize, seed: u64) -> (PlayerCost, Playe
     // Generate W coins.
     let cfg = CoinGenConfig { params, batch_size: w };
     let mut wallets: Vec<CoinWallet<F32>> = seed_wallets(n, t, 4, seed);
-    let behaviors: Vec<Behavior<CoinGenMsg<F32>, ()>> = (0..n)
-        .map(|_| {
-            let mut wlt = wallets.remove(0);
-            Box::new(move |ctx: &mut PartyCtx<CoinGenMsg<F32>>| {
-                coin_gen(ctx, &cfg, &mut wlt).unwrap();
-            }) as Behavior<_, _>
-        })
+    type CgOut = (CoinWallet<F32>, Result<CoinBatch<F32>, CoinGenError>);
+    let machines: Vec<BoxedMachine<CoinGenMsg<F32>, CgOut>> = (0..n)
+        .map(|_| Box::new(CoinGenMachine::new(cfg, wallets.remove(0))) as _)
         .collect();
-    let gen = PlayerCost::from_report(&run_network(n, seed, behaviors).report);
+    let res = StepRunner::new(n, seed).run(machines);
+    let report = res.report.clone();
+    for (_, r) in res.unwrap_all() {
+        r.unwrap();
+    }
+    let gen = PlayerCost::from_report(&report);
 
     // Refresh a wallet of W (+2 for the protocol's own seeds).
     let mut wallets: Vec<CoinWallet<F32>> = seed_wallets(n, t, w + 2, seed + 1);
-    let behaviors: Vec<Behavior<CoinGenMsg<F32>, ()>> = (0..n)
-        .map(|_| {
-            let mut wlt = wallets.remove(0);
-            let cfg = CoinGenConfig { params, batch_size: 0 };
-            Box::new(move |ctx: &mut PartyCtx<CoinGenMsg<F32>>| {
-                let r = refresh_wallet(ctx, &cfg, &mut wlt).unwrap();
-                assert_eq!(r.coins_refreshed, w);
-            }) as Behavior<_, _>
-        })
+    let cfg = CoinGenConfig { params, batch_size: 0 };
+    type RfOut = (CoinWallet<F32>, Result<RefreshReport, CoinGenError>);
+    let machines: Vec<BoxedMachine<CoinGenMsg<F32>, RfOut>> = (0..n)
+        .map(|_| Box::new(RefreshMachine::new(cfg, wallets.remove(0))) as _)
         .collect();
-    let refresh = PlayerCost::from_report(&run_network(n, seed + 2, behaviors).report);
+    let res = StepRunner::new(n, seed + 2).run(machines);
+    let report = res.report.clone();
+    for (_, r) in res.unwrap_all() {
+        assert_eq!(r.unwrap().coins_refreshed, w);
+    }
+    let refresh = PlayerCost::from_report(&report);
     (gen, refresh)
 }
 

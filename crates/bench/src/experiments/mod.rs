@@ -1,4 +1,4 @@
-//! Experiment modules E1–E12 and shared plumbing.
+//! Experiment modules E1–E13 and shared plumbing.
 
 pub mod common;
 pub mod e1;
@@ -13,5 +13,6 @@ pub mod e9;
 pub mod e10;
 pub mod e11;
 pub mod e12;
+pub mod e13;
 
 pub use common::ExperimentCtx;

@@ -232,8 +232,11 @@ pub fn iqr_filter(samples: &[u128]) -> Vec<u128> {
     let q1 = sorted[sorted.len() / 4];
     let q3 = sorted[(3 * sorted.len()) / 4];
     let iqr = q3 - q1;
-    let lo = q1.saturating_sub(iqr + iqr / 2);
-    let hi = q3.saturating_add(iqr + iqr / 2);
+    // Chain the saturations: `iqr + iqr / 2` itself overflows u128 when
+    // the spread is extreme, panicking before `saturating_sub/add` can
+    // clamp anything.
+    let lo = q1.saturating_sub(iqr).saturating_sub(iqr / 2);
+    let hi = q3.saturating_add(iqr).saturating_add(iqr / 2);
     sorted.retain(|&s| (lo..=hi).contains(&s));
     sorted
 }
@@ -600,6 +603,19 @@ mod tests {
         assert_eq!(iqr_filter(&[5, 1_000_000]), vec![5, 1_000_000]);
         // Uniform inputs survive intact (zero IQR keeps the value itself).
         assert_eq!(iqr_filter(&[7; 8]), vec![7; 8]);
+    }
+
+    #[test]
+    fn iqr_filter_survives_extreme_spread() {
+        // Regression: `q1.saturating_sub(iqr + iqr / 2)` computed the
+        // fence offset *before* saturating, so a near-u128::MAX spread
+        // overflowed in the addition and panicked in debug builds.
+        let samples = [0u128, 1, u128::MAX - 1, u128::MAX];
+        let kept = iqr_filter(&samples);
+        assert!(!kept.is_empty());
+        assert!(kept.iter().all(|s| samples.contains(s)));
+        // Empty input comes back empty rather than panicking.
+        assert_eq!(iqr_filter(&[]), Vec::<u128>::new());
     }
 
     #[test]

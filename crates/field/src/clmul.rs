@@ -1,0 +1,155 @@
+//! Carry-less 64×64 → 128 multiplication backends.
+//!
+//! Two implementations of one function — the polynomial (XOR) product of
+//! two degree-< 64 polynomials over GF(2):
+//!
+//! * [`clmul_portable`]: a fixed-iteration, branchless shift/mask ladder.
+//!   Exactly 64 iterations regardless of operand values, so both the
+//!   wall-clock and the instruction stream are data-independent (the old
+//!   `while b != 0 { trailing_zeros() }` popcount walk was not — see the
+//!   `field-ct` lint rule in LINTS.md).
+//! * A hardware path using the x86-64 `PCLMULQDQ` instruction
+//!   (`_mm_clmulepi64_si128`), selected at runtime by
+//!   `is_x86_feature_detected!`. This is the only `unsafe` in the
+//!   workspace, scoped to the single intrinsic call and guarded by the
+//!   feature probe.
+//!
+//! [`clmul`] dispatches between them. The dispatch is a *speed* choice,
+//! never a *value* choice: both backends compute the same function on all
+//! inputs (property-tested in `gf2k.rs` across every supported field
+//! degree, and re-checked at startup by experiment E8's parity row). No
+//! transcript, cost counter, or trace may depend on which backend ran —
+//! see "Backend dispatch & parallel determinism" in DESIGN.md.
+
+/// Portable carry-less multiply: fixed 64-iteration branchless ladder.
+///
+/// Iteration `i` XORs `a << i` into the accumulator under a mask that is
+/// all-ones when bit `i` of `b` is set and all-zeros otherwise — no
+/// data-dependent branches or trip counts.
+#[inline]
+#[must_use]
+pub fn clmul_portable(a: u64, b: u64) -> u128 {
+    let a = a as u128;
+    let mut r: u128 = 0;
+    let mut i = 0;
+    while i < 64 {
+        // 0 − bit is 0x00…0 or 0xFF…F: a branchless select of `a << i`.
+        let keep = 0u128.wrapping_sub(((b >> i) & 1) as u128);
+        r ^= (a << i) & keep;
+        i += 1;
+    }
+    r
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod hw {
+    use std::arch::x86_64::{
+        __m128i, _mm_clmulepi64_si128, _mm_cvtsi128_si64, _mm_set_epi64x, _mm_unpackhi_epi64,
+    };
+
+    /// Carry-less multiply via the `PCLMULQDQ` instruction.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified that the CPU supports `pclmulqdq`
+    /// (e.g. via `is_x86_feature_detected!`). Only `sse2`-baseline moves
+    /// are used around the single widening multiply.
+    #[target_feature(enable = "pclmulqdq")]
+    pub unsafe fn clmul_pclmulqdq(a: u64, b: u64) -> u128 {
+        // SAFETY: all intrinsics here are sse2-baseline except the
+        // `pclmulqdq` multiply itself, which the caller has probed for.
+        let va: __m128i = _mm_set_epi64x(0, a as i64);
+        let vb: __m128i = _mm_set_epi64x(0, b as i64);
+        let prod = _mm_clmulepi64_si128::<0>(va, vb);
+        let lo = _mm_cvtsi128_si64(prod) as u64;
+        let hi = _mm_cvtsi128_si64(_mm_unpackhi_epi64(prod, prod)) as u64;
+        ((hi as u128) << 64) | lo as u128
+    }
+}
+
+/// Carry-less multiply, dispatched to the best available backend.
+///
+/// Uses `PCLMULQDQ` when the CPU advertises it, the portable ladder
+/// otherwise. The two are extensionally equal; the feature probe caches
+/// after the first call.
+#[inline]
+#[must_use]
+#[allow(unsafe_code)]
+pub fn clmul(a: u64, b: u64) -> u128 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("pclmulqdq") {
+            // SAFETY: the feature probe above just confirmed pclmulqdq.
+            return unsafe { hw::clmul_pclmulqdq(a, b) };
+        }
+    }
+    clmul_portable(a, b)
+}
+
+/// The name of the backend [`clmul`] will dispatch to on this machine.
+///
+/// `"pclmulqdq"` or `"portable"` — reported by experiment E8/E13 so the
+/// speedup tables say what they measured.
+#[must_use]
+pub fn backend_name() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("pclmulqdq") {
+            return "pclmulqdq";
+        }
+    }
+    "portable"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprbg_rng::rngs::StdRng;
+    use dprbg_rng::{RngExt, SeedableRng};
+
+    #[test]
+    fn portable_matches_schoolbook_vectors() {
+        // x · x = x^2, (x+1)·(x+1) = x^2+1 (cross terms cancel mod 2).
+        assert_eq!(clmul_portable(0b10, 0b10), 0b100);
+        assert_eq!(clmul_portable(0b11, 0b11), 0b101);
+        // Degree-63 by degree-63 lands at bit 126.
+        assert_eq!(clmul_portable(1 << 63, 1 << 63), 1u128 << 126);
+        assert_eq!(clmul_portable(u64::MAX, 1), u64::MAX as u128);
+        assert_eq!(clmul_portable(0, u64::MAX), 0);
+    }
+
+    #[test]
+    fn dispatch_agrees_with_portable() {
+        let mut rng = StdRng::seed_from_u64(0xC13);
+        for _ in 0..2000 {
+            let a: u64 = rng.random();
+            let b: u64 = rng.random();
+            assert_eq!(clmul(a, b), clmul_portable(a, b), "a={a:#x} b={b:#x}");
+        }
+        // Boundary operands.
+        for &a in &[0u64, 1, u64::MAX, 1 << 63, 0x8000_0000_0000_0001] {
+            for &b in &[0u64, 1, u64::MAX, 1 << 63, 0x8000_0000_0000_0001] {
+                assert_eq!(clmul(a, b), clmul_portable(a, b), "a={a:#x} b={b:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn backend_name_is_one_of_the_known_backends() {
+        assert!(matches!(backend_name(), "pclmulqdq" | "portable"));
+    }
+
+    #[test]
+    fn clmul_is_commutative_and_distributive() {
+        let mut rng = StdRng::seed_from_u64(0xD15);
+        for _ in 0..200 {
+            let (a, b, c): (u64, u64, u64) = (rng.random(), rng.random(), rng.random());
+            assert_eq!(clmul_portable(a, b), clmul_portable(b, a));
+            assert_eq!(
+                clmul_portable(a, b ^ c),
+                clmul_portable(a, b) ^ clmul_portable(a, c)
+            );
+        }
+    }
+}

@@ -18,6 +18,7 @@ use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 use dprbg_metrics::{ops, WireSize};
 use dprbg_rng::{Rng, RngExt};
 
+use crate::clmul;
 use crate::traits::Field;
 
 /// The degrees `k` for which a verified irreducible modulus is built in.
@@ -72,40 +73,48 @@ const fn mask(k: usize) -> u64 {
 pub struct Gf2k<const K: usize>(u64);
 
 impl<const K: usize> Gf2k<K> {
-    /// Carry-less 64×64 → 128 multiplication (no reduction, no counting).
+    /// Fold the coefficients at or above `x^K` down once:
+    /// `v ≡ lo + clmul(hi, R)  (mod x^K + R)` where `v = hi·x^K + lo`.
     #[inline]
-    fn clmul(a: u64, b: u64) -> u128 {
-        let mut r: u128 = 0;
-        let a = a as u128;
-        let mut b = b;
-        while b != 0 {
-            let i = b.trailing_zeros();
-            r ^= a << i;
-            b &= b - 1;
-        }
-        r
+    fn fold(v: u128) -> u128 {
+        (v & mask(K) as u128) ^ clmul::clmul((v >> K) as u64, reduction_poly(K))
     }
 
-    /// Reduce a carry-less product (< 2^(2K-1)) modulo `x^K + R`.
+    /// Reduce a carry-less product modulo `x^K + R` in exactly two folds.
+    ///
+    /// Callers must keep the input degree ≤ 2K−2 — true of any product
+    /// of two canonical elements, and of the `x^shift` terms (`shift ≤ K`)
+    /// that [`Field::inv`] reduces. Under that contract two unconditional
+    /// folds always clear everything at or above `x^K` for every supported
+    /// modulus: fold one leaves degree ≤ K−2+deg R, fold two leaves
+    /// ≤ 2·deg R − 2, and every built-in `R` has deg R ≤ 7 with
+    /// 2·deg R − 2 < K (checked exhaustively by `two_folds_suffice`).
+    /// Fixed work, no data-dependent trip count. Inputs already below
+    /// `x^K` pass through both folds unchanged (`hi = 0` XORs nothing).
+    /// Arbitrary-width inputs go through [`Self::reduce_full`] instead.
     #[inline]
-    fn reduce(mut v: u128) -> u64 {
-        let r = reduction_poly(K);
-        loop {
-            let hi = v >> K;
-            if hi == 0 {
-                break;
-            }
-            // x^K ≡ R, so hi·x^K + lo ≡ clmul(hi, R) + lo.
-            v = (v & mask(K) as u128) ^ Self::clmul(hi as u64, r);
-        }
+    fn reduce(v: u128) -> u64 {
+        debug_assert!(
+            K == 64 || v >> (2 * K - 1) == 0,
+            "reduce input exceeds the product-width contract"
+        );
+        let v = Self::fold(Self::fold(v));
+        debug_assert_eq!(v >> K, 0, "two folds must fully reduce a product");
         v as u64
     }
 
-    /// Construct from a canonical (< 2^K) raw value without reduction.
+    /// Reduce an arbitrary 128-bit polynomial modulo `x^K + R`.
+    ///
+    /// The general entry used by [`Field::from_u64`] conversions, whose
+    /// input can have any degree up to 63 even when `K` is small. Not on
+    /// the multiplication path — products use the fixed-fold
+    /// [`Self::reduce`].
     #[inline]
-    fn from_canonical(v: u64) -> Self {
-        debug_assert!(K == 64 || v < (1u64 << K));
-        Gf2k(v)
+    fn reduce_full(mut v: u128) -> u64 {
+        while v >> K != 0 {
+            v = Self::fold(v);
+        }
+        v as u64
     }
 
     /// Raw carry-less field multiplication without cost counting.
@@ -114,7 +123,7 @@ impl<const K: usize> Gf2k<K> {
     /// one `inv` tick rather than as its constituent multiplications.
     #[inline]
     fn mul_raw(self, rhs: Self) -> Self {
-        Gf2k(Self::reduce(Self::clmul(self.0, rhs.0)))
+        Gf2k(Self::reduce(clmul::clmul(self.0, rhs.0)))
     }
 
     /// Degree of the polynomial `v` over GF(2) (`v` must be nonzero).
@@ -299,7 +308,7 @@ impl<const K: usize> Field for Gf2k<K> {
     }
 
     fn from_u64(x: u64) -> Self {
-        Gf2k(Self::reduce(x as u128))
+        Gf2k(Self::reduce_full(x as u128))
     }
 
     #[inline]
@@ -308,7 +317,11 @@ impl<const K: usize> Field for Gf2k<K> {
     }
 
     fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
-        Self::from_canonical(rng.random::<u64>() & mask(K))
+        // The masked draw is already canonical (degree < K), so the
+        // reduction inside `from_u64` is a no-op — but routing through it
+        // means canonicality never rests on a debug-only assertion the
+        // way the old `from_canonical` constructor did.
+        Self::from_u64(rng.random::<u64>() & mask(K))
     }
 
     #[inline]
@@ -536,7 +549,101 @@ mod tests {
         }
     }
 
+    /// Exhaustive check of the fixed-fold contract: for every supported
+    /// K, the worst-case post-fold degrees stay under K after two folds.
+    #[test]
+    fn two_folds_suffice() {
+        fn deg(v: u128) -> i32 {
+            127 - v.leading_zeros() as i32
+        }
+        for &k in SUPPORTED_GF2K_DEGREES {
+            let dr = deg(reduction_poly(k) as u128);
+            // Fold one of a degree ≤ 2K−2 input leaves ≤ max(K−1, K−2+dr);
+            // fold two of that leaves ≤ max(K−1, 2·dr−2), which must be < K.
+            assert!(2 * dr - 2 < k as i32, "GF(2^{k}): R too heavy for two folds");
+        }
+    }
+
+    /// Product of the two highest-degree canonical elements reduces to a
+    /// canonical value at every supported K (the widest input `reduce`
+    /// ever sees: degree exactly 2K−2).
+    #[test]
+    fn max_degree_products_reduce_canonically() {
+        fn check<const K: usize>() {
+            let top = Gf2k::<K>::from_u64(mask(K));
+            let p = top * top;
+            assert!(p.to_u64() <= mask(K), "GF(2^{K}): product escaped canonical range");
+            // And the product is consistent with square-via-pow.
+            assert_eq!(p, top.pow(2));
+        }
+        check::<4>();
+        check::<8>();
+        check::<16>();
+        check::<24>();
+        check::<32>();
+        check::<40>();
+        check::<48>();
+        check::<56>();
+        check::<64>();
+    }
+
+    /// `from_u64` handles inputs far wider than K (many folds) — the case
+    /// the fixed two-fold product reduction explicitly does not cover.
+    #[test]
+    fn from_u64_reduces_full_width_inputs_at_small_k() {
+        for x in [u64::MAX, 1u64 << 63, 0xDEAD_BEEF_CAFE_F00D] {
+            for &k in SUPPORTED_GF2K_DEGREES {
+                let v = match k {
+                    4 => Gf2k::<4>::from_u64(x).to_u64(),
+                    8 => Gf2k::<8>::from_u64(x).to_u64(),
+                    16 => Gf2k::<16>::from_u64(x).to_u64(),
+                    24 => Gf2k::<24>::from_u64(x).to_u64(),
+                    32 => Gf2k::<32>::from_u64(x).to_u64(),
+                    40 => Gf2k::<40>::from_u64(x).to_u64(),
+                    48 => Gf2k::<48>::from_u64(x).to_u64(),
+                    56 => Gf2k::<56>::from_u64(x).to_u64(),
+                    64 => Gf2k::<64>::from_u64(x).to_u64(),
+                    _ => unreachable!(),
+                };
+                assert!(v <= mask(k), "GF(2^{k}): from_u64({x:#x}) not canonical");
+            }
+        }
+    }
+
+    /// One multiplication through the portable ladder and one through the
+    /// dispatched backend (hardware CLMUL when available) must agree —
+    /// per K, including the K=64 mask boundary, and with the top
+    /// coefficient forced so the product runs the full `reduce` width.
+    fn backends_agree<const K: usize>(a: u64, b: u64) {
+        let x = Gf2k::<K>::from_u64(a);
+        let y = Gf2k::<K>::from_u64(b);
+        let via_dispatch = (x * y).to_u64();
+        let via_portable = Gf2k::<K>::reduce(crate::clmul::clmul_portable(x.to_u64(), y.to_u64()));
+        assert_eq!(via_dispatch, via_portable, "GF(2^{K}): backend mismatch");
+        // Max-degree variant: force bit K−1 on both operands.
+        let top = 1u64 << (K - 1);
+        let (xm, ym) = (Gf2k::<K>(x.to_u64() | top), Gf2k::<K>(y.to_u64() | top));
+        assert_eq!(
+            (xm * ym).to_u64(),
+            Gf2k::<K>::reduce(crate::clmul::clmul_portable(xm.to_u64(), ym.to_u64())),
+            "GF(2^{K}): backend mismatch on max-degree product"
+        );
+    }
+
     proptest! {
+        #[test]
+        fn scalar_and_clmul_backends_agree_at_every_k(a: u64, b: u64) {
+            backends_agree::<4>(a, b);
+            backends_agree::<8>(a, b);
+            backends_agree::<16>(a, b);
+            backends_agree::<24>(a, b);
+            backends_agree::<32>(a, b);
+            backends_agree::<40>(a, b);
+            backends_agree::<48>(a, b);
+            backends_agree::<56>(a, b);
+            backends_agree::<64>(a, b);
+        }
+
         #[test]
         fn field_axioms_gf2_8(a: u64, b: u64, c: u64) {
             axioms_hold::<8>(a, b, c);

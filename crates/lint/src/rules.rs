@@ -11,6 +11,7 @@
 //! | `transport` | machines talk only via `Outbox`; threads, channels, and the threaded executor stay in `dprbg-sim` |
 //! | `hermetic` | manifests declare only in-tree path/workspace dependencies (see [`crate::manifest`]) |
 //! | `trace-determinism` | `dprbg-trace` keeps to logical time (round, party, seq) — no wall clocks, thread ids, or environment |
+//! | `field-ct` | `dprbg-field` multiplication paths stay fixed-iteration — no data-dependent bit-scan loops |
 //!
 //! Suppression: `// lint: allow(<rule>) — <reason>` on the offending
 //! line or the line above; `// lint: allow-file(<rule>) — <reason>`
@@ -35,6 +36,8 @@ pub enum RuleId {
     Hermetic,
     /// Wall-clock / ambient state inside the logical-time trace crate.
     TraceDeterminism,
+    /// Data-dependent bit-scan in `dprbg-field` arithmetic.
+    FieldCt,
     /// Malformed `lint: allow` comment.
     AllowSyntax,
 }
@@ -49,6 +52,7 @@ impl RuleId {
             RuleId::Transport => "transport",
             RuleId::Hermetic => "hermetic",
             RuleId::TraceDeterminism => "trace-determinism",
+            RuleId::FieldCt => "field-ct",
             RuleId::AllowSyntax => "allow-syntax",
         }
     }
@@ -62,6 +66,7 @@ impl RuleId {
             "transport" => Some(RuleId::Transport),
             "hermetic" => Some(RuleId::Hermetic),
             "trace-determinism" => Some(RuleId::TraceDeterminism),
+            "field-ct" => Some(RuleId::FieldCt),
             _ => None,
         }
     }
@@ -169,6 +174,17 @@ const BITHACK_METHODS: &[&str] = &[
 /// anywhere else must be justified with an allow comment.
 const THREADED_ENTRYPOINTS: &[&str] =
     &["run_network", "run_machines", "run_machines_with_tap", "run_machines_traced"];
+
+/// The field crate's multiplication paths must run in data-independent
+/// time: a variable-trip bit-scan loop (the `trailing_zeros` popcount-walk
+/// idiom) makes one "field mul" cost a data-dependent amount of work,
+/// skewing wall-clock experiments against the constant per-op counters.
+/// `leading_zeros` is deliberately not listed: the extended-Euclid
+/// inversion is inherently iterative and is costed as one `inv` tick.
+const FIELD_HOME: &str = "dprbg-field";
+
+/// Bit-scan tells of a data-dependent multiplication loop.
+const FIELD_VARTIME_METHODS: &[&str] = &["trailing_zeros"];
 
 /// The crate whose event records must carry *logical* time only: a trace
 /// is a protocol artifact compared byte-for-byte across executors and
@@ -351,6 +367,23 @@ fn check_token(
                     tok.line,
                     format!(
                         "`.{id}()` bit-hack bypasses the counted `dprbg-field` ops (§2 cost model)"
+                    ),
+                );
+            }
+        }
+    }
+
+    // -- field-ct --------------------------------------------------------
+    if crate_name == FIELD_HOME {
+        if let TokKind::Ident(id) = &tok.kind {
+            if FIELD_VARTIME_METHODS.contains(&id.as_str()) && is_method_position(toks, i) {
+                push(
+                    diags,
+                    RuleId::FieldCt,
+                    tok.line,
+                    format!(
+                        "`.{id}()` bit-scan in `dprbg-field`: multiplication must be \
+                         fixed-iteration (see the branchless ladder in `clmul`)"
                     ),
                 );
             }
@@ -622,6 +655,35 @@ mod tests {
         let d = lint_rust_source("x.rs", "fn f() { run_machines_traced(7, 1, m, c); }\n", &bench);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].rule, RuleId::Transport);
+    }
+
+    #[test]
+    fn trailing_zeros_in_field_crate_fires_field_ct() {
+        let field = FileClass { crate_name: "dprbg-field".into(), kind: FileKind::Lib };
+        let src = "fn clmul(a: u64, mut b: u64) { while b != 0 { let i = b.trailing_zeros(); } }\n";
+        let d = lint_rust_source("x.rs", src, &field);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RuleId::FieldCt);
+        // The same tokens in a cost-model crate fire cost-model, not
+        // field-ct; in bench code they fire nothing.
+        let d = lint(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RuleId::CostModel);
+        let bench = FileClass { crate_name: "dprbg-bench".into(), kind: FileKind::Lib };
+        assert!(lint_rust_source("x.rs", src, &bench).is_empty());
+    }
+
+    #[test]
+    fn leading_zeros_in_field_crate_is_allowed() {
+        // Euclid-style inversion walks degrees via leading_zeros — that is
+        // an `inv` tick, not a multiplication path, and stays legal.
+        let field = FileClass { crate_name: "dprbg-field".into(), kind: FileKind::Lib };
+        assert!(lint_rust_source(
+            "x.rs",
+            "fn degree(v: u128) -> i32 { 127 - v.leading_zeros() as i32 }\n",
+            &field
+        )
+        .is_empty());
     }
 
     #[test]

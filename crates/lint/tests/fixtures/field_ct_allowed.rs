@@ -1,0 +1,21 @@
+// Fixture: the fixed-iteration branchless ladder plus a justified scan.
+fn clmul_portable(a: u64, b: u64) -> u128 {
+    let a = a as u128;
+    let mut r: u128 = 0;
+    let mut i = 0;
+    while i < 64 {
+        let keep = 0u128.wrapping_sub(((b >> i) & 1) as u128);
+        r ^= (a << i) & keep;
+        i += 1;
+    }
+    r
+}
+
+// `leading_zeros` degree walks (Euclid inversion) are out of scope.
+fn degree(v: u128) -> i32 {
+    127 - v.leading_zeros() as i32
+}
+
+fn lowest_set(v: u64) -> u32 {
+    v.trailing_zeros() // lint: allow(field-ct) — fixture: table-build helper, not a mul path
+}

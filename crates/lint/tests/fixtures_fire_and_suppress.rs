@@ -118,6 +118,28 @@ fn trace_determinism_is_scoped_to_the_trace_crate() {
 }
 
 #[test]
+fn field_ct_bad_fires() {
+    let d = lint_as("field_ct_bad.rs", "dprbg-field");
+    assert_eq!(d.len(), 2, "both trailing_zeros loops flagged: {d:#?}");
+    assert!(d.iter().all(|x| x.rule == RuleId::FieldCt));
+}
+
+#[test]
+fn field_ct_allowed_is_clean() {
+    assert_eq!(lint_as("field_ct_allowed.rs", "dprbg-field"), vec![]);
+}
+
+#[test]
+fn field_ct_is_scoped_to_the_field_crate() {
+    // The same tokens in a cost-model crate are already cost-model
+    // territory; in bench code they fire nothing.
+    let in_poly = lint_as("field_ct_bad.rs", "dprbg-poly");
+    assert!(!in_poly.is_empty());
+    assert!(in_poly.iter().all(|x| x.rule == RuleId::CostModel), "{in_poly:#?}");
+    assert_eq!(lint_as("field_ct_bad.rs", "dprbg-bench").len(), 0);
+}
+
+#[test]
 fn hermetic_bad_fires() {
     let d = lint_manifest("hermetic_bad.toml", &fixture("hermetic_bad.toml"));
     assert!(d.len() >= 5, "five forbidden dependency shapes: {d:#?}");

@@ -1,0 +1,438 @@
+//! Batched interpolation kernels: many sharings over one abscissa set.
+//!
+//! The paper's whole construction amortizes fixed distributed cost over
+//! many coins — and the local decode work amortizes the same way. Every
+//! coin in a batch is reconstructed from shares held by the *same* party
+//! set, i.e. the interpolation abscissas are identical across the batch;
+//! only the y-values change. Both kernels here hoist everything that
+//! depends only on the abscissas out of the per-sharing loop:
+//!
+//! * [`ZeroKernel`] — Shamir reconstruction at `x = 0`. Precomputes the
+//!   Lagrange-at-zero coefficients once (`O(m²)` multiplications and a
+//!   *single* field inversion via Montgomery's batch-inversion trick),
+//!   then each sharing costs one `O(m)` dot product. The naive
+//!   [`lagrange_eval_at_zero`](crate::lagrange_eval_at_zero) spends
+//!   `O(m²)` multiplications and `m` inversions *per sharing*.
+//! * [`BatchDecoder`] — Berlekamp–Welch with a shared-basis fast path.
+//!   Precomputes the degree-`t` Lagrange basis over the first `t + 1`
+//!   abscissas once; each sharing builds its candidate polynomial by a
+//!   linear combination and verifies it against all `m` points. Clean
+//!   words (the overwhelmingly common case) never touch the `O(m³)`
+//!   linear solve; words with disagreements fall back to the full
+//!   [`bw_decode`], so the result is always exactly what `bw_decode`
+//!   would return.
+//!
+//! Cost accounting: each decoded sharing still ticks exactly one
+//! interpolation (the paper's headline unit), so "interpolations per
+//! player" is unchanged by batching — only the field-op cost *inside*
+//! each interpolation shrinks. All arithmetic goes through counted
+//! [`Field`] operations.
+
+use dprbg_field::Field;
+use dprbg_metrics::ops;
+
+use crate::berlekamp_welch::{bw_decode, BwError};
+use crate::lagrange::InterpolateError;
+use crate::poly::Poly;
+
+/// A reusable Lagrange-at-zero evaluator for a fixed abscissa set.
+///
+/// # Examples
+///
+/// ```
+/// use dprbg_field::{Field, Gf2k};
+/// use dprbg_poly::{Poly, ZeroKernel};
+///
+/// type F = Gf2k<16>;
+/// let xs: Vec<F> = (1..=5).map(F::element).collect();
+/// let kernel = ZeroKernel::new(&xs).unwrap();
+/// // Reconstruct two secrets shared over the same five parties.
+/// for secret in [7u64, 1996] {
+///     let f = Poly::new(vec![F::from_u64(secret), F::one(), F::one()]);
+///     let ys: Vec<F> = xs.iter().map(|&x| f.eval(x)).collect();
+///     assert_eq!(kernel.eval_at_zero(&ys), F::from_u64(secret));
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZeroKernel<F> {
+    xs: Vec<F>,
+    coeffs: Vec<F>,
+}
+
+impl<F: Field> ZeroKernel<F> {
+    /// Precompute the at-zero coefficients `c_i = L_i(0)` for `xs`.
+    ///
+    /// Uses one batched inversion for all `m` Lagrange denominators.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpolateError::Empty`] without abscissas,
+    /// [`InterpolateError::DuplicateAbscissa`] if any repeat.
+    pub fn new(xs: &[F]) -> Result<Self, InterpolateError> {
+        if xs.is_empty() {
+            return Err(InterpolateError::Empty);
+        }
+        for (i, xi) in xs.iter().enumerate() {
+            if xs[i + 1..].iter().any(|xj| xj == xi) {
+                return Err(InterpolateError::DuplicateAbscissa);
+            }
+        }
+        let m = xs.len();
+        // Numerators Π_{j≠i}(−x_j) and denominators Π_{j≠i}(x_i − x_j).
+        let mut nums = vec![F::one(); m];
+        let mut denoms = vec![F::one(); m];
+        for i in 0..m {
+            for j in 0..m {
+                if j != i {
+                    nums[i] *= -xs[j];
+                    denoms[i] *= xs[i] - xs[j];
+                }
+            }
+        }
+        // Montgomery batch inversion: one inv for every denominator.
+        let mut prefix = Vec::with_capacity(m);
+        let mut acc = F::one();
+        for d in &denoms {
+            acc *= *d;
+            prefix.push(acc);
+        }
+        let mut inv_acc =
+            prefix[m - 1].inv().expect("distinct abscissas give nonzero denominators");
+        let mut coeffs = vec![F::zero(); m];
+        for i in (0..m).rev() {
+            let inv_i = if i == 0 { inv_acc } else { inv_acc * prefix[i - 1] };
+            coeffs[i] = nums[i] * inv_i;
+            inv_acc *= denoms[i];
+        }
+        Ok(ZeroKernel { xs: xs.to_vec(), coeffs })
+    }
+
+    /// The abscissas this kernel was built for.
+    #[must_use]
+    pub fn xs(&self) -> &[F] {
+        &self.xs
+    }
+
+    /// Number of shares per sharing.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the kernel is empty (never true — `new` rejects it).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Evaluate the interpolating polynomial of one sharing at zero.
+    ///
+    /// Equals `lagrange_eval_at_zero(zip(xs, ys))` and ticks the same one
+    /// interpolation, but costs `m` multiplications instead of `O(m²)`
+    /// plus `m` inversions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ys.len()` differs from the kernel's abscissa count.
+    #[must_use]
+    pub fn eval_at_zero(&self, ys: &[F]) -> F {
+        assert_eq!(ys.len(), self.xs.len(), "one y-value per abscissa");
+        ops::count_interpolation(1);
+        let mut acc = F::zero();
+        for (c, y) in self.coeffs.iter().zip(ys) {
+            acc += *c * *y;
+        }
+        acc
+    }
+
+    /// Evaluate many sharings in one call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from the kernel's.
+    #[must_use]
+    pub fn eval_many(&self, words: &[Vec<F>]) -> Vec<F> {
+        words.iter().map(|ys| self.eval_at_zero(ys)).collect()
+    }
+}
+
+/// A reusable Berlekamp–Welch decoder for a fixed abscissa set.
+///
+/// Semantically identical to calling [`bw_decode`] per word with the same
+/// `t` and `e_max`; the shared precomputation only changes speed.
+#[derive(Debug, Clone)]
+pub struct BatchDecoder<F: Field> {
+    xs: Vec<F>,
+    t: usize,
+    e_max: usize,
+    /// Lagrange basis over the first `t + 1` abscissas: `basis[i]` is the
+    /// degree-`t` polynomial with `basis[i](xs[j]) = [i == j]` for
+    /// `j ≤ t`. A clean word's codeword is `Σ ys[i]·basis[i]`.
+    basis: Vec<Poly<F>>,
+}
+
+impl<F: Field> BatchDecoder<F> {
+    /// Precompute the shared candidate basis for `xs`.
+    ///
+    /// # Errors
+    ///
+    /// [`BwError::TooFewPoints`] if fewer than `t + 1` abscissas,
+    /// [`BwError::DuplicateAbscissa`] if any repeat — the same conditions
+    /// [`bw_decode`] reports per call.
+    pub fn new(xs: &[F], t: usize, e_max: usize) -> Result<Self, BwError> {
+        let m = xs.len();
+        if m < t + 1 {
+            return Err(BwError::TooFewPoints { got: m, need: t + 1 });
+        }
+        for (i, xi) in xs.iter().enumerate() {
+            if xs[i + 1..].iter().any(|xj| xj == xi) {
+                return Err(BwError::DuplicateAbscissa);
+            }
+        }
+        let mut basis = Vec::with_capacity(t + 1);
+        for i in 0..=t {
+            let mut num = Poly::constant(F::one());
+            let mut denom = F::one();
+            for j in 0..=t {
+                if j != i {
+                    num = num.mul(&Poly::new(vec![-xs[j], F::one()]));
+                    denom *= xs[i] - xs[j];
+                }
+            }
+            basis.push(num.scale(denom.inv().expect("distinct abscissas")));
+        }
+        Ok(BatchDecoder { xs: xs.to_vec(), t, e_max, basis })
+    }
+
+    /// The abscissas this decoder was built for.
+    #[must_use]
+    pub fn xs(&self) -> &[F] {
+        &self.xs
+    }
+
+    /// Decode one word; returns exactly what
+    /// `bw_decode(zip(xs, ys), t, e_max)` returns.
+    ///
+    /// Fast path: the candidate through the first `t + 1` points is
+    /// checked against all `m`; zero disagreements means it *is* the
+    /// unique degree-≤`t` polynomial through every point, so the full
+    /// decoder would return it too (one interpolation tick, no linear
+    /// solve). Any disagreement falls back to [`bw_decode`], which does
+    /// its own counting and radius handling.
+    ///
+    /// # Errors
+    ///
+    /// See [`BwError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ys.len()` differs from the decoder's abscissa count.
+    pub fn decode(&self, ys: &[F]) -> Result<Poly<F>, BwError> {
+        assert_eq!(ys.len(), self.xs.len(), "one y-value per abscissa");
+        let mut candidate = Poly::zero();
+        for (b, y) in self.basis.iter().zip(ys) {
+            if !y.is_zero() {
+                candidate = candidate.add(&b.scale(*y));
+            }
+        }
+        let clean = self
+            .xs
+            .iter()
+            .zip(ys)
+            .all(|(&x, &y)| candidate.eval(x) == y);
+        if clean {
+            ops::count_interpolation(1);
+            return Ok(candidate);
+        }
+        let points: Vec<(F, F)> = self.xs.iter().copied().zip(ys.iter().copied()).collect();
+        bw_decode(&points, self.t, self.e_max)
+    }
+
+    /// Decode many words in one call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from the decoder's.
+    pub fn decode_many(&self, words: &[Vec<F>]) -> Vec<Result<Poly<F>, BwError>> {
+        words.iter().map(|ys| self.decode(ys)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lagrange::lagrange_eval_at_zero;
+    use dprbg_field::Gf2k;
+    use dprbg_metrics::CostSnapshot;
+    use dprbg_rng::prelude::*;
+    use dprbg_rng::rngs::StdRng;
+    use dprbg_rng::seq::SliceRandom;
+    use dprbg_rng::{RngExt, SeedableRng};
+
+    type F = Gf2k<16>;
+
+    fn abscissas(m: u64) -> Vec<F> {
+        (1..=m).map(F::element).collect()
+    }
+
+    fn word_of(f: &Poly<F>, xs: &[F]) -> Vec<F> {
+        xs.iter().map(|&x| f.eval(x)).collect()
+    }
+
+    #[test]
+    fn zero_kernel_matches_naive_lagrange() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let xs = abscissas(9);
+        let kernel = ZeroKernel::new(&xs).unwrap();
+        for _ in 0..20 {
+            let f = Poly::<F>::random(4, &mut rng);
+            let ys = word_of(&f, &xs);
+            let points: Vec<(F, F)> = xs.iter().copied().zip(ys.iter().copied()).collect();
+            assert_eq!(kernel.eval_at_zero(&ys), lagrange_eval_at_zero(&points).unwrap());
+            assert_eq!(kernel.eval_at_zero(&ys), f.constant_term());
+        }
+    }
+
+    #[test]
+    fn zero_kernel_handles_arbitrary_words_like_naive() {
+        // Not just clean sharings: on *any* y-vector the kernel computes
+        // the same linear functional the naive evaluation does.
+        let mut rng = StdRng::seed_from_u64(12);
+        let xs = abscissas(7);
+        let kernel = ZeroKernel::new(&xs).unwrap();
+        for _ in 0..20 {
+            let ys: Vec<F> = (0..7).map(|_| F::random(&mut rng)).collect();
+            let points: Vec<(F, F)> = xs.iter().copied().zip(ys.iter().copied()).collect();
+            assert_eq!(kernel.eval_at_zero(&ys), lagrange_eval_at_zero(&points).unwrap());
+        }
+    }
+
+    #[test]
+    fn zero_kernel_rejects_bad_abscissas() {
+        assert_eq!(ZeroKernel::<F>::new(&[]).unwrap_err(), InterpolateError::Empty);
+        assert_eq!(
+            ZeroKernel::new(&[F::one(), F::one()]).unwrap_err(),
+            InterpolateError::DuplicateAbscissa
+        );
+    }
+
+    #[test]
+    fn zero_kernel_amortizes_inversions() {
+        let xs = abscissas(8);
+        let before = CostSnapshot::capture();
+        let kernel = ZeroKernel::new(&xs).unwrap();
+        let setup = CostSnapshot::capture().since(&before);
+        assert_eq!(setup.field_invs, 1, "batch inversion: one inv for all coefficients");
+        assert_eq!(setup.interpolations, 0, "setup is not an interpolation");
+
+        let mut rng = StdRng::seed_from_u64(13);
+        let words: Vec<Vec<F>> =
+            (0..5).map(|_| (0..8).map(|_| F::random(&mut rng)).collect()).collect();
+        let before = CostSnapshot::capture();
+        let _ = kernel.eval_many(&words);
+        let d = CostSnapshot::capture().since(&before);
+        assert_eq!(d.interpolations, 5, "one tick per sharing");
+        assert_eq!(d.field_invs, 0, "no inversions on the per-sharing path");
+    }
+
+    #[test]
+    fn decoder_matches_bw_on_clean_words() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let t = 3;
+        let xs = abscissas(10);
+        let dec = BatchDecoder::new(&xs, t, t).unwrap();
+        for _ in 0..10 {
+            let f = Poly::<F>::random(t, &mut rng);
+            let ys = word_of(&f, &xs);
+            assert_eq!(dec.decode(&ys).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn decoder_matches_bw_on_errored_words() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let t = 2;
+        let xs = abscissas(7); // m = 3t + 1
+        let dec = BatchDecoder::new(&xs, t, t).unwrap();
+        for trial in 0..20 {
+            let f = Poly::<F>::random(t, &mut rng);
+            let mut ys = word_of(&f, &xs);
+            let e = rng.random_range(0..=t);
+            let mut idx: Vec<usize> = (0..ys.len()).collect();
+            idx.shuffle(&mut rng);
+            for &i in idx.iter().take(e) {
+                ys[i] = F::random(&mut rng);
+            }
+            let points: Vec<(F, F)> = xs.iter().copied().zip(ys.iter().copied()).collect();
+            assert_eq!(
+                dec.decode(&ys),
+                bw_decode(&points, t, t),
+                "trial {trial}: batched decode diverged from bw_decode"
+            );
+        }
+    }
+
+    #[test]
+    fn decoder_fails_like_bw_beyond_radius() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let t = 2;
+        let xs = abscissas(7);
+        let dec = BatchDecoder::new(&xs, t, t).unwrap();
+        let f = Poly::<F>::random(t, &mut rng);
+        let mut ys = word_of(&f, &xs);
+        for y in ys.iter_mut().take(4) {
+            *y += F::from_u64(0x5EED);
+        }
+        let points: Vec<(F, F)> = xs.iter().copied().zip(ys.iter().copied()).collect();
+        assert_eq!(dec.decode(&ys), bw_decode(&points, t, t));
+    }
+
+    #[test]
+    fn decoder_rejects_bad_abscissas() {
+        assert_eq!(
+            BatchDecoder::new(&abscissas(3), 3, 3).unwrap_err(),
+            BwError::TooFewPoints { got: 3, need: 4 }
+        );
+        assert_eq!(
+            BatchDecoder::new(&[F::one(), F::one(), F::element(2), F::element(3)], 1, 1)
+                .unwrap_err(),
+            BwError::DuplicateAbscissa
+        );
+    }
+
+    #[test]
+    fn decoder_ticks_one_interpolation_per_clean_word() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let t = 2;
+        let xs = abscissas(7);
+        let dec = BatchDecoder::new(&xs, t, t).unwrap();
+        let words: Vec<Vec<F>> =
+            (0..4).map(|_| word_of(&Poly::<F>::random(t, &mut rng), &xs)).collect();
+        let before = CostSnapshot::capture();
+        let out = dec.decode_many(&words);
+        let d = CostSnapshot::capture().since(&before);
+        assert!(out.iter().all(Result::is_ok));
+        assert_eq!(d.interpolations, 4);
+        assert_eq!(d.field_invs, 0, "clean words never hit the linear solve");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_batch_decoder_always_equals_bw(seed: u64, t in 1usize..4, errs in 0usize..5) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = 3 * t + 1;
+            let xs = abscissas(m as u64);
+            let dec = BatchDecoder::new(&xs, t, t).unwrap();
+            let f = Poly::<F>::random(t, &mut rng);
+            let mut ys = word_of(&f, &xs);
+            let mut idx: Vec<usize> = (0..m).collect();
+            idx.shuffle(&mut rng);
+            for &i in idx.iter().take(errs.min(m)) {
+                ys[i] = F::random(&mut rng);
+            }
+            let points: Vec<(F, F)> = xs.iter().copied().zip(ys.iter().copied()).collect();
+            prop_assert_eq!(dec.decode(&ys), bw_decode(&points, t, t));
+        }
+    }
+}

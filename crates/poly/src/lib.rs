@@ -39,6 +39,7 @@
 //! assert_eq!(f, g);
 //! ```
 
+mod batch;
 mod berlekamp_welch;
 mod lagrange;
 mod linalg;
@@ -46,6 +47,7 @@ mod poly;
 mod rs;
 mod shamir;
 
+pub use batch::{BatchDecoder, ZeroKernel};
 pub use berlekamp_welch::{bw_decode, BwError};
 pub use lagrange::{interpolate, lagrange_eval_at_zero, InterpolateError};
 pub use linalg::{solve_linear, Matrix};

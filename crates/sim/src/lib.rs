@@ -55,17 +55,20 @@
 //! Protocol logic can also be written transport-free as a
 //! [`RoundMachine`]: a state machine whose [`round`](RoundMachine::round)
 //! method maps an [`Inbox`] view to an [`Outbox`] of sends (or a final
-//! output). Two interchangeable executors drive machines:
+//! output). Three interchangeable executors drive machines:
 //!
 //! * [`run_machines`] — the scoped-thread runner above, with a thin
 //!   blocking driver per party ([`drive_blocking`]);
 //! * [`StepRunner`] — a deterministic single-threaded executor that
 //!   interleaves all parties round-by-round with no threads or barriers,
-//!   making big-n sweeps cheap.
+//!   making big-n sweeps cheap;
+//! * [`ParRunner`] — a deterministic work-stealing pool that steps the
+//!   independent parties of each round concurrently and merges outboxes
+//!   in id order at round boundaries, for wall-clock speed at big n.
 //!
-//! Both executors share sequence numbering, RNG derivation, and cost
+//! All executors share sequence numbering, RNG derivation, and cost
 //! accounting, so the same seed yields byte-identical transcripts and
-//! identical cost reports under either. Each in-flight message copy also
+//! identical cost reports under any of them. Each in-flight message copy also
 //! passes a **message hop** where an optional [`MsgTap`] adversary can
 //! drop, delay, or tamper per message (see [`run_network_with_tap`],
 //! [`StepRunner::with_tap`]).
@@ -75,6 +78,7 @@ mod chaos;
 mod embed;
 mod machine;
 mod network;
+mod par;
 mod router;
 mod step;
 
@@ -89,6 +93,7 @@ pub use network::{
     run_machines, run_machines_traced, run_machines_with_tap, run_network, run_network_with_tap,
     Behavior, PartyCtx, RunResult,
 };
+pub use par::ParRunner;
 pub use router::{Inbox, PartyId, Received, RoundProfile};
 pub use step::StepRunner;
 

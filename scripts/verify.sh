@@ -36,6 +36,19 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline -q
 echo "== chaos campaign smoke (fixed seed, quick) =="
 cargo run -p dprbg-bench --release --offline -q --bin report -- e12 --quick
 
+echo "== backend & executor parity smoke (E8 + E13, fixed seed, quick) =="
+# E8 checks the dispatched carry-less multiply against the portable
+# reference ladder; E13 asserts ParRunner transcripts/traces are
+# byte-identical to StepRunner and that its Chrome export round-trips.
+parity_report="$(cargo run -p dprbg-bench --release --offline -q --bin report -- e8 e13 --quick)"
+printf '%s\n' "$parity_report"
+for needle in "backend parity OK" "executor parity OK" "par trace round-trip OK"; do
+    if ! grep -q "$needle" <<<"$parity_report"; then
+        echo "parity smoke FAILED: missing \"$needle\"" >&2
+        exit 1
+    fi
+done
+
 echo "== traced E2 smoke (fixed seed, Chrome-trace round trip) =="
 trace_out="$(mktemp -t dprbg-trace-XXXXXX.json)"
 trap 'rm -f "$trace_out"' EXIT

@@ -1,14 +1,15 @@
 //! Cross-executor equivalence of the sans-IO round engine.
 //!
 //! The same `RoundMachine` fleet must behave identically under the
-//! scoped-thread runner ([`run_machines`]) and the deterministic
-//! single-threaded [`StepRunner`]: byte-identical transcripts, identical
-//! [`CostReport`]s, identical per-round delivery profiles. The blocking
+//! scoped-thread runner ([`run_machines`]), the deterministic
+//! single-threaded [`StepRunner`], and the work-stealing `ParRunner`:
+//! byte-identical transcripts, identical [`CostReport`]s, identical
+//! per-round delivery profiles, identical logical traces. The blocking
 //! `PartyCtx` pipeline (the pre-refactor API, now a shim over the same
-//! machines) must agree with both. A large-n smoke test then exercises
-//! the scale the single-threaded executor exists for: full Coin-Gen at
-//! n = 61, t = 10 — beyond what the thread-per-party runner is asked to
-//! do anywhere else in the suite.
+//! machines) must agree with all of them. A large-n smoke test then
+//! exercises the scale the single-threaded and parallel executors exist
+//! for: full Coin-Gen at n = 61, t = 10 — beyond what the
+//! thread-per-party runner is asked to do anywhere else in the suite.
 
 use std::collections::VecDeque;
 
@@ -194,10 +195,28 @@ fn executors_agree_on_full_coin_gen() {
     for seed in [3u64, 42, 1996] {
         let threaded = summarize(run_machines(N, seed, machine_fleet(seed)));
         let stepped = summarize(dprbg::sim::StepRunner::new(N, seed).run(machine_fleet(seed)));
+        let parallel = summarize(dprbg::sim::ParRunner::new(N, seed).run(machine_fleet(seed)));
         assert_eq!(threaded.0, stepped.0, "transcripts diverged for seed {seed}");
         assert!(!threaded.0.is_empty(), "pipeline produced an empty transcript");
         assert_eq!(threaded.1, stepped.1, "cost reports diverged for seed {seed}");
         assert_eq!(threaded.2, stepped.2, "round profiles diverged for seed {seed}");
+        assert_eq!(stepped.0, parallel.0, "ParRunner transcript diverged for seed {seed}");
+        assert_eq!(stepped.1, parallel.1, "ParRunner cost report diverged for seed {seed}");
+        assert_eq!(stepped.2, parallel.2, "ParRunner round profile diverged for seed {seed}");
+    }
+}
+
+#[test]
+fn par_runner_is_thread_count_invariant_on_full_coin_gen() {
+    // The pool width is pure mechanism: 1, 2, or 8 workers must yield the
+    // same bytes the single-threaded executor produces.
+    let seed = 42u64;
+    let stepped = summarize(dprbg::sim::StepRunner::new(N, seed).run(machine_fleet(seed)));
+    for threads in [1usize, 2, 8] {
+        let parallel = summarize(
+            dprbg::sim::ParRunner::new(N, seed).with_threads(threads).run(machine_fleet(seed)),
+        );
+        assert_eq!(stepped, parallel, "{threads}-thread pool diverged from StepRunner");
     }
 }
 
@@ -230,6 +249,21 @@ fn step_runner_runs_coin_gen_at_n61() {
         })
         .collect();
     let res = dprbg::sim::StepRunner::new(BIG_N, 1996).run(machines);
+
+    // The work-stealing pool must reproduce the n = 61 run byte for byte —
+    // this is the scale it exists for.
+    let mut wallets: Vec<CoinWallet<G>> = TrustedDealer::deal_wallets::<G>(params, 4, 61);
+    let machines: Vec<BoxedMachine<CoinGenMsg<G>, (Vec<usize>, usize, Vec<G>)>> = (1..=BIG_N)
+        .map(|_| {
+            Box::new(PartyMachine::new(cfg, wallets.remove(0)))
+                as BoxedMachine<CoinGenMsg<G>, (Vec<usize>, usize, Vec<G>)>
+        })
+        .collect();
+    let par = dprbg::sim::ParRunner::new(BIG_N, 1996).run(machines);
+    assert_eq!(res.report, par.report, "ParRunner cost report diverged at n = 61");
+    assert_eq!(res.rounds, par.rounds, "ParRunner round profile diverged at n = 61");
+    assert_eq!(res.outputs, par.outputs, "ParRunner outputs diverged at n = 61");
+
     let rounds = res.report.comm.rounds;
     let outputs = res.unwrap_all();
     assert_eq!(outputs.len(), BIG_N);
@@ -259,21 +293,27 @@ fn executors_record_identical_logical_traces() {
         let threaded = dprbg::sim::run_machines_traced(N, seed, machine_fleet(seed), cfg);
         let stepped =
             dprbg::sim::StepRunner::new(N, seed).with_trace(cfg).run(machine_fleet(seed));
+        let parallel =
+            dprbg::sim::ParRunner::new(N, seed).with_trace(cfg).run(machine_fleet(seed));
         let a = threaded.trace.clone().expect("traced threaded run records a trace");
         let b = stepped.trace.clone().expect("traced step run records a trace");
+        let c = parallel.trace.clone().expect("traced parallel run records a trace");
         assert!(!a.events.is_empty(), "trace captured no events for seed {seed}");
         assert_eq!(a, b, "logical traces diverged for seed {seed}");
+        assert_eq!(b, c, "ParRunner trace diverged from StepRunner for seed {seed}");
 
         // Byte-identical through the Chrome exporter too, and the export
         // survives a parse → re-emit round trip.
         let ja = dprbg::trace::to_chrome_json(&a);
         let jb = dprbg::trace::to_chrome_json(&b);
+        let jc = dprbg::trace::to_chrome_json(&c);
         assert_eq!(ja, jb, "chrome exports diverged for seed {seed}");
+        assert_eq!(jb, jc, "ParRunner chrome export diverged for seed {seed}");
         dprbg::trace::validate_chrome_json(&ja).expect("chrome export validates");
 
         // Trace cost attribution must reconcile exactly with the run's
         // CostReport ledger: span deltas sum to each party's total.
-        for res in [&threaded, &stepped] {
+        for res in [&threaded, &stepped, &parallel] {
             let trace = res.trace.as_ref().unwrap();
             let per = trace.per_party_cost(N);
             assert_eq!(per.len(), res.report.per_party.len());
