@@ -16,9 +16,9 @@
 use dprbg_field::Field;
 use dprbg_metrics::WireSize;
 use dprbg_poly::{interpolate, Poly};
-use dprbg_sim::{Embeds, PartyCtx, PartyId};
 use dprbg_rng::rngs::StdRng;
 use dprbg_rng::{RngExt, SeedableRng};
+use dprbg_sim::{Embeds, PartyId, RoundMachine, RoundView, Step};
 
 pub use dprbg_core::{VssMode, VssVerdict};
 
@@ -57,114 +57,195 @@ pub struct CcdOpts {
     pub challenge_seed: u64,
 }
 
-/// Run one cut-and-choose VSS: `dealer` shares `secret_if_dealer` among
-/// all parties; everyone outputs a verdict.
+/// How this party deals (or doesn't).
+enum CcdDeal<F> {
+    /// Share this secret (the party must carry the dealer id).
+    Secret(F),
+    /// Share a secret drawn fresh from the party RNG at deal time.
+    Random,
+    /// Pure verifier (also used by adversarial wrappers dealing manually).
+    No,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CcdStage {
+    /// Round 0: the dealer distributes `f` and the `k` maskings.
+    Deal,
+    /// Round 1: everyone broadcasts the challenged reveals.
+    Reveal,
+    /// Round 2: `k` interpolations decide the verdict.
+    Decide,
+}
+
+/// One cut-and-choose VSS as a sans-IO round machine: `dealer` shares a
+/// secret among all parties; everyone outputs `(verdict, my share)`.
 ///
-/// 3 communication rounds (deal, challenge barrier, reveal broadcasts) and
+/// 3 communication rounds (deal, reveal broadcasts, decide) and
 /// `opts.rounds` polynomial interpolations per player — the cost the
 /// paper's Batch-VSS amortizes away.
-///
-/// Returns `(verdict, my secret share)`.
-pub fn ccd_vss<M, F>(
-    ctx: &mut PartyCtx<M>,
+pub struct CcdMachine<M, F: Field> {
     dealer: PartyId,
-    secret_if_dealer: Option<F>,
+    deal: CcdDeal<F>,
     t: usize,
     opts: CcdOpts,
-) -> (VssVerdict, F)
+    /// My secret share, fixed once the deal arrives.
+    alpha: F,
+    stage: CcdStage,
+    _wire: std::marker::PhantomData<fn() -> M>,
+}
+
+impl<M, F: Field> CcdMachine<M, F> {
+    /// A machine for one VSS of `secret_if_dealer` from `dealer`.
+    ///
+    /// `None` as the secret means this party does not act as dealer even
+    /// if it carries the dealer id — used by adversarial wrappers that
+    /// deal manually.
+    pub fn new(dealer: PartyId, secret_if_dealer: Option<F>, t: usize, opts: CcdOpts) -> Self {
+        let deal = match secret_if_dealer {
+            Some(s) => CcdDeal::Secret(s),
+            None => CcdDeal::No,
+        };
+        CcdMachine {
+            dealer,
+            deal,
+            t,
+            opts,
+            alpha: F::zero(),
+            stage: CcdStage::Deal,
+            _wire: std::marker::PhantomData,
+        }
+    }
+
+    /// Like [`CcdMachine::new`], but the dealer's secret is drawn from the
+    /// party RNG at deal time — how the from-scratch coin's contributors
+    /// share fresh randomness.
+    pub fn random_dealer(dealer: PartyId, t: usize, opts: CcdOpts) -> Self {
+        let mut m = Self::new(dealer, None, t, opts);
+        m.deal = CcdDeal::Random;
+        m
+    }
+}
+
+impl<M, F> RoundMachine<M> for CcdMachine<M, F>
 where
-    M: Clone + Send + WireSize + Embeds<CcdMsg<F>> + 'static,
+    M: Clone + WireSize + Embeds<CcdMsg<F>>,
     F: Field,
 {
-    let n = ctx.n();
-    let k = opts.rounds;
+    type Output = (VssVerdict, F);
 
-    // Round 1: deal f and the k masking polynomials. (`None` as the
-    // secret means this party does not act as dealer even if it carries
-    // the dealer id — used by adversarial wrappers that deal manually.)
-    let mut dealt: Option<(Poly<F>, Vec<Poly<F>>)> = None;
-    if let (true, Some(secret)) = (ctx.id() == dealer, secret_if_dealer) {
-        let f = Poly::random_with_constant(secret, t, ctx.rng());
-        let gs: Vec<Poly<F>> = (0..k).map(|_| Poly::random(t, ctx.rng())).collect();
-        for i in 1..=n {
-            let x = F::element(i as u64);
-            ctx.send(
-                i,
-                <M as Embeds<CcdMsg<F>>>::wrap(CcdMsg::Deal {
-                    alpha: f.eval(x),
-                    gammas: gs.iter().map(|g| g.eval(x)).collect(),
-                }),
-            );
-        }
-        dealt = Some((f, gs));
-    }
-    let _ = dealt;
-    let inbox = ctx.next_round();
-    let dealt = inbox
-        .first_from(dealer)
-        .and_then(|r| <M as Embeds<CcdMsg<F>>>::peek(&r.msg))
-        .and_then(|m| match m {
-            CcdMsg::Deal { alpha, gammas } if gammas.len() == k => {
-                Some((*alpha, gammas.clone()))
+    fn round(&mut self, view: RoundView<'_, M>) -> Step<M, Self::Output> {
+        let n = view.n;
+        let k = self.opts.rounds;
+        match self.stage {
+            CcdStage::Deal => {
+                let mut out = view.outbox();
+                let secret = match std::mem::replace(&mut self.deal, CcdDeal::No) {
+                    CcdDeal::Secret(s) => Some(s),
+                    CcdDeal::Random => Some(F::random(view.rng)),
+                    CcdDeal::No => None,
+                };
+                if let (true, Some(secret)) = (view.id == self.dealer, secret) {
+                    let f = Poly::random_with_constant(secret, self.t, view.rng);
+                    let gs: Vec<Poly<F>> =
+                        (0..k).map(|_| Poly::random(self.t, view.rng)).collect();
+                    for i in 1..=n {
+                        let x = F::element(i as u64);
+                        out.send(
+                            i,
+                            <M as Embeds<CcdMsg<F>>>::wrap(CcdMsg::Deal {
+                                alpha: f.eval(x),
+                                gammas: gs.iter().map(|g| g.eval(x)).collect(),
+                            }),
+                        );
+                    }
+                }
+                self.stage = CcdStage::Reveal;
+                Step::Continue(out)
             }
-            _ => None,
-        });
-    let was_dealt = dealt.is_some();
-    let (alpha, gammas) = dealt.unwrap_or_else(|| (F::zero(), vec![F::zero(); k]));
+            CcdStage::Reveal => {
+                let dealt = view
+                    .inbox
+                    .first_from(self.dealer)
+                    .and_then(|r| <M as Embeds<CcdMsg<F>>>::peek(&r.msg))
+                    .and_then(|m| match m {
+                        CcdMsg::Deal { alpha, gammas } if gammas.len() == k => {
+                            Some((*alpha, gammas.clone()))
+                        }
+                        _ => None,
+                    });
+                let was_dealt = dealt.is_some();
+                let (alpha, gammas) = dealt.unwrap_or_else(|| (F::zero(), vec![F::zero(); k]));
+                self.alpha = alpha;
 
-    // Public challenge bits (common randomness, uncharged).
-    let mut crng = StdRng::seed_from_u64(opts.challenge_seed);
-    let challenges: Vec<bool> = (0..k).map(|_| crng.random()).collect();
+                // Public challenge bits (common randomness, uncharged).
+                let mut crng = StdRng::seed_from_u64(self.opts.challenge_seed);
+                let challenges: Vec<bool> = (0..k).map(|_| crng.random()).collect();
 
-    // Round 2: broadcast the chosen reveals. A player the dealer skipped
-    // broadcasts random values so a silent/partial dealer cannot pass as
-    // an implicit all-zero sharing.
-    let reveals: Vec<F> = if was_dealt {
-        challenges
-            .iter()
-            .zip(&gammas)
-            .map(|(&c, &g)| if c { alpha + g } else { g })
-            .collect()
-    } else {
-        (0..k).map(|_| F::random(ctx.rng())).collect()
-    };
-    ctx.broadcast(<M as Embeds<CcdMsg<F>>>::wrap(CcdMsg::Reveal(reveals)));
-    let inbox = ctx.next_round();
+                // Broadcast the chosen reveals. A player the dealer skipped
+                // broadcasts random values so a silent/partial dealer cannot
+                // pass as an implicit all-zero sharing.
+                let reveals: Vec<F> = if was_dealt {
+                    challenges
+                        .iter()
+                        .zip(&gammas)
+                        .map(|(&c, &g)| if c { alpha + g } else { g })
+                        .collect()
+                } else {
+                    (0..k).map(|_| F::random(view.rng)).collect()
+                };
+                let mut out = view.outbox();
+                out.broadcast(<M as Embeds<CcdMsg<F>>>::wrap(CcdMsg::Reveal(reveals)));
+                self.stage = CcdStage::Decide;
+                Step::Continue(out)
+            }
+            CcdStage::Decide => {
+                let mut per_party: Vec<Option<Vec<F>>> = vec![None; n];
+                for rcv in view.inbox.broadcasts() {
+                    if let Some(CcdMsg::Reveal(vals)) = <M as Embeds<CcdMsg<F>>>::peek(&rcv.msg)
+                    {
+                        if vals.len() == k && per_party[rcv.from - 1].is_none() {
+                            per_party[rcv.from - 1] = Some(vals.clone());
+                        }
+                    }
+                }
 
-    let mut per_party: Vec<Option<Vec<F>>> = vec![None; n];
-    for rcv in inbox.broadcasts() {
-        if let Some(CcdMsg::Reveal(vals)) = <M as Embeds<CcdMsg<F>>>::peek(&rcv.msg) {
-            if vals.len() == k && per_party[rcv.from - 1].is_none() {
-                per_party[rcv.from - 1] = Some(vals.clone());
+                // k interpolations: each revealed polynomial must have
+                // degree ≤ t.
+                for j in 0..k {
+                    let points: Vec<(F, F)> = per_party
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, vals)| {
+                            vals.as_ref().map(|v| (F::element(i as u64 + 1), v[j]))
+                        })
+                        .collect();
+                    if points.len() < n {
+                        return Step::Done((VssVerdict::Reject, self.alpha));
+                    }
+                    match interpolate(&points) {
+                        Ok(p) if p.degree().is_none_or(|d| d <= self.t) => {}
+                        _ => return Step::Done((VssVerdict::Reject, self.alpha)),
+                    }
+                }
+                Step::Done((VssVerdict::Accept, self.alpha))
             }
         }
     }
 
-    // k interpolations: each revealed polynomial must have degree ≤ t.
-    for j in 0..k {
-        let points: Vec<(F, F)> = per_party
-            .iter()
-            .enumerate()
-            .filter_map(|(i, vals)| {
-                vals.as_ref().map(|v| (F::element(i as u64 + 1), v[j]))
-            })
-            .collect();
-        if points.len() < n {
-            return (VssVerdict::Reject, alpha);
-        }
-        match interpolate(&points) {
-            Ok(p) if p.degree().is_none_or(|d| d <= t) => {}
-            _ => return (VssVerdict::Reject, alpha),
+    fn phase_name(&self) -> &'static str {
+        match self.stage {
+            CcdStage::Deal => "ccd/deal",
+            CcdStage::Reveal => "ccd/reveal",
+            CcdStage::Decide => "ccd/decide",
         }
     }
-    (VssVerdict::Accept, alpha)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dprbg_sim::{run_network, Behavior};
     use dprbg_field::Gf2k;
+    use dprbg_sim::{from_fn, BoxedMachine, StepRunner};
 
     type F = Gf2k<32>;
     type M = CcdMsg<F>;
@@ -176,47 +257,63 @@ mod tests {
         seed: u64,
         bad_degree: Option<usize>,
     ) -> Vec<(VssVerdict, F)> {
-        let behaviors: Vec<Behavior<M, (VssVerdict, F)>> = (1..=n)
+        let machines: Vec<BoxedMachine<M, (VssVerdict, F)>> = (1..=n)
             .map(|id| {
                 let opts = CcdOpts { rounds: k, challenge_seed: seed ^ 0xABCD };
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    if id == 1 {
-                        if let Some(bad) = bad_degree {
-                            return cheating_dealer(ctx, t, bad, opts);
-                        }
+                if id == 1 {
+                    if let Some(bad) = bad_degree {
+                        return cheating_dealer(n, t, bad, opts, seed);
                     }
-                    let secret = (id == 1).then(|| F::from_u64(0x5EC2E7));
-                    ccd_vss(ctx, 1, secret, t, opts)
-                }) as Behavior<M, _>
+                }
+                let secret = (id == 1).then(|| F::from_u64(0x5EC2E7));
+                Box::new(CcdMachine::new(1, secret, t, opts)) as BoxedMachine<M, _>
             })
             .collect();
-        run_network(n, seed, behaviors).unwrap_all()
+        StepRunner::new(n, seed).run(machines).unwrap_all()
     }
 
     /// A dealer that shares a too-high-degree f but honest maskings and
-    /// honest reveals.
+    /// honest reveals of its own shares.
     fn cheating_dealer(
-        ctx: &mut PartyCtx<M>,
+        n: usize,
         t: usize,
         bad_degree: usize,
         opts: CcdOpts,
-    ) -> (VssVerdict, F) {
-        let n = ctx.n();
-        let k = opts.rounds;
-        let f = Poly::<F>::random(bad_degree, ctx.rng());
-        let gs: Vec<Poly<F>> = (0..k).map(|_| Poly::random(t, ctx.rng())).collect();
-        for i in 1..=n {
-            let x = F::element(i as u64);
-            ctx.send(
-                i,
-                CcdMsg::Deal {
-                    alpha: f.eval(x),
-                    gammas: gs.iter().map(|g| g.eval(x)).collect(),
-                },
-            );
-        }
-        // Then behave like a regular participant.
-        ccd_vss(ctx, 1, None::<F>, t, opts)
+        seed: u64,
+    ) -> BoxedMachine<M, (VssVerdict, F)> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC4EA7);
+        let f = Poly::<F>::random(bad_degree, &mut rng);
+        let gs: Vec<Poly<F>> = (0..opts.rounds).map(|_| Poly::random(t, &mut rng)).collect();
+        Box::new(from_fn(move |view: RoundView<'_, M>| match view.round {
+            0 => {
+                let mut out = view.outbox();
+                for i in 1..=n {
+                    let x = F::element(i as u64);
+                    out.send(
+                        i,
+                        CcdMsg::Deal {
+                            alpha: f.eval(x),
+                            gammas: gs.iter().map(|g| g.eval(x)).collect(),
+                        },
+                    );
+                }
+                Step::Continue(out)
+            }
+            1 => {
+                // Honest reveals of its own (share of the bad) dealing.
+                let mut crng = StdRng::seed_from_u64(opts.challenge_seed);
+                let x = F::element(1);
+                let alpha = f.eval(x);
+                let reveals: Vec<F> = gs
+                    .iter()
+                    .map(|g| if crng.random() { alpha + g.eval(x) } else { g.eval(x) })
+                    .collect();
+                let mut out = view.outbox();
+                out.broadcast(CcdMsg::Reveal(reveals));
+                Step::Continue(out)
+            }
+            _ => Step::Done((VssVerdict::Reject, F::zero())),
+        }))
     }
 
     #[test]
@@ -243,9 +340,10 @@ mod tests {
     #[test]
     fn high_degree_dealer_rejected_whp() {
         // With k = 12 challenge rounds the cheat survives w.p. 2^-12;
-        // a handful of seeds must all reject.
+        // a handful of seeds must all reject. (Honest parties only — the
+        // cheating script's own output is a placeholder.)
         for seed in 10..16 {
-            for (verdict, _) in run(7, 2, 12, seed, Some(4)) {
+            for (verdict, _) in run(7, 2, 12, seed, Some(4)).into_iter().skip(1) {
                 assert_eq!(verdict, VssVerdict::Reject, "seed {seed}");
             }
         }
@@ -277,16 +375,14 @@ mod tests {
         let n = 4;
         let t = 1;
         let k = 16;
-        let behaviors: Vec<Behavior<M, (VssVerdict, F)>> = (1..=n)
+        let machines: Vec<BoxedMachine<M, (VssVerdict, F)>> = (1..=n)
             .map(|id| {
                 let opts = CcdOpts { rounds: k, challenge_seed: 5 };
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    let secret = (id == 1).then(|| F::from_u64(9));
-                    ccd_vss(ctx, 1, secret, t, opts)
-                }) as Behavior<M, _>
+                let secret = (id == 1).then(|| F::from_u64(9));
+                Box::new(CcdMachine::new(1, secret, t, opts)) as BoxedMachine<M, _>
             })
             .collect();
-        let res = run_network(n, 50, behaviors);
+        let res = StepRunner::new(n, 50).run(machines);
         for pc in &res.report.per_party {
             assert_eq!(pc.cost.interpolations, k as u64, "party {}", pc.party);
         }

@@ -19,7 +19,7 @@
 use dprbg_field::{Field, Fp, SAFE_PRIME_GEN, SAFE_PRIME_P, SAFE_PRIME_Q};
 use dprbg_metrics::WireSize;
 use dprbg_poly::Poly;
-use dprbg_sim::{Embeds, PartyCtx, PartyId};
+use dprbg_sim::{Embeds, PartyId, RoundMachine, RoundView, Step};
 
 /// The exponent field `Z_q` (the subgroup order).
 pub type Exp = Fp<SAFE_PRIME_Q>;
@@ -54,115 +54,150 @@ pub enum FeldmanVerdict {
     Reject,
 }
 
-/// Run one Feldman VSS: `dealer` shares `secret_if_dealer ∈ Z_q`.
+/// One Feldman VSS as a sans-IO round machine: `dealer` shares
+/// `secret_if_dealer ∈ Z_q`; every party outputs `(verdict, my share)`.
 ///
 /// One dealing round (private shares + broadcast commitments), then a
 /// purely local verification of `t + 1` exponentiations per player
 /// (≈ `t·log p` multiplications, all counted).
 ///
-/// Returns `(verdict, my share)`.
-pub fn feldman_vss<M>(
-    ctx: &mut PartyCtx<M>,
+/// `None` as the secret means this party does not act as dealer even if
+/// it carries the dealer id (adversarial wrappers deal manually).
+pub struct FeldmanMachine<M> {
     dealer: PartyId,
     secret_if_dealer: Option<Exp>,
     t: usize,
-) -> (FeldmanVerdict, Exp)
-where
-    M: Clone + Send + WireSize + Embeds<FeldmanMsg> + 'static,
-{
-    let n = ctx.n();
-    let g = Grp::from_u64(SAFE_PRIME_GEN);
+    dealt: bool,
+    _wire: std::marker::PhantomData<fn() -> M>,
+}
 
-    // `None` as the secret means this party does not act as dealer even
-    // if it carries the dealer id (adversarial wrappers deal manually).
-    if let (true, Some(secret)) = (ctx.id() == dealer, secret_if_dealer) {
-        let f = Poly::random_with_constant(secret, t, ctx.rng());
-        // Commit to every coefficient: t + 1 exponentiations.
-        let commitments: Vec<Grp> = (0..=t)
-            .map(|j| g.pow(f.coeff(j).to_u64() as u128))
-            .collect();
-        ctx.broadcast(<M as Embeds<FeldmanMsg>>::wrap(FeldmanMsg::Commitments(
-            commitments,
-        )));
-        for i in 1..=n {
-            let share = f.eval(Exp::element(i as u64));
-            ctx.send(i, <M as Embeds<FeldmanMsg>>::wrap(FeldmanMsg::Share(share)));
+impl<M> FeldmanMachine<M> {
+    /// A machine for one VSS of `secret_if_dealer` from `dealer`.
+    pub fn new(dealer: PartyId, secret_if_dealer: Option<Exp>, t: usize) -> Self {
+        FeldmanMachine {
+            dealer,
+            secret_if_dealer,
+            t,
+            dealt: false,
+            _wire: std::marker::PhantomData,
         }
     }
-    let inbox = ctx.next_round();
+}
 
-    let mut share = Exp::zero();
-    let mut commitments: Option<Vec<Grp>> = None;
-    for rcv in inbox.from(dealer) {
-        match <M as Embeds<FeldmanMsg>>::peek(&rcv.msg) {
-            Some(FeldmanMsg::Share(s)) => share = *s,
-            Some(FeldmanMsg::Commitments(c)) if rcv.broadcast
-                && commitments.is_none() && c.len() == t + 1 => {
+impl<M> RoundMachine<M> for FeldmanMachine<M>
+where
+    M: Clone + WireSize + Embeds<FeldmanMsg>,
+{
+    type Output = (FeldmanVerdict, Exp);
+
+    fn round(&mut self, view: RoundView<'_, M>) -> Step<M, Self::Output> {
+        let n = view.n;
+        let t = self.t;
+        let g = Grp::from_u64(SAFE_PRIME_GEN);
+        if !self.dealt {
+            self.dealt = true;
+            let mut out = view.outbox();
+            if let (true, Some(secret)) = (view.id == self.dealer, self.secret_if_dealer.take())
+            {
+                let f = Poly::random_with_constant(secret, t, view.rng);
+                // Commit to every coefficient: t + 1 exponentiations.
+                let commitments: Vec<Grp> =
+                    (0..=t).map(|j| g.pow(f.coeff(j).to_u64() as u128)).collect();
+                out.broadcast(<M as Embeds<FeldmanMsg>>::wrap(FeldmanMsg::Commitments(
+                    commitments,
+                )));
+                for i in 1..=n {
+                    let share = f.eval(Exp::element(i as u64));
+                    out.send(i, <M as Embeds<FeldmanMsg>>::wrap(FeldmanMsg::Share(share)));
+                }
+            }
+            return Step::Continue(out);
+        }
+
+        let mut share = Exp::zero();
+        let mut commitments: Option<Vec<Grp>> = None;
+        for rcv in view.inbox.from(self.dealer) {
+            match <M as Embeds<FeldmanMsg>>::peek(&rcv.msg) {
+                Some(FeldmanMsg::Share(s)) => share = *s,
+                Some(FeldmanMsg::Commitments(c))
+                    if rcv.broadcast && commitments.is_none() && c.len() == t + 1 =>
+                {
                     commitments = Some(c.clone());
                 }
-            _ => {}
+                _ => {}
+            }
         }
+
+        let Some(commitments) = commitments else {
+            return Step::Done((FeldmanVerdict::Reject, share));
+        };
+
+        // Verify g^{f(i)} = Π_j C_j^{i^j}: t + 1 exponentiations.
+        let i = view.id as u64;
+        let lhs = g.pow(share.to_u64() as u128);
+        let mut rhs = Grp::one();
+        let mut ij: u128 = 1; // i^j as an integer exponent, reduced mod q.
+        for c in &commitments {
+            rhs *= c.pow(ij);
+            ij = (ij * i as u128) % SAFE_PRIME_Q as u128;
+        }
+        let verdict = if lhs == rhs { FeldmanVerdict::Accept } else { FeldmanVerdict::Reject };
+        Step::Done((verdict, share))
     }
 
-    let Some(commitments) = commitments else {
-        return (FeldmanVerdict::Reject, share);
-    };
-
-    // Verify g^{f(i)} = Π_j C_j^{i^j}: t + 1 exponentiations.
-    let i = ctx.id() as u64;
-    let lhs = g.pow(share.to_u64() as u128);
-    let mut rhs = Grp::one();
-    let mut ij: u128 = 1; // i^j as an integer exponent, reduced mod q.
-    for c in &commitments {
-        rhs *= c.pow(ij);
-        ij = (ij * i as u128) % SAFE_PRIME_Q as u128;
-    }
-    if lhs == rhs {
-        (FeldmanVerdict::Accept, share)
-    } else {
-        (FeldmanVerdict::Reject, share)
+    fn phase_name(&self) -> &'static str {
+        if self.dealt {
+            "feldman/verify"
+        } else {
+            "feldman/deal"
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dprbg_sim::{run_network, Behavior};
+    use dprbg_rng::rngs::StdRng;
+    use dprbg_rng::SeedableRng;
+    use dprbg_sim::{from_fn, BoxedMachine, StepRunner};
 
     type M = FeldmanMsg;
 
     fn run(n: usize, t: usize, seed: u64, cheat: bool) -> Vec<(FeldmanVerdict, Exp)> {
-        let behaviors: Vec<Behavior<M, (FeldmanVerdict, Exp)>> = (1..=n)
+        let machines: Vec<BoxedMachine<M, (FeldmanVerdict, Exp)>> = (1..=n)
             .map(|id| {
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    if id == 1 && cheat {
-                        return cheating_dealer(ctx, t);
-                    }
-                    let secret = (id == 1).then(|| Exp::from_u64(0xFACE));
-                    feldman_vss(ctx, 1, secret, t)
-                }) as Behavior<M, _>
+                if id == 1 && cheat {
+                    return cheating_dealer(n, t, seed);
+                }
+                let secret = (id == 1).then(|| Exp::from_u64(0xFACE));
+                Box::new(FeldmanMachine::new(1, secret, t)) as BoxedMachine<M, _>
             })
             .collect();
-        run_network(n, seed, behaviors).unwrap_all()
+        StepRunner::new(n, seed).run(machines).unwrap_all()
     }
 
     /// Commits to one polynomial but sends party 2 a share of another.
-    fn cheating_dealer(ctx: &mut PartyCtx<M>, t: usize) -> (FeldmanVerdict, Exp) {
-        let n = ctx.n();
-        let g = Grp::from_u64(SAFE_PRIME_GEN);
-        let f = Poly::<Exp>::random(t, ctx.rng());
-        let commitments: Vec<Grp> = (0..=t)
-            .map(|j| g.pow(f.coeff(j).to_u64() as u128))
-            .collect();
-        ctx.broadcast(FeldmanMsg::Commitments(commitments));
-        for i in 1..=n {
-            let mut share = f.eval(Exp::element(i as u64));
-            if i == 2 {
-                share += Exp::one(); // the lie
+    fn cheating_dealer(n: usize, t: usize, seed: u64) -> BoxedMachine<M, (FeldmanVerdict, Exp)> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFE1D);
+        let f = Poly::<Exp>::random(t, &mut rng);
+        Box::new(from_fn(move |view: RoundView<'_, M>| match view.round {
+            0 => {
+                let g = Grp::from_u64(SAFE_PRIME_GEN);
+                let commitments: Vec<Grp> =
+                    (0..=t).map(|j| g.pow(f.coeff(j).to_u64() as u128)).collect();
+                let mut out = view.outbox();
+                out.broadcast(FeldmanMsg::Commitments(commitments));
+                for i in 1..=n {
+                    let mut share = f.eval(Exp::element(i as u64));
+                    if i == 2 {
+                        share += Exp::one(); // the lie
+                    }
+                    out.send(i, FeldmanMsg::Share(share));
+                }
+                Step::Continue(out)
             }
-            ctx.send(i, FeldmanMsg::Share(share));
-        }
-        feldman_vss(ctx, 1, None, t)
+            _ => Step::Done((FeldmanVerdict::Reject, Exp::zero())),
+        }))
     }
 
     #[test]
@@ -205,15 +240,13 @@ mod tests {
         // ≈ t·log p multiplications — vastly more than the paper's VSS.
         let n = 7;
         let t = 2;
-        let behaviors: Vec<Behavior<M, (FeldmanVerdict, Exp)>> = (1..=n)
+        let machines: Vec<BoxedMachine<M, (FeldmanVerdict, Exp)>> = (1..=n)
             .map(|id| {
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    let secret = (id == 1).then(|| Exp::from_u64(5));
-                    feldman_vss(ctx, 1, secret, t)
-                }) as Behavior<M, _>
+                let secret = (id == 1).then(|| Exp::from_u64(5));
+                Box::new(FeldmanMachine::new(1, secret, t)) as BoxedMachine<M, _>
             })
             .collect();
-        let res = run_network(n, 4, behaviors);
+        let res = StepRunner::new(n, 4).run(machines);
         // The dealer commits to t+1 full-size coefficients: (t+1)·log p
         // multiplications at ~62-bit exponents.
         let dealer_cost = &res.report.per_party[0].cost;
@@ -237,18 +270,20 @@ mod tests {
     #[test]
     fn silent_dealer_rejected() {
         let n = 4;
-        let behaviors: Vec<Behavior<M, (FeldmanVerdict, Exp)>> = (1..=n)
+        let machines: Vec<BoxedMachine<M, (FeldmanVerdict, Exp)>> = (1..=n)
             .map(|id| {
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    if id == 1 {
-                        let _ = ctx.next_round();
-                        return (FeldmanVerdict::Reject, Exp::zero());
-                    }
-                    feldman_vss(ctx, 1, None, 1)
-                }) as Behavior<M, _>
+                if id == 1 {
+                    // The dealer never deals.
+                    Box::new(from_fn(|view: RoundView<'_, M>| match view.round {
+                        0 => Step::Continue(view.outbox()),
+                        _ => Step::Done((FeldmanVerdict::Reject, Exp::zero())),
+                    })) as BoxedMachine<M, _>
+                } else {
+                    Box::new(FeldmanMachine::new(1, None, 1)) as BoxedMachine<M, _>
+                }
             })
             .collect();
-        for (verdict, _) in run_network(n, 5, behaviors).unwrap_all() {
+        for (verdict, _) in StepRunner::new(n, 5).run(machines).unwrap_all() {
             assert_eq!(verdict, FeldmanVerdict::Reject);
         }
     }

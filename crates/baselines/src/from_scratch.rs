@@ -17,9 +17,12 @@
 use dprbg_field::Field;
 use dprbg_metrics::WireSize;
 use dprbg_poly::interpolate;
-use dprbg_sim::{Embeds, PartyCtx, PartyId};
+use dprbg_sim::{
+    from_fn, looping, Inbox, LoopControl, MachineExt, PartyId, Received, RoundMachine,
+    RoundView, Step,
+};
 
-use crate::ccd::{ccd_vss, CcdMsg, CcdOpts, VssVerdict};
+use crate::ccd::{CcdMachine, CcdMsg, CcdOpts, VssVerdict};
 
 /// Wire messages of the from-scratch coin: cut-and-choose traffic plus
 /// the final share reveal.
@@ -45,109 +48,188 @@ impl<F: Field> WireSize for FromScratchMsg<F> {
     }
 }
 
-/// Generate ONE shared coin from scratch.
+/// Adapter running one contributor's VSS on the tagged wire: the inner
+/// machine sees plain [`CcdMsg`] traffic while every message on the real
+/// network carries the `instance` tag — the runtime analogue of
+/// [`dprbg_sim::Embeds`], needed because a *value* (the current
+/// contributor) selects the sub-protocol, not a type.
+struct Instanced<A, F: Field> {
+    instance: PartyId,
+    round: u64,
+    inner: A,
+    _field: std::marker::PhantomData<fn() -> F>,
+}
+
+impl<A, F: Field> Instanced<A, F> {
+    fn new(instance: PartyId, inner: A) -> Self {
+        Instanced { instance, round: 0, inner, _field: std::marker::PhantomData }
+    }
+}
+
+impl<A, F> RoundMachine<FromScratchMsg<F>> for Instanced<A, F>
+where
+    A: RoundMachine<CcdMsg<F>>,
+    F: Field,
+{
+    type Output = A::Output;
+
+    fn round(
+        &mut self,
+        view: RoundView<'_, FromScratchMsg<F>>,
+    ) -> Step<FromScratchMsg<F>, A::Output> {
+        let mut msgs: Vec<Received<CcdMsg<F>>> = Vec::new();
+        for rcv in view.inbox.iter() {
+            if let FromScratchMsg::Ccd { instance, inner } = &rcv.msg {
+                if *instance == self.instance {
+                    msgs.push(Received {
+                        from: rcv.from,
+                        broadcast: rcv.broadcast,
+                        seq: rcv.seq,
+                        msg: inner.clone(),
+                    });
+                }
+            }
+        }
+        let inner_inbox = Inbox::from_messages(msgs);
+        let inner_view = RoundView {
+            id: view.id,
+            n: view.n,
+            round: self.round,
+            inbox: &inner_inbox,
+            rng: view.rng,
+        };
+        match self.inner.round(inner_view) {
+            Step::Continue(out) => {
+                self.round += 1;
+                let tag = self.instance;
+                Step::Continue(out.map(|m| FromScratchMsg::Ccd { instance: tag, inner: m }))
+            }
+            Step::Done(o) => Step::Done(o),
+        }
+    }
+
+    fn phase_name(&self) -> &'static str {
+        self.inner.phase_name()
+    }
+}
+
+/// Final expose: broadcast the summed share, interpolate the sums.
+fn expose_sum<F: Field>(
+    t: usize,
+    my_sum: F,
+) -> impl RoundMachine<FromScratchMsg<F>, Output = Option<F>> {
+    let mut sum = Some(my_sum);
+    from_fn(move |view: RoundView<'_, FromScratchMsg<F>>| match sum.take() {
+        Some(s) => {
+            let mut out = view.outbox();
+            out.broadcast(FromScratchMsg::Sum(s));
+            Step::Continue(out)
+        }
+        None => {
+            let mut points: Vec<(F, F)> = Vec::new();
+            for rcv in view.inbox.broadcasts() {
+                if let FromScratchMsg::Sum(s) = &rcv.msg {
+                    let x = F::element(rcv.from as u64);
+                    if points.iter().all(|(px, _)| *px != x) {
+                        points.push((x, *s));
+                    }
+                }
+            }
+            if points.len() <= t {
+                return Step::Done(None);
+            }
+            let Ok(poly) = interpolate(&points) else {
+                return Step::Done(None);
+            };
+            Step::Done(
+                (poly.degree().is_none_or(|d| d <= t)).then(|| poly.constant_term()),
+            )
+        }
+    })
+    .labelled("from-scratch/expose")
+}
+
+/// Loop state between contributor VSS instances.
+enum FsFlow<F> {
+    /// About to run contributor `dealer`'s instance.
+    Vss {
+        /// Next contributor (1-based; contributors are `1..=t+1`).
+        dealer: PartyId,
+        /// Sum of accepted shares so far.
+        sum: F,
+        /// Accepted contributions so far.
+        accepted: usize,
+    },
+    /// The expose finished with this coin.
+    Exposed(Option<F>),
+}
+
+/// A machine generating ONE shared coin from scratch at party `my_id`.
 ///
 /// Contributors `1..=t+1` each cut-and-choose-VSS a random secret
 /// (sequentially — their instances could be interleaved round-wise, but
 /// the per-coin cost is identical and the paper's comparison is about
 /// totals); the coin is the sum of accepted contributions.
 ///
-/// `challenge_seed` seeds the public cut-and-choose challenges.
-///
-/// Returns the coin value, or `None` when reconstruction fails (more
+/// `challenge_seed` seeds the public cut-and-choose challenges. The
+/// output is the coin value, or `None` when reconstruction fails (more
 /// faults than the model allows).
 pub fn from_scratch_coin<F: Field>(
-    ctx: &mut PartyCtx<FromScratchMsg<F>>,
+    my_id: PartyId,
     t: usize,
     ccd_rounds: usize,
     challenge_seed: u64,
-) -> Option<F>
-where
-    FromScratchMsg<F>: Embeds<CcdMsg<F>>,
-{
-    let contributors: Vec<PartyId> = (1..=t + 1).collect();
-    let mut my_sum = F::zero();
-    let mut accepted = 0usize;
-
-    for (idx, &dealer) in contributors.iter().enumerate() {
-        CURRENT_INSTANCE.with(|c| c.set(dealer));
-        let secret = (ctx.id() == dealer).then(|| F::random(ctx.rng()));
-        let opts = CcdOpts {
-            rounds: ccd_rounds,
-            challenge_seed: challenge_seed.wrapping_add(idx as u64),
-        };
-        let (verdict, share) = ccd_vss::<FromScratchMsg<F>, F>(ctx, dealer, secret, t, opts);
-        if verdict == VssVerdict::Accept {
-            my_sum += share;
-            accepted += 1;
-        }
-    }
-    if accepted == 0 {
-        return None;
-    }
-
-    // Final expose of the summed shares: one interpolation.
-    ctx.broadcast(FromScratchMsg::Sum(my_sum));
-    let inbox = ctx.next_round();
-    let mut points: Vec<(F, F)> = Vec::new();
-    for rcv in inbox.broadcasts() {
-        if let FromScratchMsg::Sum(s) = &rcv.msg {
-            let x = F::element(rcv.from as u64);
-            if points.iter().all(|(px, _)| *px != x) {
-                points.push((x, *s));
+) -> impl RoundMachine<FromScratchMsg<F>, Output = Option<F>> {
+    looping(
+        FsFlow::Vss { dealer: 1, sum: F::zero(), accepted: 0 },
+        move |flow: FsFlow<F>| match flow {
+            FsFlow::Vss { dealer, sum, accepted } if dealer <= t + 1 => {
+                let opts = CcdOpts {
+                    rounds: ccd_rounds,
+                    challenge_seed: challenge_seed.wrapping_add(dealer as u64 - 1),
+                };
+                let vss = if my_id == dealer {
+                    CcdMachine::random_dealer(dealer, t, opts)
+                } else {
+                    CcdMachine::new(dealer, None, t, opts)
+                };
+                LoopControl::Continue(Box::new(Instanced::new(dealer, vss).map(
+                    move |(verdict, share): (VssVerdict, F)| {
+                        let (sum, accepted) = if verdict == VssVerdict::Accept {
+                            (sum + share, accepted + 1)
+                        } else {
+                            (sum, accepted)
+                        };
+                        FsFlow::Vss { dealer: dealer + 1, sum, accepted }
+                    },
+                )))
             }
-        }
-    }
-    if points.len() <= t {
-        return None;
-    }
-    let poly = interpolate(&points).ok()?;
-    (poly.degree().is_none_or(|d| d <= t)).then(|| poly.constant_term())
-}
-
-thread_local! {
-    /// The CCD instance currently running on this party's thread — used
-    /// by the [`Embeds`] adapter to tag outgoing messages.
-    static CURRENT_INSTANCE: std::cell::Cell<PartyId> = const { std::cell::Cell::new(0) };
-}
-
-impl<F: Field> Embeds<CcdMsg<F>> for FromScratchMsg<F> {
-    fn wrap(inner: CcdMsg<F>) -> Self {
-        FromScratchMsg::Ccd {
-            instance: CURRENT_INSTANCE.with(|c| c.get()),
-            inner,
-        }
-    }
-    fn peek(&self) -> Option<&CcdMsg<F>> {
-        match self {
-            FromScratchMsg::Ccd { instance, inner }
-                if *instance == CURRENT_INSTANCE.with(|c| c.get()) =>
-            {
-                Some(inner)
+            FsFlow::Vss { accepted: 0, .. } => LoopControl::Break(None),
+            FsFlow::Vss { sum, .. } => {
+                LoopControl::Continue(Box::new(expose_sum(t, sum).map(FsFlow::Exposed)))
             }
-            _ => None,
-        }
-    }
+            FsFlow::Exposed(coin) => LoopControl::Break(coin),
+        },
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use dprbg_field::Gf2k;
-    use dprbg_sim::{run_network, Behavior};
+    use dprbg_sim::{BoxedMachine, StepRunner};
 
     type F = Gf2k<32>;
     type M = FromScratchMsg<F>;
 
     fn run(n: usize, t: usize, k: usize, seed: u64) -> (Vec<Option<F>>, dprbg_metrics::CostReport) {
-        let behaviors: Vec<Behavior<M, Option<F>>> = (1..=n)
-            .map(|_| {
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    from_scratch_coin(ctx, t, k, seed ^ 0x5EED)
-                }) as Behavior<M, _>
+        let machines: Vec<BoxedMachine<M, Option<F>>> = (1..=n)
+            .map(|id| {
+                Box::new(from_scratch_coin::<F>(id, t, k, seed ^ 0x5EED))
+                    as BoxedMachine<M, _>
             })
             .collect();
-        let res = run_network(n, seed, behaviors);
+        let res = StepRunner::new(n, seed).run(machines);
         let report = res.report.clone();
         (res.unwrap_all(), report)
     }
@@ -183,18 +265,18 @@ mod tests {
     fn no_contributors_yields_none() {
         // t = 0 → single contributor; if it crashes the coin fails.
         let n = 4;
-        let behaviors: Vec<Behavior<M, Option<F>>> = (1..=n)
+        let machines: Vec<BoxedMachine<M, Option<F>>> = (1..=n)
             .map(|id| {
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    if id == 1 {
-                        // The only contributor goes silent entirely.
-                        return None;
-                    }
-                    from_scratch_coin(ctx, 0, 4, 99)
-                }) as Behavior<M, _>
+                if id == 1 {
+                    // The only contributor goes silent entirely.
+                    Box::new(from_fn(|_view: RoundView<'_, M>| Step::Done(None)))
+                        as BoxedMachine<M, _>
+                } else {
+                    Box::new(from_scratch_coin::<F>(id, 0, 4, 99)) as BoxedMachine<M, _>
+                }
             })
             .collect();
-        let res = run_network(n, 5, behaviors);
+        let res = StepRunner::new(n, 5).run(machines);
         for id in 2..=n {
             assert_eq!(res.outputs[id - 1], Some(None), "party {id}");
         }

@@ -31,7 +31,7 @@ pub mod feldman;
 pub mod from_scratch;
 pub mod rabin_dealer;
 
-pub use ccd::{ccd_vss, CcdMsg, CcdOpts};
-pub use feldman::{feldman_vss, FeldmanMsg, FeldmanVerdict};
+pub use ccd::{CcdMachine, CcdMsg, CcdOpts};
+pub use feldman::{FeldmanMachine, FeldmanMsg, FeldmanVerdict};
 pub use from_scratch::{from_scratch_coin, FromScratchMsg};
 pub use rabin_dealer::RabinDealer;

@@ -4,9 +4,9 @@
 use dprbg_bench::harness::{BenchmarkId, Criterion, Throughput};
 use dprbg_bench::{criterion_group, criterion_main};
 use dprbg_bench::experiments::common::{challenge_coins, F32};
-use dprbg_core::batch_vss::{batch_vss_verify, cheating_batch_deal, BatchOpts};
-use dprbg_core::{BatchVssMsg, CoinError, VssVerdict};
-use dprbg_sim::{run_network, Behavior, PartyCtx};
+use dprbg_core::batch_vss::cheating_batch_deal;
+use dprbg_core::{BatchOpts, BatchVssMsg, BatchVssVerifyMachine, CoinError, VssVerdict};
+use dprbg_sim::{BoxedMachine, StepRunner};
 use dprbg_rng::rngs::StdRng;
 use dprbg_rng::SeedableRng;
 
@@ -17,16 +17,14 @@ fn verify_batch(m: usize, seed: u64) {
     let coins = challenge_coins::<F32>(N, T, seed);
     let mut rng = StdRng::seed_from_u64(seed + 1);
     let all = cheating_batch_deal::<F32, _>(N, T, m, 0, &mut rng);
-    let behaviors: Vec<Behavior<BatchVssMsg<F32>, Result<VssVerdict, CoinError>>> = (1..=N)
-        .map(|id| {
-            let coin = coins[id - 1];
-            let shares = all[id - 1].clone();
-            Box::new(move |ctx: &mut PartyCtx<BatchVssMsg<F32>>| {
-                batch_vss_verify(ctx, T, &shares, m, coin, BatchOpts::default())
-            }) as Behavior<_, _>
+    let machines: Vec<BoxedMachine<BatchVssMsg<F32>, Result<VssVerdict, CoinError>>> = all
+        .into_iter()
+        .zip(coins)
+        .map(|(shares, coin)| {
+            Box::new(BatchVssVerifyMachine::new(T, shares, m, coin, BatchOpts::default())) as _
         })
         .collect();
-    for v in run_network(N, seed, behaviors).unwrap_all() {
+    for v in StepRunner::new(N, seed).run(machines).unwrap_all() {
         assert_eq!(v.unwrap(), VssVerdict::Accept);
     }
 }

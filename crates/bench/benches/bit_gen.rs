@@ -4,24 +4,24 @@
 use dprbg_bench::harness::{BenchmarkId, Criterion, Throughput};
 use dprbg_bench::{criterion_group, criterion_main};
 use dprbg_bench::experiments::common::{challenge_coins, F32};
-use dprbg_core::{bit_gen_all, BitGenMsg};
-use dprbg_sim::{run_network, Behavior, PartyCtx};
+use dprbg_core::{BitGenMachine, BitGenMode, BitGenMsg, BitGenRun, CoinError};
+use dprbg_sim::{BoxedMachine, StepRunner};
 
 const N: usize = 7;
 const T: usize = 1;
 
 fn run_bit_gen(m: usize, seed: u64) {
     let coins = challenge_coins::<F32>(N, T, seed);
-    let behaviors: Vec<Behavior<BitGenMsg<F32>, bool>> = (1..=N)
-        .map(|id| {
-            let coin = coins[id - 1];
-            Box::new(move |ctx: &mut PartyCtx<BitGenMsg<F32>>| {
-                let run = bit_gen_all(ctx, T, m, coin, &[1]).unwrap();
-                run.views[0].check_poly.is_some()
-            }) as Behavior<_, _>
+    let machines: Vec<BoxedMachine<BitGenMsg<F32>, Result<BitGenRun<F32>, CoinError>>> = coins
+        .into_iter()
+        .map(|coin| {
+            Box::new(BitGenMachine::new(T, m, coin, vec![1], BitGenMode::RandomCoins)) as _
         })
         .collect();
-    assert!(run_network(N, seed, behaviors).unwrap_all().iter().all(|&ok| ok));
+    for out in StepRunner::new(N, seed).run(machines).unwrap_all() {
+        let run = out.unwrap();
+        assert!(run.views[0].check_poly.is_some());
+    }
 }
 
 fn benches(c: &mut Criterion) {

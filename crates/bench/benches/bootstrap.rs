@@ -5,11 +5,27 @@ use dprbg_bench::harness::{Criterion, Throughput};
 use dprbg_bench::{criterion_group, criterion_main};
 use dprbg_bench::experiments::common::{seed_wallets, F32};
 use dprbg_core::{Bootstrap, BootstrapConfig, CoinGenConfig, CoinGenMsg, Params};
-use dprbg_sim::{run_network, Behavior, PartyCtx};
+use dprbg_sim::{looping, BoxedMachine, LoopControl, MachineExt, RoundMachine, StepRunner};
 
 const N: usize = 7;
 const T: usize = 1;
 const DRAWS: usize = 30;
+
+/// Draw `draws` coins back-to-back, threading the reservoir through.
+fn draw_many(
+    b: Bootstrap<F32>,
+    draws: usize,
+) -> impl RoundMachine<CoinGenMsg<F32>, Output = usize> {
+    looping((b, draws), |(b, k)| {
+        if k == 0 {
+            return LoopControl::Break(b.stats().draws);
+        }
+        LoopControl::Continue(Box::new(b.draw().map(move |(b, res)| {
+            res.expect("draw succeeds");
+            (b, k - 1)
+        })))
+    })
+}
 
 fn beacon(seed: u64) {
     let params = Params::p2p_model(N, T).unwrap();
@@ -18,18 +34,13 @@ fn beacon(seed: u64) {
         batch_size: 16,
     });
     let mut wallets = seed_wallets::<F32>(N, T, 6, seed);
-    let behaviors: Vec<Behavior<CoinGenMsg<F32>, usize>> = (0..N)
+    let machines: Vec<BoxedMachine<CoinGenMsg<F32>, usize>> = (0..N)
         .map(|_| {
-            let mut b = Bootstrap::new(cfg, wallets.remove(0));
-            Box::new(move |ctx: &mut PartyCtx<CoinGenMsg<F32>>| {
-                for _ in 0..DRAWS {
-                    b.draw(ctx).unwrap();
-                }
-                b.stats().draws
-            }) as Behavior<_, _>
+            let b = Bootstrap::new(cfg, wallets.remove(0));
+            Box::new(draw_many(b, DRAWS)) as _
         })
         .collect();
-    let outs = run_network(N, seed, behaviors).unwrap_all();
+    let outs = StepRunner::new(N, seed).run(machines).unwrap_all();
     assert!(outs.iter().all(|&d| d == DRAWS));
 }
 

@@ -6,43 +6,56 @@ use dprbg_bench::{criterion_group, criterion_main};
 use dprbg_baselines::{from_scratch_coin, FromScratchMsg};
 use dprbg_bench::experiments::common::{seed_wallets, F32};
 use dprbg_core::{
-    coin_expose, coin_gen, CoinGenConfig, CoinGenMsg, CoinWallet, ExposeVia, Params,
+    CoinGenConfig, CoinGenMachine, CoinGenMsg, CoinWallet, ExposeMachine, ExposeVia, Params,
+    SealedShare,
 };
-use dprbg_sim::{run_network, Behavior, PartyCtx};
+use dprbg_sim::{looping, BoxedMachine, LoopControl, MachineExt, RoundMachine, StepRunner};
 
 const N: usize = 7;
 const T: usize = 1;
 const M: usize = 64;
+
+/// Expose every share of a batch, one Coin-Expose after another.
+fn expose_all(
+    t: usize,
+    mut shares: Vec<SealedShare<F32>>,
+) -> impl RoundMachine<CoinGenMsg<F32>, Output = ()> {
+    shares.reverse();
+    looping(shares, move |mut stack: Vec<SealedShare<F32>>| match stack.pop() {
+        Some(s) => LoopControl::Continue(Box::new(
+            ExposeMachine::new(s, t, ExposeVia::PointToPoint).map(move |res| {
+                res.expect("expose succeeds");
+                stack
+            }),
+        )),
+        None => LoopControl::Break(()),
+    })
+}
 
 /// D-PRBG path: one batch of M coins, all exposed (M delivered coins).
 fn dprbg_batch(seed: u64) {
     let params = Params::p2p_model(N, T).unwrap();
     let cfg = CoinGenConfig { params, batch_size: M };
     let mut wallets: Vec<CoinWallet<F32>> = seed_wallets(N, T, 5, seed);
-    let behaviors: Vec<Behavior<CoinGenMsg<F32>, ()>> = (0..N)
+    let machines: Vec<BoxedMachine<CoinGenMsg<F32>, ()>> = (0..N)
         .map(|_| {
-            let mut w = wallets.remove(0);
-            Box::new(move |ctx: &mut PartyCtx<CoinGenMsg<F32>>| {
-                let batch = coin_gen(ctx, &cfg, &mut w).unwrap();
-                for s in batch.shares {
-                    let _ = coin_expose(ctx, s, T, ExposeVia::PointToPoint).unwrap();
-                }
-            }) as Behavior<_, _>
+            let machine = CoinGenMachine::new(cfg, wallets.remove(0)).then(
+                |(_wallet, res): (CoinWallet<F32>, _)| {
+                    expose_all(T, res.expect("coin gen succeeds").shares)
+                },
+            );
+            Box::new(machine) as _
         })
         .collect();
-    run_network(N, seed, behaviors);
+    StepRunner::new(N, seed).run(machines);
 }
 
 /// From-scratch path: one coin (matched 2^-32 soundness).
 fn from_scratch_one(seed: u64) {
-    let behaviors: Vec<Behavior<FromScratchMsg<F32>, Option<F32>>> = (0..N)
-        .map(|_| {
-            Box::new(move |ctx: &mut PartyCtx<FromScratchMsg<F32>>| {
-                from_scratch_coin(ctx, T, 32, seed)
-            }) as Behavior<_, _>
-        })
+    let machines: Vec<BoxedMachine<FromScratchMsg<F32>, Option<F32>>> = (1..=N)
+        .map(|id| Box::new(from_scratch_coin::<F32>(id, T, 32, seed)) as _)
         .collect();
-    assert!(run_network(N, seed, behaviors).unwrap_all()[0].is_some());
+    assert!(StepRunner::new(N, seed).run(machines).unwrap_all()[0].is_some());
 }
 
 fn benches(c: &mut Criterion) {

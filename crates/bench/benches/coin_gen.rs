@@ -5,23 +5,22 @@
 use dprbg_bench::harness::{BenchmarkId, Criterion, Throughput};
 use dprbg_bench::{criterion_group, criterion_main};
 use dprbg_bench::experiments::common::{seed_wallets, F32};
-use dprbg_core::{coin_gen, CoinGenConfig, CoinGenMsg, CoinWallet, Params};
-use dprbg_sim::{run_network, Behavior, PartyCtx};
+use dprbg_core::{
+    CoinBatch, CoinGenConfig, CoinGenError, CoinGenMachine, CoinGenMsg, CoinWallet, Params,
+};
+use dprbg_sim::{BoxedMachine, StepRunner};
 
 fn run_coin_gen(n: usize, t: usize, m: usize, seed: u64) {
     let params = Params::p2p_model(n, t).unwrap();
     let cfg = CoinGenConfig { params, batch_size: m };
     let mut wallets: Vec<CoinWallet<F32>> = seed_wallets(n, t, 4 + t, seed);
-    let behaviors: Vec<Behavior<CoinGenMsg<F32>, usize>> = (0..n)
-        .map(|_| {
-            let mut w = wallets.remove(0);
-            Box::new(move |ctx: &mut PartyCtx<CoinGenMsg<F32>>| {
-                coin_gen(ctx, &cfg, &mut w).unwrap().len()
-            }) as Behavior<_, _>
-        })
+    type Out = (CoinWallet<F32>, Result<CoinBatch<F32>, CoinGenError>);
+    let machines: Vec<BoxedMachine<CoinGenMsg<F32>, Out>> = (0..n)
+        .map(|_| Box::new(CoinGenMachine::new(cfg, wallets.remove(0))) as _)
         .collect();
-    let outs = run_network(n, seed, behaviors).unwrap_all();
-    assert!(outs.iter().all(|&c| c == m));
+    for (_wallet, res) in StepRunner::new(n, seed).run(machines).unwrap_all() {
+        assert_eq!(res.unwrap().shares.len(), m);
+    }
 }
 
 fn benches(c: &mut Criterion) {

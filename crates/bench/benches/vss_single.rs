@@ -2,64 +2,57 @@
 //! protocol (one interpolation) vs CCD cut-and-choose (k interpolations)
 //! vs Feldman (t exponentiations), full network simulation.
 
-use dprbg_bench::harness::{Criterion};
+use dprbg_bench::harness::Criterion;
 use dprbg_bench::{criterion_group, criterion_main};
 use dprbg_baselines::feldman::Exp;
-use dprbg_baselines::{ccd_vss, feldman_vss, CcdMsg, CcdOpts, FeldmanMsg};
+use dprbg_baselines::{CcdMachine, CcdMsg, CcdOpts, FeldmanMachine, FeldmanMsg, FeldmanVerdict};
 use dprbg_bench::experiments::common::{challenge_coins, F32};
-use dprbg_core::{vss_verify, DealtShares, VssMode, VssMsg, VssVerdict};
+use dprbg_core::{CoinError, DealtShares, VssMode, VssMsg, VssVerdict, VssVerifyMachine};
 use dprbg_field::Field;
 use dprbg_poly::Poly;
-use dprbg_sim::{run_network, Behavior, PartyCtx};
+use dprbg_sim::{BoxedMachine, StepRunner};
 use dprbg_rng::rngs::StdRng;
 use dprbg_rng::SeedableRng;
 
 const N: usize = 7;
 const T: usize = 2;
 
-fn ours(seed: u64) -> Vec<VssVerdict> {
+fn ours(seed: u64) -> Vec<Result<VssVerdict, CoinError>> {
     let coins = challenge_coins::<F32>(N, T, seed);
     let mut rng = StdRng::seed_from_u64(seed + 1);
     let f = Poly::<F32>::random(T, &mut rng);
     let g = Poly::<F32>::random(T, &mut rng);
-    let behaviors: Vec<Behavior<VssMsg<F32>, VssVerdict>> = (1..=N)
+    let machines: Vec<BoxedMachine<VssMsg<F32>, Result<VssVerdict, CoinError>>> = (1..=N)
         .map(|id| {
-            let coin = coins[id - 1];
             let shares = DealtShares {
                 alpha: f.eval(F32::element(id as u64)),
                 gamma: g.eval(F32::element(id as u64)),
             };
-            Box::new(move |ctx: &mut PartyCtx<VssMsg<F32>>| {
-                vss_verify(ctx, T, shares, coin, VssMode::Strict).unwrap()
-            }) as Behavior<_, _>
+            Box::new(VssVerifyMachine::new(T, shares, coins[id - 1], VssMode::Strict)) as _
         })
         .collect();
-    run_network(N, seed, behaviors).unwrap_all()
+    StepRunner::new(N, seed).run(machines).unwrap_all()
 }
 
 fn ccd(seed: u64) -> Vec<(VssVerdict, F32)> {
-    let behaviors: Vec<Behavior<CcdMsg<F32>, (VssVerdict, F32)>> = (1..=N)
+    let opts = CcdOpts { rounds: 32, challenge_seed: seed };
+    let machines: Vec<BoxedMachine<CcdMsg<F32>, (VssVerdict, F32)>> = (1..=N)
         .map(|id| {
-            let opts = CcdOpts { rounds: 32, challenge_seed: seed };
-            Box::new(move |ctx: &mut PartyCtx<CcdMsg<F32>>| {
-                let secret = (id == 1).then(|| F32::from_u64(7));
-                ccd_vss(ctx, 1, secret, T, opts)
-            }) as Behavior<_, _>
+            let secret = (id == 1).then(|| F32::from_u64(7));
+            Box::new(CcdMachine::new(1, secret, T, opts)) as _
         })
         .collect();
-    run_network(N, seed, behaviors).unwrap_all()
+    StepRunner::new(N, seed).run(machines).unwrap_all()
 }
 
-fn feldman(seed: u64) -> Vec<(dprbg_baselines::FeldmanVerdict, Exp)> {
-    let behaviors: Vec<Behavior<FeldmanMsg, _>> = (1..=N)
+fn feldman(seed: u64) -> Vec<(FeldmanVerdict, Exp)> {
+    let machines: Vec<BoxedMachine<FeldmanMsg, (FeldmanVerdict, Exp)>> = (1..=N)
         .map(|id| {
-            Box::new(move |ctx: &mut PartyCtx<FeldmanMsg>| {
-                let secret = (id == 1).then(|| Exp::from_u64(5));
-                feldman_vss(ctx, 1, secret, T)
-            }) as Behavior<_, _>
+            let secret = (id == 1).then(|| Exp::from_u64(5));
+            Box::new(FeldmanMachine::new(1, secret, T)) as _
         })
         .collect();
-    run_network(N, seed, behaviors).unwrap_all()
+    StepRunner::new(N, seed).run(machines).unwrap_all()
 }
 
 fn benches(c: &mut Criterion) {

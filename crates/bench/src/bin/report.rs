@@ -99,6 +99,9 @@ fn main() {
     if want("e13") {
         print_section(experiments::e13::run(&ctx).render());
     }
+    if want("e14") {
+        print_section(experiments::e14::run(&ctx).render());
+    }
     println!("report generated in {:.1}s", t0.elapsed().as_secs_f64());
 }
 

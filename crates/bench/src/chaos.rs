@@ -6,9 +6,8 @@
 //! [`AdaptiveAdversary`] driving one [`Attack`] strategy with a
 //! corruption budget `f`. The episode is fully described by
 //! `(master_seed, strategy, schedule)` — both executors
-//! ([`StepRunner`] and the threaded runner) replay it byte-identically,
-//! so any classified failure can be handed to a debugger as three
-//! numbers.
+//! ([`StepRunner`] and [`ParRunner`]) replay it byte-identically, so any
+//! classified failure can be handed to a debugger as three numbers.
 //!
 //! Classification looks only at the *honest* parties — those outside the
 //! adversary's final corrupted set:
@@ -38,10 +37,9 @@ use dprbg_core::{
 };
 use dprbg_rng::rngs::StdRng;
 use dprbg_rng::SeedableRng;
-// lint: allow-file(transport) — the campaign replays every episode on BOTH executors; the threaded runner is half the equivalence check
 use dprbg_sim::{
-    run_machines_with_tap, AdaptiveAdversary, Attack, BoxedMachine, ParRunner, PartyId,
-    RunResult, StepRunner, Trace, TraceConfig, WireSize,
+    AdaptiveAdversary, Attack, BoxedMachine, ParRunner, PartyId, RunResult, StepRunner, Trace,
+    TraceConfig, WireSize,
 };
 
 use crate::experiments::common::{challenge_coins, seed_wallets, F32};
@@ -136,8 +134,6 @@ pub enum Outcome {
 pub enum Executor {
     /// The single-threaded [`StepRunner`].
     Stepped,
-    /// The scoped-thread runner ([`run_machines_with_tap`]).
-    Threaded,
     /// The deterministic work-stealing pool ([`ParRunner`]).
     Parallel,
 }
@@ -188,10 +184,6 @@ where
                 runner = runner.with_trace(cfg);
             }
             runner.run(machines)
-        }
-        Executor::Threaded => {
-            assert!(trace.is_none(), "forensic tracing runs on the stepped executor");
-            run_machines_with_tap(n, seed, machines, Box::new(adv))
         }
         Executor::Parallel => {
             let mut runner = ParRunner::new(n, seed)
@@ -470,14 +462,7 @@ mod tests {
                 let s = Schedule::new(7, 1, 1, 4, attack);
                 for seed in [11, 42] {
                     let a = run_episode(protocol, &s, seed, Executor::Stepped);
-                    let b = run_episode(protocol, &s, seed, Executor::Threaded);
                     let c = run_episode(protocol, &s, seed, Executor::Parallel);
-                    assert_eq!(
-                        a, b,
-                        "{} under {} seed {seed} diverged between executors",
-                        protocol.name(),
-                        attack.name()
-                    );
                     assert_eq!(
                         a, c,
                         "{} under {} seed {seed}: ParRunner diverged from StepRunner",
@@ -537,7 +522,7 @@ mod tests {
         s.vss_mode = VssMode::Strict;
         let ep = run_episode(Protocol::BatchVss, &s, 7, Executor::Stepped);
         assert_eq!(ep.outcome, Outcome::Unsound);
-        let ep2 = run_episode(Protocol::BatchVss, &s, 7, Executor::Threaded);
+        let ep2 = run_episode(Protocol::BatchVss, &s, 7, Executor::Parallel);
         assert_eq!(ep, ep2, "the unsound episode must replay identically");
     }
 

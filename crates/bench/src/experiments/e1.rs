@@ -16,24 +16,22 @@
 //! dealing, so their dealing traffic is included — noted in
 //! EXPERIMENTS.md.
 
-use dprbg_baselines::{ccd_vss, feldman_vss, CcdMsg, CcdOpts, FeldmanMsg};
-use dprbg_baselines::feldman::Exp;
+use dprbg_baselines::feldman::{Exp, FeldmanVerdict};
+use dprbg_baselines::{CcdMachine, CcdMsg, CcdOpts, FeldmanMachine, FeldmanMsg};
 use dprbg_core::{CoinError, DealtShares, Params, VssMode, VssMsg, VssVerdict, VssVerifyMachine};
 use dprbg_field::Field;
 use dprbg_metrics::Table;
 use dprbg_poly::Poly;
-// lint: allow-file(transport) — the §1.4 baseline comparators are straight-line behavior code and deliberately stay on the threaded runner (shared cost accounting)
-use dprbg_sim::{run_network, Behavior, BoxedMachine, PartyCtx, StepRunner};
+use dprbg_sim::{BoxedMachine, StepRunner};
 use dprbg_rng::rngs::StdRng;
 use dprbg_rng::SeedableRng;
 
 use super::common::{challenge_coins, ExperimentCtx, PlayerCost, F32};
 
-/// Measure this paper's VSS verification for one `(n, t)`, on the
-/// single-threaded executor (the baselines below stay on the threaded
-/// runner — they are straight-line comparator code with no machine
-/// form; both executors share cost accounting, so the columns are
-/// comparable).
+/// Measure this paper's VSS verification for one `(n, t)`. All three
+/// protocols here — ours and both comparators — are sans-IO machine
+/// fleets on the same single-threaded executor, so every column comes
+/// out of one cost-accounting pipeline.
 fn ours(n: usize, t: usize, seed: u64) -> PlayerCost {
     let coins = challenge_coins::<F32>(n, t, seed);
     let mut rng = StdRng::seed_from_u64(seed + 1);
@@ -59,30 +57,26 @@ fn ours(n: usize, t: usize, seed: u64) -> PlayerCost {
 
 /// Measure CCD cut-and-choose at `k_sec` challenge rounds.
 fn ccd(n: usize, t: usize, k_sec: usize, seed: u64) -> PlayerCost {
-    let behaviors: Vec<Behavior<CcdMsg<F32>, (VssVerdict, F32)>> = (1..=n)
+    let opts = CcdOpts { rounds: k_sec, challenge_seed: seed };
+    let machines: Vec<BoxedMachine<CcdMsg<F32>, (VssVerdict, F32)>> = (1..=n)
         .map(|id| {
-            let opts = CcdOpts { rounds: k_sec, challenge_seed: seed };
-            Box::new(move |ctx: &mut PartyCtx<CcdMsg<F32>>| {
-                let secret = (id == 1).then(|| F32::from_u64(7));
-                ccd_vss(ctx, 1, secret, t, opts)
-            }) as Behavior<_, _>
+            let secret = (id == 1).then(|| F32::from_u64(7));
+            Box::new(CcdMachine::new(1, secret, t, opts)) as _
         })
         .collect();
-    let res = run_network(n, seed, behaviors);
+    let res = StepRunner::new(n, seed).run(machines);
     PlayerCost::from_report(&res.report)
 }
 
 /// Measure Feldman VSS (t + 1 exponentiations per player).
 fn feldman(n: usize, t: usize, seed: u64) -> PlayerCost {
-    let behaviors: Vec<Behavior<FeldmanMsg, _>> = (1..=n)
+    let machines: Vec<BoxedMachine<FeldmanMsg, (FeldmanVerdict, Exp)>> = (1..=n)
         .map(|id| {
-            Box::new(move |ctx: &mut PartyCtx<FeldmanMsg>| {
-                let secret = (id == 1).then(|| Exp::from_u64(5));
-                feldman_vss(ctx, 1, secret, t)
-            }) as Behavior<_, _>
+            let secret = (id == 1).then(|| Exp::from_u64(5));
+            Box::new(FeldmanMachine::new(1, secret, t)) as _
         })
         .collect();
-    let res = run_network(n, seed, behaviors);
+    let res = StepRunner::new(n, seed).run(machines);
     PlayerCost::from_report(&res.report)
 }
 

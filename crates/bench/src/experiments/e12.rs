@@ -22,8 +22,8 @@
 //!   so the zeroes above are evidence, not vacuity.
 //!
 //! Every episode is replayable from `(master seed, strategy, schedule)`
-//! alone, on either executor — the campaign spot-checks a threaded
-//! replay per strategy.
+//! alone, on either executor — the campaign spot-checks a work-stealing
+//! ([`dprbg_sim::ParRunner`]) replay per strategy.
 
 use dprbg_core::VssMode;
 use dprbg_metrics::Table;
@@ -73,7 +73,7 @@ fn stats_row(table: &mut Table, label: &str, f: usize, stats: &CampaignStats) {
 ///
 /// If a within-model strategy at `f ≤ t` produces an unsound episode, if
 /// every beyond-threshold strategy still fully agrees, or if an episode
-/// fails to replay identically on the threaded executor — each of these
+/// fails to replay identically on the parallel executor — each of these
 /// is a soundness regression somewhere in the stack.
 pub fn run(ctx: &ExperimentCtx) -> Vec<Table> {
     let per_cell = if ctx.quick { 2 } else { 9 };
@@ -105,11 +105,11 @@ pub fn run(ctx: &ExperimentCtx) -> Vec<Table> {
                 &stats,
             );
             // Replay spot-check: episode 0 must be identical under the
-            // threaded executor.
+            // work-stealing executor.
             let seed0 = episode_seed(master, 0);
             assert_eq!(
                 run_episode(protocol, &s, seed0, Executor::Stepped),
-                run_episode(protocol, &s, seed0, Executor::Threaded),
+                run_episode(protocol, &s, seed0, Executor::Parallel),
                 "{}/{} episode 0 diverged between executors",
                 protocol.name(),
                 attack.name()

@@ -24,16 +24,12 @@ use dprbg_core::{
 use dprbg_core::CoinGenMachine;
 use dprbg_field::Field;
 use dprbg_metrics::{Table, WireSize};
-// lint: allow-file(transport) — the trusted-dealer baseline is straight-line behavior code and deliberately stays on the threaded runner (shared cost accounting)
-use dprbg_sim::{
-    run_network, Behavior, BoxedMachine, Embeds, MachineExt, PartyCtx, RoundMachine, RoundView,
-    Step, StepRunner,
-};
+use dprbg_sim::{BoxedMachine, Embeds, MachineExt, RoundMachine, RoundView, Step, StepRunner};
 
 use super::common::{challenge_coins, fmt_f, seed_wallets, ExperimentCtx, PlayerCost, F32};
 
-/// Expose every share in a batch, one Coin-Expose after another —
-/// the sans-IO equivalent of a loop of blocking `coin_expose` calls.
+/// Expose every share in a batch, one Coin-Expose after another — each
+/// expose's send goes out in the same round the previous decode lands.
 struct ExposeAllMachine<M, F: Field> {
     t: usize,
     /// Remaining shares, last-to-expose first.
@@ -69,8 +65,7 @@ where
                     self.cur = Some(m);
                     return Step::Continue(out);
                 }
-                // The next expose's send goes out in the same round the
-                // previous decode landed — exactly the blocking cadence.
+                // Next expose starts in the round the previous decode landed.
                 Step::Done(Ok(_)) => continue,
                 Step::Done(Err(e)) => return Step::Done(Err(e)),
             }
@@ -113,14 +108,10 @@ fn dprbg_per_coin(n: usize, t: usize, m: usize, seed: u64) -> PlayerCost {
 
 /// From-scratch cost per coin at matched soundness (32 challenge rounds).
 fn from_scratch_per_coin(n: usize, t: usize, seed: u64) -> PlayerCost {
-    let behaviors: Vec<Behavior<FromScratchMsg<F32>, Option<F32>>> = (0..n)
-        .map(|_| {
-            Box::new(move |ctx: &mut PartyCtx<FromScratchMsg<F32>>| {
-                from_scratch_coin(ctx, t, 32, seed)
-            }) as Behavior<_, _>
-        })
+    let machines: Vec<BoxedMachine<FromScratchMsg<F32>, Option<F32>>> = (1..=n)
+        .map(|id| Box::new(from_scratch_coin::<F32>(id, t, 32, seed)) as _)
         .collect();
-    let res = run_network(n, seed, behaviors);
+    let res = StepRunner::new(n, seed).run(machines);
     let report = res.report.clone();
     assert!(res.unwrap_all()[0].is_some());
     PlayerCost::from_report(&report)

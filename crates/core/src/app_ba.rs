@@ -30,7 +30,9 @@
 
 use dprbg_field::Field;
 use dprbg_metrics::WireSize;
-use dprbg_sim::{Embeds, PartyCtx};
+use dprbg_sim::{
+    from_fn, looping, ready, Embeds, LoopControl, MachineExt, RoundMachine, RoundView, Step,
+};
 
 use crate::bootstrap::Bootstrap;
 use crate::coin_gen::CoinGenWire;
@@ -57,40 +59,24 @@ pub struct CcbaOutcome {
     pub decided_in_phase: Option<usize>,
 }
 
-/// Run common-coin randomized BA on `input` over a fixed schedule of
-/// `phases` phases, drawing one shared coin per phase from `beacon`.
-///
-/// All honest parties call this together with beacons in the same state.
-/// Needs `M: CoinGenWire<F> + Embeds<CcbaVote>` — the wire type carries
-/// both the generator's traffic (for beacon refills) and the votes.
-///
-/// # Errors
-///
-/// Propagates beacon failures (seed exhaustion etc.).
-#[allow(clippy::int_plus_one)] // thresholds written as the paper states them
-pub fn common_coin_ba<M, F>(
-    ctx: &mut PartyCtx<M>,
-    input: bool,
-    t: usize,
-    beacon: &mut Bootstrap<F>,
-    phases: usize,
-) -> Result<CcbaOutcome, CoinGenError>
+/// One vote exchange: send the current bit, tally the distinct votes.
+fn vote_round<M>(v: bool) -> impl RoundMachine<M, Output = (usize, usize, usize)>
 where
-    M: CoinGenWire<F> + Embeds<CcbaVote>,
-    F: Field,
+    M: Clone + WireSize + Embeds<CcbaVote> + Send + 'static,
 {
-    let n = ctx.n();
-    let mut v = input;
-    let mut decided: Option<(bool, usize)> = None;
-
-    for phase in 1..=phases {
-        // Vote round.
-        ctx.send_to_all(<M as Embeds<CcbaVote>>::wrap(CcbaVote(v)));
-        let inbox = ctx.next_round();
+    let mut sent = false;
+    from_fn(move |view: RoundView<'_, M>| {
+        if !sent {
+            sent = true;
+            let mut out = view.outbox();
+            out.send_to_all(<M as Embeds<CcbaVote>>::wrap(CcbaVote(v)));
+            return Step::Continue(out);
+        }
+        let n = view.n;
         let mut ones = 0usize;
         let mut zeros = 0usize;
         let mut seen = vec![false; n];
-        for r in inbox.iter() {
+        for r in view.inbox.iter() {
             if let Some(CcbaVote(b)) = <M as Embeds<CcbaVote>>::peek(&r.msg) {
                 if !seen[r.from - 1] {
                     seen[r.from - 1] = true;
@@ -102,28 +88,103 @@ where
                 }
             }
         }
+        Step::Done((n, ones, zeros))
+    })
+    .labelled("ccba/vote")
+}
 
-        // The shared coin — drawn by everyone every phase so the beacon
-        // (including its refills) stays in global lock-step.
-        let coin = beacon.draw_bit(ctx)?;
+/// Loop state of the phase schedule.
+enum CcbaFlow<F: Field> {
+    /// About to run phase `phase` (1-based) with current estimate `v`.
+    Phase { beacon: Bootstrap<F>, v: bool, decided: Option<(bool, usize)>, phase: usize },
+    /// Votes tallied and the phase coin drawn: apply the decision rule.
+    Coin {
+        beacon: Bootstrap<F>,
+        decided: Option<(bool, usize)>,
+        phase: usize,
+        n: usize,
+        ones: usize,
+        zeros: usize,
+        coin: Result<bool, CoinGenError>,
+    },
+}
 
-        if ones >= n - t {
-            v = true;
-            decided = decided.or(Some((true, phase)));
-        } else if zeros >= n - t {
-            v = false;
-            decided = decided.or(Some((false, phase)));
-        } else if ones >= 2 * t + 1 && ones > zeros {
-            v = true;
-        } else if zeros >= 2 * t + 1 && zeros > ones {
-            v = false;
-        } else {
-            v = coin;
+/// A machine running common-coin randomized BA on `input` over a fixed
+/// schedule of `phases` phases, drawing one shared coin per phase from
+/// `beacon`.
+///
+/// All honest parties start this machine together with beacons in the
+/// same state; the output returns the beacon (advanced by `phases` draws
+/// plus any refills) alongside the outcome. Needs
+/// `M: CoinGenWire<F> + Embeds<CcbaVote>` — the wire type carries both
+/// the generator's traffic (for beacon refills) and the votes. The
+/// result half of the output propagates beacon failures (seed exhaustion
+/// etc.).
+#[allow(clippy::int_plus_one)] // thresholds written as the paper states them
+pub fn common_coin_ba<M, F>(
+    input: bool,
+    t: usize,
+    beacon: Bootstrap<F>,
+    phases: usize,
+) -> impl RoundMachine<M, Output = (Bootstrap<F>, Result<CcbaOutcome, CoinGenError>)>
+where
+    M: CoinGenWire<F> + Embeds<CcbaVote>,
+    F: Field,
+{
+    let init = CcbaFlow::Phase { beacon, v: input, decided: None, phase: 1 };
+    looping(init, move |flow| match flow {
+        CcbaFlow::Phase { beacon, v, decided, phase } => {
+            if phase > phases {
+                let outcome = CcbaOutcome {
+                    decision: decided.map(|(d, _)| d).unwrap_or(v),
+                    decided_in_phase: decided.map(|(_, p)| p),
+                };
+                return LoopControl::Break((beacon, Ok(outcome)));
+            }
+            // Vote round, then the shared coin — drawn by everyone every
+            // phase so the beacon (including its refills) stays in global
+            // lock-step.
+            LoopControl::Continue(Box::new(vote_round::<M>(v).then(
+                move |(n, ones, zeros)| {
+                    beacon.draw_bit().map(move |(beacon, coin)| CcbaFlow::Coin {
+                        beacon,
+                        decided,
+                        phase,
+                        n,
+                        ones,
+                        zeros,
+                        coin,
+                    })
+                },
+            )))
         }
-    }
-    Ok(CcbaOutcome {
-        decision: decided.map(|(d, _)| d).unwrap_or(v),
-        decided_in_phase: decided.map(|(_, p)| p),
+        CcbaFlow::Coin { beacon, mut decided, phase, n, ones, zeros, coin } => {
+            let coin = match coin {
+                Ok(c) => c,
+                Err(e) => return LoopControl::Break((beacon, Err(e))),
+            };
+            let v = if ones >= n - t {
+                decided = decided.or(Some((true, phase)));
+                true
+            } else if zeros >= n - t {
+                decided = decided.or(Some((false, phase)));
+                false
+            } else if ones >= 2 * t + 1 && ones > zeros {
+                true
+            } else if zeros >= 2 * t + 1 && zeros > ones {
+                false
+            } else {
+                coin
+            };
+            // Pure transition: the next phase's vote goes out in the same
+            // driver round the coin landed in.
+            LoopControl::Continue(Box::new(ready(CcbaFlow::Phase {
+                beacon,
+                v,
+                decided,
+                phase: phase + 1,
+            })))
+        }
     })
 }
 
@@ -138,9 +199,9 @@ mod tests {
     use crate::params::Params;
     use dprbg_field::Gf2k;
     use dprbg_protocols::{BaMsg, GcMsg};
-    use dprbg_sim::{run_network, FaultPlan};
     use dprbg_rng::rngs::StdRng;
     use dprbg_rng::{RngExt, SeedableRng};
+    use dprbg_sim::{BoxedMachine, FaultPlan, StepRunner};
 
     type F = Gf2k<32>;
 
@@ -204,16 +265,16 @@ mod tests {
         for bit in [false, true] {
             let n = 7;
             let t = 1;
-            let mut bs = beacons(n, t, 1);
-            let behaviors: Vec<dprbg_sim::Behavior<Wire, CcbaOutcome>> = (0..n)
-                .map(|_| {
-                    let mut b = bs.remove(0);
-                    Box::new(move |ctx: &mut PartyCtx<Wire>| {
-                        common_coin_ba(ctx, bit, t, &mut b, 6).unwrap()
-                    }) as dprbg_sim::Behavior<Wire, CcbaOutcome>
+            let machines: Vec<BoxedMachine<Wire, CcbaOutcome>> = beacons(n, t, 1)
+                .into_iter()
+                .map(|b| {
+                    Box::new(
+                        common_coin_ba::<Wire, F>(bit, t, b, 6)
+                            .map(|(_, res)| res.unwrap()),
+                    ) as BoxedMachine<Wire, _>
                 })
                 .collect();
-            for out in run_network(n, 2, behaviors).unwrap_all() {
+            for out in StepRunner::new(n, 2).run(machines).unwrap_all() {
                 assert_eq!(out.decision, bit);
                 assert_eq!(out.decided_in_phase, Some(1), "unanimous → phase 1");
             }
@@ -223,17 +284,18 @@ mod tests {
     #[test]
     fn split_inputs_converge_fast() {
         let n = 7;
-        let t = 1;
-        let mut bs = beacons(n, t, 3);
-        let behaviors: Vec<dprbg_sim::Behavior<Wire, CcbaOutcome>> = (1..=n)
-            .map(|id| {
-                let mut b = bs.remove(0);
-                Box::new(move |ctx: &mut PartyCtx<Wire>| {
-                    common_coin_ba(ctx, id % 2 == 0, 1, &mut b, 8).unwrap()
-                }) as dprbg_sim::Behavior<Wire, CcbaOutcome>
+        let machines: Vec<BoxedMachine<Wire, CcbaOutcome>> = beacons(n, 1, 3)
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let id = i + 1;
+                Box::new(
+                    common_coin_ba::<Wire, F>(id % 2 == 0, 1, b, 8)
+                        .map(|(_, res)| res.unwrap()),
+                ) as BoxedMachine<Wire, _>
             })
             .collect();
-        let outs = run_network(n, 4, behaviors).unwrap_all();
+        let outs = StepRunner::new(n, 4).run(machines).unwrap_all();
         let d = outs[0].decision;
         for out in &outs {
             assert_eq!(out.decision, d, "agreement");
@@ -245,53 +307,45 @@ mod tests {
     #[test]
     fn agreement_under_adaptive_byzantine_voter() {
         // The faulty party splits its votes to keep honest counts near
-        // the threshold; the common coin still forces convergence.
+        // the threshold; the common coin still forces convergence. It
+        // cannot predict the coin, so its split fails in expectation
+        // within a couple of phases.
         let n = 7;
         let t = 1;
         let plan = FaultPlan::explicit(n, vec![2]);
-        let mut bs = beacons(n, t, 5);
-        let mut honest_beacons: Vec<Bootstrap<F>> = Vec::new();
-        for id in 1..=n {
-            let b = bs.remove(0);
-            if !plan.is_faulty(id) {
-                honest_beacons.push(b);
-            }
-        }
+        let bs = beacons(n, t, 5);
         let phases = 10;
-        let behaviors = plan.behaviors::<Wire, Option<CcbaOutcome>>(
+        let machines = plan.machines::<Wire, Option<CcbaOutcome>>(
             |id| {
-                let mut b = honest_beacons.remove(0);
-                Box::new(move |ctx| {
-                    common_coin_ba(ctx, id % 2 == 0, 1, &mut b, phases).ok()
-                })
+                let b = bs[id - 1].clone();
+                Box::new(
+                    common_coin_ba::<Wire, F>(id % 2 == 0, 1, b, phases)
+                        .map(|(_, res)| res.ok()),
+                )
             },
             |_| {
-                Box::new(move |ctx| {
-                    let mut rng = StdRng::seed_from_u64(99);
-                    // Vote round: split; coin round: corrupt expose share.
-                    // It cannot predict the coin, so its split fails in
-                    // expectation within a couple of phases.
-                    loop {
-                        if ctx.active_parties() <= 1 {
-                            return None;
+                let mut rng = StdRng::seed_from_u64(99);
+                // Alternate split votes (even rounds) and corrupted expose
+                // shares (odd rounds) well past the honest schedule.
+                Box::new(from_fn(move |view: RoundView<'_, Wire>| {
+                    if view.round >= 60 {
+                        return Step::Done(None);
+                    }
+                    let mut out = view.outbox();
+                    if view.round % 2 == 0 {
+                        for to in 1..=view.n {
+                            out.send(to, Wire::Vote(CcbaVote(rng.random())));
                         }
-                        let n = ctx.n();
-                        for to in 1..=n {
-                            ctx.send(to, Wire::Vote(CcbaVote(rng.random())));
-                        }
-                        let _ = ctx.next_round();
-                        if ctx.active_parties() <= 1 {
-                            return None;
-                        }
-                        ctx.send_to_all(Wire::Expose(ExposeMsg(F::from_u64(
+                    } else {
+                        out.send_to_all(Wire::Expose(ExposeMsg(F::from_u64(
                             rng.random::<u32>() as u64,
                         ))));
-                        let _ = ctx.next_round();
                     }
-                })
+                    Step::Continue(out)
+                }))
             },
         );
-        let res = run_network(n, 6, behaviors);
+        let res = StepRunner::new(n, 6).run(machines);
         let outs: Vec<CcbaOutcome> = plan
             .honest()
             .map(|id| res.outputs[id - 1].as_ref().unwrap().unwrap())
@@ -310,35 +364,30 @@ mod tests {
         let n = 7;
         let t = 1;
         let plan = FaultPlan::explicit(n, vec![7]);
-        let mut bs = beacons(n, t, 7);
-        let mut honest_beacons: Vec<Bootstrap<F>> = Vec::new();
-        for id in 1..=n {
-            let b = bs.remove(0);
-            if !plan.is_faulty(id) {
-                honest_beacons.push(b);
-            }
-        }
-        let behaviors = plan.behaviors::<Wire, Option<CcbaOutcome>>(
-            |_| {
-                let mut b = honest_beacons.remove(0);
-                Box::new(move |ctx| common_coin_ba(ctx, true, 1, &mut b, 6).ok())
+        let bs = beacons(n, t, 7);
+        let machines = plan.machines::<Wire, Option<CcbaOutcome>>(
+            |id| {
+                let b = bs[id - 1].clone();
+                Box::new(
+                    common_coin_ba::<Wire, F>(true, 1, b, 6).map(|(_, res)| res.ok()),
+                )
             },
             |_| {
-                Box::new(move |ctx| {
-                    for _ in 0..12 {
-                        if ctx.active_parties() <= 1 {
-                            return None;
-                        }
-                        ctx.send_to_all(Wire::Vote(CcbaVote(false)));
-                        let _ = ctx.next_round();
-                        ctx.send_to_all(Wire::Expose(ExposeMsg(F::from_u64(0xBAD))));
-                        let _ = ctx.next_round();
+                Box::new(from_fn(move |view: RoundView<'_, Wire>| {
+                    if view.round >= 24 {
+                        return Step::Done(None);
                     }
-                    None
-                })
+                    let mut out = view.outbox();
+                    if view.round % 2 == 0 {
+                        out.send_to_all(Wire::Vote(CcbaVote(false)));
+                    } else {
+                        out.send_to_all(Wire::Expose(ExposeMsg(F::from_u64(0xBAD))));
+                    }
+                    Step::Continue(out)
+                }))
             },
         );
-        let res = run_network(n, 8, behaviors);
+        let res = StepRunner::new(n, 8).run(machines);
         for id in plan.honest() {
             let out = res.outputs[id - 1].as_ref().unwrap().unwrap();
             assert!(out.decision, "validity at party {id}");

@@ -39,7 +39,7 @@ use std::mem;
 use dprbg_field::Field;
 use dprbg_metrics::WireSize;
 use dprbg_poly::{bw_decode, interpolate, share_polynomial, Poly};
-use dprbg_sim::{drive_blocking, Embeds, PartyCtx, PartyId, RoundMachine, RoundView, Step};
+use dprbg_sim::{Embeds, PartyId, RoundMachine, RoundView, Step};
 use dprbg_rng::Rng;
 
 use crate::coin::{ExposeMachine, ExposeMsg, ExposeVia, SealedShare};
@@ -122,29 +122,12 @@ pub fn horner_combine<F: Field>(alphas: &[F], gamma: F, r: F) -> F {
     acc + gamma
 }
 
-/// Batch dealing: the dealer shares `M` secret polynomials (plus the
-/// masking polynomial when enabled) and sends each player its share
-/// vector. One round; the dealer's message to each player is `Mk` bits
-/// (Lemma 6's "n messages each of size Mk").
-///
-/// Returns `(my shares, dealer polynomials if dealer)`.
-pub fn batch_vss_deal<M, F>(
-    ctx: &mut PartyCtx<M>,
-    dealer: PartyId,
-    secrets_if_dealer: Option<&[F]>,
-    t: usize,
-    opts: BatchOpts,
-) -> (BatchShares<F>, Option<Vec<Poly<F>>>)
-where
-    M: Clone + Send + WireSize + Embeds<ExposeMsg<F>> + Embeds<BatchVssMsg<F>> + 'static,
-    F: Field,
-{
-    let secrets = secrets_if_dealer.map(<[F]>::to_vec);
-    drive_blocking(ctx, BatchVssDealMachine::new(dealer, secrets, t, opts))
-}
-
 /// The batch dealing round as a sans-IO round machine: one `Continue`
-/// (the dealer's share vectors), then `Done` with this party's holdings.
+/// (the dealer's share vectors), then `Done` with this party's holdings
+/// `(my shares, dealer polynomials if dealer)`.
+///
+/// One round; the dealer's message to each player is `Mk` bits (Lemma 6's
+/// "n messages each of size Mk").
 pub struct BatchVssDealMachine<M, F: Field> {
     dealer: PartyId,
     secrets: Option<Vec<F>>,
@@ -237,36 +220,15 @@ where
     }
 }
 
-/// Steps 1–4 of Fig. 3: verify all `M` sharings with one interpolation.
+/// Steps 1–4 of Fig. 3 as a sans-IO round machine: the challenge expose
+/// (an embedded [`ExposeMachine`] over the broadcast channel), the
+/// combination broadcast, then the interpolation verdict — all `M`
+/// sharings verified with one interpolation in 2 rounds.
 ///
-/// `expected_m` is the batch size every player expects; a dealer that sent
-/// a different number of shares is rejected outright. Consumes one sealed
-/// challenge coin; 2 rounds.
-///
-/// # Errors
-///
-/// Propagates [`CoinError`] from the challenge expose.
-pub fn batch_vss_verify<M, F>(
-    ctx: &mut PartyCtx<M>,
-    t: usize,
-    shares: &BatchShares<F>,
-    expected_m: usize,
-    coin: SealedShare<F>,
-    opts: BatchOpts,
-) -> Result<VssVerdict, CoinError>
-where
-    M: Clone + Send + WireSize + Embeds<ExposeMsg<F>> + Embeds<BatchVssMsg<F>> + 'static,
-    F: Field,
-{
-    drive_blocking(
-        ctx,
-        BatchVssVerifyMachine::new(t, shares.clone(), expected_m, coin, opts),
-    )
-}
-
-/// Fig. 3's verification as a sans-IO round machine: the challenge
-/// expose (an embedded [`ExposeMachine`] over the broadcast channel),
-/// the combination broadcast, then the interpolation verdict — 2 rounds.
+/// `expected_m` is the batch size every player expects; a dealer that
+/// sent a different number of shares is rejected outright. Consumes one
+/// sealed challenge coin. The output propagates [`CoinError`] from the
+/// challenge expose.
 pub struct BatchVssVerifyMachine<M, F: Field> {
     t: usize,
     shares: BatchShares<F>,
@@ -455,9 +417,9 @@ mod tests {
     use super::*;
     use dprbg_field::Gf2k;
     use dprbg_poly::{share_points as sp, share_polynomial as spoly};
-    use dprbg_sim::{run_network, Behavior};
     use dprbg_rng::rngs::StdRng;
     use dprbg_rng::SeedableRng;
+    use dprbg_sim::{BoxedMachine, MachineExt, StepRunner};
 
     type F = Gf2k<32>;
     type M = BatchVssMsg<F>;
@@ -485,6 +447,8 @@ mod tests {
         assert_eq!(horner_combine(&[], gamma, r), gamma);
     }
 
+    /// Deal then verify, composed with [`MachineExt::then`] exactly as
+    /// straight-line protocol code would sequence the two phases.
     fn run_batch(
         n: usize,
         t: usize,
@@ -493,19 +457,19 @@ mod tests {
         opts: BatchOpts,
     ) -> Vec<Result<VssVerdict, CoinError>> {
         let coins = coin_shares(n, t, seed + 1000);
-        let behaviors: Vec<Behavior<M, _>> = (1..=n)
+        let fleet: Vec<BoxedMachine<M, Result<VssVerdict, CoinError>>> = (1..=n)
             .map(|id| {
                 let coin = coins[id - 1];
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    let secrets: Option<Vec<F>> = (id == 1)
-                        .then(|| (0..m as u64).map(F::from_u64).collect());
-                    let (shares, _) =
-                        batch_vss_deal(ctx, 1, secrets.as_deref(), t, opts);
-                    batch_vss_verify(ctx, t, &shares, m, coin, opts)
-                }) as Behavior<M, _>
+                let secrets: Option<Vec<F>> =
+                    (id == 1).then(|| (0..m as u64).map(F::from_u64).collect());
+                Box::new(BatchVssDealMachine::new(1, secrets, t, opts).then(
+                    move |(shares, _): (BatchShares<F>, _)| {
+                        BatchVssVerifyMachine::new(t, shares, m, coin, opts)
+                    },
+                )) as BoxedMachine<M, _>
             })
             .collect();
-        run_network(n, seed, behaviors).unwrap_all()
+        StepRunner::new(n, seed).run(fleet).unwrap_all()
     }
 
     #[test]
@@ -527,17 +491,16 @@ mod tests {
         let coins = coin_shares(n, t, 7);
         let mut rng = StdRng::seed_from_u64(8);
         let all_shares = cheating_batch_deal::<F, _>(n, t, m, 1, &mut rng);
-        let behaviors: Vec<Behavior<M, Result<VssVerdict, CoinError>>> = (1..=n)
+        // Dealing happened out-of-band; every party verifies directly.
+        let fleet: Vec<BoxedMachine<M, Result<VssVerdict, CoinError>>> = (1..=n)
             .map(|id| {
                 let coin = coins[id - 1];
                 let shares = all_shares[id - 1].clone();
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    let _ = ctx.next_round(); // dealing happened out-of-band
-                    batch_vss_verify(ctx, t, &shares, m, coin, BatchOpts::default())
-                }) as Behavior<M, _>
+                Box::new(BatchVssVerifyMachine::new(t, shares, m, coin, BatchOpts::default()))
+                    as BoxedMachine<M, _>
             })
             .collect();
-        for out in run_network(n, 9, behaviors).unwrap_all() {
+        for out in StepRunner::new(n, 9).run(fleet).unwrap_all() {
             assert_eq!(out.unwrap(), VssVerdict::Reject);
         }
     }
@@ -548,24 +511,21 @@ mod tests {
         let n = 4;
         let t = 1;
         let coins = coin_shares(n, t, 11);
-        let behaviors: Vec<Behavior<M, Result<VssVerdict, CoinError>>> = (1..=n)
+        let fleet: Vec<BoxedMachine<M, Result<VssVerdict, CoinError>>> = (1..=n)
             .map(|id| {
                 let coin = coins[id - 1];
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    let secrets: Option<Vec<F>> =
-                        (id == 1).then(|| (0..4u64).map(F::from_u64).collect());
-                    let (shares, _) = batch_vss_deal(
-                        ctx,
-                        1,
-                        secrets.as_deref(),
-                        t,
-                        BatchOpts::default(),
-                    );
-                    batch_vss_verify(ctx, t, &shares, 8, coin, BatchOpts::default())
-                }) as Behavior<M, _>
+                let secrets: Option<Vec<F>> =
+                    (id == 1).then(|| (0..4u64).map(F::from_u64).collect());
+                Box::new(
+                    BatchVssDealMachine::new(1, secrets, t, BatchOpts::default()).then(
+                        move |(shares, _): (BatchShares<F>, _)| {
+                            BatchVssVerifyMachine::new(t, shares, 8, coin, BatchOpts::default())
+                        },
+                    ),
+                ) as BoxedMachine<M, _>
             })
             .collect();
-        for out in run_network(n, 12, behaviors).unwrap_all() {
+        for out in StepRunner::new(n, 12).run(fleet).unwrap_all() {
             assert_eq!(out.unwrap(), VssVerdict::Reject);
         }
     }
@@ -580,16 +540,15 @@ mod tests {
             let coins = coin_shares(n, t, 13);
             let mut rng = StdRng::seed_from_u64(14);
             let all = cheating_batch_deal::<F, _>(n, t, m, 0, &mut rng); // 0 bad = honest
-            let behaviors: Vec<Behavior<M, Result<VssVerdict, CoinError>>> = (1..=n)
+            let fleet: Vec<BoxedMachine<M, Result<VssVerdict, CoinError>>> = (1..=n)
                 .map(|id| {
                     let coin = coins[id - 1];
                     let shares = all[id - 1].clone();
-                    Box::new(move |ctx: &mut PartyCtx<M>| {
-                        batch_vss_verify(ctx, t, &shares, m, coin, BatchOpts::default())
-                    }) as Behavior<M, _>
+                    Box::new(BatchVssVerifyMachine::new(t, shares, m, coin, BatchOpts::default()))
+                        as BoxedMachine<M, _>
                 })
                 .collect();
-            let res = run_network(n, 15, behaviors);
+            let res = StepRunner::new(n, 15).run(fleet);
             assert_eq!(res.report.comm.rounds, 2);
             assert_eq!(res.report.comm.messages as usize, 2 * n, "M = {m}");
             assert_eq!(res.report.comm.bytes as usize, 2 * n * 4, "M = {m}");

@@ -34,7 +34,7 @@ use std::mem;
 use dprbg_field::Field;
 use dprbg_metrics::WireSize;
 use dprbg_poly::{bw_decode, Poly};
-use dprbg_sim::{drive_blocking, Embeds, PartyCtx, PartyId, RoundMachine, RoundView, Step};
+use dprbg_sim::{Embeds, PartyId, RoundMachine, RoundView, Step};
 
 use crate::batch_vss::horner_combine;
 use crate::coin::{ExposeMachine, ExposeMsg, ExposeVia, SealedShare};
@@ -130,52 +130,14 @@ pub enum BitGenMode {
     ZeroRefresh,
 }
 
-/// Run Bit-Gen (Fig. 4) with every party in `dealers` acting as a dealer
-/// of `m` random sealed secrets, all instances sharing one challenge coin
-/// (Coin-Gen step 3: "using the same coin r for all invocations").
-///
-/// Exactly 3 rounds: deal, coin-expose, combination exchange.
-///
-/// # Errors
-///
-/// Propagates [`CoinError`] from the challenge expose.
-pub fn bit_gen_all<M, F>(
-    ctx: &mut PartyCtx<M>,
-    t: usize,
-    m: usize,
-    coin: SealedShare<F>,
-    dealers: &[PartyId],
-) -> Result<BitGenRun<F>, CoinError>
-where
-    M: Clone + Send + WireSize + Embeds<ExposeMsg<F>> + Embeds<BitGenMsg<F>> + 'static,
-    F: Field,
-{
-    bit_gen_all_with(ctx, t, m, coin, dealers, BitGenMode::RandomCoins)
-}
-
-/// [`bit_gen_all`] with an explicit [`BitGenMode`].
-///
-/// # Errors
-///
-/// Propagates [`CoinError`] from the challenge expose.
-pub fn bit_gen_all_with<M, F>(
-    ctx: &mut PartyCtx<M>,
-    t: usize,
-    m: usize,
-    coin: SealedShare<F>,
-    dealers: &[PartyId],
-    mode: BitGenMode,
-) -> Result<BitGenRun<F>, CoinError>
-where
-    M: Clone + Send + WireSize + Embeds<ExposeMsg<F>> + Embeds<BitGenMsg<F>> + 'static,
-    F: Field,
-{
-    drive_blocking(ctx, BitGenMachine::new(t, m, coin, dealers.to_vec(), mode))
-}
-
 /// The `n` parallel Bit-Gen instances (Fig. 4) as a sans-IO round
 /// machine: deal, challenge expose (an embedded [`ExposeMachine`]), and
 /// combination exchange — Lemma 6's exact 3 rounds, one `Continue` each.
+///
+/// Every party in `dealers` acts as a dealer of `m` sealed secrets, all
+/// instances sharing one challenge coin (Coin-Gen step 3: "using the same
+/// coin r for all invocations"). The output propagates [`CoinError`] from
+/// the challenge expose.
 pub struct BitGenMachine<M, F: Field> {
     t: usize,
     m: usize,
@@ -388,12 +350,11 @@ fn decode_instance<F: Field>(betas: &[Option<F>], n: usize, t: usize) -> Option<
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::coin::coin_expose;
     use dprbg_field::Gf2k;
     use dprbg_poly::{share_points, share_polynomial};
-    use dprbg_sim::{run_network, Behavior, FaultPlan};
     use dprbg_rng::rngs::StdRng;
     use dprbg_rng::SeedableRng;
+    use dprbg_sim::{from_fn, BoxedMachine, FaultPlan, MachineExt, StepRunner};
 
     type F = Gf2k<32>;
     type M = BitGenMsg<F>;
@@ -407,6 +368,15 @@ mod tests {
             .collect()
     }
 
+    fn machine(
+        t: usize,
+        m: usize,
+        coin: SealedShare<F>,
+        dealers: &[PartyId],
+    ) -> BoxedMachine<M, Result<BitGenRun<F>, CoinError>> {
+        Box::new(BitGenMachine::new(t, m, coin, dealers.to_vec(), BitGenMode::RandomCoins))
+    }
+
     fn run_all(
         n: usize,
         t: usize,
@@ -415,15 +385,8 @@ mod tests {
     ) -> Vec<Result<BitGenRun<F>, CoinError>> {
         let coins = coin_shares(n, t, seed + 500);
         let dealers: Vec<PartyId> = (1..=n).collect();
-        let behaviors: Vec<Behavior<M, _>> = (1..=n)
-            .map(|id| {
-                let coin = coins[id - 1];
-                let dealers = dealers.clone();
-                Box::new(move |ctx: &mut PartyCtx<M>| bit_gen_all(ctx, t, m, coin, &dealers))
-                    as Behavior<M, _>
-            })
-            .collect();
-        run_network(n, seed, behaviors).unwrap_all()
+        let fleet = (1..=n).map(|id| machine(t, m, coins[id - 1], &dealers)).collect();
+        StepRunner::new(n, seed).run(fleet).unwrap_all()
     }
 
     #[test]
@@ -482,41 +445,53 @@ mod tests {
         let coins = coin_shares(n, t, 10);
         let plan = FaultPlan::explicit(n, vec![1]);
         let dealers: Vec<PartyId> = (1..=n).collect();
-        let behaviors = plan.behaviors::<M, Option<BitGenRun<F>>>(
+        let fleet = plan.machines::<M, Option<BitGenRun<F>>>(
             |id| {
                 let coin = coins[id - 1];
                 let dealers = dealers.clone();
-                Box::new(move |ctx| bit_gen_all(ctx, t, m, coin, &dealers).ok())
+                Box::new(
+                    BitGenMachine::new(t, m, coin, dealers, BitGenMode::RandomCoins)
+                        .map(|r: Result<BitGenRun<F>, CoinError>| r.ok()),
+                )
             },
             |id| {
                 let coin = coins[id - 1];
-                Box::new(move |ctx| {
-                    let n = ctx.n();
-                    // Deal one high-degree polynomial among honest ones.
-                    let mut polys: Vec<Poly<F>> =
-                        (0..m - 1).map(|_| Poly::random(t, ctx.rng())).collect();
-                    polys.push(Poly::random(t + 1, ctx.rng()));
-                    let blind = Poly::random(t, ctx.rng());
-                    for i in 1..=n {
-                        let x = F::element(i as u64);
-                        ctx.send(
-                            i,
-                            BitGenMsg::Deal {
-                                alphas: polys.iter().map(|f| f.eval(x)).collect(),
-                                gamma: blind.eval(x),
-                            },
-                        );
+                Box::new(from_fn(move |view: RoundView<'_, M>| {
+                    let n = view.n;
+                    let mut out = view.outbox();
+                    match view.round {
+                        0 => {
+                            // Deal one high-degree polynomial among honest
+                            // ones.
+                            let mut polys: Vec<Poly<F>> =
+                                (0..m - 1).map(|_| Poly::random(t, view.rng)).collect();
+                            polys.push(Poly::random(t + 1, view.rng));
+                            let blind = Poly::random(t, view.rng);
+                            for i in 1..=n {
+                                let x = F::element(i as u64);
+                                out.send(
+                                    i,
+                                    BitGenMsg::Deal {
+                                        alphas: polys.iter().map(|f| f.eval(x)).collect(),
+                                        gamma: blind.eval(x),
+                                    },
+                                );
+                            }
+                            Step::Continue(out)
+                        }
+                        1 => {
+                            // Participate honestly in the challenge expose.
+                            if let Some(sigma) = coin.sigma {
+                                out.send_to_all(BitGenMsg::Expose(ExposeMsg(sigma)));
+                            }
+                            Step::Continue(out)
+                        }
+                        _ => Step::Done(None),
                     }
-                    let _ = ctx.next_round();
-                    let r = coin_expose(ctx, coin, t, ExposeVia::PointToPoint).ok()?;
-                    // Participate honestly in round 3 for its own instance.
-                    let _ = r;
-                    let _ = ctx.next_round();
-                    None
-                })
+                }))
             },
         );
-        let res = run_network(n, 11, behaviors);
+        let res = StepRunner::new(n, 11).run(fleet);
         for id in plan.honest() {
             let run = res.outputs[id - 1].as_ref().unwrap().as_ref().unwrap();
             assert!(
@@ -538,27 +513,35 @@ mod tests {
         let coins = coin_shares(n, t, 20);
         let plan = FaultPlan::explicit(n, vec![4]);
         let dealers: Vec<PartyId> = plan.honest().collect();
-        let behaviors = plan.behaviors::<M, Option<BitGenRun<F>>>(
+        let fleet = plan.machines::<M, Option<BitGenRun<F>>>(
             |id| {
                 let coin = coins[id - 1];
                 let dealers = dealers.clone();
-                Box::new(move |ctx| bit_gen_all(ctx, t, m, coin, &dealers).ok())
+                Box::new(
+                    BitGenMachine::new(t, m, coin, dealers, BitGenMode::RandomCoins)
+                        .map(|r: Result<BitGenRun<F>, CoinError>| r.ok()),
+                )
             },
             |_| {
-                Box::new(move |ctx| {
-                    let n = ctx.n();
-                    let _ = ctx.next_round(); // no dealing
-                    let _ = ctx.next_round(); // skip expose
-                    // Round 3: garbage betas in every instance.
-                    let garbage: Vec<(PartyId, F)> =
-                        (1..=n).map(|d| (d, F::from_u64(0xBAD))).collect();
-                    ctx.send_to_all(BitGenMsg::Betas(garbage));
-                    let _ = ctx.next_round();
-                    None
-                })
+                Box::new(from_fn(move |view: RoundView<'_, M>| {
+                    let n = view.n;
+                    let mut out = view.outbox();
+                    match view.round {
+                        // No dealing, skip the expose.
+                        0 | 1 => Step::Continue(out),
+                        2 => {
+                            // Round 3: garbage betas in every instance.
+                            let garbage: Vec<(PartyId, F)> =
+                                (1..=n).map(|d| (d, F::from_u64(0xBAD))).collect();
+                            out.send_to_all(BitGenMsg::Betas(garbage));
+                            Step::Continue(out)
+                        }
+                        _ => Step::Done(None),
+                    }
+                }))
             },
         );
-        let res = run_network(n, 21, behaviors);
+        let res = StepRunner::new(n, 21).run(fleet);
         for id in plan.honest() {
             let run = res.outputs[id - 1].as_ref().unwrap().as_ref().unwrap();
             for j in plan.honest() {
@@ -578,15 +561,8 @@ mod tests {
         let coins = coin_shares(n, t, 30);
         // Only parties 2..=n deal; instance 1 must come out ⊥ everywhere.
         let dealers: Vec<PartyId> = (2..=n).collect();
-        let behaviors: Vec<Behavior<M, Result<BitGenRun<F>, CoinError>>> = (1..=n)
-            .map(|id| {
-                let coin = coins[id - 1];
-                let dealers = dealers.clone();
-                Box::new(move |ctx: &mut PartyCtx<M>| bit_gen_all(ctx, t, m, coin, &dealers))
-                    as Behavior<M, _>
-            })
-            .collect();
-        for out in run_network(n, 31, behaviors).unwrap_all() {
+        let fleet = (1..=n).map(|id| machine(t, m, coins[id - 1], &dealers)).collect();
+        for out in StepRunner::new(n, 31).run(fleet).unwrap_all() {
             let run = out.unwrap();
             assert!(run.views[0].check_poly.is_none());
             assert!(run.views[0].my_beta.is_none());
@@ -603,16 +579,8 @@ mod tests {
         let res = {
             let coins = coin_shares(n, t, 40);
             let dealers: Vec<PartyId> = (1..=n).collect();
-            let behaviors: Vec<Behavior<M, Result<BitGenRun<F>, CoinError>>> = (1..=n)
-                .map(|id| {
-                    let coin = coins[id - 1];
-                    let dealers = dealers.clone();
-                    Box::new(move |ctx: &mut PartyCtx<M>| {
-                        bit_gen_all(ctx, t, m, coin, &dealers)
-                    }) as Behavior<M, _>
-                })
-                .collect();
-            run_network(n, 41, behaviors)
+            let fleet = (1..=n).map(|id| machine(t, m, coins[id - 1], &dealers)).collect();
+            StepRunner::new(n, 41).run(fleet)
         };
         assert_eq!(res.report.comm.rounds, 3);
         // n² deal + n² expose + n² (batched) beta messages.

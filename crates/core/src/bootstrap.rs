@@ -12,14 +12,22 @@
 //! it below the low-water mark. Once kicked off, the source is
 //! self-sufficient — each refill consumes a constant expected number of
 //! seed coins and deposits `M`.
+//!
+//! Each operation consumes the reservoir and returns a [`RoundMachine`]
+//! whose output hands it back alongside the result, so applications
+//! thread the reservoir through a chain of draws with
+//! [`dprbg_sim::MachineExt::then`] or [`dprbg_sim::looping`].
+
+use std::mem;
 
 use dprbg_field::Field;
-use dprbg_sim::PartyCtx;
+use dprbg_sim::{looping, LoopControl, MachineExt, RoundMachine};
 
-use crate::coin::{coin_expose, CoinWallet, ExposeVia, SealedShare};
+use crate::coin::{CoinWallet, ExposeMachine, ExposeVia, SealedShare};
 use crate::coin_gen::{CoinGenConfig, CoinGenWire};
 use crate::dprbg::dprbg_expand;
 use crate::errors::CoinGenError;
+use crate::refresh::{RefreshMachine, RefreshReport};
 
 /// Configuration of the bootstrap reservoir.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +81,20 @@ pub struct Bootstrap<F: Field> {
     stats: BootstrapStats,
 }
 
+/// States of the refill-then-act flows (private to the loops below).
+enum Flow<F: Field, T> {
+    Start(Bootstrap<F>),
+    Refilled(Bootstrap<F>, Result<bool, CoinGenError>),
+    Done(Bootstrap<F>, Result<T, CoinGenError>),
+}
+
+/// States of the draw-and-expose flow.
+enum DrawFlow<F: Field> {
+    Start(Bootstrap<F>),
+    Drawn(Bootstrap<F>, Result<SealedShare<F>, CoinGenError>),
+    Exposed(Bootstrap<F>, Result<F, CoinGenError>),
+}
+
 impl<F: Field> Bootstrap<F> {
     /// Start the reservoir from an initial seed wallet (trusted dealer or
     /// preprocessing — see [`crate::dealer`]).
@@ -97,66 +119,110 @@ impl<F: Field> Bootstrap<F> {
 
     /// Refill if a draw now would leave fewer than `low_water` coins.
     ///
-    /// # Errors
-    ///
-    /// Propagates generator errors; on error the reservoir is unchanged
-    /// except for the seeds the failed run consumed.
+    /// The result is `Ok(true)` when a refill ran; on generator errors
+    /// the reservoir is unchanged except for the seeds the failed run
+    /// consumed. A reservoir above the low-water mark produces `Ok(false)`
+    /// without costing a round.
     pub fn maybe_refill<M: CoinGenWire<F>>(
-        &mut self,
-        ctx: &mut PartyCtx<M>,
-    ) -> Result<bool, CoinGenError> {
-        if self.wallet.len() > self.cfg.low_water {
-            return Ok(false);
-        }
-        let run = dprbg_expand(ctx, &self.cfg.coin_gen, &mut self.wallet)?;
-        self.stats.refills += 1;
-        self.stats.seeds_consumed += run.seeds_consumed;
-        self.stats.coins_produced += run.coins_produced;
-        self.stats.attempts += run.attempts;
-        Ok(true)
+        self,
+    ) -> impl RoundMachine<M, Output = (Self, Result<bool, CoinGenError>)> {
+        looping(Flow::<F, bool>::Start(self), |flow| match flow {
+            Flow::Start(mut b) => {
+                if b.wallet.len() > b.cfg.low_water {
+                    return LoopControl::Break((b, Ok(false)));
+                }
+                let cfg = b.cfg.coin_gen;
+                let wallet = mem::take(&mut b.wallet);
+                LoopControl::Continue(Box::new(dprbg_expand::<M, F>(cfg, wallet).map(
+                    move |(w, res)| {
+                        b.wallet = w;
+                        match res {
+                            Ok(run) => {
+                                b.stats.refills += 1;
+                                b.stats.seeds_consumed += run.seeds_consumed;
+                                b.stats.coins_produced += run.coins_produced;
+                                b.stats.attempts += run.attempts;
+                                Flow::Done(b, Ok(true))
+                            }
+                            Err(e) => Flow::Done(b, Err(e)),
+                        }
+                    },
+                )))
+            }
+            Flow::Refilled(b, res) => LoopControl::Break((b, res)),
+            Flow::Done(b, res) => LoopControl::Break((b, res)),
+        })
     }
 
     /// Draw the next sealed coin *without* exposing it (for protocols
     /// that consume sealed coins, e.g. further VSS runs). Refills first
     /// when needed.
     ///
-    /// # Errors
-    ///
-    /// Propagates refill errors; [`crate::CoinError::WalletEmpty`] (as
-    /// `CoinGenError::Coin`) only if refilling is impossible.
+    /// The result carries refill errors, and
+    /// [`crate::CoinError::WalletEmpty`] (as `CoinGenError::Coin`) only
+    /// if refilling is impossible.
     pub fn draw_sealed<M: CoinGenWire<F>>(
-        &mut self,
-        ctx: &mut PartyCtx<M>,
-    ) -> Result<SealedShare<F>, CoinGenError> {
-        self.maybe_refill(ctx)?;
-        let share = self.wallet.pop()?;
-        self.stats.draws += 1;
-        Ok(share)
+        self,
+    ) -> impl RoundMachine<M, Output = (Self, Result<SealedShare<F>, CoinGenError>)> {
+        self.maybe_refill().map(|(mut b, res)| match res {
+            Err(e) => (b, Err(e)),
+            Ok(_) => match b.wallet.pop() {
+                Err(e) => (b, Err(e.into())),
+                Ok(share) => {
+                    b.stats.draws += 1;
+                    (b, Ok(share))
+                }
+            },
+        })
     }
 
     /// Draw and expose the next coin: the application-facing "give me a
-    /// fresh shared random value" call (one round, plus a refill when the
-    /// reservoir is low).
+    /// fresh shared random value" call (one expose round-trip, plus a
+    /// refill when the reservoir is low).
     ///
-    /// # Errors
-    ///
-    /// See [`Bootstrap::draw_sealed`] and [`coin_expose`].
-    pub fn draw<M: CoinGenWire<F>>(&mut self, ctx: &mut PartyCtx<M>) -> Result<F, CoinGenError> {
-        let share = self.draw_sealed(ctx)?;
-        let t = self.cfg.coin_gen.params.t;
-        coin_expose(ctx, share, t, ExposeVia::PointToPoint).map_err(CoinGenError::Coin)
+    /// See [`Bootstrap::draw_sealed`] and [`ExposeMachine`] for the
+    /// failure modes carried in the result.
+    pub fn draw<M: CoinGenWire<F>>(
+        self,
+    ) -> impl RoundMachine<M, Output = (Self, Result<F, CoinGenError>)> {
+        looping(DrawFlow::Start(self), |flow| match flow {
+            DrawFlow::Start(b) => LoopControl::Continue(Box::new(
+                b.draw_sealed().map(|(b, res)| DrawFlow::Drawn(b, res)),
+            )),
+            DrawFlow::Drawn(b, Err(e)) => LoopControl::Break((b, Err(e))),
+            DrawFlow::Drawn(b, Ok(share)) => {
+                let t = b.cfg.coin_gen.params.t;
+                LoopControl::Continue(Box::new(
+                    ExposeMachine::new(share, t, ExposeVia::PointToPoint)
+                        .map(move |r| DrawFlow::Exposed(b, r.map_err(CoinGenError::Coin))),
+                ))
+            }
+            DrawFlow::Exposed(b, res) => LoopControl::Break((b, res)),
+        })
     }
 
     /// Draw one *binary* shared coin: the low bit of a k-ary draw (the
     /// paper: "as all our coins will be generated in the field GF(2^k) we
     /// can assume that each coin generates in fact k random coins in
     /// {0,1}").
-    ///
-    /// # Errors
-    ///
-    /// See [`Bootstrap::draw`].
-    pub fn draw_bit<M: CoinGenWire<F>>(&mut self, ctx: &mut PartyCtx<M>) -> Result<bool, CoinGenError> {
-        Ok(self.draw(ctx)?.to_u64() & 1 == 1)
+    pub fn draw_bit<M: CoinGenWire<F>>(
+        self,
+    ) -> impl RoundMachine<M, Output = (Self, Result<bool, CoinGenError>)> {
+        self.draw().map(|(b, res)| (b, res.map(|v| v.to_u64() & 1 == 1)))
+    }
+
+    /// Draw one k-ary coin and return all `k` of its binary coins, least
+    /// significant first — applications that consume bits in bulk get
+    /// `k` shared bits per expose round.
+    pub fn draw_bits<M: CoinGenWire<F>>(
+        self,
+    ) -> impl RoundMachine<M, Output = (Self, Result<Vec<bool>, CoinGenError>)> {
+        self.draw().map(|(b, res)| {
+            (b, res.map(|val| {
+                let v = val.to_u64();
+                (0..F::bits()).map(|i| (v >> i) & 1 == 1).collect()
+            }))
+        })
     }
 
     /// Proactively re-randomize every sealed share in the reservoir
@@ -164,30 +230,27 @@ impl<F: Field> Bootstrap<F> {
     /// first if the reservoir is low, so the refresh's own seed
     /// consumption cannot drain it.
     ///
-    /// # Errors
-    ///
-    /// Propagates refill and refresh failures.
+    /// The result propagates refill and refresh failures.
     pub fn refresh<M: CoinGenWire<F>>(
-        &mut self,
-        ctx: &mut PartyCtx<M>,
-    ) -> Result<crate::refresh::RefreshReport, CoinGenError> {
-        self.maybe_refill(ctx)?;
-        crate::refresh::refresh_wallet(ctx, &self.cfg.coin_gen, &mut self.wallet)
-    }
-
-    /// Draw one k-ary coin and return all `k` of its binary coins, least
-    /// significant first — applications that consume bits in bulk get
-    /// `k` shared bits per expose round.
-    ///
-    /// # Errors
-    ///
-    /// See [`Bootstrap::draw`].
-    pub fn draw_bits<M: CoinGenWire<F>>(
-        &mut self,
-        ctx: &mut PartyCtx<M>,
-    ) -> Result<Vec<bool>, CoinGenError> {
-        let v = self.draw(ctx)?.to_u64();
-        Ok((0..F::bits()).map(|i| (v >> i) & 1 == 1).collect())
+        self,
+    ) -> impl RoundMachine<M, Output = (Self, Result<RefreshReport, CoinGenError>)> {
+        looping(Flow::<F, RefreshReport>::Start(self), |flow| match flow {
+            Flow::Start(b) => LoopControl::Continue(Box::new(
+                b.maybe_refill().map(|(b, res)| Flow::Refilled(b, res)),
+            )),
+            Flow::Refilled(b, Err(e)) => LoopControl::Break((b, Err(e))),
+            Flow::Refilled(mut b, Ok(_)) => {
+                let cfg = b.cfg.coin_gen;
+                let wallet = mem::take(&mut b.wallet);
+                LoopControl::Continue(Box::new(RefreshMachine::new(cfg, wallet).map(
+                    move |(w, res)| {
+                        b.wallet = w;
+                        Flow::Done(b, res)
+                    },
+                )))
+            }
+            Flow::Done(b, res) => LoopControl::Break((b, res)),
+        })
     }
 }
 
@@ -199,7 +262,7 @@ mod tests {
     use crate::dealer::TrustedDealer;
     use crate::params::Params;
     use dprbg_field::Gf2k;
-    use dprbg_sim::{run_network, Behavior};
+    use dprbg_sim::{BoxedMachine, StepRunner};
 
     type F = Gf2k<32>;
     type M = CoinGenMsg<F>;
@@ -216,6 +279,23 @@ mod tests {
             .collect()
     }
 
+    /// Draw `draws` coins back-to-back, threading the reservoir through.
+    fn draw_many(
+        b: Bootstrap<F>,
+        draws: usize,
+    ) -> impl RoundMachine<M, Output = (Bootstrap<F>, Vec<F>)> {
+        looping((b, Vec::new(), draws), |(b, vals, k)| {
+            if k == 0 {
+                return LoopControl::Break((b, vals));
+            }
+            LoopControl::Continue(Box::new(b.draw().map(move |(b, res)| {
+                let mut vals = vals;
+                vals.push(res.expect("draw succeeds"));
+                (b, vals, k - 1)
+            })))
+        })
+    }
+
     #[test]
     fn draws_beyond_initial_seed_sustain_themselves() {
         // Initial seed of 6; draw 40 coins — far more than dealt. The
@@ -224,24 +304,20 @@ mod tests {
         let n = 7;
         let t = 1;
         let draws = 40;
-        let mut boots = setup(n, t, 16, 6, 1);
-        let behaviors: Vec<Behavior<M, Result<(Vec<F>, BootstrapStats), CoinGenError>>> = (0..n)
-            .map(|_| {
-                let mut b = boots.remove(0);
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    let vals: Result<Vec<F>, _> =
-                        (0..draws).map(|_| b.draw(ctx)).collect();
-                    vals.map(|v| (v, b.stats()))
-                }) as Behavior<M, _>
+        let boots = setup(n, t, 16, 6, 1);
+        let machines: Vec<BoxedMachine<M, (Vec<F>, BootstrapStats)>> = boots
+            .into_iter()
+            .map(|b| {
+                Box::new(draw_many(b, draws).map(|(b, vals)| (vals, b.stats())))
+                    as BoxedMachine<M, _>
             })
             .collect();
-        let outs = run_network(n, 2, behaviors).unwrap_all();
-        let (vals0, stats0) = outs[0].as_ref().unwrap();
+        let outs = StepRunner::new(n, 2).run(machines).unwrap_all();
+        let (vals0, stats0) = &outs[0];
         assert_eq!(vals0.len(), draws);
         assert!(stats0.refills >= 2, "must have refilled: {stats0:?}");
         assert!(stats0.coins_produced > stats0.seeds_consumed);
-        for out in &outs {
-            let (vals, _) = out.as_ref().unwrap();
+        for (vals, _) in &outs {
             assert_eq!(vals, vals0, "coin values must be unanimous");
         }
     }
@@ -250,21 +326,15 @@ mod tests {
     fn refill_only_when_low() {
         let n = 7;
         let t = 1;
-        let mut boots = setup(n, t, 8, 20, 3);
-        let behaviors: Vec<Behavior<M, Result<BootstrapStats, CoinGenError>>> = (0..n)
-            .map(|_| {
-                let mut b = boots.remove(0);
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    // 3 draws from a 20-coin reservoir: no refill needed.
-                    for _ in 0..3 {
-                        b.draw(ctx)?;
-                    }
-                    Ok::<_, CoinGenError>(b.stats())
-                }) as Behavior<M, _>
+        let boots = setup(n, t, 8, 20, 3);
+        let machines: Vec<BoxedMachine<M, BootstrapStats>> = boots
+            .into_iter()
+            .map(|b| {
+                // 3 draws from a 20-coin reservoir: no refill needed.
+                Box::new(draw_many(b, 3).map(|(b, _)| b.stats())) as BoxedMachine<M, _>
             })
             .collect();
-        for out in run_network(n, 4, behaviors).unwrap_all() {
-            let stats = out.unwrap();
+        for stats in StepRunner::new(n, 4).run(machines).unwrap_all() {
             assert_eq!(stats.refills, 0);
             assert_eq!(stats.draws, 3);
         }
@@ -274,20 +344,25 @@ mod tests {
     fn draw_bit_is_unanimous() {
         let n = 7;
         let t = 1;
-        let mut boots = setup(n, t, 8, 6, 5);
-        let behaviors: Vec<Behavior<M, Result<Vec<bool>, CoinGenError>>> = (0..n)
-            .map(|_| {
-                let mut b = boots.remove(0);
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    let bits: Result<Vec<bool>, _> =
-                        (0..8).map(|_| b.draw_bit(ctx)).collect();
-                    bits
-                }) as Behavior<M, _>
+        let boots = setup(n, t, 8, 6, 5);
+        let machines: Vec<BoxedMachine<M, Vec<bool>>> = boots
+            .into_iter()
+            .map(|b| {
+                Box::new(looping((b, Vec::new(), 8usize), |(b, bits, k)| {
+                    if k == 0 {
+                        return LoopControl::Break(bits);
+                    }
+                    LoopControl::Continue(Box::new(b.draw_bit().map(move |(b, res)| {
+                        let mut bits = bits;
+                        bits.push(res.expect("draw succeeds"));
+                        (b, bits, k - 1)
+                    })))
+                })) as BoxedMachine<M, _>
             })
             .collect();
-        let outs = run_network(n, 6, behaviors).unwrap_all();
-        let b0 = outs[0].as_ref().unwrap().clone();
-        assert!(outs.iter().all(|o| o.as_ref().unwrap() == &b0));
+        let outs = StepRunner::new(n, 6).run(machines).unwrap_all();
+        let b0 = outs[0].clone();
+        assert!(outs.iter().all(|o| o == &b0));
         // Not all bits equal (probability 2^-7 per pattern; seeded test).
         assert!(b0.iter().any(|&x| x) || b0.iter().any(|&x| !x));
     }
@@ -296,17 +371,18 @@ mod tests {
     fn draw_bits_yields_k_unanimous_bits() {
         let n = 7;
         let t = 1;
-        let mut boots = setup(n, t, 8, 6, 8);
-        let behaviors: Vec<Behavior<M, Result<Vec<bool>, CoinGenError>>> = (0..n)
-            .map(|_| {
-                let mut b = boots.remove(0);
-                Box::new(move |ctx: &mut PartyCtx<M>| b.draw_bits(ctx)) as Behavior<M, _>
+        let boots = setup(n, t, 8, 6, 8);
+        let machines: Vec<BoxedMachine<M, Vec<bool>>> = boots
+            .into_iter()
+            .map(|b| {
+                Box::new(b.draw_bits().map(|(_, res)| res.expect("draw succeeds")))
+                    as BoxedMachine<M, _>
             })
             .collect();
-        let outs = run_network(n, 9, behaviors).unwrap_all();
-        let bits = outs[0].as_ref().unwrap().clone();
+        let outs = StepRunner::new(n, 9).run(machines).unwrap_all();
+        let bits = outs[0].clone();
         assert_eq!(bits.len(), 32, "one bit per field bit");
-        assert!(outs.iter().all(|o| o.as_ref().unwrap() == &bits));
+        assert!(outs.iter().all(|o| o == &bits));
         // 32 coin flips: both values present except w.p. 2^-31.
         assert!(bits.iter().any(|&b| b) && bits.iter().any(|&b| !b));
     }
@@ -320,13 +396,13 @@ mod tests {
             params,
             batch_size: 8,
         });
-        let behaviors: Vec<Behavior<M, _>> = (0..n)
+        let machines: Vec<BoxedMachine<M, Option<CoinGenError>>> = (0..n)
             .map(|_| {
-                let mut b = Bootstrap::<F>::new(cfg, CoinWallet::new());
-                Box::new(move |ctx: &mut PartyCtx<M>| b.draw(ctx).err()) as Behavior<M, _>
+                let b = Bootstrap::<F>::new(cfg, CoinWallet::new());
+                Box::new(b.draw().map(|(_, res)| res.err())) as BoxedMachine<M, _>
             })
             .collect();
-        for out in run_network(n, 7, behaviors).unwrap_all() {
+        for out in StepRunner::new(n, 7).run(machines).unwrap_all() {
             assert_eq!(out, Some(CoinGenError::SeedExhausted));
         }
     }

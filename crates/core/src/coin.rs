@@ -23,7 +23,7 @@ use std::marker::PhantomData;
 use dprbg_field::Field;
 use dprbg_metrics::WireSize;
 use dprbg_poly::{bw_decode, Poly};
-use dprbg_sim::{drive_blocking, Embeds, PartyCtx, RoundMachine, RoundView, Step};
+use dprbg_sim::{Embeds, RoundMachine, RoundView, Step};
 
 use crate::errors::CoinError;
 
@@ -148,6 +148,18 @@ pub enum ExposeVia {
 /// `Continue` (the share send — or nothing, for a non-contributor),
 /// then `Done` with the Berlekamp–Welch-decoded coin.
 ///
+/// Every honest party runs this machine in the same round with its share
+/// of the same coin. One communication round: contributors send their
+/// share to all players (over `via`); everyone Berlekamp–Welch-decodes
+/// the received shares (tolerating up to `t` corrupted ones) and outputs
+/// `F(0)`. The paper's per-player cost (discussion after Lemma 2): `n`
+/// additions and a single interpolation.
+///
+/// The output is [`CoinError::NotEnoughShares`] /
+/// [`CoinError::DecodeFailed`] when the adversary exceeds the model
+/// (fewer than `t + 1` honest contributors, or shares beyond the
+/// decoding radius).
+///
 /// Larger phases ([`BitGenMachine`](crate::BitGenMachine), Batch-VSS
 /// verification, Coin-Gen's leader elections) embed this machine for
 /// their expose sub-steps via [`RoundView::reborrow`].
@@ -207,43 +219,15 @@ where
     }
 }
 
-/// Protocol Coin-Expose (Fig. 6): reveal a sealed coin.
-///
-/// Blocking shim over [`ExposeMachine`]. Every honest party calls this in
-/// the same round with its share of the same coin. One communication
-/// round: contributors send their share to all players (over `via`);
-/// everyone Berlekamp–Welch-decodes the received shares (tolerating up to
-/// `t` corrupted ones) and returns `F(0)`.
-///
-/// The paper's per-player cost (discussion after Lemma 2): `n` additions
-/// and a single interpolation.
-///
-/// # Errors
-///
-/// [`CoinError::NotEnoughShares`] / [`CoinError::DecodeFailed`] when the
-/// adversary exceeds the model (fewer than `t + 1` honest contributors, or
-/// shares beyond the decoding radius).
-pub fn coin_expose<M, F>(
-    ctx: &mut PartyCtx<M>,
-    share: SealedShare<F>,
-    t: usize,
-    via: ExposeVia,
-) -> Result<F, CoinError>
-where
-    M: Clone + Send + WireSize + Embeds<ExposeMsg<F>> + 'static,
-    F: Field,
-{
-    drive_blocking(ctx, ExposeMachine::new(share, t, via))
-}
-
 /// Decode a coin value from collected `(party point, share)` pairs.
 ///
-/// Shared by [`coin_expose`] and tests; applies the radius policy
-/// `e = min(t, ⌊(m − t − 1)/2⌋)` of the Berlekamp–Welch decoder.
+/// Shared by [`ExposeMachine`], committee outsider acceptance, and tests;
+/// applies the radius policy `e = min(t, ⌊(m − t − 1)/2⌋)` of the
+/// Berlekamp–Welch decoder.
 ///
 /// # Errors
 ///
-/// See [`coin_expose`].
+/// See [`ExposeMachine`].
 pub fn decode_coin<F: Field>(points: &[(F, F)], t: usize) -> Result<F, CoinError> {
     let poly: Poly<F> = bw_decode(points, t, t).map_err(|e| match e {
         dprbg_poly::BwError::TooFewPoints { got, need } => {
@@ -259,9 +243,9 @@ mod tests {
     use super::*;
     use dprbg_field::Gf2k;
     use dprbg_poly::{share_points, share_polynomial};
-    use dprbg_sim::{run_network, Behavior, FaultPlan};
     use dprbg_rng::rngs::StdRng;
     use dprbg_rng::SeedableRng;
+    use dprbg_sim::{from_fn, BoxedMachine, FaultPlan, MachineExt, StepRunner};
 
     type F = Gf2k<32>;
     type M = ExposeMsg<F>;
@@ -276,6 +260,35 @@ mod tests {
             .map(|s| SealedShare::of(s.y))
             .collect();
         (value, shares)
+    }
+
+    /// An honest expose fleet over point-to-point channels.
+    fn expose_fleet(
+        shares: Vec<SealedShare<F>>,
+        t: usize,
+    ) -> Vec<BoxedMachine<M, Result<F, CoinError>>> {
+        shares
+            .into_iter()
+            .map(|s| {
+                Box::new(ExposeMachine::new(s, t, ExposeVia::PointToPoint)) as BoxedMachine<M, _>
+            })
+            .collect()
+    }
+
+    /// A corrupt party that sends `payloads` to everyone in round 0, then
+    /// quits.
+    fn spammer(payloads: Vec<F>) -> BoxedMachine<M, Option<F>> {
+        Box::new(from_fn(move |view: dprbg_sim::RoundView<'_, M>| {
+            if view.round == 0 {
+                let mut out = view.outbox();
+                for &p in &payloads {
+                    out.send_to_all(ExposeMsg(p));
+                }
+                Step::Continue(out)
+            } else {
+                Step::Done(None)
+            }
+        }))
     }
 
     #[test]
@@ -310,14 +323,7 @@ mod tests {
         let n = 7;
         let t = 1;
         let (value, shares) = deal_coin(n, t, 1);
-        let behaviors: Vec<Behavior<M, Result<F, CoinError>>> = shares
-            .into_iter()
-            .map(|s| {
-                Box::new(move |ctx: &mut dprbg_sim::PartyCtx<M>| coin_expose(ctx, s, t, ExposeVia::PointToPoint))
-                    as Behavior<M, _>
-            })
-            .collect();
-        let res = run_network(n, 2, behaviors);
+        let res = StepRunner::new(n, 2).run(expose_fleet(shares, t));
         for out in res.unwrap_all() {
             assert_eq!(out.unwrap(), value);
         }
@@ -329,21 +335,18 @@ mod tests {
         let t = 1;
         let plan = FaultPlan::first_t(n, t);
         let (value, shares) = deal_coin(n, t, 3);
-        let behaviors = plan.behaviors::<M, Option<F>>(
+        let fleet = plan.machines::<M, Option<F>>(
             |id| {
                 let s = shares[id - 1];
-                Box::new(move |ctx| coin_expose(ctx, s, 1, ExposeVia::PointToPoint).ok())
+                Box::new(
+                    ExposeMachine::new(s, t, ExposeVia::PointToPoint)
+                        .map(|r: Result<F, CoinError>| r.ok()),
+                )
             },
-            |_| {
-                Box::new(|ctx| {
-                    // Send a corrupted share.
-                    ctx.send_to_all(ExposeMsg(F::from_u64(0xBAD)));
-                    let _ = ctx.next_round();
-                    None
-                })
-            },
+            // Send a corrupted share.
+            |_| spammer(vec![F::from_u64(0xBAD)]),
         );
-        let res = run_network(n, 4, behaviors);
+        let res = StepRunner::new(n, 4).run(fleet);
         for id in plan.honest() {
             assert_eq!(res.outputs[id - 1], Some(Some(value)), "party {id}");
         }
@@ -357,14 +360,7 @@ mod tests {
         let (value, mut shares) = deal_coin(n, t, 5);
         shares[2] = SealedShare::absent();
         shares[6] = SealedShare::absent();
-        let behaviors: Vec<Behavior<M, Result<F, CoinError>>> = shares
-            .into_iter()
-            .map(|s| {
-                Box::new(move |ctx: &mut dprbg_sim::PartyCtx<M>| coin_expose(ctx, s, t, ExposeVia::PointToPoint))
-                    as Behavior<M, _>
-            })
-            .collect();
-        let res = run_network(n, 6, behaviors);
+        let res = StepRunner::new(n, 6).run(expose_fleet(shares, t));
         for out in res.unwrap_all() {
             assert_eq!(out.unwrap(), value);
         }
@@ -374,18 +370,12 @@ mod tests {
     fn too_few_shares_reported() {
         let n = 4;
         let t = 1;
-        let (_, shares) = deal_coin(n, t, 7);
+        let (_, mut shares) = deal_coin(n, t, 7);
         // Only party 1 contributes: 1 point < t + 1.
-        let behaviors: Vec<Behavior<M, Result<F, CoinError>>> = shares
-            .into_iter()
-            .enumerate()
-            .map(|(i, s)| {
-                let s = if i == 0 { s } else { SealedShare::absent() };
-                Box::new(move |ctx: &mut dprbg_sim::PartyCtx<M>| coin_expose(ctx, s, t, ExposeVia::PointToPoint))
-                    as Behavior<M, _>
-            })
-            .collect();
-        let res = run_network(n, 8, behaviors);
+        for s in shares.iter_mut().skip(1) {
+            *s = SealedShare::absent();
+        }
+        let res = StepRunner::new(n, 8).run(expose_fleet(shares, t));
         for out in res.unwrap_all() {
             assert_eq!(out, Err(CoinError::NotEnoughShares { got: 1, need: 2 }));
         }
@@ -399,21 +389,17 @@ mod tests {
         let t = 1;
         let (value, shares) = deal_coin(n, t, 9);
         let plan = FaultPlan::explicit(n, vec![2]);
-        let behaviors = plan.behaviors::<M, Option<F>>(
+        let fleet = plan.machines::<M, Option<F>>(
             |id| {
                 let s = shares[id - 1];
-                Box::new(move |ctx| coin_expose(ctx, s, 1, ExposeVia::PointToPoint).ok())
+                Box::new(
+                    ExposeMachine::new(s, t, ExposeVia::PointToPoint)
+                        .map(|r: Result<F, CoinError>| r.ok()),
+                )
             },
-            |_| {
-                Box::new(|ctx| {
-                    ctx.send_to_all(ExposeMsg(F::from_u64(111)));
-                    ctx.send_to_all(ExposeMsg(F::from_u64(222)));
-                    let _ = ctx.next_round();
-                    None
-                })
-            },
+            |_| spammer(vec![F::from_u64(111), F::from_u64(222)]),
         );
-        let res = run_network(n, 10, behaviors);
+        let res = StepRunner::new(n, 10).run(fleet);
         for id in plan.honest() {
             assert_eq!(res.outputs[id - 1], Some(Some(value)));
         }

@@ -39,7 +39,7 @@ use dprbg_poly::Poly;
 use dprbg_protocols::{
     approx_clique, BaMsg, DiGraph, GcMsg, GradeOutput, GradecastMachine, PhaseKingMachine,
 };
-use dprbg_sim::{drive_blocking, Embeds, PartyCtx, PartyId, RoundMachine, RoundView, Step};
+use dprbg_sim::{Embeds, PartyId, RoundMachine, RoundView, Step};
 
 use crate::bit_gen::{BitGenMachine, BitGenMode, BitGenMsg, BitGenRun};
 use crate::coin::{CoinWallet, ExposeMachine, ExposeMsg, ExposeVia, SealedShare};
@@ -197,35 +197,21 @@ impl<F: Field> CoinBatch<F> {
 /// violation).
 const MAX_LEADER_ATTEMPTS: usize = 32;
 
-/// Protocol Coin-Gen (Fig. 5). See the module docs for the step list.
-///
-/// Consumes `1 + attempts` sealed coins from `wallet` (the challenge `r`
-/// plus one leader coin per BA iteration). All honest parties must call
-/// this in the same round with wallets in the same state.
-///
-/// # Errors
-///
-/// [`CoinGenError::SeedExhausted`] if the wallet runs dry,
-/// [`CoinGenError::Coin`] if an expose fails,
-/// [`CoinGenError::NoAgreement`] if the BA loop exceeds its budget.
-pub fn coin_gen<M: CoinGenWire<F>, F: Field>(
-    ctx: &mut PartyCtx<M>,
-    cfg: &CoinGenConfig,
-    wallet: &mut CoinWallet<F>,
-) -> Result<CoinBatch<F>, CoinGenError> {
-    let owned = mem::take(wallet);
-    let (rest, res) = drive_blocking(ctx, CoinGenMachine::new(*cfg, owned));
-    *wallet = rest;
-    res
-}
-
 /// Protocol Coin-Gen (Fig. 5) as a sans-IO round machine: the Bit-Gen
 /// phase ([`BitGenMachine`]) followed by the dealer agreement
-/// (`AgreeMachine`), with the share sums computed at the end.
+/// (`AgreeMachine`), with the share sums computed at the end. See the
+/// module docs for the step list.
 ///
+/// Consumes `1 + attempts` sealed coins from the wallet (the challenge
+/// `r` plus one leader coin per BA iteration). All honest parties must
+/// start this machine in the same round with wallets in the same state.
 /// The machine owns the wallet for the duration of the run and hands it
 /// back (minus the consumed seed coins) in its output, so the same wallet
 /// keeps working under any executor.
+///
+/// The result half of the output is [`CoinGenError::SeedExhausted`] if
+/// the wallet runs dry, [`CoinGenError::Coin`] if an expose fails, and
+/// [`CoinGenError::NoAgreement`] if the BA loop exceeds its budget.
 pub struct CoinGenMachine<M, F: Field> {
     cfg: CoinGenConfig,
     stage: CgStage<M, F>,
@@ -631,7 +617,7 @@ mod tests {
     use crate::coin::decode_coin;
     use crate::dealer::TrustedDealer;
     use dprbg_field::Gf2k;
-    use dprbg_sim::{run_network, Behavior, FaultPlan};
+    use dprbg_sim::{from_fn, BoxedMachine, FaultPlan, MachineExt, StepRunner};
 
     type F = Gf2k<32>;
     type M = CoinGenMsg<F>;
@@ -643,11 +629,18 @@ mod tests {
         }
     }
 
-    fn honest_behavior(
-        cfg: CoinGenConfig,
-        mut wallet: CoinWallet<F>,
-    ) -> Behavior<M, Result<CoinBatch<F>, CoinGenError>> {
-        Box::new(move |ctx| coin_gen(ctx, &cfg, &mut wallet))
+    /// An honest fleet that drops the returned wallet and keeps the batch
+    /// result.
+    fn honest_fleet(
+        c: CoinGenConfig,
+        wallets: Vec<CoinWallet<F>>,
+    ) -> Vec<BoxedMachine<M, Result<CoinBatch<F>, CoinGenError>>> {
+        wallets
+            .into_iter()
+            .map(|w| {
+                Box::new(CoinGenMachine::new(c, w).map(|(_, res)| res)) as BoxedMachine<M, _>
+            })
+            .collect()
     }
 
     #[test]
@@ -655,11 +648,8 @@ mod tests {
         let n = 7;
         let t = 1;
         let c = cfg(n, t, 4);
-        let mut wallets = TrustedDealer::deal_wallets::<F>(c.params, 4, 1);
-        let behaviors: Vec<_> = (0..n)
-            .map(|_| honest_behavior(c, wallets.remove(0)))
-            .collect();
-        let outs = run_network(n, 2, behaviors).unwrap_all();
+        let wallets = TrustedDealer::deal_wallets::<F>(c.params, 4, 1);
+        let outs = StepRunner::new(n, 2).run(honest_fleet(c, wallets)).unwrap_all();
         let first = outs[0].as_ref().unwrap();
         assert_eq!(first.attempts, 1);
         assert_eq!(first.len(), 4);
@@ -679,11 +669,8 @@ mod tests {
         let t = 1;
         let m = 3;
         let c = cfg(n, t, m);
-        let mut wallets = TrustedDealer::deal_wallets::<F>(c.params, 4, 7);
-        let behaviors: Vec<_> = (0..n)
-            .map(|_| honest_behavior(c, wallets.remove(0)))
-            .collect();
-        let outs = run_network(n, 8, behaviors).unwrap_all();
+        let wallets = TrustedDealer::deal_wallets::<F>(c.params, 4, 7);
+        let outs = StepRunner::new(n, 8).run(honest_fleet(c, wallets)).unwrap_all();
         for h in 0..m {
             let pts: Vec<(F, F)> = outs
                 .iter()
@@ -716,45 +703,52 @@ mod tests {
                 honest_wallets.push(w);
             }
         }
-        let behaviors = plan.behaviors::<M, Option<CoinBatch<F>>>(
+        let fleet = plan.machines::<M, Option<CoinBatch<F>>>(
             |_| {
-                let mut w = honest_wallets.remove(0);
-                Box::new(move |ctx| coin_gen(ctx, &c, &mut w).ok())
+                let w = honest_wallets.remove(0);
+                Box::new(CoinGenMachine::new(c, w).map(|(_, res)| res.ok()))
             },
             |_| {
-                Box::new(move |ctx| {
-                    let n = ctx.n();
-                    // Garbage dealing.
-                    for i in 1..=n {
-                        ctx.send(
-                            i,
-                            CoinGenMsg::BitGen(BitGenMsg::Deal {
-                                alphas: vec![F::from_u64(i as u64); 2],
-                                gamma: F::zero(),
-                            }),
-                        );
+                Box::new(from_fn(move |view: dprbg_sim::RoundView<'_, M>| {
+                    let n = view.n;
+                    let mut out = view.outbox();
+                    match view.round {
+                        0 => {
+                            // Garbage dealing.
+                            for i in 1..=n {
+                                out.send(
+                                    i,
+                                    CoinGenMsg::BitGen(BitGenMsg::Deal {
+                                        alphas: vec![F::from_u64(i as u64); 2],
+                                        gamma: F::zero(),
+                                    }),
+                                );
+                            }
+                            Step::Continue(out)
+                        }
+                        1 => {
+                            // Corrupt expose share.
+                            out.send_to_all(CoinGenMsg::Expose(crate::coin::ExposeMsg(
+                                F::from_u64(0xEF11u64),
+                            )));
+                            Step::Continue(out)
+                        }
+                        2 => {
+                            // Garbage betas.
+                            let garbage: Vec<(dprbg_sim::PartyId, F)> =
+                                (1..=n).map(|d| (d, F::from_u64(d as u64 * 3))).collect();
+                            out.send_to_all(CoinGenMsg::BitGen(BitGenMsg::Betas(garbage)));
+                            Step::Continue(out)
+                        }
+                        // Stay silent through gradecast (3 rounds), then
+                        // vanish (the executor carries the rest).
+                        3..=5 => Step::Continue(out),
+                        _ => Step::Done(None),
                     }
-                    let _ = ctx.next_round();
-                    // Corrupt expose share.
-                    ctx.send_to_all(CoinGenMsg::Expose(crate::coin::ExposeMsg(
-                        F::from_u64(0xEF11u64),
-                    )));
-                    let _ = ctx.next_round();
-                    // Garbage betas.
-                    let garbage: Vec<(dprbg_sim::PartyId, F)> =
-                        (1..=n).map(|d| (d, F::from_u64(d as u64 * 3))).collect();
-                    ctx.send_to_all(CoinGenMsg::BitGen(BitGenMsg::Betas(garbage)));
-                    let _ = ctx.next_round();
-                    // Stay silent through gradecast (3 rounds).
-                    for _ in 0..3 {
-                        let _ = ctx.next_round();
-                    }
-                    // Then vanish (dynamic barrier carries the rest).
-                    None
-                })
+                }))
             },
         );
-        let res = run_network(n, 22, behaviors);
+        let res = StepRunner::new(n, 22).run(fleet);
         let honest_batches: Vec<&CoinBatch<F>> = plan
             .honest()
             .map(|id| res.outputs[id - 1].as_ref().unwrap().as_ref().unwrap())
@@ -786,10 +780,8 @@ mod tests {
         let t = 1;
         let c = cfg(n, t, 2);
         // Empty wallets: the very first pop must fail on every party.
-        let behaviors: Vec<_> = (0..n)
-            .map(|_| honest_behavior(c, CoinWallet::new()))
-            .collect();
-        for out in run_network(n, 30, behaviors).unwrap_all() {
+        let wallets = vec![CoinWallet::new(); n];
+        for out in StepRunner::new(n, 30).run(honest_fleet(c, wallets)).unwrap_all() {
             assert_eq!(out.unwrap_err(), CoinGenError::SeedExhausted);
         }
     }
@@ -799,14 +791,18 @@ mod tests {
         let n = 7;
         let t = 1;
         let c = cfg(n, t, 5);
-        let mut wallets = TrustedDealer::deal_wallets::<F>(c.params, 6, 40);
-        let behaviors: Vec<_> = (0..n)
-            .map(|_| honest_behavior(c, wallets.remove(0)))
-            .collect();
-        for out in run_network(n, 41, behaviors).unwrap_all() {
+        let wallets = TrustedDealer::deal_wallets::<F>(c.params, 6, 40);
+        let fleet: Vec<BoxedMachine<M, (CoinWallet<F>, Result<CoinBatch<F>, CoinGenError>)>> =
+            wallets
+                .into_iter()
+                .map(|w| Box::new(CoinGenMachine::new(c, w)) as BoxedMachine<M, _>)
+                .collect();
+        for (wallet, out) in StepRunner::new(n, 41).run(fleet).unwrap_all() {
             let b = out.unwrap();
             assert_eq!(b.seeds_consumed, 1 + b.attempts);
             assert!(!b.is_empty());
+            // The machine hands back the unconsumed seeds.
+            assert_eq!(wallet.len(), 6 - b.seeds_consumed);
         }
     }
 }

@@ -21,11 +21,11 @@
 //! extra coordination.
 
 use dprbg_field::Field;
-use dprbg_sim::PartyCtx;
+use dprbg_sim::{looping, LoopControl, MachineExt, RoundMachine};
 
 use crate::coin::CoinWallet;
-use crate::coin_gen::{coin_gen, CoinBatch, CoinGenConfig, CoinGenWire};
-use crate::errors::ProtocolError;
+use crate::coin_gen::{CoinBatch, CoinGenConfig, CoinGenMachine, CoinGenWire};
+use crate::errors::{CoinGenError, ProtocolError};
 
 /// The cheapest possible Coin-Gen run: one challenge coin plus one
 /// leader-election coin.
@@ -56,8 +56,19 @@ pub struct RetryReport {
     pub seeds_spent: usize,
 }
 
-/// Run Coin-Gen under `policy`, retrying failed runs while the attempt
-/// cap and seed budget allow.
+/// Loop state threaded between Coin-Gen attempts.
+struct RetrySt<F: Field> {
+    wallet: CoinWallet<F>,
+    attempts: usize,
+    seeds_spent: usize,
+    /// Wallet length when the attempt in flight started.
+    before: usize,
+    /// The attempt's result, once it lands.
+    outcome: Option<Result<CoinBatch<F>, CoinGenError>>,
+}
+
+/// A machine running Coin-Gen under `policy`, retrying failed runs while
+/// the attempt cap and seed budget allow.
 ///
 /// Every attempt's wallet consumption is measured as the wallet-length
 /// delta, so the accounting covers failed runs (which still burn the
@@ -65,8 +76,7 @@ pub struct RetryReport {
 /// seed-budget bound is asserted on success: a batch is never returned
 /// with more than `policy.seed_budget` coins spent.
 ///
-/// # Errors
-///
+/// The result half of the output carries
 /// [`ProtocolError::SeedBudgetExceeded`] when the budget cannot cover the
 /// next attempt (including a budget below [`MIN_SEEDS_PER_ATTEMPT`] up
 /// front); otherwise the final attempt's error, converted into the
@@ -75,50 +85,71 @@ pub struct RetryReport {
 /// # Panics
 ///
 /// If `policy.max_attempts` is zero.
+#[allow(clippy::type_complexity)]
 pub fn coin_gen_with_retry<M: CoinGenWire<F>, F: Field>(
-    ctx: &mut PartyCtx<M>,
-    cfg: &CoinGenConfig,
-    wallet: &mut CoinWallet<F>,
+    cfg: CoinGenConfig,
+    wallet: CoinWallet<F>,
     policy: RetryPolicy,
-) -> Result<(CoinBatch<F>, RetryReport), ProtocolError> {
+) -> impl RoundMachine<
+    M,
+    Output = (CoinWallet<F>, Result<(CoinBatch<F>, RetryReport), ProtocolError>),
+> {
     assert!(policy.max_attempts >= 1, "retry policy must allow one attempt");
-    let mut attempts = 0;
-    let mut seeds_spent = 0;
-    loop {
-        if seeds_spent + MIN_SEEDS_PER_ATTEMPT > policy.seed_budget {
-            return Err(ProtocolError::SeedBudgetExceeded {
-                spent: seeds_spent,
-                budget: policy.seed_budget,
-            });
-        }
-        let before = wallet.len();
-        let res = coin_gen(ctx, cfg, wallet);
-        seeds_spent += before - wallet.len();
-        attempts += 1;
-        match res {
-            Ok(batch) => {
-                debug_assert_eq!(
-                    batch.seeds_consumed,
-                    before - wallet.len(),
-                    "wallet delta must match the batch's own accounting"
-                );
-                assert!(
-                    seeds_spent <= policy.seed_budget + batch.seeds_consumed,
-                    "seed spending {seeds_spent} violates budget {} by more than the \
-                     final attempt's own cost",
-                    policy.seed_budget
-                );
-                return Ok((batch, RetryReport { attempts, seeds_spent }));
-            }
-            Err(e) => {
-                if attempts >= policy.max_attempts || wallet.len() < MIN_SEEDS_PER_ATTEMPT {
-                    return Err(e.into());
+    let init = RetrySt { wallet, attempts: 0, seeds_spent: 0, before: 0, outcome: None };
+    looping(init, move |mut st: RetrySt<F>| {
+        if let Some(res) = st.outcome.take() {
+            st.seeds_spent += st.before - st.wallet.len();
+            st.attempts += 1;
+            match res {
+                Ok(batch) => {
+                    debug_assert_eq!(
+                        batch.seeds_consumed,
+                        st.before - st.wallet.len(),
+                        "wallet delta must match the batch's own accounting"
+                    );
+                    assert!(
+                        st.seeds_spent <= policy.seed_budget + batch.seeds_consumed,
+                        "seed spending {} violates budget {} by more than the final \
+                         attempt's own cost",
+                        st.seeds_spent,
+                        policy.seed_budget
+                    );
+                    let report =
+                        RetryReport { attempts: st.attempts, seeds_spent: st.seeds_spent };
+                    return LoopControl::Break((st.wallet, Ok((batch, report))));
                 }
-                // Otherwise loop: the budget check at the top decides
-                // whether another run may start.
+                Err(e) => {
+                    if st.attempts >= policy.max_attempts
+                        || st.wallet.len() < MIN_SEEDS_PER_ATTEMPT
+                    {
+                        return LoopControl::Break((st.wallet, Err(e.into())));
+                    }
+                    // Otherwise fall through: the budget check below
+                    // decides whether another run may start.
+                }
             }
         }
-    }
+        if st.seeds_spent + MIN_SEEDS_PER_ATTEMPT > policy.seed_budget {
+            return LoopControl::Break((
+                st.wallet,
+                Err(ProtocolError::SeedBudgetExceeded {
+                    spent: st.seeds_spent,
+                    budget: policy.seed_budget,
+                }),
+            ));
+        }
+        let RetrySt { wallet, attempts, seeds_spent, .. } = st;
+        let before = wallet.len();
+        LoopControl::Continue(Box::new(CoinGenMachine::new(cfg, wallet).map(
+            move |(w, res)| RetrySt {
+                wallet: w,
+                attempts,
+                seeds_spent,
+                before,
+                outcome: Some(res),
+            },
+        )))
+    })
 }
 
 #[cfg(test)]
@@ -128,7 +159,7 @@ mod tests {
     use crate::dealer::TrustedDealer;
     use crate::params::Params;
     use dprbg_field::Gf2k;
-    use dprbg_sim::{run_network, Behavior, FaultPlan};
+    use dprbg_sim::{from_fn, BoxedMachine, FaultPlan, RoundView, Step, StepRunner};
 
     type F = Gf2k<32>;
     type M = CoinGenMsg<F>;
@@ -143,18 +174,16 @@ mod tests {
         let n = 7;
         let t = 1;
         let cfg = CoinGenConfig { params: Params::p2p_model(n, t).unwrap(), batch_size: 4 };
-        let mut ws = wallets(n, t, 8, 100);
+        let policy = RetryPolicy { max_attempts: 3, seed_budget: 8 };
         type Out = Result<(CoinBatch<F>, RetryReport), ProtocolError>;
-        let behaviors: Vec<Behavior<M, Out>> = (1..=n)
-            .map(|_| {
-                let mut wallet = ws.remove(0);
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    let policy = RetryPolicy { max_attempts: 3, seed_budget: 8 };
-                    coin_gen_with_retry(ctx, &cfg, &mut wallet, policy)
-                }) as Behavior<M, _>
+        let machines: Vec<BoxedMachine<M, Out>> = wallets(n, t, 8, 100)
+            .into_iter()
+            .map(|w| {
+                Box::new(coin_gen_with_retry::<M, F>(cfg, w, policy).map(|(_, res)| res))
+                    as BoxedMachine<M, _>
             })
             .collect();
-        for out in run_network(n, 101, behaviors).unwrap_all() {
+        for out in StepRunner::new(n, 101).run(machines).unwrap_all() {
             let (batch, report) = out.unwrap();
             assert_eq!(report.attempts, 1);
             assert_eq!(report.seeds_spent, batch.seeds_consumed);
@@ -167,19 +196,17 @@ mod tests {
         let n = 7;
         let t = 1;
         let cfg = CoinGenConfig { params: Params::p2p_model(n, t).unwrap(), batch_size: 4 };
-        let mut ws = wallets(n, t, 8, 110);
+        // A budget of 1 cannot cover even the cheapest run.
+        let policy = RetryPolicy::single(1);
         type Out = Result<(CoinBatch<F>, RetryReport), ProtocolError>;
-        let behaviors: Vec<Behavior<M, Out>> = (1..=n)
-            .map(|_| {
-                let mut wallet = ws.remove(0);
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    // A budget of 1 cannot cover even the cheapest run.
-                    let policy = RetryPolicy::single(1);
-                    coin_gen_with_retry(ctx, &cfg, &mut wallet, policy)
-                }) as Behavior<M, _>
+        let machines: Vec<BoxedMachine<M, Out>> = wallets(n, t, 8, 110)
+            .into_iter()
+            .map(|w| {
+                Box::new(coin_gen_with_retry::<M, F>(cfg, w, policy).map(|(_, res)| res))
+                    as BoxedMachine<M, _>
             })
             .collect();
-        for out in run_network(n, 111, behaviors).unwrap_all() {
+        for out in StepRunner::new(n, 111).run(machines).unwrap_all() {
             assert_eq!(
                 out.unwrap_err(),
                 ProtocolError::SeedBudgetExceeded { spent: 0, budget: 1 }
@@ -198,20 +225,18 @@ mod tests {
         let cfg = CoinGenConfig { params: Params::p2p_model(n, t).unwrap(), batch_size: 4 };
         let ws = wallets(n, t, 5, 120);
         let plan = FaultPlan::explicit(n, vec![5, 6, 7]);
-        let behaviors = plan.behaviors::<M, Option<Result<RetryReport, ProtocolError>>>(
+        let machines = plan.machines::<M, Option<Result<RetryReport, ProtocolError>>>(
             |id| {
-                let mut wallet = ws[id - 1].clone();
-                Box::new(move |ctx| {
-                    let policy = RetryPolicy { max_attempts: 4, seed_budget: 4 };
-                    Some(
-                        coin_gen_with_retry(ctx, &cfg, &mut wallet, policy)
-                            .map(|(_, report)| report),
-                    )
-                })
+                let w = ws[id - 1].clone();
+                let policy = RetryPolicy { max_attempts: 4, seed_budget: 4 };
+                Box::new(
+                    coin_gen_with_retry::<M, F>(cfg, w, policy)
+                        .map(|(_, res)| Some(res.map(|(_, report)| report))),
+                )
             },
-            |_| Box::new(|_ctx| None),
+            |_| Box::new(from_fn(|_view: RoundView<'_, M>| Step::Done(None))),
         );
-        let res = run_network(n, 121, behaviors);
+        let res = StepRunner::new(n, 121).run(machines);
         let mut errors = Vec::new();
         for id in plan.honest() {
             let out = res.outputs[id - 1].clone().unwrap().unwrap();

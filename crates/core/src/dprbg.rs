@@ -11,10 +11,10 @@
 //! reservoir — the property bootstrapping (Fig. 1) relies on.
 
 use dprbg_field::Field;
-use dprbg_sim::{PartyCtx, PartyId};
+use dprbg_sim::{MachineExt, PartyId, RoundMachine};
 
 use crate::coin::CoinWallet;
-use crate::coin_gen::{coin_gen, CoinGenConfig, CoinGenWire};
+use crate::coin_gen::{CoinGenConfig, CoinGenMachine, CoinGenWire};
 use crate::errors::CoinGenError;
 
 /// Statistics of one D-PRBG expansion.
@@ -37,29 +37,30 @@ impl DprbgRun {
     }
 }
 
-/// Run the D-PRBG once: expand the distributed seed in `wallet` by `M`
-/// fresh sealed coins (appended to the wallet's back).
+/// A machine running the D-PRBG once: expand the distributed seed in
+/// `wallet` by `M` fresh sealed coins (appended to the wallet's back).
 ///
-/// All honest parties call this in the same round with consistent
-/// wallets.
-///
-/// # Errors
-///
-/// See [`crate::coin_gen::coin_gen`].
+/// All honest parties start this machine in the same round with
+/// consistent wallets; the output pairs the grown wallet with the run
+/// statistics. The error half of the output has the same failure modes
+/// as [`crate::coin_gen::CoinGenMachine`].
 pub fn dprbg_expand<M: CoinGenWire<F>, F: Field>(
-    ctx: &mut PartyCtx<M>,
-    cfg: &CoinGenConfig,
-    wallet: &mut CoinWallet<F>,
-) -> Result<DprbgRun, CoinGenError> {
-    let batch = coin_gen(ctx, cfg, wallet)?;
-    let run = DprbgRun {
-        coins_produced: batch.len(),
-        seeds_consumed: batch.seeds_consumed,
-        attempts: batch.attempts,
-        dealers: batch.dealers.clone(),
-    };
-    wallet.extend(batch.shares);
-    Ok(run)
+    cfg: CoinGenConfig,
+    wallet: CoinWallet<F>,
+) -> impl RoundMachine<M, Output = (CoinWallet<F>, Result<DprbgRun, CoinGenError>)> {
+    CoinGenMachine::new(cfg, wallet).map(|(mut wallet, res)| match res {
+        Err(e) => (wallet, Err(e)),
+        Ok(batch) => {
+            let run = DprbgRun {
+                coins_produced: batch.len(),
+                seeds_consumed: batch.seeds_consumed,
+                attempts: batch.attempts,
+                dealers: batch.dealers.clone(),
+            };
+            wallet.extend(batch.shares);
+            (wallet, Ok(run))
+        }
+    })
 }
 
 #[cfg(test)]
@@ -70,7 +71,7 @@ mod tests {
     use crate::dealer::TrustedDealer;
     use crate::params::Params;
     use dprbg_field::Gf2k;
-    use dprbg_sim::{run_network, Behavior};
+    use dprbg_sim::{BoxedMachine, StepRunner};
 
     type F = Gf2k<32>;
     type M = CoinGenMsg<F>;
@@ -81,22 +82,20 @@ mod tests {
         let t = 1;
         let params = Params::p2p_model(n, t).unwrap();
         let cfg = CoinGenConfig { params, batch_size: 16 };
-        let mut wallets = TrustedDealer::deal_wallets::<F>(params, 4, 3);
-        let behaviors: Vec<Behavior<M, Result<(usize, usize, DprbgRun), CoinGenError>>> = (0..n)
-            .map(|_| {
-                let mut w = wallets.remove(0);
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    let before = w.len();
-                    let run = dprbg_expand(ctx, &cfg, &mut w)?;
-                    Ok::<_, CoinGenError>((before, w.len(), run))
-                }) as Behavior<M, _>
+        let wallets = TrustedDealer::deal_wallets::<F>(params, 4, 3);
+        let machines: Vec<BoxedMachine<M, Result<(usize, DprbgRun), CoinGenError>>> = wallets
+            .into_iter()
+            .map(|w| {
+                Box::new(
+                    dprbg_expand::<M, F>(cfg, w)
+                        .map(|(w, res)| res.map(|run| (w.len(), run))),
+                ) as BoxedMachine<M, _>
             })
             .collect();
-        for out in run_network(n, 4, behaviors).unwrap_all() {
-            let (before, after, run) = out.unwrap();
-            assert_eq!(before, 4);
+        for out in StepRunner::new(n, 4).run(machines).unwrap_all() {
+            let (after, run) = out.unwrap();
             assert_eq!(run.coins_produced, 16);
-            assert_eq!(after, before - run.seeds_consumed + 16);
+            assert_eq!(after, 4 - run.seeds_consumed + 16);
             assert!(run.net_gain() > 0, "the generator must stretch the seed");
         }
     }
@@ -110,24 +109,25 @@ mod tests {
         let t = 1;
         let params = Params::p2p_model(n, t).unwrap();
         let cfg = CoinGenConfig { params, batch_size: 8 };
-        let mut wallets = TrustedDealer::deal_wallets::<F>(params, 2, 5);
-        let behaviors: Vec<Behavior<M, Result<(DprbgRun, DprbgRun), CoinGenError>>> = (0..n)
-            .map(|_| {
-                let mut w = wallets.remove(0);
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    let run1 = dprbg_expand(ctx, &cfg, &mut w)?;
-                    // Drop any leftover dealer-seeded coins so run 2 can
-                    // only draw generated ones.
-                    for _ in 0..(2usize.saturating_sub(run1.seeds_consumed)) {
-                        let _ = w.pop();
-                    }
-                    let run2 = dprbg_expand(ctx, &cfg, &mut w)?;
-                    Ok::<_, CoinGenError>((run1, run2))
-                }) as Behavior<M, _>
+        let wallets = TrustedDealer::deal_wallets::<F>(params, 2, 5);
+        let machines: Vec<BoxedMachine<M, (DprbgRun, DprbgRun)>> = wallets
+            .into_iter()
+            .map(|w| {
+                Box::new(dprbg_expand::<M, F>(cfg, w).then(
+                    move |(mut w, res): (CoinWallet<F>, Result<DprbgRun, CoinGenError>)| {
+                        let run1 = res.expect("run 1 succeeds");
+                        // Drop any leftover dealer-seeded coins so run 2
+                        // can only draw generated ones.
+                        for _ in 0..(2usize.saturating_sub(run1.seeds_consumed)) {
+                            let _ = w.pop();
+                        }
+                        dprbg_expand::<M, F>(cfg, w)
+                            .map(move |(_, res2)| (run1, res2.expect("run 2 succeeds")))
+                    },
+                )) as BoxedMachine<M, _>
             })
             .collect();
-        for out in run_network(n, 6, behaviors).unwrap_all() {
-            let (run1, run2) = out.unwrap();
+        for (run1, run2) in StepRunner::new(n, 6).run(machines).unwrap_all() {
             assert_eq!(run1.coins_produced, 8);
             assert_eq!(run2.coins_produced, 8);
         }

@@ -93,7 +93,7 @@ impl From<CoinError> for CoinGenError {
 /// [`CoinError`] and [`CoinGenError`] so callers can `?` across layers.
 ///
 /// The graceful-degradation paths ([`crate::coin_gen_with_retry`],
-/// [`crate::vss_verify_or_blame`]) all surface through this type: an
+/// [`crate::vss_dispute_or_blame`]) all surface through this type: an
 /// `Aborted` carries the parties the dispute protocol convicted, and a
 /// `SeedBudgetExceeded` records exactly how many wallet coins retries
 /// were allowed to burn before giving up.

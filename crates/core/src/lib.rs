@@ -19,6 +19,7 @@
 //! | Bootstrapping (Fig. 1, §1.2) | [`bootstrap`] |
 //! | Proactive share refresh (§1.2's mobile-adversary setting) | [`refresh`] |
 //! | Common-coin randomized BA (the §1.1 application) | [`app_ba`] |
+//! | Committee-sampled Coin-Gen for large `n` | [`committee`] |
 //! | Initial seed via trusted dealer / preprocessing (§1.2) | [`dealer`] |
 //!
 //! A **shared (sealed) coin** is a random field element `F(0)` of a
@@ -32,28 +33,34 @@
 //!
 //! # Quick start
 //!
+//! Every protocol is a [`dprbg_sim::RoundMachine`]: a sans-IO state
+//! machine advanced one synchronous round at a time by an executor
+//! ([`dprbg_sim::StepRunner`] single-threaded, [`dprbg_sim::ParRunner`]
+//! work-stealing — bit-identical outputs).
+//!
 //! ```
-//! use dprbg_core::{coin_gen, dealer::TrustedDealer, CoinGenConfig, CoinGenMsg, Params};
+//! use dprbg_core::{dealer::TrustedDealer, CoinGenConfig, CoinGenMachine, CoinGenMsg, Params};
 //! use dprbg_field::Gf2k;
-//! use dprbg_sim::{run_network, Behavior};
+//! use dprbg_sim::{BoxedMachine, MachineExt, StepRunner};
 //!
 //! type F = Gf2k<32>;
+//! type M = CoinGenMsg<F>;
 //! let params = Params::p2p_model(7, 1).unwrap();
+//! let cfg = CoinGenConfig { params, batch_size: 8 };
 //! // One-time setup: a trusted dealer seeds each party's wallet (§1.2).
-//! let mut wallets = TrustedDealer::deal_wallets::<F>(params, 4, 99);
-//! type Out = Result<usize, dprbg_core::CoinGenError>;
-//! let behaviors: Vec<Behavior<CoinGenMsg<F>, Out>> = (0..7)
-//!     .map(|_| {
-//!         let mut wallet = wallets.remove(0);
-//!         let cfg = CoinGenConfig { params, batch_size: 8 };
-//!         Box::new(move |ctx: &mut dprbg_sim::PartyCtx<CoinGenMsg<F>>| {
-//!             coin_gen(ctx, &cfg, &mut wallet).map(|batch| batch.len())
-//!         }) as Behavior<CoinGenMsg<F>, Out>
+//! let wallets = TrustedDealer::deal_wallets::<F>(params, 4, 99);
+//! // One machine per party, all driven in lock-step by the executor.
+//! let fleet: Vec<BoxedMachine<M, usize>> = wallets
+//!     .into_iter()
+//!     .map(|w| {
+//!         Box::new(
+//!             CoinGenMachine::new(cfg, w)
+//!                 .map(|(_, res)| res.expect("no faults injected").len()),
+//!         ) as BoxedMachine<M, usize>
 //!     })
 //!     .collect();
-//! let result = run_network(7, 7, behaviors);
-//! for out in result.unwrap_all() {
-//!     assert_eq!(out.unwrap(), 8); // everyone sealed 8 fresh coins
+//! for sealed in StepRunner::new(7, 7).run(fleet).unwrap_all() {
+//!     assert_eq!(sealed, 8); // everyone sealed 8 fresh coins
 //! }
 //! ```
 
@@ -63,6 +70,7 @@ pub mod bit_gen;
 pub mod bootstrap;
 pub mod coin;
 pub mod coin_gen;
+pub mod committee;
 pub mod dealer;
 pub mod degrade;
 pub mod dprbg;
@@ -74,28 +82,28 @@ pub mod vss_dispute;
 
 pub use app_ba::{common_coin_ba, CcbaOutcome, CcbaVote};
 pub use batch_vss::{
-    batch_vss_deal, batch_vss_verify, horner_combine, BatchOpts, BatchShares,
-    BatchVssDealMachine, BatchVssMsg, BatchVssVerifyMachine,
+    horner_combine, BatchOpts, BatchShares, BatchVssDealMachine, BatchVssMsg,
+    BatchVssVerifyMachine,
 };
-pub use bit_gen::{
-    bit_gen_all, bit_gen_all_with, BitGenMachine, BitGenMode, BitGenMsg, BitGenRun, DealerView,
-};
+pub use bit_gen::{BitGenMachine, BitGenMode, BitGenMsg, BitGenRun, DealerView};
 pub use bootstrap::{Bootstrap, BootstrapConfig, BootstrapStats};
-pub use coin::{
-    coin_expose, decode_coin, CoinWallet, ExposeMachine, ExposeMsg, ExposeVia, SealedShare,
-};
+pub use coin::{decode_coin, CoinWallet, ExposeMachine, ExposeMsg, ExposeVia, SealedShare};
 pub use coin_gen::{
-    coin_gen, CliqueAnnounce, CoinBatch, CoinGenConfig, CoinGenMachine, CoinGenMsg, CoinGenWire,
+    CliqueAnnounce, CoinBatch, CoinGenConfig, CoinGenMachine, CoinGenMsg, CoinGenWire,
+};
+pub use committee::{
+    committee_soundness_error, committee_threshold, elect_committee, CoinReport, CommitteeCoin,
+    CommitteeError, CommitteeMsg,
 };
 pub use dealer::{preprocessing_seed, TrustedDealer};
 pub use degrade::{coin_gen_with_retry, RetryPolicy, RetryReport, MIN_SEEDS_PER_ATTEMPT};
 pub use dprbg::{dprbg_expand, DprbgRun};
 pub use errors::{CoinError, CoinGenError, ProtocolError};
 pub use params::Params;
-pub use refresh::{refresh_wallet, RefreshMachine, RefreshReport};
+pub use refresh::{RefreshMachine, RefreshReport};
 pub use vss::{
-    vss, vss_deal, vss_verify, DealtShares, VssMode, VssMsg, VssVerdict, VssVerifyMachine,
+    vss_machine, DealtShares, VssDealMachine, VssMode, VssMsg, VssVerdict, VssVerifyMachine,
 };
 pub use vss_dispute::{
-    vss_verify_or_blame, vss_verify_with_disputes, DisputeOutcome, DisputeVssMsg,
+    vss_dispute_or_blame, DisputeOutcome, DisputeVssMsg, VssDisputeMachine,
 };

@@ -13,7 +13,7 @@
 //! **zero** — the coin values are untouched, but shares from different
 //! epochs become mutually useless.
 //!
-//! [`refresh_wallet`] is exactly the paper's machinery "adapted to this
+//! [`RefreshMachine`] is exactly the paper's machinery "adapted to this
 //! scenario": every party runs Bit-Gen in [`BitGenMode::ZeroRefresh`]
 //! (dealing `W` zero-polynomials, one per wallet coin; acceptance
 //! additionally checks the combination vanishes at the origin, so a
@@ -30,11 +30,11 @@ use std::mem;
 use dprbg_field::Field;
 use dprbg_metrics::WireSize;
 use dprbg_protocols::BaMsg;
-use dprbg_sim::{drive_blocking, Embeds, PartyCtx, PartyId, RoundMachine, RoundView, Step};
+use dprbg_sim::{Embeds, PartyId, RoundMachine, RoundView, Step};
 
 use crate::bit_gen::{BitGenMachine, BitGenMode, BitGenMsg};
 use crate::coin::{CoinWallet, ExposeMsg, SealedShare};
-use crate::coin_gen::{AgreeMachine, CliqueAnnounce, CoinGenConfig, CoinGenWire};
+use crate::coin_gen::{AgreeMachine, CliqueAnnounce, CoinGenConfig};
 use crate::errors::CoinGenError;
 use crate::params::Params;
 use dprbg_protocols::GcMsg;
@@ -52,33 +52,19 @@ pub struct RefreshReport {
     pub seeds_consumed: usize,
 }
 
-/// Re-randomize every sealed share in `wallet` (§1.2 proactive setting).
-///
-/// All honest parties call this in the same round with wallets of the
-/// same length. Consumes `1 + attempts` coins from the wallet to drive
-/// the protocol (those are spent, not refreshed); every remaining coin's
-/// *value* is preserved while its shares are replaced. A party whose
-/// zero-shares fail the fit check keeps `SealedShare::absent()` for the
-/// epoch (it still learns coins from the other parties' exposes).
-///
-/// # Errors
-///
-/// Same failure modes as [`crate::coin_gen::coin_gen`].
-pub fn refresh_wallet<M: CoinGenWire<F>, F: Field>(
-    ctx: &mut PartyCtx<M>,
-    cfg: &CoinGenConfig,
-    wallet: &mut CoinWallet<F>,
-) -> Result<RefreshReport, CoinGenError> {
-    let owned = mem::take(wallet);
-    let (rest, res) = drive_blocking(ctx, RefreshMachine::new(*cfg, owned));
-    *wallet = rest;
-    res
-}
-
 /// The proactive refresh as a sans-IO round machine: Bit-Gen in
 /// [`BitGenMode::ZeroRefresh`] followed by the dealer agreement
 /// (`AgreeMachine`), with the zero-maskings folded into the surviving
 /// wallet coins at the end.
+///
+/// Every honest party runs this machine in the same round with wallets
+/// of the same length. The run consumes `1 + attempts` coins from the
+/// wallet to drive the protocol (those are spent, not refreshed); every
+/// remaining coin's *value* is preserved while its shares are replaced.
+/// A party whose zero-shares fail the fit check keeps
+/// [`SealedShare::absent()`] for the epoch (it still learns coins from
+/// the other parties' exposes). The error half of the output has the
+/// same failure modes as [`crate::coin_gen::CoinGenMachine`].
 pub struct RefreshMachine<M, F: Field> {
     params: Params,
     stage: RfStage<M, F>,
@@ -246,13 +232,13 @@ where
 #[allow(clippy::type_complexity)]
 mod tests {
     use super::*;
-    use crate::bit_gen::bit_gen_all_with;
-    use crate::coin::{coin_expose, decode_coin, ExposeVia};
+    use crate::coin::{decode_coin, ExposeMachine, ExposeVia};
     use crate::coin_gen::CoinGenMsg;
     use crate::dealer::TrustedDealer;
+    use crate::errors::CoinError;
     use dprbg_field::Gf2k;
     use dprbg_poly::bw_decode;
-    use dprbg_sim::{run_network, Behavior, FaultPlan};
+    use dprbg_sim::{looping, BoxedMachine, FaultPlan, LoopControl, MachineExt, StepRunner};
 
     type F = Gf2k<32>;
     type M = CoinGenMsg<F>;
@@ -264,45 +250,59 @@ mod tests {
         }
     }
 
+    /// Expose every coin left in `w`, one round-trip per coin, collecting
+    /// the decoded values in order.
+    fn expose_all(
+        w: CoinWallet<F>,
+        report: RefreshReport,
+        t: usize,
+    ) -> impl RoundMachine<M, Output = (RefreshReport, Vec<F>)> {
+        looping((w, report, Vec::new()), move |(mut w, report, vals)| match w.pop() {
+            Err(_) => LoopControl::Break((report, vals)),
+            Ok(s) => LoopControl::Continue(Box::new(
+                ExposeMachine::new(s, t, ExposeVia::PointToPoint).map(
+                    move |r: Result<F, CoinError>| {
+                        let mut vals = vals;
+                        vals.push(r.expect("expose succeeds"));
+                        (w, report, vals)
+                    },
+                ),
+            )),
+        })
+    }
+
+    /// Refresh, then expose every surviving coin to check the values.
+    fn refresh_then_expose(
+        c: CoinGenConfig,
+        wallet: CoinWallet<F>,
+        t: usize,
+    ) -> BoxedMachine<M, (RefreshReport, Vec<F>)> {
+        Box::new(RefreshMachine::new(c, wallet).then(
+            move |(w, res): (CoinWallet<F>, Result<RefreshReport, CoinGenError>)| {
+                expose_all(w, res.expect("refresh succeeds"), t)
+            },
+        ))
+    }
+
     #[test]
     fn values_preserved_shares_changed() {
         let n = 7;
         let t = 1;
         let c = cfg(n, t);
-        let (mut wallets, values) =
+        let (wallets, values) =
             TrustedDealer::deal_wallets_with_values::<F>(c.params, 8, 5);
-        let old_wallets = wallets.clone();
-        let behaviors: Vec<Behavior<M, (CoinWallet<F>, RefreshReport, Vec<F>)>> = (1..=n)
-            .map(|_| {
-                let mut w = wallets.remove(0);
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    let report = refresh_wallet(ctx, &c, &mut w).expect("refresh succeeds");
-                    // Expose every refreshed coin to check the values.
-                    let survivors = w.len();
-                    let mut vals = Vec::new();
-                    for _ in 0..survivors {
-                        let s = w.pop().unwrap();
-                        vals.push(
-                            coin_expose(ctx, s, 1, ExposeVia::PointToPoint).unwrap(),
-                        );
-                    }
-                    (w, report, vals)
-                }) as Behavior<M, _>
-            })
-            .collect();
-        let outs = run_network(n, 6, behaviors).unwrap_all();
-        let (_, report, vals) = &outs[0];
+        let machines: Vec<BoxedMachine<M, (RefreshReport, Vec<F>)>> =
+            wallets.into_iter().map(|w| refresh_then_expose(c, w, t)).collect();
+        let outs = StepRunner::new(n, 6).run(machines).unwrap_all();
+        let (report, vals) = &outs[0];
         assert_eq!(report.seeds_consumed, 2);
         assert_eq!(report.coins_refreshed, 6); // 8 dealt − 2 consumed
         // The exposed values equal the original dealer values, shifted by
         // the 2 consumed coins.
         assert_eq!(vals.as_slice(), &values[2..]);
-        for (_, _, v) in &outs {
+        for (_, v) in &outs {
             assert_eq!(v, vals, "unanimity after refresh");
         }
-        // And the shares actually changed (probability of collision
-        // ~ 2^-32 per share).
-        let _ = old_wallets;
     }
 
     #[test]
@@ -313,7 +313,7 @@ mod tests {
         let n = 7;
         let t = 1;
         let c = cfg(n, t);
-        let (mut wallets, values) =
+        let (wallets, values) =
             TrustedDealer::deal_wallets_with_values::<F>(c.params, 4, 9);
         let pre_refresh: Vec<Option<F>> = wallets
             .iter()
@@ -325,19 +325,18 @@ mod tests {
                 copy.pop().unwrap().sigma
             })
             .collect();
-        let behaviors: Vec<Behavior<M, Option<F>>> = (1..=n)
-            .map(|_| {
-                let mut w = wallets.remove(0);
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    refresh_wallet(ctx, &c, &mut w).ok()?;
-                    w.pop().ok()?.sigma
-                }) as Behavior<M, _>
+        let machines: Vec<BoxedMachine<M, Option<F>>> = wallets
+            .into_iter()
+            .map(|w| {
+                Box::new(RefreshMachine::new(c, w).map(
+                    |(mut w, res): (CoinWallet<F>, Result<RefreshReport, CoinGenError>)| {
+                        res.ok()?;
+                        w.pop().ok()?.sigma
+                    },
+                )) as BoxedMachine<M, _>
             })
             .collect();
-        let post: Vec<Option<F>> = run_network(n, 10, behaviors)
-            .unwrap_all()
-            .into_iter()
-            .collect();
+        let post: Vec<Option<F>> = StepRunner::new(n, 10).run(machines).unwrap_all();
 
         // Post-refresh shares alone reconstruct the original value.
         let post_pts: Vec<(F, F)> = post
@@ -370,48 +369,41 @@ mod tests {
         let t = 1;
         let c = cfg(n, t);
         let plan = FaultPlan::explicit(n, vec![3]);
-        let (mut wallets, values) =
-            TrustedDealer::deal_wallets_with_values::<F>(c.params, 5, 11);
-        let all: Vec<CoinWallet<F>> = (0..n).map(|_| wallets.remove(0)).collect();
-        let behaviors = plan.behaviors::<M, Option<(usize, Vec<F>)>>(
+        let (all, values) = TrustedDealer::deal_wallets_with_values::<F>(c.params, 5, 11);
+        let machines = plan.machines::<M, Option<(usize, Vec<F>)>>(
             |id| {
-                let mut w = all[id - 1].clone();
-                Box::new(move |ctx| {
-                    let report = refresh_wallet(ctx, &c, &mut w).ok()?;
-                    // The value-shifting dealer must not be in the set.
-                    assert!(!report.dealers.contains(&3));
-                    let mut vals = Vec::new();
-                    for _ in 0..w.len() {
-                        let s = w.pop().unwrap();
-                        vals.push(coin_expose(ctx, s, 1, ExposeVia::PointToPoint).ok()?);
-                    }
-                    Some((report.seeds_consumed, vals))
-                })
+                let w = all[id - 1].clone();
+                Box::new(
+                    RefreshMachine::new(c, w)
+                        .then(
+                            move |(w, res): (
+                                CoinWallet<F>,
+                                Result<RefreshReport, CoinGenError>,
+                            )| {
+                                let report = res.expect("refresh succeeds");
+                                // The value-shifting dealer must not be in
+                                // the set.
+                                assert!(!report.dealers.contains(&3));
+                                expose_all(w, report, 1)
+                            },
+                        )
+                        .map(|(report, vals)| Some((report.seeds_consumed, vals))),
+                )
             },
             |_| {
+                // Run the honest protocol but with RandomCoins mode: i.e.
+                // deal *random* (value-shifting) polynomials in the
+                // refresh. Then vanish.
                 let mut w = all[2].clone();
-                let _c = c;
-                Box::new(move |ctx| {
-                    // Run the honest protocol but with RandomCoins mode:
-                    // i.e. deal *random* (value-shifting) polynomials in
-                    // the refresh.
-                    let r_coin = w.pop().ok()?;
-                    let dealers: Vec<PartyId> = (1..=ctx.n()).collect();
-                    let _ = bit_gen_all_with::<M, F>(
-                        ctx,
-                        1,
-                        4,
-                        r_coin,
-                        &dealers,
-                        BitGenMode::RandomCoins,
-                    )
-                    .ok()?;
-                    // Then vanish.
-                    None
-                })
+                let r_coin = w.pop().expect("wallet not empty");
+                let dealers: Vec<PartyId> = (1..=n).collect();
+                Box::new(
+                    BitGenMachine::<M, F>::new(1, 4, r_coin, dealers, BitGenMode::RandomCoins)
+                        .map(|_| None),
+                )
             },
         );
-        let res = run_network(n, 12, behaviors);
+        let res = StepRunner::new(n, 12).run(machines);
         // How many seed coins the agreement burned is execution-dependent
         // (the leader coin can keep electing the crashed party, Lemma 8
         // only bounds the *expected* attempts); the survivors must equal
@@ -442,15 +434,15 @@ mod tests {
         let n = 7;
         let t = 1;
         let c = cfg(n, t);
-        let behaviors: Vec<Behavior<M, Option<CoinGenError>>> = (0..n)
+        let machines: Vec<BoxedMachine<M, Option<CoinGenError>>> = (0..n)
             .map(|_| {
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    let mut w = CoinWallet::<F>::new();
-                    refresh_wallet(ctx, &c, &mut w).err()
-                }) as Behavior<M, _>
+                Box::new(
+                    RefreshMachine::new(c, CoinWallet::<F>::new())
+                        .map(|(_, res): (CoinWallet<F>, _)| res.err()),
+                ) as BoxedMachine<M, _>
             })
             .collect();
-        for out in run_network(n, 13, behaviors).unwrap_all() {
+        for out in StepRunner::new(n, 13).run(machines).unwrap_all() {
             assert_eq!(out, Some(CoinGenError::SeedExhausted));
         }
     }

@@ -33,7 +33,7 @@ use std::mem;
 use dprbg_field::Field;
 use dprbg_metrics::WireSize;
 use dprbg_poly::{bw_decode, interpolate, share_points, share_polynomial, Poly};
-use dprbg_sim::{drive_blocking, Embeds, PartyCtx, PartyId, RoundMachine, RoundView, Step};
+use dprbg_sim::{Embeds, MachineExt, PartyId, RoundMachine, RoundView, Step};
 use dprbg_rng::Rng;
 
 use crate::coin::{ExposeMachine, ExposeMsg, ExposeVia, SealedShare};
@@ -107,82 +107,102 @@ pub enum VssMode {
     Robust,
 }
 
-/// Dealing round (the "Given" of Fig. 2 plus its step 1).
+/// The dealing round (the "Given" of Fig. 2 plus its step 1) as a
+/// sans-IO round machine: one `Continue` (the dealer's shares), then
+/// `Done` with `(my shares, dealer polynomials if dealer)`.
 ///
-/// If `secret_if_dealer` is `Some` *and* this party is `dealer`, it acts
-/// as the dealer `D`:
-/// it samples the secret polynomial `f` (with `f(0)` = the secret) and
-/// the masking polynomial `g`, and privately sends `(f(i), g(i))` to each
-/// player. Everyone returns their received shares (zeros if the dealer
-/// stayed silent — a silent dealer is rejected later with certainty).
-///
-/// Takes one round. Returns `(my shares, dealer polynomials if dealer)`.
-#[allow(clippy::type_complexity)]
-pub fn vss_deal<M, F>(
-    ctx: &mut PartyCtx<M>,
+/// If the machine was built with a secret *and* this party is `dealer`,
+/// it acts as the dealer `D`: it samples the secret polynomial `f` (with
+/// `f(0)` = the secret) and the masking polynomial `g`, and privately
+/// sends `(f(i), g(i))` to each player. Everyone outputs their received
+/// shares (zeros if the dealer stayed silent — a silent dealer is
+/// rejected later with certainty).
+pub struct VssDealMachine<M, F: Field> {
     dealer: PartyId,
-    secret_if_dealer: Option<F>,
+    secret: Option<F>,
     t: usize,
-) -> (DealtShares<F>, Option<(Poly<F>, Poly<F>)>)
-where
-    M: Clone + Send + WireSize + Embeds<ExposeMsg<F>> + Embeds<VssMsg<F>> + 'static,
-    F: Field,
-{
-    let mut dealt = None;
-    if let (true, Some(secret)) = (ctx.id() == dealer, secret_if_dealer) {
-        let f = share_polynomial(secret, t, ctx.rng());
-        let g = Poly::random(t, ctx.rng());
-        let n = ctx.n();
-        for (i, (fs, gs)) in share_points(&f, n)
-            .into_iter()
-            .zip(share_points(&g, n))
-            .enumerate()
-        {
-            ctx.send(
-                i + 1,
-                <M as Embeds<VssMsg<F>>>::wrap(VssMsg::Deal { alpha: fs.y, gamma: gs.y }),
-            );
+    dealt: Option<(Poly<F>, Poly<F>)>,
+    sent: bool,
+    _wire: std::marker::PhantomData<fn() -> M>,
+}
+
+impl<M, F: Field> VssDealMachine<M, F> {
+    /// A machine for `dealer`'s sharing; `secret_if_dealer` must be
+    /// `Some` only at the dealer itself.
+    pub fn new(dealer: PartyId, secret_if_dealer: Option<F>, t: usize) -> Self {
+        VssDealMachine {
+            dealer,
+            secret: secret_if_dealer,
+            t,
+            dealt: None,
+            sent: false,
+            _wire: std::marker::PhantomData,
         }
-        dealt = Some((f, g));
     }
-    let inbox = ctx.next_round();
-    let shares = inbox
-        .first_from(dealer)
-        .and_then(|r| <M as Embeds<VssMsg<F>>>::peek(&r.msg))
-        .and_then(|m| match m {
-            VssMsg::Deal { alpha, gamma } => Some(DealtShares { alpha: *alpha, gamma: *gamma }),
-            _ => None,
-        })
-        .unwrap_or_default();
-    (shares, dealt)
 }
 
-/// Steps 2–4 of Fig. 2: the verification proper.
-///
-/// Consumes one sealed challenge coin. Takes 2 rounds (coin expose +
-/// broadcast of `β_i`), plus the two interpolations of Lemma 2.
-///
-/// # Errors
-///
-/// Propagates [`CoinError`] if the challenge coin cannot be exposed.
-pub fn vss_verify<M, F>(
-    ctx: &mut PartyCtx<M>,
-    t: usize,
-    shares: DealtShares<F>,
-    coin: SealedShare<F>,
-    mode: VssMode,
-) -> Result<VssVerdict, CoinError>
+impl<M, F> RoundMachine<M> for VssDealMachine<M, F>
 where
-    M: Clone + Send + WireSize + Embeds<ExposeMsg<F>> + Embeds<VssMsg<F>> + 'static,
+    M: Clone + WireSize + Embeds<VssMsg<F>>,
     F: Field,
 {
-    drive_blocking(ctx, VssVerifyMachine::new(t, shares, coin, mode))
+    type Output = (DealtShares<F>, Option<(Poly<F>, Poly<F>)>);
+
+    fn round(&mut self, view: RoundView<'_, M>) -> Step<M, Self::Output> {
+        if !self.sent {
+            self.sent = true;
+            let mut out = view.outbox();
+            if view.id == self.dealer {
+                if let Some(secret) = self.secret.take() {
+                    let f = share_polynomial(secret, self.t, view.rng);
+                    let g = Poly::random(self.t, view.rng);
+                    for (i, (fs, gs)) in share_points(&f, view.n)
+                        .into_iter()
+                        .zip(share_points(&g, view.n))
+                        .enumerate()
+                    {
+                        out.send(
+                            i + 1,
+                            <M as Embeds<VssMsg<F>>>::wrap(VssMsg::Deal {
+                                alpha: fs.y,
+                                gamma: gs.y,
+                            }),
+                        );
+                    }
+                    self.dealt = Some((f, g));
+                }
+            }
+            return Step::Continue(out);
+        }
+        let shares = view
+            .inbox
+            .first_from(self.dealer)
+            .and_then(|r| <M as Embeds<VssMsg<F>>>::peek(&r.msg))
+            .and_then(|m| match m {
+                VssMsg::Deal { alpha, gamma } => {
+                    Some(DealtShares { alpha: *alpha, gamma: *gamma })
+                }
+                _ => None,
+            })
+            .unwrap_or_default();
+        Step::Done((shares, self.dealt.take()))
+    }
+
+    fn phase_name(&self) -> &'static str {
+        if self.sent {
+            "vss/record"
+        } else {
+            "vss/deal"
+        }
+    }
 }
 
-/// Fig. 2's verification as a sans-IO round machine: the challenge
-/// expose (an embedded [`ExposeMachine`] over the broadcast channel),
-/// the blinded-share broadcast, then the interpolation verdict —
-/// 2 rounds.
+/// Steps 2–4 of Fig. 2 (the verification proper) as a sans-IO round
+/// machine: the challenge expose (an embedded [`ExposeMachine`] over the
+/// broadcast channel), the blinded-share broadcast, then the
+/// interpolation verdict — 2 rounds, plus the two interpolations of
+/// Lemma 2. Consumes one sealed challenge coin; the output propagates
+/// [`CoinError`] if the challenge coin cannot be exposed.
 pub struct VssVerifyMachine<M, F: Field> {
     t: usize,
     shares: DealtShares<F>,
@@ -284,26 +304,26 @@ fn judge<F: Field>(points: &[(F, F)], n: usize, t: usize, mode: VssMode) -> VssV
     }
 }
 
-/// The complete protocol: dealing + verification, 3 rounds.
-///
-/// # Errors
-///
-/// Propagates [`CoinError`] from the challenge expose.
-pub fn vss<M, F>(
-    ctx: &mut PartyCtx<M>,
+/// The complete protocol — dealing + verification, 3 rounds — composed
+/// from [`VssDealMachine`] and [`VssVerifyMachine`] with
+/// [`MachineExt::then`]. The output carries the verdict together with the
+/// shares this party now holds, and propagates [`CoinError`] from the
+/// challenge expose.
+pub fn vss_machine<M, F>(
     dealer: PartyId,
     secret_if_dealer: Option<F>,
     t: usize,
     coin: SealedShare<F>,
     mode: VssMode,
-) -> Result<(VssVerdict, DealtShares<F>), CoinError>
+) -> impl RoundMachine<M, Output = Result<(VssVerdict, DealtShares<F>), CoinError>>
 where
     M: Clone + Send + WireSize + Embeds<ExposeMsg<F>> + Embeds<VssMsg<F>> + 'static,
     F: Field,
 {
-    let (shares, _) = vss_deal(ctx, dealer, secret_if_dealer, t);
-    let verdict = vss_verify(ctx, t, shares, coin, mode)?;
-    Ok((verdict, shares))
+    VssDealMachine::new(dealer, secret_if_dealer, t).then(move |(shares, _)| {
+        VssVerifyMachine::new(t, shares, coin, mode)
+            .map(move |res| res.map(|verdict| (verdict, shares)))
+    })
 }
 
 /// A cheating dealer's strategy used by soundness tests and the E6
@@ -330,12 +350,11 @@ pub fn cheating_high_degree_deal<F: Field, R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::coin::coin_expose;
     use dprbg_field::Gf2k;
     use dprbg_poly::{share_points as sp, share_polynomial as spoly};
-    use dprbg_sim::{run_network, Behavior, FaultPlan};
     use dprbg_rng::rngs::StdRng;
     use dprbg_rng::SeedableRng;
+    use dprbg_sim::{from_fn, BoxedMachine, FaultPlan, StepRunner};
 
     type F = Gf2k<32>;
     type M = VssMsg<F>;
@@ -353,16 +372,15 @@ mod tests {
         mode: VssMode,
     ) -> Vec<Result<(VssVerdict, DealtShares<F>), CoinError>> {
         let coins = coin_shares(n, t, seed.wrapping_add(1000));
-        let behaviors: Vec<Behavior<M, _>> = (1..=n)
-            .map(|id| {
-                let coin = coins[id - 1];
-                Box::new(move |ctx: &mut PartyCtx<M>| {
+        let fleet: Vec<BoxedMachine<M, Result<(VssVerdict, DealtShares<F>), CoinError>>> =
+            (1..=n)
+                .map(|id| {
                     let secret = (id == 1).then(|| F::from_u64(0xC0FFEE));
-                    vss(ctx, 1, secret, t, coin, mode)
-                }) as Behavior<M, _>
-            })
-            .collect();
-        run_network(n, seed, behaviors).unwrap_all()
+                    Box::new(vss_machine(1, secret, t, coins[id - 1], mode))
+                        as BoxedMachine<M, _>
+                })
+                .collect();
+        StepRunner::new(n, seed).run(fleet).unwrap_all()
     }
 
     #[test]
@@ -402,19 +420,17 @@ mod tests {
         let coins = coin_shares(n, t, 42);
         let mut rng = StdRng::seed_from_u64(43);
         let (bad_shares, _, _) = cheating_high_degree_deal::<F, _>(n, t, t + 2, &mut rng);
-        let behaviors: Vec<Behavior<M, Result<VssVerdict, CoinError>>> = (1..=n)
+        // Dealing already happened out-of-band (cheating dealer); every
+        // party verifies directly.
+        let fleet: Vec<BoxedMachine<M, Result<VssVerdict, CoinError>>> = (1..=n)
             .map(|id| {
                 let coin = coins[id - 1];
                 let share = bad_shares[id - 1];
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    // Dealing already happened out-of-band (cheating dealer);
-                    // burn the dealing round to stay in lock-step.
-                    let _ = ctx.next_round();
-                    vss_verify(ctx, t, share, coin, VssMode::Strict)
-                }) as Behavior<M, _>
+                Box::new(VssVerifyMachine::new(t, share, coin, VssMode::Strict))
+                    as BoxedMachine<M, _>
             })
             .collect();
-        for out in run_network(n, 44, behaviors).unwrap_all() {
+        for out in StepRunner::new(n, 44).run(fleet).unwrap_all() {
             assert_eq!(out.unwrap(), VssVerdict::Reject);
         }
     }
@@ -424,20 +440,23 @@ mod tests {
         let n = 4;
         let t = 1;
         let coins = coin_shares(n, t, 50);
-        let behaviors: Vec<Behavior<M, _>> = (1..=n)
+        let fleet: Vec<BoxedMachine<M, Result<VssVerdict, CoinError>>> = (1..=n)
             .map(|id| {
                 let coin = coins[id - 1];
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    if ctx.id() == 1 {
-                        // Dealer crashes before dealing.
-                        return Ok(VssVerdict::Reject);
-                    }
-                    let (shares, _) = vss_deal::<M, F>(ctx, 1, None, t);
-                    vss_verify(ctx, t, shares, coin, VssMode::Strict)
-                }) as Behavior<M, _>
+                if id == 1 {
+                    // Dealer crashes before dealing.
+                    Box::new(from_fn(|_view: RoundView<'_, M>| {
+                        Step::Done(Ok(VssVerdict::Reject))
+                    })) as BoxedMachine<M, _>
+                } else {
+                    Box::new(
+                        vss_machine(1, None, t, coin, VssMode::Strict)
+                            .map(|res| res.map(|(v, _)| v)),
+                    )
+                }
             })
             .collect();
-        let res = run_network(n, 51, behaviors);
+        let res = StepRunner::new(n, 51).run(fleet);
         for id in 2..=n {
             assert_eq!(res.outputs[id - 1], Some(Ok(VssVerdict::Reject)));
         }
@@ -453,26 +472,40 @@ mod tests {
         {
             let coins = coin_shares(n, t, 60);
             let plan = FaultPlan::explicit(n, vec![5]);
-            let behaviors = plan.behaviors::<M, Option<VssVerdict>>(
+            let fleet = plan.machines::<M, Option<VssVerdict>>(
                 |id| {
                     let coin = coins[id - 1];
-                    Box::new(move |ctx| {
-                        let secret = (ctx.id() == 1).then(|| F::from_u64(7));
-                        vss(ctx, 1, secret, t, coin, mode).ok().map(|(v, _)| v)
-                    })
+                    let secret = (id == 1).then(|| F::from_u64(7));
+                    Box::new(
+                        vss_machine(1, secret, t, coin, mode)
+                            .map(|res| res.ok().map(|(v, _)| v)),
+                    )
                 },
                 |id| {
                     let coin = coins[id - 1];
-                    Box::new(move |ctx| {
-                        let (_, _) = vss_deal::<M, F>(ctx, 1, None, t);
-                        let _ = coin_expose(ctx, coin, t, ExposeVia::Broadcast);
-                        ctx.broadcast(VssMsg::Beta(F::from_u64(0xBAD)));
-                        let _ = ctx.next_round();
-                        None
-                    })
+                    Box::new(from_fn(move |view: RoundView<'_, M>| {
+                        let mut out = view.outbox();
+                        match view.round {
+                            // Sit out the dealing round.
+                            0 => Step::Continue(out),
+                            1 => {
+                                // Expose the challenge honestly…
+                                if let Some(sigma) = coin.sigma {
+                                    out.broadcast(VssMsg::Expose(ExposeMsg(sigma)));
+                                }
+                                Step::Continue(out)
+                            }
+                            2 => {
+                                // …then broadcast a garbage β.
+                                out.broadcast(VssMsg::Beta(F::from_u64(0xBAD)));
+                                Step::Continue(out)
+                            }
+                            _ => Step::Done(None),
+                        }
+                    }))
                 },
             );
-            let res = run_network(n, 61, behaviors);
+            let res = StepRunner::new(n, 61).run(fleet);
             for id in plan.honest() {
                 assert_eq!(
                     res.outputs[id - 1],
@@ -493,19 +526,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(71);
         let f = spoly(F::from_u64(5), t, &mut rng);
         let g = dprbg_poly::Poly::random(t, &mut rng);
-        let behaviors: Vec<Behavior<M, Result<VssVerdict, CoinError>>> = (1..=n)
+        let fleet: Vec<BoxedMachine<M, Result<VssVerdict, CoinError>>> = (1..=n)
             .map(|id| {
                 let coin = coins[id - 1];
                 let shares = DealtShares {
                     alpha: f.eval(F::element(id as u64)),
                     gamma: g.eval(F::element(id as u64)),
                 };
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    vss_verify(ctx, t, shares, coin, VssMode::Strict)
-                }) as Behavior<M, _>
+                Box::new(VssVerifyMachine::new(t, shares, coin, VssMode::Strict))
+                    as BoxedMachine<M, _>
             })
             .collect();
-        let res = run_network(n, 72, behaviors);
+        let res = StepRunner::new(n, 72).run(fleet);
         assert_eq!(res.report.comm.rounds, 2);
         assert_eq!(res.report.comm.messages as usize, 2 * n);
         assert_eq!(res.report.comm.bytes as usize, 2 * n * 4); // k = 32 bits

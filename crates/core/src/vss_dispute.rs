@@ -31,12 +31,14 @@
 //! positions' shares become public, which is inherent to any complaint
 //! mechanism (only provably-misbehaving positions are opened).
 
+use std::mem;
+
 use dprbg_field::Field;
 use dprbg_metrics::WireSize;
 use dprbg_poly::{bw_decode, Poly};
-use dprbg_sim::{Embeds, PartyCtx, PartyId};
+use dprbg_sim::{Embeds, MachineExt, PartyId, RoundMachine, RoundView, Step};
 
-use crate::coin::{coin_expose, ExposeMsg, ExposeVia, SealedShare};
+use crate::coin::{ExposeMachine, ExposeMsg, ExposeVia, SealedShare};
 use crate::errors::{CoinError, ProtocolError};
 use crate::vss::{DealtShares, VssVerdict};
 
@@ -94,169 +96,256 @@ pub struct DisputeOutcome<F: Field> {
     pub opened: Vec<PartyId>,
 }
 
-/// Dispute-resolving verification: Fig. 2 steps 2–4 plus the second
-/// broadcast round of §3.1's remark. 3 rounds; consumes one challenge
-/// coin. The dealing must already have happened ([`crate::vss::vss_deal`]
-/// semantics; pass the dealer's polynomials when this party dealt so it
-/// can answer disputes).
+/// Dispute-resolving verification — Fig. 2 steps 2–4 plus the second
+/// broadcast round of §3.1's remark — as a sans-IO round machine.
+/// 3 rounds; consumes one challenge coin. The dealing must already have
+/// happened ([`crate::vss::VssDealMachine`] semantics; pass the dealer's
+/// polynomials when this party dealt so it can answer disputes).
 ///
-/// # Errors
-///
-/// Propagates [`CoinError`] from the challenge expose.
-#[allow(clippy::type_complexity)]
-pub fn vss_verify_with_disputes<M, F>(
-    ctx: &mut PartyCtx<M>,
+/// Every path through the protocol takes the same number of rounds (a
+/// disqualified dealer still burns the dispute round) so fleets of these
+/// machines stay in lock-step regardless of verdict. The output
+/// propagates [`CoinError`] from the challenge expose.
+pub struct VssDisputeMachine<M, F: Field> {
     dealer: PartyId,
-    dealer_polys: Option<&(Poly<F>, Poly<F>)>,
+    dealer_polys: Option<(Poly<F>, Poly<F>)>,
     t: usize,
     shares: DealtShares<F>,
-    coin: SealedShare<F>,
-) -> Result<DisputeOutcome<F>, CoinError>
-where
-    M: Clone + Send + WireSize + Embeds<ExposeMsg<F>> + Embeds<DisputeVssMsg<F>> + 'static,
-    F: Field,
-{
-    let n = ctx.n();
-    let me = ctx.id();
-
-    // Fig. 2 step 2: the public random challenge.
-    let r = coin_expose(ctx, coin, t, ExposeVia::Broadcast)?;
-
-    // Step 3: broadcast β_i.
-    let beta = shares.alpha + r * shares.gamma;
-    ctx.broadcast(<M as Embeds<DisputeVssMsg<F>>>::wrap(DisputeVssMsg::Beta(beta)));
-    let inbox = ctx.next_round();
-    let mut betas: Vec<Option<F>> = vec![None; n];
-    for rcv in inbox.broadcasts() {
-        if let Some(DisputeVssMsg::Beta(b)) = <M as Embeds<DisputeVssMsg<F>>>::peek(&rcv.msg) {
-            if betas[rcv.from - 1].is_none() {
-                betas[rcv.from - 1] = Some(*b);
-            }
-        }
-    }
-
-    // The majority polynomial F* and the outlier set (public: everyone
-    // computes the same ones from the same broadcasts).
-    let points: Vec<(F, F)> = betas
-        .iter()
-        .enumerate()
-        .filter_map(|(i, b)| b.map(|y| (F::element(i as u64 + 1), y)))
-        .collect();
-    let f_star = bw_decode(&points, t, t).ok().filter(|f| {
-        let agreements = points.iter().filter(|&&(x, y)| f.eval(x) == y).count();
-        agreements >= n - t
-    });
-    let Some(f_star) = f_star else {
-        // No consistent majority: the dealer is disqualified; burn the
-        // dispute round to stay in lock-step.
-        let _ = ctx.next_round();
-        return Ok(DisputeOutcome {
-            verdict: VssVerdict::Reject,
-            shares,
-            opened: Vec::new(),
-        });
-    };
-    let outliers: Vec<PartyId> = (1..=n)
-        .filter(|&i| betas[i - 1] != Some(f_star.eval(F::element(i as u64))))
-        .collect();
-
-    // Second broadcast round: the dealer opens the outlier positions.
-    if me == dealer && !outliers.is_empty() {
-        if let Some((f, g)) = dealer_polys {
-            let pairs: Vec<(PartyId, F, F)> = outliers
-                .iter()
-                .map(|&i| {
-                    let x = F::element(i as u64);
-                    (i, f.eval(x), g.eval(x))
-                })
-                .collect();
-            ctx.broadcast(<M as Embeds<DisputeVssMsg<F>>>::wrap(DisputeVssMsg::Open(pairs)));
-        }
-    }
-    let inbox = ctx.next_round();
-
-    if outliers.is_empty() {
-        return Ok(DisputeOutcome { verdict: VssVerdict::Accept, shares, opened: outliers });
-    }
-
-    let published = inbox
-        .broadcasts()
-        .filter(|rcv| rcv.from == dealer)
-        .find_map(|rcv| match <M as Embeds<DisputeVssMsg<F>>>::peek(&rcv.msg) {
-            Some(DisputeVssMsg::Open(pairs)) => Some(pairs.clone()),
-            _ => None,
-        });
-    let Some(pairs) = published else {
-        // Dealer refused to answer the dispute.
-        return Ok(DisputeOutcome {
-            verdict: VssVerdict::Reject,
-            shares,
-            opened: outliers,
-        });
-    };
-
-    // Every outlier must be answered with a pair fitting F*.
-    let mut my_new_shares = shares;
-    for &i in &outliers {
-        let x = F::element(i as u64);
-        let answer = pairs.iter().find(|(j, _, _)| *j == i);
-        match answer {
-            Some(&(_, alpha, gamma)) if alpha + r * gamma == f_star.eval(x) => {
-                if i == me {
-                    // Adopt the publicly consistent pair.
-                    my_new_shares = DealtShares { alpha, gamma };
-                }
-            }
-            _ => {
-                return Ok(DisputeOutcome {
-                    verdict: VssVerdict::Reject,
-                    shares: my_new_shares,
-                    opened: outliers,
-                });
-            }
-        }
-    }
-    Ok(DisputeOutcome {
-        verdict: VssVerdict::Accept,
-        shares: my_new_shares,
-        opened: outliers,
-    })
+    stage: DvStage<M, F>,
 }
 
-/// Abort-with-blame: run the dispute-resolving verification and convert a
-/// `Reject` into [`ProtocolError::Aborted`] naming the dealer.
+enum DvStage<M, F: Field> {
+    /// Fig. 2 step 2 in flight (two calls: share send, then decode +
+    /// beta broadcast).
+    Expose(ExposeMachine<M, F>),
+    /// Inbox holds the broadcast betas: find `F*`, open disputes.
+    Betas { r: F },
+    /// Inbox holds the dealer's openings: judge.
+    Dispute { r: F, f_star: Option<Poly<F>>, outliers: Vec<PartyId> },
+    Finished,
+}
+
+impl<M, F: Field> VssDisputeMachine<M, F> {
+    /// A machine verifying `shares` from `dealer` with `coin` as the
+    /// challenge; `dealer_polys` must be `Some` only at the dealer.
+    pub fn new(
+        dealer: PartyId,
+        dealer_polys: Option<(Poly<F>, Poly<F>)>,
+        t: usize,
+        shares: DealtShares<F>,
+        coin: SealedShare<F>,
+    ) -> Self {
+        VssDisputeMachine {
+            dealer,
+            dealer_polys,
+            t,
+            shares,
+            stage: DvStage::Expose(ExposeMachine::new(coin, t, ExposeVia::Broadcast)),
+        }
+    }
+
+    fn judge(
+        &self,
+        view: &RoundView<'_, M>,
+        r: F,
+        f_star: Option<Poly<F>>,
+        outliers: Vec<PartyId>,
+    ) -> DisputeOutcome<F>
+    where
+        M: Clone + WireSize + Embeds<DisputeVssMsg<F>>,
+    {
+        let Some(f_star) = f_star else {
+            // No consistent majority existed: the dealer was disqualified
+            // outright (the dispute round was burned for lock-step).
+            return DisputeOutcome {
+                verdict: VssVerdict::Reject,
+                shares: self.shares,
+                opened: Vec::new(),
+            };
+        };
+        if outliers.is_empty() {
+            return DisputeOutcome {
+                verdict: VssVerdict::Accept,
+                shares: self.shares,
+                opened: outliers,
+            };
+        }
+
+        let published = view
+            .inbox
+            .broadcasts()
+            .filter(|rcv| rcv.from == self.dealer)
+            .find_map(|rcv| match <M as Embeds<DisputeVssMsg<F>>>::peek(&rcv.msg) {
+                Some(DisputeVssMsg::Open(pairs)) => Some(pairs.clone()),
+                _ => None,
+            });
+        let Some(pairs) = published else {
+            // Dealer refused to answer the dispute.
+            return DisputeOutcome {
+                verdict: VssVerdict::Reject,
+                shares: self.shares,
+                opened: outliers,
+            };
+        };
+
+        // Every outlier must be answered with a pair fitting F*.
+        let mut my_new_shares = self.shares;
+        for &i in &outliers {
+            let x = F::element(i as u64);
+            let answer = pairs.iter().find(|(j, _, _)| *j == i);
+            match answer {
+                Some(&(_, alpha, gamma)) if alpha + r * gamma == f_star.eval(x) => {
+                    if i == view.id {
+                        // Adopt the publicly consistent pair.
+                        my_new_shares = DealtShares { alpha, gamma };
+                    }
+                }
+                _ => {
+                    return DisputeOutcome {
+                        verdict: VssVerdict::Reject,
+                        shares: my_new_shares,
+                        opened: outliers,
+                    };
+                }
+            }
+        }
+        DisputeOutcome { verdict: VssVerdict::Accept, shares: my_new_shares, opened: outliers }
+    }
+}
+
+impl<M, F> RoundMachine<M> for VssDisputeMachine<M, F>
+where
+    M: Clone + WireSize + Embeds<ExposeMsg<F>> + Embeds<DisputeVssMsg<F>>,
+    F: Field,
+{
+    type Output = Result<DisputeOutcome<F>, CoinError>;
+
+    fn round(&mut self, mut view: RoundView<'_, M>) -> Step<M, Self::Output> {
+        let n = view.n;
+        match mem::replace(&mut self.stage, DvStage::Finished) {
+            DvStage::Expose(mut expose) => match expose.round(view.reborrow()) {
+                Step::Continue(out) => {
+                    self.stage = DvStage::Expose(expose);
+                    Step::Continue(out)
+                }
+                Step::Done(Err(e)) => Step::Done(Err(e)),
+                Step::Done(Ok(r)) => {
+                    // Fig. 2 step 3: broadcast β_i.
+                    let beta = self.shares.alpha + r * self.shares.gamma;
+                    let mut out = view.outbox();
+                    out.broadcast(<M as Embeds<DisputeVssMsg<F>>>::wrap(DisputeVssMsg::Beta(
+                        beta,
+                    )));
+                    self.stage = DvStage::Betas { r };
+                    Step::Continue(out)
+                }
+            },
+            DvStage::Betas { r } => {
+                let mut betas: Vec<Option<F>> = vec![None; n];
+                for rcv in view.inbox.broadcasts() {
+                    if let Some(DisputeVssMsg::Beta(b)) =
+                        <M as Embeds<DisputeVssMsg<F>>>::peek(&rcv.msg)
+                    {
+                        if betas[rcv.from - 1].is_none() {
+                            betas[rcv.from - 1] = Some(*b);
+                        }
+                    }
+                }
+
+                // The majority polynomial F* and the outlier set (public:
+                // everyone computes the same ones from the same
+                // broadcasts).
+                let points: Vec<(F, F)> = betas
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, b)| b.map(|y| (F::element(i as u64 + 1), y)))
+                    .collect();
+                let f_star = bw_decode(&points, self.t, self.t).ok().filter(|f| {
+                    let agreements =
+                        points.iter().filter(|&&(x, y)| f.eval(x) == y).count();
+                    agreements >= n - self.t
+                });
+                let outliers: Vec<PartyId> = match &f_star {
+                    Some(f) => (1..=n)
+                        .filter(|&i| betas[i - 1] != Some(f.eval(F::element(i as u64))))
+                        .collect(),
+                    // No majority: nothing to open, but the round is still
+                    // burned below so all parties stay in lock-step.
+                    None => Vec::new(),
+                };
+
+                // Second broadcast round: the dealer opens the outlier
+                // positions.
+                let mut out = view.outbox();
+                if view.id == self.dealer && !outliers.is_empty() {
+                    if let Some((f, g)) = &self.dealer_polys {
+                        let pairs: Vec<(PartyId, F, F)> = outliers
+                            .iter()
+                            .map(|&i| {
+                                let x = F::element(i as u64);
+                                (i, f.eval(x), g.eval(x))
+                            })
+                            .collect();
+                        out.broadcast(<M as Embeds<DisputeVssMsg<F>>>::wrap(
+                            DisputeVssMsg::Open(pairs),
+                        ));
+                    }
+                }
+                self.stage = DvStage::Dispute { r, f_star, outliers };
+                Step::Continue(out)
+            }
+            DvStage::Dispute { r, f_star, outliers } => {
+                Step::Done(Ok(self.judge(&view, r, f_star, outliers)))
+            }
+            // lint: allow(error-discipline) — driver contract: no executor calls round() after Done
+            DvStage::Finished => panic!("VssDisputeMachine driven past completion"),
+        }
+    }
+
+    fn phase_name(&self) -> &'static str {
+        match &self.stage {
+            DvStage::Expose(expose) => match expose.phase_name() {
+                "expose/send" => "vss-dispute/challenge",
+                _ => "vss-dispute/betas",
+            },
+            DvStage::Betas { .. } => "vss-dispute/open",
+            DvStage::Dispute { .. } => "vss-dispute/judge",
+            DvStage::Finished => "vss-dispute/finished",
+        }
+    }
+}
+
+/// Abort-with-blame: the dispute-resolving verification with a `Reject`
+/// converted into [`ProtocolError::Aborted`] naming the dealer.
 ///
 /// The conviction is sound because the dispute protocol **always** accepts
 /// an honest dealer (even against `t` Byzantine verifiers it simply
 /// republishes the shares they lied about — see the module docs), so any
 /// `Reject` proves the dealer deviated. This is the graceful-degradation
 /// entry point the campaign harness classifies as "gracefully aborted":
-/// the caller learns *who* to exclude before retrying.
-///
-/// # Errors
-///
-/// [`ProtocolError::Coin`] if the challenge expose fails;
-/// [`ProtocolError::Aborted`] (blaming the dealer) if verification rejects.
-pub fn vss_verify_or_blame<M, F>(
-    ctx: &mut PartyCtx<M>,
+/// the caller learns *who* to exclude before retrying. The output carries
+/// [`ProtocolError::Coin`] if the challenge expose fails.
+pub fn vss_dispute_or_blame<M, F>(
     dealer: PartyId,
-    dealer_polys: Option<&(Poly<F>, Poly<F>)>,
+    dealer_polys: Option<(Poly<F>, Poly<F>)>,
     t: usize,
     shares: DealtShares<F>,
     coin: SealedShare<F>,
-) -> Result<DisputeOutcome<F>, ProtocolError>
+) -> impl RoundMachine<M, Output = Result<DisputeOutcome<F>, ProtocolError>>
 where
     M: Clone + Send + WireSize + Embeds<ExposeMsg<F>> + Embeds<DisputeVssMsg<F>> + 'static,
     F: Field,
 {
-    let outcome = vss_verify_with_disputes(ctx, dealer, dealer_polys, t, shares, coin)?;
-    match outcome.verdict {
-        VssVerdict::Accept => Ok(outcome),
-        VssVerdict::Reject => Err(ProtocolError::Aborted {
-            blame: vec![dealer],
-            reason: "VSS dispute resolution convicted the dealer",
-        }),
-    }
+    VssDisputeMachine::new(dealer, dealer_polys, t, shares, coin).map(move |res| {
+        let outcome = res?;
+        match outcome.verdict {
+            VssVerdict::Accept => Ok(outcome),
+            VssVerdict::Reject => Err(ProtocolError::Aborted {
+                blame: vec![dealer],
+                reason: "VSS dispute resolution convicted the dealer",
+            }),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -266,9 +355,9 @@ mod tests {
     use crate::params::Params;
     use dprbg_field::Gf2k;
     use dprbg_poly::{share_points, share_polynomial};
-    use dprbg_sim::{run_network, Behavior, FaultPlan};
     use dprbg_rng::rngs::StdRng;
     use dprbg_rng::SeedableRng;
+    use dprbg_sim::{from_fn, BoxedMachine, FaultPlan, StepRunner};
 
     type F = Gf2k<32>;
     type M = DisputeVssMsg<F>;
@@ -294,23 +383,33 @@ mod tests {
         (f, g, shares)
     }
 
+    /// A fleet of dispute machines: party 1 deals (holds the polynomials
+    /// when `answering` is true), everyone verifies `shares[id - 1]`.
+    fn fleet(
+        f: &Poly<F>,
+        g: &Poly<F>,
+        answering: bool,
+        t: usize,
+        shares: &[DealtShares<F>],
+        coins: &[SealedShare<F>],
+    ) -> Vec<BoxedMachine<M, Result<DisputeOutcome<F>, CoinError>>> {
+        (1..=shares.len())
+            .map(|id| {
+                let polys = (answering && id == 1).then(|| (f.clone(), g.clone()));
+                Box::new(VssDisputeMachine::new(1, polys, t, shares[id - 1], coins[id - 1]))
+                    as BoxedMachine<M, _>
+            })
+            .collect()
+    }
+
     #[test]
     fn no_disputes_all_honest() {
         let n = 7;
         let t = 2;
         let coins = coin_shares(n, t, 1);
         let (f, g, shares) = deal(n, t, 2);
-        let behaviors: Vec<Behavior<M, Result<DisputeOutcome<F>, CoinError>>> = (1..=n)
-            .map(|id| {
-                let coin = coins[id - 1];
-                let my = shares[id - 1];
-                let polys = (id == 1).then(|| (f.clone(), g.clone()));
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    vss_verify_with_disputes(ctx, 1, polys.as_ref(), t, my, coin)
-                }) as Behavior<_, _>
-            })
-            .collect();
-        for out in run_network(n, 3, behaviors).unwrap_all() {
+        let res = StepRunner::new(n, 3).run(fleet(&f, &g, true, t, &shares, &coins));
+        for out in res.unwrap_all() {
             let o = out.unwrap();
             assert_eq!(o.verdict, VssVerdict::Accept);
             assert!(o.opened.is_empty());
@@ -327,27 +426,35 @@ mod tests {
         let coins = coin_shares(n, t, 10);
         let (f, g, shares) = deal(n, t, 11);
         let plan = FaultPlan::explicit(n, vec![5]);
-        let behaviors = plan.behaviors::<M, Option<DisputeOutcome<F>>>(
+        let machines = plan.machines::<M, Option<DisputeOutcome<F>>>(
             |id| {
-                let coin = coins[id - 1];
-                let my = shares[id - 1];
                 let polys = (id == 1).then(|| (f.clone(), g.clone()));
-                Box::new(move |ctx| {
-                    vss_verify_with_disputes(ctx, 1, polys.as_ref(), t, my, coin).ok()
-                })
+                Box::new(
+                    VssDisputeMachine::new(1, polys, t, shares[id - 1], coins[id - 1])
+                        .map(|r: Result<DisputeOutcome<F>, CoinError>| r.ok()),
+                )
             },
             |id| {
-                let coin = coins[id - 1];
-                Box::new(move |ctx| {
-                    let _ = coin_expose(ctx, coin, 2, ExposeVia::Broadcast);
-                    ctx.broadcast(DisputeVssMsg::Beta(F::from_u64(0xBAD)));
-                    let _ = ctx.next_round();
-                    let _ = ctx.next_round();
-                    None
-                })
+                let sigma = coins[id - 1].sigma;
+                Box::new(from_fn(move |view: RoundView<'_, M>| match view.round {
+                    0 => {
+                        let mut out = view.outbox();
+                        if let Some(s) = sigma {
+                            out.broadcast(DisputeVssMsg::Expose(ExposeMsg(s)));
+                        }
+                        Step::Continue(out)
+                    }
+                    1 => {
+                        let mut out = view.outbox();
+                        out.broadcast(DisputeVssMsg::Beta(F::from_u64(0xBAD)));
+                        Step::Continue(out)
+                    }
+                    2 => Step::Continue(view.outbox()),
+                    _ => Step::Done(None),
+                }))
             },
         );
-        let res = run_network(n, 12, behaviors);
+        let res = StepRunner::new(n, 12).run(machines);
         for id in plan.honest() {
             let o = res.outputs[id - 1].as_ref().unwrap().as_ref().unwrap();
             assert_eq!(o.verdict, VssVerdict::Accept, "party {id}");
@@ -366,17 +473,8 @@ mod tests {
         let coins = coin_shares(n, t, 20);
         let (f, g, mut shares) = deal(n, t, 21);
         shares[2].alpha += F::one(); // the lie to party 3
-        let behaviors: Vec<Behavior<M, Result<DisputeOutcome<F>, CoinError>>> = (1..=n)
-            .map(|id| {
-                let coin = coins[id - 1];
-                let my = shares[id - 1];
-                let polys = (id == 1).then(|| (f.clone(), g.clone()));
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    vss_verify_with_disputes(ctx, 1, polys.as_ref(), t, my, coin)
-                }) as Behavior<_, _>
-            })
-            .collect();
-        let outs = run_network(n, 22, behaviors).unwrap_all();
+        let res = StepRunner::new(n, 22).run(fleet(&f, &g, true, t, &shares, &coins));
+        let outs = res.unwrap_all();
         for (i, out) in outs.iter().enumerate() {
             let o = out.as_ref().unwrap();
             assert_eq!(o.verdict, VssVerdict::Accept, "party {}", i + 1);
@@ -393,20 +491,12 @@ mod tests {
         let n = 7;
         let t = 2;
         let coins = coin_shares(n, t, 30);
-        let (_, _, mut shares) = deal(n, t, 31);
+        let (f, g, mut shares) = deal(n, t, 31);
         shares[4].alpha += F::one();
-        let behaviors: Vec<Behavior<M, Result<DisputeOutcome<F>, CoinError>>> = (1..=n)
-            .map(|id| {
-                let coin = coins[id - 1];
-                let my = shares[id - 1];
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    // Nobody passes dealer polynomials: the dealer cannot
-                    // (will not) answer the dispute.
-                    vss_verify_with_disputes(ctx, 1, None, t, my, coin)
-                }) as Behavior<_, _>
-            })
-            .collect();
-        for out in run_network(n, 32, behaviors).unwrap_all() {
+        // Nobody holds dealer polynomials: the dealer cannot (will not)
+        // answer the dispute.
+        let res = StepRunner::new(n, 32).run(fleet(&f, &g, false, t, &shares, &coins));
+        for out in res.unwrap_all() {
             assert_eq!(out.unwrap().verdict, VssVerdict::Reject);
         }
     }
@@ -421,18 +511,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(41);
         let f = Poly::<F>::random(t + 2, &mut rng);
         let g = Poly::<F>::random(t, &mut rng);
-        let behaviors: Vec<Behavior<M, Result<DisputeOutcome<F>, CoinError>>> = (1..=n)
+        let shares: Vec<DealtShares<F>> = (1..=n)
             .map(|id| {
-                let coin = coins[id - 1];
                 let x = F::element(id as u64);
-                let my = DealtShares { alpha: f.eval(x), gamma: g.eval(x) };
-                let polys = (id == 1).then(|| (f.clone(), g.clone()));
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    vss_verify_with_disputes(ctx, 1, polys.as_ref(), t, my, coin)
-                }) as Behavior<_, _>
+                DealtShares { alpha: f.eval(x), gamma: g.eval(x) }
             })
             .collect();
-        for out in run_network(n, 42, behaviors).unwrap_all() {
+        let res = StepRunner::new(n, 42).run(fleet(&f, &g, true, t, &shares, &coins));
+        for out in res.unwrap_all() {
             assert_eq!(out.unwrap().verdict, VssVerdict::Reject);
         }
     }
@@ -444,17 +530,14 @@ mod tests {
         // Honest dealer: wrapper passes the outcome through.
         let coins = coin_shares(n, t, 50);
         let (f, g, shares) = deal(n, t, 51);
-        let behaviors: Vec<Behavior<M, Result<DisputeOutcome<F>, ProtocolError>>> = (1..=n)
+        let machines: Vec<BoxedMachine<M, Result<DisputeOutcome<F>, ProtocolError>>> = (1..=n)
             .map(|id| {
-                let coin = coins[id - 1];
-                let my = shares[id - 1];
                 let polys = (id == 1).then(|| (f.clone(), g.clone()));
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    vss_verify_or_blame(ctx, 1, polys.as_ref(), t, my, coin)
-                }) as Behavior<_, _>
+                Box::new(vss_dispute_or_blame(1, polys, t, shares[id - 1], coins[id - 1]))
+                    as BoxedMachine<M, _>
             })
             .collect();
-        for out in run_network(n, 52, behaviors).unwrap_all() {
+        for out in StepRunner::new(n, 52).run(machines).unwrap_all() {
             assert_eq!(out.unwrap().verdict, VssVerdict::Accept);
         }
 
@@ -463,16 +546,13 @@ mod tests {
         let coins = coin_shares(n, t, 53);
         let (_, _, mut shares) = deal(n, t, 54);
         shares[4].alpha += F::one();
-        let behaviors: Vec<Behavior<M, Result<DisputeOutcome<F>, ProtocolError>>> = (1..=n)
+        let machines: Vec<BoxedMachine<M, Result<DisputeOutcome<F>, ProtocolError>>> = (1..=n)
             .map(|id| {
-                let coin = coins[id - 1];
-                let my = shares[id - 1];
-                Box::new(move |ctx: &mut PartyCtx<M>| {
-                    vss_verify_or_blame(ctx, 1, None, t, my, coin)
-                }) as Behavior<_, _>
+                Box::new(vss_dispute_or_blame(1, None, t, shares[id - 1], coins[id - 1]))
+                    as BoxedMachine<M, _>
             })
             .collect();
-        for out in run_network(n, 55, behaviors).unwrap_all() {
+        for out in StepRunner::new(n, 55).run(machines).unwrap_all() {
             match out {
                 Err(ProtocolError::Aborted { blame, .. }) => assert_eq!(blame, vec![1]),
                 other => panic!("expected Aborted blaming the dealer, got {other:?}"),

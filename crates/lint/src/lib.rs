@@ -27,7 +27,9 @@ pub mod manifest;
 pub mod rules;
 
 pub use manifest::lint_manifest;
-pub use rules::{lint_rust_source, Diagnostic, FileClass, FileKind, RuleId};
+pub use rules::{
+    lint_rust_source, transport_allow_count, Diagnostic, FileClass, FileKind, RuleId,
+};
 
 use std::fs;
 use std::io;
@@ -47,6 +49,22 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
     }
     diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     Ok(diags)
+}
+
+/// Count `allow(transport)` suppressions pinned anywhere in the
+/// workspace sources (fixture corpora excluded, as in [`lint_workspace`]).
+/// The single-execution-path invariant requires this to be zero; the CLI
+/// reports the census explicitly so the invariant is visible.
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking or reading the tree.
+pub fn count_transport_allows(root: &Path) -> io::Result<usize> {
+    let mut count = 0;
+    for (path, _class) in rust_sources(root)? {
+        count += transport_allow_count(&fs::read_to_string(&path)?);
+    }
+    Ok(count)
 }
 
 /// Lint only the manifests under `root` (the `hermetic` rule — what the

@@ -9,7 +9,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dprbg_lint::{lint_manifests, lint_workspace};
+use dprbg_lint::{count_transport_allows, lint_manifests, lint_workspace};
 
 fn main() -> ExitCode {
     let mut manifests_only = false;
@@ -53,6 +53,20 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // The single-execution-path census: `--workspace` always reports how
+    // many `allow(transport)` pins exist (the invariant requires zero).
+    if !manifests_only {
+        match count_transport_allows(&root) {
+            Ok(n) => println!(
+                "dprbg-lint: {n} transport suppression{} (required: 0)",
+                if n == 1 { "" } else { "s" }
+            ),
+            Err(e) => {
+                eprintln!("dprbg-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     if diags.is_empty() {
         let mode = if manifests_only { "manifests" } else { "workspace" };
         println!("dprbg-lint: {mode} clean");

@@ -8,7 +8,7 @@
 //! | `determinism` | protocol crates never consult iteration-order-unstable types, wall clocks, thread ids, or the environment |
 //! | `error-discipline` | `dprbg-core`/`dprbg-protocols` library code never `unwrap`/`expect`/`panic!` |
 //! | `cost-model` | field arithmetic outside `dprbg-field` goes through the counted ops, never raw bit-hacks |
-//! | `transport` | machines talk only via `Outbox`; threads, channels, and the threaded executor stay in `dprbg-sim` |
+//! | `transport` | machines talk only via `Outbox`; threads and channels stay in `dprbg-sim`; the retired blocking entry points exist nowhere, and `allow(transport)` is itself a violation |
 //! | `hermetic` | manifests declare only in-tree path/workspace dependencies (see [`crate::manifest`]) |
 //! | `trace-determinism` | `dprbg-trace` keeps to logical time (round, party, seq) — no wall clocks, thread ids, or environment |
 //! | `field-ct` | `dprbg-field` multiplication paths stay fixed-iteration — no data-dependent bit-scan loops |
@@ -104,9 +104,11 @@ pub enum FileKind {
     /// Library or binary code: all scoped rules apply (minus `#[cfg(test)]`
     /// regions, which are exempt).
     Lib,
-    /// Integration-test code: exempt from every token rule.
+    /// Integration-test code: exempt from every token rule (but not from
+    /// the `allow(transport)` rejection — that comment is banned anywhere).
     Test,
-    /// Example code: exempt (demo code deliberately uses the blocking API).
+    /// Example / bench code: exempt from the token rules on the same
+    /// terms as tests (asserts and unwraps are fine in demo code).
     Example,
 }
 
@@ -132,8 +134,9 @@ const ERROR_CRATES: &[&str] = &["dprbg-core", "dprbg-protocols"];
 /// `dprbg-field` ops so the §2 cost-model tables stay honest.
 const COST_CRATES: &[&str] = &["dprbg-core", "dprbg-protocols", "dprbg-poly"];
 
-/// The one crate allowed to own threads, channels, and the threaded
-/// executor entry points.
+/// The one crate allowed to own threads and channels (the `ParRunner`
+/// worker pool). Nobody — including this crate — may name the retired
+/// blocking entry points.
 const TRANSPORT_HOME: &str = "dprbg-sim";
 
 /// Identifiers that imply iteration-order or ambient nondeterminism.
@@ -170,10 +173,18 @@ const BITHACK_METHODS: &[&str] = &[
     "swap_bytes",
 ];
 
-/// Threaded-executor entry points (defined in `dprbg-sim`); calling them
-/// anywhere else must be justified with an allow comment.
-const THREADED_ENTRYPOINTS: &[&str] =
-    &["run_network", "run_machines", "run_machines_with_tap", "run_machines_traced"];
+/// Entry points of the retired thread-per-party blocking transport. The
+/// single execution path is `StepRunner`/`ParRunner`; these names must
+/// not reappear anywhere in the workspace, `dprbg-sim` included. (The
+/// literals are split so this file passes its own "no references outside
+/// fixtures" sweep.)
+const THREADED_ENTRYPOINTS: &[&str] = &[
+    concat!("run_net", "work"),
+    concat!("run_net", "work_with_tap"),
+    "run_machines",
+    "run_machines_with_tap",
+    "run_machines_traced",
+];
 
 /// The field crate's multiplication paths must run in data-independent
 /// time: a variable-trip bit-scan loop (the `trailing_zeros` popcount-walk
@@ -208,6 +219,22 @@ pub fn lint_rust_source(label: &str, source: &str, class: &FileClass) -> Vec<Dia
     let (allows, mut allow_diags) = parse_allows(label, &lexed.comments);
     diags.append(&mut allow_diags);
 
+    // `transport` is no longer a suppressible rule: the blocking transport
+    // it used to carve out is deleted, so pinning an allow for it can only
+    // hide a regression. The allow comment is itself the finding.
+    for a in &allows {
+        if a.rules.contains(&RuleId::Transport) {
+            diags.push(Diagnostic {
+                file: label.to_string(),
+                line: a.line,
+                rule: RuleId::Transport,
+                message: "`allow(transport)` is retired along with the blocking transport: \
+                          port this code to a machine fleet instead of suppressing"
+                    .to_string(),
+            });
+        }
+    }
+
     if class.kind == FileKind::Lib {
         let regions = test_regions(&lexed.tokens);
         let in_test =
@@ -229,7 +256,9 @@ pub fn lint_rust_source(label: &str, source: &str, class: &FileClass) -> Vec<Dia
     // Apply suppressions: an allow matching the rule on the same line,
     // the line directly above, or file-wide.
     diags.retain(|d| {
-        if d.rule == RuleId::AllowSyntax {
+        // Never suppressible: malformed-allow findings, and transport —
+        // the single-execution-path invariant admits no exceptions.
+        if d.rule == RuleId::AllowSyntax || d.rule == RuleId::Transport {
             return true;
         }
         !allows.iter().any(|a| {
@@ -238,6 +267,17 @@ pub fn lint_rust_source(label: &str, source: &str, class: &FileClass) -> Vec<Dia
         })
     });
     diags
+}
+
+/// Count `lint: allow(...)` comments in `source` that name the
+/// `transport` rule — the census `dprbg-lint --workspace` reports so the
+/// "zero transport suppressions" invariant is visible, not just implied
+/// by the scan being clean.
+#[must_use]
+pub fn transport_allow_count(source: &str) -> usize {
+    let lexed = lex(source);
+    let (allows, _) = parse_allows("census", &lexed.comments);
+    allows.iter().filter(|a| a.rules.contains(&RuleId::Transport)).count()
 }
 
 /// Run every token rule that applies to `class` against token `i`.
@@ -391,8 +431,23 @@ fn check_token(
     }
 
     // -- transport -------------------------------------------------------
-    if crate_name != TRANSPORT_HOME {
-        if let TokKind::Ident(id) = &tok.kind {
+    if let TokKind::Ident(id) = &tok.kind {
+        // The retired blocking entry points are banned in every crate —
+        // there is one execution path now, and it is the sans-IO engine.
+        if THREADED_ENTRYPOINTS.contains(&id.as_str()) {
+            push(
+                diags,
+                RuleId::Transport,
+                tok.line,
+                format!(
+                    "`{id}` names the retired blocking transport: \
+                     run a `StepRunner`/`ParRunner` machine fleet instead"
+                ),
+            );
+        }
+        // Raw thread/channel machinery stays in dprbg-sim (the ParRunner
+        // worker pool) — everywhere else, machine I/O goes through Outbox.
+        if crate_name != TRANSPORT_HOME {
             if id == "mpsc" || id == "JoinHandle" {
                 push(
                     diags,
@@ -413,17 +468,6 @@ fn check_token(
                     tok.line,
                     "thread use outside `dprbg-sim`: machine I/O must go through `Outbox`"
                         .to_string(),
-                );
-            }
-            if THREADED_ENTRYPOINTS.contains(&id.as_str()) {
-                push(
-                    diags,
-                    RuleId::Transport,
-                    tok.line,
-                    format!(
-                        "threaded-executor entry point `{id}` outside `dprbg-sim`: \
-                         prefer `StepRunner` (sans-IO round engine)"
-                    ),
                 );
             }
         }
@@ -596,30 +640,68 @@ mod tests {
     }
 
     #[test]
-    fn transport_entry_point_fires_outside_sim() {
+    fn retired_entry_points_fire_in_every_crate() {
+        // (Split literals keep this file out of the retired-name sweep.)
+        let src = concat!("fn f() { run_net", "work(3, 0, v); }\n");
+        for crate_name in ["dprbg-bench", "dprbg-sim", "dprbg-core", "dprbg"] {
+            let class = FileClass { crate_name: crate_name.into(), kind: FileKind::Lib };
+            let d = lint_rust_source("x.rs", src, &class);
+            assert_eq!(d.len(), 1, "in {crate_name}: {d:#?}");
+            assert_eq!(d[0].rule, RuleId::Transport);
+        }
+    }
+
+    #[test]
+    fn allow_transport_is_itself_a_violation() {
         let bench = FileClass { crate_name: "dprbg-bench".into(), kind: FileKind::Lib };
-        let d = lint_rust_source("x.rs", "fn f() { run_network(3, 0, v); }\n", &bench);
-        assert_eq!(d.len(), 1);
+        let src = concat!(
+            "// lint: allow-file(transport) — threaded baseline comparator\n",
+            "fn a() { run_net",
+            "work(3, 0, v); }\n"
+        );
+        let d = lint_rust_source("x.rs", src, &bench);
+        // The allow comment and the call it fails to suppress both fire.
+        assert_eq!(d.len(), 2, "{d:#?}");
+        assert!(d.iter().all(|x| x.rule == RuleId::Transport));
+        assert!(d.iter().any(|x| x.message.contains("retired along with")), "{d:#?}");
+        // Even in an otherwise-exempt test file, the comment alone fires.
+        let t = FileClass { crate_name: "dprbg".into(), kind: FileKind::Test };
+        let d = lint_rust_source(
+            "t.rs",
+            "// lint: allow(transport) — legacy pin\nfn f() {}\n",
+            &t,
+        );
+        assert_eq!(d.len(), 1, "{d:#?}");
         assert_eq!(d[0].rule, RuleId::Transport);
-        let sim = FileClass { crate_name: "dprbg-sim".into(), kind: FileKind::Lib };
-        assert!(lint_rust_source("x.rs", "fn f() { run_network(3, 0, v); }\n", &sim).is_empty());
     }
 
     #[test]
     fn allow_file_suppresses_everywhere() {
-        let bench = FileClass { crate_name: "dprbg-bench".into(), kind: FileKind::Lib };
-        let src = "// lint: allow-file(transport) — threaded baseline comparator\n\
-                   fn a() { run_network(3, 0, v); }\nfn b() { run_network(5, 1, w); }\n";
-        assert!(lint_rust_source("x.rs", src, &bench).is_empty());
+        let core = FileClass { crate_name: "dprbg-core".into(), kind: FileKind::Lib };
+        let src = "// lint: allow-file(determinism) — fixture: order-insensitive cache\n\
+                   fn a() { let m = HashMap::new(); }\nfn b() { let s = HashSet::new(); }\n";
+        assert!(lint_rust_source("x.rs", src, &core).is_empty());
     }
 
     #[test]
-    fn tests_and_examples_are_exempt() {
+    fn tests_and_examples_are_exempt_from_token_rules() {
         let t = FileClass { crate_name: "dprbg".into(), kind: FileKind::Test };
-        assert!(lint_rust_source("t.rs", "fn f() { x.unwrap(); run_network(1,0,v); }", &t)
+        assert!(lint_rust_source("t.rs", "fn f() { x.unwrap(); thread::sleep(d); }", &t)
             .is_empty());
         let e = FileClass { crate_name: "dprbg".into(), kind: FileKind::Example };
-        assert!(lint_rust_source("e.rs", "fn f() { run_network(1,0,v); }", &e).is_empty());
+        assert!(lint_rust_source("e.rs", "fn f() { x.unwrap(); mpsc::channel(); }", &e)
+            .is_empty());
+    }
+
+    #[test]
+    fn transport_allow_census_counts_comments() {
+        assert_eq!(transport_allow_count("fn f() {}\n"), 0);
+        let src = "// lint: allow(transport) — pin one\nfn f() {}\n\
+                   // lint: allow-file(transport) — pin two\n";
+        assert_eq!(transport_allow_count(src), 2);
+        // Mixed-rule allows naming transport count; others don't.
+        let src = "// lint: allow(determinism) — fine\nfn f() {}\n";
+        assert_eq!(transport_allow_count(src), 0);
     }
 
     #[test]

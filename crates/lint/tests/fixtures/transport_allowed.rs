@@ -1,9 +1,13 @@
-// Fixture: a justified threaded-runner user (file-wide form).
-// lint: allow-file(transport) — fixture: cross-executor equivalence needs the threaded half
-fn shim(n: usize, seed: u64, behaviors: Vec<u64>) -> Vec<u64> {
-    run_network(n, seed, behaviors)
+// Fixture: transport-clean code — a machine fleet on the sans-IO engine.
+// Identifiers here may *resemble* transport machinery (a field named
+// `thread_count`, a fn named `run_fleet`) without naming the retired
+// blocking entry points or raw thread primitives.
+struct PoolShape {
+    thread_count: usize,
 }
 
-fn shim2(n: usize, seed: u64, machines: Vec<u64>) -> Vec<u64> {
-    run_machines_with_tap(n, seed, machines)
+fn run_fleet(n: usize, seed: u64, machines: Vec<u64>) -> Vec<u64> {
+    let shape = PoolShape { thread_count: 4 };
+    let _ = (n, seed, shape.thread_count);
+    machines
 }

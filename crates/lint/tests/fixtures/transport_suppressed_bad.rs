@@ -1,0 +1,11 @@
+// Fixture: a legacy allow(transport) pin. The blocking transport it
+// carved out is deleted, so the suppression itself is now a violation
+// and it suppresses nothing.
+// lint: allow-file(transport) — fixture: cross-executor equivalence needs the threaded half
+fn shim(n: usize, seed: u64, behaviors: Vec<u64>) -> Vec<u64> {
+    run_network(n, seed, behaviors)
+}
+
+fn shim2(n: usize, seed: u64, machines: Vec<u64>) -> Vec<u64> {
+    run_machines_with_tap(n, seed, machines)
+}

@@ -75,7 +75,7 @@ fn cost_model_exempts_dprbg_field() {
 #[test]
 fn transport_bad_fires() {
     let d = lint_as("transport_bad.rs", "dprbg-bench");
-    assert!(d.len() >= 3, "mpsc, thread spawn, run_network: {d:#?}");
+    assert!(d.len() >= 3, "mpsc, thread spawn, retired entry point: {d:#?}");
     assert!(d.iter().all(|x| x.rule == RuleId::Transport));
 }
 
@@ -85,8 +85,26 @@ fn transport_allowed_is_clean() {
 }
 
 #[test]
-fn transport_exempts_dprbg_sim() {
-    assert_eq!(lint_as("transport_bad.rs", "dprbg-sim").len(), 0);
+fn transport_suppressions_are_rejected() {
+    // The pin fires as its own diagnostic, and suppresses neither of the
+    // two retired-entry-point calls below it.
+    let d = lint_as("transport_suppressed_bad.rs", "dprbg-bench");
+    assert_eq!(d.len(), 3, "allow pin + two retired calls: {d:#?}");
+    assert!(d.iter().all(|x| x.rule == RuleId::Transport));
+    assert!(
+        d.iter().any(|x| x.message.contains("retired along with the blocking transport")),
+        "{d:#?}"
+    );
+}
+
+#[test]
+fn transport_thread_machinery_stays_in_sim_but_entry_points_fire_everywhere() {
+    // In dprbg-sim, mpsc and thread::spawn are the ParRunner pool's
+    // prerogative — only the retired blocking entry point fires.
+    let d = lint_as("transport_bad.rs", "dprbg-sim");
+    assert_eq!(d.len(), 1, "{d:#?}");
+    assert_eq!(d[0].rule, RuleId::Transport);
+    assert!(d[0].message.contains("retired blocking transport"), "{d:#?}");
 }
 
 #[test]

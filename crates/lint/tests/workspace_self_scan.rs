@@ -30,6 +30,15 @@ fn manifests_scan_is_clean() {
     assert!(diags.is_empty(), "{diags:#?}");
 }
 
+#[test]
+fn workspace_pins_zero_transport_suppressions() {
+    // The single-execution-path invariant: with the blocking transport
+    // deleted, no source file outside the fixture corpus may carry an
+    // `allow(transport)` pin.
+    let n = dprbg_lint::count_transport_allows(&workspace_root()).expect("census succeeds");
+    assert_eq!(n, 0, "found {n} allow(transport) pins; port the code instead of suppressing");
+}
+
 /// End-to-end: the binary exits 0 on the real workspace and 1 on a
 /// synthetic workspace seeded with a `HashMap` in protocol code and a
 /// registry dependency.
@@ -43,6 +52,11 @@ fn cli_exit_codes() {
         .output()
         .expect("run dprbg-lint");
     assert!(ok.status.success(), "clean tree must exit 0: {ok:?}");
+    let stdout = String::from_utf8_lossy(&ok.stdout);
+    assert!(
+        stdout.contains("0 transport suppressions (required: 0)"),
+        "workspace mode must report the transport-suppression census: {stdout}"
+    );
 
     // Build a bad mini-workspace under the cargo-provided tmp dir.
     let bad_root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint-bad-workspace");

@@ -18,7 +18,7 @@
 use std::marker::PhantomData;
 
 use dprbg_metrics::WireSize;
-use dprbg_sim::{drive_blocking, Embeds, PartyCtx, PartyId, RoundMachine, RoundView, Step};
+use dprbg_sim::{Embeds, PartyId, RoundMachine, RoundView, Step};
 
 /// Phase-king wire messages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,7 +40,14 @@ impl WireSize for BaMsg {
 /// Each call consumes one round's inbox and emits the next round's sends:
 /// the first call sends the initial suggestion, then the machine
 /// alternates *suggest-tally / king-send* and *king-tally / next-suggest*
-/// calls until phase `t + 1` completes — exactly `2(t + 1)` rounds.
+/// calls until phase `t + 1` completes — exactly `2(t + 1)` rounds, where
+/// `t = t_bound` is the largest tolerable fault count (callers with a
+/// stronger model — e.g. Coin-Gen's `n ≥ 6t + 1` — may pass their own
+/// smaller `t_bound`; the round count and king schedule follow it).
+///
+/// # Panics
+///
+/// The first round call panics unless `n > 4 · t_bound`.
 pub struct PhaseKingMachine<M> {
     t: usize,
     v: bool,
@@ -64,8 +71,8 @@ enum BaStage {
 }
 
 impl<M> PhaseKingMachine<M> {
-    /// A machine entering agreement on `input`; see [`phase_king_ba`] for
-    /// the `t_bound` contract.
+    /// A machine entering agreement on `input`, tolerating up to `t_bound`
+    /// faults.
     pub fn new(input: bool, t_bound: usize) -> Self {
         PhaseKingMachine {
             t: t_bound,
@@ -165,84 +172,65 @@ where
     }
 }
 
-/// Run phase-king Byzantine agreement on the binary `input`.
-///
-/// Blocking shim over [`PhaseKingMachine`], driven by [`drive_blocking`].
-///
-/// Takes exactly `2(t + 1)` rounds, where `t = ⌊(n − 1) / 4⌋` is the
-/// largest tolerable fault count for this protocol (callers with a
-/// stronger model — e.g. Coin-Gen's `n ≥ 6t + 1` — may pass their own
-/// smaller `t_bound`; the round count and king schedule follow it).
-///
-/// # Panics
-///
-/// Panics unless `n > 4 · t_bound`.
-pub fn phase_king_ba<M>(ctx: &mut PartyCtx<M>, input: bool, t_bound: usize) -> bool
-where
-    M: Clone + Send + WireSize + Embeds<BaMsg> + 'static,
-{
-    drive_blocking(ctx, PhaseKingMachine::new(input, t_bound))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dprbg_sim::{run_network, Behavior, FaultPlan};
     use dprbg_rng::rngs::StdRng;
     use dprbg_rng::{RngExt, SeedableRng};
+    use dprbg_sim::{from_fn, BoxedMachine, FaultPlan, MachineExt, StepRunner};
 
-    fn honest(input: bool, t: usize) -> Behavior<BaMsg, bool> {
-        Box::new(move |ctx| phase_king_ba::<BaMsg>(ctx, input, t))
+    fn honest(input: bool, t: usize) -> BoxedMachine<BaMsg, Option<bool>> {
+        Box::new(PhaseKingMachine::new(input, t).map(Some))
     }
 
     #[test]
     fn validity_all_same_input() {
         for bit in [false, true] {
             let n = 5;
-            let behaviors: Vec<_> = (0..n).map(|_| honest(bit, 1)).collect();
-            let res = run_network(n, 1, behaviors);
-            assert_eq!(res.unwrap_all(), vec![bit; n]);
+            let fleet: Vec<_> = (0..n).map(|_| honest(bit, 1)).collect();
+            let res = StepRunner::new(n, 1).run(fleet);
+            assert_eq!(res.unwrap_all(), vec![Some(bit); n]);
         }
     }
 
     #[test]
     fn agreement_mixed_inputs_no_faults() {
         let n = 5;
-        let behaviors: Vec<_> = (0..n).map(|i| honest(i % 2 == 0, 1)).collect();
-        let res = run_network(n, 2, behaviors).unwrap_all();
+        let fleet: Vec<_> = (0..n).map(|i| honest(i % 2 == 0, 1)).collect();
+        let res = StepRunner::new(n, 2).run(fleet).unwrap_all();
         assert!(res.windows(2).all(|w| w[0] == w[1]), "disagreement: {res:?}");
     }
 
     #[test]
     fn agreement_under_byzantine_king() {
-        // Party 1 (the first king) equivocates maximally.
+        // Parties 1 and 2 (including the first king) equivocate maximally:
+        // split suggestions on even rounds, split king bits on odd rounds.
         let n = 9;
         let t = 2;
         let plan = FaultPlan::first_t(n, t);
-        let behaviors = plan.behaviors::<BaMsg, bool>(
+        let machines = plan.machines::<BaMsg, Option<bool>>(
             |id| honest(id % 2 == 0, t),
             |_| {
-                Box::new(move |ctx| {
-                    let n = ctx.n();
-                    let t = 2;
-                    for _phase in 0..=t {
-                        // Suggest different bits to different parties.
-                        for to in 1..=n {
-                            ctx.send(to, BaMsg::Suggest(to % 2 == 0));
-                        }
-                        let _ = ctx.next_round();
-                        // Usurp the king round with a split message too.
-                        for to in 1..=n {
-                            ctx.send(to, BaMsg::King(to % 3 == 0));
-                        }
-                        let _ = ctx.next_round();
+                Box::new(from_fn(move |view: RoundView<'_, BaMsg>| {
+                    let r = view.round as usize;
+                    if r >= 2 * (t + 1) {
+                        return Step::Done(None);
                     }
-                    false
-                })
+                    let mut out = view.outbox();
+                    for to in 1..=view.n {
+                        if r % 2 == 0 {
+                            out.send(to, BaMsg::Suggest(to % 2 == 0));
+                        } else {
+                            out.send(to, BaMsg::King(to % 3 == 0));
+                        }
+                    }
+                    Step::Continue(out)
+                }))
             },
         );
-        let res = run_network(n, 3, behaviors);
-        let honest_out: Vec<bool> = plan.honest().map(|id| res.outputs[id - 1].unwrap()).collect();
+        let res = StepRunner::new(n, 3).run(machines);
+        let honest_out: Vec<bool> =
+            plan.honest().map(|id| res.outputs[id - 1].clone().unwrap().unwrap()).collect();
         assert!(
             honest_out.windows(2).all(|w| w[0] == w[1]),
             "honest disagreement: {honest_out:?}"
@@ -255,24 +243,27 @@ mod tests {
         let n = 9;
         let t = 2;
         let plan = FaultPlan::explicit(n, vec![4, 8]);
-        let behaviors = plan.behaviors::<BaMsg, bool>(
+        let machines = plan.machines::<BaMsg, Option<bool>>(
             |_| honest(true, t),
             |_| {
-                Box::new(move |ctx| {
-                    let t = 2;
-                    for _ in 0..=t {
-                        ctx.send_to_all(BaMsg::Suggest(false));
-                        let _ = ctx.next_round();
-                        ctx.send_to_all(BaMsg::King(false));
-                        let _ = ctx.next_round();
+                Box::new(from_fn(move |view: RoundView<'_, BaMsg>| {
+                    let r = view.round as usize;
+                    if r >= 2 * (t + 1) {
+                        return Step::Done(None);
                     }
-                    false
-                })
+                    let mut out = view.outbox();
+                    if r % 2 == 0 {
+                        out.send_to_all(BaMsg::Suggest(false));
+                    } else {
+                        out.send_to_all(BaMsg::King(false));
+                    }
+                    Step::Continue(out)
+                }))
             },
         );
-        let res = run_network(n, 4, behaviors);
+        let res = StepRunner::new(n, 4).run(machines);
         for id in plan.honest() {
-            assert_eq!(res.outputs[id - 1], Some(true), "party {id} lost validity");
+            assert_eq!(res.outputs[id - 1], Some(Some(true)), "party {id} lost validity");
         }
     }
 
@@ -281,20 +272,21 @@ mod tests {
         let n = 5;
         let t = 1;
         let plan = FaultPlan::explicit(n, vec![1]); // the first king crashes
-        let behaviors = plan.behaviors::<BaMsg, bool>(
+        let machines = plan.machines::<BaMsg, Option<bool>>(
             |id| honest(id >= 4, t),
-            |_| Box::new(|_ctx| false),
+            |_| Box::new(from_fn(|_view: RoundView<'_, BaMsg>| Step::Done(None))),
         );
-        let res = run_network(n, 5, behaviors);
-        let outs: Vec<bool> = plan.honest().map(|id| res.outputs[id - 1].unwrap()).collect();
+        let res = StepRunner::new(n, 5).run(machines);
+        let outs: Vec<bool> =
+            plan.honest().map(|id| res.outputs[id - 1].clone().unwrap().unwrap()).collect();
         assert!(outs.windows(2).all(|w| w[0] == w[1]), "{outs:?}");
     }
 
     #[test]
     fn round_count_is_two_t_plus_one_phases() {
         let n = 5;
-        let behaviors: Vec<_> = (0..n).map(|_| honest(true, 1)).collect();
-        let res = run_network(n, 6, behaviors);
+        let fleet: Vec<_> = (0..n).map(|_| honest(true, 1)).collect();
+        let res = StepRunner::new(n, 6).run(fleet);
         assert_eq!(res.report.comm.rounds, 4); // 2 rounds × (t+1 = 2) phases
     }
 
@@ -308,36 +300,36 @@ mod tests {
             let mut ids: Vec<usize> = (1..=n).collect();
             // Pick two random faulty parties.
             for i in 0..t {
-                let j = rng.random_range(i..n);
+                let j = rng.random_range(i as u64..n as u64) as usize;
                 ids.swap(i, j);
             }
             let plan = FaultPlan::explicit(n, ids[..t].to_vec());
             let inputs: Vec<bool> = (0..n).map(|_| rng.random()).collect();
-            let behaviors = plan.behaviors::<BaMsg, bool>(
+            let machines = plan.machines::<BaMsg, Option<bool>>(
                 |id| honest(inputs[id - 1], t),
                 |_| {
-                    Box::new(move |ctx| {
-                        let t = 2;
-                        for round in 0..2 * (t + 1) {
-                            let n = ctx.n();
-                            for to in 1..=n {
-                                let bit = (to + round) % 2 == 0;
-                                let msg = if round % 2 == 0 {
-                                    BaMsg::Suggest(bit)
-                                } else {
-                                    BaMsg::King(bit)
-                                };
-                                ctx.send(to, msg);
-                            }
-                            let _ = ctx.next_round();
+                    Box::new(from_fn(move |view: RoundView<'_, BaMsg>| {
+                        let round = view.round as usize;
+                        if round >= 2 * (t + 1) {
+                            return Step::Done(None);
                         }
-                        false
-                    })
+                        let mut out = view.outbox();
+                        for to in 1..=view.n {
+                            let bit = (to + round) % 2 == 0;
+                            let msg = if round % 2 == 0 {
+                                BaMsg::Suggest(bit)
+                            } else {
+                                BaMsg::King(bit)
+                            };
+                            out.send(to, msg);
+                        }
+                        Step::Continue(out)
+                    }))
                 },
             );
-            let res = run_network(n, 100 + trial, behaviors);
+            let res = StepRunner::new(n, 100 + trial).run(machines);
             let outs: Vec<bool> =
-                plan.honest().map(|id| res.outputs[id - 1].unwrap()).collect();
+                plan.honest().map(|id| res.outputs[id - 1].clone().unwrap().unwrap()).collect();
             assert!(
                 outs.windows(2).all(|w| w[0] == w[1]),
                 "trial {trial}: disagreement {outs:?} (faulty {:?})",
@@ -348,11 +340,10 @@ mod tests {
 
     #[test]
     fn rejects_insufficient_n() {
-        // n = 4, t = 1 violates n > 4t: every party's assertion fires and
-        // the runner reports all outputs as failed.
-        let behaviors: Vec<Behavior<BaMsg, bool>> =
-            (0..4).map(|_| honest(true, 1)).collect();
-        let res = run_network(4, 7, behaviors);
+        // n = 4, t = 1 violates n > 4t: every machine's assertion fires
+        // and the runner reports all outputs as failed.
+        let fleet: Vec<_> = (0..4).map(|_| honest(true, 1)).collect();
+        let res = StepRunner::new(4, 7).run(fleet);
         assert!(res.outputs.iter().all(Option::is_none));
     }
 }

@@ -22,7 +22,7 @@
 //! one BA per broadcast.
 
 use dprbg_metrics::WireSize;
-use dprbg_sim::{drive_blocking, Embeds, MachineExt, PartyCtx, PartyId, RoundMachine};
+use dprbg_sim::{Embeds, MachineExt, PartyId, RoundMachine};
 
 use crate::ba::{BaMsg, PhaseKingMachine};
 use crate::gradecast::{GcMsg, GradeOutput, GradecastMachine};
@@ -32,9 +32,10 @@ use crate::gradecast::{GcMsg, GradeOutput, GradecastMachine};
 /// [`map`](MachineExt::map)ped to the delivered value. The sequencing is
 /// pure combinator plumbing — no transport code.
 ///
-/// `my_value` must be `Some` only at the `sender` (the blocking shim
-/// [`reliable_broadcast`] derives this from the ctx id; machine callers
-/// decide per party at construction time).
+/// All parties construct the machine together in the same round, with
+/// `my_value` `Some` only at the `sender`. Takes `3 + 2(t + 1)` rounds
+/// (grade-cast + phase-king). The output is the delivered value, `None`
+/// meaning "sender disqualified" (identical at every honest party).
 pub fn reliable_broadcast_machine<M, V>(
     sender: PartyId,
     my_value: Option<V>,
@@ -52,33 +53,12 @@ where
     })
 }
 
-/// Reliably broadcast `value_if_sender` from `sender` to everyone.
-///
-/// All parties call this together; only the `sender` passes `Some`.
-/// Takes `3 + 2(t + 1)` rounds (grade-cast + phase-king). Returns the
-/// delivered value, `None` meaning "sender disqualified" (identical at
-/// every honest party). Blocking shim over
-/// [`reliable_broadcast_machine`].
-pub fn reliable_broadcast<M, V>(
-    ctx: &mut PartyCtx<M>,
-    sender: PartyId,
-    value_if_sender: Option<V>,
-    t: usize,
-) -> Option<V>
-where
-    M: Clone + Send + WireSize + Embeds<GcMsg<V>> + Embeds<BaMsg> + 'static,
-    V: Clone + Eq + WireSize + Send + 'static,
-{
-    let mine = if ctx.id() == sender { value_if_sender } else { None };
-    drive_blocking(ctx, reliable_broadcast_machine(sender, mine, t))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dprbg_sim::{run_network, Behavior, FaultPlan};
     use dprbg_rng::rngs::StdRng;
     use dprbg_rng::{RngExt, SeedableRng};
+    use dprbg_sim::{from_fn, BoxedMachine, FaultPlan, ParRunner, RoundView, Step, StepRunner};
 
     /// Composite wire type for the broadcast: grade-cast + BA traffic.
     #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,19 +100,20 @@ mod tests {
         }
     }
 
+    fn fleet(n: usize, sender: PartyId, value: u64, t: usize) -> Vec<BoxedMachine<Wire, Option<u64>>> {
+        (1..=n)
+            .map(|id| {
+                let v = (id == sender).then_some(value);
+                Box::new(reliable_broadcast_machine::<Wire, u64>(sender, v, t))
+                    as BoxedMachine<Wire, Option<u64>>
+            })
+            .collect()
+    }
+
     #[test]
     fn honest_sender_delivers_to_all() {
         let n = 7;
-        let t = 1;
-        let behaviors: Vec<Behavior<Wire, Option<u64>>> = (1..=n)
-            .map(|id| {
-                Box::new(move |ctx: &mut PartyCtx<Wire>| {
-                    let v = (id == 3).then_some(0xB40ADCA57);
-                    reliable_broadcast::<Wire, u64>(ctx, 3, v, t)
-                }) as Behavior<_, _>
-            })
-            .collect();
-        for out in run_network(n, 1, behaviors).unwrap_all() {
+        for out in StepRunner::new(n, 1).run(fleet(n, 3, 0xB40ADCA57, 1)).unwrap_all() {
             assert_eq!(out, Some(0xB40ADCA57));
         }
     }
@@ -142,28 +123,32 @@ mod tests {
         let n = 9;
         let t = 2;
         let plan = FaultPlan::explicit(n, vec![1]);
-        let behaviors = plan.behaviors::<Wire, Option<Option<u64>>>(
+        let deadline = (3 + 2 * (t + 1)) as u64;
+        let machines = plan.machines::<Wire, Option<Option<u64>>>(
             |_| {
-                Box::new(move |ctx| {
-                    Some(reliable_broadcast::<Wire, u64>(ctx, 1, None, 2))
-                })
+                Box::new(
+                    reliable_broadcast_machine::<Wire, u64>(1, None, t).map(Some),
+                )
             },
             |_| {
-                Box::new(|ctx| {
-                    let n = ctx.n();
-                    // Split round 1, then stay silent.
-                    for to in 1..=n {
-                        ctx.send(to, Wire::Gc(GcMsg::Value(if to % 2 == 0 { 7 } else { 8 })));
+                Box::new(from_fn(move |view: RoundView<'_, Wire>| match view.round {
+                    0 => {
+                        // Split round 0, then stay silent.
+                        let mut out = view.outbox();
+                        for to in 1..=view.n {
+                            out.send(
+                                to,
+                                Wire::Gc(GcMsg::Value(if to % 2 == 0 { 7 } else { 8 })),
+                            );
+                        }
+                        Step::Continue(out)
                     }
-                    // Burn the remaining gradecast + BA rounds.
-                    for _ in 0..(3 + 2 * (2 + 1)) {
-                        let _ = ctx.next_round();
-                    }
-                    None
-                })
+                    r if r < deadline => Step::Continue(view.outbox()),
+                    _ => Step::Done(None),
+                }))
             },
         );
-        let res = run_network(n, 2, behaviors);
+        let res = StepRunner::new(n, 2).run(machines);
         let outs: Vec<Option<u64>> = plan
             .honest()
             .map(|id| res.outputs[id - 1].as_ref().unwrap().unwrap())
@@ -172,37 +157,21 @@ mod tests {
             outs.windows(2).all(|w| w[0] == w[1]),
             "honest parties disagree: {outs:?}"
         );
-        let _ = t;
     }
 
     #[test]
-    fn machine_form_matches_blocking_shim_across_executors() {
-        // The same broadcast, once as blocking behaviors on the threaded
-        // runner and once as machines on the single-threaded StepRunner:
-        // outputs, cost report, and round profile must all agree.
-        use dprbg_sim::{BoxedMachine, StepRunner};
+    fn executors_agree_on_outputs_and_costs() {
+        // The same broadcast fleet on the single-threaded StepRunner and
+        // the work-stealing ParRunner: outputs, cost report, and round
+        // profile must all be bit-identical.
         let n = 7;
         let t = 1;
         let seed = 0xB0;
-        let blocking: Vec<Behavior<Wire, Option<u64>>> = (1..=n)
-            .map(|id| {
-                Box::new(move |ctx: &mut PartyCtx<Wire>| {
-                    let v = (id == 4).then_some(777);
-                    reliable_broadcast::<Wire, u64>(ctx, 4, v, t)
-                }) as Behavior<_, _>
-            })
-            .collect();
-        let machines: Vec<BoxedMachine<Wire, Option<u64>>> = (1..=n)
-            .map(|id| {
-                let v = (id == 4).then_some(777u64);
-                Box::new(reliable_broadcast_machine::<Wire, u64>(4, v, t)) as BoxedMachine<_, _>
-            })
-            .collect();
-        let threaded = run_network(n, seed, blocking);
-        let stepped = StepRunner::new(n, seed).run(machines);
-        assert_eq!(threaded.outputs, stepped.outputs);
-        assert_eq!(threaded.report, stepped.report);
-        assert_eq!(threaded.rounds, stepped.rounds);
+        let stepped = StepRunner::new(n, seed).run(fleet(n, 4, 777, t));
+        let par = ParRunner::new(n, seed).with_threads(4).run(fleet(n, 4, 777, t));
+        assert_eq!(stepped.outputs, par.outputs);
+        assert_eq!(stepped.report, par.report);
+        assert_eq!(stepped.rounds, par.rounds);
         assert_eq!(stepped.outputs[0], Some(Some(777)));
         // 3 gradecast rounds + 2(t+1) BA rounds.
         assert_eq!(stepped.report.comm.rounds as usize, 3 + 2 * (t + 1));
@@ -211,15 +180,14 @@ mod tests {
     #[test]
     fn silent_sender_delivers_bottom_everywhere() {
         let n = 7;
-        let behaviors: Vec<Behavior<Wire, Option<u64>>> = (1..=n)
+        // Sender 5 never speaks (every party passes None).
+        let machines: Vec<BoxedMachine<Wire, Option<u64>>> = (1..=n)
             .map(|_| {
-                Box::new(move |ctx: &mut PartyCtx<Wire>| {
-                    // Sender 5 never speaks (passes None).
-                    reliable_broadcast::<Wire, u64>(ctx, 5, None, 1)
-                }) as Behavior<_, _>
+                Box::new(reliable_broadcast_machine::<Wire, u64>(5, None, 1))
+                    as BoxedMachine<Wire, Option<u64>>
             })
             .collect();
-        for out in run_network(n, 3, behaviors).unwrap_all() {
+        for out in StepRunner::new(n, 3).run(machines).unwrap_all() {
             assert_eq!(out, None);
         }
     }
@@ -229,45 +197,40 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0xBC);
         for trial in 0..10u64 {
             let n = 9;
-            let _t = 2;
-            let sender = rng.random_range(1..=n);
+            let sender = rng.random_range(1..=n as u64) as usize;
             let bad = loop {
-                let b = rng.random_range(1..=n);
+                let b = rng.random_range(1..=n as u64) as usize;
                 if b != sender {
                     break b;
                 }
             };
             let plan = FaultPlan::explicit(n, vec![bad]);
-            let behaviors = plan.behaviors::<Wire, Option<Option<u64>>>(
-                |_| {
-                    Box::new(move |ctx| {
-                        let v = (ctx.id() == sender).then_some(42 + trial);
-                        Some(reliable_broadcast::<Wire, u64>(ctx, sender, v, 2))
-                    })
+            let machines = plan.machines::<Wire, Option<Option<u64>>>(
+                |id| {
+                    let v = (id == sender).then_some(42 + trial);
+                    Box::new(reliable_broadcast_machine::<Wire, u64>(sender, v, 2).map(Some))
                 },
                 |_| {
-                    Box::new(move |ctx| {
+                    Box::new(from_fn(move |view: RoundView<'_, Wire>| {
                         // Random byzantine noise for a few rounds.
-                        for round in 0..6 {
-                            let n = ctx.n();
-                            for to in 1..=n {
-                                if (to + round) % 3 == 0 {
-                                    ctx.send(
-                                        to,
-                                        Wire::Gc(GcMsg::Echo {
-                                            instance: sender,
-                                            value: 999,
-                                        }),
-                                    );
-                                }
-                            }
-                            let _ = ctx.next_round();
+                        let round = view.round as usize;
+                        if round >= 6 {
+                            return Step::Done(None);
                         }
-                        None
-                    })
+                        let mut out = view.outbox();
+                        for to in 1..=view.n {
+                            if (to + round) % 3 == 0 {
+                                out.send(
+                                    to,
+                                    Wire::Gc(GcMsg::Echo { instance: sender, value: 999 }),
+                                );
+                            }
+                        }
+                        Step::Continue(out)
+                    }))
                 },
             );
-            let res = run_network(n, 700 + trial, behaviors);
+            let res = StepRunner::new(n, 700 + trial).run(machines);
             for id in plan.honest() {
                 assert_eq!(
                     res.outputs[id - 1].as_ref().unwrap().unwrap(),

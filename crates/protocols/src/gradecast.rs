@@ -22,7 +22,7 @@
 use std::marker::PhantomData;
 
 use dprbg_metrics::WireSize;
-use dprbg_sim::{drive_blocking, Embeds, PartyCtx, PartyId, RoundMachine, RoundView, Step};
+use dprbg_sim::{Embeds, PartyId, RoundMachine, RoundView, Step};
 
 /// Wire messages of the parallel grade-cast instances.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,7 +96,8 @@ fn best_supported<V: Clone + Eq>(entries: &[(PartyId, V)]) -> Option<(V, usize)>
 /// Each round call consumes the previous round's inbox and emits the next
 /// round's sends, so no cross-round message storage is needed beyond the
 /// phase tag. Exactly 3 rounds (`Continue`s); the `Done` call only tallies
-/// votes.
+/// votes. Requires `n ≥ 3t + 1` for the guarantees above; the threshold
+/// `t` is `⌊(n − 1) / 3⌋`.
 pub struct GradecastMachine<M, V> {
     my_value: Option<V>,
     phase: GcPhase,
@@ -216,45 +217,23 @@ where
     }
 }
 
-/// Run `n` parallel grade-cast instances — party `j` is the sender of
-/// instance `j` — and return this party's `n` outputs (index `j − 1` is
-/// instance `j`).
-///
-/// Blocking shim over [`GradecastMachine`]: same logic, driven on this
-/// party's [`PartyCtx`] by [`drive_blocking`].
-///
-/// `my_value` is what this party grade-casts in its own instance
-/// (`None` = originate nothing; this party still echoes and votes for
-/// the other instances). Takes exactly 3 rounds. Requires `n ≥ 3t + 1`
-/// for the guarantees above; the threshold `t` is `⌊(n − 1) / 3⌋`.
-pub fn gradecast_exchange<M, V>(
-    ctx: &mut PartyCtx<M>,
-    my_value: impl Into<Option<V>>,
-) -> Vec<GradeOutput<V>>
-where
-    M: Clone + Send + WireSize + Embeds<GcMsg<V>> + 'static,
-    V: Clone + Eq + WireSize,
-{
-    drive_blocking(ctx, GradecastMachine::new(my_value))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dprbg_sim::{run_network, Behavior, FaultPlan};
+    use dprbg_sim::{from_fn, BoxedMachine, FaultPlan, StepRunner};
 
     type V = u64;
     type M = GcMsg<V>;
 
-    fn honest(value: V) -> Behavior<M, Vec<GradeOutput<V>>> {
-        Box::new(move |ctx| gradecast_exchange::<M, V>(ctx, value))
+    fn honest(value: V) -> BoxedMachine<M, Vec<GradeOutput<V>>> {
+        Box::new(GradecastMachine::new(value))
     }
 
     #[test]
     fn all_honest_full_confidence() {
         let n = 4;
-        let behaviors: Vec<_> = (1..=n).map(|id| honest(id as u64 * 100)).collect();
-        let res = run_network(n, 1, behaviors);
+        let fleet: Vec<_> = (1..=n).map(|id| honest(id as u64 * 100)).collect();
+        let res = StepRunner::new(n, 1).run(fleet);
         for outputs in res.unwrap_all() {
             for (j, out) in outputs.iter().enumerate() {
                 assert_eq!(out.confidence, 2);
@@ -265,34 +244,39 @@ mod tests {
 
     #[test]
     fn equivocating_sender_cannot_split_high_confidence() {
-        // Party 1 sends different values to different parties in round 1
-        // and echoes inconsistently; honest parties must never end with
+        // Parties 1–2 send different values to different parties in round
+        // 0 and echo inconsistently; honest parties must never end with
         // confidence >= 1 on different values for instance 1.
         let n = 7;
         let plan = FaultPlan::first_t(n, 2);
-        let behaviors = plan.behaviors::<M, Vec<GradeOutput<V>>>(
+        let machines = plan.machines::<M, Vec<GradeOutput<V>>>(
             |_| honest(5),
             |_| {
-                Box::new(|ctx| {
-                    let n = ctx.n();
-                    // Equivocate: half get 111, half get 222.
-                    for to in 1..=n {
-                        let v = if to <= n / 2 { 111 } else { 222 };
-                        ctx.send(to, GcMsg::Value(v));
+                Box::new(from_fn(|view: RoundView<'_, M>| match view.round {
+                    0 => {
+                        // Equivocate: half get 111, half get 222.
+                        let mut out = view.outbox();
+                        for to in 1..=view.n {
+                            let v = if to <= view.n / 2 { 111 } else { 222 };
+                            out.send(to, GcMsg::Value(v));
+                        }
+                        Step::Continue(out)
                     }
-                    let _ = ctx.next_round();
-                    // Echo garbage for our own instance, split again.
-                    for to in 1..=n {
-                        let v = if to % 2 == 0 { 111 } else { 222 };
-                        ctx.send(to, GcMsg::Echo { instance: 1, value: v });
+                    1 => {
+                        // Echo garbage for our own instance, split again.
+                        let mut out = view.outbox();
+                        for to in 1..=view.n {
+                            let v = if to % 2 == 0 { 111 } else { 222 };
+                            out.send(to, GcMsg::Echo { instance: 1, value: v });
+                        }
+                        Step::Continue(out)
                     }
-                    let _ = ctx.next_round();
-                    let _ = ctx.next_round();
-                    vec![]
-                })
+                    2 => Step::Continue(view.outbox()),
+                    _ => Step::Done(vec![]),
+                }))
             },
         );
-        let res = run_network(n, 2, behaviors);
+        let res = StepRunner::new(n, 2).run(machines);
         let mut graded: Vec<(Option<V>, u8)> = Vec::new();
         for id in plan.honest() {
             let outs = res.outputs[id - 1].as_ref().unwrap();
@@ -317,23 +301,24 @@ mod tests {
         // confidence >= 1 with the same value.
         let n = 7;
         let plan = FaultPlan::first_t(n, 2);
-        let behaviors = plan.behaviors::<M, Vec<GradeOutput<V>>>(
+        let machines = plan.machines::<M, Vec<GradeOutput<V>>>(
             |id| honest(id as u64),
             |_| {
-                Box::new(|ctx| {
-                    // Stay silent in rounds 1-2, vote randomly in round 3.
-                    let _ = ctx.next_round();
-                    let _ = ctx.next_round();
-                    let n = ctx.n();
-                    for to in 1..=n {
-                        ctx.send(to, GcMsg::Vote { instance: 3, value: 999 });
+                Box::new(from_fn(|view: RoundView<'_, M>| match view.round {
+                    // Silent in rounds 0-1, vote garbage in round 2.
+                    0 | 1 => Step::Continue(view.outbox()),
+                    2 => {
+                        let mut out = view.outbox();
+                        for to in 1..=view.n {
+                            out.send(to, GcMsg::Vote { instance: 3, value: 999 });
+                        }
+                        Step::Continue(out)
                     }
-                    let _ = ctx.next_round();
-                    vec![]
-                })
+                    _ => Step::Done(vec![]),
+                }))
             },
         );
-        let res = run_network(n, 3, behaviors);
+        let res = StepRunner::new(n, 3).run(machines);
         for j in plan.honest() {
             // Instance j had an honest sender: everyone must grade (j, 2).
             for id in plan.honest() {
@@ -348,18 +333,19 @@ mod tests {
     fn silent_sender_gets_zero_confidence() {
         let n = 4;
         let plan = FaultPlan::explicit(n, vec![2]);
-        let behaviors = plan.behaviors::<M, Vec<GradeOutput<V>>>(
+        let machines = plan.machines::<M, Vec<GradeOutput<V>>>(
             |id| honest(id as u64),
             |_| {
-                Box::new(|ctx| {
-                    for _ in 0..3 {
-                        let _ = ctx.next_round();
+                Box::new(from_fn(|view: RoundView<'_, M>| {
+                    if view.round < 3 {
+                        Step::Continue(view.outbox())
+                    } else {
+                        Step::Done(vec![])
                     }
-                    vec![]
-                })
+                }))
             },
         );
-        let res = run_network(n, 4, behaviors);
+        let res = StepRunner::new(n, 4).run(machines);
         for id in plan.honest() {
             let outs = res.outputs[id - 1].as_ref().unwrap();
             assert_eq!(outs[1].confidence, 0, "silent instance at party {id}");
@@ -378,8 +364,8 @@ mod tests {
     #[test]
     fn takes_exactly_three_rounds() {
         let n = 4;
-        let behaviors: Vec<_> = (1..=n).map(|id| honest(id as u64)).collect();
-        let res = run_network(n, 5, behaviors);
+        let fleet: Vec<_> = (1..=n).map(|id| honest(id as u64)).collect();
+        let res = StepRunner::new(n, 5).run(fleet);
         assert_eq!(res.report.comm.rounds, 3);
     }
 }

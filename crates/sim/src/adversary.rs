@@ -2,18 +2,18 @@
 //!
 //! The paper's adversary controls up to `t` parties which "deviate
 //! arbitrarily from the protocol, and even collude" (§2). In this
-//! simulator, an adversarial party is simply a different [`Behavior`]
-//! passed to [`crate::run_network`]; protocol crates define
-//! attack-specific behaviors next to each protocol. This module provides
-//! the generic pieces: a [`FaultPlan`] describing *which* parties are
-//! corrupted, behaviors every attack shares (crashing), and the
-//! **per-message hop**: a [`MsgTap`] installed on an executor sees every
-//! individual envelope in flight and may drop, delay, or tamper with it —
-//! a strictly finer adversary surface than swapping out whole behaviors.
+//! simulator, an adversarial party is simply a different
+//! [`RoundMachine`](crate::RoundMachine) in the fleet; protocol crates
+//! define attack-specific machines next to each protocol. This module
+//! provides the generic pieces: a [`FaultPlan`] describing *which* parties
+//! are corrupted, the machine every attack shares
+//! ([`silent`](crate::silent) — crashing), and the **per-message hop**: a
+//! [`MsgTap`] installed on an executor sees every individual envelope in
+//! flight and may drop, delay, or tamper with it — a strictly finer
+//! adversary surface than swapping out whole machines.
 
-use crate::network::{Behavior, PartyCtx};
+use crate::machine::BoxedMachine;
 use crate::router::PartyId;
-use dprbg_metrics::WireSize;
 
 /// One message in flight, as shown to a [`MsgTap`] at the executor's
 /// message hop — after the sender has been charged for it, before it is
@@ -53,11 +53,10 @@ pub enum MsgFate<M> {
 
 /// A per-message adversary installed at an executor's message hop.
 ///
-/// Both executors consult the tap for every posted copy. For the
-/// cross-executor determinism guarantee to extend to tapped runs, the tap
-/// must be a pure function of the [`MsgHop`] (the threaded runner offers
-/// no ordering guarantee between hops of different senders in the same
-/// round).
+/// Both executors consult the tap for every posted copy, on the
+/// coordinating thread, in id-major send-order-minor sequence — so even
+/// stateful taps fold identically under [`StepRunner`](crate::StepRunner)
+/// and [`ParRunner`](crate::ParRunner).
 pub trait MsgTap<M>: Send {
     /// Decide this message's fate.
     fn intercept(&mut self, hop: MsgHop<'_, M>) -> MsgFate<M>;
@@ -146,13 +145,13 @@ impl FaultPlan {
         self.faulty.iter().copied()
     }
 
-    /// Build the behavior vector for a run: `honest(id)` for honest
+    /// Build the machine fleet for a run: `honest(id)` for honest
     /// parties, `corrupt(id)` for corrupted ones.
-    pub fn behaviors<M, Out>(
+    pub fn machines<M, Out>(
         &self,
-        mut honest: impl FnMut(PartyId) -> Behavior<M, Out>,
-        mut corrupt: impl FnMut(PartyId) -> Behavior<M, Out>,
-    ) -> Vec<Behavior<M, Out>> {
+        mut honest: impl FnMut(PartyId) -> BoxedMachine<M, Out>,
+        mut corrupt: impl FnMut(PartyId) -> BoxedMachine<M, Out>,
+    ) -> Vec<BoxedMachine<M, Out>> {
         (1..=self.n)
             .map(|id| {
                 if self.is_faulty(id) {
@@ -165,22 +164,11 @@ impl FaultPlan {
     }
 }
 
-/// The crash-fault behavior: the party goes down before sending anything.
-///
-/// Thanks to the dynamic round barrier the remaining parties keep running;
-/// the crashed party simply never speaks again.
-pub fn crash_immediately<M, Out>() -> Behavior<M, Out>
-where
-    M: Clone + WireSize + 'static,
-    Out: Default + 'static,
-{
-    Box::new(|_ctx: &mut PartyCtx<M>| Out::default())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::network::run_network;
+    use crate::machine::{from_fn, silent, BoxedMachine, RoundView, Step};
+    use crate::step::StepRunner;
 
     #[test]
     fn fault_plan_shapes() {
@@ -205,19 +193,24 @@ mod tests {
         let _ = FaultPlan::explicit(5, vec![6]);
     }
 
+    fn gossip_then_count() -> BoxedMachine<u64, usize> {
+        Box::new(from_fn(|view: RoundView<'_, u64>| {
+            if view.round == 0 {
+                let mut out = view.outbox();
+                out.send_to_all(view.id as u64);
+                Step::Continue(out)
+            } else {
+                Step::Done(view.inbox.len())
+            }
+        }))
+    }
+
     #[test]
     fn tap_drops_individual_copies() {
-        // Sever only the 1 → 3 link: finer than any behavior swap could
+        // Sever only the 1 → 3 link: finer than any machine swap could
         // be, since party 1 is honest and its other copies arrive.
-        let behaviors = || -> Vec<Behavior<u64, usize>> {
-            (1..=3)
-                .map(|_| {
-                    Box::new(|ctx: &mut PartyCtx<u64>| {
-                        ctx.send_to_all(ctx.id() as u64);
-                        ctx.next_round().len()
-                    }) as Behavior<u64, usize>
-                })
-                .collect()
+        let fleet = || -> Vec<BoxedMachine<u64, usize>> {
+            (1..=3).map(|_| gossip_then_count()).collect()
         };
         let tap = |hop: MsgHop<'_, u64>| {
             if hop.from == 1 && hop.to == 3 {
@@ -226,7 +219,7 @@ mod tests {
                 MsgFate::Deliver
             }
         };
-        let res = crate::network::run_network_with_tap(3, 5, behaviors(), Box::new(tap));
+        let res = StepRunner::new(3, 5).with_tap(tap).run(fleet());
         assert_eq!(res.outputs, vec![Some(3), Some(3), Some(2)]);
         // The sender still paid for the eaten copy.
         assert_eq!(res.report.comm.messages, 9);
@@ -236,21 +229,30 @@ mod tests {
     fn tap_delays_across_round_boundaries() {
         // Party 1's round-0 message to party 2 is held back one extra
         // round: absent from round 1's inbox, present in round 2's.
-        let behaviors: Vec<Behavior<u64, (usize, usize)>> = vec![
-            Box::new(|ctx: &mut PartyCtx<u64>| {
-                ctx.send(2, 41);
-                let _ = ctx.next_round();
-                let _ = ctx.next_round();
-                (0, 0)
-            }),
-            Box::new(|ctx: &mut PartyCtx<u64>| {
-                let r1 = ctx.next_round().len();
-                let r2 = ctx.next_round().len();
-                (r1, r2)
-            }),
+        let fleet: Vec<BoxedMachine<u64, (usize, usize)>> = vec![
+            Box::new(from_fn(|view: RoundView<'_, u64>| match view.round {
+                0 => {
+                    let mut out = view.outbox();
+                    out.send(2, 41);
+                    Step::Continue(out)
+                }
+                1 => Step::Continue(view.outbox()),
+                _ => Step::Done((0, 0)),
+            })),
+            Box::new(from_fn({
+                let mut r1 = 0usize;
+                move |view: RoundView<'_, u64>| match view.round {
+                    0 => Step::Continue(view.outbox()),
+                    1 => {
+                        r1 = view.inbox.len();
+                        Step::Continue(view.outbox())
+                    }
+                    _ => Step::Done((r1, view.inbox.len())),
+                }
+            })),
         ];
         let tap = |_hop: MsgHop<'_, u64>| MsgFate::Delay(1);
-        let res = crate::network::run_network_with_tap(2, 5, behaviors, Box::new(tap));
+        let res = StepRunner::new(2, 5).with_tap(tap).run(fleet);
         assert_eq!(res.outputs[1], Some((0, 1)));
     }
 
@@ -258,16 +260,20 @@ mod tests {
     fn tap_equivocates_on_the_ideal_broadcast_channel() {
         // The §3 ideal channel promises every party the identical value;
         // a per-copy tamper breaks exactly that promise for one victim.
-        let behaviors = || -> Vec<Behavior<u64, u64>> {
+        let fleet = || -> Vec<BoxedMachine<u64, u64>> {
             (1..=3)
                 .map(|_| {
-                    Box::new(|ctx: &mut PartyCtx<u64>| {
-                        if ctx.id() == 1 {
-                            ctx.broadcast(10);
+                    Box::new(from_fn(|view: RoundView<'_, u64>| {
+                        if view.round == 0 {
+                            let mut out = view.outbox();
+                            if view.id == 1 {
+                                out.broadcast(10);
+                            }
+                            Step::Continue(out)
+                        } else {
+                            Step::Done(view.inbox.broadcasts().map(|r| r.msg).sum())
                         }
-                        let inbox = ctx.next_round();
-                        inbox.broadcasts().map(|r| r.msg).sum()
-                    }) as Behavior<u64, u64>
+                    })) as BoxedMachine<u64, u64>
                 })
                 .collect()
         };
@@ -278,14 +284,14 @@ mod tests {
                 MsgFate::Deliver
             }
         };
-        let res = crate::network::run_network_with_tap(3, 5, behaviors(), Box::new(tap));
+        let res = StepRunner::new(3, 5).with_tap(tap).run(fleet());
         assert_eq!(res.outputs, vec![Some(10), Some(10), Some(100)]);
     }
 
     #[test]
     fn tapped_runs_agree_across_executors() {
-        use crate::machine::{BoxedMachine, RoundMachine, RoundView, Step};
-        use crate::step::StepRunner;
+        use crate::machine::{RoundMachine, RoundView, Step};
+        use crate::par::ParRunner;
 
         /// Two gossip rounds so delayed messages have somewhere to land.
         struct TwoRounds;
@@ -314,31 +320,24 @@ mod tests {
                 _ => MsgFate::Deliver,
             }
         };
-        let threaded =
-            crate::network::run_machines_with_tap(4, 21, fleet(), Box::new(tap()));
         let stepped = StepRunner::new(4, 21).with_tap(tap()).run(fleet());
-        assert_eq!(threaded.outputs, stepped.outputs);
-        assert_eq!(threaded.report, stepped.report);
-        assert_eq!(threaded.rounds, stepped.rounds);
+        let parallel = ParRunner::new(4, 21).with_tap(tap()).run(fleet());
+        assert_eq!(stepped.outputs, parallel.outputs);
+        assert_eq!(stepped.report, parallel.report);
+        assert_eq!(stepped.rounds, parallel.rounds);
         // And the tamper actually landed.
-        let p3 = threaded.outputs[2].as_ref().unwrap();
+        let p3 = stepped.outputs[2].as_ref().unwrap();
         assert!(p3.iter().any(|&(from, v)| from == 4 && v > 1000));
     }
 
     #[test]
     fn crashed_parties_dont_stop_the_rest() {
         let plan = FaultPlan::first_t(4, 1);
-        let behaviors = plan.behaviors::<u8, u8>(
-            |_id| {
-                Box::new(|ctx| {
-                    ctx.send_to_all(1);
-                    let inbox = ctx.next_round();
-                    inbox.len() as u8
-                })
-            },
-            |_id| crash_immediately(),
+        let fleet = plan.machines::<u64, usize>(
+            |_id| gossip_then_count(),
+            |_id| Box::new(silent()),
         );
-        let res = run_network(4, 11, behaviors);
+        let res = StepRunner::new(4, 11).run(fleet);
         // Three honest senders; the crashed party contributed nothing.
         for id in plan.honest() {
             assert_eq!(res.outputs[id - 1], Some(3));

@@ -10,15 +10,14 @@
 //!
 //! # Determinism across executors
 //!
-//! The cross-executor guarantee (threaded [`crate::run_machines`] and the
-//! single-threaded [`crate::StepRunner`] produce byte-identical
-//! transcripts) nominally requires a tap to be a *pure* function of the
-//! hop, because the threaded runner gives no ordering between hops of
-//! different senders within a round. A stateful adversary stays
-//! deterministic anyway by exploiting the one ordering fact both
-//! executors do guarantee — **every hop of round `r` is posted strictly
-//! before any hop of round `r + 1`** (the lock-step barrier) — and
-//! restricting its state updates to:
+//! The cross-executor guarantee (the work-stealing [`crate::ParRunner`]
+//! and the single-threaded [`crate::StepRunner`] produce byte-identical
+//! transcripts) holds for stateful taps because both executors consult
+//! the tap on the coordinating thread in the same id-major order; a
+//! stateful adversary additionally keeps itself executor-independent by
+//! exploiting the one ordering fact lock-step synchrony guarantees —
+//! **every hop of round `r` is posted strictly before any hop of round
+//! `r + 1`** — and restricting its state updates to:
 //!
 //! * **per-sender state** (message counts, payload caches), which only
 //!   that sender's own hops mutate and each sender's hops arrive in its
@@ -383,7 +382,7 @@ impl<M: Clone + Send> MsgTap<M> for AdaptiveAdversary<M> {
 mod tests {
     use super::*;
     use crate::machine::{BoxedMachine, RoundMachine, RoundView, Step};
-    use crate::network::run_machines_with_tap;
+    use crate::par::ParRunner;
     use crate::step::StepRunner;
 
     /// A gossip fleet with deliberately skewed traffic: everyone
@@ -434,18 +433,18 @@ mod tests {
             for seed in [3u64, 17] {
                 let adv_a = AdaptiveAdversary::new(attack, n, 2, seed);
                 let log_a = adv_a.handle();
-                let threaded =
-                    run_machines_with_tap(n, seed, fleet(n, 4, 3), Box::new(adv_a));
+                let parallel =
+                    ParRunner::new(n, seed).with_tap(adv_a).run(fleet(n, 4, 3));
                 let adv_b = AdaptiveAdversary::new(attack, n, 2, seed);
                 let log_b = adv_b.handle();
                 let stepped = StepRunner::new(n, seed).with_tap(adv_b).run(fleet(n, 4, 3));
                 assert_eq!(
-                    threaded.outputs, stepped.outputs,
+                    parallel.outputs, stepped.outputs,
                     "{} diverged at seed {seed}",
                     attack.name()
                 );
-                assert_eq!(threaded.report, stepped.report, "{}", attack.name());
-                assert_eq!(threaded.rounds, stepped.rounds, "{}", attack.name());
+                assert_eq!(parallel.report, stepped.report, "{}", attack.name());
+                assert_eq!(parallel.rounds, stepped.rounds, "{}", attack.name());
                 assert_eq!(
                     log_a.snapshot(),
                     log_b.snapshot(),

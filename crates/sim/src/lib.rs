@@ -8,57 +8,13 @@
 //! perfectly random bits), which communicate by sending messages. We assume
 //! that private channels are available between the players."
 //!
-//! Each party runs as its own thread executing straight-line protocol code
-//! against a [`PartyCtx`]: it sends typed messages over private
-//! point-to-point channels ([`PartyCtx::send`]), optionally uses the §3
-//! model's *ideal broadcast channel* ([`PartyCtx::broadcast`] — the
-//! facility §4 shows how to remove), and advances the global round clock
-//! with [`PartyCtx::next_round`], which delivers everything sent to it in
-//! the round that just ended.
+//! Protocol logic is written transport-free as a [`RoundMachine`]: a state
+//! machine whose [`round`](RoundMachine::round) method maps an [`Inbox`]
+//! view to an [`Outbox`] of sends (or a final output). The machine never
+//! touches a thread or socket; lock-step synchrony, delivery, and cost
+//! accounting are executor concerns. Two interchangeable executors drive
+//! machine fleets:
 //!
-//! Lock-step synchrony is enforced by a dynamic barrier: a round completes
-//! only when every *live* party has finished sending, so a message sent in
-//! round `r` is delivered at the start of round `r + 1`, exactly once, to
-//! exactly its addressee. Parties that return early (crash faults, or
-//! honest parties that finished) simply leave the barrier; the rest keep
-//! running.
-//!
-//! Everything is deterministic given the master seed: per-party randomness
-//! comes from seeded [`dprbg_rng::rngs::StdRng`]s, and inboxes are sorted by
-//! (sender, send order). Communication is charged to the
-//! [`dprbg_metrics::comm`] counters using [`WireSize`]: one unicast = one
-//! message of the payload's size; one ideal-channel broadcast = one message
-//! (matching the paper's counting, e.g. "2n messages, each of size k" in
-//! Lemma 2).
-//!
-//! # Examples
-//!
-//! ```
-//! use dprbg_sim::{run_network, Behavior, PartyCtx};
-//!
-//! // Three parties each send their id to everyone and sum what they hear.
-//! let behaviors: Vec<Behavior<u64, u64>> = (1..=3)
-//!     .map(|_| {
-//!         Box::new(|ctx: &mut PartyCtx<u64>| {
-//!             ctx.send_to_all(ctx.id() as u64);
-//!             let inbox = ctx.next_round();
-//!             inbox.iter().map(|r| r.msg).sum::<u64>()
-//!         }) as Behavior<u64, u64>
-//!     })
-//!     .collect();
-//! let result = run_network(3, 42, behaviors);
-//! assert_eq!(result.outputs, vec![Some(6), Some(6), Some(6)]);
-//! ```
-
-//! # Sans-IO round engine
-//!
-//! Protocol logic can also be written transport-free as a
-//! [`RoundMachine`]: a state machine whose [`round`](RoundMachine::round)
-//! method maps an [`Inbox`] view to an [`Outbox`] of sends (or a final
-//! output). Three interchangeable executors drive machines:
-//!
-//! * [`run_machines`] — the scoped-thread runner above, with a thin
-//!   blocking driver per party ([`drive_blocking`]);
 //! * [`StepRunner`] — a deterministic single-threaded executor that
 //!   interleaves all parties round-by-round with no threads or barriers,
 //!   making big-n sweeps cheap;
@@ -66,32 +22,65 @@
 //!   independent parties of each round concurrently and merges outboxes
 //!   in id order at round boundaries, for wall-clock speed at big n.
 //!
-//! All executors share sequence numbering, RNG derivation, and cost
+//! Both executors share sequence numbering, RNG derivation, and cost
 //! accounting, so the same seed yields byte-identical transcripts and
-//! identical cost reports under any of them. Each in-flight message copy also
-//! passes a **message hop** where an optional [`MsgTap`] adversary can
-//! drop, delay, or tamper per message (see [`run_network_with_tap`],
-//! [`StepRunner::with_tap`]).
+//! identical cost reports under either. A message sent in round `r` is
+//! delivered at the start of round `r + 1`, exactly once, to exactly its
+//! addressee, sorted by (sender, send order). Communication is charged to
+//! the [`dprbg_metrics::comm`] counters using [`WireSize`]: one unicast =
+//! one message of the payload's size; one ideal-channel broadcast = one
+//! message (matching the paper's counting, e.g. "2n messages, each of
+//! size k" in Lemma 2). Each in-flight copy also passes a **message hop**
+//! where an optional [`MsgTap`] adversary can drop, delay, or tamper per
+//! message ([`StepRunner::with_tap`], [`ParRunner::with_tap`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use dprbg_sim::{from_fn, BoxedMachine, RoundView, Step, StepRunner};
+//!
+//! // Three parties each send their id to everyone and sum what they hear.
+//! let fleet: Vec<BoxedMachine<u64, u64>> = (1..=3)
+//!     .map(|_| {
+//!         Box::new(from_fn(|view: RoundView<'_, u64>| {
+//!             if view.round == 0 {
+//!                 let mut out = view.outbox();
+//!                 out.send_to_all(view.id as u64);
+//!                 Step::Continue(out)
+//!             } else {
+//!                 Step::Done(view.inbox.iter().map(|r| r.msg).sum::<u64>())
+//!             }
+//!         })) as BoxedMachine<u64, u64>
+//!     })
+//!     .collect();
+//! let result = StepRunner::new(3, 42).run(fleet);
+//! assert_eq!(result.outputs, vec![Some(6), Some(6), Some(6)]);
+//! ```
+//!
+//! # Composition
+//!
+//! Machines compose without touching an executor: [`MachineExt::then`]
+//! chains a successor onto a finished machine, [`MachineExt::map`]
+//! transforms outputs, [`looping`] threads state through a data-dependent
+//! sequence of machines (retry loops, beacons), [`Subnet`] runs a
+//! sub-protocol inside a committee of `c ≪ n` parties at `O(c²)` cost,
+//! and [`Embeds`] multiplexes several sub-protocols' messages over one
+//! wire enum.
 
 mod adversary;
 mod chaos;
 mod embed;
 mod machine;
-mod network;
 mod par;
 mod router;
 mod step;
 
-pub use adversary::{crash_immediately, FaultPlan, MsgFate, MsgHop, MsgTap};
+pub use adversary::{FaultPlan, MsgFate, MsgHop, MsgTap};
 pub use chaos::{AdaptiveAdversary, Attack, CorruptionHandle};
 pub use embed::Embeds;
 pub use machine::{
-    drive_blocking, drive_blocking_traced, BoxedMachine, Chain, FlushStats, MachineExt, Map,
-    Outbox, RoundMachine, RoundView, Step,
-};
-pub use network::{
-    run_machines, run_machines_traced, run_machines_with_tap, run_network, run_network_with_tap,
-    Behavior, PartyCtx, RunResult,
+    from_fn, looping, ready, silent, BoxedMachine, Chain, FlushStats, FromFn, Loop, LoopControl,
+    MachineExt, Map, Outbox, Ready, RoundMachine, RoundView, RunResult, Step, Subnet,
 };
 pub use par::ParRunner;
 pub use router::{Inbox, PartyId, Received, RoundProfile};

@@ -7,13 +7,13 @@
 //! terminates with [`Step::Done`]. The machine never touches a socket,
 //! thread, or barrier — *how* the outbox reaches the other parties is an
 //! executor concern, so the same machine runs unchanged under the
-//! scoped-thread runner ([`run_machines`](crate::run_machines)) and the
-//! deterministic single-threaded [`StepRunner`](crate::StepRunner).
+//! deterministic single-threaded [`StepRunner`](crate::StepRunner) and the
+//! work-stealing [`ParRunner`](crate::ParRunner).
 //!
 //! Two invariants make the executors interchangeable:
 //!
 //! 1. **Identical cost accounting.** `Outbox::flush` is the single place
-//!    where queued envelopes become router posts, sequence numbers, and
+//!    where queued envelopes become deliveries, sequence numbers, and
 //!    [`comm`] counter increments — both executors call it, so a machine's
 //!    `CostReport` cannot depend on the executor.
 //! 2. **Identical randomness.** Executors derive each party's RNG from the
@@ -23,12 +23,12 @@
 //! The first `round` call sees an empty inbox (there is no round `-1` to
 //! deliver from); a machine's initial sends happen there.
 
-use dprbg_metrics::{comm, CostSnapshot, WireSize};
+use dprbg_metrics::{comm, CostReport, WireSize};
 use dprbg_rng::rngs::StdRng;
-use dprbg_trace::PartyTracer;
+use dprbg_trace::Trace;
 
-use crate::network::PartyCtx;
-use crate::router::{Inbox, PartyId, Received};
+use crate::embed::Embeds;
+use crate::router::{Inbox, PartyId, Received, RoundProfile};
 
 /// What a machine does with its round: keep going (with sends) or finish.
 #[derive(Debug)]
@@ -103,9 +103,9 @@ enum Dest {
 }
 
 /// A round's queued sends, recorded without touching the network or the
-/// cost counters. `Outbox::flush` later expands each envelope with
-/// exactly the semantics of the corresponding [`PartyCtx`] method, so
-/// metrics and inbox ordering are executor-independent.
+/// cost counters. `Outbox::flush` later expands each envelope into
+/// deliveries with fixed semantics, so metrics and inbox ordering are
+/// executor-independent.
 #[derive(Debug)]
 pub struct Outbox<M> {
     n: usize,
@@ -152,6 +152,16 @@ impl<M> Outbox<M> {
         self.envelopes.is_empty()
     }
 
+    /// Re-wrap every queued payload, preserving destinations and order —
+    /// how an adapter lifts a sub-protocol's outbox onto a composite wire
+    /// type.
+    pub fn map<N>(self, mut f: impl FnMut(M) -> N) -> Outbox<N> {
+        Outbox {
+            n: self.n,
+            envelopes: self.envelopes.into_iter().map(|(d, m)| (d, f(m))).collect(),
+        }
+    }
+
     pub(crate) fn n(&self) -> usize {
         self.n
     }
@@ -170,11 +180,9 @@ pub struct FlushStats {
 }
 
 impl<M: Clone + WireSize> Outbox<M> {
-    /// Expand every envelope into router posts, assigning sequence numbers
-    /// and charging the communication counters exactly as
-    /// [`PartyCtx::send`], [`PartyCtx::send_to_all`], and
-    /// [`PartyCtx::broadcast`] do: one message per unicast copy, one
-    /// message per ideal broadcast. Returns the charged totals.
+    /// Expand every envelope into deliveries, assigning sequence numbers
+    /// and charging the communication counters: one message per unicast
+    /// copy, one message per ideal broadcast. Returns the charged totals.
     pub(crate) fn flush(
         self,
         from: PartyId,
@@ -218,6 +226,46 @@ impl<M: Clone + WireSize> Outbox<M> {
     }
 }
 
+/// The outcome of driving a machine fleet to completion.
+#[derive(Debug)]
+pub struct RunResult<Out> {
+    /// Each party's protocol output, in id order; `None` if that party's
+    /// machine panicked.
+    pub outputs: Vec<Option<Out>>,
+    /// The aggregated cost report (per-party computation, total
+    /// communication).
+    pub report: CostReport,
+    /// Per-round delivery profile — the protocol's round anatomy.
+    pub rounds: Vec<RoundProfile>,
+    /// The merged logical trace, when the run was executed with tracing
+    /// ([`StepRunner::with_trace`](crate::StepRunner::with_trace),
+    /// [`ParRunner::with_trace`](crate::ParRunner::with_trace)).
+    pub trace: Option<Trace>,
+}
+
+impl<Out> RunResult<Out> {
+    /// The outputs of the parties that completed, paired with their ids.
+    pub fn completed(&self) -> impl Iterator<Item = (PartyId, &Out)> {
+        self.outputs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.as_ref().map(|out| (i + 1, out)))
+    }
+
+    /// Unwrap every output, panicking if any party failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any party's machine panicked.
+    pub fn unwrap_all(self) -> Vec<Out> {
+        self.outputs
+            .into_iter()
+            .enumerate()
+            .map(|(i, o)| o.unwrap_or_else(|| panic!("party {} panicked", i + 1)))
+            .collect()
+    }
+}
+
 /// A protocol written as an explicit round-state machine.
 ///
 /// Implementations must be executor-agnostic: observe only the
@@ -256,10 +304,102 @@ impl<M, T: RoundMachine<M> + ?Sized> RoundMachine<M> for Box<T> {
 /// A type-erased machine, as consumed by the executors.
 pub type BoxedMachine<M, Out> = Box<dyn RoundMachine<M, Output = Out> + Send>;
 
+/// A machine defined by a closure over the [`RoundView`] — the idiomatic
+/// way to script one-off parties (Byzantine test scripts, probe parties)
+/// without naming a struct:
+///
+/// ```
+/// use dprbg_sim::{from_fn, RoundView, Step, StepRunner, BoxedMachine};
+/// let fleet: Vec<BoxedMachine<u32, usize>> = (0..3)
+///     .map(|_| {
+///         Box::new(from_fn(|view: RoundView<'_, u32>| match view.round {
+///             0 => {
+///                 let mut out = view.outbox();
+///                 out.send_to_all(7);
+///                 Step::Continue(out)
+///             }
+///             _ => Step::Done(view.inbox.len()),
+///         })) as BoxedMachine<u32, usize>
+///     })
+///     .collect();
+/// assert_eq!(StepRunner::new(3, 1).run(fleet).unwrap_all(), vec![3, 3, 3]);
+/// ```
+pub struct FromFn<F> {
+    f: F,
+    label: &'static str,
+}
+
+/// Build a [`FromFn`] machine from a closure.
+pub fn from_fn<M, Out, F>(f: F) -> FromFn<F>
+where
+    F: FnMut(RoundView<'_, M>) -> Step<M, Out>,
+{
+    FromFn { f, label: "scripted" }
+}
+
+impl<F> FromFn<F> {
+    /// Override the phase label tracing executors record for this machine.
+    pub fn labelled(mut self, label: &'static str) -> Self {
+        self.label = label;
+        self
+    }
+}
+
+impl<M, Out, F> RoundMachine<M> for FromFn<F>
+where
+    F: FnMut(RoundView<'_, M>) -> Step<M, Out>,
+{
+    type Output = Out;
+
+    fn round(&mut self, view: RoundView<'_, M>) -> Step<M, Out> {
+        (self.f)(view)
+    }
+
+    fn phase_name(&self) -> &'static str {
+        self.label
+    }
+}
+
+/// The crash-fault machine: the party goes down before sending anything
+/// and outputs `Out::default()`. The executors keep the remaining parties
+/// running; the crashed party simply never speaks.
+pub fn silent<M, Out: Default>() -> FromFn<impl FnMut(RoundView<'_, M>) -> Step<M, Out>> {
+    from_fn(|_view: RoundView<'_, M>| Step::Done(Out::default())).labelled("silent")
+}
+
+/// A machine that is already finished: its first `round` call returns
+/// `Done(value)` without sending anything. The pure-transition glue for
+/// [`looping`] — when a loop body's next state is known without another
+/// network round, wrap it in `ready` and the transition costs nothing.
+pub struct Ready<Out> {
+    value: Option<Out>,
+}
+
+/// Build a [`Ready`] machine holding `value`.
+pub fn ready<Out>(value: Out) -> Ready<Out> {
+    Ready { value: Some(value) }
+}
+
+impl<M, Out> RoundMachine<M> for Ready<Out> {
+    type Output = Out;
+
+    fn round(&mut self, _view: RoundView<'_, M>) -> Step<M, Out> {
+        match self.value.take() {
+            Some(v) => Step::Done(v),
+            // A `Done` machine is never driven again (executor contract).
+            None => unreachable!("Ready machine driven past completion"),
+        }
+    }
+
+    fn phase_name(&self) -> &'static str {
+        "ready"
+    }
+}
+
 /// Sequential composition: run `A`, then feed its output to a closure that
-/// builds the successor machine `B`. Mirrors blocking control flow: when
+/// builds the successor machine `B`. Mirrors sequential control flow: when
 /// `A` finishes in some round, `B`'s first (send) round executes in that
-/// same round — exactly as straight-line code calls the next protocol
+/// same round — exactly as straight-line code would call the next protocol
 /// function immediately after the previous one returns.
 pub struct Chain<A, B, F> {
     state: ChainState<A, B>,
@@ -338,6 +478,188 @@ where
     }
 }
 
+/// What a [`Loop`]'s step closure decides after each iteration.
+pub enum LoopControl<S, M, Out> {
+    /// Run another machine; its output becomes the next loop state.
+    Continue(BoxedMachine<M, S>),
+    /// The loop is finished with this output.
+    Break(Out),
+}
+
+/// State-threading iteration: repeatedly feed a state value to a closure
+/// that either builds the next machine (whose output is the next state) or
+/// breaks with the final output. The data-dependent sibling of [`Chain`]:
+/// retry loops, draw-refill-draw beacons, and phase-by-phase agreement all
+/// compile to it. Like `Chain`, a successor machine starts in the same
+/// driver round its predecessor finished in, with an empty first inbox —
+/// and a machine that finishes without sending (a pure computation) costs
+/// no round at all, so several iterations can collapse into one round.
+pub struct Loop<S, M, Out> {
+    current: Option<(BoxedMachine<M, S>, u64)>,
+    pending: Option<S>,
+    #[allow(clippy::type_complexity)]
+    next: Box<dyn FnMut(S) -> LoopControl<S, M, Out> + Send>,
+}
+
+/// Build a [`Loop`] from an initial state and a step closure.
+pub fn looping<S, M, Out>(
+    init: S,
+    next: impl FnMut(S) -> LoopControl<S, M, Out> + Send + 'static,
+) -> Loop<S, M, Out> {
+    Loop { current: None, pending: Some(init), next: Box::new(next) }
+}
+
+impl<M, S, Out> RoundMachine<M> for Loop<S, M, Out> {
+    type Output = Out;
+
+    fn round(&mut self, mut view: RoundView<'_, M>) -> Step<M, Out> {
+        // Only the machine already in flight at entry may read this
+        // round's inbox; iterations started mid-round see an empty one.
+        let mut inbox_fresh = self.current.is_some();
+        loop {
+            if self.current.is_none() {
+                let state = self.pending.take().expect("loop state missing");
+                match (self.next)(state) {
+                    LoopControl::Continue(m) => self.current = Some((m, view.round)),
+                    LoopControl::Break(out) => return Step::Done(out),
+                }
+            }
+            let base = self.current.as_ref().map(|(_, b)| *b).expect("machine in flight");
+            let empty = Inbox::empty();
+            let inbox = if inbox_fresh { view.inbox } else { &empty };
+            let step = {
+                let (m, _) = self.current.as_mut().expect("machine in flight");
+                m.round(view.rebase(base, inbox))
+            };
+            match step {
+                Step::Continue(out) => return Step::Continue(out),
+                Step::Done(s) => {
+                    self.current = None;
+                    self.pending = Some(s);
+                    inbox_fresh = false;
+                }
+            }
+        }
+    }
+
+    fn phase_name(&self) -> &'static str {
+        match &self.current {
+            Some((m, _)) => m.phase_name(),
+            None => "loop",
+        }
+    }
+}
+
+/// Run a sub-protocol inside a committee: the inner machine sees a
+/// `c`-party network of committee ranks while its traffic rides the real
+/// `n`-party wire.
+///
+/// `members` are the global ids of the committee, sorted ascending; rank
+/// `r` (1-based) is the position in that list. The adapter
+///
+/// * presents the inner machine with `n = c` and `id = rank`,
+/// * narrows the inbox to messages from members that carry an inner
+///   payload (via [`Embeds::peek`]), re-addressed to ranks,
+/// * expands the inner outbox: rank unicasts become global unicasts and
+///   `send_to_all` becomes `c` unicasts to the members — so a committee
+///   protocol costs `O(c²)` links, not `O(n²)`.
+///
+/// The ideal broadcast channel is **not** remapped: §4's protocols are
+/// broadcast-free, and a committee-internal "broadcast" has no analogue on
+/// the outer network. The inner machine must not call
+/// [`Outbox::broadcast`].
+pub struct Subnet<A, Inner> {
+    members: Vec<PartyId>,
+    rank: usize,
+    round: u64,
+    inner: A,
+    _msg: std::marker::PhantomData<fn() -> Inner>,
+}
+
+impl<A, Inner> Subnet<A, Inner> {
+    /// Wrap `inner` for committee member `my_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty, unsorted, or does not contain
+    /// `my_id`.
+    pub fn new(members: Vec<PartyId>, my_id: PartyId, inner: A) -> Self {
+        assert!(!members.is_empty(), "committee cannot be empty");
+        assert!(members.windows(2).all(|w| w[0] < w[1]), "members must be sorted and unique");
+        let rank = members
+            .iter()
+            .position(|&m| m == my_id)
+            .map(|i| i + 1)
+            .unwrap_or_else(|| panic!("party {my_id} is not a committee member"));
+        Subnet { members, rank, round: 0, inner, _msg: std::marker::PhantomData }
+    }
+
+    /// This party's 1-based rank inside the committee.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+}
+
+impl<M, Inner, A> RoundMachine<M> for Subnet<A, Inner>
+where
+    M: Embeds<Inner>,
+    Inner: Clone,
+    A: RoundMachine<Inner>,
+{
+    type Output = A::Output;
+
+    fn round(&mut self, view: RoundView<'_, M>) -> Step<M, A::Output> {
+        let c = self.members.len();
+        let mut msgs: Vec<Received<Inner>> = Vec::new();
+        for rcv in view.inbox.iter() {
+            if let Some(rank0) = self.members.iter().position(|&m| m == rcv.from) {
+                if let Some(inner) = rcv.msg.peek() {
+                    msgs.push(Received {
+                        from: rank0 + 1,
+                        broadcast: rcv.broadcast,
+                        seq: rcv.seq,
+                        msg: inner.clone(),
+                    });
+                }
+            }
+        }
+        msgs.sort_by_key(|r| (r.from, r.seq));
+        let inner_inbox = Inbox::from_messages(msgs);
+        let inner_view = RoundView {
+            id: self.rank,
+            n: c,
+            round: self.round,
+            inbox: &inner_inbox,
+            rng: view.rng,
+        };
+        match self.inner.round(inner_view) {
+            Step::Continue(inner_out) => {
+                self.round += 1;
+                let mut out = Outbox::new(view.n);
+                for (dest, msg) in inner_out.envelopes {
+                    match dest {
+                        Dest::One(rank) => out.send(self.members[rank - 1], M::wrap(msg)),
+                        Dest::All => {
+                            for &g in &self.members {
+                                out.send(g, M::wrap(msg.clone()));
+                            }
+                        }
+                        Dest::Broadcast => {
+                            panic!("Subnet does not support the ideal broadcast channel")
+                        }
+                    }
+                }
+                Step::Continue(out)
+            }
+            Step::Done(out) => Step::Done(out),
+        }
+    }
+
+    fn phase_name(&self) -> &'static str {
+        self.inner.phase_name()
+    }
+}
+
 /// Combinator methods on every [`RoundMachine`].
 pub trait MachineExt<M>: RoundMachine<M> + Sized {
     /// Run `self` to completion, then the machine built from its output.
@@ -360,75 +682,10 @@ pub trait MachineExt<M>: RoundMachine<M> + Sized {
 
 impl<M, A: RoundMachine<M>> MachineExt<M> for A {}
 
-/// Drive a machine to completion on a blocking [`PartyCtx`] — the bridge
-/// that lets every legacy straight-line call site keep its signature while
-/// the logic lives in a [`RoundMachine`].
-///
-/// One `Continue` costs exactly one [`PartyCtx::next_round`] (and hence
-/// one round in the cost model); `Done` costs nothing.
-pub fn drive_blocking<M, R>(ctx: &mut PartyCtx<M>, mut machine: R) -> R::Output
-where
-    M: Clone + WireSize,
-    R: RoundMachine<M>,
-{
-    let id = ctx.id();
-    let n = ctx.n();
-    let mut inbox = Inbox::empty();
-    let mut round = 0u64;
-    loop {
-        let step = machine.round(RoundView { id, n, round, inbox: &inbox, rng: ctx.rng() });
-        match step {
-            Step::Continue(outbox) => {
-                ctx.flush_outbox(outbox);
-                inbox = ctx.next_round();
-                round += 1;
-            }
-            Step::Done(out) => return out,
-        }
-    }
-}
-
-/// [`drive_blocking`] with a [`PartyTracer`] recording each round as a
-/// span: phase at entry, flush totals, and the cost delta of the whole
-/// window (machine call + flush + round flip) — the same window the
-/// [`StepRunner`](crate::StepRunner) attributes, so a panic-free run
-/// records identical logical traces under either executor.
-pub fn drive_blocking_traced<M, R>(
-    ctx: &mut PartyCtx<M>,
-    mut machine: R,
-    tracer: &mut PartyTracer,
-) -> R::Output
-where
-    M: Clone + WireSize,
-    R: RoundMachine<M>,
-{
-    let id = ctx.id();
-    let n = ctx.n();
-    let mut inbox = Inbox::empty();
-    let mut round = 0u64;
-    loop {
-        tracer.begin(round, machine.phase_name());
-        let before = CostSnapshot::capture();
-        let step = machine.round(RoundView { id, n, round, inbox: &inbox, rng: ctx.rng() });
-        match step {
-            Step::Continue(outbox) => {
-                let stats = ctx.flush_outbox(outbox);
-                tracer.flush(round, stats.messages, stats.bytes);
-                inbox = ctx.next_round();
-                tracer.end(round, CostSnapshot::capture().since(&before));
-                round += 1;
-            }
-            Step::Done(out) => {
-                tracer.end(round, CostSnapshot::capture().since(&before));
-                return out;
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::step::StepRunner;
 
     /// Echo machine: round 0 sends `value` to everyone, round 1 sums what
     /// arrived.
@@ -450,7 +707,7 @@ mod tests {
     }
 
     #[test]
-    fn outbox_flush_matches_partyctx_counting() {
+    fn outbox_flush_matches_cost_model_counting() {
         // 2 unicasts + 1 send_to_all(3) + 1 broadcast over n = 3:
         // messages = 2 + 3 + 1, seqs = 2 + 3 + 1, posts = 2 + 3 + 3.
         let mut out = Outbox::<u32>::new(3);
@@ -475,8 +732,19 @@ mod tests {
     }
 
     #[test]
+    fn outbox_map_preserves_destinations_and_order() {
+        let mut out = Outbox::<u32>::new(3);
+        out.send(2, 5);
+        out.send_to_all(6);
+        let mapped = out.map(|v| v as u64 + 100);
+        let mut posts = Vec::new();
+        let mut seq = 0;
+        mapped.flush(1, &mut seq, |to, rcv| posts.push((to, rcv.msg)));
+        assert_eq!(posts, vec![(2, 105), (1, 106), (2, 106), (3, 106)]);
+    }
+
+    #[test]
     fn chain_starts_successor_in_same_round() {
-        use crate::step::StepRunner;
         // EchoSum (2 calls, 1 round) chained into another EchoSum keyed on
         // the first sum: total rounds per party = 2, not 3 — B's send
         // happens in the round A finishes.
@@ -494,7 +762,6 @@ mod tests {
 
     #[test]
     fn map_transforms_output() {
-        use crate::step::StepRunner;
         let machines: Vec<BoxedMachine<u32, String>> = (0..2)
             .map(|i| {
                 Box::new(EchoSum { value: i + 10 }.map(|sum| format!("sum={sum}")))
@@ -503,5 +770,89 @@ mod tests {
             .collect();
         let res = StepRunner::new(2, 1).run(machines);
         assert_eq!(res.unwrap_all(), vec!["sum=21".to_string(), "sum=21".to_string()]);
+    }
+
+    #[test]
+    fn looping_threads_state_and_matches_chain_round_shape() {
+        // Three EchoSum iterations, each seeded by the previous sum —
+        // identical to a hand-rolled Chain of three: 3 rounds total.
+        let fleet: Vec<BoxedMachine<u32, u32>> = (0..3)
+            .map(|i| {
+                Box::new(looping((0u32, i as u32 + 1), |(iter, value)| {
+                    if iter == 3 {
+                        LoopControl::Break(value)
+                    } else {
+                        LoopControl::Continue(Box::new(
+                            EchoSum { value }.map(move |sum| (iter + 1, sum)),
+                        ))
+                    }
+                })) as BoxedMachine<u32, u32>
+            })
+            .collect();
+        let res = StepRunner::new(3, 1).run(fleet);
+        assert_eq!(res.report.comm.rounds, 3);
+        // 1+2+3 = 6 → 18 → 54 (each round every party echoes the same sum).
+        assert_eq!(res.unwrap_all(), vec![54, 54, 54]);
+    }
+
+    #[test]
+    fn looping_pure_iterations_cost_no_rounds() {
+        // Machines that finish without sending collapse into zero rounds.
+        let fleet: Vec<BoxedMachine<u32, u32>> = (0..2)
+            .map(|_| {
+                Box::new(looping(0u32, |count| {
+                    if count == 5 {
+                        LoopControl::Break(count)
+                    } else {
+                        LoopControl::Continue(Box::new(from_fn(move |_v: RoundView<'_, u32>| {
+                            Step::Done(count + 1)
+                        })))
+                    }
+                })) as BoxedMachine<u32, u32>
+            })
+            .collect();
+        let res = StepRunner::new(2, 9).run(fleet);
+        assert_eq!(res.report.comm.rounds, 0);
+        assert_eq!(res.unwrap_all(), vec![5, 5]);
+    }
+
+    #[test]
+    fn subnet_narrows_the_network_to_members() {
+        /// Inner gossip over ranks: each member sends its rank, outputs
+        /// the ranks it heard.
+        struct RankGossip;
+        impl RoundMachine<u32> for RankGossip {
+            type Output = Vec<u32>;
+            fn round(&mut self, view: RoundView<'_, u32>) -> Step<u32, Vec<u32>> {
+                if view.round == 0 {
+                    assert_eq!(view.n, 2, "inner machine must see the committee size");
+                    let mut out = view.outbox();
+                    out.send_to_all(view.id as u32);
+                    Step::Continue(out)
+                } else {
+                    Step::Done(view.inbox.iter().map(|r| r.msg).collect())
+                }
+            }
+        }
+        // n = 4, committee {2, 4}: outsiders finish silently; members see
+        // exactly the two ranks. The reflexive Embeds (u32 carries u32)
+        // keeps the wire type plain.
+        let members = vec![2usize, 4usize];
+        let fleet: Vec<BoxedMachine<u32, Vec<u32>>> = (1..=4)
+            .map(|id| {
+                if members.contains(&id) {
+                    Box::new(Subnet::new(members.clone(), id, RankGossip))
+                        as BoxedMachine<u32, Vec<u32>>
+                } else {
+                    Box::new(silent())
+                }
+            })
+            .collect();
+        let res = StepRunner::new(4, 5).run(fleet);
+        // send_to_all inside the subnet = c = 2 unicasts per member.
+        assert_eq!(res.report.comm.messages, 4);
+        assert_eq!(res.outputs[1], Some(vec![1, 2]));
+        assert_eq!(res.outputs[3], Some(vec![1, 2]));
+        assert_eq!(res.outputs[0], Some(vec![]));
     }
 }

@@ -59,8 +59,7 @@ use dprbg_rng::SeedableRng;
 use dprbg_trace::{PartyTracer, Trace, TraceConfig};
 
 use crate::adversary::{MsgFate, MsgHop, MsgTap};
-use crate::machine::{BoxedMachine, RoundView, Step};
-use crate::network::RunResult;
+use crate::machine::{BoxedMachine, RoundView, RunResult, Step};
 use crate::router::{Inbox, PartyId, Received, RoundProfile};
 
 /// Default cap on rounds before the runner declares non-termination.

@@ -1,16 +1,12 @@
-//! The round-synchronous message router.
+//! Round-delivery types shared by the executors.
 //!
-//! One shared structure holds, under a single mutex, both the barrier state
-//! (live-party count, arrivals, generation) and the message buffers
-//! (`pending` accumulates sends of the current round, `ready` holds
-//! deliveries of the round that just ended). Performing the buffer flip
-//! *inside* the barrier release keeps the two perfectly atomic: a message
-//! sent in round `r` is visible exactly at round `r + 1`, and parties that
-//! leave mid-protocol can still complete a generation for the others.
-
-use std::sync::{Condvar, Mutex};
-
-use crate::adversary::{MsgFate, MsgHop, MsgTap};
+//! The executors enforce lock-step synchrony themselves (see
+//! [`StepRunner`](crate::StepRunner) and [`ParRunner`](crate::ParRunner));
+//! this module holds the vocabulary they share: party identifiers, the
+//! [`Received`] envelope a delivery produces, the per-round
+//! [`RoundProfile`], and the deterministic [`Inbox`] every machine reads
+//! at a round boundary. A message sent in round `r` is visible exactly at
+//! round `r + 1`, sorted by `(sender, send order)`.
 
 /// A party identifier, 1-based to match the paper's `P_1 … P_n`.
 pub type PartyId = usize;
@@ -30,12 +26,12 @@ pub struct Received<M> {
     pub msg: M,
 }
 
-/// Per-round delivery statistics, recorded at each barrier flip.
+/// Per-round delivery statistics, recorded at each round flip.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RoundProfile {
     /// Messages delivered at this round boundary (unicast copies and
     /// broadcast copies each count once per recipient here — this is the
-    /// router's delivery view, not the cost model's send view).
+    /// delivery view, not the cost model's send view).
     pub deliveries: usize,
     /// Parties still live when the round completed.
     pub live_parties: usize,
@@ -52,6 +48,15 @@ impl<M> Inbox<M> {
     /// An inbox with nothing in it (what a machine's first round sees).
     pub fn empty() -> Self {
         Inbox { msgs: Vec::new() }
+    }
+
+    /// Build an inbox from a batch of deliveries, establishing the
+    /// canonical `(from, seq)` order. Adapters that narrow or translate
+    /// another inbox (committee subnets, multiplexed sub-protocols) build
+    /// their synthetic inboxes through this.
+    pub fn from_messages(mut msgs: Vec<Received<M>>) -> Self {
+        msgs.sort_by_key(|r| (r.from, r.seq));
+        Inbox { msgs }
     }
 
     /// Build an inbox from messages already sorted by `(from, seq)`.
@@ -103,183 +108,17 @@ impl<'a, M> IntoIterator for &'a Inbox<M> {
     }
 }
 
-struct Inner<M> {
-    /// Parties still participating in the barrier.
-    active: usize,
-    /// Parties that have arrived at the current barrier generation.
-    arrived: usize,
-    /// Barrier generation (== global round number).
-    generation: u64,
-    /// Messages queued during the current round, per recipient (0-based).
-    pending: Vec<Vec<Received<M>>>,
-    /// Messages deliverable this round, per recipient (0-based).
-    ready: Vec<Vec<Received<M>>>,
-    /// Adversarially delayed messages: `(deliver_at_generation, to, msg)`.
-    delayed: Vec<(u64, PartyId, Received<M>)>,
-    /// One entry per completed round: the delivery profile.
-    profile: Vec<RoundProfile>,
-}
-
-impl<M> Inner<M> {
-    /// Complete a barrier generation: deliver pending sends (plus any
-    /// delayed messages that have come due) and wake everyone.
-    fn flip(&mut self) {
-        self.arrived = 0;
-        self.generation += 1;
-        let n = self.pending.len();
-        self.ready = std::mem::replace(&mut self.pending, (0..n).map(|_| Vec::new()).collect());
-        let due = self.generation;
-        let mut i = 0;
-        while i < self.delayed.len() {
-            if self.delayed[i].0 <= due {
-                let (_, to, rcv) = self.delayed.swap_remove(i);
-                self.ready[to - 1].push(rcv);
-            } else {
-                i += 1;
-            }
-        }
-        for q in &mut self.ready {
-            q.sort_by_key(|r| (r.from, r.seq));
-        }
-        self.profile.push(RoundProfile {
-            deliveries: self.ready.iter().map(Vec::len).sum(),
-            live_parties: self.active,
-        });
-    }
-}
-
-pub(crate) struct Router<M> {
-    inner: Mutex<Inner<M>>,
-    /// Optional per-message adversary, consulted on every post.
-    tap: Option<Mutex<Box<dyn MsgTap<M>>>>,
-    cv: Condvar,
-    n: usize,
-}
-
-impl<M> Router<M> {
-    pub(crate) fn new(n: usize) -> Self {
-        assert!(n >= 1, "need at least one party");
-        Router {
-            inner: Mutex::new(Inner {
-                active: n,
-                arrived: 0,
-                generation: 0,
-                pending: (0..n).map(|_| Vec::new()).collect(),
-                ready: (0..n).map(|_| Vec::new()).collect(),
-                delayed: Vec::new(),
-                profile: Vec::new(),
-            }),
-            tap: None,
-            cv: Condvar::new(),
-            n,
-        }
-    }
-
-    /// Install a per-message adversary before the run starts.
-    pub(crate) fn with_tap(mut self, tap: Box<dyn MsgTap<M>>) -> Self {
-        self.tap = Some(Mutex::new(tap));
-        self
-    }
-
-    pub(crate) fn n(&self) -> usize {
-        self.n
-    }
-
-    /// Queue a message for delivery to `to` at the next round boundary.
-    ///
-    /// This is the executor's **message hop**: if a tap is installed it
-    /// sees every copy here and can drop, delay, or tamper with it.
-    pub(crate) fn post(&self, to: PartyId, rcv: Received<M>) {
-        debug_assert!((1..=self.n).contains(&to), "recipient out of range");
-        let mut st = self.inner.lock().unwrap();
-        let rcv = match &self.tap {
-            None => rcv,
-            Some(tap) => {
-                let fate = tap.lock().unwrap().intercept(MsgHop {
-                    from: rcv.from,
-                    to,
-                    round: st.generation,
-                    broadcast: rcv.broadcast,
-                    msg: &rcv.msg,
-                });
-                match fate {
-                    MsgFate::Deliver => rcv,
-                    MsgFate::Drop => return,
-                    MsgFate::Delay(extra) => {
-                        let deliver_at = st.generation + 1 + extra;
-                        st.delayed.push((deliver_at, to, rcv));
-                        return;
-                    }
-                    MsgFate::Tamper(msg) => Received { msg, ..rcv },
-                }
-            }
-        };
-        st.pending[to - 1].push(rcv);
-    }
-
-    /// Arrive at the round barrier; when every live party has arrived the
-    /// round flips and this returns the caller's inbox for the new round.
-    pub(crate) fn next_round(&self, id: PartyId) -> Inbox<M> {
-        let mut st = self.inner.lock().unwrap();
-        let gen = st.generation;
-        st.arrived += 1;
-        if st.arrived >= st.active {
-            st.flip();
-            self.cv.notify_all();
-        } else {
-            while st.generation == gen {
-                st = self.cv.wait(st).unwrap();
-            }
-        }
-        Inbox {
-            msgs: std::mem::take(&mut st.ready[id - 1]),
-        }
-    }
-
-    /// Permanently remove a party from the barrier (crash, or protocol
-    /// completed). If it was the last straggler, the round completes for
-    /// the others.
-    pub(crate) fn leave(&self) {
-        let mut st = self.inner.lock().unwrap();
-        st.active -= 1;
-        if st.active > 0 && st.arrived >= st.active {
-            st.flip();
-            self.cv.notify_all();
-        }
-    }
-
-    /// How many parties are still participating.
-    pub(crate) fn active(&self) -> usize {
-        self.inner.lock().unwrap().active
-    }
-
-    /// The per-round delivery profile recorded so far.
-    pub(crate) fn profile(&self) -> Vec<RoundProfile> {
-        self.inner.lock().unwrap().profile.clone()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     #[test]
     fn inbox_ordering_is_deterministic() {
-        let router = Router::<u32>::new(1);
-        router.post(
-            1,
+        let inbox = Inbox::from_messages(vec![
             Received { from: 2, broadcast: false, seq: 1, msg: 20 },
-        );
-        router.post(
-            1,
             Received { from: 1, broadcast: false, seq: 0, msg: 10 },
-        );
-        router.post(
-            1,
             Received { from: 2, broadcast: false, seq: 0, msg: 19 },
-        );
-        let inbox = router.next_round(1);
+        ]);
         let vals: Vec<u32> = inbox.iter().map(|r| r.msg).collect();
         assert_eq!(vals, vec![10, 19, 20]);
         assert_eq!(inbox.first_from(2).unwrap().msg, 19);
@@ -287,52 +126,20 @@ mod tests {
     }
 
     #[test]
-    fn messages_cross_round_boundary_once() {
-        let router = Router::<u32>::new(1);
-        router.post(1, Received { from: 1, broadcast: false, seq: 0, msg: 7 });
-        let inbox = router.next_round(1);
-        assert_eq!(inbox.len(), 1);
-        // Next round: nothing new.
-        let inbox = router.next_round(1);
-        assert!(inbox.is_empty());
-    }
-
-    #[test]
-    fn barrier_synchronizes_two_threads() {
-        let router = Arc::new(Router::<u32>::new(2));
-        let r2 = Arc::clone(&router);
-        let handle = std::thread::spawn(move || {
-            r2.post(1, Received { from: 2, broadcast: false, seq: 0, msg: 42 });
-            let inbox = r2.next_round(2);
-            inbox.iter().map(|r| r.msg).sum::<u32>()
-        });
-        router.post(2, Received { from: 1, broadcast: false, seq: 0, msg: 8 });
-        let inbox = router.next_round(1);
-        assert_eq!(inbox.first_from(2).unwrap().msg, 42);
-        assert_eq!(handle.join().unwrap(), 8);
-    }
-
-    #[test]
-    fn leaver_releases_waiters() {
-        let router = Arc::new(Router::<u32>::new(2));
-        let r2 = Arc::clone(&router);
-        let handle = std::thread::spawn(move || {
-            // Party 2 waits at the barrier…
-            let _ = r2.next_round(2);
-            r2.active()
-        });
-        // …while party 1 leaves instead of arriving.
-        std::thread::sleep(std::time::Duration::from_millis(20));
-        router.leave();
-        assert_eq!(handle.join().unwrap(), 1);
-    }
-
-    #[test]
     fn broadcast_flag_preserved() {
-        let router = Router::<u32>::new(1);
-        router.post(1, Received { from: 1, broadcast: true, seq: 0, msg: 1 });
-        router.post(1, Received { from: 1, broadcast: false, seq: 1, msg: 2 });
-        let inbox = router.next_round(1);
+        let inbox = Inbox::from_messages(vec![
+            Received { from: 1, broadcast: true, seq: 0, msg: 1 },
+            Received { from: 1, broadcast: false, seq: 1, msg: 2 },
+        ]);
         assert_eq!(inbox.broadcasts().count(), 1);
+        assert_eq!(inbox.len(), 2);
+    }
+
+    #[test]
+    fn empty_inbox_shape() {
+        let inbox = Inbox::<u8>::empty();
+        assert!(inbox.is_empty());
+        assert_eq!(inbox.iter().count(), 0);
+        assert!(inbox.first_from(1).is_none());
     }
 }

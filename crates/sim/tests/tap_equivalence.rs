@@ -1,24 +1,23 @@
 //! Executor-equivalence property: any *pure* [`MsgTap`] — a tap whose
 //! fate is a function of the [`MsgHop`] alone — emitting `Drop`, `Delay`
-//! and `Tamper` preserves byte-identical transcripts across all three
+//! and `Tamper` preserves byte-identical transcripts across both
 //! executors:
 //!
-//! * [`run_machines_with_tap`] — the scoped-thread machine driver;
 //! * [`StepRunner::with_tap`] — the single-threaded stepper;
-//! * [`run_network_with_tap`] — the blocking shims, i.e. hand-written
-//!   [`Behavior`] closures that call [`drive_blocking`] themselves.
+//! * [`ParRunner::with_tap`] — the deterministic work-stealing pool, at
+//!   several thread counts.
 //!
-//! Purity is the documented contract on [`MsgTap`]: the threaded runner
-//! gives no ordering guarantee between hops of *different* senders inside
-//! one round, so only hop-determined fates can agree across executors.
-//! The property is exercised over randomly drawn fleet shapes and fate
-//! tables via the in-tree `proptest!` harness; failures replay with
+//! Purity keeps the property maximally strong (a hop-determined fate
+//! cannot smuggle ordering information between parties), though both
+//! executors in fact consult the tap on the coordinating thread in the
+//! same id-major order, so even stateful taps agree. The property is
+//! exercised over randomly drawn fleet shapes and fate tables via the
+//! in-tree `proptest!` harness; failures replay with
 //! `DPRBG_PROPTEST_SEED`.
 
 use dprbg_rng::prelude::*;
 use dprbg_sim::{
-    drive_blocking, run_machines_with_tap, run_network_with_tap, Behavior, BoxedMachine, MsgFate,
-    MsgHop, PartyCtx, RoundMachine, RoundView, RunResult, Step, StepRunner,
+    BoxedMachine, MsgFate, MsgHop, ParRunner, RoundMachine, RoundView, RunResult, Step, StepRunner,
 };
 
 /// A gossip fleet: every party broadcasts and unicasts a round-tagged
@@ -99,19 +98,13 @@ fn tap(p: TapParams) -> impl FnMut(MsgHop<'_, u64>) -> MsgFate<u64> + Send + 'st
 
 type Transcripts = RunResult<Vec<(u64, usize, bool, u64)>>;
 
-/// Run the same tapped fleet under all three executors.
-fn run_all_three(n: usize, rounds: u64, seed: u64, p: TapParams) -> [Transcripts; 3] {
-    let threaded = run_machines_with_tap(n, seed, fleet(n, rounds), Box::new(tap(p)));
+/// Run the same tapped fleet under both executors (the pool twice, at one
+/// and four workers).
+fn run_all(n: usize, rounds: u64, seed: u64, p: TapParams) -> [Transcripts; 3] {
     let stepped = StepRunner::new(n, seed).with_tap(tap(p)).run(fleet(n, rounds));
-    let behaviors: Vec<Behavior<u64, Vec<(u64, usize, bool, u64)>>> = (0..n)
-        .map(|_| {
-            Box::new(move |ctx: &mut PartyCtx<u64>| {
-                drive_blocking(ctx, Gossip { rounds, transcript: Vec::new() })
-            }) as Behavior<_, _>
-        })
-        .collect();
-    let shimmed = run_network_with_tap(n, seed, behaviors, Box::new(tap(p)));
-    [threaded, stepped, shimmed]
+    let narrow = ParRunner::new(n, seed).with_threads(1).with_tap(tap(p)).run(fleet(n, rounds));
+    let wide = ParRunner::new(n, seed).with_threads(4).with_tap(tap(p)).run(fleet(n, rounds));
+    [stepped, narrow, wide]
 }
 
 proptest! {
@@ -128,13 +121,13 @@ proptest! {
         max_delay in 1u64..3,
     ) {
         let p = TapParams { seed, drop_pct, delay_pct, tamper_pct, max_delay };
-        let [threaded, stepped, shimmed] = run_all_three(n, rounds, seed, p);
-        prop_assert_eq!(&threaded.outputs, &stepped.outputs);
-        prop_assert_eq!(&threaded.outputs, &shimmed.outputs);
-        prop_assert_eq!(&threaded.report, &stepped.report);
-        prop_assert_eq!(&threaded.report, &shimmed.report);
-        prop_assert_eq!(&threaded.rounds, &stepped.rounds);
-        prop_assert_eq!(&threaded.rounds, &shimmed.rounds);
+        let [stepped, narrow, wide] = run_all(n, rounds, seed, p);
+        prop_assert_eq!(&stepped.outputs, &narrow.outputs);
+        prop_assert_eq!(&stepped.outputs, &wide.outputs);
+        prop_assert_eq!(&stepped.report, &narrow.report);
+        prop_assert_eq!(&stepped.report, &wide.report);
+        prop_assert_eq!(&stepped.rounds, &narrow.rounds);
+        prop_assert_eq!(&stepped.rounds, &wide.rounds);
     }
 }
 
@@ -145,9 +138,9 @@ proptest! {
 fn tapped_transcript_differs_from_untapped() {
     let (n, rounds, seed) = (4, 3, 0xE0_11AB);
     let p = TapParams { seed, drop_pct: 25, delay_pct: 25, tamper_pct: 25, max_delay: 2 };
-    let [threaded, stepped, shimmed] = run_all_three(n, rounds, seed, p);
-    assert_eq!(threaded.outputs, stepped.outputs);
-    assert_eq!(threaded.outputs, shimmed.outputs);
+    let [stepped, narrow, wide] = run_all(n, rounds, seed, p);
+    assert_eq!(stepped.outputs, narrow.outputs);
+    assert_eq!(stepped.outputs, wide.outputs);
     let clean = StepRunner::new(n, seed).run(fleet(n, rounds));
     assert_ne!(clean.outputs, stepped.outputs, "the tap never fired");
 }

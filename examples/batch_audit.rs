@@ -14,17 +14,21 @@
 //!
 //! Run with: `cargo run --example batch_audit`
 
-use dprbg::core::batch_vss::{batch_vss_verify, cheating_batch_deal, BatchOpts};
-use dprbg::core::{batch_vss_deal, BatchVssMsg, Params, SealedShare, VssVerdict};
+use dprbg::core::batch_vss::{cheating_batch_deal, BatchOpts};
+use dprbg::core::{
+    BatchVssDealMachine, BatchVssMsg, BatchVssVerifyMachine, CoinError, Params, SealedShare,
+    VssVerdict,
+};
 use dprbg::field::{Field, Gf2k};
 use dprbg::metrics::CostSnapshot;
 use dprbg::poly::{share_points, share_polynomial};
-use dprbg::sim::{run_network, Behavior, PartyCtx};
+use dprbg::sim::{BoxedMachine, MachineExt, StepRunner};
 use dprbg_rng::rngs::StdRng;
 use dprbg_rng::SeedableRng;
 
 type F = Gf2k<32>;
 type M = BatchVssMsg<F>;
+type Out = Result<VssVerdict, CoinError>;
 
 const BATCH: usize = 1024;
 
@@ -48,25 +52,36 @@ fn audit(n: usize, t: usize, corrupt_one: bool, seed: u64) -> (VssVerdict, CostS
     let mut rng = StdRng::seed_from_u64(seed + 2);
     let bad = corrupt_one.then(|| cheating_batch_deal::<F, _>(n, t, BATCH, 1, &mut rng));
 
-    let behaviors: Vec<Behavior<M, Result<VssVerdict, dprbg::core::CoinError>>> = (1..=n)
+    let machines: Vec<BoxedMachine<M, Out>> = (1..=n)
         .map(|id| {
             let coin = coins[id - 1];
-            let bad_shares = bad.as_ref().map(|b| b[id - 1].clone());
-            Box::new(move |ctx: &mut PartyCtx<M>| {
-                let shares = if let Some(s) = bad_shares {
-                    let _ = ctx.next_round(); // cheater dealt out-of-band
-                    s
-                } else {
+            match &bad {
+                // The cheater dealt out-of-band; go straight to the audit.
+                Some(b) => {
+                    let shares = b[id - 1].clone();
+                    Box::new(BatchVssVerifyMachine::new(params.t, shares, BATCH, coin, opts))
+                        as BoxedMachine<M, Out>
+                }
+                None => {
                     let secrets: Option<Vec<F>> =
                         (id == 1).then(|| (0..BATCH as u64).map(F::from_u64).collect());
-                    batch_vss_deal(ctx, 1, secrets.as_deref(), params.t, opts).0
-                };
-                batch_vss_verify(ctx, params.t, &shares, BATCH, coin, opts)
-            }) as Behavior<M, _>
+                    let machine = BatchVssDealMachine::new(1, secrets, params.t, opts).then(
+                        move |(shares, _polys)| {
+                            BatchVssVerifyMachine::new(params.t, shares, BATCH, coin, opts)
+                        },
+                    );
+                    Box::new(machine) as BoxedMachine<M, Out>
+                }
+            }
         })
         .collect();
-    let res = run_network(n, seed, behaviors);
-    let verdict = res.outputs[1].as_ref().unwrap().as_ref().copied().unwrap();
+    let res = StepRunner::new(n, seed).run(machines);
+    let verdict = res.outputs[1]
+        .as_ref()
+        .expect("party 2 runs to completion")
+        .as_ref()
+        .copied()
+        .expect("challenge coin exposes");
     // Verification-phase cost of one (non-dealer) player.
     let cost = res.report.per_party[1].cost;
     (verdict, cost)

@@ -14,7 +14,7 @@
 
 use dprbg::core::{Bootstrap, BootstrapConfig, CoinGenConfig, CoinGenMsg, Params, TrustedDealer};
 use dprbg::field::{Field, Gf2k};
-use dprbg::sim::{run_network, Behavior, PartyCtx};
+use dprbg::sim::{looping, BoxedMachine, LoopControl, MachineExt, RoundMachine, StepRunner};
 
 type F = Gf2k<32>;
 type M = CoinGenMsg<F>;
@@ -22,6 +22,53 @@ type M = CoinGenMsg<F>;
 const EPOCHS: usize = 30;
 const DRAWS_PER_EPOCH: usize = 6;
 const INITIAL_SEED: usize = 6;
+
+/// The beacon as a machine: draw epoch after epoch, threading the
+/// reservoir through the loop and journaling its level at party 1.
+///
+/// Epoch bookkeeping happens in the loop *transitions* (which cost no
+/// rounds); only the draws themselves exchange messages.
+fn beacon_machine(
+    beacon: Bootstrap<F>,
+    id: usize,
+) -> impl RoundMachine<M, Output = (Vec<u64>, String)> {
+    looping(
+        (beacon, Vec::new(), String::new(), INITIAL_SEED),
+        move |(b, values, mut trace, level_before): (Bootstrap<F>, Vec<u64>, String, usize)| {
+            let drawn = values.len();
+            // An epoch boundary: journal the reservoir movement.
+            if drawn > 0 && drawn % DRAWS_PER_EPOCH == 0 && id == 1 {
+                trace.push_str(&format!(
+                    "epoch {:>3}: reservoir {level_before:>2} -> {:>2}   refills so far: {}\n",
+                    drawn / DRAWS_PER_EPOCH,
+                    b.level(),
+                    b.stats().refills
+                ));
+            }
+            if drawn == EPOCHS * DRAWS_PER_EPOCH {
+                let s = b.stats();
+                if id == 1 {
+                    trace.push_str(&format!(
+                        "\ntotal: {} draws | {} refills | {} seeds consumed | {} coins produced\n",
+                        s.draws, s.refills, s.seeds_consumed, s.coins_produced
+                    ));
+                    trace.push_str(&format!(
+                        "self-sufficiency: produced − consumed = {:+} coins (initial dealer seed: {INITIAL_SEED})\n",
+                        s.coins_produced as isize - s.seeds_consumed as isize
+                    ));
+                }
+                return LoopControl::Break((values, trace));
+            }
+            let level_before =
+                if drawn % DRAWS_PER_EPOCH == 0 { b.level() } else { level_before };
+            LoopControl::Continue(Box::new(b.draw().map(move |(b, res)| {
+                let mut values = values;
+                values.push(res.expect("beacon never runs dry").to_u64());
+                (b, values, trace, level_before)
+            })))
+        },
+    )
+}
 
 fn main() {
     let n = 7;
@@ -34,43 +81,14 @@ fn main() {
 
     let mut wallets = TrustedDealer::deal_wallets::<F>(params, INITIAL_SEED, 99);
 
-    let behaviors: Vec<Behavior<M, (Vec<u64>, String)>> = (1..=n)
-        .map(|_| {
-            let mut beacon = Bootstrap::new(cfg, wallets.remove(0));
-            Box::new(move |ctx: &mut PartyCtx<M>| {
-                let mut trace = String::new();
-                let mut values = Vec::new();
-                for epoch in 1..=EPOCHS {
-                    let level_before = beacon.level();
-                    for _ in 0..DRAWS_PER_EPOCH {
-                        let coin = beacon.draw(ctx).expect("beacon never runs dry");
-                        values.push(coin.to_u64());
-                    }
-                    if ctx.id() == 1 {
-                        trace.push_str(&format!(
-                            "epoch {epoch:>3}: reservoir {level_before:>2} -> {:>2}   refills so far: {}\n",
-                            beacon.level(),
-                            beacon.stats().refills
-                        ));
-                    }
-                }
-                let s = beacon.stats();
-                if ctx.id() == 1 {
-                    trace.push_str(&format!(
-                        "\ntotal: {} draws | {} refills | {} seeds consumed | {} coins produced\n",
-                        s.draws, s.refills, s.seeds_consumed, s.coins_produced
-                    ));
-                    trace.push_str(&format!(
-                        "self-sufficiency: produced − consumed = {:+} coins (initial dealer seed: {INITIAL_SEED})\n",
-                        s.coins_produced as isize - s.seeds_consumed as isize
-                    ));
-                }
-                (values, trace)
-            }) as Behavior<M, (Vec<u64>, String)>
+    let machines: Vec<BoxedMachine<M, (Vec<u64>, String)>> = (1..=n)
+        .map(|id| {
+            let beacon = Bootstrap::new(cfg, wallets.remove(0));
+            Box::new(beacon_machine(beacon, id)) as BoxedMachine<M, (Vec<u64>, String)>
         })
         .collect();
 
-    let outputs = run_network(n, 4, behaviors).unwrap_all();
+    let outputs = StepRunner::new(n, 4).run(machines).unwrap_all();
     print!("{}", outputs[0].1);
 
     // Every party observed the identical 180-coin beacon stream.

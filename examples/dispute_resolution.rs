@@ -3,7 +3,7 @@
 //! §3.1 of the paper notes that under a broadcast channel "two rounds of
 //! broadcast" suffice to guarantee that *all n* players' shares satisfy
 //! the polynomial — this example shows the library's implementation of
-//! that remark ([`dprbg::core::vss_verify_with_disputes`]) in action.
+//! that remark ([`dprbg::core::VssDisputeMachine`]) in action.
 //!
 //! Scenario: an escrow dealer shares a secret among 7 parties. Two
 //! Byzantine parties broadcast garbage verification values, which under
@@ -16,17 +16,20 @@
 //! Run with: `cargo run --example dispute_resolution`
 
 use dprbg::core::{
-    coin_expose, vss_verify_with_disputes, DealtShares, DisputeVssMsg, ExposeVia,
-    Params, SealedShare, VssVerdict,
+    DealtShares, DisputeVssMsg, ExposeMachine, ExposeVia, Params, SealedShare, VssDisputeMachine,
+    VssVerdict,
 };
 use dprbg::field::{Field, Gf2k};
 use dprbg::poly::{share_points, share_polynomial, Poly};
-use dprbg::sim::{run_network, FaultPlan, PartyCtx};
+use dprbg::sim::{
+    from_fn, BoxedMachine, FaultPlan, MachineExt, RoundView, Step, StepRunner,
+};
 use dprbg_rng::rngs::StdRng;
 use dprbg_rng::SeedableRng;
 
 type F = Gf2k<32>;
 type M = DisputeVssMsg<F>;
+type Out = Option<(VssVerdict, Vec<usize>)>;
 
 fn main() {
     let n = 7;
@@ -53,32 +56,47 @@ fn main() {
 
     // Parties 4 and 6 are hostile verifiers trying to frame the dealer.
     let plan = FaultPlan::explicit(n, vec![4, 6]);
-    let behaviors = plan.behaviors::<M, Option<(VssVerdict, Vec<usize>)>>(
+    let machines = plan.machines::<M, Out>(
         |id| {
             let coin = coins[id - 1];
             let my = shares[id - 1];
             let polys = (id == 1).then(|| (f.clone(), g.clone()));
-            Box::new(move |ctx: &mut PartyCtx<M>| {
-                let out = vss_verify_with_disputes(ctx, 1, polys.as_ref(), 2, my, coin).ok()?;
-                Some((out.verdict, out.opened))
-            })
+            let machine = VssDisputeMachine::new(1, polys, t, my, coin)
+                .map(|res| res.ok().map(|out| (out.verdict, out.opened)));
+            Box::new(machine) as BoxedMachine<M, Out>
         },
         |id| {
             let coin = coins[id - 1];
-            Box::new(move |ctx| {
-                let _ = coin_expose(ctx, coin, 2, ExposeVia::Broadcast);
-                // The frame-up: broadcast garbage instead of the real β.
-                ctx.broadcast(DisputeVssMsg::Beta(F::from_u64(id as u64 * 0xBAD)));
-                let _ = ctx.next_round();
-                let _ = ctx.next_round();
-                None
-            })
+            // The frame-up: play the challenge expose honestly (so the
+            // coin decodes), then broadcast garbage instead of the real β
+            // in the very round honest parties broadcast theirs.
+            let machine = ExposeMachine::new(coin, t, ExposeVia::Broadcast).then(
+                move |_coin| {
+                    let mut round = 0usize;
+                    from_fn(move |view: RoundView<'_, M>| {
+                        round += 1;
+                        if round == 1 {
+                            let mut out = view.outbox();
+                            out.broadcast(DisputeVssMsg::Beta(F::from_u64(id as u64 * 0xBAD)));
+                            Step::Continue(out)
+                        } else {
+                            Step::Done(None)
+                        }
+                    })
+                    .labelled("frame-up")
+                },
+            );
+            Box::new(machine) as BoxedMachine<M, Out>
         },
     );
 
-    let res = run_network(n, 2027, behaviors);
+    let res = StepRunner::new(n, 2027).run(machines);
     for id in plan.honest() {
-        let (verdict, opened) = res.outputs[id - 1].as_ref().unwrap().as_ref().unwrap();
+        let (verdict, opened) = res.outputs[id - 1]
+            .as_ref()
+            .expect("honest party runs to completion")
+            .as_ref()
+            .expect("challenge coin exposes");
         println!("party {id}: verdict {verdict:?}, positions publicly opened: {opened:?}");
         assert_eq!(*verdict, VssVerdict::Accept);
         assert_eq!(opened, &vec![4, 6]);

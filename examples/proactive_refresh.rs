@@ -15,16 +15,69 @@
 //! Run with: `cargo run --example proactive_refresh`
 
 use dprbg::core::{
-    coin_expose, coin_gen, BitGenMsg, CoinGenConfig, CoinGenMsg, CoinWallet, ExposeVia, Params,
-    TrustedDealer,
+    BitGenMsg, CoinGenConfig, CoinGenMachine, CoinGenMsg, CoinWallet, ExposeMachine, ExposeMsg,
+    ExposeVia, Params, SealedShare, TrustedDealer,
 };
 use dprbg::field::{Field, Gf2k};
-use dprbg::sim::{run_network, FaultPlan};
+use dprbg::sim::{
+    from_fn, looping, BoxedMachine, FaultPlan, LoopControl, MachineExt, RoundMachine, RoundView,
+    Step, StepRunner,
+};
 
 type F = Gf2k<32>;
 type M = CoinGenMsg<F>;
+type Out = Option<(CoinWallet<F>, Vec<F>)>;
 
 const EPOCHS: usize = 5;
+
+/// Expose the whole batch, one coin per round, so we can display it.
+fn expose_all(t: usize, mut shares: Vec<SealedShare<F>>) -> impl RoundMachine<M, Output = Vec<F>> {
+    shares.reverse();
+    looping(
+        (shares, Vec::new()),
+        move |(mut stack, vals): (Vec<SealedShare<F>>, Vec<F>)| match stack.pop() {
+            Some(s) => LoopControl::Continue(Box::new(
+                ExposeMachine::new(s, t, ExposeVia::PointToPoint).map(move |res| {
+                    let mut vals = vals;
+                    vals.push(res.expect("expose succeeds"));
+                    (stack, vals)
+                }),
+            )),
+            None => LoopControl::Break(vals),
+        },
+    )
+}
+
+/// This epoch's intruder: garbage dealing, a corrupted expose share,
+/// then silence.
+fn intruder() -> impl RoundMachine<M, Output = Out> {
+    let mut round = 0usize;
+    from_fn(move |view: RoundView<'_, M>| {
+        round += 1;
+        match round {
+            1 => {
+                let mut out = view.outbox();
+                for i in 1..=view.n {
+                    out.send(
+                        i,
+                        CoinGenMsg::BitGen(BitGenMsg::Deal {
+                            alphas: vec![F::from_u64(0xBAD); 6],
+                            gamma: F::zero(),
+                        }),
+                    );
+                }
+                Step::Continue(out)
+            }
+            2 => {
+                let mut out = view.outbox();
+                out.send_to_all(CoinGenMsg::Expose(ExposeMsg(F::from_u64(13))));
+                Step::Continue(out)
+            }
+            _ => Step::Done(None),
+        }
+    })
+    .labelled("intruder")
+}
 
 fn main() {
     let n = 7;
@@ -41,60 +94,33 @@ fn main() {
         let plan = FaultPlan::explicit(n, vec![bad]);
 
         let epoch_wallets: Vec<CoinWallet<F>> = wallets.clone();
-        let behaviors = plan.behaviors::<M, Option<(CoinWallet<F>, Vec<F>)>>(
+        let machines = plan.machines::<M, Out>(
             |id| {
-                let mut w = epoch_wallets[id - 1].clone();
-                Box::new(move |ctx| {
-                    let batch = coin_gen(ctx, &cfg, &mut w).ok()?;
-                    // Expose the whole batch so we can display the coins.
-                    let vals: Vec<F> = batch
-                        .shares
-                        .iter()
-                        .map(|&s| {
-                            coin_expose(ctx, s, 1, ExposeVia::PointToPoint)
-                                .expect("expose succeeds")
-                        })
-                        .collect();
-                    Some((w, vals))
-                })
+                let w = epoch_wallets[id - 1].clone();
+                let machine = CoinGenMachine::new(cfg, w).then(
+                    move |(w, res)| -> BoxedMachine<M, Out> {
+                        match res {
+                            Ok(batch) => Box::new(
+                                expose_all(t, batch.shares).map(move |vals| Some((w, vals))),
+                            ),
+                            Err(_) => Box::new(from_fn(|_| Step::Done(None))),
+                        }
+                    },
+                );
+                Box::new(machine) as BoxedMachine<M, Out>
             },
-            |id| {
-                let mut w = epoch_wallets[id - 1].clone();
-                Box::new(move |ctx| {
-                    // This epoch's intruder: garbage dealing, corrupted
-                    // expose shares, then silence.
-                    let n = ctx.n();
-                    for i in 1..=n {
-                        ctx.send(
-                            i,
-                            CoinGenMsg::BitGen(BitGenMsg::Deal {
-                                alphas: vec![F::from_u64(0xBAD); 6],
-                                gamma: F::zero(),
-                            }),
-                        );
-                    }
-                    let _ = ctx.next_round();
-                    let _ = w.pop();
-                    ctx.send_to_all(CoinGenMsg::Expose(dprbg::core::ExposeMsg(F::from_u64(
-                        13,
-                    ))));
-                    let _ = ctx.next_round();
-                    None
-                })
-            },
+            |_id| Box::new(intruder()) as BoxedMachine<M, Out>,
         );
-        let res = run_network(n, 9_000 + epoch as u64, behaviors);
+        let res = StepRunner::new(n, 9_000 + epoch as u64).run(machines);
 
         // Collect the honest parties' outputs; update persistent wallets.
         let mut coins_seen: Option<Vec<F>> = None;
         let mut honest_consumed = 0usize;
         for id in plan.honest() {
             let (w, vals) = res.outputs[id - 1]
-                .as_ref()
-                .unwrap()
-                .as_ref()
-                .expect("honest party seals the batch")
-                .clone();
+                .clone()
+                .expect("honest party runs to completion")
+                .expect("honest party seals the batch");
             match &coins_seen {
                 None => coins_seen = Some(vals),
                 Some(prev) => assert_eq!(prev, &vals, "unanimity in epoch {epoch}"),

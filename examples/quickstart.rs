@@ -9,13 +9,32 @@
 //! Run with: `cargo run --example quickstart`
 
 use dprbg::core::{
-    coin_expose, coin_gen, CoinGenConfig, CoinGenMsg, ExposeVia, Params, TrustedDealer,
+    CoinGenConfig, CoinGenMachine, CoinGenMsg, ExposeMachine, ExposeVia, Params, SealedShare,
+    TrustedDealer,
 };
 use dprbg::field::{Field, Gf2k};
-use dprbg::sim::{run_network, Behavior, PartyCtx};
+use dprbg::sim::{looping, BoxedMachine, LoopControl, MachineExt, RoundMachine, StepRunner};
 
 type F = Gf2k<32>;
 type M = CoinGenMsg<F>;
+
+/// Reveal the batch one coin at a time (each expose is a single round).
+fn expose_all(t: usize, mut shares: Vec<SealedShare<F>>) -> impl RoundMachine<M, Output = Vec<F>> {
+    shares.reverse();
+    looping(
+        (shares, Vec::new()),
+        move |(mut stack, vals): (Vec<SealedShare<F>>, Vec<F>)| match stack.pop() {
+            Some(share) => LoopControl::Continue(Box::new(
+                ExposeMachine::new(share, t, ExposeVia::PointToPoint).map(move |res| {
+                    let mut vals = vals;
+                    vals.push(res.expect("expose succeeds"));
+                    (stack, vals)
+                }),
+            )),
+            None => LoopControl::Break(vals),
+        },
+    )
+}
 
 fn main() {
     let n = 7;
@@ -28,34 +47,27 @@ fn main() {
     // sealed coins (used only to challenge-and-select inside Coin-Gen).
     let mut wallets = TrustedDealer::deal_wallets::<F>(params, 4, 2026);
 
-    let behaviors: Vec<Behavior<M, Vec<F>>> = (1..=n)
-        .map(|_| {
-            let mut wallet = wallets.remove(0);
-            Box::new(move |ctx: &mut PartyCtx<M>| {
-                // Stretch the seed: one protocol run seals `batch` coins.
-                let coins = coin_gen(ctx, &cfg, &mut wallet).expect("coin generation succeeds");
-                if ctx.id() == 1 {
+    // One sans-IO machine per party: stretch the seed with Coin-Gen,
+    // then reveal every sealed coin. The executor carries the messages.
+    let machines: Vec<BoxedMachine<M, Vec<F>>> = (1..=n)
+        .map(|id| {
+            let machine = CoinGenMachine::new(cfg, wallets.remove(0)).then(move |(_w, res)| {
+                let coins = res.expect("coin generation succeeds");
+                if id == 1 {
                     println!(
                         "party 1: sealed {} coins from dealer set {:?} in {} attempt(s)",
-                        coins.len(),
+                        coins.shares.len(),
                         coins.dealers,
                         coins.attempts
                     );
                 }
-                // Reveal them one by one (each expose is a single round).
-                coins
-                    .shares
-                    .into_iter()
-                    .map(|share| {
-                        coin_expose(ctx, share, t, ExposeVia::PointToPoint)
-                            .expect("expose succeeds")
-                    })
-                    .collect()
-            }) as Behavior<M, Vec<F>>
+                expose_all(t, coins.shares)
+            });
+            Box::new(machine) as BoxedMachine<M, Vec<F>>
         })
         .collect();
 
-    let outputs = run_network(n, 7, behaviors).unwrap_all();
+    let outputs = StepRunner::new(n, 7).run(machines).unwrap_all();
 
     println!("\ncoin values as seen by party 1:");
     for (h, v) in outputs[0].iter().enumerate() {

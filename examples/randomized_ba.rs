@@ -18,7 +18,7 @@ use dprbg::core::{
 use dprbg::field::Gf2k;
 use dprbg::metrics::WireSize;
 use dprbg::protocols::{BaMsg, GcMsg};
-use dprbg::sim::{run_network, Behavior, Embeds, PartyCtx};
+use dprbg::sim::{BoxedMachine, Embeds, MachineExt, StepRunner};
 
 type F = Gf2k<32>;
 
@@ -79,17 +79,19 @@ fn main() {
     // burn t+1 rounds; the shared coin converges in expected O(1) phases.
     let inputs = [true, false, true, false, true, false, true];
 
-    let behaviors: Vec<Behavior<AppMsg, CcbaOutcome>> = (1..=n)
+    // One agreement machine per party, all sharing the bootstrapped
+    // reservoir protocol; the executor carries the multiplexed traffic.
+    let machines: Vec<BoxedMachine<AppMsg, CcbaOutcome>> = (1..=n)
         .map(|id| {
-            let mut beacon = Bootstrap::new(cfg, wallets.remove(0));
+            let beacon = Bootstrap::new(cfg, wallets.remove(0));
             let input = inputs[id - 1];
-            Box::new(move |ctx: &mut PartyCtx<AppMsg>| {
-                common_coin_ba(ctx, input, t, &mut beacon, 12).expect("beacon never dries up")
-            }) as Behavior<AppMsg, CcbaOutcome>
+            let machine = common_coin_ba::<AppMsg, F>(input, t, beacon, 12)
+                .map(|(_beacon, res)| res.expect("beacon never dries up"));
+            Box::new(machine) as BoxedMachine<AppMsg, CcbaOutcome>
         })
         .collect();
 
-    let outs = run_network(n, 11, behaviors).unwrap_all();
+    let outs = StepRunner::new(n, 11).run(machines).unwrap_all();
     for (i, out) in outs.iter().enumerate() {
         println!(
             "party {}: input {:>5} -> decided {:>5} in phase {:?}",

@@ -27,8 +27,22 @@ cargo test -q --workspace --offline
 echo "== lint (clippy, workspace, offline) =="
 cargo clippy --workspace --offline -- -D warnings
 
-echo "== lint (dprbg-lint invariants) =="
-cargo run -p dprbg-lint --offline -q -- --workspace
+echo "== lint (dprbg-lint invariants, zero transport suppressions) =="
+lint_report="$(cargo run -p dprbg-lint --offline -q -- --workspace)"
+printf '%s\n' "$lint_report"
+if ! grep -q "0 transport suppressions (required: 0)" <<<"$lint_report"; then
+    echo "transport guard FAILED: allow(transport) pins exist in the workspace" >&2
+    echo "(the blocking transport is retired; port the code instead — see LINTS.md)" >&2
+    exit 1
+fi
+# Belt-and-braces: no source or doc may name the retired blocking entry
+# point outside the lint fixture corpus. (Pattern split so this script
+# never matches itself.)
+retired="run_net""work"
+if grep -rn "$retired" crates/ --include='*.rs' | grep -v "crates/lint/tests/fixtures/"; then
+    echo "transport guard FAILED: retired blocking entry point named above" >&2
+    exit 1
+fi
 
 echo "== docs (no warnings, offline) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline -q
@@ -48,6 +62,17 @@ for needle in "backend parity OK" "executor parity OK" "par trace round-trip OK"
         exit 1
     fi
 done
+
+echo "== committee smoke (E14, fixed seed, quick) =="
+# Committee-sampled Coin-Gen at n = 129, c = 31: `run` asserts
+# StepRunner/ParRunner parity on trial 0 and that at least one chained
+# election reaches the t_c + 1 quorum before rendering the table.
+committee_report="$(cargo run -p dprbg-bench --release --offline -q --bin report -- e14 --quick)"
+printf '%s\n' "$committee_report"
+if ! grep -q "committee n=129" <<<"$committee_report"; then
+    echo "committee smoke FAILED: E14 row for n=129 missing" >&2
+    exit 1
+fi
 
 echo "== traced E2 smoke (fixed seed, Chrome-trace round trip) =="
 trace_out="$(mktemp -t dprbg-trace-XXXXXX.json)"

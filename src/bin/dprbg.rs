@@ -7,18 +7,21 @@
 //! dprbg anatomy                    per-round profile of one Coin-Gen run
 //! ```
 //!
-//! Everything runs on the built-in synchronous simulator with a fresh
-//! deterministic seed per invocation (pass `--seed <u64>` to fix it).
+//! Everything runs as sans-IO machine fleets on the built-in stepped
+//! executor with a fresh deterministic seed per invocation (pass
+//! `--seed <u64>` to fix it).
 
 use dprbg::core::{
-    coin_expose, coin_gen, common_coin_ba, BitGenMsg, Bootstrap, BootstrapConfig, CcbaVote,
-    CliqueAnnounce, CoinGenConfig, CoinGenMsg, ExposeMsg, ExposeVia, Params, TrustedDealer,
+    common_coin_ba, BitGenMsg, Bootstrap, BootstrapConfig, CcbaVote, CliqueAnnounce,
+    CoinGenConfig, CoinGenMachine, CoinGenMsg, ExposeMachine, ExposeMsg, ExposeVia, Params,
+    SealedShare, TrustedDealer,
 };
 use dprbg::field::{Field, Gf2k};
 use dprbg::metrics::WireSize;
 use dprbg::protocols::{BaMsg, GcMsg};
-// lint: allow-file(transport) — the CLI demos drive the blocking behavior API, which runs on the threaded executor by design
-use dprbg::sim::{run_network, Behavior, Embeds, PartyCtx};
+use dprbg::sim::{
+    looping, BoxedMachine, Embeds, LoopControl, MachineExt, RoundMachine, StepRunner,
+};
 
 type F = Gf2k<32>;
 type M = CoinGenMsg<F>;
@@ -118,31 +121,45 @@ fn params_or_die(n: usize, t: usize) -> Params {
     Params::p2p_model(n, t).unwrap_or_else(|e| die(&format!("{e}")))
 }
 
+/// Expose every share of a batch in order, collecting the coin values.
+fn expose_all(t: usize, mut shares: Vec<SealedShare<F>>) -> impl RoundMachine<M, Output = Vec<F>> {
+    shares.reverse();
+    looping(
+        (shares, Vec::new()),
+        move |(mut stack, vals): (Vec<SealedShare<F>>, Vec<F>)| match stack.pop() {
+            Some(s) => LoopControl::Continue(Box::new(
+                ExposeMachine::new(s, t, ExposeVia::PointToPoint).map(move |res| {
+                    let mut vals = vals;
+                    vals.push(res.expect("expose succeeds"));
+                    (stack, vals)
+                }),
+            )),
+            None => LoopControl::Break(vals),
+        },
+    )
+}
+
 fn demo(n: usize, t: usize, coins: usize, seed: u64) {
     let params = params_or_die(n, t);
     let cfg = CoinGenConfig { params, batch_size: coins };
     let mut wallets = TrustedDealer::deal_wallets::<F>(params, 4 + t, seed);
     println!("dprbg demo: n={n} t={t}, sealing {coins} coins (seed {seed})\n");
-    let behaviors: Vec<Behavior<M, Vec<F>>> = (0..n)
-        .map(|_| {
-            let mut w = wallets.remove(0);
-            Box::new(move |ctx: &mut PartyCtx<M>| {
-                let batch = coin_gen(ctx, &cfg, &mut w).expect("generation succeeds");
-                if ctx.id() == 1 {
+    let machines: Vec<BoxedMachine<M, Vec<F>>> = (1..=n)
+        .map(|id| {
+            let machine = CoinGenMachine::new(cfg, wallets.remove(0)).then(move |(_w, res)| {
+                let batch = res.expect("generation succeeds");
+                if id == 1 {
                     println!(
                         "agreed dealer set {:?} in {} attempt(s)",
                         batch.dealers, batch.attempts
                     );
                 }
-                batch
-                    .shares
-                    .into_iter()
-                    .map(|s| coin_expose(ctx, s, t, ExposeVia::PointToPoint).unwrap())
-                    .collect()
-            }) as Behavior<M, Vec<F>>
+                expose_all(t, batch.shares)
+            });
+            Box::new(machine) as _
         })
         .collect();
-    let outs = run_network(n, seed, behaviors).unwrap_all();
+    let outs = StepRunner::new(n, seed).run(machines).unwrap_all();
     assert!(outs.iter().all(|o| o == &outs[0]), "unanimity violated?!");
     for (h, v) in outs[0].iter().enumerate() {
         println!("coin {h:>3}: {v}");
@@ -157,16 +174,27 @@ fn beacon(draws: usize, seed: u64) {
     let cfg = BootstrapConfig::with_default_low_water(CoinGenConfig { params, batch_size: 16 });
     let mut wallets = TrustedDealer::deal_wallets::<F>(params, 6, seed);
     println!("dprbg beacon: {draws} draws from a 6-coin dealer seed (seed {seed})\n");
-    let behaviors: Vec<Behavior<M, (Vec<F>, usize)>> = (0..n)
+    let machines: Vec<BoxedMachine<M, (Vec<F>, usize)>> = (0..n)
         .map(|_| {
-            let mut b = Bootstrap::new(cfg, wallets.remove(0));
-            Box::new(move |ctx: &mut PartyCtx<M>| {
-                let vals: Vec<F> = (0..draws).map(|_| b.draw(ctx).unwrap()).collect();
-                (vals, b.stats().refills)
-            }) as Behavior<M, _>
+            let b = Bootstrap::new(cfg, wallets.remove(0));
+            let machine = looping(
+                (b, Vec::new()),
+                move |(b, vals): (Bootstrap<F>, Vec<F>)| {
+                    if vals.len() == draws {
+                        let refills = b.stats().refills;
+                        return LoopControl::Break((vals, refills));
+                    }
+                    LoopControl::Continue(Box::new(b.draw().map(move |(b, res)| {
+                        let mut vals = vals;
+                        vals.push(res.expect("draw succeeds"));
+                        (b, vals)
+                    })))
+                },
+            );
+            Box::new(machine) as _
         })
         .collect();
-    let outs = run_network(n, seed, behaviors).unwrap_all();
+    let outs = StepRunner::new(n, seed).run(machines).unwrap_all();
     for (i, v) in outs[0].0.iter().enumerate() {
         println!("draw {i:>3}: {v}  bit={}", v.to_u64() & 1);
     }
@@ -178,17 +206,18 @@ fn ba(n: usize, t: usize, seed: u64) {
     println!("dprbg ba: common-coin Byzantine agreement, n={n} t={t}, split inputs (seed {seed})\n");
     let cfg = BootstrapConfig::with_default_low_water(CoinGenConfig { params, batch_size: 16 });
     let mut wallets = TrustedDealer::deal_wallets::<F>(params, 6, seed);
-    let behaviors: Vec<Behavior<BaWire, (bool, Option<usize>)>> = (1..=n)
+    let machines: Vec<BoxedMachine<BaWire, (bool, Option<usize>)>> = (1..=n)
         .map(|id| {
-            let mut b = Bootstrap::new(cfg, wallets.remove(0));
+            let b = Bootstrap::new(cfg, wallets.remove(0));
             let input = id % 2 == 0;
-            Box::new(move |ctx: &mut PartyCtx<BaWire>| {
-                let out = common_coin_ba(ctx, input, t, &mut b, 12).expect("beacon holds");
+            let machine = common_coin_ba::<BaWire, F>(input, t, b, 12).map(|(_b, res)| {
+                let out = res.expect("beacon holds");
                 (out.decision, out.decided_in_phase)
-            }) as Behavior<BaWire, _>
+            });
+            Box::new(machine) as _
         })
         .collect();
-    let outs = run_network(n, seed, behaviors).unwrap_all();
+    let outs = StepRunner::new(n, seed).run(machines).unwrap_all();
     for (i, (d, p)) in outs.iter().enumerate() {
         println!(
             "party {:>2}: input {:>5} -> decided {:>5} in phase {:?}",
@@ -208,15 +237,14 @@ fn anatomy(seed: u64) {
     let params = params_or_die(n, t);
     let cfg = CoinGenConfig { params, batch_size: 16 };
     let mut wallets = TrustedDealer::deal_wallets::<F>(params, 5, seed);
-    let behaviors: Vec<Behavior<M, usize>> = (0..n)
+    let machines: Vec<BoxedMachine<M, usize>> = (0..n)
         .map(|_| {
-            let mut w = wallets.remove(0);
-            Box::new(move |ctx: &mut PartyCtx<M>| {
-                coin_gen(ctx, &cfg, &mut w).expect("generation succeeds").attempts
-            }) as Behavior<M, usize>
+            let machine = CoinGenMachine::new(cfg, wallets.remove(0))
+                .map(|(_w, res)| res.expect("generation succeeds").attempts);
+            Box::new(machine) as _
         })
         .collect();
-    let res = run_network(n, seed, behaviors);
+    let res = StepRunner::new(n, seed).run(machines);
     println!("dprbg anatomy: one Coin-Gen run, n={n} t={t} M=16 (seed {seed})\n");
     println!("{:>6}  {:>10}  {:>4}", "round", "deliveries", "live");
     for (r, p) in res.rounds.iter().enumerate() {

@@ -18,7 +18,7 @@
 //! | [`core`] | `dprbg-core` | VSS, Batch-VSS, Bit-Gen, Coin-Gen, Coin-Expose, D-PRBG, bootstrapping |
 //! | [`field`] | `dprbg-field` | GF(2^k), prime fields, the DFT field GF(q^l) |
 //! | [`poly`] | `dprbg-poly` | polynomials, Lagrange, Berlekamp–Welch, Shamir |
-//! | [`sim`] | `dprbg-sim` | the synchronous network + adversary framework |
+//! | [`sim`] | `dprbg-sim` | sans-IO round machines, the deterministic executors, the adversary framework |
 //! | [`protocols`] | `dprbg-protocols` | grade-cast, phase-king BA, clique approximation |
 //! | [`baselines`] | `dprbg-baselines` | CCD cut-and-choose, Feldman VSS, from-scratch coin, Rabin dealer |
 //! | [`metrics`] | `dprbg-metrics` | the paper's cost model (additions / messages / bits / rounds) |
@@ -26,30 +26,32 @@
 //!
 //! # Example
 //!
-//! Seed seven parties once, then let a bootstrapped beacon hand out
-//! shared coins forever (see `examples/` for full programs):
+//! Seed seven parties once, then run the full Coin-Gen pipeline as a
+//! fleet of sans-IO round machines on the deterministic stepped
+//! executor (see `examples/` for full programs, including the
+//! bootstrapped beacon):
 //!
 //! ```
-//! use dprbg::core::{Bootstrap, BootstrapConfig, CoinGenConfig, CoinGenMsg, Params, TrustedDealer};
+//! use dprbg::core::{CoinGenConfig, CoinGenMachine, CoinGenMsg, Params, TrustedDealer};
 //! use dprbg::field::Gf2k;
-//! use dprbg::sim::{run_network, Behavior, PartyCtx};
+//! use dprbg::sim::{BoxedMachine, MachineExt, StepRunner};
 //!
 //! type F = Gf2k<32>;
 //! type M = CoinGenMsg<F>;
 //!
 //! let params = Params::p2p_model(7, 1).unwrap();
-//! let cfg = BootstrapConfig::with_default_low_water(CoinGenConfig { params, batch_size: 8 });
+//! let cfg = CoinGenConfig { params, batch_size: 8 };
 //! let mut wallets = TrustedDealer::deal_wallets::<F>(params, 6, 42);
-//! let behaviors: Vec<Behavior<M, Vec<F>>> = (0..7)
+//! // One machine per party; the executor carries the messages.
+//! let machines: Vec<BoxedMachine<M, usize>> = (0..7)
 //!     .map(|_| {
-//!         let mut beacon = Bootstrap::new(cfg, wallets.remove(0));
-//!         Box::new(move |ctx: &mut PartyCtx<M>| {
-//!             (0..10).map(|_| beacon.draw(ctx).unwrap()).collect::<Vec<F>>()
-//!         }) as Behavior<M, Vec<F>>
+//!         let m = CoinGenMachine::new(cfg, wallets.remove(0))
+//!             .map(|(_wallet, res)| res.expect("no faults injected").shares.len());
+//!         Box::new(m) as BoxedMachine<M, usize>
 //!     })
 //!     .collect();
-//! let outs = run_network(7, 1, behaviors).unwrap_all();
-//! assert!(outs.iter().all(|o| o == &outs[0]), "coins are unanimous");
+//! let outs = StepRunner::new(7, 1).run(machines).unwrap_all();
+//! assert!(outs.iter().all(|&sealed| sealed == 8), "every party sealed the batch");
 //! ```
 
 pub use dprbg_baselines as baselines;

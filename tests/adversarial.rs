@@ -2,12 +2,15 @@
 //! Byzantine strategies at the model's fault bound.
 
 use dprbg::core::{
-    coin_expose, coin_gen, BitGenMsg, CoinBatch, CoinGenConfig, CoinGenMsg, CoinWallet,
-    ExposeMsg, ExposeVia, Params, TrustedDealer,
+    BitGenMachine, BitGenMode, BitGenMsg, CoinBatch, CoinGenConfig, CoinGenMachine, CoinGenMsg,
+    CoinWallet, ExposeMachine, ExposeMsg, ExposeVia, Params, SealedShare, TrustedDealer,
 };
 use dprbg::field::{Field, Gf2k};
 use dprbg::protocols::BaMsg;
-use dprbg::sim::{run_network, Behavior, FaultPlan};
+use dprbg::sim::{
+    from_fn, looping, BoxedMachine, FaultPlan, LoopControl, MachineExt, RoundMachine, RoundView,
+    Step, StepRunner,
+};
 
 type F = Gf2k<32>;
 type M = CoinGenMsg<F>;
@@ -20,11 +23,8 @@ fn setup(n: usize, t: usize, m: usize, coins: usize, seed: u64) -> (CoinGenConfi
     )
 }
 
-fn honest(
-    cfg: CoinGenConfig,
-    mut wallet: CoinWallet<F>,
-) -> Behavior<M, Option<CoinBatch<F>>> {
-    Box::new(move |ctx| coin_gen(ctx, &cfg, &mut wallet).ok())
+fn honest(cfg: CoinGenConfig, wallet: CoinWallet<F>) -> BoxedMachine<M, Option<CoinBatch<F>>> {
+    Box::new(CoinGenMachine::new(cfg, wallet).map(|(_w, res)| res.ok()))
 }
 
 /// All honest batches must agree on dealers and decode consistently.
@@ -81,40 +81,49 @@ fn equivocating_dealer_excluded_or_consistent() {
             honest_wallets.push(w);
         }
     }
-    let behaviors = plan.behaviors::<M, Option<CoinBatch<F>>>(
+    let machines = plan.machines::<M, Option<CoinBatch<F>>>(
         |_| honest(cfg, honest_wallets.remove(0)),
         |_| {
-            Box::new(move |ctx| {
-                let n = ctx.n();
-                // Split dealing: parties 1..=3 get shares of one random
-                // polynomial set, 4..=n of another.
-                let mk = |rng: &mut dprbg_rng::rngs::StdRng| {
-                    (0..3)
-                        .map(|_| dprbg::poly::Poly::<F>::random(1, rng))
-                        .collect::<Vec<_>>()
-                };
-                let set_a = mk(ctx.rng());
-                let set_b = mk(ctx.rng());
-                let blind = dprbg::poly::Poly::<F>::random(1, ctx.rng());
-                for i in 1..=n {
-                    let x = F::element(i as u64);
-                    let polys = if i <= 3 { &set_a } else { &set_b };
-                    ctx.send(
-                        i,
-                        CoinGenMsg::BitGen(BitGenMsg::Deal {
-                            alphas: polys.iter().map(|f| f.eval(x)).collect(),
-                            gamma: blind.eval(x),
-                        }),
-                    );
-                }
-                let _ = ctx.next_round();
-                // Participate in expose honestly-ish, then go silent.
-                let _ = ctx.next_round();
-                None
-            })
+            let mut round = 0usize;
+            Box::new(
+                from_fn(move |view: RoundView<'_, M>| {
+                    round += 1;
+                    match round {
+                        1 => {
+                            // Split dealing: parties 1..=3 get shares of one
+                            // random polynomial set, 4..=n of another.
+                            let mk = |rng: &mut dprbg_rng::rngs::StdRng| {
+                                (0..3)
+                                    .map(|_| dprbg::poly::Poly::<F>::random(1, rng))
+                                    .collect::<Vec<_>>()
+                            };
+                            let set_a = mk(view.rng);
+                            let set_b = mk(view.rng);
+                            let blind = dprbg::poly::Poly::<F>::random(1, view.rng);
+                            let mut out = view.outbox();
+                            for i in 1..=view.n {
+                                let x = F::element(i as u64);
+                                let polys = if i <= 3 { &set_a } else { &set_b };
+                                out.send(
+                                    i,
+                                    CoinGenMsg::BitGen(BitGenMsg::Deal {
+                                        alphas: polys.iter().map(|f| f.eval(x)).collect(),
+                                        gamma: blind.eval(x),
+                                    }),
+                                );
+                            }
+                            Step::Continue(out)
+                        }
+                        // Linger silently through the expose, then go quiet.
+                        2 => Step::Continue(view.outbox()),
+                        _ => Step::Done(None),
+                    }
+                })
+                .labelled("equivocating-dealer"),
+            )
         },
     );
-    let res = run_network(n, 12, behaviors);
+    let res = StepRunner::new(n, 12).run(machines);
     assert_honest_agreement(&res, &plan, t, m);
 }
 
@@ -137,42 +146,52 @@ fn byzantine_ba_voter_cannot_split_decision() {
             honest_wallets.push(w);
         }
     }
-    let behaviors = plan.behaviors::<M, Option<CoinBatch<F>>>(
+    let machines = plan.machines::<M, Option<CoinBatch<F>>>(
         |_| honest(cfg, honest_wallets.remove(0)),
         |_| {
+            // Honest Bit-Gen participation, then the vote-splitting script.
             let mut w = faulty_wallet.clone();
-            Box::new(move |ctx| {
-                // Honest Bit-Gen participation (rounds 1-3).
-                let coin = w.pop().ok()?;
-                let dealers: Vec<usize> = (1..=ctx.n()).collect();
-                let _ =
-                    dprbg::core::bit_gen_all::<M, F>(ctx, 1, 2, coin, &dealers).ok()?;
-                // Skip grade-cast (3 rounds of silence).
-                for _ in 0..3 {
-                    let _ = ctx.next_round();
-                }
-                // Leader expose: send a corrupt share.
-                let _ = w.pop();
-                ctx.send_to_all(CoinGenMsg::Expose(ExposeMsg(F::from_u64(999))));
-                let _ = ctx.next_round();
-                // BA: split votes each round.
-                for round in 0..4 {
-                    for to in 1..=ctx.n() {
-                        let bit = (to + round) % 2 == 0;
-                        let msg = if round % 2 == 0 {
-                            BaMsg::Suggest(bit)
-                        } else {
-                            BaMsg::King(bit)
-                        };
-                        ctx.send(to, CoinGenMsg::Ba(msg));
-                    }
-                    let _ = ctx.next_round();
-                }
-                None
-            })
+            let coin = w.pop().expect("faulty wallet seeded");
+            let dealers: Vec<usize> = (1..=n).collect();
+            let machine = BitGenMachine::new(t, m, coin, dealers, BitGenMode::RandomCoins).then(
+                move |_res| {
+                    let mut round = 0usize;
+                    from_fn(move |view: RoundView<'_, M>| {
+                        round += 1;
+                        match round {
+                            // Skip grade-cast (3 rounds of silence).
+                            1..=3 => Step::Continue(view.outbox()),
+                            // Leader expose: send a corrupt share.
+                            4 => {
+                                let mut out = view.outbox();
+                                out.send_to_all(CoinGenMsg::Expose(ExposeMsg(F::from_u64(999))));
+                                Step::Continue(out)
+                            }
+                            // BA: split votes each round.
+                            5..=8 => {
+                                let r = round - 5;
+                                let mut out = view.outbox();
+                                for to in 1..=view.n {
+                                    let bit = (to + r) % 2 == 0;
+                                    let msg = if r % 2 == 0 {
+                                        BaMsg::Suggest(bit)
+                                    } else {
+                                        BaMsg::King(bit)
+                                    };
+                                    out.send(to, CoinGenMsg::Ba(msg));
+                                }
+                                Step::Continue(out)
+                            }
+                            _ => Step::Done(None),
+                        }
+                    })
+                    .labelled("vote-splitter")
+                },
+            );
+            Box::new(machine)
         },
     );
-    let res = run_network(n, 22, behaviors);
+    let res = StepRunner::new(n, 22).run(machines);
     assert_honest_agreement(&res, &plan, t, m);
 }
 
@@ -195,13 +214,13 @@ fn faulty_leader_forces_reiteration_lemma8() {
                 honest_wallets.push(w);
             }
         }
-        let behaviors = plan.behaviors::<M, Option<CoinBatch<F>>>(
+        let machines = plan.machines::<M, Option<CoinBatch<F>>>(
             |_| honest(cfg, honest_wallets.remove(0)),
             // The faulty party is completely silent: if the leader coin
             // picks it, conf_l = 0 and the BA round fails → re-iterate.
-            |_| Box::new(|_ctx| None),
+            |_| Box::new(from_fn(|_view: RoundView<'_, M>| Step::Done(None)).labelled("crashed")),
         );
-        let res = run_network(n, 2000 + seed, behaviors);
+        let res = StepRunner::new(n, 2000 + seed).run(machines);
         assert_honest_agreement(&res, &plan, t, m);
         let attempts = res.outputs[0].as_ref().unwrap().as_ref().unwrap().attempts;
         if attempts >= 2 {
@@ -229,29 +248,40 @@ fn two_faults_in_thirteen_party_system() {
             honest_wallets.push(w);
         }
     }
-    let behaviors = plan.behaviors::<M, Option<CoinBatch<F>>>(
+    let machines = plan.machines::<M, Option<CoinBatch<F>>>(
         |_| honest(cfg, honest_wallets.remove(0)),
         |id| {
-            Box::new(move |ctx| {
-                // One fault crashes, the other deals garbage then crashes.
-                if id == 9 {
-                    let n = ctx.n();
-                    for i in 1..=n {
-                        ctx.send(
-                            i,
-                            CoinGenMsg::BitGen(BitGenMsg::Deal {
-                                alphas: vec![F::from_u64(i as u64); 3],
-                                gamma: F::one(),
-                            }),
-                        );
+            // One fault crashes, the other deals garbage then crashes.
+            if id != 9 {
+                return Box::new(
+                    from_fn(|_view: RoundView<'_, M>| Step::Done(None)).labelled("crashed"),
+                );
+            }
+            let mut sent = false;
+            Box::new(
+                from_fn(move |view: RoundView<'_, M>| {
+                    if !sent {
+                        sent = true;
+                        let mut out = view.outbox();
+                        for i in 1..=view.n {
+                            out.send(
+                                i,
+                                CoinGenMsg::BitGen(BitGenMsg::Deal {
+                                    alphas: vec![F::from_u64(i as u64); 3],
+                                    gamma: F::one(),
+                                }),
+                            );
+                        }
+                        Step::Continue(out)
+                    } else {
+                        Step::Done(None)
                     }
-                    let _ = ctx.next_round();
-                }
-                None
-            })
+                })
+                .labelled("garbage-dealer"),
+            )
         },
     );
-    let res = run_network(n, 32, behaviors);
+    let res = StepRunner::new(n, 32).run(machines);
     assert_honest_agreement(&res, &plan, t, m);
 }
 
@@ -265,34 +295,68 @@ fn exposed_coins_survive_corrupt_shares() {
     let (cfg, mut wallets) = setup(n, t, m, 6, 41);
     let plan = FaultPlan::explicit(n, vec![5]);
     let all_wallets: Vec<CoinWallet<F>> = (1..=n).map(|_| wallets.remove(0)).collect();
-    let behaviors = plan.behaviors::<M, Option<Vec<F>>>(
+
+    /// Reveal a batch one coin per round, collecting the values.
+    fn expose_all(
+        t: usize,
+        mut shares: Vec<SealedShare<F>>,
+    ) -> impl RoundMachine<M, Output = Vec<F>> {
+        shares.reverse();
+        looping(
+            (shares, Vec::new()),
+            move |(mut stack, vals): (Vec<SealedShare<F>>, Vec<F>)| match stack.pop() {
+                Some(s) => LoopControl::Continue(Box::new(
+                    ExposeMachine::new(s, t, ExposeVia::PointToPoint).map(move |res| {
+                        let mut vals = vals;
+                        vals.push(res.expect("expose succeeds"));
+                        (stack, vals)
+                    }),
+                )),
+                None => LoopControl::Break(vals),
+            },
+        )
+    }
+
+    let machines = plan.machines::<M, Option<Vec<F>>>(
         |id| {
-            let mut w = all_wallets[id - 1].clone();
-            Box::new(move |ctx| {
-                let batch = coin_gen(ctx, &cfg, &mut w).ok()?;
-                let vals: Vec<F> = batch
-                    .shares
-                    .into_iter()
-                    .map(|s| coin_expose(ctx, s, 1, ExposeVia::PointToPoint).unwrap())
-                    .collect();
-                Some(vals)
-            })
+            let w = all_wallets[id - 1].clone();
+            let machine = CoinGenMachine::new(cfg, w).then(
+                move |(_w, res)| -> BoxedMachine<M, Option<Vec<F>>> {
+                    match res {
+                        Ok(batch) => Box::new(expose_all(1, batch.shares).map(Some)),
+                        Err(_) => Box::new(from_fn(|_| Step::Done(None))),
+                    }
+                },
+            );
+            Box::new(machine)
         },
         |id| {
-            let mut w = all_wallets[id - 1].clone();
-            Box::new(move |ctx| {
-                // Run the generation honestly…
-                let batch = coin_gen(ctx, &cfg, &mut w).ok()?;
-                // …then corrupt every expose contribution.
-                for _ in 0..batch.len() {
-                    ctx.send_to_all(CoinGenMsg::Expose(ExposeMsg(F::from_u64(0xBAD))));
-                    let _ = ctx.next_round();
-                }
-                None
-            })
+            // Run the generation honestly… then corrupt every expose
+            // contribution, one per round, matching the honest cadence.
+            let w = all_wallets[id - 1].clone();
+            let machine = CoinGenMachine::new(cfg, w).then(
+                move |(_w, res)| -> BoxedMachine<M, Option<Vec<F>>> {
+                    let left = res.map(|b| b.len()).unwrap_or(0);
+                    let mut left = left;
+                    Box::new(
+                        from_fn(move |view: RoundView<'_, M>| {
+                            if left > 0 {
+                                left -= 1;
+                                let mut out = view.outbox();
+                                out.send_to_all(CoinGenMsg::Expose(ExposeMsg(F::from_u64(0xBAD))));
+                                Step::Continue(out)
+                            } else {
+                                Step::Done(None)
+                            }
+                        })
+                        .labelled("corrupt-exposer"),
+                    )
+                },
+            );
+            Box::new(machine)
         },
     );
-    let res = run_network(n, 42, behaviors);
+    let res = StepRunner::new(n, 42).run(machines);
     let honest_vals: Vec<&Vec<F>> = plan
         .honest()
         .map(|id| res.outputs[id - 1].as_ref().unwrap().as_ref().unwrap())

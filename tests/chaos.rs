@@ -1,75 +1,83 @@
-//! Chaos tests: the simulator and the protocols under randomized hostile
+//! Chaos tests: the executor and the protocols under randomized hostile
 //! schedules — random traffic, random crashes, random parameters.
 #![allow(clippy::int_plus_one)] // thresholds written as the paper states them
 
-use dprbg::core::{coin_gen, CoinBatch, CoinGenConfig, CoinGenMsg, CoinWallet, Params, TrustedDealer};
+use dprbg::core::{CoinBatch, CoinGenConfig, CoinGenMachine, CoinGenMsg, CoinWallet, Params, TrustedDealer};
 use dprbg::field::{Field, Gf2k};
-use dprbg::sim::{run_network, Behavior, FaultPlan, PartyCtx};
+use dprbg::sim::{from_fn, BoxedMachine, FaultPlan, MachineExt, RoundView, Step, StepRunner};
 use dprbg_rng::rngs::StdRng;
 use dprbg_rng::{RngExt, SeedableRng};
 
 type F = Gf2k<32>;
 
 #[test]
-fn router_survives_random_send_and_leave_patterns() {
+fn executor_survives_random_send_and_leave_patterns() {
     // Parties send random unicasts/broadcasts for a random number of
     // rounds, then leave at random times. The run must terminate (no
     // deadlock) with every output delivered.
     for seed in 0..20u64 {
         let n = 6;
-        let behaviors: Vec<Behavior<u32, u64>> = (1..=n)
+        let machines: Vec<BoxedMachine<u32, u64>> = (1..=n)
             .map(|id| {
-                Box::new(move |ctx: &mut PartyCtx<u32>| {
-                    let mut rng = StdRng::seed_from_u64(seed * 100 + id as u64);
-                    let rounds = rng.random_range(0..8);
-                    let mut received = 0u64;
-                    for _ in 0..rounds {
-                        for _ in 0..rng.random_range(0..4) {
-                            let to = rng.random_range(1..=ctx.n());
-                            ctx.send(to, rng.random::<u32>());
-                        }
-                        if rng.random_bool(0.3) {
-                            ctx.broadcast(rng.random::<u32>());
-                        }
-                        received += ctx.next_round().len() as u64;
+                let mut rng = StdRng::seed_from_u64(seed * 100 + id as u64);
+                let rounds = rng.random_range(0..8);
+                let mut done = 0usize;
+                let mut received = 0u64;
+                Box::new(from_fn(move |view: RoundView<'_, u32>| {
+                    received += view.inbox.len() as u64;
+                    if done == rounds {
+                        return Step::Done(received);
                     }
-                    received
-                }) as Behavior<u32, u64>
+                    done += 1;
+                    let mut out = view.outbox();
+                    for _ in 0..rng.random_range(0..4) {
+                        let to = rng.random_range(1..=view.n);
+                        out.send(to, rng.random::<u32>());
+                    }
+                    if rng.random_bool(0.3) {
+                        out.broadcast(rng.random::<u32>());
+                    }
+                    Step::Continue(out)
+                })) as BoxedMachine<u32, u64>
             })
             .collect();
-        let res = run_network(n, seed, behaviors);
+        let res = StepRunner::new(n, seed).run(machines);
         assert_eq!(res.outputs.iter().filter(|o| o.is_some()).count(), n);
     }
 }
 
 #[test]
-fn router_is_deterministic_under_thread_jitter() {
-    // Same seed, many repetitions: thread scheduling must never change
+fn executor_is_deterministic_under_repetition() {
+    // Same seed, many repetitions: repeated execution must never change
     // inbox contents or ordering (the determinism contract).
     let run_once = |seed: u64| -> Vec<Vec<u32>> {
         let n = 5;
-        let behaviors: Vec<Behavior<u32, Vec<u32>>> = (1..=n)
+        let machines: Vec<BoxedMachine<u32, Vec<u32>>> = (1..=n)
             .map(|id| {
-                Box::new(move |ctx: &mut PartyCtx<u32>| {
-                    let mut log = Vec::new();
-                    for round in 0..6u32 {
-                        // Everyone sends round*id to a rotating target.
-                        let to = ((id + round as usize) % ctx.n()) + 1;
-                        ctx.send(to, round * id as u32);
-                        ctx.broadcast(round + id as u32);
-                        for r in ctx.next_round().iter() {
-                            log.push(r.from as u32 * 1000 + r.msg);
-                        }
+                let mut round = 0u32;
+                let mut log = Vec::new();
+                Box::new(from_fn(move |view: RoundView<'_, u32>| {
+                    for r in view.inbox.iter() {
+                        log.push(r.from as u32 * 1000 + r.msg);
                     }
-                    log
-                }) as Behavior<u32, Vec<u32>>
+                    if round == 6 {
+                        return Step::Done(std::mem::take(&mut log));
+                    }
+                    // Everyone sends round*id to a rotating target.
+                    let mut out = view.outbox();
+                    let to = ((id + round as usize) % view.n) + 1;
+                    out.send(to, round * id as u32);
+                    out.broadcast(round + id as u32);
+                    round += 1;
+                    Step::Continue(out)
+                })) as BoxedMachine<u32, Vec<u32>>
             })
             .collect();
-        run_network(n, seed, behaviors).unwrap_all()
+        StepRunner::new(n, seed).run(machines).unwrap_all()
     };
     let baseline = run_once(42);
     for _ in 0..5 {
-        assert_eq!(run_once(42), baseline, "scheduling must not leak into results");
+        assert_eq!(run_once(42), baseline, "repetition must not leak into results");
     }
 }
 
@@ -95,14 +103,15 @@ fn coin_gen_parameter_sweep_with_random_crash_sets() {
         let mut wallets: Vec<CoinWallet<F>> =
             TrustedDealer::deal_wallets::<F>(params, 5 + t, 9000 + trial);
         let all: Vec<CoinWallet<F>> = (0..n).map(|_| wallets.remove(0)).collect();
-        let behaviors = plan.behaviors::<CoinGenMsg<F>, Option<CoinBatch<F>>>(
+        let machines = plan.machines::<CoinGenMsg<F>, Option<CoinBatch<F>>>(
             |id| {
-                let mut w = all[id - 1].clone();
-                Box::new(move |ctx| coin_gen(ctx, &cfg, &mut w).ok())
+                let w = all[id - 1].clone();
+                Box::new(CoinGenMachine::new(cfg, w).map(|(_w, res)| res.ok()))
             },
-            |_| Box::new(|_ctx| None), // crash immediately
+            // Crash immediately.
+            |_| Box::new(from_fn(|_view: RoundView<'_, CoinGenMsg<F>>| Step::Done(None))),
         );
-        let res = run_network(n, 9100 + trial, behaviors);
+        let res = StepRunner::new(n, 9100 + trial).run(machines);
         let batches: Vec<&CoinBatch<F>> = plan
             .honest()
             .map(|id| {
@@ -193,32 +202,34 @@ fn coin_gen_withstands_randomized_byzantine_strategies() {
         let mut wallets: Vec<CoinWallet<F>> =
             TrustedDealer::deal_wallets::<F>(params, 6, 7100 + trial);
         let all: Vec<CoinWallet<F>> = (0..n).map(|_| wallets.remove(0)).collect();
-        let behaviors = plan.behaviors::<CoinGenMsg<F>, Option<CoinBatch<F>>>(
+        let machines = plan.machines::<CoinGenMsg<F>, Option<CoinBatch<F>>>(
             |id| {
-                let mut w = all[id - 1].clone();
-                Box::new(move |ctx| coin_gen(ctx, &cfg, &mut w).ok())
+                let w = all[id - 1].clone();
+                Box::new(CoinGenMachine::new(cfg, w).map(|(_w, res)| res.ok()))
             },
             |_| {
-                Box::new(move |ctx| {
-                    let mut rng = StdRng::seed_from_u64(7200 + trial);
-                    // Spray random traffic as long as anyone is listening.
-                    for _ in 0..40 {
-                        if ctx.active_parties() <= 1 {
-                            return None;
+                // Spray random traffic for a bounded number of rounds.
+                let mut rng = StdRng::seed_from_u64(7200 + trial);
+                let mut sprayed = 0usize;
+                Box::new(
+                    from_fn(move |view: RoundView<'_, CoinGenMsg<F>>| {
+                        if sprayed == 40 {
+                            return Step::Done(None);
                         }
-                        let n = ctx.n();
+                        sprayed += 1;
+                        let mut out = view.outbox();
                         for _ in 0..rng.random_range(0..12) {
-                            let to = rng.random_range(1..=n);
-                            let msg = random_msg(&mut rng, n, 3);
-                            ctx.send(to, msg);
+                            let to = rng.random_range(1..=view.n);
+                            let msg = random_msg(&mut rng, view.n, 3);
+                            out.send(to, msg);
                         }
-                        let _ = ctx.next_round();
-                    }
-                    None
-                })
+                        Step::Continue(out)
+                    })
+                    .labelled("fuzz-sprayer"),
+                )
             },
         );
-        let res = run_network(n, 7300 + trial, behaviors);
+        let res = StepRunner::new(n, 7300 + trial).run(machines);
         let batches: Vec<&CoinBatch<F>> = plan
             .honest()
             .map(|id| {

@@ -3,19 +3,19 @@
 //! The paper's claims are error probabilities and operation counts; both
 //! are only auditable if a run can be replayed exactly. With the in-tree
 //! ChaCha12 [`StdRng`](dprbg_rng::rngs::StdRng) every source of
-//! randomness in the stack — dealing, per-party simulator streams,
+//! randomness in the stack — dealing, per-party executor streams,
 //! protocol coin draws — is a pure function of the seed, so two runs from
 //! the same seed must produce **byte-identical coin transcripts** and
 //! **identical cost counters**. These tests pin that contract for three
 //! seeds (and check distinct seeds actually diverge).
 
 use dprbg::core::{
-    coin_expose, coin_gen, CoinGenConfig, CoinGenMsg, CoinWallet, ExposeVia, Params,
-    TrustedDealer,
+    CoinGenConfig, CoinGenMachine, CoinGenMsg, CoinWallet, ExposeMachine, ExposeVia, Params,
+    SealedShare, TrustedDealer,
 };
 use dprbg::field::{Field, Gf2k};
 use dprbg::metrics::CostReport;
-use dprbg::sim::{run_network, Behavior, PartyCtx};
+use dprbg::sim::{looping, BoxedMachine, LoopControl, MachineExt, RoundMachine, StepRunner};
 
 type F = Gf2k<32>;
 type M = CoinGenMsg<F>;
@@ -27,6 +27,24 @@ const BATCH: usize = 8;
 /// One party's observable outcome of the E2E run.
 type PartyTranscript = (Vec<usize>, usize, Vec<F>);
 
+/// Expose every share of a batch in order, collecting the coin values.
+fn expose_all(t: usize, mut shares: Vec<SealedShare<F>>) -> impl RoundMachine<M, Output = Vec<F>> {
+    shares.reverse();
+    looping(
+        (shares, Vec::new()),
+        move |(mut stack, vals): (Vec<SealedShare<F>>, Vec<F>)| match stack.pop() {
+            Some(s) => LoopControl::Continue(Box::new(
+                ExposeMachine::new(s, t, ExposeVia::PointToPoint).map(move |res| {
+                    let mut vals = vals;
+                    vals.push(res.expect("expose succeeds"));
+                    (stack, vals)
+                }),
+            )),
+            None => LoopControl::Break(vals),
+        },
+    )
+}
+
 /// Run dealing → Coin-Gen → expose-every-coin and serialize what each
 /// party observed, plus the run's aggregated cost report.
 fn coin_pipeline(seed: u64) -> (Vec<u8>, CostReport) {
@@ -34,24 +52,18 @@ fn coin_pipeline(seed: u64) -> (Vec<u8>, CostReport) {
     let cfg = CoinGenConfig { params, batch_size: BATCH };
     let mut wallets: Vec<CoinWallet<F>> =
         TrustedDealer::deal_wallets::<F>(params, 4 + T, seed ^ 0xA11CE);
-    let behaviors: Vec<Behavior<M, PartyTranscript>> = (1..=N)
+    let machines: Vec<BoxedMachine<M, PartyTranscript>> = (1..=N)
         .map(|_| {
-            let mut w = wallets.remove(0);
-            Box::new(move |ctx: &mut PartyCtx<M>| {
-                let batch = coin_gen(ctx, &cfg, &mut w).expect("coin generation succeeds");
-                let values: Vec<F> = batch
-                    .shares
-                    .iter()
-                    .map(|s| {
-                        coin_expose(ctx, s.clone(), T, ExposeVia::PointToPoint)
-                            .expect("expose succeeds")
-                    })
-                    .collect();
-                (batch.dealers, batch.attempts, values)
-            }) as Behavior<M, PartyTranscript>
+            let machine = CoinGenMachine::new(cfg, wallets.remove(0)).then(move |(_w, res)| {
+                let batch = res.expect("coin generation succeeds");
+                let dealers = batch.dealers.clone();
+                let attempts = batch.attempts;
+                expose_all(T, batch.shares).map(move |values| (dealers, attempts, values))
+            });
+            Box::new(machine) as BoxedMachine<M, PartyTranscript>
         })
         .collect();
-    let res = run_network(N, seed, behaviors);
+    let res = StepRunner::new(N, seed).run(machines);
     let report = res.report.clone();
 
     // Canonical transcript bytes: per party, the dealer set, the attempt

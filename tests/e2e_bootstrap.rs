@@ -5,7 +5,7 @@ use dprbg::core::{
     Bootstrap, BootstrapConfig, BootstrapStats, CoinGenConfig, CoinGenMsg, Params, TrustedDealer,
 };
 use dprbg::field::Gf2k;
-use dprbg::sim::{run_network, Behavior, PartyCtx};
+use dprbg::sim::{looping, BoxedMachine, LoopControl, MachineExt, StepRunner};
 
 type F = Gf2k<32>;
 type M = CoinGenMsg<F>;
@@ -21,16 +21,27 @@ fn beacon_run(
     let params = Params::p2p_model(n, t).unwrap();
     let cfg = BootstrapConfig::with_default_low_water(CoinGenConfig { params, batch_size: batch });
     let mut wallets = TrustedDealer::deal_wallets::<F>(params, initial, seed);
-    let behaviors: Vec<Behavior<M, (Vec<F>, BootstrapStats)>> = (0..n)
+    let machines: Vec<BoxedMachine<M, (Vec<F>, BootstrapStats)>> = (0..n)
         .map(|_| {
-            let mut b = Bootstrap::new(cfg, wallets.remove(0));
-            Box::new(move |ctx: &mut PartyCtx<M>| {
-                let vals: Vec<F> = (0..draws).map(|_| b.draw(ctx).unwrap()).collect();
-                (vals, b.stats())
-            }) as Behavior<M, (Vec<F>, BootstrapStats)>
+            let b = Bootstrap::new(cfg, wallets.remove(0));
+            let machine = looping(
+                (b, Vec::new()),
+                move |(b, vals): (Bootstrap<F>, Vec<F>)| {
+                    if vals.len() == draws {
+                        let stats = b.stats();
+                        return LoopControl::Break((vals, stats));
+                    }
+                    LoopControl::Continue(Box::new(b.draw().map(move |(b, res)| {
+                        let mut vals = vals;
+                        vals.push(res.expect("draw succeeds"));
+                        (b, vals)
+                    })))
+                },
+            );
+            Box::new(machine) as BoxedMachine<M, (Vec<F>, BootstrapStats)>
         })
         .collect();
-    run_network(n, seed, behaviors).unwrap_all()
+    StepRunner::new(n, seed).run(machines).unwrap_all()
 }
 
 #[test]

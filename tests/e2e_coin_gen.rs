@@ -1,35 +1,49 @@
 //! End-to-end Coin-Gen (Fig. 5) across parameter settings: the full
 //! pipeline from trusted-dealer seed through sealed batch to exposed,
-//! unanimous coin values.
+//! unanimous coin values — as machine fleets on the stepped executor.
 
 use dprbg::core::{
-    coin_expose, coin_gen, CoinGenConfig, CoinGenMsg, ExposeVia, Params, TrustedDealer,
+    CoinGenConfig, CoinGenMachine, CoinGenMsg, ExposeMachine, ExposeVia, Params, SealedShare,
+    TrustedDealer,
 };
 use dprbg::field::{Field, Gf2k};
-use dprbg::sim::{run_network, Behavior, PartyCtx};
+use dprbg::sim::{looping, BoxedMachine, LoopControl, MachineExt, RoundMachine, StepRunner};
 
 type F = Gf2k<32>;
 type M = CoinGenMsg<F>;
+
+/// Expose every share of a batch in order, collecting the coin values.
+fn expose_all(t: usize, mut shares: Vec<SealedShare<F>>) -> impl RoundMachine<M, Output = Vec<F>> {
+    shares.reverse();
+    looping(
+        (shares, Vec::new()),
+        move |(mut stack, vals): (Vec<SealedShare<F>>, Vec<F>)| match stack.pop() {
+            Some(s) => LoopControl::Continue(Box::new(
+                ExposeMachine::new(s, t, ExposeVia::PointToPoint).map(move |res| {
+                    let mut vals = vals;
+                    vals.push(res.expect("expose succeeds"));
+                    (stack, vals)
+                }),
+            )),
+            None => LoopControl::Break(vals),
+        },
+    )
+}
 
 /// Run the full pipeline; return each party's exposed coin values.
 fn generate_and_expose(n: usize, t: usize, m: usize, seed: u64) -> Vec<Vec<F>> {
     let params = Params::p2p_model(n, t).unwrap();
     let cfg = CoinGenConfig { params, batch_size: m };
     let mut wallets = TrustedDealer::deal_wallets::<F>(params, 4 + t, seed);
-    let behaviors: Vec<Behavior<M, Vec<F>>> = (0..n)
+    let machines: Vec<BoxedMachine<M, Vec<F>>> = (0..n)
         .map(|_| {
-            let mut w = wallets.remove(0);
-            Box::new(move |ctx: &mut PartyCtx<M>| {
-                let batch = coin_gen(ctx, &cfg, &mut w).expect("generation succeeds");
-                batch
-                    .shares
-                    .into_iter()
-                    .map(|s| coin_expose(ctx, s, t, ExposeVia::PointToPoint).unwrap())
-                    .collect()
-            }) as Behavior<M, Vec<F>>
+            let machine = CoinGenMachine::new(cfg, wallets.remove(0)).then(move |(_w, res)| {
+                expose_all(t, res.expect("generation succeeds").shares)
+            });
+            Box::new(machine) as BoxedMachine<M, Vec<F>>
         })
         .collect();
-    run_network(n, seed, behaviors).unwrap_all()
+    StepRunner::new(n, seed).run(machines).unwrap_all()
 }
 
 #[test]

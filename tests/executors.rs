@@ -1,27 +1,26 @@
 //! Cross-executor equivalence of the sans-IO round engine.
 //!
 //! The same `RoundMachine` fleet must behave identically under the
-//! scoped-thread runner ([`run_machines`]), the deterministic
-//! single-threaded [`StepRunner`], and the work-stealing `ParRunner`:
-//! byte-identical transcripts, identical [`CostReport`]s, identical
-//! per-round delivery profiles, identical logical traces. The blocking
-//! `PartyCtx` pipeline (the pre-refactor API, now a shim over the same
-//! machines) must agree with all of them. A large-n smoke test then
-//! exercises the scale the single-threaded and parallel executors exist
-//! for: full Coin-Gen at n = 61, t = 10 — beyond what the
-//! thread-per-party runner is asked to do anywhere else in the suite.
+//! deterministic single-threaded [`StepRunner`] and the work-stealing
+//! `ParRunner`: byte-identical transcripts, identical [`CostReport`]s,
+//! identical per-round delivery profiles, identical logical traces.
+//! A large-n smoke test then exercises the scale the executors exist
+//! for: full Coin-Gen at n = 61, t = 10. Committee-sampled Coin-Gen
+//! and the ported baseline protocols get the same parity treatment,
+//! and the committee election itself is pinned as deterministic and
+//! unbiased.
 
 use std::collections::VecDeque;
 
 use dprbg::core::{
-    coin_expose, coin_gen, CoinGenConfig, CoinGenMachine, CoinGenMsg, CoinWallet, ExposeMachine,
-    ExposeVia, Params, SealedShare, TrustedDealer,
+    committee_threshold, elect_committee, CoinGenConfig, CoinGenMachine, CoinGenMsg,
+    CoinWallet, CommitteeCoin, CommitteeError, CommitteeMsg, ExposeMachine, ExposeVia, Params,
+    SealedShare, TrustedDealer,
 };
 use dprbg::field::{Field, Gf2k};
 use dprbg::metrics::CostReport;
 use dprbg::sim::{
-    run_machines, run_network, Behavior, BoxedMachine, PartyCtx, RoundMachine, RoundProfile,
-    RoundView, RunResult, Step,
+    BoxedMachine, ParRunner, RoundMachine, RoundProfile, RoundView, RunResult, Step, StepRunner,
 };
 
 type F = Gf2k<32>;
@@ -36,8 +35,7 @@ const BATCH: usize = 8;
 type PartyTranscript = (Vec<usize>, usize, Vec<F>);
 
 /// Coin-Gen followed by Coin-Expose of every sealed coin, as a single
-/// composed round machine (the machine-level twin of the blocking
-/// `coin_gen` + `coin_expose` pipeline in `tests/determinism.rs`).
+/// composed round machine.
 struct PartyMachine<G: Field> {
     t: usize,
     stage: Stage<G>,
@@ -161,45 +159,12 @@ fn summarize(res: RunResult<PartyTranscript>) -> (Vec<u8>, CostReport, Vec<Round
     (transcript_bytes(res.unwrap_all()), report, rounds)
 }
 
-/// The blocking (pre-refactor) pipeline over the same seed, via the
-/// `PartyCtx` shims.
-fn blocking_pipeline(seed: u64) -> (Vec<u8>, CostReport) {
-    let params = Params::p2p_model(N, T).unwrap();
-    let cfg = CoinGenConfig { params, batch_size: BATCH };
-    let mut wallets: Vec<CoinWallet<F>> =
-        TrustedDealer::deal_wallets::<F>(params, 4 + T, seed ^ 0xA11CE);
-    let behaviors: Vec<Behavior<M, PartyTranscript>> = (1..=N)
-        .map(|_| {
-            let mut w = wallets.remove(0);
-            Box::new(move |ctx: &mut PartyCtx<M>| {
-                let batch = coin_gen(ctx, &cfg, &mut w).expect("coin generation succeeds");
-                let values: Vec<F> = batch
-                    .shares
-                    .iter()
-                    .map(|s| {
-                        coin_expose(ctx, s.clone(), T, ExposeVia::PointToPoint)
-                            .expect("expose succeeds")
-                    })
-                    .collect();
-                (batch.dealers, batch.attempts, values)
-            }) as Behavior<M, PartyTranscript>
-        })
-        .collect();
-    let res = run_network(N, seed, behaviors);
-    let report = res.report.clone();
-    (transcript_bytes(res.unwrap_all()), report)
-}
-
 #[test]
 fn executors_agree_on_full_coin_gen() {
     for seed in [3u64, 42, 1996] {
-        let threaded = summarize(run_machines(N, seed, machine_fleet(seed)));
-        let stepped = summarize(dprbg::sim::StepRunner::new(N, seed).run(machine_fleet(seed)));
-        let parallel = summarize(dprbg::sim::ParRunner::new(N, seed).run(machine_fleet(seed)));
-        assert_eq!(threaded.0, stepped.0, "transcripts diverged for seed {seed}");
-        assert!(!threaded.0.is_empty(), "pipeline produced an empty transcript");
-        assert_eq!(threaded.1, stepped.1, "cost reports diverged for seed {seed}");
-        assert_eq!(threaded.2, stepped.2, "round profiles diverged for seed {seed}");
+        let stepped = summarize(StepRunner::new(N, seed).run(machine_fleet(seed)));
+        let parallel = summarize(ParRunner::new(N, seed).run(machine_fleet(seed)));
+        assert!(!stepped.0.is_empty(), "pipeline produced an empty transcript");
         assert_eq!(stepped.0, parallel.0, "ParRunner transcript diverged for seed {seed}");
         assert_eq!(stepped.1, parallel.1, "ParRunner cost report diverged for seed {seed}");
         assert_eq!(stepped.2, parallel.2, "ParRunner round profile diverged for seed {seed}");
@@ -211,29 +176,18 @@ fn par_runner_is_thread_count_invariant_on_full_coin_gen() {
     // The pool width is pure mechanism: 1, 2, or 8 workers must yield the
     // same bytes the single-threaded executor produces.
     let seed = 42u64;
-    let stepped = summarize(dprbg::sim::StepRunner::new(N, seed).run(machine_fleet(seed)));
+    let stepped = summarize(StepRunner::new(N, seed).run(machine_fleet(seed)));
     for threads in [1usize, 2, 8] {
-        let parallel = summarize(
-            dprbg::sim::ParRunner::new(N, seed).with_threads(threads).run(machine_fleet(seed)),
-        );
+        let parallel =
+            summarize(ParRunner::new(N, seed).with_threads(threads).run(machine_fleet(seed)));
         assert_eq!(stepped, parallel, "{threads}-thread pool diverged from StepRunner");
     }
 }
 
 #[test]
-fn machines_agree_with_blocking_shims() {
-    let seed = 42u64;
-    let (machine_bytes, machine_report, _) =
-        summarize(dprbg::sim::StepRunner::new(N, seed).run(machine_fleet(seed)));
-    let (blocking_bytes, blocking_report) = blocking_pipeline(seed);
-    assert_eq!(machine_bytes, blocking_bytes, "machine vs blocking transcript");
-    assert_eq!(machine_report, blocking_report, "machine vs blocking cost report");
-}
-
-#[test]
 fn step_runner_runs_coin_gen_at_n61() {
-    // The scale target the single-threaded executor exists for (ISSUE 2 /
-    // ROADMAP "Scenario breadth"): full Coin-Gen plus expose-every-coin at
+    // The scale target the single-threaded executor exists for (ROADMAP
+    // "Scenario breadth"): full Coin-Gen plus expose-every-coin at
     // n = 61, t = 10, on one thread. GF(2^8) keeps the n² Berlekamp–Welch
     // decodes cheap while still holding 61 distinct evaluation points.
     type G = Gf2k<8>;
@@ -248,7 +202,7 @@ fn step_runner_runs_coin_gen_at_n61() {
                 as BoxedMachine<CoinGenMsg<G>, (Vec<usize>, usize, Vec<G>)>
         })
         .collect();
-    let res = dprbg::sim::StepRunner::new(BIG_N, 1996).run(machines);
+    let res = StepRunner::new(BIG_N, 1996).run(machines);
 
     // The work-stealing pool must reproduce the n = 61 run byte for byte —
     // this is the scale it exists for.
@@ -259,7 +213,7 @@ fn step_runner_runs_coin_gen_at_n61() {
                 as BoxedMachine<CoinGenMsg<G>, (Vec<usize>, usize, Vec<G>)>
         })
         .collect();
-    let par = dprbg::sim::ParRunner::new(BIG_N, 1996).run(machines);
+    let par = ParRunner::new(BIG_N, 1996).run(machines);
     assert_eq!(res.report, par.report, "ParRunner cost report diverged at n = 61");
     assert_eq!(res.rounds, par.rounds, "ParRunner round profile diverged at n = 61");
     assert_eq!(res.outputs, par.outputs, "ParRunner outputs diverged at n = 61");
@@ -285,35 +239,28 @@ fn step_runner_runs_coin_gen_at_n61() {
 
 #[test]
 fn executors_record_identical_logical_traces() {
-    // ISSUE 5: a fixed-seed Coin-Gen run traced under both executors must
-    // produce byte-identical logical traces — same spans, same phase names,
-    // same per-(party, round, phase) cost deltas, same flush stats.
+    // A fixed-seed Coin-Gen run traced under both executors must produce
+    // byte-identical logical traces — same spans, same phase names, same
+    // per-(party, round, phase) cost deltas, same flush stats.
     let cfg = dprbg::sim::TraceConfig::full();
     for seed in [42u64, 1996] {
-        let threaded = dprbg::sim::run_machines_traced(N, seed, machine_fleet(seed), cfg);
-        let stepped =
-            dprbg::sim::StepRunner::new(N, seed).with_trace(cfg).run(machine_fleet(seed));
-        let parallel =
-            dprbg::sim::ParRunner::new(N, seed).with_trace(cfg).run(machine_fleet(seed));
-        let a = threaded.trace.clone().expect("traced threaded run records a trace");
+        let stepped = StepRunner::new(N, seed).with_trace(cfg).run(machine_fleet(seed));
+        let parallel = ParRunner::new(N, seed).with_trace(cfg).run(machine_fleet(seed));
         let b = stepped.trace.clone().expect("traced step run records a trace");
         let c = parallel.trace.clone().expect("traced parallel run records a trace");
-        assert!(!a.events.is_empty(), "trace captured no events for seed {seed}");
-        assert_eq!(a, b, "logical traces diverged for seed {seed}");
+        assert!(!b.events.is_empty(), "trace captured no events for seed {seed}");
         assert_eq!(b, c, "ParRunner trace diverged from StepRunner for seed {seed}");
 
         // Byte-identical through the Chrome exporter too, and the export
         // survives a parse → re-emit round trip.
-        let ja = dprbg::trace::to_chrome_json(&a);
         let jb = dprbg::trace::to_chrome_json(&b);
         let jc = dprbg::trace::to_chrome_json(&c);
-        assert_eq!(ja, jb, "chrome exports diverged for seed {seed}");
         assert_eq!(jb, jc, "ParRunner chrome export diverged for seed {seed}");
-        dprbg::trace::validate_chrome_json(&ja).expect("chrome export validates");
+        dprbg::trace::validate_chrome_json(&jb).expect("chrome export validates");
 
         // Trace cost attribution must reconcile exactly with the run's
         // CostReport ledger: span deltas sum to each party's total.
-        for res in [&threaded, &stepped, &parallel] {
+        for res in [&stepped, &parallel] {
             let trace = res.trace.as_ref().unwrap();
             let per = trace.per_party_cost(N);
             assert_eq!(per.len(), res.report.per_party.len());
@@ -327,9 +274,146 @@ fn executors_record_identical_logical_traces() {
         }
 
         // Tracing must not perturb the run itself.
-        let untraced = summarize(run_machines(N, seed, machine_fleet(seed)));
-        let traced = summarize(threaded);
+        let untraced = summarize(StepRunner::new(N, seed).run(machine_fleet(seed)));
+        let traced = summarize(stepped);
         assert_eq!(untraced.0, traced.0, "tracing changed the transcript");
         assert_eq!(untraced.1, traced.1, "tracing changed the cost report");
+    }
+}
+
+/// A full committee-sampled Coin-Gen fleet: members with rank-dealt
+/// wallets, outsiders collecting member reports.
+fn committee_fleet(
+    n: usize,
+    c: usize,
+    m: usize,
+    election_seed: u64,
+    wallet_seed: u64,
+) -> Vec<BoxedMachine<CommitteeMsg<F>, Result<Vec<F>, CommitteeError>>> {
+    let committee = elect_committee(election_seed, n, c);
+    let t_c = committee_threshold(c);
+    let params = Params::p2p_model(c, t_c).expect("c > 6 t_c by construction");
+    let cfg = CoinGenConfig { params, batch_size: m };
+    let mut wallets: Vec<CoinWallet<F>> =
+        TrustedDealer::deal_wallets::<F>(params, 4 + t_c, wallet_seed);
+    (1..=n)
+        .map(|id| {
+            let wallet = committee
+                .iter()
+                .position(|&member| member == id)
+                .map(|rank| std::mem::take(&mut wallets[rank]));
+            Box::new(CommitteeCoin::new(committee.clone(), id, cfg, wallet, 200))
+                as BoxedMachine<CommitteeMsg<F>, _>
+        })
+        .collect()
+}
+
+#[test]
+fn committee_coin_gen_agrees_across_executors() {
+    // Committee of 13 inside 31 parties: the stepped and the parallel
+    // executor must agree on every party's delivered batch and on the
+    // cost ledger, and the quorum must actually deliver.
+    let (n, c, m) = (31, 13, 4);
+    for seed in [5u64, 77] {
+        let stepped = StepRunner::new(n, seed).run(committee_fleet(n, c, m, seed, seed + 1));
+        let parallel =
+            ParRunner::new(n, seed).with_threads(4).run(committee_fleet(n, c, m, seed, seed + 1));
+        assert_eq!(stepped.outputs, parallel.outputs, "outputs diverged for seed {seed}");
+        assert_eq!(stepped.report, parallel.report, "cost reports diverged for seed {seed}");
+
+        let first = stepped.outputs[0]
+            .as_ref()
+            .expect("party 1 completes")
+            .as_ref()
+            .expect("committee reaches quorum")
+            .clone();
+        assert_eq!(first.len(), m);
+        for (i, out) in stepped.outputs.iter().enumerate() {
+            let batch = out.as_ref().unwrap().as_ref().unwrap();
+            assert_eq!(batch, &first, "party {} disagrees with party 1", i + 1);
+        }
+    }
+}
+
+#[test]
+fn ported_baseline_fleets_run_on_the_step_runner() {
+    use dprbg::baselines::feldman::{Exp, FeldmanVerdict};
+    use dprbg::baselines::{
+        from_scratch_coin, CcdMachine, CcdMsg, CcdOpts, FeldmanMachine, FeldmanMsg, FromScratchMsg,
+    };
+    use dprbg::core::VssVerdict;
+
+    let n = 7;
+    let t = 1;
+
+    // CCD cut-and-choose VSS: honest dealer, everyone accepts.
+    let opts = CcdOpts { rounds: 16, challenge_seed: 9 };
+    let machines: Vec<BoxedMachine<CcdMsg<F>, (VssVerdict, F)>> = (1..=n)
+        .map(|id| {
+            let secret = (id == 1).then(|| F::from_u64(7));
+            Box::new(CcdMachine::new(1, secret, t, opts)) as BoxedMachine<CcdMsg<F>, _>
+        })
+        .collect();
+    let outs = StepRunner::new(n, 9).run(machines).unwrap_all();
+    assert!(outs.iter().all(|(v, _)| *v == VssVerdict::Accept), "CCD fleet rejects");
+
+    // Feldman VSS in the exponent: honest dealer, everyone accepts.
+    let machines: Vec<BoxedMachine<FeldmanMsg, (FeldmanVerdict, Exp)>> = (1..=n)
+        .map(|id| {
+            let secret = (id == 1).then(|| Exp::from_u64(13));
+            Box::new(FeldmanMachine::new(1, secret, t)) as BoxedMachine<FeldmanMsg, _>
+        })
+        .collect();
+    let outs = StepRunner::new(n, 10).run(machines).unwrap_all();
+    assert!(outs.iter().all(|(v, _)| *v == FeldmanVerdict::Accept), "Feldman fleet rejects");
+
+    // From-scratch single coin: unanimous non-None value.
+    let machines: Vec<BoxedMachine<FromScratchMsg<F>, Option<F>>> = (1..=n)
+        .map(|id| {
+            Box::new(from_scratch_coin::<F>(id, t, 16, 11)) as BoxedMachine<FromScratchMsg<F>, _>
+        })
+        .collect();
+    let outs = StepRunner::new(n, 11).run(machines).unwrap_all();
+    let coin = outs[0].expect("from-scratch coin decodes");
+    assert!(outs.iter().all(|o| *o == Some(coin)), "from-scratch coin not unanimous");
+}
+
+#[test]
+fn committee_election_is_deterministic_and_well_formed() {
+    for seed in 0..50u64 {
+        let a = elect_committee(seed, 129, 31);
+        let b = elect_committee(seed, 129, 31);
+        assert_eq!(a, b, "same seed must elect the same committee");
+        assert_eq!(a.len(), 31);
+        // Sorted, distinct, in range.
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "committee not sorted/distinct");
+        assert!(a.iter().all(|&p| (1..=129).contains(&p)), "member out of range");
+    }
+    assert_ne!(
+        elect_committee(1, 129, 31),
+        elect_committee(2, 129, 31),
+        "different beacon outputs should (overwhelmingly) elect different committees"
+    );
+}
+
+#[test]
+fn committee_election_shows_no_positional_bias() {
+    // Every party should be sampled with frequency ≈ c/n across seeds.
+    // 400 elections of 5-of-20 → expected 100 inclusions per party;
+    // a ±40 window is > 4.5 binomial standard deviations.
+    let (n, c, trials) = (20usize, 5usize, 400u64);
+    let mut counts = vec![0usize; n + 1];
+    for seed in 0..trials {
+        for p in elect_committee(0xB1A5 + seed, n, c) {
+            counts[p] += 1;
+        }
+    }
+    let expected = trials as usize * c / n;
+    for p in 1..=n {
+        assert!(
+            (counts[p] as i64 - expected as i64).unsigned_abs() as usize <= 40,
+            "party {p} elected {} times, expected ≈ {expected}",
+            counts[p]
+        );
     }
 }

@@ -7,13 +7,32 @@
 //! `Z_q` (≈ 2^61) instead of GF(2^32).
 
 use dprbg::core::{
-    coin_expose, coin_gen, CoinGenConfig, CoinGenMsg, ExposeVia, Params, TrustedDealer,
+    CoinGenConfig, CoinGenMachine, CoinGenMsg, ExposeMachine, ExposeVia, Params, SealedShare,
+    TrustedDealer,
 };
 use dprbg::field::{Field, Fp, SAFE_PRIME_Q};
-use dprbg::sim::{run_network, Behavior, PartyCtx};
+use dprbg::sim::{looping, BoxedMachine, LoopControl, MachineExt, RoundMachine, StepRunner};
 
 type F = Fp<SAFE_PRIME_Q>;
 type M = CoinGenMsg<F>;
+
+/// Expose every share of a batch in order, collecting the coin values.
+fn expose_all(t: usize, mut shares: Vec<SealedShare<F>>) -> impl RoundMachine<M, Output = Vec<F>> {
+    shares.reverse();
+    looping(
+        (shares, Vec::new()),
+        move |(mut stack, vals): (Vec<SealedShare<F>>, Vec<F>)| match stack.pop() {
+            Some(s) => LoopControl::Continue(Box::new(
+                ExposeMachine::new(s, t, ExposeVia::PointToPoint).map(move |res| {
+                    let mut vals = vals;
+                    vals.push(res.expect("expose succeeds over Z_q"));
+                    (stack, vals)
+                }),
+            )),
+            None => LoopControl::Break(vals),
+        },
+    )
+}
 
 #[test]
 fn coin_gen_over_a_prime_field() {
@@ -22,20 +41,14 @@ fn coin_gen_over_a_prime_field() {
     let params = Params::p2p_model(n, t).unwrap();
     let cfg = CoinGenConfig { params, batch_size: 4 };
     let mut wallets = TrustedDealer::deal_wallets::<F>(params, 4, 61);
-    let behaviors: Vec<Behavior<M, Vec<F>>> = (0..n)
+    let machines: Vec<BoxedMachine<M, Vec<F>>> = (0..n)
         .map(|_| {
-            let mut w = wallets.remove(0);
-            Box::new(move |ctx: &mut PartyCtx<M>| {
-                let batch = coin_gen(ctx, &cfg, &mut w).expect("works over Z_q");
-                batch
-                    .shares
-                    .into_iter()
-                    .map(|s| coin_expose(ctx, s, t, ExposeVia::PointToPoint).unwrap())
-                    .collect()
-            }) as Behavior<M, Vec<F>>
+            let machine = CoinGenMachine::new(cfg, wallets.remove(0))
+                .then(move |(_w, res)| expose_all(t, res.expect("works over Z_q").shares));
+            Box::new(machine) as BoxedMachine<M, Vec<F>>
         })
         .collect();
-    let outs = run_network(n, 62, behaviors).unwrap_all();
+    let outs = StepRunner::new(n, 62).run(machines).unwrap_all();
     assert_eq!(outs[0].len(), 4);
     assert!(outs.iter().all(|o| o == &outs[0]), "unanimity over Z_q");
     // Values live in the right field.
@@ -44,7 +57,7 @@ fn coin_gen_over_a_prime_field() {
 
 #[test]
 fn vss_over_a_prime_field() {
-    use dprbg::core::{vss, SealedShare, VssMode, VssMsg, VssVerdict};
+    use dprbg::core::{vss_machine, VssMode, VssMsg, VssVerdict};
     use dprbg::poly::{share_points, share_polynomial};
     use dprbg_rng::rngs::StdRng;
     use dprbg_rng::SeedableRng;
@@ -57,18 +70,16 @@ fn vss_over_a_prime_field() {
         .into_iter()
         .map(|s| SealedShare::of(s.y))
         .collect();
-    let behaviors: Vec<Behavior<VssMsg<F>, Option<VssVerdict>>> = (1..=n)
+    let machines: Vec<BoxedMachine<VssMsg<F>, Option<VssVerdict>>> = (1..=n)
         .map(|id| {
             let coin = coins[id - 1];
-            Box::new(move |ctx: &mut PartyCtx<VssMsg<F>>| {
-                let secret = (id == 1).then(|| F::from_u64(0x5EC));
-                vss(ctx, 1, secret, t, coin, VssMode::Strict)
-                    .ok()
-                    .map(|(v, _)| v)
-            }) as Behavior<_, _>
+            let secret = (id == 1).then(|| F::from_u64(0x5EC));
+            let machine = vss_machine(1, secret, t, coin, VssMode::Strict)
+                .map(|res| res.ok().map(|(v, _)| v));
+            Box::new(machine) as BoxedMachine<VssMsg<F>, Option<VssVerdict>>
         })
         .collect();
-    for out in run_network(n, 64, behaviors).unwrap_all() {
+    for out in StepRunner::new(n, 64).run(machines).unwrap_all() {
         assert_eq!(out, Some(VssVerdict::Accept));
     }
 }

@@ -1,16 +1,54 @@
 //! Long-horizon stress: the full system — bootstrapped beacon, refills,
 //! proactive refreshes — running for many epochs under a persistent
-//! Byzantine fault, in a single network execution.
+//! Byzantine fault, in a single executor run.
 
 use dprbg::core::{
     Bootstrap, BootstrapConfig, CoinGenConfig, CoinGenMsg, CoinWallet, ExposeMsg, Params,
     TrustedDealer,
 };
 use dprbg::field::{Field, Gf2k};
-use dprbg::sim::{run_network, FaultPlan, PartyCtx};
+use dprbg::sim::{
+    from_fn, looping, BoxedMachine, FaultPlan, LoopControl, MachineExt, RoundMachine, RoundView,
+    Step, StepRunner,
+};
 
 type F = Gf2k<32>;
 type M = CoinGenMsg<F>;
+
+/// Epoch loop: `draws_per_epoch` draws, then a proactive refresh, for
+/// `epochs` epochs — all in the loop transitions, which cost no rounds.
+fn epoch_machine(
+    beacon: Bootstrap<F>,
+    epochs: usize,
+    draws_per_epoch: usize,
+    banned_dealer: Option<usize>,
+) -> impl RoundMachine<M, Output = Vec<u64>> {
+    looping(
+        (beacon, Vec::new(), 0usize),
+        move |(b, stream, refreshed): (Bootstrap<F>, Vec<u64>, usize)| {
+            if refreshed == epochs {
+                return LoopControl::Break(stream);
+            }
+            if stream.len() == (refreshed + 1) * draws_per_epoch {
+                // Epoch boundary: re-randomize every remaining share.
+                LoopControl::Continue(Box::new(b.refresh().map(move |(b, res)| {
+                    let report = res.expect("refresh succeeds");
+                    assert!(report.coins_refreshed > 0);
+                    if let Some(bad) = banned_dealer {
+                        assert!(!report.dealers.contains(&bad), "silent fault never a dealer");
+                    }
+                    (b, stream, refreshed + 1)
+                })))
+            } else {
+                LoopControl::Continue(Box::new(b.draw().map(move |(b, res)| {
+                    let mut stream = stream;
+                    stream.push(res.expect("draw succeeds").to_u64());
+                    (b, stream, refreshed)
+                })))
+            }
+        },
+    )
+}
 
 #[test]
 fn epochs_of_draws_refills_and_refreshes_under_a_fault() {
@@ -33,36 +71,31 @@ fn epochs_of_draws_refills_and_refreshes_under_a_fault() {
         }
     }
 
-    let behaviors = plan.behaviors::<M, Option<Vec<u64>>>(
+    let machines = plan.machines::<M, Option<Vec<u64>>>(
         |_| {
-            let mut beacon = Bootstrap::new(cfg, honest_wallets.remove(0));
-            Box::new(move |ctx: &mut PartyCtx<M>| {
-                let mut stream = Vec::new();
-                for _epoch in 0..epochs {
-                    for _ in 0..draws_per_epoch {
-                        stream.push(beacon.draw(ctx).ok()?.to_u64());
-                    }
-                    // Epoch boundary: re-randomize every remaining share.
-                    let report = beacon.refresh(ctx).ok()?;
-                    assert!(report.coins_refreshed > 0);
-                    assert!(!report.dealers.contains(&4), "silent fault never a dealer");
-                }
-                Some(stream)
-            })
+            let beacon = Bootstrap::new(cfg, honest_wallets.remove(0));
+            Box::new(epoch_machine(beacon, epochs, draws_per_epoch, Some(4)).map(Some))
         },
         |_| {
-            Box::new(|ctx| {
-                // A persistent low-effort Byzantine: spams corrupt expose
-                // shares for a while, then goes quiet.
-                for i in 0..20u64 {
-                    ctx.send_to_all(CoinGenMsg::Expose(ExposeMsg(F::from_u64(i * 1337))));
-                    let _ = ctx.next_round();
-                }
-                None
-            })
+            // A persistent low-effort Byzantine: spams corrupt expose
+            // shares for a while, then goes quiet.
+            let mut round = 0u64;
+            Box::new(
+                from_fn(move |view: RoundView<'_, M>| {
+                    if round < 20 {
+                        let mut out = view.outbox();
+                        out.send_to_all(CoinGenMsg::Expose(ExposeMsg(F::from_u64(round * 1337))));
+                        round += 1;
+                        Step::Continue(out)
+                    } else {
+                        Step::Done(None)
+                    }
+                })
+                .labelled("expose-spammer"),
+            )
         },
     );
-    let res = run_network(n, 999, behaviors);
+    let res = StepRunner::new(n, 999).run(machines);
     let mut streams = plan
         .honest()
         .map(|id| {
@@ -95,22 +128,13 @@ fn refresh_interleaves_with_generation_thirteen_parties() {
         batch_size: 12,
     });
     let mut wallets: Vec<CoinWallet<F>> = TrustedDealer::deal_wallets::<F>(params, 8, 13);
-    let behaviors: Vec<dprbg::sim::Behavior<M, Vec<u64>>> = (0..n)
+    let machines: Vec<BoxedMachine<M, Vec<u64>>> = (0..n)
         .map(|_| {
-            let mut beacon = Bootstrap::new(cfg, wallets.remove(0));
-            Box::new(move |ctx: &mut PartyCtx<M>| {
-                let mut out = Vec::new();
-                for _ in 0..3 {
-                    for _ in 0..5 {
-                        out.push(beacon.draw(ctx).unwrap().to_u64());
-                    }
-                    beacon.refresh(ctx).unwrap();
-                }
-                out
-            }) as dprbg::sim::Behavior<M, Vec<u64>>
+            let beacon = Bootstrap::new(cfg, wallets.remove(0));
+            Box::new(epoch_machine(beacon, 3, 5, None)) as BoxedMachine<M, Vec<u64>>
         })
         .collect();
-    let outs = run_network(n, 131, behaviors).unwrap_all();
+    let outs = StepRunner::new(n, 131).run(machines).unwrap_all();
     assert_eq!(outs[0].len(), 15);
     assert!(outs.iter().all(|o| o == &outs[0]));
 }

@@ -2,14 +2,15 @@
 //! in the system view the same coin" — and, more broadly, all honest
 //! players reach the same verdicts and values in every sub-protocol.
 
-use dprbg::core::{
-    batch_vss_deal, batch_vss_verify, coin_expose, vss, BatchVssMsg, CoinError, ExposeMsg,
-    ExposeVia, SealedShare, VssMode, VssVerdict,
-};
 use dprbg::core::batch_vss::BatchOpts;
+use dprbg::core::{
+    vss_machine, BatchShares, BatchVssDealMachine, BatchVssMsg, BatchVssVerifyMachine, CoinError,
+    DealtShares, ExposeMachine, ExposeMsg, ExposeVia, SealedShare, VssMode, VssMsg,
+    VssVerdict, VssVerifyMachine,
+};
 use dprbg::field::{Field, Gf2k};
-use dprbg::poly::{share_points, share_polynomial};
-use dprbg::sim::{run_network, Behavior, FaultPlan, PartyCtx};
+use dprbg::poly::{share_points, share_polynomial, Poly};
+use dprbg::sim::{from_fn, BoxedMachine, FaultPlan, MachineExt, RoundView, Step, StepRunner};
 use dprbg_rng::rngs::StdRng;
 use dprbg_rng::{RngExt, SeedableRng};
 
@@ -28,6 +29,24 @@ fn coin_shares(n: usize, t: usize, seed: u64) -> (F, Vec<SealedShare<F>>) {
     )
 }
 
+/// A one-shot corrupt expose script: garbage share to everyone, then out.
+fn garbage_expose(share: F) -> BoxedMachine<ExposeMsg<F>, Option<F>> {
+    let mut sent = false;
+    Box::new(
+        from_fn(move |view: RoundView<'_, ExposeMsg<F>>| {
+            if !sent {
+                sent = true;
+                let mut out = view.outbox();
+                out.send_to_all(ExposeMsg(share));
+                Step::Continue(out)
+            } else {
+                Step::Done(None)
+            }
+        })
+        .labelled("garbage-expose"),
+    )
+}
+
 #[test]
 fn expose_unanimity_under_every_single_corruption_pattern() {
     // For each possible corrupted party, the exposed value matches the
@@ -37,23 +56,19 @@ fn expose_unanimity_under_every_single_corruption_pattern() {
     for bad in 1..=n {
         let (value, shares) = coin_shares(n, t, 100 + bad as u64);
         let plan = FaultPlan::explicit(n, vec![bad]);
-        let behaviors = plan.behaviors::<ExposeMsg<F>, Option<F>>(
+        let machines = plan.machines::<ExposeMsg<F>, Option<F>>(
             |id| {
                 let s = shares[id - 1];
-                Box::new(move |ctx| {
-                    coin_expose(ctx, s, 1, ExposeVia::PointToPoint).ok()
-                })
+                Box::new(
+                    ExposeMachine::new(s, 1, ExposeVia::PointToPoint).map(|res| res.ok()),
+                )
             },
             |_| {
-                Box::new(move |ctx| {
-                    let mut rng = StdRng::seed_from_u64(7);
-                    ctx.send_to_all(ExposeMsg(F::random(&mut rng)));
-                    let _ = ctx.next_round();
-                    None
-                })
+                let mut rng = StdRng::seed_from_u64(7);
+                garbage_expose(F::random(&mut rng))
             },
         );
-        let res = run_network(n, 200 + bad as u64, behaviors);
+        let res = StepRunner::new(n, 200 + bad as u64).run(machines);
         for id in plan.honest() {
             assert_eq!(
                 res.outputs[id - 1],
@@ -71,20 +86,14 @@ fn expose_with_t_corruptions_at_the_bound() {
     let t = 2;
     let (value, shares) = coin_shares(n, t, 55);
     let plan = FaultPlan::explicit(n, vec![1, 7]);
-    let behaviors = plan.behaviors::<ExposeMsg<F>, Option<F>>(
+    let machines = plan.machines::<ExposeMsg<F>, Option<F>>(
         |id| {
             let s = if id == 13 { SealedShare::absent() } else { shares[id - 1] };
-            Box::new(move |ctx| coin_expose(ctx, s, 2, ExposeVia::PointToPoint).ok())
+            Box::new(ExposeMachine::new(s, 2, ExposeVia::PointToPoint).map(|res| res.ok()))
         },
-        |id| {
-            Box::new(move |ctx| {
-                ctx.send_to_all(ExposeMsg(F::from_u64(id as u64 * 31)));
-                let _ = ctx.next_round();
-                None
-            })
-        },
+        |id| garbage_expose(F::from_u64(id as u64 * 31)),
     );
-    let res = run_network(n, 56, behaviors);
+    let res = StepRunner::new(n, 56).run(machines);
     for id in plan.honest() {
         assert_eq!(res.outputs[id - 1], Some(Some(value)), "party {id}");
     }
@@ -100,46 +109,42 @@ fn vss_verdicts_are_uniform_across_honest_parties() {
     for trial in 0..8u64 {
         let cheat = rng.random::<bool>();
         let (_, coins) = coin_shares(n, t, 300 + trial);
-        let behaviors: Vec<Behavior<dprbg::core::VssMsg<F>, Option<VssVerdict>>> = (1..=n)
+        let machines: Vec<BoxedMachine<VssMsg<F>, Option<VssVerdict>>> = (1..=n)
             .map(|id| {
                 let coin = coins[id - 1];
-                Box::new(move |ctx: &mut PartyCtx<dprbg::core::VssMsg<F>>| {
-                    if id == 1 && cheat {
-                        // Deal a wrong-degree polynomial manually.
-                        let n = ctx.n();
-                        let f = dprbg::poly::Poly::<F>::random(t + 1, ctx.rng());
-                        let g = dprbg::poly::Poly::<F>::random(t, ctx.rng());
-                        for i in 1..=n {
-                            let x = F::element(i as u64);
-                            ctx.send(
-                                i,
-                                dprbg::core::VssMsg::Deal {
-                                    alpha: f.eval(x),
-                                    gamma: g.eval(x),
-                                },
-                            );
+                if id == 1 && cheat {
+                    // Deal a wrong-degree polynomial manually, keep our own
+                    // shares, then verify like everyone else.
+                    let mut my: Option<DealtShares<F>> = None;
+                    let deal = from_fn(move |view: RoundView<'_, VssMsg<F>>| {
+                        if let Some(shares) = my.take() {
+                            return Step::Done(shares);
                         }
-                        let (shares, _) =
-                            dprbg::core::vss_deal::<dprbg::core::VssMsg<F>, F>(
-                                ctx, 1, None, t,
-                            );
-                        return dprbg::core::vss_verify(
-                            ctx,
-                            t,
-                            shares,
-                            coin,
-                            VssMode::Strict,
-                        )
-                        .ok();
-                    }
+                        let f = Poly::<F>::random(t + 1, view.rng);
+                        let g = Poly::<F>::random(t, view.rng);
+                        let mut out = view.outbox();
+                        for i in 1..=view.n {
+                            let x = F::element(i as u64);
+                            out.send(i, VssMsg::Deal { alpha: f.eval(x), gamma: g.eval(x) });
+                        }
+                        let x1 = F::element(1);
+                        my = Some(DealtShares { alpha: f.eval(x1), gamma: g.eval(x1) });
+                        Step::Continue(out)
+                    })
+                    .labelled("cheating-dealer");
+                    let machine = deal
+                        .then(move |shares| VssVerifyMachine::new(t, shares, coin, VssMode::Strict))
+                        .map(|res| res.ok());
+                    Box::new(machine) as BoxedMachine<VssMsg<F>, Option<VssVerdict>>
+                } else {
                     let secret = (id == 1).then(|| F::from_u64(1234));
-                    vss(ctx, 1, secret, t, coin, VssMode::Strict)
-                        .ok()
-                        .map(|(v, _)| v)
-                }) as Behavior<_, _>
+                    let machine = vss_machine(1, secret, t, coin, VssMode::Strict)
+                        .map(|res| res.ok().map(|(v, _)| v));
+                    Box::new(machine) as BoxedMachine<VssMsg<F>, Option<VssVerdict>>
+                }
             })
             .collect();
-        let outs = run_network(n, 400 + trial, behaviors).unwrap_all();
+        let outs = StepRunner::new(n, 400 + trial).run(machines).unwrap_all();
         let expected = if cheat { VssVerdict::Reject } else { VssVerdict::Accept };
         for (i, o) in outs.iter().enumerate() {
             assert_eq!(o, &Some(expected), "trial {trial}, party {}", i + 1);
@@ -156,50 +161,54 @@ fn batch_vss_verdict_uniform_with_partial_corruption() {
     let t = 2;
     let m = 8;
     let (_, coins) = coin_shares(n, t, 500);
-    let behaviors: Vec<Behavior<BatchVssMsg<F>, Option<VssVerdict>>> = (1..=n)
+    let machines: Vec<BoxedMachine<BatchVssMsg<F>, Option<VssVerdict>>> = (1..=n)
         .map(|id| {
             let coin = coins[id - 1];
-            Box::new(move |ctx: &mut PartyCtx<BatchVssMsg<F>>| {
-                if id == 1 {
-                    // Dealer: correct polynomials, but parties 3 and 5 get
-                    // perturbed share vectors.
-                    let n = ctx.n();
-                    let polys: Vec<dprbg::poly::Poly<F>> =
-                        (0..m).map(|_| dprbg::poly::Poly::random(t, ctx.rng())).collect();
-                    let blind = dprbg::poly::Poly::<F>::random(t, ctx.rng());
-                    for i in 1..=n {
+            if id == 1 {
+                // Dealer: correct polynomials, but parties 3 and 5 get
+                // perturbed share vectors.
+                let mut my: Option<BatchShares<F>> = None;
+                let deal = from_fn(move |view: RoundView<'_, BatchVssMsg<F>>| {
+                    if let Some(shares) = my.take() {
+                        return Step::Done(shares);
+                    }
+                    let polys: Vec<Poly<F>> =
+                        (0..m).map(|_| Poly::random(t, view.rng)).collect();
+                    let blind = Poly::<F>::random(t, view.rng);
+                    let mut out = view.outbox();
+                    for i in 1..=view.n {
                         let x = F::element(i as u64);
                         let mut alphas: Vec<F> = polys.iter().map(|f| f.eval(x)).collect();
                         if i == 3 || i == 5 {
                             alphas[0] += F::one();
                         }
-                        ctx.send(
-                            i,
-                            BatchVssMsg::Deal { alphas, gamma: blind.eval(x) },
-                        );
+                        out.send(i, BatchVssMsg::Deal { alphas, gamma: blind.eval(x) });
                     }
-                    let (shares, _) = batch_vss_deal::<BatchVssMsg<F>, F>(
-                        ctx,
-                        1,
-                        None,
-                        t,
-                        BatchOpts::default(),
-                    );
-                    return batch_vss_verify(ctx, t, &shares, m, coin, BatchOpts::default())
-                        .ok();
-                }
-                let (shares, _) = batch_vss_deal::<BatchVssMsg<F>, F>(
-                    ctx,
-                    1,
-                    None,
-                    t,
-                    BatchOpts::default(),
-                );
-                batch_vss_verify(ctx, t, &shares, m, coin, BatchOpts::default()).ok()
-            }) as Behavior<_, _>
+                    let x1 = F::element(1);
+                    my = Some(BatchShares {
+                        alphas: polys.iter().map(|f| f.eval(x1)).collect(),
+                        gamma: blind.eval(x1),
+                    });
+                    Step::Continue(out)
+                })
+                .labelled("perturbing-dealer");
+                let machine = deal
+                    .then(move |shares| {
+                        BatchVssVerifyMachine::new(t, shares, m, coin, BatchOpts::default())
+                    })
+                    .map(|res| res.ok());
+                Box::new(machine) as BoxedMachine<BatchVssMsg<F>, Option<VssVerdict>>
+            } else {
+                let machine = BatchVssDealMachine::new(1, None, t, BatchOpts::default())
+                    .then(move |(shares, _)| {
+                        BatchVssVerifyMachine::new(t, shares, m, coin, BatchOpts::default())
+                    })
+                    .map(|res| res.ok());
+                Box::new(machine) as BoxedMachine<BatchVssMsg<F>, Option<VssVerdict>>
+            }
         })
         .collect();
-    let outs = run_network(n, 501, behaviors).unwrap_all();
+    let outs = StepRunner::new(n, 501).run(machines).unwrap_all();
     for (i, o) in outs.iter().enumerate() {
         assert_eq!(o, &Some(VssVerdict::Reject), "party {}", i + 1);
     }
@@ -214,20 +223,26 @@ fn expose_fails_loudly_not_wrongly() {
     let t = 2;
     let (value, shares) = coin_shares(n, t, 600);
     let plan = FaultPlan::explicit(n, vec![1, 2, 3]); // t+1 corruptions!
-    let behaviors = plan.behaviors::<ExposeMsg<F>, Option<Result<F, CoinError>>>(
+    let machines = plan.machines::<ExposeMsg<F>, Option<Result<F, CoinError>>>(
         |id| {
             let s = shares[id - 1];
-            Box::new(move |ctx| Some(coin_expose(ctx, s, 2, ExposeVia::PointToPoint)))
+            Box::new(ExposeMachine::new(s, 2, ExposeVia::PointToPoint).map(Some))
         },
         |id| {
-            Box::new(move |ctx| {
-                ctx.send_to_all(ExposeMsg(F::from_u64(id as u64)));
-                let _ = ctx.next_round();
-                None
-            })
+            let mut sent = false;
+            Box::new(from_fn(move |view: RoundView<'_, ExposeMsg<F>>| {
+                if !sent {
+                    sent = true;
+                    let mut out = view.outbox();
+                    out.send_to_all(ExposeMsg(F::from_u64(id as u64)));
+                    Step::Continue(out)
+                } else {
+                    Step::Done(None)
+                }
+            }))
         },
     );
-    let res = run_network(n, 601, behaviors);
+    let res = StepRunner::new(n, 601).run(machines);
     let mut answers = Vec::new();
     for id in plan.honest() {
         let out = res.outputs[id - 1].as_ref().unwrap().as_ref().unwrap();
