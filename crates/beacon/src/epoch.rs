@@ -1,0 +1,398 @@
+//! The epoch machine: one beacon epoch as a two-plane round machine.
+//!
+//! An epoch overlaps the two halves of the paper's amortization story
+//! (§1.2/Fig. 1) instead of running them back to back:
+//!
+//! * the **serve plane** exposes the coins consumers are waiting for —
+//!   one [`ExposeMachine`] per reserved wallet share, all of which finish
+//!   in the two fixed rounds of Coin-Expose (Fig. 6);
+//! * the **gen plane** concurrently replenishes the wallet with a fresh
+//!   Coin-Gen batch under an explicit
+//!   [`RetryPolicy`](dprbg_core::RetryPolicy) (Fig. 5 via
+//!   [`coin_gen_with_retry`]).
+//!
+//! Both planes share one synchronous network: their traffic is
+//! multiplexed over [`BeaconMsg`] and the epoch machine demultiplexes
+//! each round's inbox per plane, steps the gen plane first and the serve
+//! slots in ascending order (a fixed RNG draw order, so both executors
+//! stay byte-identical), and merges the plane outboxes with
+//! [`Outbox::append`]. The epoch finishes when every plane is done, so
+//! its wall-clock is `max(2, coin_gen_rounds)` rounds — the pipelining
+//! win over a serial refill-then-serve beacon, whose window costs
+//! `2 + coin_gen_rounds`.
+
+use dprbg_core::{
+    coin_gen_with_retry, CoinBatch, CoinGenConfig, CoinGenMsg, CoinWallet, ExposeMachine,
+    ExposeMsg, ExposeVia, ProtocolError, RetryPolicy, RetryReport, SealedShare,
+};
+use dprbg_field::Field;
+use dprbg_metrics::WireSize;
+use dprbg_sim::{
+    BoxedMachine, Inbox, Received, RoundMachine, RoundView, Step,
+};
+
+use crate::CoinError;
+
+/// The beacon's composite wire type: generation-plane Coin-Gen traffic
+/// and serve-plane expose shares, tagged by serve slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BeaconMsg<F: Field> {
+    /// Gen-plane traffic (a full Coin-Gen run).
+    Gen(CoinGenMsg<F>),
+    /// Serve-plane traffic: the expose share for serve slot `slot`.
+    Serve {
+        /// Which serve slot (0-based, < the epoch's `serve_count`) the
+        /// share belongs to.
+        slot: u32,
+        /// The bare Coin-Expose share.
+        msg: ExposeMsg<F>,
+    },
+}
+
+impl<F: Field> WireSize for BeaconMsg<F> {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            BeaconMsg::Gen(m) => m.wire_bytes(),
+            // The slot tag rides on the wire so receivers can route the
+            // share to the right decoder.
+            BeaconMsg::Serve { msg, .. } => 4 + msg.wire_bytes(),
+        }
+    }
+}
+
+/// What the gen plane reported, when the epoch ran one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefillReport {
+    /// Coins the batch added to the wallet.
+    pub coins: usize,
+    /// Coin-Gen runs made, including the successful one.
+    pub attempts: usize,
+    /// Wallet coins consumed across all runs.
+    pub seeds_spent: usize,
+}
+
+/// One party's output of one epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochOutcome<F: Field> {
+    /// The wallet after the epoch: the pre-split remainder handed back by
+    /// the gen plane, extended with the fresh batch on success.
+    pub wallet: CoinWallet<F>,
+    /// The serve plane's decoded coins, one per slot in slot order.
+    pub served: Vec<Result<F, CoinError>>,
+    /// The gen plane's result — `None` when no refill was scheduled.
+    pub refill: Option<Result<RefillReport, ProtocolError>>,
+}
+
+/// The serve plane: one expose per reserved share.
+enum SlotState<F: Field> {
+    Running(ExposeMachine<ExposeMsg<F>, F>),
+    Done,
+}
+
+/// The gen plane's in-flight machine: `coin_gen_with_retry` boxed to its
+/// final (remainder wallet, batch-or-blame) pair.
+type GenMachine<F> =
+    BoxedMachine<CoinGenMsg<F>, (CoinWallet<F>, Result<(CoinBatch<F>, RetryReport), ProtocolError>)>;
+
+/// The gen plane.
+enum GenState<F: Field> {
+    /// No refill this epoch: the wallet just waits for the serve plane.
+    Idle(CoinWallet<F>),
+    /// A retry-wrapped Coin-Gen run in flight.
+    Running(GenMachine<F>),
+    /// Finished (or never started); wallet already merged with any batch.
+    Done(CoinWallet<F>, Option<Result<RefillReport, ProtocolError>>),
+    /// Transient marker while ownership moves between states.
+    Poisoned,
+}
+
+/// One beacon epoch for one party: serve `serve_count` coins off the
+/// wallet front while (optionally) refilling the remainder via Coin-Gen.
+///
+/// All honest parties must construct this machine in the same round with
+/// wallets in the same state and identical `serve_count` / `refill`
+/// choices — the beacon service derives both deterministically from
+/// snapshotable state, so resumed runs make the same choices.
+pub struct EpochMachine<F: Field> {
+    serve: Vec<SlotState<F>>,
+    served: Vec<Option<Result<F, CoinError>>>,
+    gen: GenState<F>,
+}
+
+impl<F: Field> EpochMachine<F> {
+    /// Build the epoch: pop `serve_count` shares for the serve plane
+    /// (oldest coins first, preserving the wallets' lock-step positions)
+    /// and hand the remainder to `coin_gen_with_retry` when `refill` is
+    /// set.
+    ///
+    /// A party whose wallet runs short mid-split serves
+    /// [`SealedShare::absent`] for the missing slots — it abstains from
+    /// those exposes but still learns the coins, mirroring Fig. 6's
+    /// non-contributor behaviour.
+    pub fn new(
+        cfg: CoinGenConfig,
+        mut wallet: CoinWallet<F>,
+        serve_count: usize,
+        refill: Option<RetryPolicy>,
+    ) -> Self {
+        let t = cfg.params.t;
+        let serve: Vec<SlotState<F>> = (0..serve_count)
+            .map(|_| {
+                let share = wallet.pop().unwrap_or_else(|_| SealedShare::absent());
+                SlotState::Running(ExposeMachine::new(share, t, ExposeVia::PointToPoint))
+            })
+            .collect();
+        let gen = match refill {
+            Some(policy) => GenState::Running(Box::new(coin_gen_with_retry::<CoinGenMsg<F>, F>(
+                cfg, wallet, policy,
+            ))),
+            None => GenState::Idle(wallet),
+        };
+        EpochMachine { served: vec![None; serve_count], serve, gen }
+    }
+
+    /// Whether both planes have finished.
+    fn all_done(&self) -> bool {
+        matches!(self.gen, GenState::Done(..))
+            && self.serve.iter().all(|s| matches!(s, SlotState::Done))
+    }
+
+    /// Collect the finished epoch's outcome, consuming the plane states.
+    fn finish(&mut self) -> EpochOutcome<F> {
+        let (wallet, refill) = match std::mem::replace(&mut self.gen, GenState::Poisoned) {
+            GenState::Done(w, r) => (w, r),
+            _ => unreachable!("finish() requires a Done gen plane"),
+        };
+        let served = self
+            .served
+            .iter_mut()
+            .map(|s| s.take().unwrap_or(Err(CoinError::WalletEmpty)))
+            .collect();
+        EpochOutcome { wallet, served, refill }
+    }
+}
+
+/// Filter one plane's messages out of the multiplexed inbox.
+fn plane_inbox<F: Field, N>(
+    inbox: &Inbox<BeaconMsg<F>>,
+    mut select: impl FnMut(&BeaconMsg<F>) -> Option<N>,
+) -> Inbox<N> {
+    let msgs: Vec<Received<N>> = inbox
+        .iter()
+        .filter_map(|r| {
+            select(&r.msg).map(|msg| Received {
+                from: r.from,
+                broadcast: r.broadcast,
+                seq: r.seq,
+                msg,
+            })
+        })
+        .collect();
+    Inbox::from_messages(msgs)
+}
+
+impl<F: Field> RoundMachine<BeaconMsg<F>> for EpochMachine<F> {
+    type Output = EpochOutcome<F>;
+
+    fn round(&mut self, view: RoundView<'_, BeaconMsg<F>>) -> Step<BeaconMsg<F>, Self::Output> {
+        let mut out = view.outbox();
+
+        // Gen plane first — the RNG draw order must not depend on which
+        // planes happen to still be live.
+        if let GenState::Running(_) = self.gen {
+            let inbox = plane_inbox(view.inbox, |m| match m {
+                BeaconMsg::Gen(g) => Some(g.clone()),
+                BeaconMsg::Serve { .. } => None,
+            });
+            let sub = RoundView {
+                id: view.id,
+                n: view.n,
+                round: view.round,
+                inbox: &inbox,
+                rng: &mut *view.rng,
+            };
+            let gen = std::mem::replace(&mut self.gen, GenState::Poisoned);
+            let GenState::Running(mut m) = gen else { unreachable!() };
+            match m.round(sub) {
+                Step::Continue(o) => {
+                    out.append(o.map(BeaconMsg::Gen));
+                    self.gen = GenState::Running(m);
+                }
+                Step::Done((mut wallet, res)) => {
+                    let report = res.map(|(batch, report)| {
+                        let coins = batch.shares.len();
+                        wallet.extend(batch.shares);
+                        RefillReport {
+                            coins,
+                            attempts: report.attempts,
+                            seeds_spent: report.seeds_spent,
+                        }
+                    });
+                    self.gen = GenState::Done(wallet, Some(report));
+                }
+            }
+        } else if let GenState::Idle(_) = self.gen {
+            let GenState::Idle(wallet) = std::mem::replace(&mut self.gen, GenState::Poisoned)
+            else {
+                unreachable!()
+            };
+            self.gen = GenState::Done(wallet, None);
+        }
+
+        // Serve plane: slots in ascending order.
+        for (i, slot) in self.serve.iter_mut().enumerate() {
+            if let SlotState::Running(m) = slot {
+                let want = i as u32;
+                let inbox = plane_inbox(view.inbox, |msg| match msg {
+                    BeaconMsg::Serve { slot, msg } if *slot == want => Some(*msg),
+                    _ => None,
+                });
+                let sub = RoundView {
+                    id: view.id,
+                    n: view.n,
+                    round: view.round,
+                    inbox: &inbox,
+                    rng: &mut *view.rng,
+                };
+                match m.round(sub) {
+                    Step::Continue(o) => {
+                        out.append(o.map(|msg| BeaconMsg::Serve { slot: want, msg }));
+                    }
+                    Step::Done(res) => {
+                        self.served[i] = Some(res);
+                        *slot = SlotState::Done;
+                    }
+                }
+            }
+        }
+
+        if self.all_done() {
+            debug_assert!(out.is_empty(), "finished planes must not leave queued sends");
+            Step::Done(self.finish())
+        } else {
+            Step::Continue(out)
+        }
+    }
+
+    fn phase_name(&self) -> &'static str {
+        match (&self.gen, self.serve.iter().any(|s| matches!(s, SlotState::Running(_)))) {
+            (GenState::Running(_), true) => "epoch/gen+serve",
+            (GenState::Running(_), false) => "epoch/gen",
+            (_, true) => "epoch/serve",
+            _ => "epoch/drain",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprbg_core::{Params, TrustedDealer};
+    use dprbg_field::Gf2k;
+    use dprbg_sim::{BoxedMachine, ParRunner, StepRunner};
+
+    type F = Gf2k<32>;
+
+    fn cfg(n: usize, t: usize) -> CoinGenConfig {
+        CoinGenConfig { params: Params::p2p_model(n, t).unwrap(), batch_size: 8 }
+    }
+
+    fn fleet(
+        n: usize,
+        t: usize,
+        count: usize,
+        seed: u64,
+        serve: usize,
+        refill: Option<RetryPolicy>,
+    ) -> Vec<BoxedMachine<BeaconMsg<F>, EpochOutcome<F>>> {
+        TrustedDealer::deal_wallets::<F>(Params::p2p_model(n, t).unwrap(), count, seed)
+            .into_iter()
+            .map(|w| {
+                Box::new(EpochMachine::new(cfg(n, t), w, serve, refill))
+                    as BoxedMachine<BeaconMsg<F>, _>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serve_only_epoch_takes_two_rounds() {
+        let res = StepRunner::new(7, 40).run(fleet(7, 1, 6, 400, 3, None));
+        // One *communication* round: the share send (the decode call
+        // consumes it without sending anything, so it profiles no round).
+        assert_eq!(res.rounds.len(), 1, "pure serve plane = one Coin-Expose window");
+        let outs = res.unwrap_all();
+        for out in &outs {
+            assert_eq!(out.wallet.len(), 3);
+            assert_eq!(out.served.len(), 3);
+            assert!(out.refill.is_none());
+            for c in &out.served {
+                c.as_ref().unwrap();
+            }
+        }
+        // Unanimity across parties.
+        for w in outs.windows(2) {
+            assert_eq!(w[0].served, w[1].served);
+        }
+    }
+
+    #[test]
+    fn pipelined_epoch_is_no_slower_than_gen_alone() {
+        let n = 7;
+        let policy = RetryPolicy { max_attempts: 3, seed_budget: 8 };
+        // Gen alone (serve_count = 0).
+        let gen_only = StepRunner::new(n, 41).run(fleet(n, 1, 10, 410, 0, Some(policy)));
+        let gen_rounds = gen_only.rounds.len();
+        assert!(gen_rounds > 2, "Coin-Gen must dominate the epoch");
+        // Gen + 4 serves, overlapped.
+        let both = StepRunner::new(n, 41).run(fleet(n, 1, 10, 410, 4, Some(policy)));
+        assert_eq!(
+            both.rounds.len(),
+            gen_rounds,
+            "serving during refill must not stretch the epoch"
+        );
+        let outs = both.unwrap_all();
+        for out in &outs {
+            assert_eq!(out.served.len(), 4);
+            let refill = out.refill.clone().unwrap().unwrap();
+            assert!(refill.coins > 0);
+            // Wallet = 10 dealt − 4 served − seeds + fresh batch.
+            assert_eq!(out.wallet.len(), 10 - 4 - refill.seeds_spent + refill.coins);
+        }
+        for w in outs.windows(2) {
+            assert_eq!(w[0].served, w[1].served);
+            assert_eq!(w[0].refill, w[1].refill);
+        }
+    }
+
+    #[test]
+    fn executors_agree_on_epoch_transcripts() {
+        let policy = RetryPolicy { max_attempts: 2, seed_budget: 6 };
+        let a = StepRunner::new(7, 42).run(fleet(7, 1, 9, 420, 2, Some(policy)));
+        let b = ParRunner::new(7, 42).run(fleet(7, 1, 9, 420, 2, Some(policy)));
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn short_wallet_slots_abstain_but_still_learn() {
+        // Parties hold 2 coins but the epoch serves 3: slot 2 is exposed
+        // by nobody, so it fails to decode — deterministically, at every
+        // party — while slots 0 and 1 still succeed.
+        let res = StepRunner::new(7, 43).run(fleet(7, 1, 2, 430, 3, None));
+        let outs = res.unwrap_all();
+        for out in &outs {
+            assert!(out.served[0].is_ok());
+            assert!(out.served[1].is_ok());
+            assert!(out.served[2].is_err());
+        }
+        for w in outs.windows(2) {
+            assert_eq!(w[0].served, w[1].served);
+        }
+    }
+
+    #[test]
+    fn beacon_msg_wire_size_counts_slot_tag() {
+        let m: BeaconMsg<F> = BeaconMsg::Serve { slot: 7, msg: ExposeMsg(F::from_u64(3)) };
+        assert_eq!(m.wire_bytes(), 4 + F::wire_bytes_static());
+    }
+}

@@ -1,0 +1,608 @@
+//! The beacon service: a long-running, crash-recoverable epoch driver.
+//!
+//! [`BeaconService`] owns everything that outlives one epoch — the
+//! parties' sealed-coin wallets, the exposed-coin [`Reservoir`], the
+//! [`Supervisor`], cumulative statistics, the cost ledger, and a trace
+//! cursor — and drives one [`EpochMachine`] fleet per epoch over either
+//! executor. Three properties make it recoverable:
+//!
+//! 1. **Epochs are hermetic.** Each epoch is an independent fleet run
+//!    whose RNG seed is derived from `(master seed, epoch number)`, so a
+//!    run's randomness depends only on snapshotable data, never on how
+//!    many process lifetimes preceded it.
+//! 2. **All cross-epoch state is plain data.** No thread, socket, or RNG
+//!    survives an epoch boundary; [`BeaconService::snapshot`] serializes
+//!    the whole service and [`BeaconService::restore`] rebuilds it, so a
+//!    process killed at *any* epoch boundary and restored continues
+//!    byte-identically to one that never died (property-tested across
+//!    both executors).
+//! 3. **Epochs are transactional.** A protocol epoch commits only when
+//!    every party's outcome is consistent (lock-step wallets, unanimous
+//!    serve/refill results); anything else rolls the wallets back to the
+//!    epoch-start state and lets the [`Supervisor`] decide how to
+//!    proceed. Honest-party disagreement — the one outcome the paper's
+//!    model rules out — is reported as [`BeaconError::Unsound`], never
+//!    papered over.
+
+use dprbg_core::{
+    CoinGenConfig, CoinWallet, ProtocolError, RetryPolicy, TrustedDealer, MIN_SEEDS_PER_ATTEMPT,
+};
+use dprbg_field::Field;
+use dprbg_metrics::{CostReport, CostSnapshot};
+use dprbg_sim::{
+    AdaptiveAdversary, Attack, BoxedMachine, ParRunner, RunResult, StepRunner, TraceConfig,
+};
+use dprbg_trace::{Event, EventKind};
+
+use crate::epoch::{BeaconMsg, EpochMachine, EpochOutcome, RefillReport};
+use crate::reservoir::{DrawOutcome, Reservoir, ReservoirConfig};
+use crate::snapshot::{self, SnapshotError, SnapshotState};
+use crate::supervisor::{EpochDecision, Mode, Supervisor};
+
+/// SplitMix64's finalizer — the service's seed-derivation and digest
+/// mixer. Statistically strong, dependency-free, and (unlike a stateful
+/// RNG) a pure function of snapshotable inputs.
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The RNG seed of epoch `epoch` under `master_seed`: a pure function of
+/// snapshotable data, so restored services re-derive identical epochs.
+pub fn epoch_seed(master_seed: u64, epoch: u64) -> u64 {
+    mix64(master_seed ^ mix64(epoch.wrapping_add(1)))
+}
+
+/// Which executor drives the epoch fleet. Both are byte-identical per
+/// seed, so the choice is a performance knob — and the determinism
+/// property tests exploit that by mixing them freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// The single-threaded [`StepRunner`].
+    Step,
+    /// The work-stealing [`ParRunner`].
+    Par,
+}
+
+/// Standing configuration of a [`BeaconService`]. Not serialized into
+/// snapshots — the restorer supplies it and the snapshot's embedded
+/// parameters are checked against it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeaconConfig {
+    /// Coin-Gen parameters for the gen plane.
+    pub coin_gen: CoinGenConfig,
+    /// Sizing of the exposed-coin reservoir.
+    pub reservoir: ReservoirConfig,
+    /// Refill the wallet when an epoch's serve split would leave it at
+    /// or below this many sealed coins.
+    pub wallet_low_water: usize,
+    /// Retry/seed-budget policy for each refill.
+    pub retry: RetryPolicy,
+    /// Cap on the supervisor's backoff exponent.
+    pub max_backoff_exp: u32,
+    /// Round cap per epoch — the liveness backstop under adversaries
+    /// that stall the protocol.
+    pub max_rounds_per_epoch: u64,
+}
+
+/// A failure the service cannot turn into policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BeaconError {
+    /// Honest parties disagreed on an epoch's outcome — a violation of
+    /// the paper's unanimity guarantees (Theorem 1), impossible while
+    /// the adversary stays within the `f ≤ t` model.
+    Unsound {
+        /// The epoch whose outcomes disagreed.
+        epoch: u64,
+        /// Which consistency check failed.
+        detail: &'static str,
+    },
+}
+
+impl std::fmt::Display for BeaconError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BeaconError::Unsound { epoch, detail } => {
+                write!(f, "unsound epoch {epoch}: honest parties disagreed on {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BeaconError {}
+
+/// Cumulative service statistics (snapshotted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BeaconStats {
+    /// Epochs driven (including skipped ones).
+    pub epochs: u64,
+    /// Epochs that ran the protocol fleet.
+    pub protocol_epochs: u64,
+    /// Epochs skipped by backoff or read-only mode.
+    pub skipped_epochs: u64,
+    /// Coins exposed and deposited into the reservoir.
+    pub coins_exposed: u64,
+    /// Coins granted to consumers.
+    pub coins_served: u64,
+    /// Draws answered with [`DrawOutcome::WouldBlock`].
+    pub would_block: u64,
+    /// Draws answered with [`DrawOutcome::Starved`].
+    pub starved: u64,
+    /// Successful gen-plane refills.
+    pub refills: u64,
+    /// Failed gen-plane refills.
+    pub refill_failures: u64,
+    /// Sealed coins consumed as Coin-Gen seeds.
+    pub seeds_spent: u64,
+    /// Epochs rolled back for cross-party divergence.
+    pub rollbacks: u64,
+    /// Serve-plane exposes that failed to decode.
+    pub expose_failures: u64,
+    /// Synchronous protocol rounds driven.
+    pub rounds: u64,
+}
+
+/// What one [`BeaconService::run_epoch`] call did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochReport<F: Field> {
+    /// The epoch number driven.
+    pub epoch: u64,
+    /// The supervisor's decision for this epoch.
+    pub decision: EpochDecision,
+    /// Whether a protocol fleet actually ran.
+    pub ran: bool,
+    /// Protocol rounds the epoch took (0 when skipped).
+    pub rounds: u64,
+    /// Coins exposed and deposited this epoch.
+    pub exposed: usize,
+    /// The gen plane's result, if a refill was scheduled.
+    pub refill: Option<Result<RefillReport, ProtocolError>>,
+    /// Whether the epoch was rolled back (wallets restored, nothing
+    /// deposited).
+    pub rolled_back: bool,
+    /// Per-draw outcomes, grouped by consumer in demand order.
+    pub draws: Vec<(u32, DrawOutcome<F>)>,
+}
+
+/// The long-running beacon: all cross-epoch state, plain and
+/// snapshotable.
+pub struct BeaconService<F: Field> {
+    cfg: BeaconConfig,
+    master_seed: u64,
+    epoch: u64,
+    /// Per-party wallets, lock-step by construction (divergent epochs
+    /// roll back).
+    wallets: Vec<CoinWallet<F>>,
+    reservoir: Reservoir<F>,
+    supervisor: Supervisor,
+    stats: BeaconStats,
+    /// Cumulative per-party cost ledger across all epochs.
+    ledger: CostReport,
+    /// Rounds folded into the trace cursor so far.
+    trace_rounds: u64,
+    /// Events folded into the trace digest so far.
+    trace_events: u64,
+    /// Order-independent digest of every trace event the service ever
+    /// produced (rebased to service-global rounds). Snapshotting the
+    /// digest instead of the events keeps snapshots O(1) in run length.
+    trace_digest: u64,
+}
+
+impl<F: Field> BeaconService<F> {
+    /// A fresh beacon: `initial_coins` sealed coins per wallet dealt by
+    /// the trusted dealer of §1.2 (seeded from `master_seed`), empty
+    /// reservoir, healthy supervisor.
+    pub fn new(cfg: BeaconConfig, master_seed: u64, initial_coins: usize) -> Self {
+        let n = cfg.coin_gen.params.n;
+        let wallets = TrustedDealer::deal_wallets::<F>(
+            cfg.coin_gen.params,
+            initial_coins,
+            mix64(master_seed ^ 0xDEA1),
+        );
+        BeaconService {
+            reservoir: Reservoir::new(cfg.reservoir),
+            supervisor: Supervisor::new(cfg.max_backoff_exp),
+            cfg,
+            master_seed,
+            epoch: 0,
+            wallets,
+            stats: BeaconStats::default(),
+            ledger: CostReport::from_snapshots((0..n).map(|_| CostSnapshot::default())),
+            trace_rounds: 0,
+            trace_events: 0,
+            trace_digest: 0,
+        }
+    }
+
+    /// The next epoch number to be driven.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> BeaconStats {
+        self.stats
+    }
+
+    /// The exposed-coin reservoir.
+    pub fn reservoir(&self) -> &Reservoir<F> {
+        &self.reservoir
+    }
+
+    /// The failure-policy supervisor.
+    pub fn supervisor(&self) -> &Supervisor {
+        &self.supervisor
+    }
+
+    /// Sealed coins left in the (lock-step) wallets.
+    pub fn wallet_level(&self) -> usize {
+        self.wallets.first().map_or(0, CoinWallet::len)
+    }
+
+    /// The cumulative per-party cost ledger.
+    pub fn ledger(&self) -> &CostReport {
+        &self.ledger
+    }
+
+    /// The trace cursor: `(rounds, events, digest)` folded so far.
+    pub fn trace_cursor(&self) -> (u64, u64, u64) {
+        (self.trace_rounds, self.trace_events, self.trace_digest)
+    }
+
+    /// Drive one epoch: decide policy, (maybe) run the two-plane fleet,
+    /// commit or roll back, deposit exposed coins, and serve `demands`
+    /// (`(consumer id, coins wanted)` pairs) with round-robin fairness.
+    ///
+    /// `adversary` injects an [`AdaptiveAdversary`] with the given attack
+    /// and corruption budget into the epoch's message layer.
+    ///
+    /// # Errors
+    ///
+    /// [`BeaconError::Unsound`] when honest parties disagree — the
+    /// epoch's effects are discarded, but the service itself remains
+    /// usable (the caller decides whether an unsound epoch is fatal).
+    pub fn run_epoch(
+        &mut self,
+        executor: ExecutorKind,
+        demands: &[(u32, u32)],
+        adversary: Option<(Attack, usize)>,
+    ) -> Result<EpochReport<F>, BeaconError> {
+        let epoch = self.epoch;
+        let decision = self.supervisor.decide(epoch);
+        let mut report = EpochReport {
+            epoch,
+            decision,
+            ran: false,
+            rounds: 0,
+            exposed: 0,
+            refill: None,
+            rolled_back: false,
+            draws: Vec::new(),
+        };
+
+        if decision == EpochDecision::Run {
+            let (serve_count, refill) = self.plan(demands);
+            if serve_count > 0 || refill.is_some() {
+                self.run_protocol(epoch, serve_count, refill, executor, adversary, &mut report)?;
+            }
+        } else {
+            self.stats.skipped_epochs += 1;
+        }
+
+        // Serve demand from stock. Starvation is sharp: only a beacon
+        // that can never refill again starves its consumers.
+        let starving = self.supervisor.mode() == Mode::ReadOnly;
+        report.draws = self.reservoir.serve(demands, starving);
+        for (_, outcome) in &report.draws {
+            match outcome {
+                DrawOutcome::Coin(_) => self.stats.coins_served += 1,
+                DrawOutcome::WouldBlock => self.stats.would_block += 1,
+                DrawOutcome::Starved => self.stats.starved += 1,
+            }
+        }
+
+        self.stats.epochs += 1;
+        self.epoch += 1;
+        Ok(report)
+    }
+
+    /// Plan the epoch: how many coins to expose (serve plane) and
+    /// whether to refill (gen plane). A pure function of snapshotable
+    /// state plus this epoch's demands, so all parties — and all resumed
+    /// incarnations — make the same choice.
+    fn plan(&self, demands: &[(u32, u32)]) -> (usize, Option<RetryPolicy>) {
+        let demand_total: usize = demands.iter().map(|&(_, want)| want as usize).sum();
+        let stock = self.reservoir.level();
+        let rcfg = self.reservoir.config();
+        // Expose enough to meet demand and restore the low-water cushion,
+        // but never beyond what the capacity bound can absorb.
+        let headroom = (rcfg.capacity + demand_total).saturating_sub(stock);
+        let want = (demand_total + rcfg.low_water).saturating_sub(stock).min(headroom);
+        let avail = self.wallet_level();
+        let mut serve_count = want.min(avail);
+        let refill_needed = avail - serve_count <= self.cfg.wallet_low_water;
+        if refill_needed {
+            // Keep at least one attempt's worth of seeds for the gen
+            // plane — serving them as output coins now would trade the
+            // beacon's future for one epoch's throughput.
+            serve_count = serve_count.min(avail.saturating_sub(MIN_SEEDS_PER_ATTEMPT));
+        }
+        (serve_count, refill_needed.then_some(self.cfg.retry))
+    }
+
+    /// Run the two-plane fleet for `epoch` and commit or roll back.
+    fn run_protocol(
+        &mut self,
+        epoch: u64,
+        serve_count: usize,
+        refill: Option<RetryPolicy>,
+        executor: ExecutorKind,
+        adversary: Option<(Attack, usize)>,
+        report: &mut EpochReport<F>,
+    ) -> Result<(), BeaconError> {
+        let n = self.cfg.coin_gen.params.n;
+        let before = self.wallets.clone();
+        let machines: Vec<BoxedMachine<BeaconMsg<F>, EpochOutcome<F>>> = self
+            .wallets
+            .iter()
+            .cloned()
+            .map(|w| {
+                Box::new(EpochMachine::new(self.cfg.coin_gen, w, serve_count, refill))
+                    as BoxedMachine<BeaconMsg<F>, _>
+            })
+            .collect();
+
+        let seed = epoch_seed(self.master_seed, epoch);
+        let (res, corrupted) = self.run_fleet(n, seed, executor, adversary, machines);
+
+        report.ran = true;
+        report.rounds = res.rounds.len() as u64;
+        self.stats.protocol_epochs += 1;
+        self.stats.rounds += report.rounds;
+        self.ledger.merge(&res.report);
+        self.fold_trace(&res);
+
+        // Consistency audit. Wallets must stay lock-step across *all*
+        // parties (a diverged wallet poisons every future expose), and
+        // the parties the adversary did not touch must agree exactly.
+        let honest: Vec<usize> =
+            (1..=n).filter(|id| !corrupted.contains(id)).collect();
+        let divergent = res.outputs.iter().any(Option::is_none)
+            || !Self::lock_step(&res.outputs);
+        if divergent {
+            // Adversary-induced divergence: transactional rollback.
+            self.wallets = before;
+            self.stats.rollbacks += 1;
+            report.rolled_back = true;
+            let err = ProtocolError::Aborted {
+                blame: corrupted.iter().copied().collect(),
+                reason: "epoch diverged across parties",
+            };
+            self.supervisor.on_failure(epoch, &err, self.wallet_level());
+            return Ok(());
+        }
+
+        // All outputs present and lock-step; now honest parties must be
+        // *unanimous* — anything else breaks Theorem 1.
+        let outcomes: Vec<&EpochOutcome<F>> =
+            res.outputs.iter().map(|o| o.as_ref().unwrap_or_else(|| unreachable!())).collect();
+        for pair in honest.windows(2) {
+            let (a, b) = (outcomes[pair[0] - 1], outcomes[pair[1] - 1]);
+            if a.served != b.served {
+                return Err(BeaconError::Unsound { epoch, detail: "served coin values" });
+            }
+            if a.refill != b.refill {
+                return Err(BeaconError::Unsound { epoch, detail: "refill results" });
+            }
+        }
+
+        // Commit: adopt every party's post-epoch wallet, deposit the
+        // consensus coins, and convert results into supervisor policy.
+        let consensus = outcomes[honest.first().map_or(1, |&id| id) - 1].clone();
+        self.wallets =
+            res.outputs.into_iter().map(|o| o.unwrap_or_else(|| unreachable!()).wallet).collect();
+
+        let ok_coins: Vec<F> = consensus.served.iter().filter_map(|r| (*r).ok()).collect();
+        let failures = consensus.served.len() - ok_coins.len();
+        report.exposed = self.reservoir.deposit(ok_coins);
+        self.stats.coins_exposed += report.exposed as u64;
+        self.stats.expose_failures += failures as u64;
+
+        report.refill = consensus.refill.clone();
+        match &consensus.refill {
+            Some(Ok(r)) => {
+                self.stats.refills += 1;
+                self.stats.seeds_spent += r.seeds_spent as u64;
+                self.supervisor.on_success();
+            }
+            Some(Err(e)) => {
+                self.stats.refill_failures += 1;
+                self.supervisor.on_failure(epoch, e, self.wallet_level());
+            }
+            None if failures > 0 => {
+                // Serve-plane decode failures without a refill verdict
+                // still count as a failed protocol epoch.
+                let err = ProtocolError::Coin(crate::CoinError::DecodeFailed);
+                self.supervisor.on_failure(epoch, &err, self.wallet_level());
+            }
+            None => {}
+        }
+        Ok(())
+    }
+
+    /// Drive the fleet under the chosen executor, with tracing and the
+    /// optional adversary tap; returns the run and the corrupted set.
+    fn run_fleet(
+        &self,
+        n: usize,
+        seed: u64,
+        executor: ExecutorKind,
+        adversary: Option<(Attack, usize)>,
+        machines: Vec<BoxedMachine<BeaconMsg<F>, EpochOutcome<F>>>,
+    ) -> (RunResult<EpochOutcome<F>>, std::collections::BTreeSet<usize>) {
+        let max_rounds = self.cfg.max_rounds_per_epoch;
+        let tap = adversary.map(|(attack, f)| {
+            let adv = AdaptiveAdversary::new(attack, n, f, mix64(seed ^ 0xBAD));
+            let handle = adv.handle();
+            (adv, handle)
+        });
+        match executor {
+            ExecutorKind::Step => {
+                let runner = StepRunner::new(n, seed)
+                    .with_trace(TraceConfig::full())
+                    .with_max_rounds(max_rounds);
+                match tap {
+                    Some((adv, h)) => (runner.with_tap(adv).run(machines), h.snapshot()),
+                    None => (runner.run(machines), std::collections::BTreeSet::new()),
+                }
+            }
+            ExecutorKind::Par => {
+                let runner = ParRunner::new(n, seed)
+                    .with_trace(TraceConfig::full())
+                    .with_max_rounds(max_rounds);
+                match tap {
+                    Some((adv, h)) => (runner.with_tap(adv).run(machines), h.snapshot()),
+                    None => (runner.run(machines), std::collections::BTreeSet::new()),
+                }
+            }
+        }
+    }
+
+    /// Whether every party finished with the same wallet length, serve
+    /// count, and refill verdict shape — the lock-step invariant.
+    fn lock_step(outputs: &[Option<EpochOutcome<F>>]) -> bool {
+        let mut shapes = outputs.iter().map(|o| {
+            o.as_ref().map(|out| {
+                (out.wallet.len(), out.served.len(), out.refill.as_ref().map(Result::is_ok))
+            })
+        });
+        let Some(first) = shapes.next() else { return true };
+        first.is_some() && shapes.all(|s| s == first)
+    }
+
+    /// Fold one epoch's trace into the service-global cursor. The digest
+    /// accumulates commutatively (wrapping addition of per-event
+    /// hashes), so it is independent of the executor's event
+    /// interleaving while still binding every event's content.
+    fn fold_trace(&mut self, res: &RunResult<EpochOutcome<F>>) {
+        let base = self.trace_rounds;
+        if let Some(trace) = &res.trace {
+            for ev in &trace.events {
+                self.trace_digest =
+                    self.trace_digest.wrapping_add(Self::event_hash(base, ev));
+                self.trace_events += 1;
+            }
+        }
+        self.trace_rounds += res.rounds.len() as u64;
+    }
+
+    /// A content hash of one trace event, rebased to service-global
+    /// rounds.
+    fn event_hash(base_round: u64, ev: &Event) -> u64 {
+        let mut h = mix64(ev.party as u64 ^ mix64(base_round + ev.round) ^ ((ev.seq as u64) << 32));
+        let (tag, a, b) = match &ev.kind {
+            EventKind::Begin { phase } => (1u64, Self::str_hash(phase), 0),
+            EventKind::Flush { messages, bytes } => (2, *messages, *bytes),
+            EventKind::End { cost } => (
+                3,
+                cost.field_adds ^ cost.field_muls.rotate_left(16),
+                cost.prg_invocations ^ cost.messages.rotate_left(16) ^ cost.bytes.rotate_left(32),
+            ),
+            EventKind::Mark { label } => (4, Self::str_hash(label), 0),
+        };
+        h = mix64(h ^ tag);
+        h = mix64(h ^ a);
+        mix64(h ^ b)
+    }
+
+    /// FNV-1a over a label's bytes.
+    fn str_hash(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Serialize the entire cross-epoch state into the versioned binary
+    /// snapshot format (the versioned binary codec in `snapshot.rs`).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let state = SnapshotState {
+            n: self.cfg.coin_gen.params.n as u32,
+            field_bits: F::bits(),
+            master_seed: self.master_seed,
+            epoch: self.epoch,
+            wallets: self
+                .wallets
+                .iter()
+                .map(|w| (0..w.len()).map(|i| w.peek_at(i).and_then(|s| s.sigma)).collect())
+                .collect(),
+            reservoir: {
+                let (_, coins, cursor, grants) = self.reservoir.parts();
+                (coins, cursor, grants.clone())
+            },
+            supervisor: {
+                let (mode, failures, max_exp, blamed) = self.supervisor.parts();
+                (mode, failures, max_exp, blamed.clone())
+            },
+            stats: self.stats,
+            trace: (self.trace_rounds, self.trace_events, self.trace_digest),
+            ledger: (
+                self.ledger.per_party.iter().map(|p| p.cost).collect(),
+                self.ledger.comm,
+            ),
+        };
+        snapshot::encode(&state)
+    }
+
+    /// Rebuild a service from `cfg` and snapshot `bytes`, continuing
+    /// byte-identically to the service that took the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`]: corrupt/truncated/foreign bytes, or a
+    /// snapshot whose embedded parameters (`n`, field width) disagree
+    /// with `cfg`.
+    pub fn restore(cfg: BeaconConfig, bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let state: SnapshotState<F> = snapshot::decode(bytes)?;
+        if state.n as usize != cfg.coin_gen.params.n {
+            return Err(SnapshotError::ParamMismatch { field: "party count n" });
+        }
+        if state.field_bits != F::bits() {
+            return Err(SnapshotError::ParamMismatch { field: "field width k" });
+        }
+        let (coins, cursor, grants) = state.reservoir;
+        let (mode, failures, max_exp, blamed) = state.supervisor;
+        let (snaps, comm) = state.ledger;
+        Ok(BeaconService {
+            reservoir: Reservoir::from_parts(cfg.reservoir, coins, cursor, grants),
+            supervisor: Supervisor::from_parts(mode, failures, max_exp, blamed),
+            cfg,
+            master_seed: state.master_seed,
+            epoch: state.epoch,
+            wallets: state
+                .wallets
+                .into_iter()
+                .map(|w| {
+                    w.into_iter()
+                        .map(|sigma| dprbg_core::SealedShare { sigma })
+                        .collect()
+                })
+                .collect(),
+            stats: state.stats,
+            ledger: CostReport {
+                per_party: snaps
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, cost)| dprbg_metrics::PartyCost { party: i + 1, cost })
+                    .collect(),
+                comm,
+            },
+            trace_rounds: state.trace.0,
+            trace_events: state.trace.1,
+            trace_digest: state.trace.2,
+        })
+    }
+}

@@ -102,6 +102,11 @@ fn main() {
     if want("e14") {
         print_section(experiments::e14::run(&ctx).render());
     }
+    if want("e15") {
+        for table in experiments::e15::run(&ctx) {
+            print_section(table.render());
+        }
+    }
     println!("report generated in {:.1}s", t0.elapsed().as_secs_f64());
 }
 

@@ -26,6 +26,14 @@
 //! *reach* the `Unsound` verdict: it violates the §3 ideal-broadcast
 //! Given, and against a strict-mode Batch-VSS it deterministically
 //! splits honest verdicts (see the tests).
+//!
+//! **Composite episodes** ([`run_composite_episode`]) swap the single
+//! [`Attack`] for a `(start_round, attack)` schedule driven by a
+//! [`ScheduledAdversary`]: the strategy switches mid-episode while the
+//! corruption budget stays shared, the first leg of the ROADMAP's
+//! adversarial-search program. The confirmed abort paths this machinery
+//! surfaces are pinned as named regression tests in
+//! `tests/repro_corpus.rs`.
 
 use std::collections::BTreeSet;
 
@@ -38,8 +46,8 @@ use dprbg_core::{
 use dprbg_rng::rngs::StdRng;
 use dprbg_rng::SeedableRng;
 use dprbg_sim::{
-    AdaptiveAdversary, Attack, BoxedMachine, ParRunner, PartyId, RunResult, StepRunner, Trace,
-    TraceConfig, WireSize,
+    AdaptiveAdversary, Attack, BoxedMachine, CorruptionHandle, MsgTap, ParRunner, PartyId,
+    RunResult, ScheduledAdversary, StepRunner, Trace, TraceConfig, WireSize,
 };
 
 use crate::experiments::common::{challenge_coins, seed_wallets, F32};
@@ -160,13 +168,15 @@ pub struct Episode {
     pub schedule: Schedule,
 }
 
-/// Drive `machines` under `adv` on the chosen executor, returning the
-/// run result plus the adversary's final corrupted set.
+/// Drive `machines` under the tap `adv` on the chosen executor,
+/// returning the run result plus the adversary's final corrupted set
+/// (read through its pre-extracted `handle`).
 fn run_tapped<M, Out>(
     n: usize,
     seed: u64,
     machines: Vec<BoxedMachine<M, Out>>,
-    adv: AdaptiveAdversary<M>,
+    adv: impl MsgTap<M> + 'static,
+    handle: CorruptionHandle,
     executor: Executor,
     trace: Option<TraceConfig>,
 ) -> (RunResult<Out>, BTreeSet<PartyId>)
@@ -174,7 +184,6 @@ where
     M: Clone + Send + WireSize + 'static,
     Out: Send + 'static,
 {
-    let handle = adv.handle();
     let res = match executor {
         Executor::Stepped => {
             let mut runner = StepRunner::new(n, seed)
@@ -223,9 +232,13 @@ fn classify(honest: &[Option<Result<String, String>>]) -> Outcome {
 }
 
 /// Run machines, snapshot the corrupted set, digest honest outputs,
-/// classify.
+/// classify. With `legs = None` the adversary plays `s.attack` for the
+/// whole episode; with `legs = Some(..)` it switches strategy
+/// mid-episode per the `(start_round, attack)` schedule (one shared
+/// corruption budget `s.f` — see [`ScheduledAdversary`]).
 fn digest_episode<M, Out, D>(
     s: &Schedule,
+    legs: Option<&[(u64, Attack)]>,
     seed: u64,
     machines: Vec<BoxedMachine<M, Out>>,
     executor: Executor,
@@ -237,8 +250,18 @@ where
     Out: Send + 'static,
     D: Fn(&Out, &BTreeSet<PartyId>) -> Result<String, String>,
 {
-    let adv = AdaptiveAdversary::new(s.attack, s.n, s.f, seed);
-    let (res, corrupted) = run_tapped(s.n, seed, machines, adv, executor, trace);
+    let (res, corrupted) = match legs {
+        None => {
+            let adv = AdaptiveAdversary::new(s.attack, s.n, s.f, seed);
+            let handle = adv.handle();
+            run_tapped(s.n, seed, machines, adv, handle, executor, trace)
+        }
+        Some(legs) => {
+            let adv = ScheduledAdversary::new(legs.to_vec(), s.n, s.f, seed);
+            let handle = adv.handle();
+            run_tapped(s.n, seed, machines, adv, handle, executor, trace)
+        }
+    };
     let honest: Vec<Option<Result<String, String>>> = (1..=s.n)
         .filter(|id| !corrupted.contains(id))
         .map(|id| res.outputs[id - 1].as_ref().map(|out| digest(out, &corrupted)))
@@ -262,7 +285,7 @@ pub fn run_episode(
     seed: u64,
     executor: Executor,
 ) -> Episode {
-    run_episode_inner(protocol, schedule, seed, executor, None).0
+    run_episode_inner(protocol, schedule, None, seed, executor, None).0
 }
 
 /// Run one episode on the stepped executor with a ring-buffer trace
@@ -281,6 +304,52 @@ pub fn run_episode_traced(
     let (episode, trace) = run_episode_inner(
         protocol,
         schedule,
+        None,
+        seed,
+        Executor::Stepped,
+        Some(TraceConfig::ring(ring_cap)),
+    );
+    let forensics = if episode.outcome == Outcome::Agreed { None } else { trace };
+    (episode, forensics)
+}
+
+/// Run one **composite** episode: the adversary switches strategy
+/// mid-episode per the `(start_round, attack)` `legs` schedule (a
+/// [`ScheduledAdversary`]), sharing the single corruption budget
+/// `schedule.f` across all legs. `schedule.attack` is ignored — the legs
+/// *are* the strategy; everything else about the campaign point (`n`,
+/// `t`, `f`, `m`, the Batch-VSS verdict mode) reads from `schedule` as
+/// usual, so [`Schedule`] stays a flat `Copy` record. The returned
+/// [`Episode`]'s replay triple is `(seed, schedule, legs)`.
+///
+/// # Panics
+///
+/// Panics if `legs` is empty or its start rounds are not strictly
+/// ascending (the [`ScheduledAdversary`] contract).
+pub fn run_composite_episode(
+    protocol: Protocol,
+    schedule: &Schedule,
+    legs: &[(u64, Attack)],
+    seed: u64,
+    executor: Executor,
+) -> Episode {
+    run_episode_inner(protocol, schedule, Some(legs), seed, executor, None).0
+}
+
+/// The traced variant of [`run_composite_episode`]: stepped executor,
+/// ring-buffer forensics returned for any non-[`Outcome::Agreed`] run
+/// (same contract as [`run_episode_traced`]).
+pub fn run_composite_episode_traced(
+    protocol: Protocol,
+    schedule: &Schedule,
+    legs: &[(u64, Attack)],
+    seed: u64,
+    ring_cap: usize,
+) -> (Episode, Option<Trace>) {
+    let (episode, trace) = run_episode_inner(
+        protocol,
+        schedule,
+        Some(legs),
         seed,
         Executor::Stepped,
         Some(TraceConfig::ring(ring_cap)),
@@ -292,6 +361,7 @@ pub fn run_episode_traced(
 fn run_episode_inner(
     protocol: Protocol,
     schedule: &Schedule,
+    legs: Option<&[(u64, Attack)]>,
     seed: u64,
     executor: Executor,
     trace: Option<TraceConfig>,
@@ -314,7 +384,7 @@ fn run_episode_inner(
                     )) as _
                 })
                 .collect();
-            digest_episode(s, seed, machines, executor, trace, |out, corrupted| match out {
+            digest_episode(s, legs, seed, machines, executor, trace, |out, corrupted| match out {
                 // Unanimity = same challenge point and the same verdict on
                 // every *honest* dealer's instance. Fig. 4 alone makes no
                 // agreement promise about corrupted dealers — that is what
@@ -345,7 +415,7 @@ fn run_episode_inner(
             let machines: Vec<BoxedMachine<CoinGenMsg<F32>, CgOut>> = (0..s.n)
                 .map(|_| Box::new(CoinGenMachine::new(cfg, wallets.remove(0))) as _)
                 .collect();
-            digest_episode(s, seed, machines, executor, trace, |(_wallet, res), _| match res {
+            digest_episode(s, legs, seed, machines, executor, trace, |(_wallet, res), _| match res {
                 Ok(b) => Ok(format!("{:?}|{}|{}", b.dealers, b.attempts, b.seeds_consumed)),
                 Err(e) => Err(format!("{e:?}")),
             })
@@ -365,7 +435,7 @@ fn run_episode_inner(
                     Box::new(BatchVssVerifyMachine::new(s.t, sh, s.m, coin, opts)) as _
                 })
                 .collect();
-            digest_episode(s, seed, machines, executor, trace, |out, _| match out {
+            digest_episode(s, legs, seed, machines, executor, trace, |out, _| match out {
                 Ok(verdict) => Ok(format!("{verdict:?}")),
                 Err(e) => Err(format!("{e:?}")),
             })
@@ -380,7 +450,7 @@ fn run_episode_inner(
             let machines: Vec<BoxedMachine<CoinGenMsg<F32>, RfOut>> = (0..s.n)
                 .map(|_| Box::new(RefreshMachine::new(cfg, wallets.remove(0))) as _)
                 .collect();
-            digest_episode(s, seed, machines, executor, trace, |(_wallet, res), _| match res {
+            digest_episode(s, legs, seed, machines, executor, trace, |(_wallet, res), _| match res {
                 Ok(r) => Ok(format!(
                     "{:?}|{}|{}|{}",
                     r.dealers, r.coins_refreshed, r.attempts, r.seeds_consumed
@@ -557,6 +627,77 @@ mod tests {
         assert_eq!(stats.agreed + stats.aborted + stats.unsound, 4);
         let (lo, hi) = stats.unsound_ci(1.96);
         assert!(lo >= 0.0 && hi <= 1.0 && lo <= hi);
+    }
+
+    #[test]
+    fn composite_episodes_replay_identically_across_executors() {
+        // Mid-episode strategy switches must stay byte-identical across
+        // executors: the active leg keys on the round number, which both
+        // runners present identically.
+        let legs: &[(u64, Attack)] = &[
+            (0, Attack::LeaderEclipse),
+            (2, Attack::Equivocate),
+            (4, Attack::RandomChaos { drop_pct: 20, delay_pct: 20, max_delay: 2 }),
+        ];
+        let s = Schedule::new(7, 1, 1, 4, legs[0].1);
+        for seed in [5, 23] {
+            let a = run_composite_episode(Protocol::CoinGen, &s, legs, seed, Executor::Stepped);
+            let b = run_composite_episode(Protocol::CoinGen, &s, legs, seed, Executor::Parallel);
+            assert_eq!(a, b, "composite episode seed {seed} diverged between executors");
+        }
+    }
+
+    #[test]
+    fn composite_within_model_schedule_stays_sound() {
+        // Every leg in-model and f ≤ t: the Theorem 1 guarantee must
+        // survive the strategy switches.
+        let legs: &[(u64, Attack)] = &[
+            (0, Attack::DealerDelay { delay: 2 }),
+            (3, Attack::CrashAtRound { round: 5 }),
+            (8, Attack::Partition { until_round: 10 }),
+        ];
+        let s = Schedule::new(7, 1, 1, 4, legs[0].1);
+        for protocol in [Protocol::CoinGen, Protocol::BatchVss] {
+            for i in 0..2u64 {
+                let ep = run_composite_episode(
+                    protocol,
+                    &s,
+                    legs,
+                    episode_seed(0x5C4D, i),
+                    Executor::Stepped,
+                );
+                assert_ne!(
+                    ep.outcome,
+                    Outcome::Unsound,
+                    "{} composite episode {i}: corrupted {:?}",
+                    protocol.name(),
+                    ep.corrupted
+                );
+                assert!(ep.corrupted.len() <= s.f, "shared budget violated");
+            }
+        }
+    }
+
+    #[test]
+    fn composite_schedule_differs_from_its_first_leg_alone() {
+        // The later legs must actually bite: the first leg alone is a
+        // crash scheduled far beyond the run's length (it never engages,
+        // the episode agrees), while the composite escalates into an
+        // immediate over-threshold crash and must abort.
+        let legs: &[(u64, Attack)] = &[
+            (0, Attack::CrashAtRound { round: 4000 }),
+            (2, Attack::CrashAtRound { round: 2 }),
+        ];
+        let s = Schedule::new(7, 1, 3, 4, legs[0].1);
+        let composite =
+            run_composite_episode(Protocol::CoinGen, &s, legs, 17, Executor::Stepped);
+        let single = run_episode(Protocol::CoinGen, &s, 17, Executor::Stepped);
+        assert_eq!(single.outcome, Outcome::Agreed, "the dormant leg alone must be harmless");
+        assert_ne!(
+            composite.outcome,
+            Outcome::Agreed,
+            "the crash leg never engaged — the schedule is inert"
+        );
     }
 
     #[test]

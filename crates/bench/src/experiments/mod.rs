@@ -1,4 +1,4 @@
-//! Experiment modules E1–E14 and shared plumbing.
+//! Experiment modules E1–E15 and shared plumbing.
 
 pub mod common;
 pub mod e1;
@@ -15,5 +15,6 @@ pub mod e11;
 pub mod e12;
 pub mod e13;
 pub mod e14;
+pub mod e15;
 
 pub use common::ExperimentCtx;

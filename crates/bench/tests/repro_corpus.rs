@@ -1,0 +1,141 @@
+//! The minimized-repro corpus: named abort-path regression tests.
+//!
+//! Each test pins one **confirmed non-`Agreed` episode** discovered by
+//! the chaos campaign and minimized to its replay triple — `(protocol,
+//! schedule, seed)`, plus the leg schedule for composite episodes. The
+//! triple is the whole bug report: feeding it back to [`run_episode`]
+//! (either executor) or [`run_episode_traced`] reproduces the failure
+//! byte-identically, so these tests "teleport" straight to each failure
+//! mode and pin its classification, corrupted set, and round count
+//! against regression.
+//!
+//! Every entry also exercises the forensic path: the traced replay must
+//! come back with a ring-bounded span dump (the debugging artifact a
+//! real incident would start from).
+//!
+//! Catalog (all at the `n = 7, t = 1, M = 4` working point):
+//!
+//! | test | attack | f | verdict |
+//! |---|---|---|---|
+//! | crash starves clique        | crash@2          | 3 | GracefulAbort |
+//! | dealer delay times out      | delay 1          | 3 | GracefulAbort |
+//! | unhealed partition          | partition        | 3 | GracefulAbort |
+//! | refresh under crash         | crash@1          | 3 | GracefulAbort |
+//! | strict VSS broadcast break  | break-broadcast  | 1 | Unsound (beyond model) |
+//! | bare Bit-Gen equivocation   | equivocate       | 3 | Unsound (beyond threshold) |
+//! | escalating composite        | dormant→crash@2  | 3 | GracefulAbort |
+
+use dprbg_bench::chaos::{
+    run_composite_episode, run_composite_episode_traced, run_episode, run_episode_traced,
+    Episode, Executor, Outcome, Protocol, Schedule,
+};
+use dprbg_core::VssMode;
+use dprbg_sim::{Attack, Trace};
+use std::collections::BTreeSet;
+
+/// Ring capacity for the forensic replays (events per party).
+const RING: usize = 16;
+
+/// Assert the invariants every corpus entry shares: the pinned verdict
+/// and corrupted set, a non-empty ring-bounded forensic dump, and
+/// executor-interchangeable replay.
+fn check_entry(
+    ep: &Episode,
+    forensics: &Option<Trace>,
+    want_outcome: Outcome,
+    want_corrupted: &[usize],
+    want_rounds: u64,
+) {
+    assert_eq!(ep.outcome, want_outcome);
+    assert_eq!(ep.corrupted, BTreeSet::from_iter(want_corrupted.iter().copied()));
+    assert_eq!(ep.rounds, want_rounds, "round count drifted — the repro is no longer minimal");
+    let trace = forensics.as_ref().expect("non-Agreed episode must carry a forensic dump");
+    assert!(!trace.events.is_empty());
+    for id in 1..=ep.schedule.n {
+        let per_party = trace.events.iter().filter(|e| e.party == id).count();
+        assert!(per_party <= RING, "ring cap exceeded: {per_party} events for party {id}");
+    }
+}
+
+#[test]
+fn over_threshold_crash_starves_coin_gen_clique() {
+    // Three crashes at round 2 against t = 1: Coin-Gen cannot form its
+    // n − 2t clique and every honest party aborts explicitly.
+    let s = Schedule::new(7, 1, 3, 4, Attack::CrashAtRound { round: 2 });
+    let (ep, forensics) = run_episode_traced(Protocol::CoinGen, &s, 1, RING);
+    check_entry(&ep, &forensics, Outcome::GracefulAbort, &[1, 2, 3], 36);
+    // Teleport property: the triple replays identically on the pool.
+    assert_eq!(ep, run_episode(Protocol::CoinGen, &s, 1, Executor::Parallel));
+}
+
+#[test]
+fn dealer_delay_beyond_threshold_times_out_coin_gen() {
+    // f = 3 dealers holding their dealings one round each: the pipeline
+    // misses its deadlines and aborts without any honest disagreement.
+    let s = Schedule::new(7, 1, 3, 4, Attack::DealerDelay { delay: 1 });
+    let (ep, forensics) = run_episode_traced(Protocol::CoinGen, &s, 17, RING);
+    check_entry(&ep, &forensics, Outcome::GracefulAbort, &[1, 2, 3], 36);
+}
+
+#[test]
+fn unhealed_partition_aborts_coin_gen() {
+    // A partition that outlives the run (heal round beyond the backstop)
+    // with f = 3: the isolated side can never rejoin, the protocol
+    // aborts gracefully. The corrupted set is traffic-adaptive here —
+    // pinned to witness that the *choice* is deterministic too.
+    let s = Schedule::new(7, 1, 3, 4, Attack::Partition { until_round: 4000 });
+    let (ep, forensics) = run_episode_traced(Protocol::CoinGen, &s, 1, RING);
+    check_entry(&ep, &forensics, Outcome::GracefulAbort, &[2, 5, 6], 36);
+}
+
+#[test]
+fn over_threshold_crash_aborts_refresh() {
+    // The §1.2 proactive refresh inherits Coin-Gen's failure discipline:
+    // over-threshold crashes abort it explicitly, never silently.
+    let s = Schedule::new(7, 1, 3, 4, Attack::CrashAtRound { round: 1 });
+    let (ep, forensics) = run_episode_traced(Protocol::Refresh, &s, 1, RING);
+    check_entry(&ep, &forensics, Outcome::GracefulAbort, &[1, 2, 3], 36);
+}
+
+#[test]
+fn broken_broadcast_splits_strict_batch_vss_verdict() {
+    // Beyond the §3 model: equivocating over the ideal broadcast splits
+    // a strict-mode verdict even at f = 1 ≤ t. The harness must keep
+    // reaching — and pinning — the Unsound verdict.
+    let mut s = Schedule::new(7, 1, 1, 4, Attack::BreakBroadcast);
+    s.vss_mode = VssMode::Strict;
+    let (ep, forensics) = run_episode_traced(Protocol::BatchVss, &s, 7, RING);
+    check_entry(&ep, &forensics, Outcome::Unsound, &[1], 2);
+    assert_eq!(ep, run_episode(Protocol::BatchVss, &s, 7, Executor::Parallel));
+}
+
+#[test]
+fn over_threshold_equivocation_splits_bare_bit_gen() {
+    // Fig. 4 alone makes no agreement promise once f > t: two
+    // equivocating dealers split the honest views. This entry documents
+    // *why* Coin-Gen's clique/grade-cast/BA layer exists — the bare
+    // primitive is expected to go unsound beyond its threshold.
+    let s = Schedule::new(7, 1, 3, 4, Attack::Equivocate);
+    let (ep, forensics) = run_episode_traced(Protocol::BitGen, &s, 1, RING);
+    check_entry(&ep, &forensics, Outcome::Unsound, &[1, 2], 3);
+}
+
+#[test]
+fn escalating_composite_schedule_aborts_coin_gen() {
+    // The composite entry: a dormant first leg (crash scheduled beyond
+    // the run) escalating at round 2 into an immediate over-threshold
+    // crash. The first leg alone agrees; the schedule aborts.
+    let legs: &[(u64, Attack)] = &[
+        (0, Attack::CrashAtRound { round: 4000 }),
+        (2, Attack::CrashAtRound { round: 2 }),
+    ];
+    let s = Schedule::new(7, 1, 3, 4, legs[0].1);
+    let (ep, forensics) = run_composite_episode_traced(Protocol::CoinGen, &s, legs, 17, RING);
+    check_entry(&ep, &forensics, Outcome::GracefulAbort, &[1, 2, 3], 36);
+    assert_eq!(run_episode(Protocol::CoinGen, &s, 17, Executor::Stepped).outcome, Outcome::Agreed);
+    assert_eq!(
+        ep,
+        run_composite_episode(Protocol::CoinGen, &s, legs, 17, Executor::Parallel),
+        "composite repro must replay identically on the pool"
+    );
+}

@@ -215,6 +215,123 @@ mod tests {
     }
 
     #[test]
+    fn budget_of_exactly_min_seeds_per_attempt_succeeds() {
+        // The boundary case: a budget of exactly MIN_SEEDS_PER_ATTEMPT
+        // (challenge + one leader election) must be allowed to start —
+        // and a healthy first try spends precisely that.
+        let n = 7;
+        let t = 1;
+        let cfg = CoinGenConfig { params: Params::p2p_model(n, t).unwrap(), batch_size: 4 };
+        let policy = RetryPolicy { max_attempts: 2, seed_budget: MIN_SEEDS_PER_ATTEMPT };
+        type Out = Result<(CoinBatch<F>, RetryReport), ProtocolError>;
+        let machines: Vec<BoxedMachine<M, Out>> = wallets(n, t, 4, 130)
+            .into_iter()
+            .map(|w| {
+                Box::new(coin_gen_with_retry::<M, F>(cfg, w, policy).map(|(_, res)| res))
+                    as BoxedMachine<M, _>
+            })
+            .collect();
+        for out in StepRunner::new(n, 131).run(machines).unwrap_all() {
+            let (batch, report) = out.unwrap();
+            assert_eq!(report.attempts, 1);
+            assert_eq!(report.seeds_spent, MIN_SEEDS_PER_ATTEMPT);
+            assert_eq!(batch.seeds_consumed, MIN_SEEDS_PER_ATTEMPT);
+        }
+    }
+
+    #[test]
+    fn budget_exhausted_mid_attempt_reports_overshoot() {
+        // Consumption is accounted when an attempt lands, so a failing
+        // attempt can overshoot the budget mid-flight (each failed leader
+        // election inside the run burns another wallet coin). The loop
+        // must then refuse the next attempt and report the *actual*
+        // spend — spent > budget, not a clamped figure — identically at
+        // every surviving party.
+        let n = 7;
+        let t = 1;
+        let cfg = CoinGenConfig { params: Params::p2p_model(n, t).unwrap(), batch_size: 4 };
+        // Deep wallet: the crashed run fails with NoAgreement after its
+        // internal leader-attempt cap, leaving seeds in the wallet but a
+        // spend far past the budget.
+        let ws = wallets(n, t, 36, 140);
+        let plan = FaultPlan::explicit(n, vec![5, 6, 7]);
+        let policy = RetryPolicy { max_attempts: 4, seed_budget: 8 };
+        let machines = plan.machines::<M, Option<Result<RetryReport, ProtocolError>>>(
+            |id| {
+                let w = ws[id - 1].clone();
+                Box::new(
+                    coin_gen_with_retry::<M, F>(cfg, w, policy)
+                        .map(|(_, res)| Some(res.map(|(_, report)| report))),
+                )
+            },
+            |_| Box::new(from_fn(|_view: RoundView<'_, M>| Step::Done(None))),
+        );
+        let res = StepRunner::new(n, 141).run(machines);
+        let mut errors = Vec::new();
+        for id in plan.honest() {
+            let out = res.outputs[id - 1].clone().unwrap().unwrap();
+            errors.push(out.unwrap_err());
+        }
+        assert!(errors.windows(2).all(|w| w[0] == w[1]), "parties disagree: {errors:?}");
+        match &errors[0] {
+            ProtocolError::SeedBudgetExceeded { spent, budget } => {
+                assert_eq!(*budget, 8);
+                assert!(
+                    *spent > *budget,
+                    "a mid-attempt exhaustion must report the overshoot (spent {spent})"
+                );
+                // Exact figure: the one failed attempt burned 9 seeds
+                // (challenge + its leader elections) — one past the
+                // budget, reported as-is rather than clamped.
+                assert_eq!(*spent, 9);
+            }
+            other => panic!("expected SeedBudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_single_surfaces_exact_spend_figures() {
+        // RetryPolicy::single disables retry but keeps the budget
+        // discipline: an unaffordable budget surfaces SeedBudgetExceeded
+        // with exact figures (nothing spent, the budget as configured),
+        // and an affordable one succeeds in exactly one attempt.
+        let n = 7;
+        let t = 1;
+        let cfg = CoinGenConfig { params: Params::p2p_model(n, t).unwrap(), batch_size: 4 };
+        type Out = Result<(CoinBatch<F>, RetryReport), ProtocolError>;
+        for budget in 0..MIN_SEEDS_PER_ATTEMPT {
+            let policy = RetryPolicy::single(budget);
+            let machines: Vec<BoxedMachine<M, Out>> = wallets(n, t, 4, 150)
+                .into_iter()
+                .map(|w| {
+                    Box::new(coin_gen_with_retry::<M, F>(cfg, w, policy).map(|(_, res)| res))
+                        as BoxedMachine<M, _>
+                })
+                .collect();
+            for out in StepRunner::new(n, 151).run(machines).unwrap_all() {
+                assert_eq!(
+                    out.unwrap_err(),
+                    ProtocolError::SeedBudgetExceeded { spent: 0, budget },
+                    "budget {budget} must be rejected before any seed is popped"
+                );
+            }
+        }
+        let machines: Vec<BoxedMachine<M, Out>> = wallets(n, t, 4, 150)
+            .into_iter()
+            .map(|w| {
+                Box::new(
+                    coin_gen_with_retry::<M, F>(cfg, w, RetryPolicy::single(2))
+                        .map(|(_, res)| res),
+                ) as BoxedMachine<M, _>
+            })
+            .collect();
+        for out in StepRunner::new(n, 151).run(machines).unwrap_all() {
+            let (_, report) = out.unwrap();
+            assert_eq!((report.attempts, report.seeds_spent), (1, 2));
+        }
+    }
+
+    #[test]
     fn over_threshold_crashes_exhaust_budget_gracefully() {
         // 3 of 7 parties crash with t = 1 (f > t): no n − 2t clique can
         // form, so every leader attempt fails and burns a seed. The retry

@@ -122,13 +122,16 @@ pub struct FileClass {
 }
 
 /// Crates whose non-test code must be transcript-deterministic: protocol
-/// logic, its algebra substrates, and both executors.
+/// logic, its algebra substrates, both executors, and the beacon service
+/// (whose crash-recovery contract is *byte-identical* resumption).
 const DETERMINISM_CRATES: &[&str] =
-    &["dprbg-core", "dprbg-protocols", "dprbg-poly", "dprbg-field", "dprbg-sim"];
+    &["dprbg-core", "dprbg-protocols", "dprbg-poly", "dprbg-field", "dprbg-sim", "dprbg-beacon"];
 
 /// Crates whose library code must surface failures as `ProtocolError`
-/// (PR 3's graceful-degradation taxonomy), never panic.
-const ERROR_CRATES: &[&str] = &["dprbg-core", "dprbg-protocols"];
+/// (PR 3's graceful-degradation taxonomy) or their own error enums,
+/// never panic. The beacon qualifies: its snapshot decoder feeds on
+/// exactly the half-written files a crashed process leaves behind.
+const ERROR_CRATES: &[&str] = &["dprbg-core", "dprbg-protocols", "dprbg-beacon"];
 
 /// Crates whose field arithmetic must go through the counted
 /// `dprbg-field` ops so the §2 cost-model tables stay honest.

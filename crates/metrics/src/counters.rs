@@ -13,6 +13,7 @@ thread_local! {
     static FIELD_MULS: Cell<u64> = const { Cell::new(0) };
     static FIELD_INVS: Cell<u64> = const { Cell::new(0) };
     static INTERPOLATIONS: Cell<u64> = const { Cell::new(0) };
+    static PRG_INVOCATIONS: Cell<u64> = const { Cell::new(0) };
     static MSGS_SENT: Cell<u64> = const { Cell::new(0) };
     static BYTES_SENT: Cell<u64> = const { Cell::new(0) };
     static ROUNDS: Cell<u64> = const { Cell::new(0) };
@@ -46,12 +47,23 @@ pub mod ops {
         INTERPOLATIONS.with(|c| c.set(c.get() + n));
     }
 
+    /// Record `n` pseudo-random-generator invocations (one per underlying
+    /// PRG block, e.g. one ChaCha block function call). Computational
+    /// randomness is a different resource from field arithmetic — the
+    /// paper's §1.4 comparison needs it counted in its own unit so
+    /// computational-stretch baselines report honest figures.
+    #[inline]
+    pub fn count_prg(n: u64) {
+        PRG_INVOCATIONS.with(|c| c.set(c.get() + n));
+    }
+
     /// Reset every computation counter of the current thread to zero.
     pub fn reset() {
         FIELD_ADDS.with(|c| c.set(0));
         FIELD_MULS.with(|c| c.set(0));
         FIELD_INVS.with(|c| c.set(0));
         INTERPOLATIONS.with(|c| c.set(0));
+        PRG_INVOCATIONS.with(|c| c.set(0));
     }
 }
 
@@ -94,6 +106,8 @@ pub struct CostSnapshot {
     pub field_invs: u64,
     /// Polynomial interpolations performed.
     pub interpolations: u64,
+    /// PRG block invocations performed (computational randomness used).
+    pub prg_invocations: u64,
     /// Messages sent.
     pub messages: u64,
     /// Payload bytes sent.
@@ -110,6 +124,7 @@ impl CostSnapshot {
             field_muls: FIELD_MULS.with(Cell::get),
             field_invs: FIELD_INVS.with(Cell::get),
             interpolations: INTERPOLATIONS.with(Cell::get),
+            prg_invocations: PRG_INVOCATIONS.with(Cell::get),
             messages: MSGS_SENT.with(Cell::get),
             bytes: BYTES_SENT.with(Cell::get),
             rounds: ROUNDS.with(Cell::get),
@@ -125,6 +140,7 @@ impl CostSnapshot {
             field_muls: self.field_muls.saturating_sub(earlier.field_muls),
             field_invs: self.field_invs.saturating_sub(earlier.field_invs),
             interpolations: self.interpolations.saturating_sub(earlier.interpolations),
+            prg_invocations: self.prg_invocations.saturating_sub(earlier.prg_invocations),
             messages: self.messages.saturating_sub(earlier.messages),
             bytes: self.bytes.saturating_sub(earlier.bytes),
             rounds: self.rounds.saturating_sub(earlier.rounds),
@@ -138,6 +154,7 @@ impl CostSnapshot {
             field_muls: self.field_muls + other.field_muls,
             field_invs: self.field_invs + other.field_invs,
             interpolations: self.interpolations + other.interpolations,
+            prg_invocations: self.prg_invocations + other.prg_invocations,
             messages: self.messages + other.messages,
             bytes: self.bytes + other.bytes,
             rounds: self.rounds + other.rounds,
@@ -200,6 +217,7 @@ mod tests {
         ops::count_mul(2);
         ops::count_inv(1);
         ops::count_interpolation(1);
+        ops::count_prg(4);
         comm::count_message(16);
         comm::count_message(8);
         comm::count_rounds(3);
@@ -208,6 +226,7 @@ mod tests {
         assert_eq!(d.field_muls, 2);
         assert_eq!(d.field_invs, 1);
         assert_eq!(d.interpolations, 1);
+        assert_eq!(d.prg_invocations, 4);
         assert_eq!(d.messages, 2);
         assert_eq!(d.bytes, 24);
         assert_eq!(d.rounds, 3);
@@ -228,6 +247,7 @@ mod tests {
             field_muls: 2,
             field_invs: 3,
             interpolations: 4,
+            prg_invocations: 9,
             messages: 5,
             bytes: 6,
             rounds: 7,
@@ -235,6 +255,7 @@ mod tests {
         let b = a;
         let s = a.plus(&b);
         assert_eq!(s.field_adds, 2);
+        assert_eq!(s.prg_invocations, 18);
         assert_eq!(s.rounds, 14);
     }
 

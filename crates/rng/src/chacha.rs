@@ -53,6 +53,7 @@ impl<const R: usize> ChaCha<R> {
     /// Run the block function on the current state into `buf`, then advance
     /// the 64-bit block counter.
     fn refill(&mut self) {
+        dprbg_metrics::ops::count_prg(1);
         let mut w = self.state;
         for _ in 0..R {
             // Column round.

@@ -44,7 +44,7 @@
 //! trigger (the paper's guarantees do not, and need not, survive it).
 
 use std::cmp::Reverse;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
 
 use crate::adversary::{MsgFate, MsgHop, MsgTap};
@@ -196,15 +196,29 @@ impl<M> AdaptiveAdversary<M> {
     /// seed)` fully determines the adversary's actions on a given
     /// transcript.
     pub fn new(attack: Attack, n: usize, budget: usize, seed: u64) -> Self {
+        Self::with_shared(attack, n, budget, seed, Arc::new(Mutex::new(BTreeSet::new())))
+    }
+
+    /// Like [`AdaptiveAdversary::new`], but corruptions accumulate in the
+    /// caller-supplied shared set — how [`ScheduledAdversary`] makes its
+    /// legs spend one common budget.
+    fn with_shared(
+        attack: Attack,
+        n: usize,
+        budget: usize,
+        seed: u64,
+        corrupted: Arc<Mutex<BTreeSet<PartyId>>>,
+    ) -> Self {
         assert!(n > 0, "need at least one party");
-        let mut corrupted = BTreeSet::new();
         // Network-level strategies fix their corrupted subset up front
-        // (seeded); the traffic-adaptive ones start empty.
+        // (seeded, topping up whatever the shared set already holds); the
+        // traffic-adaptive ones start empty.
         if matches!(attack, Attack::RandomChaos { .. } | Attack::Partition { .. }) {
+            let mut set = corrupted.lock().expect("corruption set lock");
             let mut x = splitmix64(seed ^ 0xC0DE);
-            while corrupted.len() < budget.min(n) {
+            while set.len() < budget.min(n) {
                 x = splitmix64(x);
-                corrupted.insert((x % n as u64) as usize + 1);
+                set.insert((x % n as u64) as usize + 1);
             }
         }
         AdaptiveAdversary {
@@ -212,7 +226,7 @@ impl<M> AdaptiveAdversary<M> {
             n,
             budget,
             seed,
-            corrupted: Arc::new(Mutex::new(corrupted)),
+            corrupted,
             cur_round: 0,
             crash_done: false,
             round_msgs: vec![0; n],
@@ -375,6 +389,232 @@ impl<M: Clone + Send> MsgTap<M> for AdaptiveAdversary<M> {
                 }
             }
         }
+    }
+}
+
+/// A composite adversary that switches [`Attack`] strategy mid-episode on
+/// a fixed round schedule — the "campaign that changes its mind": eclipse
+/// the leader for a while, then partition, then equivocate.
+///
+/// The schedule is a list of `(start_round, attack)` legs, strictly
+/// ascending by start round; leg `i` is in force for every hop whose round
+/// is in `[start_i, start_{i+1})`. All legs share **one** corruption
+/// budget: a party corrupted by an early leg stays corrupted (corruption
+/// is irrevocable in the §2 model), and later legs may only top the shared
+/// set up to `budget`.
+///
+/// Determinism: the active leg is a pure function of `hop.round`, which
+/// both executors present identically, and each leg is itself a
+/// fold-at-round-boundary [`AdaptiveAdversary`] (see the module docs), so
+/// the composite remains byte-identical across [`crate::StepRunner`] and
+/// [`crate::ParRunner`].
+///
+/// Round parameters *inside* a leg ([`Attack::CrashAtRound`],
+/// [`Attack::Partition`]'s heal round) stay **absolute** executor rounds,
+/// not leg-relative ones — a schedule reads as one timeline.
+pub struct ScheduledAdversary<M> {
+    legs: Vec<(u64, Attack)>,
+    n: usize,
+    budget: usize,
+    seed: u64,
+    corrupted: Arc<Mutex<BTreeSet<PartyId>>>,
+    /// The adversary of the leg currently in force.
+    cur: AdaptiveAdversary<M>,
+    /// Index into `legs` of the next leg to activate.
+    next: usize,
+}
+
+impl<M> ScheduledAdversary<M> {
+    /// Build a composite adversary over `n` parties from `(start_round,
+    /// attack)` legs, sharing `budget` corruptions across all legs. The
+    /// first leg is active from the first hop regardless of its nominal
+    /// start round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is empty, start rounds are not strictly
+    /// ascending, or `n` is zero.
+    pub fn new(schedule: Vec<(u64, Attack)>, n: usize, budget: usize, seed: u64) -> Self {
+        assert!(!schedule.is_empty(), "schedule needs at least one leg");
+        assert!(
+            schedule.windows(2).all(|w| w[0].0 < w[1].0),
+            "leg start rounds must be strictly ascending"
+        );
+        let corrupted = Arc::new(Mutex::new(BTreeSet::new()));
+        let cur = AdaptiveAdversary::with_shared(
+            schedule[0].1,
+            n,
+            budget,
+            Self::leg_seed(seed, 0),
+            Arc::clone(&corrupted),
+        );
+        ScheduledAdversary { legs: schedule, n, budget, seed, corrupted, cur, next: 1 }
+    }
+
+    /// Per-leg seed derivation: a leg's pseudorandom choices depend on the
+    /// master seed and its position, not on which attacks preceded it.
+    fn leg_seed(seed: u64, leg: usize) -> u64 {
+        splitmix64(seed ^ (leg as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// A handle for reading the corrupted set after the run.
+    pub fn handle(&self) -> CorruptionHandle {
+        CorruptionHandle { set: Arc::clone(&self.corrupted) }
+    }
+
+    /// The schedule's legs, as given.
+    pub fn legs(&self) -> &[(u64, Attack)] {
+        &self.legs
+    }
+
+    /// Whether every leg stays within the paper's §2/§3 model.
+    pub fn within_model(&self) -> bool {
+        self.legs.iter().all(|(_, a)| a.within_model())
+    }
+
+    /// Short stable composite name, e.g. `leader-eclipse>partition`.
+    pub fn name(&self) -> String {
+        let names: Vec<&str> = self.legs.iter().map(|(_, a)| a.name()).collect();
+        names.join(">")
+    }
+}
+
+impl<M: Clone + Send> MsgTap<M> for ScheduledAdversary<M> {
+    fn intercept(&mut self, hop: MsgHop<'_, M>) -> MsgFate<M> {
+        // Leg switches key on `hop.round` only: every hop of a round sees
+        // the same leg under either executor. A fresh leg starts with
+        // empty traffic aggregates (its catch-up folds see zero counts and
+        // corrupt no one) but inherits the shared corrupted set.
+        while self.next < self.legs.len() && hop.round >= self.legs[self.next].0 {
+            let (_, attack) = self.legs[self.next];
+            self.cur = AdaptiveAdversary::with_shared(
+                attack,
+                self.n,
+                self.budget,
+                Self::leg_seed(self.seed, self.next),
+                Arc::clone(&self.corrupted),
+            );
+            self.next += 1;
+        }
+        self.cur.intercept(hop)
+    }
+}
+
+/// A fault injected at one epoch boundary of a long-running beacon soak
+/// (the epoch-granular analogue of the per-message [`Attack`] menu).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochFault {
+    /// Kill the service at this epoch's start boundary. The harness
+    /// restores it from the latest snapshot after `down_epochs` epochs of
+    /// downtime and measures the recovery latency.
+    Crash {
+        /// Epochs of downtime before the restore.
+        down_epochs: u64,
+    },
+    /// A consumer stampede: `demand` draw requests arrive this epoch,
+    /// exercising reservoir backpressure.
+    Stampede {
+        /// Draw requests arriving in the stampede.
+        demand: u32,
+    },
+    /// The epoch's protocol run happens under an adaptive `attack`
+    /// corrupting at most `f` parties.
+    Adversary {
+        /// The strategy applied to this epoch's messages.
+        attack: Attack,
+        /// The corruption budget for this epoch.
+        f: usize,
+    },
+}
+
+impl EpochFault {
+    /// Short stable name for logs and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EpochFault::Crash { .. } => "crash",
+            EpochFault::Stampede { .. } => "stampede",
+            EpochFault::Adversary { .. } => "adversary",
+        }
+    }
+}
+
+/// An epoch-indexed fault schedule for beacon soak runs: which
+/// [`EpochFault`] (if any) strikes at each epoch.
+///
+/// # Examples
+///
+/// ```
+/// use dprbg_sim::{EpochFault, SoakPlan};
+/// let plan = SoakPlan::new()
+///     .fault(3, EpochFault::Crash { down_epochs: 2 })
+///     .fault(7, EpochFault::Stampede { demand: 64 });
+/// assert_eq!(plan.fault_at(3), Some(EpochFault::Crash { down_epochs: 2 }));
+/// assert_eq!(plan.fault_at(4), None);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SoakPlan {
+    faults: BTreeMap<u64, EpochFault>,
+}
+
+impl SoakPlan {
+    /// A plan with no faults (the uninterrupted reference run).
+    pub fn new() -> Self {
+        SoakPlan::default()
+    }
+
+    /// Add (or replace) the fault striking at `epoch`.
+    pub fn fault(mut self, epoch: u64, fault: EpochFault) -> Self {
+        self.faults.insert(epoch, fault);
+        self
+    }
+
+    /// The fault scheduled for `epoch`, if any.
+    pub fn fault_at(&self, epoch: u64) -> Option<EpochFault> {
+        self.faults.get(&epoch).copied()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether no fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Iterate the scheduled `(epoch, fault)` pairs in epoch order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, EpochFault)> + '_ {
+        self.faults.iter().map(|(e, f)| (*e, *f))
+    }
+
+    /// A seeded composite plan striking every `period` epochs over
+    /// `epochs` total, cycling pseudorandomly through crashes, stampedes
+    /// and in-model adversary epochs — the mixed soak the E15 experiment
+    /// runs. `(seed, epochs, period)` fully determines the plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn composite(seed: u64, epochs: u64, period: u64) -> Self {
+        assert!(period > 0, "fault period must be positive");
+        let mut plan = SoakPlan::new();
+        let mut e = period;
+        while e < epochs {
+            let h = splitmix64(seed ^ splitmix64(e));
+            let fault = match h % 4 {
+                0 => EpochFault::Crash { down_epochs: 1 + (h >> 8) % 3 },
+                1 => EpochFault::Stampede { demand: 8 + ((h >> 8) % 56) as u32 },
+                2 => EpochFault::Adversary { attack: Attack::LeaderEclipse, f: 1 },
+                _ => EpochFault::Adversary {
+                    attack: Attack::RandomChaos { drop_pct: 25, delay_pct: 25, max_delay: 2 },
+                    f: 1,
+                },
+            };
+            plan.faults.insert(e, fault);
+            e += period;
+        }
+        plan
     }
 }
 
@@ -544,6 +784,91 @@ mod tests {
             let senders: BTreeSet<usize> = inbox.iter().map(|&(from, _, _)| from).collect();
             assert_eq!(senders.len(), n, "partition failed to heal: {senders:?}");
         }
+    }
+
+    #[test]
+    fn scheduled_adversary_is_deterministic_across_executors() {
+        let n = 5;
+        let schedule = vec![
+            (0u64, Attack::LeaderEclipse),
+            (2, Attack::Partition { until_round: 3 }),
+            (3, Attack::Equivocate),
+        ];
+        for seed in [5u64, 23] {
+            let adv_a = ScheduledAdversary::new(schedule.clone(), n, 2, seed);
+            let log_a = adv_a.handle();
+            let parallel = ParRunner::new(n, seed).with_tap(adv_a).run(fleet(n, 5, 3));
+            let adv_b = ScheduledAdversary::new(schedule.clone(), n, 2, seed);
+            let log_b = adv_b.handle();
+            let stepped = StepRunner::new(n, seed).with_tap(adv_b).run(fleet(n, 5, 3));
+            assert_eq!(parallel.outputs, stepped.outputs, "diverged at seed {seed}");
+            assert_eq!(parallel.report, stepped.report);
+            assert_eq!(log_a.snapshot(), log_b.snapshot());
+        }
+    }
+
+    #[test]
+    fn scheduled_adversary_shares_one_budget_across_legs() {
+        // Two greedy legs, budget 2: the composite may corrupt at most 2
+        // parties in total, not 2 per leg.
+        let n = 6;
+        let schedule = vec![
+            (0u64, Attack::LeaderEclipse),
+            (2, Attack::RandomChaos { drop_pct: 50, delay_pct: 0, max_delay: 1 }),
+        ];
+        let adv = ScheduledAdversary::new(schedule, n, 2, 31);
+        let log = adv.handle();
+        let _ = StepRunner::new(n, 31).with_tap(adv).run(fleet(n, 5, 2));
+        assert!(log.snapshot().len() <= 2, "legs overspent: {:?}", log.snapshot());
+    }
+
+    #[test]
+    fn scheduled_adversary_switches_legs() {
+        // Leg 1 (rounds 0–1) eclipses the busiest sender; leg 2 (round 2+)
+        // is an already-healed partition that delivers everything, so
+        // traffic from the still-corrupted party resumes in the final
+        // inbox — proof the first leg's fate rule stopped applying.
+        let n = 5;
+        let schedule = vec![
+            (0u64, Attack::LeaderEclipse),
+            (2, Attack::Partition { until_round: 0 }),
+        ];
+        let adv = ScheduledAdversary::new(schedule, n, 1, 11);
+        let log = adv.handle();
+        let res = StepRunner::new(n, 11).with_tap(adv).run(fleet(n, 4, 4));
+        assert_eq!(log.snapshot().into_iter().collect::<Vec<_>>(), vec![4]);
+        // The final round's traffic was sent in round 3, under leg 2, which
+        // never drops — the corrupted party is audible again.
+        let heard_4 = res.outputs[0]
+            .as_ref()
+            .unwrap()
+            .iter()
+            .any(|&(from, _, _)| from == 4);
+        assert!(heard_4, "leg switch did not lift the eclipse");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn scheduled_adversary_rejects_unordered_legs() {
+        let _ = ScheduledAdversary::<u64>::new(
+            vec![(3, Attack::LeaderEclipse), (3, Attack::Equivocate)],
+            4,
+            1,
+            0,
+        );
+    }
+
+    #[test]
+    fn soak_plan_composite_is_deterministic_and_periodic() {
+        let a = SoakPlan::composite(42, 1000, 97);
+        let b = SoakPlan::composite(42, 1000, 97);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), (1000 - 1) / 97);
+        assert!(a.iter().all(|(e, _)| e % 97 == 0 && e > 0 && e < 1000));
+        // A different seed gives a different mix eventually.
+        let c = SoakPlan::composite(43, 1000, 97);
+        assert_ne!(a, c);
+        assert!(SoakPlan::new().is_empty());
     }
 
     #[test]

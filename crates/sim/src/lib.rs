@@ -76,7 +76,9 @@ mod router;
 mod step;
 
 pub use adversary::{FaultPlan, MsgFate, MsgHop, MsgTap};
-pub use chaos::{AdaptiveAdversary, Attack, CorruptionHandle};
+pub use chaos::{
+    AdaptiveAdversary, Attack, CorruptionHandle, EpochFault, ScheduledAdversary, SoakPlan,
+};
 pub use embed::Embeds;
 pub use machine::{
     from_fn, looping, ready, silent, BoxedMachine, Chain, FlushStats, FromFn, Loop, LoopControl,

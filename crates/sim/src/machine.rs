@@ -162,6 +162,18 @@ impl<M> Outbox<M> {
         }
     }
 
+    /// Move every envelope of `other` onto the back of this outbox,
+    /// preserving both orders — how a driver that steps several
+    /// sub-machines in one round merges their sends onto one wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outboxes are sized for different networks.
+    pub fn append(&mut self, other: Outbox<M>) {
+        assert_eq!(self.n, other.n, "cannot merge outboxes of different networks");
+        self.envelopes.extend(other.envelopes);
+    }
+
     pub(crate) fn n(&self) -> usize {
         self.n
     }
@@ -741,6 +753,30 @@ mod tests {
         let mut seq = 0;
         mapped.flush(1, &mut seq, |to, rcv| posts.push((to, rcv.msg)));
         assert_eq!(posts, vec![(2, 105), (1, 106), (2, 106), (3, 106)]);
+    }
+
+    #[test]
+    fn outbox_append_concatenates_in_order() {
+        let mut a = Outbox::<u32>::new(3);
+        a.send(1, 1);
+        let mut b = Outbox::<u32>::new(3);
+        b.send(2, 2);
+        b.broadcast(3);
+        a.append(b);
+        let mut posts = Vec::new();
+        let mut seq = 0;
+        a.flush(0, &mut seq, |to, rcv| posts.push((to, rcv.msg, rcv.broadcast)));
+        assert_eq!(
+            posts,
+            vec![(1, 1, false), (2, 2, false), (1, 3, true), (2, 3, true), (3, 3, true)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different networks")]
+    fn outbox_append_rejects_size_mismatch() {
+        let mut a = Outbox::<u32>::new(3);
+        a.append(Outbox::new(4));
     }
 
     #[test]

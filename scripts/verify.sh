@@ -74,6 +74,17 @@ if ! grep -q "committee n=129" <<<"$committee_report"; then
     exit 1
 fi
 
+echo "== beacon soak smoke (E15, fixed seed, kill/restore determinism) =="
+# Crash-recoverable beacon under a composite fault schedule: `run`
+# asserts zero unsound epochs, and the kill/restore replay's final
+# snapshot must be byte-identical to the uninterrupted soak's.
+beacon_report="$(cargo run -p dprbg-bench --release --offline -q --bin report -- e15 --quick)"
+printf '%s\n' "$beacon_report"
+if ! grep -q "restore determinism OK" <<<"$beacon_report"; then
+    echo "beacon smoke FAILED: kill/restore replay diverged from the base soak" >&2
+    exit 1
+fi
+
 echo "== traced E2 smoke (fixed seed, Chrome-trace round trip) =="
 trace_out="$(mktemp -t dprbg-trace-XXXXXX.json)"
 trap 'rm -f "$trace_out"' EXIT

@@ -16,6 +16,7 @@
 //! | Re-export | Crate | Contents |
 //! |---|---|---|
 //! | [`core`] | `dprbg-core` | VSS, Batch-VSS, Bit-Gen, Coin-Gen, Coin-Expose, D-PRBG, bootstrapping |
+//! | [`beacon`] | `dprbg-beacon` | crash-recoverable epoch-pipelined beacon service (reservoir, supervisor, snapshot/restore) |
 //! | [`field`] | `dprbg-field` | GF(2^k), prime fields, the DFT field GF(q^l) |
 //! | [`poly`] | `dprbg-poly` | polynomials, Lagrange, Berlekamp–Welch, Shamir |
 //! | [`sim`] | `dprbg-sim` | sans-IO round machines, the deterministic executors, the adversary framework |
@@ -55,6 +56,7 @@
 //! ```
 
 pub use dprbg_baselines as baselines;
+pub use dprbg_beacon as beacon;
 pub use dprbg_core as core;
 pub use dprbg_field as field;
 pub use dprbg_metrics as metrics;
