@@ -2,11 +2,15 @@
 //! backpressure and per-consumer fairness.
 //!
 //! The beacon's consumers draw *exposed* field elements, not sealed
-//! shares; the reservoir sits between the epoch pipeline (which deposits
-//! each epoch's freshly exposed coins) and the demand side. Its capacity
-//! is bounded — exposing coins nobody asked for burns the distributed
-//! seed the amortization story (§1.2) depends on — so deposits beyond
-//! capacity are refused and the service simply exposes fewer next epoch.
+//! shares; the reservoir sits between the epoch pipeline (which admits
+//! each epoch's freshly exposed coins ahead of the serve pass) and the
+//! demand side. Its capacity is bounded — exposing coins nobody asked
+//! for burns the distributed seed the amortization story (§1.2) depends
+//! on — and the bound is enforced on the *production* side: the
+//! service's planner never exposes more than the epoch's demand plus
+//! the cushion the capacity can absorb, so an admitted coin is never
+//! destroyed. [`Reservoir::deposit`] additionally refuses overflow for
+//! any producer outside that planning loop.
 //!
 //! On the demand side, backpressure is explicit rather than blocking:
 //! a draw that cannot be met *now* yields [`DrawOutcome::WouldBlock`]
@@ -112,6 +116,15 @@ impl<F: Field> Reservoir<F> {
             accepted += 1;
         }
         accepted
+    }
+
+    /// Admit one epoch's freshly exposed coins ahead of the serve pass,
+    /// unconditionally (newest last). Demand is served from these coins
+    /// before the leftover cushion is subject to the capacity bound, so
+    /// admission must never destroy a coin — the planner guarantees the
+    /// post-serve level fits under [`ReservoirConfig::capacity`].
+    pub(crate) fn admit(&mut self, coins: impl IntoIterator<Item = F>) {
+        self.coins.extend(coins);
     }
 
     /// Serve one epoch's demands: `demands` is `(consumer id, coins

@@ -122,7 +122,9 @@ pub struct BeaconStats {
     pub protocol_epochs: u64,
     /// Epochs skipped by backoff or read-only mode.
     pub skipped_epochs: u64,
-    /// Coins exposed and deposited into the reservoir.
+    /// Coins exposed and admitted into the reservoir. Conservation
+    /// invariant: always equals `coins_served` plus the current stock —
+    /// an exposed coin is served or banked, never destroyed.
     pub coins_exposed: u64,
     /// Coins granted to consumers.
     pub coins_served: u64,
@@ -155,7 +157,8 @@ pub struct EpochReport<F: Field> {
     pub ran: bool,
     /// Protocol rounds the epoch took (0 when skipped).
     pub rounds: u64,
-    /// Coins exposed and deposited this epoch.
+    /// Coins exposed this epoch and admitted to the reservoir ahead of
+    /// the serve pass.
     pub exposed: usize,
     /// The gen plane's result, if a refill was scheduled.
     pub refill: Option<Result<RefillReport, ProtocolError>>,
@@ -252,7 +255,7 @@ impl<F: Field> BeaconService<F> {
     }
 
     /// Drive one epoch: decide policy, (maybe) run the two-plane fleet,
-    /// commit or roll back, deposit exposed coins, and serve `demands`
+    /// commit or roll back, admit exposed coins, and serve `demands`
     /// (`(consumer id, coins wanted)` pairs) with round-robin fairness.
     ///
     /// `adversary` injects an [`AdaptiveAdversary`] with the given attack
@@ -260,9 +263,12 @@ impl<F: Field> BeaconService<F> {
     ///
     /// # Errors
     ///
-    /// [`BeaconError::Unsound`] when honest parties disagree — the
-    /// epoch's effects are discarded, but the service itself remains
-    /// usable (the caller decides whether an unsound epoch is fatal).
+    /// [`BeaconError::Unsound`] when honest parties disagree. The
+    /// epoch's effects are discarded wholesale — wallets, reservoir,
+    /// ledger, trace cursor, and statistics are left exactly as they
+    /// were — and only the epoch counter advances, so a caller that
+    /// chooses to continue is not forced to replay the same doomed
+    /// epoch (and the snapshot/replay invariant survives either way).
     pub fn run_epoch(
         &mut self,
         executor: ExecutorKind,
@@ -282,14 +288,30 @@ impl<F: Field> BeaconService<F> {
             draws: Vec::new(),
         };
 
+        let mut fresh = Vec::new();
         if decision == EpochDecision::Run {
             let (serve_count, refill) = self.plan(demands);
             if serve_count > 0 || refill.is_some() {
-                self.run_protocol(epoch, serve_count, refill, executor, adversary, &mut report)?;
+                match self.run_protocol(epoch, serve_count, refill, executor, adversary, &mut report)
+                {
+                    Ok(coins) => fresh = coins,
+                    Err(e) => {
+                        self.stats.epochs += 1;
+                        self.epoch += 1;
+                        return Err(e);
+                    }
+                }
             }
         } else {
             self.stats.skipped_epochs += 1;
         }
+
+        // Fresh coins answer this epoch's demand before the leftover is
+        // banked: a demand spike larger than the reservoir's capacity is
+        // served in full (wallet permitting), never exposed-then-refused.
+        report.exposed = fresh.len();
+        self.stats.coins_exposed += fresh.len() as u64;
+        self.reservoir.admit(fresh);
 
         // Serve demand from stock. Starvation is sharp: only a beacon
         // that can never refill again starves its consumers.
@@ -316,10 +338,14 @@ impl<F: Field> BeaconService<F> {
         let demand_total: usize = demands.iter().map(|&(_, want)| want as usize).sum();
         let stock = self.reservoir.level();
         let rcfg = self.reservoir.config();
-        // Expose enough to meet demand and restore the low-water cushion,
-        // but never beyond what the capacity bound can absorb.
-        let headroom = (rcfg.capacity + demand_total).saturating_sub(stock);
-        let want = (demand_total + rcfg.low_water).saturating_sub(stock).min(headroom);
+        // Expose enough to meet demand and restore the low-water cushion.
+        // Demand is served from the fresh coins before the leftover is
+        // banked, so only the post-serve cushion is subject to the
+        // capacity bound — clamping it keeps the post-serve level at or
+        // under capacity (given stock ≤ capacity, which this preserves),
+        // so the admission after the fleet run never destroys a coin.
+        let cushion = rcfg.low_water.min(rcfg.capacity);
+        let want = (demand_total + cushion).saturating_sub(stock);
         let avail = self.wallet_level();
         let mut serve_count = want.min(avail);
         let refill_needed = avail - serve_count <= self.cfg.wallet_low_water;
@@ -332,7 +358,9 @@ impl<F: Field> BeaconService<F> {
         (serve_count, refill_needed.then_some(self.cfg.retry))
     }
 
-    /// Run the two-plane fleet for `epoch` and commit or roll back.
+    /// Run the two-plane fleet for `epoch` and commit or roll back;
+    /// returns the epoch's successfully exposed coins (empty on a
+    /// rollback) for the caller to serve and bank.
     fn run_protocol(
         &mut self,
         epoch: u64,
@@ -341,7 +369,7 @@ impl<F: Field> BeaconService<F> {
         executor: ExecutorKind,
         adversary: Option<(Attack, usize)>,
         report: &mut EpochReport<F>,
-    ) -> Result<(), BeaconError> {
+    ) -> Result<Vec<F>, BeaconError> {
         let n = self.cfg.coin_gen.params.n;
         let before = self.wallets.clone();
         let machines: Vec<BoxedMachine<BeaconMsg<F>, EpochOutcome<F>>> = self
@@ -356,21 +384,66 @@ impl<F: Field> BeaconService<F> {
 
         let seed = epoch_seed(self.master_seed, epoch);
         let (res, corrupted) = self.run_fleet(n, seed, executor, adversary, machines);
+        self.commit_epoch(epoch, res, &corrupted, before, report)
+    }
 
+    /// Audit one epoch's fleet result and commit, roll back, or reject
+    /// it as unsound. Factored out of [`Self::run_protocol`] so the
+    /// Unsound path's state discipline is unit-testable — no in-model
+    /// adversary can make honest fleet machines disagree.
+    fn commit_epoch(
+        &mut self,
+        epoch: u64,
+        res: RunResult<EpochOutcome<F>>,
+        corrupted: &std::collections::BTreeSet<usize>,
+        before: Vec<CoinWallet<F>>,
+        report: &mut EpochReport<F>,
+    ) -> Result<Vec<F>, BeaconError> {
+        let n = self.cfg.coin_gen.params.n;
         report.ran = true;
         report.rounds = res.rounds.len() as u64;
+
+        // Consistency audit — before any service state is touched, so an
+        // unsound verdict discards the epoch wholesale. Wallets must stay
+        // lock-step across *all* parties (a diverged wallet poisons every
+        // future expose), each party's surviving shares must descend from
+        // its own pre-epoch wallet, and the parties the adversary did not
+        // touch must agree exactly.
+        let honest: Vec<usize> =
+            (1..=n).filter(|id| !corrupted.contains(id)).collect();
+        let divergent = res.outputs.iter().any(Option::is_none)
+            || !Self::lock_step(&res.outputs)
+            || !Self::retention_intact(&res.outputs, &before);
+        if !divergent {
+            // All outputs present and lock-step; now honest parties must
+            // be *unanimous* — anything else breaks Theorem 1. Checked
+            // before stats/ledger/trace merge so the Unsound path leaves
+            // the service byte-identical to its pre-epoch state.
+            let outcomes: Vec<&EpochOutcome<F>> = res
+                .outputs
+                .iter()
+                .map(|o| o.as_ref().unwrap_or_else(|| unreachable!()))
+                .collect();
+            for pair in honest.windows(2) {
+                let (a, b) = (outcomes[pair[0] - 1], outcomes[pair[1] - 1]);
+                if a.served != b.served {
+                    return Err(BeaconError::Unsound { epoch, detail: "served coin values" });
+                }
+                if a.refill != b.refill {
+                    return Err(BeaconError::Unsound { epoch, detail: "refill results" });
+                }
+            }
+        }
+
+        // The epoch's outcome is representable as policy: commit the
+        // accounting. The rollback path keeps it too — the fleet really
+        // ran and its rounds, costs, and trace are part of the service's
+        // history even though its wallets are not.
         self.stats.protocol_epochs += 1;
         self.stats.rounds += report.rounds;
         self.ledger.merge(&res.report);
         self.fold_trace(&res);
 
-        // Consistency audit. Wallets must stay lock-step across *all*
-        // parties (a diverged wallet poisons every future expose), and
-        // the parties the adversary did not touch must agree exactly.
-        let honest: Vec<usize> =
-            (1..=n).filter(|id| !corrupted.contains(id)).collect();
-        let divergent = res.outputs.iter().any(Option::is_none)
-            || !Self::lock_step(&res.outputs);
         if divergent {
             // Adversary-induced divergence: transactional rollback.
             self.wallets = before;
@@ -381,33 +454,20 @@ impl<F: Field> BeaconService<F> {
                 reason: "epoch diverged across parties",
             };
             self.supervisor.on_failure(epoch, &err, self.wallet_level());
-            return Ok(());
+            return Ok(Vec::new());
         }
 
-        // All outputs present and lock-step; now honest parties must be
-        // *unanimous* — anything else breaks Theorem 1.
-        let outcomes: Vec<&EpochOutcome<F>> =
-            res.outputs.iter().map(|o| o.as_ref().unwrap_or_else(|| unreachable!())).collect();
-        for pair in honest.windows(2) {
-            let (a, b) = (outcomes[pair[0] - 1], outcomes[pair[1] - 1]);
-            if a.served != b.served {
-                return Err(BeaconError::Unsound { epoch, detail: "served coin values" });
-            }
-            if a.refill != b.refill {
-                return Err(BeaconError::Unsound { epoch, detail: "refill results" });
-            }
-        }
-
-        // Commit: adopt every party's post-epoch wallet, deposit the
-        // consensus coins, and convert results into supervisor policy.
-        let consensus = outcomes[honest.first().map_or(1, |&id| id) - 1].clone();
+        // Commit: adopt every party's post-epoch wallet, hand the
+        // consensus coins back for serving, and convert results into
+        // supervisor policy.
+        let consensus = res.outputs[honest.first().map_or(1, |&id| id) - 1]
+            .clone()
+            .unwrap_or_else(|| unreachable!());
         self.wallets =
             res.outputs.into_iter().map(|o| o.unwrap_or_else(|| unreachable!()).wallet).collect();
 
         let ok_coins: Vec<F> = consensus.served.iter().filter_map(|r| (*r).ok()).collect();
         let failures = consensus.served.len() - ok_coins.len();
-        report.exposed = self.reservoir.deposit(ok_coins);
-        self.stats.coins_exposed += report.exposed as u64;
         self.stats.expose_failures += failures as u64;
 
         report.refill = consensus.refill.clone();
@@ -429,7 +489,7 @@ impl<F: Field> BeaconService<F> {
             }
             None => {}
         }
-        Ok(())
+        Ok(ok_coins)
     }
 
     /// Drive the fleet under the chosen executor, with tracing and the
@@ -471,7 +531,11 @@ impl<F: Field> BeaconService<F> {
     }
 
     /// Whether every party finished with the same wallet length, serve
-    /// count, and refill verdict shape — the lock-step invariant.
+    /// count, and refill verdict shape — the cross-party half of the
+    /// lock-step invariant. Wallet share *values* differ across parties
+    /// by design (each holds its own Shamir shares), so content is
+    /// audited per party against its own pre-epoch wallet by
+    /// [`Self::retention_intact`].
     fn lock_step(outputs: &[Option<EpochOutcome<F>>]) -> bool {
         let mut shapes = outputs.iter().map(|o| {
             o.as_ref().map(|out| {
@@ -480,6 +544,27 @@ impl<F: Field> BeaconService<F> {
         });
         let Some(first) = shapes.next() else { return true };
         first.is_some() && shapes.all(|s| s == first)
+    }
+
+    /// Whether each party's post-epoch wallet is its pre-epoch wallet
+    /// with some shares popped off the front and fresh batch shares
+    /// appended at the back — the only shape an honest epoch can
+    /// produce. This checks the surviving share *values*, not just
+    /// lengths: a wallet whose retained shares changed would poison a
+    /// future expose, so it must trigger the transactional rollback now
+    /// rather than surface as a decode failure epochs later.
+    fn retention_intact(outputs: &[Option<EpochOutcome<F>>], before: &[CoinWallet<F>]) -> bool {
+        outputs.iter().zip(before).all(|(o, prior)| {
+            let Some(out) = o.as_ref() else { return false };
+            let fresh =
+                out.refill.as_ref().and_then(|r| r.as_ref().ok()).map_or(0, |r| r.coins);
+            let Some(retained) = out.wallet.len().checked_sub(fresh) else { return false };
+            if retained > prior.len() {
+                return false;
+            }
+            let consumed = prior.len() - retained;
+            (0..retained).all(|i| out.wallet.peek_at(i) == prior.peek_at(consumed + i))
+        })
     }
 
     /// Fold one epoch's trace into the service-global cursor. The digest
@@ -604,5 +689,126 @@ impl<F: Field> BeaconService<F> {
             trace_events: state.trace.1,
             trace_digest: state.trace.2,
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprbg_core::{Params, SealedShare};
+    use dprbg_field::Gf2k;
+    use std::collections::BTreeSet;
+
+    type F = Gf2k<32>;
+
+    fn config() -> BeaconConfig {
+        BeaconConfig {
+            coin_gen: CoinGenConfig { params: Params::p2p_model(7, 1).unwrap(), batch_size: 8 },
+            reservoir: crate::ReservoirConfig { capacity: 8, low_water: 2 },
+            wallet_low_water: 0,
+            retry: RetryPolicy { max_attempts: 3, seed_budget: 8 },
+            max_backoff_exp: 3,
+            max_rounds_per_epoch: 4096,
+        }
+    }
+
+    fn blank_report(epoch: u64) -> EpochReport<F> {
+        EpochReport {
+            epoch,
+            decision: EpochDecision::Run,
+            ran: false,
+            rounds: 0,
+            exposed: 0,
+            refill: None,
+            rolled_back: false,
+            draws: Vec::new(),
+        }
+    }
+
+    fn fleet_result(outputs: Vec<Option<EpochOutcome<F>>>) -> RunResult<EpochOutcome<F>> {
+        let n = outputs.len();
+        RunResult {
+            outputs,
+            report: CostReport::from_snapshots((0..n).map(|_| CostSnapshot::default())),
+            rounds: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// One popped-front epoch outcome per party, with `served` chosen by
+    /// the caller.
+    fn outcomes_serving(
+        wallets: &[CoinWallet<F>],
+        served: impl Fn(usize) -> Vec<Result<F, crate::CoinError>>,
+    ) -> Vec<Option<EpochOutcome<F>>> {
+        wallets
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let mut wallet = w.clone();
+                let _ = wallet.pop();
+                Some(EpochOutcome { wallet, served: served(i), refill: None })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unsound_epoch_leaves_service_state_untouched() {
+        // REVIEW regression: the unanimity check must run before the
+        // stats/ledger/trace merge, so an Unsound epoch is discarded
+        // wholesale and a continuing caller cannot double-fold its trace.
+        let mut svc = BeaconService::<F>::new(config(), 0xFACE, 6);
+        // Warm the counters so "untouched" is not vacuous.
+        svc.run_epoch(ExecutorKind::Step, &[(1, 1)], None).unwrap();
+        let pre_snap = svc.snapshot();
+        let pre_cursor = svc.trace_cursor();
+
+        // Fabricate an all-honest epoch whose parties disagree on the
+        // served value — unreachable through the fleet (Theorem 1), which
+        // is exactly why this path is exercised at the commit layer.
+        let before = svc.wallets.clone();
+        let res =
+            fleet_result(outcomes_serving(&before, |i| vec![Ok(F::from_u64(i as u64))]));
+        let mut report = blank_report(1);
+        let err = svc
+            .commit_epoch(1, res, &BTreeSet::new(), before, &mut report)
+            .unwrap_err();
+        assert_eq!(err, BeaconError::Unsound { epoch: 1, detail: "served coin values" });
+        assert_eq!(svc.snapshot(), pre_snap, "unsound epoch mutated service state");
+        assert_eq!(svc.trace_cursor(), pre_cursor);
+    }
+
+    #[test]
+    fn tampered_retained_share_triggers_rollback_not_commit() {
+        // REVIEW regression: lock-step shapes are not enough — a party
+        // whose surviving wallet shares changed value must hit the
+        // transactional rollback now, not poison a later expose.
+        let mut svc = BeaconService::<F>::new(config(), 0xFACE2, 6);
+        let pre_wallets = svc.wallets.clone();
+        let before = svc.wallets.clone();
+        let mut outputs = outcomes_serving(&before, |_| vec![Ok(F::from_u64(7))]);
+        // Flip one retained share at party 4: same length, wrong value.
+        let out3 = outputs[3].as_mut().unwrap();
+        let mut shares: Vec<SealedShare<F>> =
+            (0..out3.wallet.len()).map(|j| *out3.wallet.peek_at(j).unwrap()).collect();
+        shares[0] = SealedShare::of(F::from_u64(0xBAD0BAD));
+        out3.wallet = shares.into_iter().collect();
+
+        let mut report = blank_report(0);
+        let fresh = svc
+            .commit_epoch(0, fleet_result(outputs), &BTreeSet::new(), before, &mut report)
+            .unwrap();
+        assert!(fresh.is_empty(), "a rolled-back epoch exposes nothing");
+        assert!(report.rolled_back);
+        assert_eq!(svc.wallets, pre_wallets, "rollback must restore the pre-epoch wallets");
+        assert_eq!(svc.stats().rollbacks, 1);
+    }
+
+    #[test]
+    fn honest_suffix_wallets_pass_the_retention_audit() {
+        let svc = BeaconService::<F>::new(config(), 0xFACE3, 6);
+        let before = svc.wallets.clone();
+        let outputs = outcomes_serving(&before, |_| vec![Ok(F::from_u64(7))]);
+        assert!(BeaconService::retention_intact(&outputs, &before));
     }
 }

@@ -63,8 +63,11 @@ pub struct Supervisor {
 
 impl Supervisor {
     /// A healthy supervisor whose longest backoff is `2^max_exp` epochs.
+    /// The exponent is clamped to 63 — a longer backoff than `2^63`
+    /// epochs is indistinguishable from forever, and the clamp keeps the
+    /// cooldown shift within `u64`.
     pub fn new(max_exp: u32) -> Self {
-        Supervisor { mode: Mode::Active, failures: 0, max_exp, blamed: BTreeSet::new() }
+        Supervisor { mode: Mode::Active, failures: 0, max_exp: max_exp.min(63), blamed: BTreeSet::new() }
     }
 
     /// Current mode.
@@ -121,7 +124,9 @@ impl Supervisor {
         }
         self.failures = self.failures.saturating_add(1);
         let exp = (self.failures - 1).min(self.max_exp);
-        self.mode = Mode::Backoff { until_epoch: epoch + 1 + (1u64 << exp) };
+        let cooldown = 1u64.checked_shl(exp).unwrap_or(u64::MAX);
+        self.mode =
+            Mode::Backoff { until_epoch: epoch.saturating_add(1).saturating_add(cooldown) };
     }
 
     /// Tear into snapshotable parts `(mode, failures, max_exp, blamed)`.
@@ -129,14 +134,16 @@ impl Supervisor {
         (self.mode, self.failures, self.max_exp, &self.blamed)
     }
 
-    /// Rebuild from snapshot parts.
+    /// Rebuild from snapshot parts. `max_exp` is clamped exactly as in
+    /// [`Supervisor::new`], so a crafted snapshot cannot smuggle in an
+    /// exponent that would overflow the cooldown shift.
     pub(crate) fn from_parts(
         mode: Mode,
         failures: u32,
         max_exp: u32,
         blamed: BTreeSet<usize>,
     ) -> Self {
-        Supervisor { mode, failures, max_exp, blamed }
+        Supervisor { mode, failures, max_exp: max_exp.min(63), blamed }
     }
 }
 
@@ -195,6 +202,24 @@ mod tests {
         s.on_failure(0, &ProtocolError::Aborted { blame: vec![3, 5], reason: "equivocation" }, 8);
         s.on_failure(4, &ProtocolError::Aborted { blame: vec![5, 6], reason: "equivocation" }, 8);
         assert_eq!(s.blamed().iter().copied().collect::<Vec<_>>(), vec![3, 5, 6]);
+    }
+
+    #[test]
+    fn oversized_backoff_exponent_never_overflows() {
+        // REVIEW regression: a configured exponent ≥ 64 must clamp, not
+        // panic (debug) or wrap to a near-zero cooldown (release) once
+        // the failure streak outruns the shift width.
+        let mut s = Supervisor::new(u32::MAX);
+        let err = ProtocolError::SeedExhausted;
+        for e in 0..70u64 {
+            s.on_failure(e, &err, 10);
+        }
+        let Mode::Backoff { until_epoch } = s.mode() else { panic!("expected backoff") };
+        assert!(until_epoch - 70 >= 1u64 << 63, "cooldown collapsed: {until_epoch}");
+        // The clamp survives a snapshot round-trip with a crafted exponent.
+        let (mode, failures, _, blamed) = s.parts();
+        let restored = Supervisor::from_parts(mode, failures, u32::MAX, blamed.clone());
+        assert_eq!(restored.parts().2, 63);
     }
 
     #[test]

@@ -67,6 +67,48 @@ fn stampede_gets_would_block_not_starved() {
 }
 
 #[test]
+fn stampede_beyond_capacity_is_served_not_burned() {
+    // REVIEW regression: with capacity 4 and a demand of 12, the old
+    // deposit-then-serve order burned every exposed coin beyond capacity
+    // (popped from the wallets, refused by the reservoir, lost). Fresh
+    // exposes must answer the demand first; only the leftover cushion is
+    // capacity-bounded.
+    let mut cfg = config();
+    cfg.reservoir = ReservoirConfig { capacity: 4, low_water: 2 };
+    cfg.wallet_low_water = 0;
+    let mut svc = BeaconService::<F>::new(cfg, 0xFEED5, 30);
+    let report = svc.run_epoch(ExecutorKind::Step, &[(1, 12)], None).unwrap();
+    let granted = report.draws.iter().filter(|(_, o)| o.coin().is_some()).count();
+    assert_eq!(granted, 12, "demand beyond capacity must be served from fresh exposes");
+    let stats = svc.stats();
+    // Conservation: every wallet coin popped was exposed, and every
+    // exposed coin was served or banked — none destroyed.
+    assert_eq!(svc.wallet_level(), 30 - stats.coins_exposed as usize);
+    assert_eq!(stats.coins_exposed, stats.coins_served + svc.reservoir().level() as u64);
+    assert!(svc.reservoir().level() <= 4, "leftover respects the capacity bound");
+}
+
+#[test]
+fn exposed_coins_are_conserved_across_a_soak() {
+    // The conservation invariant holds at every epoch boundary of a
+    // mixed run (refills, stampedes, backpressure): exposed coins are
+    // exactly the served coins plus the current stock.
+    let mut svc = BeaconService::<F>::new(config(), 0xFEED6, 12);
+    for e in 0..40u64 {
+        let demand = if e % 7 == 3 { 20 } else { 1 + (e % 3) as u32 };
+        svc.run_epoch(ExecutorKind::Step, &[(1, demand), (2, 1)], None).unwrap();
+        let stats = svc.stats();
+        assert_eq!(
+            stats.coins_exposed,
+            stats.coins_served + svc.reservoir().level() as u64,
+            "coin destroyed by epoch {e}"
+        );
+        assert!(svc.reservoir().level() <= 8, "stock above capacity after epoch {e}");
+    }
+    assert!(svc.stats().coins_served > 40, "the soak must actually serve");
+}
+
+#[test]
 fn over_threshold_adversary_triggers_backoff_then_recovery() {
     // A deep wallet and an aggressive refill threshold: failed refills
     // under attack burn a bounded number of seeds (RetryPolicy::single)
