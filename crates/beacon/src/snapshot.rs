@@ -41,8 +41,11 @@ use crate::supervisor::Mode;
 /// Magic prefix of every beacon snapshot.
 const MAGIC: &[u8; 8] = b"DPRBGSNP";
 
-/// Current format version.
-const VERSION: u16 = 1;
+/// Current format version. Every struct that serializes into the
+/// snapshot carries a `lint: snapshot-abi` pin fingerprinting its field
+/// list against this constant — editing any of those layouts without
+/// bumping it (and re-taking the pins) fails `dprbg-lint --workspace`.
+pub(crate) const SNAPSHOT_VERSION: u16 = 1;
 
 /// Why a snapshot failed to decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,7 +80,7 @@ impl std::fmt::Display for SnapshotError {
         match self {
             SnapshotError::BadMagic => write!(f, "not a beacon snapshot (bad magic)"),
             SnapshotError::UnsupportedVersion { got } => {
-                write!(f, "unsupported snapshot version {got} (this build reads {VERSION})")
+                write!(f, "unsupported snapshot version {got} (this build reads {SNAPSHOT_VERSION})")
             }
             SnapshotError::Truncated => write!(f, "snapshot truncated"),
             SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
@@ -93,6 +96,7 @@ impl std::error::Error for SnapshotError {}
 
 /// The decoded (or to-be-encoded) cross-epoch state, field-agnostic
 /// except for the coin values themselves.
+// lint: snapshot-abi(v1, 5f727755115e2067)
 #[derive(Debug)]
 pub(crate) struct SnapshotState<F: Field> {
     pub n: u32,
@@ -180,7 +184,7 @@ fn checksum(bytes: &[u8]) -> u64 {
 pub(crate) fn encode<F: Field>(state: &SnapshotState<F>) -> Vec<u8> {
     let mut e = Enc { buf: Vec::new() };
     e.buf.extend_from_slice(MAGIC);
-    e.u16(VERSION);
+    e.u16(SNAPSHOT_VERSION);
     e.u32(state.field_bits);
     e.u32(state.n);
     e.u64(state.master_seed);
@@ -300,7 +304,7 @@ pub(crate) fn decode<F: Field>(bytes: &[u8]) -> Result<SnapshotState<F>, Snapsho
         return Err(SnapshotError::ChecksumMismatch);
     }
     let version = d.u16()?;
-    if version != VERSION {
+    if version != SNAPSHOT_VERSION {
         return Err(SnapshotError::UnsupportedVersion { got: version });
     }
     let field_bits = d.u32()?;

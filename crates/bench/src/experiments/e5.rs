@@ -51,6 +51,10 @@ where
 {
     type Output = Result<(), CoinError>;
 
+    fn phase_name(&self) -> &'static str {
+        "expose-all"
+    }
+
     fn round(&mut self, mut view: RoundView<'_, M>) -> Step<M, Self::Output> {
         loop {
             let mut m = match self.cur.take() {

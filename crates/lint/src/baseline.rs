@@ -1,0 +1,293 @@
+//! Machine-readable output and the committed-baseline diff mode.
+//!
+//! `--json` serializes a [`ScanReport`] for tooling; `--baseline <file>`
+//! compares the current scan against a committed list of accepted
+//! diagnostics so verify.sh can assert "no *new* diagnostics"
+//! structurally instead of grepping human-formatted lines.
+//!
+//! Baseline entries are deliberately **line-less** — `file: [rule]
+//! message` — so an unrelated edit that shifts a pinned diagnostic down
+//! three lines doesn't churn the committed file. Entries are compared as
+//! a multiset: two identical diagnostics in one file need two baseline
+//! entries.
+//!
+//! Both the emitter and the parser are hand-rolled (the crate is
+//! zero-dependency by policy); the parser accepts exactly the subset the
+//! emitter produces — a JSON array of strings — which is all a committed
+//! baseline can contain.
+
+use crate::rules::Diagnostic;
+use crate::ScanReport;
+
+/// Render a scan as a JSON document: the diagnostics (with lines, for
+/// tooling), the line-less baseline keys, and the census counters.
+#[must_use]
+pub fn to_json(report: &ScanReport) -> String {
+    let mut out = String::from("{\n  \"diagnostics\": [");
+    for (i, d) in report.diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            json_str(&d.file),
+            d.line,
+            json_str(d.rule.name()),
+            json_str(&d.message)
+        ));
+    }
+    if !report.diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"summary\": {");
+    out.push_str(&format!("\n    \"files\": {},", report.files));
+    out.push_str(&format!("\n    \"diagnostics\": {},", report.diags.len()));
+    out.push_str(&format!("\n    \"suppressions\": {},", report.suppressions));
+    out.push_str(&format!("\n    \"stale_suppressions\": {},", report.stale_suppressions));
+    out.push_str(&format!(
+        "\n    \"transport_suppressions\": {},",
+        report.transport_suppressions
+    ));
+    out.push_str(&format!("\n    \"snapshot_pins\": {},", report.snapshot_pins));
+    out.push_str(&format!("\n    \"unresolved_calls\": {}", report.unresolved_calls));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// The line-less baseline key of a diagnostic.
+#[must_use]
+pub fn baseline_key(d: &Diagnostic) -> String {
+    format!("{}: [{}] {}", d.file, d.rule.name(), d.message)
+}
+
+/// Sorted baseline keys (a multiset: duplicates kept) for a scan.
+#[must_use]
+pub fn baseline_keys(diags: &[Diagnostic]) -> Vec<String> {
+    let mut keys: Vec<String> = diags.iter().map(baseline_key).collect();
+    keys.sort();
+    keys
+}
+
+/// Render baseline keys as the committed file format: a JSON array of
+/// strings, one per line, trailing newline.
+#[must_use]
+pub fn render_baseline(keys: &[String]) -> String {
+    if keys.is_empty() {
+        return "[]\n".to_string();
+    }
+    let mut out = String::from("[\n");
+    for (i, k) in keys.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&json_str(k));
+        if i + 1 < keys.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// The difference between a scan and a committed baseline.
+#[derive(Debug, Default)]
+pub struct BaselineDiff {
+    /// Diagnostics present now but not in the baseline — these fail.
+    pub new: Vec<String>,
+    /// Baseline entries with no matching diagnostic — stale accepted
+    /// debt; reported so the baseline gets re-tightened, but not a
+    /// failure on its own.
+    pub resolved: Vec<String>,
+}
+
+/// Multiset-compare current diagnostics against baseline keys.
+#[must_use]
+pub fn diff(current: &[Diagnostic], baseline: &[String]) -> BaselineDiff {
+    let mut have = baseline_keys(current);
+    let mut want = baseline.to_vec();
+    want.sort();
+    let mut out = BaselineDiff::default();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < have.len() || j < want.len() {
+        match (have.get(i), want.get(j)) {
+            (Some(h), Some(w)) if h == w => {
+                i += 1;
+                j += 1;
+            }
+            (Some(h), Some(w)) if h < w => {
+                out.new.push(std::mem::take(&mut have[i]));
+                i += 1;
+            }
+            (Some(_), Some(_)) => {
+                out.resolved.push(std::mem::take(&mut want[j]));
+                j += 1;
+            }
+            (Some(_), None) => {
+                out.new.push(std::mem::take(&mut have[i]));
+                i += 1;
+            }
+            (None, Some(_)) => {
+                out.resolved.push(std::mem::take(&mut want[j]));
+                j += 1;
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+    out
+}
+
+/// Parse a committed baseline: a JSON array of strings (the exact format
+/// [`render_baseline`] emits; whitespace-insensitive).
+///
+/// # Errors
+///
+/// Returns a description of the first syntax problem found.
+pub fn parse_baseline(text: &str) -> Result<Vec<String>, String> {
+    let b: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    let skip_ws = |i: &mut usize| {
+        while *i < b.len() && b[*i].is_whitespace() {
+            *i += 1;
+        }
+    };
+    skip_ws(&mut i);
+    if b.get(i) != Some(&'[') {
+        return Err("baseline must be a JSON array of strings".to_string());
+    }
+    i += 1;
+    let mut out = Vec::new();
+    loop {
+        skip_ws(&mut i);
+        match b.get(i) {
+            Some(']') => return Ok(out),
+            Some('"') => {
+                let (s, next) = parse_json_string(&b, i)?;
+                out.push(s);
+                i = next;
+                skip_ws(&mut i);
+                match b.get(i) {
+                    Some(',') => i += 1,
+                    Some(']') => return Ok(out),
+                    _ => return Err("expected `,` or `]` after baseline entry".to_string()),
+                }
+            }
+            _ => return Err("expected a string or `]` in baseline array".to_string()),
+        }
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parse a JSON string literal starting at the opening quote; returns
+/// the value and the index one past the closing quote.
+fn parse_json_string(b: &[char], start: usize) -> Result<(String, usize), String> {
+    let mut i = start + 1;
+    let mut out = String::new();
+    while i < b.len() {
+        match b[i] {
+            '"' => return Ok((out, i + 1)),
+            '\\' => {
+                let esc = b.get(i + 1).ok_or("unterminated escape in baseline string")?;
+                match esc {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let hex: String = b
+                            .get(i + 2..i + 6)
+                            .ok_or("truncated \\u escape in baseline string")?
+                            .iter()
+                            .collect();
+                        let code = u32::from_str_radix(&hex, 16)
+                            .map_err(|_| "bad \\u escape in baseline string".to_string())?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or("bad \\u code point in baseline string")?,
+                        );
+                        i += 4;
+                    }
+                    _ => return Err(format!("unknown escape `\\{esc}` in baseline string")),
+                }
+                i += 2;
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    Err("unterminated string in baseline".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleId;
+
+    fn diag(file: &str, line: u32, rule: RuleId, msg: &str) -> Diagnostic {
+        Diagnostic { file: file.into(), line, rule, message: msg.into() }
+    }
+
+    #[test]
+    fn baseline_round_trips_through_render_and_parse() {
+        let diags = vec![
+            diag("a.rs", 3, RuleId::Determinism, "uses `HashMap` — \"quoted\""),
+            diag("b.rs", 9, RuleId::CostModel, "raw XOR"),
+        ];
+        let keys = baseline_keys(&diags);
+        let rendered = render_baseline(&keys);
+        assert_eq!(parse_baseline(&rendered).unwrap(), keys);
+        assert_eq!(parse_baseline("[]\n").unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn diff_is_line_insensitive_and_multiset() {
+        let base = vec![
+            diag("a.rs", 3, RuleId::Determinism, "m"),
+            diag("a.rs", 8, RuleId::Determinism, "m"),
+        ];
+        let keys = baseline_keys(&base);
+        // Same two diagnostics on different lines: clean diff.
+        let moved = vec![
+            diag("a.rs", 13, RuleId::Determinism, "m"),
+            diag("a.rs", 20, RuleId::Determinism, "m"),
+        ];
+        let d = diff(&moved, &keys);
+        assert!(d.new.is_empty() && d.resolved.is_empty(), "{d:?}");
+        // A third identical instance is NEW (multiset semantics).
+        let mut three = moved.clone();
+        three.push(diag("a.rs", 30, RuleId::Determinism, "m"));
+        let d = diff(&three, &keys);
+        assert_eq!(d.new.len(), 1);
+        // One instance fixed: resolved, not a failure.
+        let d = diff(&moved[..1], &keys);
+        assert_eq!(d.resolved.len(), 1);
+        assert!(d.new.is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_non_arrays() {
+        assert!(parse_baseline("{}").is_err());
+        assert!(parse_baseline("[1]").is_err());
+        assert!(parse_baseline("[\"a\" \"b\"]").is_err());
+    }
+}

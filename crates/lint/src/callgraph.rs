@@ -1,0 +1,234 @@
+//! A conservative cross-file call graph over the item model.
+//!
+//! Resolution is deliberately crude — and that crudeness is the point.
+//! Without type information (and this crate has no `syn`, let alone
+//! `rustc`), a call site `x.add(y)` could bind to any `fn add` in the
+//! workspace. So the graph **over-approximates**: a call named `add`
+//! gets an edge to *every* workspace fn named `add`. Calls whose name
+//! matches no workspace fn at all (`std` and `core` calls, mostly)
+//! become **edges-to-unknown** — counted, never resolved.
+//!
+//! This direction of error is the safe one for the rule built on top:
+//! `ledger-coverage` asks "does this fn *reach* `Gf2k` arithmetic?", and
+//! an over-approximated reach set can only make the rule fire on extra
+//! fns (which a reviewed `allow` pin resolves), never silently miss one
+//! that really does touch field math through a helper.
+
+use crate::items::{Item, ItemKind};
+use crate::lexer::{Tok, TokKind};
+use std::collections::BTreeMap;
+
+/// One file's worth of analysis inputs, borrowed from the caller.
+pub struct FlowFile<'a> {
+    /// Diagnostic label (repo-relative path).
+    pub label: &'a str,
+    /// Crate and lib/test/example classification.
+    pub class: &'a crate::rules::FileClass,
+    /// The file's token stream.
+    pub tokens: &'a [Tok],
+    /// The file's item model.
+    pub items: &'a [Item],
+    /// The file's `snapshot-abi` pins (used by [`crate::flow`], carried
+    /// here so one borrowed view serves both analyses).
+    pub pins: &'a [crate::rules::SnapshotPin],
+}
+
+/// A fn node: which file, which item.
+#[derive(Debug, Clone, Copy)]
+pub struct FnNode {
+    /// Index into the `FlowFile` slice the graph was built from.
+    pub file: usize,
+    /// Index into that file's `items`.
+    pub item: usize,
+}
+
+/// The workspace call graph.
+pub struct Graph {
+    /// All fn items in the workspace, in (file, item) order.
+    pub nodes: Vec<FnNode>,
+    /// Reverse edges: `callers[k]` lists nodes with a call edge *to* `k`.
+    pub callers: Vec<Vec<usize>>,
+    /// Call sites whose name matched no workspace fn (edges-to-unknown).
+    pub unresolved_calls: usize,
+}
+
+/// Keywords and binding forms that look like `ident (` but are not calls.
+const NOT_CALLS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "in", "as",
+    "move", "let", "mut", "ref", "fn", "impl", "where", "pub", "unsafe", "async", "dyn", "union",
+];
+
+/// Build the call graph for a set of files.
+pub fn build(files: &[FlowFile<'_>]) -> Graph {
+    // Nodes: every fn item, with a name index for resolution.
+    let mut nodes = Vec::new();
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (ii, it) in f.items.iter().enumerate() {
+            if it.kind == ItemKind::Fn {
+                let k = nodes.len();
+                nodes.push(FnNode { file: fi, item: ii });
+                by_name.entry(it.name.as_str()).or_default().push(k);
+            }
+        }
+    }
+
+    let mut callers: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    let mut unresolved_calls = 0usize;
+    for (k, node) in nodes.iter().enumerate() {
+        let f = &files[node.file];
+        let it = &f.items[node.item];
+        let body = &f.tokens[it.body_start..it.tok_end.min(f.tokens.len())];
+        for (j, tok) in body.iter().enumerate() {
+            let TokKind::Ident(name) = &tok.kind else { continue };
+            // A call site: `name (` — macros never match (their `!`
+            // intervenes), keywords are filtered, and `fn name(` is a
+            // definition, not a call.
+            if !matches!(body.get(j + 1).map(|t| &t.kind), Some(TokKind::Punct('('))) {
+                continue;
+            }
+            if NOT_CALLS.contains(&name.as_str()) {
+                continue;
+            }
+            if matches!(
+                j.checked_sub(1).and_then(|p| body.get(p)).map(|t| &t.kind),
+                Some(TokKind::Ident(prev)) if prev == "fn"
+            ) {
+                continue;
+            }
+            match by_name.get(name.as_str()) {
+                Some(callees) => {
+                    for &c in callees {
+                        if c != k && !callers[c].contains(&k) {
+                            callers[c].push(k);
+                        }
+                    }
+                }
+                None => unresolved_calls += 1,
+            }
+        }
+    }
+
+    Graph { nodes, callers, unresolved_calls }
+}
+
+impl Graph {
+    /// Mark every node that *reaches* a seed node: the seeds themselves
+    /// plus, transitively, everything with a call edge into the set.
+    /// Returns one flag per node.
+    pub fn mark_reaching(&self, seeds: &[bool]) -> Vec<bool> {
+        let mut reaching = seeds.to_vec();
+        let mut work: Vec<usize> =
+            (0..self.nodes.len()).filter(|&k| reaching[k]).collect();
+        while let Some(k) = work.pop() {
+            for &caller in &self.callers[k] {
+                if !reaching[caller] {
+                    reaching[caller] = true;
+                    work.push(caller);
+                }
+            }
+        }
+        reaching
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_items;
+    use crate::lexer::lex;
+    use crate::rules::{FileClass, FileKind};
+
+    struct Owned {
+        label: String,
+        class: FileClass,
+        tokens: Vec<Tok>,
+        items: Vec<Item>,
+    }
+
+    fn own(label: &str, src: &str) -> Owned {
+        let lx = lex(src);
+        let items = parse_items(&lx.tokens);
+        Owned {
+            label: label.to_string(),
+            class: FileClass { crate_name: "dprbg-core".into(), kind: FileKind::Lib },
+            tokens: lx.tokens,
+            items,
+        }
+    }
+
+    fn views(files: &[Owned]) -> Vec<FlowFile<'_>> {
+        files
+            .iter()
+            .map(|f| FlowFile {
+                label: &f.label,
+                class: &f.class,
+                tokens: &f.tokens,
+                items: &f.items,
+                pins: &[],
+            })
+            .collect()
+    }
+
+    fn node_name<'a>(files: &'a [Owned], g: &Graph, k: usize) -> &'a str {
+        let n = g.nodes[k];
+        &files[n.file].items[n.item].name
+    }
+
+    #[test]
+    fn cross_file_edges_resolve_by_name() {
+        let files = vec![
+            own("a.rs", "pub fn outer() { helper(1); }\n"),
+            own("b.rs", "pub fn helper(x: u32) -> u32 { std::hint::black_box(x) }\n"),
+        ];
+        let g = build(&views(&files));
+        assert_eq!(g.nodes.len(), 2);
+        // helper's callers include outer.
+        let helper = (0..2).find(|&k| node_name(&files, &g, k) == "helper").unwrap();
+        let outer = (0..2).find(|&k| node_name(&files, &g, k) == "outer").unwrap();
+        assert_eq!(g.callers[helper], vec![outer]);
+        // black_box resolves to no workspace fn: one edge-to-unknown.
+        assert_eq!(g.unresolved_calls, 1);
+    }
+
+    #[test]
+    fn reaching_propagates_to_transitive_callers() {
+        let files = vec![own(
+            "a.rs",
+            "fn leaf() {}\nfn mid() { leaf(); }\nfn top() { mid(); }\nfn bystander() {}\n",
+        )];
+        let g = build(&views(&files));
+        let seeds: Vec<bool> =
+            (0..g.nodes.len()).map(|k| node_name(&files, &g, k) == "leaf").collect();
+        let reaching = g.mark_reaching(&seeds);
+        let names: Vec<&str> = (0..g.nodes.len())
+            .filter(|&k| reaching[k])
+            .map(|k| node_name(&files, &g, k))
+            .collect();
+        assert_eq!(names, vec!["leaf", "mid", "top"]);
+    }
+
+    #[test]
+    fn keywords_and_macros_are_not_call_sites() {
+        let files = vec![own(
+            "a.rs",
+            "fn f(x: u32) { if (x > 0) { } match (x) { _ => {} } vec![1]; assert!(true); }\n",
+        )];
+        let g = build(&views(&files));
+        // `if (`, `match (` filtered as keywords; `vec![`/`assert!` have
+        // `!` between ident and delimiter. Nothing is unresolved.
+        assert_eq!(g.unresolved_calls, 0);
+    }
+
+    #[test]
+    fn method_calls_edge_to_every_same_name_fn() {
+        // `.add(` conservatively edges to every workspace `fn add`.
+        let files = vec![
+            own("a.rs", "fn caller(x: Gf2k, y: Gf2k) { let _ = x.add(y); }\n"),
+            own("f.rs", "impl Gf2k { pub fn add(self, o: Self) -> Self { o } }\n"),
+        ];
+        let g = build(&views(&files));
+        let add = (0..g.nodes.len()).find(|&k| node_name(&files, &g, k) == "add").unwrap();
+        assert_eq!(g.callers[add].len(), 1);
+    }
+}

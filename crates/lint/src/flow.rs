@@ -1,0 +1,425 @@
+//! The flow-aware rules: statements about items and reachability, not
+//! single tokens.
+//!
+//! Three of the four PR 9 rules live here (`stale-allow` is computed in
+//! [`crate::lint_sources`] because it needs the suppression accounting):
+//!
+//! * **`ledger-coverage`** — closes the `<<`/`>>` cost-model hole *by
+//!   context*: a raw shift is flagged in `dprbg-core`/`dprbg-poly`
+//!   exactly when the containing fn can reach `Gf2k` arithmetic through
+//!   the call graph. Shifts in code that provably never touches field
+//!   math (there is none today, but the rule is scoped so it stays
+//!   possible) are not the cost model's business.
+//! * **`machine-contract`** — per-`impl` conformance for
+//!   `impl RoundMachine`: a named phase, a reachable `Done` transition,
+//!   and no ambient I/O (messages travel through `Outbox`, full stop).
+//! * **`snapshot-abi`** — every pinned beacon snapshot struct's field
+//!   list is fingerprinted; the pin records the fingerprint and the
+//!   `SNAPSHOT_VERSION` it was taken at, so an ABI edit that forgets the
+//!   version bump fails the scan with the new fingerprint in the
+//!   message.
+
+use crate::callgraph::{FlowFile, Graph};
+use crate::items::{fnv64, range_mentions, ItemKind};
+use crate::lexer::{Tok, TokKind};
+use crate::rules::{Diagnostic, FileKind, RuleId};
+use std::collections::BTreeMap;
+
+/// Crates in scope for `ledger-coverage` (the §2-costed protocol code).
+const LEDGER_CRATES: &[&str] = &["dprbg-core", "dprbg-poly"];
+
+/// Identifiers whose presence in a fn (or its `impl` head) marks it as
+/// touching field arithmetic — the seeds of the reach analysis. `Field`
+/// is deliberately included: a fn generic over `F: Field` is
+/// field-adjacent by declaration, which errs on the over-approximation
+/// side the rule is designed around.
+const FIELD_SEEDS: &[&str] = &[
+    "Gf2k",
+    "DefaultField",
+    "Field",
+    "to_u64",
+    "from_u64",
+    "to_canonical",
+    "from_canonical",
+];
+
+/// Macros that are ambient I/O inside a machine impl.
+const MACHINE_IO_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg", "write", "writeln"];
+
+/// Identifiers that are ambient I/O or transport inside a machine impl.
+const MACHINE_IO_IDENTS: &[&str] =
+    &["stdout", "stdin", "stderr", "TcpStream", "UdpSocket", "TcpListener"];
+
+/// `std::<module>` path heads that are ambient I/O.
+const MACHINE_IO_STD: &[&str] = &["fs", "io", "net", "process"];
+
+/// Run the flow rules. Returns one diagnostic list per input file, in
+/// the same order, so the caller can apply per-file suppressions.
+pub fn check(files: &[FlowFile<'_>], graph: &Graph) -> Vec<Vec<Diagnostic>> {
+    let mut out: Vec<Vec<Diagnostic>> = files.iter().map(|_| Vec::new()).collect();
+    ledger_coverage(files, graph, &mut out);
+    machine_contract(files, &mut out);
+    snapshot_abi(files, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------
+// ledger-coverage
+// ---------------------------------------------------------------------
+
+fn ledger_coverage(files: &[FlowFile<'_>], graph: &Graph, out: &mut [Vec<Diagnostic>]) {
+    // Seeds: fns that mention field arithmetic directly, in their own
+    // tokens or in the head of the impl block they live in.
+    let seeds: Vec<bool> = graph
+        .nodes
+        .iter()
+        .map(|n| {
+            let f = &files[n.file];
+            let it = &f.items[n.item];
+            if range_mentions(f.tokens, it.tok_start, it.tok_end, FIELD_SEEDS) {
+                return true;
+            }
+            it.parent.is_some_and(|p| {
+                let head = &f.items[p];
+                head.kind == ItemKind::Impl
+                    && range_mentions(f.tokens, head.tok_start, head.body_start, FIELD_SEEDS)
+            })
+        })
+        .collect();
+    let reaching = graph.mark_reaching(&seeds);
+
+    for (k, node) in graph.nodes.iter().enumerate() {
+        if !reaching[k] {
+            continue;
+        }
+        let f = &files[node.file];
+        let it = &f.items[node.item];
+        if f.class.kind != FileKind::Lib
+            || !LEDGER_CRATES.contains(&f.class.crate_name.as_str())
+            || it.test
+        {
+            continue;
+        }
+        for line in find_shifts(f.tokens, it.body_start, it.tok_end) {
+            out[node.file].push(Diagnostic {
+                file: f.label.to_string(),
+                line,
+                rule: RuleId::LedgerCoverage,
+                message: format!(
+                    "raw shift in `{}`, which reaches `Gf2k` arithmetic: bit manipulation \
+                     on field data must go through the counted `dprbg-field` ops (§2 cost model)",
+                    it.name
+                ),
+            });
+        }
+    }
+}
+
+/// Lines of shift operators (`<<` / `>>`) in `toks[start..end)`.
+///
+/// The lexer emits single-char puncts, so a shift is two consecutive
+/// angle tokens — exactly what a generics list also produces. The
+/// disambiguation is expression-shaped: a shift sits **between two
+/// operands** (identifier, number, or a closing `)`/`]` on the left;
+/// identifier, number, or `(` on the right), and never inside a
+/// turbofish (`::<…>`), which is tracked explicitly. Longer angle runs
+/// (`F>>>` in a nested-generics tail) are skipped wholesale.
+/// Residual blind spot, documented in LINTS.md: the compound-assign
+/// forms `<<=`/`>>=` (their right neighbor is `=`, excluded here to keep
+/// `Vec<Vec<u8>> =` quiet).
+pub fn find_shifts(toks: &[Tok], start: usize, end: usize) -> Vec<u32> {
+    let end = end.min(toks.len());
+    let mut lines = Vec::new();
+    let mut i = start;
+    let mut angle_depth = 0isize;
+    while i < end {
+        let kind = &toks[i].kind;
+        if angle_depth > 0 {
+            // Inside a turbofish: count angles until it closes.
+            match kind {
+                TokKind::Punct('<') => angle_depth += 1,
+                TokKind::Punct('>')
+                    if !(i > start && matches!(toks[i - 1].kind, TokKind::Punct('-'))) =>
+                {
+                    angle_depth -= 1;
+                }
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        // `::<` opens a turbofish.
+        if matches!(kind, TokKind::Punct(':'))
+            && matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokKind::Punct(':')))
+            && matches!(toks.get(i + 2).map(|t| &t.kind), Some(TokKind::Punct('<')))
+        {
+            angle_depth = 1;
+            i += 3;
+            continue;
+        }
+        for angle in ['<', '>'] {
+            if *kind != TokKind::Punct(angle)
+                || !matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokKind::Punct(a)) if *a == angle)
+            {
+                continue;
+            }
+            // Part of a longer run (`>>>`): a generics tail, not a shift.
+            if matches!(toks.get(i + 2).map(|t| &t.kind), Some(TokKind::Punct(a)) if *a == angle)
+                || (i > start
+                    && matches!(&toks[i - 1].kind, TokKind::Punct(a) if *a == angle))
+            {
+                continue;
+            }
+            let prev_operand = i > start
+                && matches!(
+                    &toks[i - 1].kind,
+                    TokKind::Ident(_) | TokKind::Num(_) | TokKind::Punct(')') | TokKind::Punct(']')
+                );
+            let next_operand = matches!(
+                toks.get(i + 2).map(|t| &t.kind),
+                Some(TokKind::Ident(_) | TokKind::Num(_) | TokKind::Punct('('))
+            );
+            if prev_operand && next_operand {
+                lines.push(toks[i].line);
+            }
+        }
+        i += 1;
+    }
+    lines.dedup();
+    lines
+}
+
+// ---------------------------------------------------------------------
+// machine-contract
+// ---------------------------------------------------------------------
+
+fn machine_contract(files: &[FlowFile<'_>], out: &mut [Vec<Diagnostic>]) {
+    for (fi, f) in files.iter().enumerate() {
+        if f.class.kind != FileKind::Lib {
+            continue;
+        }
+        for (ii, it) in f.items.iter().enumerate() {
+            if it.kind != ItemKind::Impl
+                || it.trait_name.as_deref() != Some("RoundMachine")
+                || it.test
+            {
+                continue;
+            }
+            let push = |out: &mut [Vec<Diagnostic>], line: u32, message: String| {
+                out[fi].push(Diagnostic {
+                    file: f.label.to_string(),
+                    line,
+                    rule: RuleId::MachineContract,
+                    message,
+                });
+            };
+
+            // (a) Every machine names its phase — the default
+            // `phase_name` ("round") makes traces unreadable at fleet
+            // scale, so relying on it is a contract violation.
+            let defines_phase = f.items.iter().any(|c| {
+                c.parent == Some(ii) && c.kind == ItemKind::Fn && c.name == "phase_name"
+            });
+            if !defines_phase {
+                push(
+                    out,
+                    it.start_line,
+                    format!(
+                        "`impl RoundMachine for {}` does not define `phase_name`: \
+                         every machine names its phase for traces and progress reports",
+                        it.name
+                    ),
+                );
+            }
+
+            // (b) A machine that can `Continue` but never constructs
+            // `Done` cannot terminate — the driver would spin forever.
+            // Pure delegators (neither token: `Box`/`FromFn` forward the
+            // inner machine's `Step` untouched) are fine.
+            let body = (it.body_start, it.tok_end);
+            let has_done = range_mentions(f.tokens, body.0, body.1, &["Done"]);
+            let has_continue = range_mentions(f.tokens, body.0, body.1, &["Continue"]);
+            if has_continue && !has_done {
+                push(
+                    out,
+                    it.start_line,
+                    format!(
+                        "`impl RoundMachine for {}` can `Step::Continue` but never \
+                         constructs `Step::Done`: every machine must have a terminal transition",
+                        it.name
+                    ),
+                );
+            }
+
+            // (c) No ambient I/O: a machine's only effect channel is the
+            // `Outbox` it returns. Printing, files, sockets, or process
+            // state inside `round()` would make transcripts lie.
+            for (j, tok) in f.tokens[body.0..body.1.min(f.tokens.len())].iter().enumerate() {
+                let TokKind::Ident(id) = &tok.kind else { continue };
+                let abs = body.0 + j;
+                let next_bang = matches!(
+                    f.tokens.get(abs + 1).map(|t| &t.kind),
+                    Some(TokKind::Punct('!'))
+                );
+                let offending = if MACHINE_IO_MACROS.contains(&id.as_str()) && next_bang {
+                    Some(format!("{id}!"))
+                } else if MACHINE_IO_IDENTS.contains(&id.as_str()) {
+                    Some(id.clone())
+                } else if id == "std"
+                    && crate::rules::path_next(f.tokens, abs)
+                        .is_some_and(|m| MACHINE_IO_STD.contains(&m))
+                {
+                    Some(format!(
+                        "std::{}",
+                        crate::rules::path_next(f.tokens, abs).unwrap_or_default()
+                    ))
+                } else {
+                    None
+                };
+                if let Some(what) = offending {
+                    push(
+                        out,
+                        tok.line,
+                        format!(
+                            "`{what}` inside `impl RoundMachine for {}`: machines emit \
+                             messages only via `Outbox`",
+                            it.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// snapshot-abi
+// ---------------------------------------------------------------------
+
+fn snapshot_abi(files: &[FlowFile<'_>], out: &mut [Vec<Diagnostic>]) {
+    // Resolve `SNAPSHOT_VERSION`: same-crate consts win; a unique
+    // workspace-wide definition is the fallback (the metrics structs are
+    // serialized *inside* the beacon snapshot, so they version with it).
+    let mut by_crate: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+    for f in files {
+        for it in f.items {
+            if it.kind == ItemKind::Const && it.name == "SNAPSHOT_VERSION" && !it.test {
+                if let Some(v) = it.const_value {
+                    by_crate.entry(f.class.crate_name.as_str()).or_default().push(v);
+                }
+            }
+        }
+    }
+    let global: Vec<u64> = by_crate.values().flatten().copied().collect();
+
+    for (fi, f) in files.iter().enumerate() {
+        let push = |out: &mut [Vec<Diagnostic>], line: u32, message: String| {
+            out[fi].push(Diagnostic {
+                file: f.label.to_string(),
+                line,
+                rule: RuleId::SnapshotAbi,
+                message,
+            });
+        };
+        for pin in f.pins {
+            // The pinned item is the struct/enum starting directly below
+            // the pin comment (attributes included in the item span, so
+            // the pin sits above any `#[derive]`).
+            let Some(it) = f.items.iter().find(|it| {
+                matches!(it.kind, ItemKind::Struct | ItemKind::Enum)
+                    && it.start_line == pin.end_line + 1
+            }) else {
+                push(
+                    out,
+                    pin.line,
+                    "snapshot-abi pin does not directly precede a struct or enum".to_string(),
+                );
+                continue;
+            };
+            let fp = fnv64(&it.abi_descriptor());
+            if fp != pin.fingerprint {
+                push(
+                    out,
+                    it.start_line,
+                    format!(
+                        "ABI of `{}` changed since its snapshot-abi pin (fingerprint is \
+                         `{fp}`, pin says `{}`): bump `SNAPSHOT_VERSION` and re-pin as \
+                         `snapshot-abi(v<new>, {fp})`",
+                        it.name, pin.fingerprint
+                    ),
+                );
+                continue;
+            }
+            let resolved = by_crate
+                .get(f.class.crate_name.as_str())
+                .and_then(|v| v.first().copied())
+                .or_else(|| if global.len() == 1 { Some(global[0]) } else { None });
+            match resolved {
+                None if global.is_empty() => push(
+                    out,
+                    pin.line,
+                    "snapshot-abi pin but no `SNAPSHOT_VERSION` const exists in the workspace"
+                        .to_string(),
+                ),
+                None => push(
+                    out,
+                    pin.line,
+                    "snapshot-abi pin is ambiguous: multiple crates define `SNAPSHOT_VERSION` \
+                     and none is in this crate"
+                        .to_string(),
+                ),
+                Some(v) if v != pin.version => push(
+                    out,
+                    pin.line,
+                    format!(
+                        "snapshot-abi pin declares v{} but `SNAPSHOT_VERSION` is {v}: \
+                         the pin must be re-taken at the current version",
+                        pin.version
+                    ),
+                ),
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn shifts(src: &str) -> Vec<u32> {
+        let toks = lex(src).tokens;
+        find_shifts(&toks, 0, toks.len())
+    }
+
+    #[test]
+    fn real_shifts_are_found() {
+        assert_eq!(shifts("let x = v >> i;"), vec![1]);
+        assert_eq!(shifts("let x = 1 << k;"), vec![1]);
+        assert_eq!(shifts("let x = (a + b) << 3;"), vec![1]);
+        assert_eq!(shifts("let y = limbs[0] >> 7;"), vec![1]);
+        assert_eq!(shifts("let z = a << (b + 1);"), vec![1]);
+    }
+
+    #[test]
+    fn generics_are_not_shifts() {
+        assert!(shifts("fn f() -> Vec<Vec<u8>> { Vec::new() }").is_empty());
+        assert!(shifts("let m: BTreeMap<u32, Vec<u8>> = BTreeMap::new();").is_empty());
+        assert!(shifts("let x = parse::<Vec<u8>>(s);").is_empty());
+        assert!(shifts("let x = <M as Embeds<ExposeMsg<F>>>::wrap(m);").is_empty());
+        assert!(shifts("let v = items.iter().collect::<Vec<_>>();").is_empty());
+    }
+
+    #[test]
+    fn turbofish_interior_shifts_are_out_of_scope_but_exteriors_count() {
+        // After the turbofish closes, a genuine shift is still seen.
+        assert_eq!(shifts("let x = parse::<u64>(s) >> 3;"), vec![1]);
+    }
+
+    #[test]
+    fn compound_assign_is_the_documented_blind_spot() {
+        // `<<=` / `>>=` are excluded by the `=` follower — see LINTS.md.
+        assert!(shifts("x <<= 1;").is_empty());
+    }
+}

@@ -1,0 +1,884 @@
+//! The item model: structural view of one source file.
+//!
+//! PR 4's analyzer was a flat token scanner; the only structure it
+//! recovered was "is this line inside something `#[test]`-ish", by
+//! scanning for any attribute containing the ident `test`. This module
+//! replaces that heuristic with a real (still zero-dependency) item
+//! parser over the token stream: `fn` / `struct` / `enum` / `trait` /
+//! `impl` / `mod` / `const` items with their spans, attributes, nesting,
+//! and `#[cfg(test)]` awareness. The flow rules build on it:
+//!
+//! * the call graph ([`crate::callgraph`]) needs `fn` items with body
+//!   token ranges and the enclosing `impl` head;
+//! * `machine-contract` needs `impl <Trait> for <Type>` blocks and the
+//!   `fn`s defined inside them;
+//! * `snapshot-abi` needs `struct` field lists / `enum` variant lists and
+//!   `const SNAPSHOT_VERSION` values;
+//! * the test exemption needs precise `#[cfg(test)]` / `#[test]` item
+//!   spans, including nesting (`#[cfg(not(test))]` is *not* test code —
+//!   the old heuristic got that wrong by construction).
+//!
+//! The parser is deliberately shallow where the rules don't need depth:
+//! items declared *inside fn bodies* are not modeled (their tokens belong
+//! to the enclosing fn, which is what both the call graph and the test
+//! exemption want), and unparseable stretches degrade to skipped tokens,
+//! never to a panic — the right failure mode for a linter.
+
+use crate::lexer::{Tok, TokKind};
+
+/// What kind of item a node is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A function (free, in an `impl`, or in a `trait` body).
+    Fn,
+    /// A struct (unit, tuple, or named-field).
+    Struct,
+    /// An enum.
+    Enum,
+    /// A trait declaration.
+    Trait,
+    /// An `impl` block (inherent or trait).
+    Impl,
+    /// An inline `mod name { … }` (out-of-line `mod name;` is `Other`).
+    Mod,
+    /// A `const` or `static` item.
+    Const,
+    /// Anything else the parser recognized enough to skip (`use`,
+    /// `type`, `macro_rules!`, out-of-line `mod`).
+    Other,
+}
+
+/// One parsed item.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// The item kind.
+    pub kind: ItemKind,
+    /// The item's own name. For an `impl` this is the *type* path's last
+    /// segment (`CoinGenMachine` in `impl<..> RoundMachine<M> for
+    /// CoinGenMachine<M, F>`).
+    pub name: String,
+    /// For a trait `impl`, the trait path's last segment
+    /// (`RoundMachine`); `None` for inherent impls and non-impl items.
+    pub trait_name: Option<String>,
+    /// 1-based line the item starts on (its first attribute, if any).
+    pub start_line: u32,
+    /// 1-based line the item ends on.
+    pub end_line: u32,
+    /// Token index of the item's first token (attribute `#` included).
+    pub tok_start: usize,
+    /// Token index of the body-opening `{` (or of the terminating `;`
+    /// for bodiless items). For `fn` items, `tok_start..body_start` is
+    /// the signature and `body_start..tok_end` the body.
+    pub body_start: usize,
+    /// One past the item's last token.
+    pub tok_end: usize,
+    /// Index (into the same `Vec<Item>`) of the enclosing `mod` /
+    /// `trait` / `impl` item, if any.
+    pub parent: Option<usize>,
+    /// Whether this item is test-only: it or an ancestor carries
+    /// `#[test]` or `#[cfg(test)]` (but not `#[cfg(not(test))]`).
+    pub test: bool,
+    /// For structs: field names in declaration order (tuple fields as
+    /// `0`, `1`, …). For enums: one entry per variant, rendered as
+    /// `Name`, `Name(k)` (tuple arity), or `Name{a,b}` (named fields).
+    pub fields: Vec<String>,
+    /// For `const`/`static` items: the integer value, when the
+    /// initializer's first token is a numeric literal.
+    pub const_value: Option<u64>,
+}
+
+impl Item {
+    /// The canonical ABI descriptor the `snapshot-abi` rule fingerprints:
+    /// kind, name, and the ordered field/variant list. Field *types* are
+    /// deliberately not included — the rule exists to catch layout
+    /// changes (fields added, removed, reordered, renamed), and demanding
+    /// type-level stability would turn every refactor into a version
+    /// bump.
+    pub fn abi_descriptor(&self) -> String {
+        let kind = match self.kind {
+            ItemKind::Struct => "struct",
+            ItemKind::Enum => "enum",
+            _ => "item",
+        };
+        format!("{kind} {}{{{}}}", self.name, self.fields.join(","))
+    }
+}
+
+/// Parse the items of one file from its token stream.
+pub fn parse_items(toks: &[Tok]) -> Vec<Item> {
+    let mut out = Vec::new();
+    let mut p = Parser { toks };
+    p.scope(0, toks.len(), None, false, &mut out);
+    out
+}
+
+/// Inclusive 1-based line ranges of test-only code, derived from the
+/// item model: every item whose `test` flag is set. This is what the
+/// token rules use to exempt `#[cfg(test)]` modules and `#[test]` fns
+/// inside library files.
+pub fn test_spans(items: &[Item]) -> Vec<(u32, u32)> {
+    let mut spans: Vec<(u32, u32)> = items
+        .iter()
+        .filter(|it| it.test)
+        .map(|it| (it.start_line, it.end_line))
+        .collect();
+    spans.sort_unstable();
+    spans
+}
+
+/// Whether any token in `toks[range]` is an identifier in `names`.
+pub fn range_mentions(toks: &[Tok], start: usize, end: usize, names: &[&str]) -> bool {
+    toks[start..end.min(toks.len())]
+        .iter()
+        .any(|t| matches!(&t.kind, TokKind::Ident(id) if names.contains(&id.as_str())))
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+}
+
+impl<'a> Parser<'a> {
+    fn kind(&self, i: usize) -> Option<&TokKind> {
+        self.toks.get(i).map(|t| &t.kind)
+    }
+
+    fn is_punct(&self, i: usize, c: char) -> bool {
+        matches!(self.kind(i), Some(TokKind::Punct(p)) if *p == c)
+    }
+
+    fn ident(&self, i: usize) -> Option<&str> {
+        match self.kind(i) {
+            Some(TokKind::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn line(&self, i: usize) -> u32 {
+        self.toks.get(i).map_or_else(
+            || self.toks.last().map_or(1, |t| t.line),
+            |t| t.line,
+        )
+    }
+
+    /// Skip a balanced `{…}` / `(…)` / `[…]` group starting at `i`
+    /// (which must be the opening delimiter). Returns one past the
+    /// closing delimiter; unterminated groups run to `end`.
+    fn skip_group(&self, i: usize, end: usize) -> usize {
+        let (open, close) = match self.kind(i) {
+            Some(TokKind::Punct('{')) => ('{', '}'),
+            Some(TokKind::Punct('(')) => ('(', ')'),
+            Some(TokKind::Punct('[')) => ('[', ']'),
+            _ => return i + 1,
+        };
+        let mut depth = 0usize;
+        let mut j = i;
+        while j < end {
+            if self.is_punct(j, open) {
+                depth += 1;
+            } else if self.is_punct(j, close) {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Skip a generics list starting at `i` (which must be `<`). Type
+    /// grammar only: every `>` closes (consecutive `>>` handled by
+    /// counting), except the `>` of a `->` arrow.
+    fn skip_angles(&self, i: usize, end: usize) -> usize {
+        let mut depth = 0isize;
+        let mut j = i;
+        while j < end {
+            match self.kind(j) {
+                Some(TokKind::Punct('<')) => depth += 1,
+                Some(TokKind::Punct('>')) if !(j > 0 && self.is_punct(j - 1, '-')) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                None => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Scan one `#[…]` attribute starting at the `#` (possibly `#!`).
+    /// Returns `(one past the closing ']', attribute is test-marking)`.
+    /// Test-marking means `#[test]`, `#[cfg(test)]`, or any attribute
+    /// naming `test` outside a `not(…)` group — so `#[cfg(not(test))]`
+    /// does not mark, and `#[cfg(all(test, unix))]` does.
+    fn scan_attr(&self, i: usize, end: usize) -> (usize, bool) {
+        let mut j = i + 1; // past '#'
+        if self.is_punct(j, '!') {
+            j += 1;
+        }
+        if !self.is_punct(j, '[') {
+            return (i + 1, false);
+        }
+        let close = self.skip_group(j, end);
+        let mut test = false;
+        let mut k = j;
+        while k < close {
+            match self.kind(k) {
+                Some(TokKind::Ident(id)) if id == "not" && self.is_punct(k + 1, '(') => {
+                    // `test` under a `not(…)` group does not mark: skip
+                    // the whole group and keep scanning after it.
+                    k = self.skip_group(k + 1, close);
+                    continue;
+                }
+                Some(TokKind::Ident(id)) if id == "test" => test = true,
+                _ => {}
+            }
+            k += 1;
+        }
+        (close, test)
+    }
+
+    /// Parse the items of `toks[i..end]` at one scope level.
+    #[allow(clippy::too_many_lines)]
+    fn scope(
+        &mut self,
+        mut i: usize,
+        end: usize,
+        parent: Option<usize>,
+        parent_test: bool,
+        out: &mut Vec<Item>,
+    ) {
+        while i < end {
+            let item_start = i;
+            let start_line = self.line(i);
+
+            // Leading attributes.
+            let mut test = parent_test;
+            let mut saw_attr = false;
+            while self.is_punct(i, '#') && i < end {
+                let (after, attr_test) = self.scan_attr(i, end);
+                if after == i + 1 {
+                    break; // stray '#', not an attribute
+                }
+                test = test || attr_test;
+                saw_attr = true;
+                i = after;
+            }
+
+            // Visibility / item modifiers.
+            loop {
+                match self.ident(i) {
+                    Some("pub") => {
+                        i += 1;
+                        if self.is_punct(i, '(') {
+                            i = self.skip_group(i, end);
+                        }
+                    }
+                    Some("unsafe") | Some("async") | Some("default") => i += 1,
+                    Some("extern") => {
+                        i += 1;
+                        if matches!(self.kind(i), Some(TokKind::Literal)) {
+                            i += 1;
+                        }
+                    }
+                    // `const fn` is a modifier; `const NAME` is an item
+                    // (handled below).
+                    Some("const") if self.ident(i + 1) == Some("fn") => i += 1,
+                    _ => break,
+                }
+            }
+
+            match self.ident(i) {
+                Some("fn") => {
+                    let name = self.ident(i + 1).unwrap_or("").to_string();
+                    let (body_start, tok_end) = self.body_or_semi(i, end);
+                    out.push(Item {
+                        kind: ItemKind::Fn,
+                        name,
+                        trait_name: None,
+                        start_line,
+                        end_line: self.line(tok_end.saturating_sub(1)),
+                        tok_start: item_start,
+                        body_start,
+                        tok_end,
+                        parent,
+                        test,
+                        fields: Vec::new(),
+                        const_value: None,
+                    });
+                    i = tok_end;
+                }
+                Some("struct") => {
+                    let name = self.ident(i + 1).unwrap_or("").to_string();
+                    let (body_start, tok_end) = self.body_or_semi(i, end);
+                    // Tuple structs close with `;`, so `body_start` lands
+                    // there — the paren body sits right after the name
+                    // (and its generics, if any).
+                    let mut q = i + 2;
+                    if self.is_punct(q, '<') {
+                        q = self.skip_angles(q, end);
+                    }
+                    let fields = if self.is_punct(q, '(') {
+                        self.struct_fields(q, self.skip_group(q, end))
+                    } else {
+                        self.struct_fields(body_start, tok_end)
+                    };
+                    out.push(Item {
+                        kind: ItemKind::Struct,
+                        name,
+                        trait_name: None,
+                        start_line,
+                        end_line: self.line(tok_end.saturating_sub(1)),
+                        tok_start: item_start,
+                        body_start,
+                        tok_end,
+                        parent,
+                        test,
+                        fields,
+                        const_value: None,
+                    });
+                    i = tok_end;
+                }
+                Some("enum") => {
+                    let name = self.ident(i + 1).unwrap_or("").to_string();
+                    let (body_start, tok_end) = self.body_or_semi(i, end);
+                    let fields = self.enum_variants(body_start, tok_end);
+                    out.push(Item {
+                        kind: ItemKind::Enum,
+                        name,
+                        trait_name: None,
+                        start_line,
+                        end_line: self.line(tok_end.saturating_sub(1)),
+                        tok_start: item_start,
+                        body_start,
+                        tok_end,
+                        parent,
+                        test,
+                        fields,
+                        const_value: None,
+                    });
+                    i = tok_end;
+                }
+                Some("trait") => {
+                    let name = self.ident(i + 1).unwrap_or("").to_string();
+                    let (body_start, tok_end) = self.body_or_semi(i, end);
+                    let idx = out.len();
+                    out.push(Item {
+                        kind: ItemKind::Trait,
+                        name,
+                        trait_name: None,
+                        start_line,
+                        end_line: self.line(tok_end.saturating_sub(1)),
+                        tok_start: item_start,
+                        body_start,
+                        tok_end,
+                        parent,
+                        test,
+                        fields: Vec::new(),
+                        const_value: None,
+                    });
+                    if body_start < tok_end && self.is_punct(body_start, '{') {
+                        self.scope(body_start + 1, tok_end - 1, Some(idx), test, out);
+                    }
+                    i = tok_end;
+                }
+                Some("impl") => {
+                    let (type_name, trait_name, head_end) = self.impl_head(i + 1, end);
+                    let (body_start, tok_end) = self.body_or_semi(head_end.max(i + 1) - 1, end);
+                    let idx = out.len();
+                    out.push(Item {
+                        kind: ItemKind::Impl,
+                        name: type_name,
+                        trait_name,
+                        start_line,
+                        end_line: self.line(tok_end.saturating_sub(1)),
+                        tok_start: item_start,
+                        body_start,
+                        tok_end,
+                        parent,
+                        test,
+                        fields: Vec::new(),
+                        const_value: None,
+                    });
+                    if body_start < tok_end && self.is_punct(body_start, '{') {
+                        self.scope(body_start + 1, tok_end - 1, Some(idx), test, out);
+                    }
+                    i = tok_end;
+                }
+                Some("mod") => {
+                    let name = self.ident(i + 1).unwrap_or("").to_string();
+                    if self.is_punct(i + 2, ';') {
+                        // Out-of-line module: the file boundary handles it.
+                        out.push(Item {
+                            kind: ItemKind::Other,
+                            name,
+                            trait_name: None,
+                            start_line,
+                            end_line: self.line(i + 2),
+                            tok_start: item_start,
+                            body_start: i + 2,
+                            tok_end: i + 3,
+                            parent,
+                            test,
+                            fields: Vec::new(),
+                            const_value: None,
+                        });
+                        i += 3;
+                    } else {
+                        let (body_start, tok_end) = self.body_or_semi(i, end);
+                        let idx = out.len();
+                        out.push(Item {
+                            kind: ItemKind::Mod,
+                            name,
+                            trait_name: None,
+                            start_line,
+                            end_line: self.line(tok_end.saturating_sub(1)),
+                            tok_start: item_start,
+                            body_start,
+                            tok_end,
+                            parent,
+                            test,
+                            fields: Vec::new(),
+                            const_value: None,
+                        });
+                        if body_start < tok_end && self.is_punct(body_start, '{') {
+                            self.scope(body_start + 1, tok_end - 1, Some(idx), test, out);
+                        }
+                        i = tok_end;
+                    }
+                }
+                Some("const") | Some("static") => {
+                    let mut j = i + 1;
+                    if self.ident(j) == Some("mut") {
+                        j += 1;
+                    }
+                    let name = self.ident(j).unwrap_or("").to_string();
+                    // Value: first numeric literal after `=`.
+                    let (body_start, tok_end) = self.body_or_semi(i, end);
+                    let mut const_value = None;
+                    let mut k = j;
+                    while k < tok_end {
+                        if self.is_punct(k, '=') {
+                            if let Some(TokKind::Num(text)) = self.kind(k + 1) {
+                                const_value = parse_int(text);
+                            }
+                            break;
+                        }
+                        k += 1;
+                    }
+                    out.push(Item {
+                        kind: ItemKind::Const,
+                        name,
+                        trait_name: None,
+                        start_line,
+                        end_line: self.line(tok_end.saturating_sub(1)),
+                        tok_start: item_start,
+                        body_start,
+                        tok_end,
+                        parent,
+                        test,
+                        fields: Vec::new(),
+                        const_value,
+                    });
+                    i = tok_end;
+                }
+                Some("type") | Some("use") => {
+                    let (_, tok_end) = self.body_or_semi(i, end);
+                    i = tok_end;
+                }
+                Some("macro_rules") => {
+                    // macro_rules! name { … }
+                    let mut j = i + 1;
+                    while j < end && !self.is_punct(j, '{') {
+                        j += 1;
+                    }
+                    i = if j < end { self.skip_group(j, end) } else { end };
+                }
+                _ => {
+                    // Something the item grammar doesn't cover (stray
+                    // macro invocation, leftover tokens): skip one token
+                    // or one balanced group, and keep going.
+                    let _ = saw_attr;
+                    if self.is_punct(i, '{') || self.is_punct(i, '(') || self.is_punct(i, '[') {
+                        i = self.skip_group(i, end);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// From an item keyword at `kw`, find `(body_start, tok_end)`: the
+    /// index of the first `{` at group depth 0 (body opens; `tok_end` is
+    /// one past its matching `}`) or of the first `;` at depth 0
+    /// (bodiless; `tok_end` is one past it). Parens, brackets, and
+    /// generics before the body are skipped as groups, so `where` clause
+    /// bounds and tuple-struct bodies never look like item bodies.
+    fn body_or_semi(&self, kw: usize, end: usize) -> (usize, usize) {
+        let mut j = kw + 1;
+        while j < end {
+            match self.kind(j) {
+                Some(TokKind::Punct('{')) => return (j, self.skip_group(j, end)),
+                Some(TokKind::Punct(';')) => return (j, j + 1),
+                Some(TokKind::Punct('(')) | Some(TokKind::Punct('[')) => {
+                    j = self.skip_group(j, end);
+                }
+                Some(TokKind::Punct('<')) => j = self.skip_angles(j, end),
+                _ => j += 1,
+            }
+        }
+        (end, end)
+    }
+
+    /// Parse an `impl` head starting just past the `impl` keyword:
+    /// `[<generics>] TraitPath for TypePath [where …] {` or
+    /// `[<generics>] TypePath [where …] {`. Returns the type path's last
+    /// segment, the trait path's last segment (if a trait impl), and one
+    /// past the last head token consumed.
+    fn impl_head(&self, mut i: usize, end: usize) -> (String, Option<String>, usize) {
+        if self.is_punct(i, '<') {
+            i = self.skip_angles(i, end);
+        }
+        let (first, mut j) = self.path_last_segment(i, end);
+        if self.ident(j) == Some("for") {
+            let (second, k) = self.path_last_segment(j + 1, end);
+            j = k;
+            (second, Some(first), j)
+        } else {
+            (first, None, j)
+        }
+    }
+
+    /// Read a type path (`a::b::Name<args>`, `&mut Name`, `!`), returning
+    /// its last identifier segment and one past its end.
+    fn path_last_segment(&self, mut i: usize, end: usize) -> (String, usize) {
+        let mut last = String::new();
+        while i < end {
+            match self.kind(i) {
+                Some(TokKind::Ident(id)) => {
+                    if id == "for" || id == "where" {
+                        break;
+                    }
+                    last = id.clone();
+                    i += 1;
+                }
+                Some(TokKind::Punct(':')) if self.is_punct(i + 1, ':') => i += 2,
+                Some(TokKind::Punct('<')) => i = self.skip_angles(i, end),
+                Some(TokKind::Punct('&')) | Some(TokKind::Punct('*')) => i += 1,
+                Some(TokKind::Punct('(')) | Some(TokKind::Punct('[')) => {
+                    i = self.skip_group(i, end);
+                }
+                _ => break,
+            }
+        }
+        (last, i)
+    }
+
+    /// Field names of a struct body at `body_start` (`{`, `(`, or `;`).
+    fn struct_fields(&self, body_start: usize, tok_end: usize) -> Vec<String> {
+        match self.kind(body_start) {
+            Some(TokKind::Punct('{')) => {
+                let mut fields = Vec::new();
+                let mut i = body_start + 1;
+                let inner_end = tok_end.saturating_sub(1);
+                while i < inner_end {
+                    // Skip field attributes and visibility.
+                    while self.is_punct(i, '#') {
+                        let (after, _) = self.scan_attr(i, inner_end);
+                        i = after;
+                    }
+                    if self.ident(i) == Some("pub") {
+                        i += 1;
+                        if self.is_punct(i, '(') {
+                            i = self.skip_group(i, inner_end);
+                        }
+                    }
+                    let Some(name) = self.ident(i) else { break };
+                    if !self.is_punct(i + 1, ':') {
+                        break;
+                    }
+                    fields.push(name.to_string());
+                    // Skip the type to the next `,` at this level.
+                    i += 2;
+                    while i < inner_end {
+                        match self.kind(i) {
+                            Some(TokKind::Punct(',')) => {
+                                i += 1;
+                                break;
+                            }
+                            Some(TokKind::Punct('<')) => i = self.skip_angles(i, inner_end),
+                            Some(TokKind::Punct('('))
+                            | Some(TokKind::Punct('['))
+                            | Some(TokKind::Punct('{')) => i = self.skip_group(i, inner_end),
+                            _ => i += 1,
+                        }
+                    }
+                }
+                fields
+            }
+            Some(TokKind::Punct('(')) => {
+                // Tuple struct: positional fields, named by index.
+                let close = self.skip_group(body_start, tok_end);
+                let mut arity = 0usize;
+                let mut i = body_start + 1;
+                let mut any = false;
+                while i < close.saturating_sub(1) {
+                    any = true;
+                    match self.kind(i) {
+                        Some(TokKind::Punct(',')) => {
+                            arity += 1;
+                            i += 1;
+                        }
+                        Some(TokKind::Punct('<')) => i = self.skip_angles(i, close - 1),
+                        Some(TokKind::Punct('(')) | Some(TokKind::Punct('[')) => {
+                            i = self.skip_group(i, close - 1);
+                        }
+                        _ => i += 1,
+                    }
+                }
+                if any {
+                    arity += 1;
+                }
+                (0..arity).map(|k| k.to_string()).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Variant descriptors of an enum body.
+    fn enum_variants(&self, body_start: usize, tok_end: usize) -> Vec<String> {
+        if !matches!(self.kind(body_start), Some(TokKind::Punct('{'))) {
+            return Vec::new();
+        }
+        let mut variants = Vec::new();
+        let mut i = body_start + 1;
+        let inner_end = tok_end.saturating_sub(1);
+        while i < inner_end {
+            while self.is_punct(i, '#') {
+                let (after, _) = self.scan_attr(i, inner_end);
+                i = after;
+            }
+            let Some(name) = self.ident(i) else { break };
+            i += 1;
+            match self.kind(i) {
+                Some(TokKind::Punct('(')) => {
+                    let close = self.skip_group(i, inner_end);
+                    let mut arity = 0usize;
+                    let mut k = i + 1;
+                    let mut any = false;
+                    while k < close.saturating_sub(1) {
+                        any = true;
+                        match self.kind(k) {
+                            Some(TokKind::Punct(',')) => {
+                                arity += 1;
+                                k += 1;
+                            }
+                            Some(TokKind::Punct('<')) => k = self.skip_angles(k, close - 1),
+                            Some(TokKind::Punct('(')) | Some(TokKind::Punct('[')) => {
+                                k = self.skip_group(k, close - 1);
+                            }
+                            _ => k += 1,
+                        }
+                    }
+                    if any {
+                        arity += 1;
+                    }
+                    variants.push(format!("{name}({arity})"));
+                    i = close;
+                }
+                Some(TokKind::Punct('{')) => {
+                    let close = self.skip_group(i, inner_end);
+                    let named = self.struct_fields(i, close);
+                    variants.push(format!("{name}{{{}}}", named.join(",")));
+                    i = close;
+                }
+                _ => variants.push(name.to_string()),
+            }
+            // Skip an explicit discriminant, then the separating comma.
+            while i < inner_end && !self.is_punct(i, ',') {
+                i += 1;
+            }
+            i += 1;
+        }
+        variants
+    }
+}
+
+/// Parse an integer literal's text (decimal or `0x…`, `_` separators and
+/// type suffixes tolerated).
+fn parse_int(text: &str) -> Option<u64> {
+    let t: String = text.chars().filter(|c| *c != '_').collect();
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        let digits: String = hex.chars().take_while(char::is_ascii_hexdigit).collect();
+        return u64::from_str_radix(&digits, 16).ok();
+    }
+    let digits: String = t.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// FNV-1a 64-bit hash, rendered as 16 hex digits — the `snapshot-abi`
+/// fingerprint function. Stable across platforms and runs by
+/// construction.
+pub fn fnv64(text: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn items_of(src: &str) -> Vec<Item> {
+        parse_items(&lex(src).tokens)
+    }
+
+    fn find<'a>(items: &'a [Item], name: &str) -> &'a Item {
+        items
+            .iter()
+            .find(|it| it.name == name)
+            .unwrap_or_else(|| panic!("no item named {name} in {items:#?}"))
+    }
+
+    #[test]
+    fn fns_structs_and_mods_are_modeled() {
+        let src = "pub fn a() { b(); }\nstruct S { x: u32, y: Vec<u8> }\nmod m { fn inner() {} }\n";
+        let items = items_of(src);
+        let a = find(&items, "a");
+        assert_eq!(a.kind, ItemKind::Fn);
+        assert_eq!((a.start_line, a.end_line), (1, 1));
+        assert_eq!(find(&items, "S").fields, vec!["x", "y"]);
+        let inner = find(&items, "inner");
+        assert_eq!(items[inner.parent.unwrap()].name, "m");
+    }
+
+    #[test]
+    fn cfg_test_marks_nested_items() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn helper() {}\n  #[test]\n  fn t() {}\n}\n";
+        let items = items_of(src);
+        assert!(!find(&items, "lib").test);
+        assert!(find(&items, "tests").test);
+        assert!(find(&items, "helper").test, "nesting must inherit cfg(test)");
+        assert!(find(&items, "t").test);
+        assert_eq!(test_spans(&items), vec![(2, 7), (4, 4), (5, 6)]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test_code() {
+        let src = "#[cfg(not(test))]\nfn shipping() {}\n#[cfg(test)]\nfn testing() {}\n";
+        let items = items_of(src);
+        assert!(!find(&items, "shipping").test, "cfg(not(test)) is library code");
+        assert!(find(&items, "testing").test);
+    }
+
+    #[test]
+    fn impl_heads_resolve_trait_and_type() {
+        let src = "impl<M, T: RoundMachine<M> + ?Sized> RoundMachine<M> for Box<T> {\n  fn round(&mut self) {}\n}\nimpl Helper { fn go(&self) {} }\n";
+        let items = items_of(src);
+        let b = find(&items, "Box");
+        assert_eq!(b.kind, ItemKind::Impl);
+        assert_eq!(b.trait_name.as_deref(), Some("RoundMachine"));
+        let round = find(&items, "round");
+        assert_eq!(round.parent, Some(0));
+        let h = find(&items, "Helper");
+        assert_eq!(h.trait_name, None);
+    }
+
+    #[test]
+    fn impl_with_where_clause_finds_its_body() {
+        let src = "impl<M, F> RoundMachine<M> for Machine<M, F>\nwhere\n  M: Clone + Embeds<Msg<F>>,\n  F: Field,\n{\n  fn round(&mut self) { x(); }\n  fn phase_name(&self) -> &'static str { \"x\" }\n}\n";
+        let items = items_of(src);
+        let m = find(&items, "Machine");
+        assert_eq!(m.trait_name.as_deref(), Some("RoundMachine"));
+        let fns: Vec<_> = items
+            .iter()
+            .filter(|it| it.kind == ItemKind::Fn && it.parent == Some(0))
+            .map(|it| it.name.as_str())
+            .collect();
+        assert_eq!(fns, vec!["round", "phase_name"]);
+    }
+
+    #[test]
+    fn raw_strings_and_nested_comments_do_not_derail_items() {
+        let src = r##"
+fn a() { let s = r#"fn fake() { } struct Nope { x: u8 }"#; }
+/* fn commented() {} /* nested: struct Gone {} */ still comment */
+fn b() {}
+"##;
+        let items = items_of(src);
+        let names: Vec<_> = items.iter().map(|it| it.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn enums_render_variant_descriptors() {
+        let src = "enum Mode { Active, Backoff { until_epoch: u64 }, Pair(u8, u8), Tagged = 3 }\n";
+        let items = items_of(src);
+        assert_eq!(
+            find(&items, "Mode").fields,
+            vec!["Active", "Backoff{until_epoch}", "Pair(2)", "Tagged"]
+        );
+    }
+
+    #[test]
+    fn tuple_and_unit_structs() {
+        let items = items_of("struct Unit;\nstruct Pair(u32, Vec<u8>);\n");
+        assert!(find(&items, "Unit").fields.is_empty());
+        assert_eq!(find(&items, "Pair").fields, vec!["0", "1"]);
+    }
+
+    #[test]
+    fn const_values_are_read() {
+        let items = items_of("pub const SNAPSHOT_VERSION: u16 = 2;\nconst HEX: u64 = 0x10;\nstatic NAME: &str = \"x\";\n");
+        assert_eq!(find(&items, "SNAPSHOT_VERSION").const_value, Some(2));
+        assert_eq!(find(&items, "HEX").const_value, Some(16));
+        assert_eq!(find(&items, "NAME").const_value, None);
+    }
+
+    #[test]
+    fn abi_descriptor_is_stable() {
+        let items = items_of("struct Snap { a: u8, b: Vec<u32>, c: BTreeMap<u32, u64> }\n");
+        let d = find(&items, "Snap").abi_descriptor();
+        assert_eq!(d, "struct Snap{a,b,c}");
+        // Fingerprint is a pure function of the descriptor.
+        assert_eq!(fnv64(&d), fnv64("struct Snap{a,b,c}"));
+        assert_ne!(fnv64(&d), fnv64("struct Snap{a,b}"));
+    }
+
+    #[test]
+    fn fn_body_items_are_not_modeled_but_do_not_confuse_spans() {
+        // Items inside fn bodies belong to the fn (conservative).
+        let src = "fn outer() {\n  struct Local { x: u8 }\n  let v = Local { x: 1 };\n}\nfn after() {}\n";
+        let items = items_of(src);
+        let names: Vec<_> = items.iter().map(|it| it.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "after"]);
+        assert_eq!(find(&items, "outer").end_line, 4);
+    }
+
+    #[test]
+    fn trait_bodies_are_scoped() {
+        let src = "trait T {\n  fn required(&self);\n  fn provided(&self) { body(); }\n}\n";
+        let items = items_of(src);
+        let req = find(&items, "required");
+        assert_eq!(items[req.parent.unwrap()].name, "T");
+        // Bodiless: body_start points at the `;`.
+        assert_eq!(req.body_start + 1, req.tok_end);
+    }
+
+    #[test]
+    fn stacked_attrs_and_doc_attrs() {
+        let src = "#[derive(Debug, Clone)]\n#[cfg(test)]\n#[allow(dead_code)]\nstruct S { f: u8 }\n";
+        let items = items_of(src);
+        let s = find(&items, "S");
+        assert!(s.test);
+        assert_eq!(s.start_line, 1, "span starts at the first attribute");
+    }
+}

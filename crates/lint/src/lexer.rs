@@ -25,8 +25,10 @@ pub enum TokKind {
     /// A string, raw string, byte string, or char literal. Contents are
     /// irrelevant to every rule, so they are not kept.
     Literal,
-    /// A numeric literal (including suffixed and float forms).
-    Num,
+    /// A numeric literal (including suffixed and float forms). The text
+    /// is kept: the item model reads `const SNAPSHOT_VERSION: u16 = 1`
+    /// values out of it for the `snapshot-abi` rule.
+    Num(String),
 }
 
 /// One token with its 1-based source line.
@@ -167,6 +169,7 @@ pub fn lex(src: &str) -> Lexed {
         // Number (identifier-ish tail covers 0x_, suffixes; a trailing
         // `.digit` covers simple floats).
         if c.is_ascii_digit() {
+            let start = i;
             let mut j = i;
             while j < n && (b[j].is_alphanumeric() || b[j] == '_' || b[j] == '.') {
                 // A second dot (e.g. `0..n`) is a range, not part of the number.
@@ -175,7 +178,7 @@ pub fn lex(src: &str) -> Lexed {
                 }
                 j += 1;
             }
-            out.tokens.push(Tok { line, kind: TokKind::Num });
+            out.tokens.push(Tok { line, kind: TokKind::Num(b[start..j].iter().collect()) });
             i = j;
             continue;
         }
@@ -298,92 +301,6 @@ fn raw_or_byte_string_end(b: &[char], i: usize) -> Option<usize> {
     }
 }
 
-/// Line ranges `(start, end)` (inclusive, 1-based) of test-only code:
-/// every item annotated `#[test]` or `#[cfg(test)]` (attribute through
-/// the end of the item's brace block, or its `;` for bodiless items).
-pub fn test_regions(tokens: &[Tok]) -> Vec<(u32, u32)> {
-    let mut regions = Vec::new();
-    let mut i = 0;
-    while i < tokens.len() {
-        if !matches!(tokens[i].kind, TokKind::Punct('#')) {
-            i += 1;
-            continue;
-        }
-        let attr_line = tokens[i].line;
-        // Expect `[` ... `]`; look for the ident `test` inside.
-        let Some((attr_end, has_test)) = scan_attribute(tokens, i + 1) else {
-            i += 1;
-            continue;
-        };
-        if !has_test {
-            i = attr_end;
-            continue;
-        }
-        // Skip any further attributes stacked on the same item.
-        let mut j = attr_end;
-        while j < tokens.len() && matches!(tokens[j].kind, TokKind::Punct('#')) {
-            match scan_attribute(tokens, j + 1) {
-                Some((e, _)) => j = e,
-                None => break,
-            }
-        }
-        // Find the item body: the first `{` begins a block we track to
-        // its matching `}`; a `;` first means a bodiless item.
-        let mut depth = 0usize;
-        let mut end_line = attr_line;
-        while j < tokens.len() {
-            match tokens[j].kind {
-                TokKind::Punct('{') => depth += 1,
-                TokKind::Punct('}') => {
-                    depth = depth.saturating_sub(1);
-                    if depth == 0 {
-                        end_line = tokens[j].line;
-                        j += 1;
-                        break;
-                    }
-                }
-                TokKind::Punct(';') if depth == 0 => {
-                    end_line = tokens[j].line;
-                    j += 1;
-                    break;
-                }
-                _ => {}
-            }
-            end_line = tokens[j].line;
-            j += 1;
-        }
-        regions.push((attr_line, end_line));
-        i = j;
-    }
-    regions
-}
-
-/// Scan an attribute body starting at the `[` token index. Returns
-/// `(index past the closing ']', saw the ident `test`)`.
-fn scan_attribute(tokens: &[Tok], at: usize) -> Option<(usize, bool)> {
-    if !matches!(tokens.get(at)?.kind, TokKind::Punct('[')) {
-        return None;
-    }
-    let mut depth = 0usize;
-    let mut has_test = false;
-    let mut j = at;
-    while j < tokens.len() {
-        match &tokens[j].kind {
-            TokKind::Punct('[') => depth += 1,
-            TokKind::Punct(']') => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some((j + 1, has_test));
-                }
-            }
-            TokKind::Ident(id) if id == "test" => has_test = true,
-            _ => {}
-        }
-        j += 1;
-    }
-    Some((tokens.len(), has_test))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,6 +345,20 @@ mod tests {
     }
 
     #[test]
+    fn numeric_literals_keep_their_text() {
+        let lx = lex("const V: u16 = 1; let x = 0x2A_u64; let f = 3.5;");
+        let nums: Vec<String> = lx
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Num(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["1", "0x2A_u64", "3.5"]);
+    }
+
+    #[test]
     fn line_numbers_track_through_multiline_constructs() {
         let src = "/* one\ntwo */\nlet x = 1;\n\"a\nb\"\nident";
         let lx = lex(src);
@@ -443,25 +374,4 @@ mod tests {
         assert!(lx.comments[0].text.starts_with("lint: allow"));
     }
 
-    #[test]
-    fn cfg_test_region_spans_mod_block() {
-        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn tail() {}\n";
-        let lx = lex(src);
-        let regions = test_regions(&lx.tokens);
-        assert_eq!(regions, vec![(2, 5)]);
-    }
-
-    #[test]
-    fn test_attr_fn_region() {
-        let src = "#[test]\nfn t() {\n  boom();\n}\nfn lib() {}\n";
-        let lx = lex(src);
-        assert_eq!(test_regions(&lx.tokens), vec![(1, 4)]);
-    }
-
-    #[test]
-    fn non_test_attrs_make_no_region() {
-        let src = "#[derive(Debug)]\nstruct S;\n#[cfg(feature = \"x\")]\nfn f() {}\n";
-        let lx = lex(src);
-        assert!(test_regions(&lx.tokens).is_empty());
-    }
 }

@@ -8,20 +8,34 @@
 //! protocol code iterates a `HashMap` or reads a clock), the §2
 //! cost-model tables are honest only if field arithmetic goes through
 //! the counted `dprbg-field` ops, and graceful degradation dies with
-//! every stray `unwrap()` in `dprbg-core`. This crate walks the
-//! workspace with a comment/string/lifetime-aware tokenizer
-//! ([`lexer`]) and enforces those invariants as five rules ([`rules`],
-//! [`manifest`]) with `file:line` diagnostics and
-//! `// lint: allow(<rule>) — <reason>` suppressions.
+//! every stray `unwrap()` in `dprbg-core`. This crate analyzes the
+//! workspace in three layers, each built on the one below:
+//!
+//! 1. a comment/string/lifetime-aware tokenizer ([`lexer`]);
+//! 2. an **item model** ([`items`]) — fn/struct/trait/impl/mod spans
+//!    with attributes and precise `#[cfg(test)]` awareness — plus a
+//!    conservative **cross-file call graph** ([`callgraph`]) that
+//!    resolves calls by name within the workspace and counts everything
+//!    else as an edge-to-unknown;
+//! 3. the rules: token-level invariants ([`rules`], [`manifest`]) and
+//!    flow-aware ones ([`flow`]) that reason about reachability and
+//!    per-`impl` contracts, with `file:line` diagnostics,
+//!    `// lint: allow(<rule>) — <reason>` suppressions, and
+//!    `// lint: snapshot-abi(v<n>, <hex>)` ABI pins.
 //!
 //! See `LINTS.md` at the workspace root for the rule catalog, and
 //! DESIGN.md §"Static invariants" for how the rules relate to the
 //! executor-equivalence tests.
 //!
 //! Per the hermetic policy it itself enforces, the crate has **zero
-//! dependencies** — no `syn`, no `walkdir`; a ~400-line lexer is enough
-//! because every rule is a token-level statement.
+//! dependencies** — no `syn`, no `walkdir`; the lexer + item model are
+//! enough because every rule is a statement about tokens, items, or
+//! name-level reachability.
 
+pub mod baseline;
+pub mod callgraph;
+pub mod flow;
+pub mod items;
 pub mod lexer;
 pub mod manifest;
 pub mod rules;
@@ -31,24 +45,159 @@ pub use rules::{
     lint_rust_source, transport_allow_count, Diagnostic, FileClass, FileKind, RuleId,
 };
 
+use rules::{analyze_rust_source, apply_suppressions, FileAnalysis};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+/// One source file handed to [`lint_sources`]: a label for diagnostics,
+/// the text, and the crate/kind classification.
+pub struct SourceSpec {
+    /// Repo-relative path used in diagnostics.
+    pub label: String,
+    /// The file's contents.
+    pub text: String,
+    /// Which crate it belongs to and how it is classified.
+    pub class: FileClass,
+}
+
+/// The result of a full workspace scan: the surviving diagnostics plus
+/// the census counters the CLI and verify.sh report.
+pub struct ScanReport {
+    /// Unsuppressed diagnostics, sorted by path, line, rule.
+    pub diags: Vec<Diagnostic>,
+    /// Rust files scanned.
+    pub files: usize,
+    /// Valid allow pins seen (any rule).
+    pub suppressions: usize,
+    /// Allow pins that suppressed zero diagnostics (each also surfaced
+    /// as a `stale-allow` diagnostic).
+    pub stale_suppressions: usize,
+    /// Allow pins naming `transport` (each also a `transport`
+    /// diagnostic; the census keeps the zero visible).
+    pub transport_suppressions: usize,
+    /// `snapshot-abi` pins seen.
+    pub snapshot_pins: usize,
+    /// Call sites the conservative graph could not resolve to any
+    /// workspace fn (edges-to-unknown).
+    pub unresolved_calls: usize,
+}
+
+/// Run the full analysis — token rules, flow rules, `stale-allow` — over
+/// an in-memory set of sources. This is the engine behind
+/// [`scan_workspace`]; tests hand it synthetic workspaces directly.
+pub fn lint_sources(specs: &[SourceSpec]) -> ScanReport {
+    // Layer 1+2: per-file token/item analysis, token-rule diagnostics.
+    let mut analyses: Vec<FileAnalysis> = specs
+        .iter()
+        .map(|s| analyze_rust_source(&s.label, &s.text, &s.class))
+        .collect();
+
+    // Layer 2: the cross-file call graph over the item models.
+    let views: Vec<callgraph::FlowFile<'_>> = specs
+        .iter()
+        .zip(&analyses)
+        .map(|(s, a)| callgraph::FlowFile {
+            label: &s.label,
+            class: &s.class,
+            tokens: &a.tokens,
+            items: &a.items,
+            pins: &a.pins,
+        })
+        .collect();
+    let graph = callgraph::build(&views);
+
+    // Layer 3: flow rules, pooled with the token diagnostics so one
+    // allow pin can suppress either kind, then per-file suppression with
+    // usage accounting.
+    let flow_diags = flow::check(&views, &graph);
+    let unresolved_calls = graph.unresolved_calls;
+    drop(views);
+
+    let mut diags = Vec::new();
+    let mut suppressions = 0usize;
+    let mut stale_suppressions = 0usize;
+    let mut transport_suppressions = 0usize;
+    let mut snapshot_pins = 0usize;
+    for ((spec, analysis), flow) in specs.iter().zip(&mut analyses).zip(flow_diags) {
+        let mut pool = std::mem::take(&mut analysis.diags);
+        pool.extend(flow);
+        let mut surviving = apply_suppressions(pool, &mut analysis.allows);
+
+        suppressions += analysis.allows.len();
+        snapshot_pins += analysis.pins.len();
+        for a in &analysis.allows {
+            if a.rules.contains(&RuleId::Transport) {
+                transport_suppressions += 1;
+                // Already a transport diagnostic; "stale" would be noise.
+                continue;
+            }
+            if !a.used {
+                stale_suppressions += 1;
+                surviving.push(Diagnostic {
+                    file: spec.label.clone(),
+                    line: a.line,
+                    rule: RuleId::StaleAllow,
+                    message: format!(
+                        "allow pin for `{}` suppresses zero diagnostics: delete it \
+                         (a dead pin is a hole waiting for a real violation)",
+                        a.rules
+                            .iter()
+                            .map(|r| r.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                });
+            }
+        }
+        diags.append(&mut surviving);
+    }
+
+    diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    ScanReport {
+        diags,
+        files: specs.len(),
+        suppressions,
+        stale_suppressions,
+        transport_suppressions,
+        snapshot_pins,
+        unresolved_calls,
+    }
+}
+
+/// Scan the workspace under `root`: manifests (the `hermetic` rule) plus
+/// the full source analysis of [`lint_sources`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking or reading the tree.
+pub fn scan_workspace(root: &Path) -> io::Result<ScanReport> {
+    let mut specs = Vec::new();
+    for (path, class) in rust_sources(root)? {
+        specs.push(SourceSpec {
+            label: label(root, &path),
+            text: fs::read_to_string(&path)?,
+            class,
+        });
+    }
+    let mut report = lint_sources(&specs);
+    report.diags.extend(lint_manifests(root)?);
+    report
+        .diags
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(report)
+}
+
 /// Lint every manifest and Rust source file under `root` (a workspace
 /// checkout). Returns unsuppressed diagnostics sorted by path and line.
+/// Thin wrapper over [`scan_workspace`] for callers that only want the
+/// diagnostic list.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from walking or reading the tree.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
-    let mut diags = lint_manifests(root)?;
-    for (path, class) in rust_sources(root)? {
-        let src = fs::read_to_string(&path)?;
-        diags.extend(lint_rust_source(&label(root, &path), &src, &class));
-    }
-    diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
-    Ok(diags)
+    scan_workspace(root).map(|r| r.diags)
 }
 
 /// Count `allow(transport)` suppressions pinned anywhere in the

@@ -1,84 +1,201 @@
 //! `dprbg-lint` CLI: `cargo run -p dprbg-lint -- --workspace`.
 //!
-//! Exit status: 0 clean, 1 diagnostics found, 2 usage or I/O error.
-//! `scripts/verify.sh` runs `--manifests` as the dependency-policy guard
-//! and `--workspace` as the full invariant pass (see LINTS.md).
+//! Exit status: 0 clean, 1 diagnostics found (or baseline regressions),
+//! 2 usage or I/O error. `scripts/verify.sh` runs `--manifests` as the
+//! dependency-policy guard, `--workspace` as the full invariant pass,
+//! and `--workspace --json --baseline scripts/lint-baseline.json` as the
+//! structural no-new-diagnostics gate (see LINTS.md).
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dprbg_lint::{count_transport_allows, lint_manifests, lint_workspace};
+use dprbg_lint::baseline;
+use dprbg_lint::{lint_manifests, scan_workspace};
 
-fn main() -> ExitCode {
-    let mut manifests_only = false;
-    let mut root = PathBuf::from(".");
+struct Options {
+    manifests_only: bool,
+    root: PathBuf,
+    json: bool,
+    baseline: Option<PathBuf>,
+    update_baseline: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        manifests_only: false,
+        root: PathBuf::from("."),
+        json: false,
+        baseline: None,
+        update_baseline: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--workspace" => manifests_only = false,
-            "--manifests" => manifests_only = true,
+            "--workspace" => opts.manifests_only = false,
+            "--manifests" => opts.manifests_only = true,
+            "--json" => opts.json = true,
             "--root" => match args.next() {
-                Some(p) => root = PathBuf::from(p),
-                None => {
-                    eprintln!("dprbg-lint: --root needs a path");
-                    return ExitCode::from(2);
-                }
+                Some(p) => opts.root = PathBuf::from(p),
+                None => return Err("--root needs a path".to_string()),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => opts.baseline = Some(PathBuf::from(p)),
+                None => return Err("--baseline needs a file".to_string()),
+            },
+            "--update-baseline" => match args.next() {
+                Some(p) => opts.update_baseline = Some(PathBuf::from(p)),
+                None => return Err("--update-baseline needs a file".to_string()),
             },
             "--help" | "-h" => {
                 println!(
                     "usage: dprbg-lint [--workspace | --manifests] [--root <dir>]\n\
+                     \x20                 [--json] [--baseline <file>] [--update-baseline <file>]\n\
                      \n\
-                     --workspace  lint every manifest and Rust source (default)\n\
-                     --manifests  hermetic dependency-policy rule only\n\
-                     --root       workspace root to scan (default: .)\n\
+                     --workspace        lint every manifest and Rust source (default)\n\
+                     --manifests        hermetic dependency-policy rule only\n\
+                     --root             workspace root to scan (default: .)\n\
+                     --json             machine-readable report on stdout\n\
+                     --baseline         fail only on diagnostics NOT in the committed\n\
+                     \x20                  baseline (a JSON array of `file: [rule] message`)\n\
+                     --update-baseline  write the current diagnostics as the new baseline\n\
                      \n\
                      Rules and suppression syntax: see LINTS.md."
                 );
-                return ExitCode::SUCCESS;
+                return Ok(None);
             }
-            other => {
-                eprintln!("dprbg-lint: unknown argument `{other}` (try --help)");
-                return ExitCode::from(2);
-            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
     }
+    if opts.manifests_only && (opts.json || opts.baseline.is_some() || opts.update_baseline.is_some())
+    {
+        return Err("--json/--baseline modes apply to --workspace, not --manifests".to_string());
+    }
+    Ok(Some(opts))
+}
 
-    let result = if manifests_only { lint_manifests(&root) } else { lint_workspace(&root) };
-    let diags = match result {
-        Ok(d) => d,
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(Some(o)) => o,
+        Ok(None) => return ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("dprbg-lint: {e}");
             return ExitCode::from(2);
         }
     };
-    // The single-execution-path census: `--workspace` always reports how
-    // many `allow(transport)` pins exist (the invariant requires zero).
-    if !manifests_only {
-        match count_transport_allows(&root) {
-            Ok(n) => println!(
-                "dprbg-lint: {n} transport suppression{} (required: 0)",
-                if n == 1 { "" } else { "s" }
-            ),
+
+    if opts.manifests_only {
+        let diags = match lint_manifests(&opts.root) {
+            Ok(d) => d,
             Err(e) => {
                 eprintln!("dprbg-lint: {e}");
                 return ExitCode::from(2);
             }
+        };
+        if diags.is_empty() {
+            println!("dprbg-lint: manifests clean");
+            return ExitCode::SUCCESS;
         }
+        for d in &diags {
+            println!("{d}");
+        }
+        return ExitCode::FAILURE;
     }
-    if diags.is_empty() {
-        let mode = if manifests_only { "manifests" } else { "workspace" };
-        println!("dprbg-lint: {mode} clean");
+
+    let report = match scan_workspace(&opts.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dprbg-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &opts.update_baseline {
+        let keys = baseline::baseline_keys(&report.diags);
+        if let Err(e) = std::fs::write(path, baseline::render_baseline(&keys)) {
+            eprintln!("dprbg-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("dprbg-lint: wrote {} baseline entries to {}", keys.len(), path.display());
         return ExitCode::SUCCESS;
     }
-    for d in &diags {
-        println!("{d}");
+
+    if opts.json {
+        print!("{}", baseline::to_json(&report));
+    } else {
+        for d in &report.diags {
+            println!("{d}");
+        }
+    }
+
+    // The census lines: how many transport pins exist (the invariant
+    // requires zero) and how many pins are stale (likewise) — printed
+    // even when clean so the zeros stay visible, but kept off stdout in
+    // --json mode where they live in the summary object.
+    if !opts.json {
+        println!(
+            "dprbg-lint: {} transport suppression{} (required: 0)",
+            report.transport_suppressions,
+            if report.transport_suppressions == 1 { "" } else { "s" }
+        );
+        println!(
+            "dprbg-lint: {} stale suppression{} of {} allow pin{} (required: 0)",
+            report.stale_suppressions,
+            if report.stale_suppressions == 1 { "" } else { "s" },
+            report.suppressions,
+            if report.suppressions == 1 { "" } else { "s" }
+        );
+    }
+
+    if let Some(path) = &opts.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("dprbg-lint: reading {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let keys = match baseline::parse_baseline(&text) {
+            Ok(k) => k,
+            Err(e) => {
+                eprintln!("dprbg-lint: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let diff = baseline::diff(&report.diags, &keys);
+        for r in &diff.resolved {
+            eprintln!("dprbg-lint: baseline entry resolved (tighten the baseline): {r}");
+        }
+        if diff.new.is_empty() {
+            println!(
+                "dprbg-lint: no new diagnostics vs baseline ({} accepted)",
+                keys.len() - diff.resolved.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        for n in &diff.new {
+            eprintln!("dprbg-lint: NEW vs baseline: {n}");
+        }
+        eprintln!(
+            "dprbg-lint: {} new diagnostic{} vs {}",
+            diff.new.len(),
+            if diff.new.len() == 1 { "" } else { "s" },
+            path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if report.diags.is_empty() {
+        if !opts.json {
+            println!("dprbg-lint: workspace clean");
+        }
+        return ExitCode::SUCCESS;
     }
     eprintln!(
         "dprbg-lint: {} diagnostic{} (suppress with `// lint: allow(<rule>) — <reason>`, see LINTS.md)",
-        diags.len(),
-        if diags.len() == 1 { "" } else { "s" }
+        report.diags.len(),
+        if report.diags.len() == 1 { "" } else { "s" }
     );
     ExitCode::FAILURE
 }

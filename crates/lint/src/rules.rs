@@ -12,14 +12,22 @@
 //! | `hermetic` | manifests declare only in-tree path/workspace dependencies (see [`crate::manifest`]) |
 //! | `trace-determinism` | `dprbg-trace` keeps to logical time (round, party, seq) — no wall clocks, thread ids, or environment |
 //! | `field-ct` | `dprbg-field` multiplication paths stay fixed-iteration — no data-dependent bit-scan loops |
+//! | `ledger-coverage` | fns reaching `Gf2k` arithmetic contain no raw shifts (flow rule — [`crate::flow`]) |
+//! | `machine-contract` | every `impl RoundMachine` names its phase, can reach `Done`, and does no ambient I/O (flow rule) |
+//! | `stale-allow` | an allow pin that suppresses nothing is itself a diagnostic (workspace rule — [`crate::lint_sources`]) |
+//! | `snapshot-abi` | pinned snapshot structs' field lists match their fingerprint and `SNAPSHOT_VERSION` (flow rule) |
 //!
 //! Suppression: `// lint: allow(<rule>) — <reason>` on the offending
 //! line or the line above; `// lint: allow-file(<rule>) — <reason>`
 //! anywhere for the whole file. A reason is mandatory — an allow without
 //! one (or naming an unknown rule) is itself a diagnostic
-//! (`allow-syntax`) and suppresses nothing.
+//! (`allow-syntax`) and suppresses nothing. `stale-allow` and
+//! `snapshot-abi` cannot be allowed at all: the fix for a stale pin is
+//! deleting it, and the fix for an ABI drift is a version bump — a
+//! suppression would just be the hole the rule exists to close.
 
-use crate::lexer::{lex, test_regions, Comment, Tok, TokKind};
+use crate::items::{parse_items, test_spans};
+use crate::lexer::{lex, Comment, Tok, TokKind};
 
 /// Identity of a lint rule (or of the allow-comment syntax check).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -38,6 +46,14 @@ pub enum RuleId {
     TraceDeterminism,
     /// Data-dependent bit-scan in `dprbg-field` arithmetic.
     FieldCt,
+    /// Raw shift in a fn that reaches `Gf2k` arithmetic (flow rule).
+    LedgerCoverage,
+    /// `impl RoundMachine` breaking the phase/Done/Outbox contract.
+    MachineContract,
+    /// An allow pin that suppresses zero diagnostics.
+    StaleAllow,
+    /// Snapshot struct ABI drift without a `SNAPSHOT_VERSION` bump.
+    SnapshotAbi,
     /// Malformed `lint: allow` comment.
     AllowSyntax,
 }
@@ -53,6 +69,10 @@ impl RuleId {
             RuleId::Hermetic => "hermetic",
             RuleId::TraceDeterminism => "trace-determinism",
             RuleId::FieldCt => "field-ct",
+            RuleId::LedgerCoverage => "ledger-coverage",
+            RuleId::MachineContract => "machine-contract",
+            RuleId::StaleAllow => "stale-allow",
+            RuleId::SnapshotAbi => "snapshot-abi",
             RuleId::AllowSyntax => "allow-syntax",
         }
     }
@@ -67,8 +87,23 @@ impl RuleId {
             "hermetic" => Some(RuleId::Hermetic),
             "trace-determinism" => Some(RuleId::TraceDeterminism),
             "field-ct" => Some(RuleId::FieldCt),
+            "ledger-coverage" => Some(RuleId::LedgerCoverage),
+            "machine-contract" => Some(RuleId::MachineContract),
+            "stale-allow" => Some(RuleId::StaleAllow),
+            "snapshot-abi" => Some(RuleId::SnapshotAbi),
             _ => None,
         }
+    }
+
+    /// Rules that can never be suppressed by an allow comment: the
+    /// comment itself is the bug (`allow-syntax`, `transport`,
+    /// `stale-allow`), or the only honest fix is structural
+    /// (`snapshot-abi` wants a version bump, not a pin).
+    pub fn unsuppressible(self) -> bool {
+        matches!(
+            self,
+            RuleId::AllowSyntax | RuleId::Transport | RuleId::StaleAllow | RuleId::SnapshotAbi
+        )
     }
 }
 
@@ -207,20 +242,59 @@ const TRACE_HOME: &str = "dprbg-trace";
 
 /// A parsed `lint: allow` comment.
 #[derive(Debug)]
-struct Allow {
-    line: u32,
-    end_line: u32,
-    rules: Vec<RuleId>,
-    file_scope: bool,
+pub struct Allow {
+    /// 1-based line the allow comment starts on.
+    pub line: u32,
+    /// 1-based line it ends on (block comments can span lines).
+    pub end_line: u32,
+    /// The rules it names.
+    pub rules: Vec<RuleId>,
+    /// Whether it is an `allow-file(...)` (whole-file scope).
+    pub file_scope: bool,
+    /// Whether it suppressed at least one diagnostic — set by
+    /// [`apply_suppressions`], read by the `stale-allow` rule.
+    pub used: bool,
 }
 
-/// Lint one Rust source file. `label` is the path used in diagnostics;
-/// `class` tells the engine which rule scopes apply.
-pub fn lint_rust_source(label: &str, source: &str, class: &FileClass) -> Vec<Diagnostic> {
+/// A parsed `// lint: snapshot-abi(v<version>, <fnv64-hex>)` pin.
+#[derive(Debug, Clone)]
+pub struct SnapshotPin {
+    /// 1-based line the pin comment starts on.
+    pub line: u32,
+    /// 1-based line it ends on.
+    pub end_line: u32,
+    /// The `SNAPSHOT_VERSION` the fingerprint was taken at.
+    pub version: u64,
+    /// FNV-1a 64 of the pinned item's ABI descriptor, 16 hex digits.
+    pub fingerprint: String,
+}
+
+/// Everything the single-file pass extracts, *before* suppressions are
+/// applied. The workspace scan ([`crate::lint_sources`]) holds these so
+/// it can add flow diagnostics to the pool first; [`lint_rust_source`]
+/// wraps the same pair of steps for token-rules-only callers.
+pub struct FileAnalysis {
+    /// The file's token stream.
+    pub tokens: Vec<Tok>,
+    /// The file's item model.
+    pub items: Vec<crate::items::Item>,
+    /// Valid allow pins (usage flags still false).
+    pub allows: Vec<Allow>,
+    /// Snapshot-abi pins.
+    pub pins: Vec<SnapshotPin>,
+    /// Token-rule + allow-syntax diagnostics, unsuppressed.
+    pub diags: Vec<Diagnostic>,
+}
+
+/// Run the lexer, item model, pin parsing, and token rules over one
+/// file. Returns the raw analysis; apply [`apply_suppressions`] to get
+/// the surviving diagnostics.
+pub fn analyze_rust_source(label: &str, source: &str, class: &FileClass) -> FileAnalysis {
     let lexed = lex(source);
+    let items = parse_items(&lexed.tokens);
     let mut diags = Vec::new();
-    let (allows, mut allow_diags) = parse_allows(label, &lexed.comments);
-    diags.append(&mut allow_diags);
+    let (allows, pins, mut comment_diags) = parse_allows(label, &lexed.comments);
+    diags.append(&mut comment_diags);
 
     // `transport` is no longer a suppressible rule: the blocking transport
     // it used to carve out is deleted, so pinning an allow for it can only
@@ -239,7 +313,10 @@ pub fn lint_rust_source(label: &str, source: &str, class: &FileClass) -> Vec<Dia
     }
 
     if class.kind == FileKind::Lib {
-        let regions = test_regions(&lexed.tokens);
+        // Test exemption comes from the item model now: precise
+        // `#[cfg(test)]` / `#[test]` spans with inheritance, instead of
+        // the old any-attribute-containing-`test` heuristic.
+        let regions = test_spans(&items);
         let in_test =
             |line: u32| regions.iter().any(|&(s, e)| line >= s && line <= e);
         let toks = &lexed.tokens;
@@ -251,25 +328,45 @@ pub fn lint_rust_source(label: &str, source: &str, class: &FileClass) -> Vec<Dia
         }
     }
 
+    FileAnalysis { tokens: lexed.tokens, items, allows, pins, diags }
+}
+
+/// Dedup `diags` and drop the ones a matching allow suppresses, marking
+/// those allows used. An allow matches on the same line, the line
+/// directly below the comment, or file-wide; the rules in
+/// [`RuleId::unsuppressible`] always survive.
+pub fn apply_suppressions(mut diags: Vec<Diagnostic>, allows: &mut [Allow]) -> Vec<Diagnostic> {
     // One finding per (line, rule): overlapping patterns (`std::env` and
     // `env::var`, say) should read as a single diagnostic.
     diags.sort_by_key(|d| (d.line, d.rule));
     diags.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
 
-    // Apply suppressions: an allow matching the rule on the same line,
-    // the line directly above, or file-wide.
     diags.retain(|d| {
-        // Never suppressible: malformed-allow findings, and transport —
-        // the single-execution-path invariant admits no exceptions.
-        if d.rule == RuleId::AllowSyntax || d.rule == RuleId::Transport {
+        if d.rule.unsuppressible() {
             return true;
         }
-        !allows.iter().any(|a| {
-            a.rules.contains(&d.rule)
+        let mut suppressed = false;
+        for a in allows.iter_mut() {
+            if a.rules.contains(&d.rule)
                 && (a.file_scope || d.line == a.line || d.line == a.end_line + 1)
-        })
+            {
+                a.used = true;
+                suppressed = true;
+            }
+        }
+        !suppressed
     });
     diags
+}
+
+/// Lint one Rust source file with the token rules. `label` is the path
+/// used in diagnostics; `class` tells the engine which rule scopes
+/// apply. The flow rules (`ledger-coverage`, `machine-contract`,
+/// `snapshot-abi`) and `stale-allow` need the whole workspace — see
+/// [`crate::lint_sources`].
+pub fn lint_rust_source(label: &str, source: &str, class: &FileClass) -> Vec<Diagnostic> {
+    let mut analysis = analyze_rust_source(label, source, class);
+    apply_suppressions(analysis.diags, &mut analysis.allows)
 }
 
 /// Count `lint: allow(...)` comments in `source` that name the
@@ -279,7 +376,7 @@ pub fn lint_rust_source(label: &str, source: &str, class: &FileClass) -> Vec<Dia
 #[must_use]
 pub fn transport_allow_count(source: &str) -> usize {
     let lexed = lex(source);
-    let (allows, _) = parse_allows("census", &lexed.comments);
+    let (allows, _, _) = parse_allows("census", &lexed.comments);
     allows.iter().filter(|a| a.rules.contains(&RuleId::Transport)).count()
 }
 
@@ -478,7 +575,7 @@ fn check_token(
 }
 
 /// If tokens `i+1..` are `::ident`, return that identifier.
-fn path_next(toks: &[Tok], i: usize) -> Option<&str> {
+pub(crate) fn path_next(toks: &[Tok], i: usize) -> Option<&str> {
     if matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokKind::Punct(':')))
         && matches!(toks.get(i + 2).map(|t| &t.kind), Some(TokKind::Punct(':')))
     {
@@ -498,10 +595,15 @@ fn is_method_position(toks: &[Tok], i: usize) -> bool {
     )
 }
 
-/// Parse `lint: allow(...)` comments; returns the valid allows plus
-/// diagnostics for malformed ones.
-fn parse_allows(label: &str, comments: &[Comment]) -> (Vec<Allow>, Vec<Diagnostic>) {
+/// Parse `lint:` comment directives: `allow(...)` / `allow-file(...)`
+/// suppressions and `snapshot-abi(v<n>, <hex>)` pins. Returns the valid
+/// allows, the valid pins, and diagnostics for malformed ones.
+fn parse_allows(
+    label: &str,
+    comments: &[Comment],
+) -> (Vec<Allow>, Vec<SnapshotPin>, Vec<Diagnostic>) {
     let mut allows = Vec::new();
+    let mut pins = Vec::new();
     let mut diags = Vec::new();
     for c in comments {
         if c.doc {
@@ -509,6 +611,18 @@ fn parse_allows(label: &str, comments: &[Comment]) -> (Vec<Allow>, Vec<Diagnosti
         }
         let Some(at) = c.text.find("lint:") else { continue };
         let rest = c.text[at + "lint:".len()..].trim_start();
+        if rest.starts_with("snapshot-abi(") {
+            match parse_snapshot_pin(rest, c) {
+                Ok(pin) => pins.push(pin),
+                Err(message) => diags.push(Diagnostic {
+                    file: label.to_string(),
+                    line: c.line,
+                    rule: RuleId::AllowSyntax,
+                    message,
+                }),
+            }
+            continue;
+        }
         let file_scope = rest.starts_with("allow-file(");
         let line_scope = rest.starts_with("allow(");
         if !file_scope && !line_scope {
@@ -516,7 +630,8 @@ fn parse_allows(label: &str, comments: &[Comment]) -> (Vec<Allow>, Vec<Diagnosti
                 file: label.to_string(),
                 line: c.line,
                 rule: RuleId::AllowSyntax,
-                message: "malformed lint comment: expected `lint: allow(<rule>) — <reason>`"
+                message: "malformed lint comment: expected `lint: allow(<rule>) — <reason>` \
+                          or `lint: snapshot-abi(v<n>, <hex>)`"
                     .to_string(),
             });
             continue;
@@ -536,6 +651,28 @@ fn parse_allows(label: &str, comments: &[Comment]) -> (Vec<Allow>, Vec<Diagnosti
         for name in rest[open + 1..close].split(',') {
             let name = name.trim();
             match RuleId::parse(name) {
+                Some(RuleId::StaleAllow) => {
+                    diags.push(Diagnostic {
+                        file: label.to_string(),
+                        line: c.line,
+                        rule: RuleId::AllowSyntax,
+                        message: "`stale-allow` cannot be suppressed: delete the stale pin \
+                                  it complains about instead"
+                            .to_string(),
+                    });
+                    bad = true;
+                }
+                Some(RuleId::SnapshotAbi) => {
+                    diags.push(Diagnostic {
+                        file: label.to_string(),
+                        line: c.line,
+                        rule: RuleId::AllowSyntax,
+                        message: "`snapshot-abi` cannot be suppressed: bump \
+                                  `SNAPSHOT_VERSION` and re-take the pin instead"
+                            .to_string(),
+                    });
+                    bad = true;
+                }
                 Some(r) => rules.push(r),
                 None => {
                     diags.push(Diagnostic {
@@ -564,10 +701,45 @@ fn parse_allows(label: &str, comments: &[Comment]) -> (Vec<Allow>, Vec<Diagnosti
             bad = true;
         }
         if !bad && !rules.is_empty() {
-            allows.push(Allow { line: c.line, end_line: c.end_line, rules, file_scope });
+            allows.push(Allow {
+                line: c.line,
+                end_line: c.end_line,
+                rules,
+                file_scope,
+                used: false,
+            });
         }
     }
-    (allows, diags)
+    (allows, pins, diags)
+}
+
+/// Parse the interior of a `snapshot-abi(v<n>, <16-hex>)` directive.
+fn parse_snapshot_pin(rest: &str, c: &Comment) -> Result<SnapshotPin, String> {
+    const USAGE: &str = "write `lint: snapshot-abi(v<version>, <16-hex-fnv64>)`";
+    let open = rest.find('(').expect("checked by starts_with");
+    let close = rest[open..]
+        .find(')')
+        .map(|k| open + k)
+        .ok_or_else(|| format!("malformed snapshot-abi pin: missing `)` — {USAGE}"))?;
+    let mut parts = rest[open + 1..close].split(',').map(str::trim);
+    let v = parts
+        .next()
+        .and_then(|p| p.strip_prefix('v'))
+        .and_then(|p| p.parse::<u64>().ok())
+        .ok_or_else(|| format!("malformed snapshot-abi pin: bad version — {USAGE}"))?;
+    let fp = parts
+        .next()
+        .filter(|p| p.len() == 16 && p.chars().all(|ch| ch.is_ascii_hexdigit()))
+        .ok_or_else(|| format!("malformed snapshot-abi pin: bad fingerprint — {USAGE}"))?;
+    if parts.next().is_some() {
+        return Err(format!("malformed snapshot-abi pin: too many fields — {USAGE}"));
+    }
+    Ok(SnapshotPin {
+        line: c.line,
+        end_line: c.end_line,
+        version: v,
+        fingerprint: fp.to_ascii_lowercase(),
+    })
 }
 
 #[cfg(test)]

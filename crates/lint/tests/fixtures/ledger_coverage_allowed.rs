@@ -1,0 +1,15 @@
+// Fixture: a reviewed shift next to field arithmetic carries a pin.
+fn split_bits(x: Gf2k) -> Vec<bool> {
+    let v = x.to_u64();
+    // lint: allow(ledger-coverage) — fixture: bit-split of the canonical output u64, not field arithmetic
+    (0..64).map(|i| (v >> i) & 1 == 1).collect()
+}
+
+fn masked(x: Gf2k) -> u64 {
+    x.to_u64() >> 3 // lint: allow(ledger-coverage) — fixture: same-line form
+}
+
+// Out of reach, no pin needed.
+fn checksum(tag: u64) -> u64 {
+    tag << 1
+}

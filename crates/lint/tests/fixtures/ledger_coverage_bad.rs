@@ -1,0 +1,26 @@
+// Fixture: raw shifts in fns that reach `Gf2k` arithmetic — one direct,
+// one only through the call graph.
+fn expose_low(x: Gf2k) -> u64 {
+    x.to_u64() << 1
+}
+
+fn reduce_any(raw: u64) -> u64 {
+    expose_low(recover_share(raw)) & 1
+}
+
+fn recover_share(raw: u64) -> Gf2k {
+    Gf2k::from_u64(raw)
+}
+
+// No field ident in sight, but `reduce_any` reaches `expose_low`:
+// the shift below is still the cost model's business.
+fn pack(raw: u64) -> u64 {
+    let lo = reduce_any(raw);
+    lo << 8
+}
+
+// Scope check: this fn reaches no field arithmetic, so its shift is
+// plain integer formatting and stays legal.
+fn format_header(tag: u64) -> u64 {
+    tag << 48
+}

@@ -1,0 +1,67 @@
+// Fixture: conforming machines — the full contract, a pure delegator,
+// a pinned debug print, and a `#[cfg(test)]` probe (exempt).
+struct Conforming {
+    left: u32,
+}
+
+impl<M> RoundMachine<M> for Conforming {
+    type Output = ();
+
+    fn phase_name(&self) -> &'static str {
+        "conforming"
+    }
+
+    fn round(&mut self, _view: RoundView<'_, M>) -> Step<M, ()> {
+        if self.left == 0 {
+            return Step::Done(());
+        }
+        self.left -= 1;
+        Step::Continue(Outbox::default())
+    }
+}
+
+// Neither `Continue` nor `Done` of its own: forwards the inner step
+// untouched, like the library's `Box`/`FromFn` combinators.
+struct Fwd<T>(T);
+
+impl<M, T: RoundMachine<M>> RoundMachine<M> for Fwd<T> {
+    type Output = T::Output;
+
+    fn phase_name(&self) -> &'static str {
+        self.0.phase_name()
+    }
+
+    fn round(&mut self, view: RoundView<'_, M>) -> Step<M, T::Output> {
+        self.0.round(view)
+    }
+}
+
+struct Debugging;
+
+impl<M> RoundMachine<M> for Debugging {
+    type Output = ();
+
+    fn phase_name(&self) -> &'static str {
+        "debugging"
+    }
+
+    fn round(&mut self, _view: RoundView<'_, M>) -> Step<M, ()> {
+        // lint: allow(machine-contract) — fixture: temporary diagnostics behind a debug flag
+        eprintln!("tick");
+        Step::Done(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    struct Probe;
+
+    impl<M> RoundMachine<M> for Probe {
+        type Output = ();
+
+        fn round(&mut self, _view: RoundView<'_, M>) -> Step<M, ()> {
+            println!("probe");
+            Step::Continue(Outbox::default())
+        }
+    }
+}

@@ -1,0 +1,40 @@
+// Fixture: three broken machine contracts — an anonymous phase, a
+// machine that can never terminate, and ambient I/O inside `round`.
+struct Silent;
+
+impl<M> RoundMachine<M> for Silent {
+    type Output = ();
+
+    fn round(&mut self, _view: RoundView<'_, M>) -> Step<M, ()> {
+        Step::Done(())
+    }
+}
+
+struct Spinner;
+
+impl<M> RoundMachine<M> for Spinner {
+    type Output = ();
+
+    fn phase_name(&self) -> &'static str {
+        "spin"
+    }
+
+    fn round(&mut self, _view: RoundView<'_, M>) -> Step<M, ()> {
+        Step::Continue(Outbox::default())
+    }
+}
+
+struct Chatty;
+
+impl<M> RoundMachine<M> for Chatty {
+    type Output = ();
+
+    fn phase_name(&self) -> &'static str {
+        "chatty"
+    }
+
+    fn round(&mut self, view: RoundView<'_, M>) -> Step<M, ()> {
+        println!("round {}", view.round());
+        Step::Done(())
+    }
+}

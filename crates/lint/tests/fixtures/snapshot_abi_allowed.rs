@@ -1,0 +1,15 @@
+// Fixture: correct pins — fingerprints current, versions matching the
+// const.
+pub const SNAPSHOT_VERSION: u16 = 3;
+
+// lint: snapshot-abi(v3, de0baedb2b189b72)
+pub struct PinnedState {
+    pub epoch: u64,
+    pub stock: u32,
+}
+
+// lint: snapshot-abi(v3, 2eadabdc6a09687c)
+pub enum PinnedMode {
+    Idle,
+    Busy { until: u64 },
+}

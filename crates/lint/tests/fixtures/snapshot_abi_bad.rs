@@ -1,0 +1,23 @@
+// Fixture: ABI drift and bad pins.
+pub const SNAPSHOT_VERSION: u16 = 3;
+
+// Fingerprint taken before `delta` was added — the field landed without
+// a version bump, which is exactly what the rule exists to catch.
+// lint: snapshot-abi(v3, f42001cb01d165df)
+pub struct DriftState {
+    pub epoch: u64,
+    pub stock: u32,
+    pub delta: u64,
+}
+
+// Fingerprint is current, but the pin was taken at v2 and the const
+// has moved on: the pin must be re-taken.
+// lint: snapshot-abi(v2, 0024eae5efe8f081)
+pub struct VersionLag {
+    pub a: u64,
+    pub b: u64,
+}
+
+// A pin that precedes no struct or enum pins nothing.
+// lint: snapshot-abi(v3, 0123456789abcdef)
+pub fn not_a_struct() {}

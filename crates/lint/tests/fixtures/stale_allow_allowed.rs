@@ -1,0 +1,7 @@
+// Fixture: a live pin — it suppresses a real diagnostic, so it is not
+// stale.
+fn cache() -> u32 {
+    // lint: allow(determinism) — fixture: pinned wire format predates the BTreeMap sweep
+    let m = HashMap::new();
+    m.len() as u32
+}

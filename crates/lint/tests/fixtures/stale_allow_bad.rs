@@ -1,0 +1,12 @@
+// Fixture: pins whose violations were fixed long ago — each one is now
+// a hole waiting for a real violation to crawl in.
+// lint: allow(determinism) — fixture: this HashMap was swept to BTreeMap two PRs ago
+fn no_hashmap_here() -> u32 {
+    7
+}
+
+// lint: allow-file(cost-model) — fixture: the XOR fold this pinned is long gone
+
+fn plain() -> u32 {
+    9
+}

@@ -3,7 +3,9 @@
 //! (`tests/fixtures/`; the workspace scan deliberately skips that
 //! directory).
 
-use dprbg_lint::{lint_manifest, lint_rust_source, FileClass, FileKind, RuleId};
+use dprbg_lint::{
+    lint_manifest, lint_rust_source, lint_sources, FileClass, FileKind, RuleId, SourceSpec,
+};
 
 fn fixture(name: &str) -> String {
     let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -14,6 +16,17 @@ fn fixture(name: &str) -> String {
 fn lint_as(name: &str, crate_name: &str) -> Vec<dprbg_lint::Diagnostic> {
     let class = FileClass { crate_name: crate_name.into(), kind: FileKind::Lib };
     lint_rust_source(name, &fixture(name), &class)
+}
+
+/// Run the full workspace analysis (flow rules + stale-allow included)
+/// over one fixture classified as library code of `crate_name`.
+fn scan_as(name: &str, crate_name: &str) -> Vec<dprbg_lint::Diagnostic> {
+    let specs = vec![SourceSpec {
+        label: name.to_string(),
+        text: fixture(name),
+        class: FileClass { crate_name: crate_name.into(), kind: FileKind::Lib },
+    }];
+    lint_sources(&specs).diags
 }
 
 #[test]
@@ -178,4 +191,124 @@ fn malformed_allows_are_diagnostics_and_do_not_suppress() {
     // Three malformed allows + the HashMap uses they fail to suppress.
     assert!(d.iter().filter(|x| x.rule == RuleId::AllowSyntax).count() >= 3, "{d:#?}");
     assert!(d.iter().any(|x| x.rule == RuleId::Determinism), "{d:#?}");
+}
+
+// ---------------------------------------------------------------------
+// Flow rules (PR 9): exercised through `lint_sources`, since they need
+// the item model and call graph, not just a token stream.
+// ---------------------------------------------------------------------
+
+#[test]
+fn ledger_coverage_bad_fires() {
+    let d = scan_as("ledger_coverage_bad.rs", "dprbg-core");
+    // One direct shift next to Gf2k, one reached only via the call graph
+    // (`pack` → `reduce_any` → `expose_low`); `format_header`'s shift is
+    // out of reach and stays legal.
+    assert_eq!(d.len(), 2, "{d:#?}");
+    assert!(d.iter().all(|x| x.rule == RuleId::LedgerCoverage));
+    assert!(d.iter().any(|x| x.message.contains("`expose_low`")), "{d:#?}");
+    assert!(d.iter().any(|x| x.message.contains("`pack`")), "{d:#?}");
+}
+
+#[test]
+fn ledger_coverage_allowed_is_clean() {
+    assert_eq!(scan_as("ledger_coverage_allowed.rs", "dprbg-core"), vec![]);
+}
+
+#[test]
+fn ledger_coverage_is_scoped_to_costed_crates() {
+    // The same file in the beacon (or bench) crate is out of scope: the
+    // §2 tables only cost dprbg-core / dprbg-poly arithmetic.
+    assert_eq!(scan_as("ledger_coverage_bad.rs", "dprbg-beacon"), vec![]);
+    assert_eq!(scan_as("ledger_coverage_bad.rs", "dprbg-bench"), vec![]);
+}
+
+#[test]
+fn machine_contract_bad_fires() {
+    let d = scan_as("machine_contract_bad.rs", "dprbg-bench");
+    assert_eq!(d.len(), 3, "anonymous phase, no Done, ambient I/O: {d:#?}");
+    assert!(d.iter().all(|x| x.rule == RuleId::MachineContract));
+    assert!(d.iter().any(|x| x.message.contains("does not define `phase_name`")), "{d:#?}");
+    assert!(d.iter().any(|x| x.message.contains("never constructs `Step::Done`")), "{d:#?}");
+    assert!(d.iter().any(|x| x.message.contains("only via `Outbox`")), "{d:#?}");
+}
+
+#[test]
+fn machine_contract_allowed_is_clean() {
+    // Conforming machine, pure delegator (neither Continue nor Done of
+    // its own), pinned debug print, and a #[cfg(test)] probe.
+    assert_eq!(scan_as("machine_contract_allowed.rs", "dprbg-bench"), vec![]);
+}
+
+#[test]
+fn stale_allow_bad_fires() {
+    let d = scan_as("stale_allow_bad.rs", "dprbg-core");
+    assert_eq!(d.len(), 2, "both dead pins flagged: {d:#?}");
+    assert!(d.iter().all(|x| x.rule == RuleId::StaleAllow));
+    assert!(d.iter().any(|x| x.message.contains("`determinism`")), "{d:#?}");
+    assert!(d.iter().any(|x| x.message.contains("`cost-model`")), "{d:#?}");
+}
+
+#[test]
+fn stale_allow_allowed_is_clean() {
+    // The pin suppresses a live HashMap diagnostic, so it is not stale —
+    // and the diagnostic it suppresses doesn't surface either.
+    assert_eq!(scan_as("stale_allow_allowed.rs", "dprbg-core"), vec![]);
+}
+
+#[test]
+fn stale_allow_cannot_be_suppressed() {
+    let specs = vec![SourceSpec {
+        label: "x.rs".into(),
+        text: "// lint: allow(stale-allow) — trying to hide dead pins\nfn f() {}\n".into(),
+        class: FileClass { crate_name: "dprbg-core".into(), kind: FileKind::Lib },
+    }];
+    let d = lint_sources(&specs).diags;
+    assert_eq!(d.len(), 1, "{d:#?}");
+    assert_eq!(d[0].rule, RuleId::AllowSyntax);
+    assert!(d[0].message.contains("cannot be suppressed"), "{d:#?}");
+}
+
+#[test]
+fn snapshot_abi_bad_fires() {
+    let d = scan_as("snapshot_abi_bad.rs", "dprbg-beacon");
+    assert_eq!(d.len(), 3, "drifted ABI, lagging version, dangling pin: {d:#?}");
+    assert!(d.iter().all(|x| x.rule == RuleId::SnapshotAbi));
+    assert!(d.iter().any(|x| x.message.contains("ABI of `DriftState` changed")), "{d:#?}");
+    assert!(
+        d.iter().any(|x| x.message.contains("declares v2 but `SNAPSHOT_VERSION` is 3")),
+        "{d:#?}"
+    );
+    assert!(
+        d.iter().any(|x| x.message.contains("does not directly precede")),
+        "{d:#?}"
+    );
+}
+
+#[test]
+fn snapshot_abi_allowed_is_clean() {
+    assert_eq!(scan_as("snapshot_abi_allowed.rs", "dprbg-beacon"), vec![]);
+}
+
+#[test]
+fn snapshot_abi_mismatch_message_carries_the_new_fingerprint() {
+    // The diagnostic quotes the computed fingerprint, so re-pinning after
+    // a reviewed change is copy-paste — verify the quoted value is the
+    // one that then passes.
+    let d = scan_as("snapshot_abi_bad.rs", "dprbg-beacon");
+    let msg = &d.iter().find(|x| x.message.contains("DriftState")).unwrap().message;
+    let fp = msg.split('`').nth(3).unwrap();
+    assert_eq!(fp.len(), 16, "fingerprint not where expected in: {msg}");
+    let fixed = fixture("snapshot_abi_bad.rs")
+        .replace("snapshot-abi(v3, f42001cb01d165df)", &format!("snapshot-abi(v3, {fp})"));
+    let specs = vec![SourceSpec {
+        label: "fixed.rs".into(),
+        text: fixed,
+        class: FileClass { crate_name: "dprbg-beacon".into(), kind: FileKind::Lib },
+    }];
+    let d2 = lint_sources(&specs).diags;
+    assert!(
+        !d2.iter().any(|x| x.message.contains("DriftState")),
+        "re-pinned fingerprint should satisfy the rule: {d2:#?}"
+    );
 }

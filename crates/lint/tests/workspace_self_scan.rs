@@ -57,6 +57,10 @@ fn cli_exit_codes() {
         stdout.contains("0 transport suppressions (required: 0)"),
         "workspace mode must report the transport-suppression census: {stdout}"
     );
+    assert!(
+        stdout.contains("0 stale suppressions"),
+        "workspace mode must report the stale-allow census: {stdout}"
+    );
 
     // Build a bad mini-workspace under the cargo-provided tmp dir.
     let bad_root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint-bad-workspace");
@@ -97,4 +101,145 @@ fn cli_exit_codes() {
     assert_eq!(manifests.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&manifests.stdout);
     assert!(stdout.contains("[hermetic]") && !stdout.contains("[determinism]"), "{stdout}");
+}
+
+/// Write a minimal one-crate workspace with the given beacon source.
+fn synth_workspace(name: &str, crate_name: &str, source: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let src = root.join("crates/x/src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = [\"crates/*\"]\n")
+        .expect("write root manifest");
+    std::fs::write(
+        root.join("crates/x/Cargo.toml"),
+        format!("[package]\nname = \"{crate_name}\"\nversion = \"0.1.0\"\n"),
+    )
+    .expect("write crate manifest");
+    std::fs::write(src.join("lib.rs"), source).expect("write source");
+    root
+}
+
+/// The acceptance criterion for `snapshot-abi`: a serialized struct
+/// grows a field, `SNAPSHOT_VERSION` is not bumped — the lint fails
+/// the workspace. Bump + re-pin and it passes again.
+#[test]
+fn snapshot_abi_catches_field_added_without_version_bump() {
+    let bin = env!("CARGO_BIN_EXE_dprbg-lint");
+    let pinned = "pub(crate) const SNAPSHOT_VERSION: u16 = 1;\n\n\
+                  // lint: snapshot-abi(v1, ec8829a3527b018f)\n\
+                  pub struct SyntheticState {\n    pub epoch: u64,\n    pub stock: u32,\n}\n";
+
+    // Clean state: pin matches the field list and the version.
+    let root = synth_workspace("lint-abi-clean", "dprbg-beacon", pinned);
+    let ok = Command::new(bin)
+        .args(["--workspace", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run dprbg-lint");
+    assert!(ok.status.success(), "pinned struct must pass: {ok:?}");
+
+    // Add a field, keep the pin and the version: must fail.
+    let drifted = pinned.replace("    pub stock: u32,\n", "    pub stock: u32,\n    pub delta: u64,\n");
+    let root = synth_workspace("lint-abi-drift", "dprbg-beacon", &drifted);
+    let bad = Command::new(bin)
+        .args(["--workspace", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run dprbg-lint");
+    assert_eq!(bad.status.code(), Some(1), "ABI drift must exit 1: {bad:?}");
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(stdout.contains("[snapshot-abi]"), "{stdout}");
+    assert!(stdout.contains("bump `SNAPSHOT_VERSION`"), "{stdout}");
+
+    // The diagnostic quotes the new fingerprint: bump the const and
+    // re-pin with it, and the workspace is clean again.
+    let fp = stdout
+        .split("fingerprint is `")
+        .nth(1)
+        .and_then(|s| s.get(..16))
+        .expect("diagnostic quotes the computed fingerprint");
+    let repinned = drifted
+        .replace("SNAPSHOT_VERSION: u16 = 1", "SNAPSHOT_VERSION: u16 = 2")
+        .replace("snapshot-abi(v1, ec8829a3527b018f)", &format!("snapshot-abi(v2, {fp})"));
+    let root = synth_workspace("lint-abi-repinned", "dprbg-beacon", &repinned);
+    let ok = Command::new(bin)
+        .args(["--workspace", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run dprbg-lint");
+    assert!(ok.status.success(), "bumped + re-pinned must pass: {ok:?}");
+}
+
+/// Baseline mode end-to-end: `--update-baseline` then `--baseline`
+/// passes; a new violation on top of the accepted set exits 1 and names
+/// only the new diagnostic.
+#[test]
+fn baseline_diff_cli_roundtrip() {
+    let bin = env!("CARGO_BIN_EXE_dprbg-lint");
+    let seeded = "pub fn m() -> usize {\n    HashMap::new().len()\n}\n";
+    let root = synth_workspace("lint-baseline-e2e", "dprbg-core", seeded);
+    let baseline = root.join("baseline.json");
+
+    // Accept the seeded violation into the baseline.
+    let upd = Command::new(bin)
+        .args(["--workspace", "--root"])
+        .arg(&root)
+        .arg("--update-baseline")
+        .arg(&baseline)
+        .output()
+        .expect("run dprbg-lint");
+    assert!(upd.status.success(), "--update-baseline always exits 0: {upd:?}");
+    let text = std::fs::read_to_string(&baseline).expect("baseline written");
+    assert!(text.contains("[determinism]"), "{text}");
+
+    // Same tree vs the baseline: accepted, exit 0.
+    let same = Command::new(bin)
+        .args(["--workspace", "--root"])
+        .arg(&root)
+        .arg("--baseline")
+        .arg(&baseline)
+        .output()
+        .expect("run dprbg-lint");
+    assert!(same.status.success(), "baselined tree must exit 0: {same:?}");
+    let stdout = String::from_utf8_lossy(&same.stdout);
+    assert!(stdout.contains("no new diagnostics vs baseline (1 accepted)"), "{stdout}");
+
+    // Introduce a second violation: only it is NEW; exit 1.
+    std::fs::write(
+        root.join("crates/x/src/lib.rs"),
+        format!("{seeded}\npub fn i() -> u64 {{\n    Instant::now().elapsed().as_secs()\n}}\n"),
+    )
+    .expect("extend source");
+    let drift = Command::new(bin)
+        .args(["--workspace", "--root"])
+        .arg(&root)
+        .arg("--baseline")
+        .arg(&baseline)
+        .output()
+        .expect("run dprbg-lint");
+    assert_eq!(drift.status.code(), Some(1), "new diagnostic must exit 1: {drift:?}");
+    let stderr = String::from_utf8_lossy(&drift.stderr);
+    assert!(stderr.contains("NEW vs baseline"), "{stderr}");
+    assert!(stderr.contains("[determinism]"), "{stderr}");
+    assert_eq!(
+        stderr.matches("NEW vs baseline").count(),
+        1,
+        "the accepted diagnostic must not re-fire: {stderr}"
+    );
+}
+
+/// `--json` emits the census fields verify.sh greps for.
+#[test]
+fn json_report_carries_census_fields() {
+    let bin = env!("CARGO_BIN_EXE_dprbg-lint");
+    let out = Command::new(bin)
+        .args(["--workspace", "--json", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("run dprbg-lint");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"stale_suppressions\": 0"), "{stdout}");
+    assert!(stdout.contains("\"transport_suppressions\": 0"), "{stdout}");
+    assert!(stdout.contains("\"snapshot_pins\": 5"), "{stdout}");
 }

@@ -35,6 +35,33 @@ if ! grep -q "0 transport suppressions (required: 0)" <<<"$lint_report"; then
     echo "(the blocking transport is retired; port the code instead — see LINTS.md)" >&2
     exit 1
 fi
+if ! grep -q "0 stale suppressions" <<<"$lint_report"; then
+    echo "stale-allow guard FAILED: dead allow pins exist in the workspace" >&2
+    echo "(a pin that suppresses nothing is a hole; delete it — see LINTS.md)" >&2
+    exit 1
+fi
+
+echo "== lint (structural: flow rules, JSON report, baseline diff, <5s budget) =="
+# The release build above already produced the binary; invoking it
+# directly keeps the wall-clock measurement honest (no cargo overhead).
+# Budget: the item-graph analysis of the whole workspace must stay
+# interactive — under 5 seconds end to end.
+lint_bin="target/release/dprbg-lint"
+lint_t0="$(date +%s%N)"
+lint_json="$("$lint_bin" --workspace --json --baseline scripts/lint-baseline.json)"
+lint_t1="$(date +%s%N)"
+lint_ms=$(( (lint_t1 - lint_t0) / 1000000 ))
+printf '%s\n' "$lint_json" | tail -n 8
+if ! grep -q '"stale_suppressions": 0' <<<"$lint_json"; then
+    echo "structural lint FAILED: stale_suppressions != 0 in the JSON report" >&2
+    exit 1
+fi
+echo "ok: structural lint clean vs baseline in ${lint_ms}ms"
+if [ "$lint_ms" -ge 5000 ]; then
+    echo "structural lint FAILED: ${lint_ms}ms exceeds the 5s budget" >&2
+    echo "(the item-graph analysis must stay interactive; profile before growing it)" >&2
+    exit 1
+fi
 # Belt-and-braces: no source or doc may name the retired blocking entry
 # point outside the lint fixture corpus. (Pattern split so this script
 # never matches itself.)
