@@ -29,6 +29,13 @@
 //!   a versioned, checksummed binary format; a service killed at any
 //!   epoch boundary and restored continues **byte-identically** to one
 //!   that never died, under either executor (property-tested).
+//! * **Health telemetry** ([`BeaconService::health`] /
+//!   [`FlightRecorder`]): every epoch folds into a deterministic metric
+//!   [`Registry`](dprbg_metrics::Registry) (mode transitions, backoff
+//!   depth, reservoir occupancy, draw outcomes, refill attempts) and a
+//!   bounded flight recorder of per-epoch [`HealthRecord`]s — both ride
+//!   inside the snapshot, and the rollback path renders them as a
+//!   forensic dump.
 //!
 //! The fault-injection schedules the soak tests drive this with —
 //! composite mid-episode strategy switches, crash/stampede/adversary
@@ -38,15 +45,18 @@
 //! [`ScheduledAdversary`]: dprbg_sim::ScheduledAdversary
 
 mod epoch;
+mod health;
 mod reservoir;
 mod service;
 mod snapshot;
 mod supervisor;
 
 pub use epoch::{BeaconMsg, EpochMachine, EpochOutcome, RefillReport};
+pub use health::{EpochOutcomeTag, FlightRecorder, HealthRecord, RefillStatus};
 pub use reservoir::{DrawOutcome, Reservoir, ReservoirConfig};
 pub use service::{
     epoch_seed, BeaconConfig, BeaconError, BeaconService, BeaconStats, EpochReport, ExecutorKind,
+    FLIGHT_RECORDER_EPOCHS,
 };
 pub use snapshot::SnapshotError;
 pub use supervisor::{EpochDecision, Mode, Supervisor};

@@ -28,13 +28,14 @@ use dprbg_core::{
     CoinGenConfig, CoinWallet, ProtocolError, RetryPolicy, TrustedDealer, MIN_SEEDS_PER_ATTEMPT,
 };
 use dprbg_field::Field;
-use dprbg_metrics::{CostReport, CostSnapshot};
+use dprbg_metrics::{CostReport, CostSnapshot, LogicalTime, Registry};
 use dprbg_sim::{
     AdaptiveAdversary, Attack, BoxedMachine, ParRunner, RunResult, StepRunner, TraceConfig,
 };
 use dprbg_trace::{Event, EventKind};
 
 use crate::epoch::{BeaconMsg, EpochMachine, EpochOutcome, RefillReport};
+use crate::health::{EpochOutcomeTag, FlightRecorder, HealthRecord, RefillStatus};
 use crate::reservoir::{DrawOutcome, Reservoir, ReservoirConfig};
 use crate::snapshot::{self, SnapshotError, SnapshotState};
 use crate::supervisor::{EpochDecision, Mode, Supervisor};
@@ -62,8 +63,11 @@ pub fn epoch_seed(master_seed: u64, epoch: u64) -> u64 {
 pub enum ExecutorKind {
     /// The single-threaded [`StepRunner`].
     Step,
-    /// The work-stealing [`ParRunner`].
+    /// The work-stealing [`ParRunner`] with its default worker pool.
     Par,
+    /// The [`ParRunner`] pinned to an explicit worker count — the health
+    /// plane's cross-thread-count determinism tests sweep this.
+    ParThreads(usize),
 }
 
 /// Standing configuration of a [`BeaconService`]. Not serialized into
@@ -114,7 +118,7 @@ impl std::fmt::Display for BeaconError {
 impl std::error::Error for BeaconError {}
 
 /// Cumulative service statistics (snapshotted).
-// lint: snapshot-abi(v1, 5efdad8e74da19d0)
+// lint: snapshot-abi(v2, 5efdad8e74da19d0)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BeaconStats {
     /// Epochs driven (including skipped ones).
@@ -168,6 +172,9 @@ pub struct EpochReport<F: Field> {
     pub rolled_back: bool,
     /// Per-draw outcomes, grouped by consumer in demand order.
     pub draws: Vec<(u32, DrawOutcome<F>)>,
+    /// A rendered forensic health dump, attached on the rollback path so
+    /// the evidence travels with the report that needs it.
+    pub forensics: Option<String>,
 }
 
 /// The long-running beacon: all cross-epoch state, plain and
@@ -192,6 +199,24 @@ pub struct BeaconService<F: Field> {
     /// produced (rebased to service-global rounds). Snapshotting the
     /// digest instead of the events keeps snapshots O(1) in run length.
     trace_digest: u64,
+    /// Health-plane registry: counters/gauges/histograms keyed on
+    /// logical time, byte-identical across executors.
+    registry: Registry,
+    /// Bounded ring of per-epoch health records (the flight recorder).
+    recorder: FlightRecorder,
+}
+
+/// How many per-epoch [`HealthRecord`]s the flight recorder retains.
+/// A service constant, not serialized — see [`FlightRecorder`].
+pub const FLIGHT_RECORDER_EPOCHS: usize = 64;
+
+/// The fault injections threaded into one epoch fleet run: an in-model
+/// message-tap adversary and/or the fire-drill's post-run output
+/// discard (see [`BeaconService::rollback_drill`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct Injection {
+    adversary: Option<(Attack, usize)>,
+    drill: Option<usize>,
 }
 
 impl<F: Field> BeaconService<F> {
@@ -217,6 +242,8 @@ impl<F: Field> BeaconService<F> {
             trace_rounds: 0,
             trace_events: 0,
             trace_digest: 0,
+            registry: Registry::new(),
+            recorder: FlightRecorder::new(FLIGHT_RECORDER_EPOCHS),
         }
     }
 
@@ -255,6 +282,42 @@ impl<F: Field> BeaconService<F> {
         (self.trace_rounds, self.trace_events, self.trace_digest)
     }
 
+    /// The health-plane registry (counters, gauges, histograms).
+    pub fn health(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The flight recorder: the last [`FLIGHT_RECORDER_EPOCHS`] epochs'
+    /// health records.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Record a completed crash recovery: the service was down for
+    /// `down_epochs` epochs and has been restored. Called by the
+    /// operator/harness after [`BeaconService::restore`] succeeds —
+    /// restore itself cannot know how long the process was dead.
+    pub fn note_recovery(&mut self, down_epochs: u64) {
+        self.registry.counter_add("beacon_recoveries_total", &[], 1);
+        self.registry
+            .histogram_observe("beacon_recovery_depth_epochs", &[], down_epochs);
+    }
+
+    /// Render the flight recorder plus supervisor state as a forensic
+    /// report. The rollback path attaches this to its [`EpochReport`];
+    /// callers that hit [`BeaconError::Unsound`] should call it
+    /// themselves before discarding the service.
+    pub fn forensic_report(&self, reason: &str) -> String {
+        let mut out = self.recorder.render(reason);
+        out.push_str(&format!(
+            "supervisor: mode={} failures={} blamed={:?}\n",
+            self.supervisor.mode().label(),
+            self.supervisor.failures(),
+            self.supervisor.blamed(),
+        ));
+        out
+    }
+
     /// Drive one epoch: decide policy, (maybe) run the two-plane fleet,
     /// commit or roll back, admit exposed coins, and serve `demands`
     /// (`(consumer id, coins wanted)` pairs) with round-robin fairness.
@@ -277,6 +340,7 @@ impl<F: Field> BeaconService<F> {
         adversary: Option<(Attack, usize)>,
     ) -> Result<EpochReport<F>, BeaconError> {
         let epoch = self.epoch;
+        let mode_before = self.supervisor.mode();
         let decision = self.supervisor.decide(epoch);
         let mut report = EpochReport {
             epoch,
@@ -287,13 +351,22 @@ impl<F: Field> BeaconService<F> {
             refill: None,
             rolled_back: false,
             draws: Vec::new(),
+            forensics: None,
         };
 
         let mut fresh = Vec::new();
         if decision == EpochDecision::Run {
             let (serve_count, refill) = self.plan(demands);
             if serve_count > 0 || refill.is_some() {
-                match self.run_protocol(epoch, serve_count, refill, executor, adversary, &mut report)
+                match self
+                    .run_protocol(
+                        epoch,
+                        serve_count,
+                        refill,
+                        executor,
+                        Injection { adversary, drill: None },
+                        &mut report,
+                    )
                 {
                     Ok(coins) => fresh = coins,
                     Err(e) => {
@@ -328,7 +401,114 @@ impl<F: Field> BeaconService<F> {
 
         self.stats.epochs += 1;
         self.epoch += 1;
+        self.record_health(mode_before, &mut report);
         Ok(report)
+    }
+
+    /// Fold one committed epoch into the health plane: registry metrics,
+    /// a flight-recorder entry, and (on the rollback path) the forensic
+    /// dump. Called only from [`Self::run_epoch`]'s `Ok` path — the
+    /// Unsound path discards the epoch wholesale, health included, so
+    /// the snapshot-equality contract survives.
+    fn record_health(&mut self, mode_before: Mode, report: &mut EpochReport<F>) {
+        let epoch = report.epoch;
+        let at = LogicalTime::at_epoch(epoch);
+        let outcome = match report.decision {
+            EpochDecision::ReadOnly => EpochOutcomeTag::Degraded,
+            EpochDecision::Skip => EpochOutcomeTag::Skipped,
+            EpochDecision::Run if report.rolled_back => EpochOutcomeTag::RolledBack,
+            EpochDecision::Run => EpochOutcomeTag::Committed,
+        };
+
+        let r = &mut self.registry;
+        r.counter_add("beacon_epochs_total", &[("outcome", outcome.label())], 1);
+        if report.ran {
+            r.counter_add("beacon_rounds_total", &[], report.rounds);
+            r.histogram_observe("beacon_epoch_rounds", &[], report.rounds);
+        }
+        if report.exposed > 0 {
+            r.counter_add("beacon_coins_exposed_total", &[], report.exposed as u64);
+        }
+
+        let (mut served, mut would_block, mut starved) = (0u32, 0u32, 0u32);
+        let mut grants: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+        for (consumer, draw) in &report.draws {
+            match draw {
+                DrawOutcome::Coin(_) => {
+                    served += 1;
+                    *grants.entry(*consumer).or_insert(0) += 1;
+                }
+                DrawOutcome::WouldBlock => would_block += 1,
+                DrawOutcome::Starved => starved += 1,
+            }
+        }
+        for (label, count) in
+            [("coin", served), ("would_block", would_block), ("starved", starved)]
+        {
+            if count > 0 {
+                r.counter_add("beacon_draws_total", &[("outcome", label)], count as u64);
+            }
+        }
+        for (consumer, granted) in &grants {
+            let consumer = consumer.to_string();
+            r.counter_add("beacon_grants_total", &[("consumer", &consumer)], *granted);
+        }
+
+        let mut refill_status = RefillStatus::NotScheduled;
+        let mut refill_attempts = 0u32;
+        match &report.refill {
+            Some(Ok(rr)) => {
+                refill_status = RefillStatus::Ok;
+                refill_attempts = rr.attempts as u32;
+                r.counter_add("beacon_refills_total", &[("result", "ok")], 1);
+                r.counter_add("beacon_refill_attempts_total", &[], rr.attempts as u64);
+                r.counter_add("beacon_seeds_spent_total", &[], rr.seeds_spent as u64);
+            }
+            Some(Err(_)) => {
+                refill_status = RefillStatus::Failed;
+                r.counter_add("beacon_refills_total", &[("result", "failed")], 1);
+            }
+            None => {}
+        }
+        if report.rolled_back {
+            r.counter_add("beacon_rollbacks_total", &[], 1);
+        }
+
+        let mode_after = self.supervisor.mode();
+        if mode_after != mode_before {
+            r.counter_add(
+                "beacon_mode_transitions_total",
+                &[("from", mode_before.label()), ("to", mode_after.label())],
+                1,
+            );
+        }
+        let wallet_level = self.wallets.first().map_or(0, CoinWallet::len);
+        r.gauge_set("beacon_reservoir_level", &[], at, self.reservoir.level() as u64);
+        r.gauge_set("beacon_wallet_level", &[], at, wallet_level as u64);
+        r.gauge_set("beacon_supervisor_failures", &[], at, self.supervisor.failures() as u64);
+        r.gauge_set("beacon_backoff_exp", &[], at, self.supervisor.backoff_exp() as u64);
+
+        self.recorder.push(HealthRecord {
+            epoch,
+            outcome,
+            mode: mode_after,
+            rounds: report.rounds,
+            exposed: report.exposed as u32,
+            served,
+            would_block,
+            starved,
+            wallet_level: wallet_level as u32,
+            reservoir_level: self.reservoir.level() as u32,
+            failures: self.supervisor.failures(),
+            backoff_exp: self.supervisor.backoff_exp(),
+            refill: refill_status,
+            refill_attempts,
+        });
+
+        if report.rolled_back {
+            report.forensics =
+                Some(self.forensic_report("epoch rolled back: cross-party divergence"));
+        }
     }
 
     /// Plan the epoch: how many coins to expose (serve plane) and
@@ -368,7 +548,7 @@ impl<F: Field> BeaconService<F> {
         serve_count: usize,
         refill: Option<RetryPolicy>,
         executor: ExecutorKind,
-        adversary: Option<(Attack, usize)>,
+        inject: Injection,
         report: &mut EpochReport<F>,
     ) -> Result<Vec<F>, BeaconError> {
         let n = self.cfg.coin_gen.params.n;
@@ -384,8 +564,60 @@ impl<F: Field> BeaconService<F> {
             .collect();
 
         let seed = epoch_seed(self.master_seed, epoch);
-        let (res, corrupted) = self.run_fleet(n, seed, executor, adversary, machines);
+        let (mut res, corrupted) = self.run_fleet(n, seed, executor, inject.adversary, machines);
+        if let Some(party) = inject.drill {
+            res.outputs[party - 1] = None;
+        }
         self.commit_epoch(epoch, res, &corrupted, before, report)
+    }
+
+    /// Fire-drill for the abort machinery: run one real (adversary-free)
+    /// epoch fleet, then discard the last party's output before the
+    /// consistency audit, exactly as if that party's process had died
+    /// mid-epoch. The divergence audit, the transactional rollback, the
+    /// supervisor's failure policy, and the forensic flight-recorder
+    /// dump all fire through the same code a real incident would take.
+    ///
+    /// The drill exists because no in-model adversary can reach the
+    /// rollback path through [`Self::run_epoch`]: within the `f ≤ t`
+    /// model failures are symmetric and commit as *failed* epochs (the
+    /// E12 campaign's zero-unsound evidence), so the audit is
+    /// defense-in-depth against states the theorems rule out. Operators
+    /// (and the repro corpus) use the drill to prove the plumbing end to
+    /// end before trusting it in anger.
+    ///
+    /// The drill is a real epoch: the rollback restores the wallets, but
+    /// the epoch counter advances, the supervisor records the failure
+    /// (expect a backoff), and the flight recorder keeps the rolled-back
+    /// record. The returned report has `rolled_back` set and carries the
+    /// forensic dump.
+    pub fn rollback_drill(&mut self, executor: ExecutorKind) -> EpochReport<F> {
+        let epoch = self.epoch;
+        let mode_before = self.supervisor.mode();
+        let mut report = EpochReport {
+            epoch,
+            decision: EpochDecision::Run,
+            ran: false,
+            rounds: 0,
+            exposed: 0,
+            refill: None,
+            rolled_back: false,
+            draws: Vec::new(),
+            forensics: None,
+        };
+        // A minimal serve-plane fleet (one coin, no refill): enough
+        // protocol to produce the per-party outputs the audit rejects.
+        let serve_count = 1usize.min(self.wallet_level());
+        let drill_party = self.cfg.coin_gen.params.n;
+        let inject = Injection { adversary: None, drill: Some(drill_party) };
+        let coins = self
+            .run_protocol(epoch, serve_count, None, executor, inject, &mut report)
+            .unwrap_or_else(|_| unreachable!("a drilled epoch diverges, and divergence rolls back"));
+        debug_assert!(coins.is_empty(), "a rolled-back epoch exposes no coins");
+        self.stats.epochs += 1;
+        self.epoch += 1;
+        self.record_health(mode_before, &mut report);
+        report
     }
 
     /// Audit one epoch's fleet result and commit, roll back, or reject
@@ -519,10 +751,13 @@ impl<F: Field> BeaconService<F> {
                     None => (runner.run(machines), std::collections::BTreeSet::new()),
                 }
             }
-            ExecutorKind::Par => {
-                let runner = ParRunner::new(n, seed)
+            ExecutorKind::Par | ExecutorKind::ParThreads(_) => {
+                let mut runner = ParRunner::new(n, seed)
                     .with_trace(TraceConfig::full())
                     .with_max_rounds(max_rounds);
+                if let ExecutorKind::ParThreads(threads) = executor {
+                    runner = runner.with_threads(threads);
+                }
                 match tap {
                     Some((adv, h)) => (runner.with_tap(adv).run(machines), h.snapshot()),
                     None => (runner.run(machines), std::collections::BTreeSet::new()),
@@ -639,6 +874,8 @@ impl<F: Field> BeaconService<F> {
                 self.ledger.per_party.iter().map(|p| p.cost).collect(),
                 self.ledger.comm,
             ),
+            registry: self.registry.clone(),
+            recorder: self.recorder.parts(),
         };
         snapshot::encode(&state)
     }
@@ -689,6 +926,11 @@ impl<F: Field> BeaconService<F> {
             trace_rounds: state.trace.0,
             trace_events: state.trace.1,
             trace_digest: state.trace.2,
+            registry: state.registry,
+            recorder: {
+                let (records, total) = state.recorder;
+                FlightRecorder::from_parts(FLIGHT_RECORDER_EPOCHS, records, total)
+            },
         })
     }
 }
@@ -723,6 +965,7 @@ mod tests {
             refill: None,
             rolled_back: false,
             draws: Vec::new(),
+            forensics: None,
         }
     }
 
@@ -811,5 +1054,47 @@ mod tests {
         let before = svc.wallets.clone();
         let outputs = outcomes_serving(&before, |_| vec![Ok(F::from_u64(7))]);
         assert!(BeaconService::retention_intact(&outputs, &before));
+    }
+
+    #[test]
+    fn rollback_drill_rolls_back_and_attaches_forensics() {
+        let mut svc = BeaconService::<F>::new(config(), 0xD811, 8);
+        // Real history first, so the dump has something to say.
+        for _ in 0..3 {
+            svc.run_epoch(ExecutorKind::Step, &[(1, 1)], None).unwrap();
+        }
+        let pre_wallets = svc.wallets.clone();
+        let pre_epoch = svc.epoch();
+
+        let report = svc.rollback_drill(ExecutorKind::Step);
+        assert!(report.rolled_back);
+        assert!(report.ran);
+        let dump = report.forensics.expect("the rollback path must attach the forensic dump");
+        assert!(dump.contains("beacon forensic dump"), "{dump}");
+        assert!(dump.contains("rolled_back"), "the drilled epoch's record must be in the dump");
+        assert!(dump.contains("supervisor: mode="), "{dump}");
+
+        assert_eq!(svc.wallets, pre_wallets, "the drill's rollback must restore the wallets");
+        assert_eq!(svc.epoch(), pre_epoch + 1, "the drilled epoch still advances the counter");
+        assert_eq!(svc.stats().rollbacks, 1);
+        assert_eq!(svc.supervisor().failures(), 1, "the drill is a real supervisor failure");
+        let last = svc.flight_recorder().records().last().unwrap();
+        assert_eq!(last.outcome, EpochOutcomeTag::RolledBack);
+    }
+
+    #[test]
+    fn rollback_drill_is_deterministic_across_executors() {
+        let run = |executor| {
+            let mut svc = BeaconService::<F>::new(config(), 0xD812, 8);
+            for _ in 0..2 {
+                svc.run_epoch(executor, &[(1, 1)], None).unwrap();
+            }
+            let report = svc.rollback_drill(executor);
+            (report.forensics.unwrap(), svc.snapshot())
+        };
+        let (dump_step, snap_step) = run(ExecutorKind::Step);
+        let (dump_par, snap_par) = run(ExecutorKind::ParThreads(2));
+        assert_eq!(dump_step, dump_par, "the drill's dump must not depend on the executor");
+        assert_eq!(snap_step, snap_par, "the drilled service must stay snapshot-identical");
     }
 }

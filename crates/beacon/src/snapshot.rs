@@ -2,7 +2,9 @@
 //!
 //! A snapshot is the *complete* cross-epoch state of a
 //! [`BeaconService`](crate::BeaconService): wallets, reservoir,
-//! supervisor, statistics, trace cursor, and the cumulative cost ledger.
+//! supervisor, statistics, trace cursor, the cumulative cost ledger,
+//! and (since v2) the health plane — the metric registry and the
+//! flight recorder's ring of per-epoch records.
 //! Restoring one continues byte-identically to an uninterrupted run —
 //! the crash-recovery contract the kill/restore property tests enforce.
 //!
@@ -27,14 +29,22 @@
 //! stats:     13 × u64
 //! trace:     rounds u64, events u64, digest u64
 //! ledger:    per party: 8 × u64 (CostSnapshot), then comm 3 × u64
+//! registry:  blob len u32 + the canonical `Registry::to_bytes` blob
+//! recorder:  record count u32, then per record: epoch u64,
+//!            outcome tag u8, mode tag u8 (+ until_epoch u64 for
+//!            backoff), rounds u64, 8 × u32 (exposed, served,
+//!            would_block, starved, wallet_level, reservoir_level,
+//!            failures, backoff_exp), refill tag u8, attempts u32;
+//!            then lifetime total u64
 //! checksum   u64 (SplitMix-folded over everything above)
 //! ```
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use dprbg_field::Field;
-use dprbg_metrics::{CommStats, CostSnapshot};
+use dprbg_metrics::{CommStats, CostSnapshot, Registry};
 
+use crate::health::{EpochOutcomeTag, HealthRecord, RefillStatus};
 use crate::service::{mix64, BeaconStats};
 use crate::supervisor::Mode;
 
@@ -45,7 +55,7 @@ const MAGIC: &[u8; 8] = b"DPRBGSNP";
 /// snapshot carries a `lint: snapshot-abi` pin fingerprinting its field
 /// list against this constant — editing any of those layouts without
 /// bumping it (and re-taking the pins) fails `dprbg-lint --workspace`.
-pub(crate) const SNAPSHOT_VERSION: u16 = 1;
+pub(crate) const SNAPSHOT_VERSION: u16 = 2;
 
 /// Why a snapshot failed to decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,7 +106,7 @@ impl std::error::Error for SnapshotError {}
 
 /// The decoded (or to-be-encoded) cross-epoch state, field-agnostic
 /// except for the coin values themselves.
-// lint: snapshot-abi(v1, 5f727755115e2067)
+// lint: snapshot-abi(v2, 0d9c5233bc5dba8a)
 #[derive(Debug)]
 pub(crate) struct SnapshotState<F: Field> {
     pub n: u32,
@@ -114,6 +124,10 @@ pub(crate) struct SnapshotState<F: Field> {
     pub trace: (u64, u64, u64),
     /// `(per-party cost snapshots, comm totals)`.
     pub ledger: (Vec<CostSnapshot>, CommStats),
+    /// The health-plane metric registry, embedded as its canonical blob.
+    pub registry: Registry,
+    /// `(flight-recorder records oldest-first, lifetime total)`.
+    pub recorder: (Vec<HealthRecord>, u64),
 }
 
 /// Little-endian writer.
@@ -277,6 +291,50 @@ pub(crate) fn encode<F: Field>(state: &SnapshotState<F>) -> Vec<u8> {
     e.u64(comm.bytes);
     e.u64(comm.rounds);
 
+    let blob = state.registry.to_bytes();
+    e.u32(blob.len() as u32);
+    e.buf.extend_from_slice(&blob);
+
+    let (records, total) = &state.recorder;
+    e.u32(records.len() as u32);
+    for rec in records {
+        e.u64(rec.epoch);
+        e.u8(match rec.outcome {
+            EpochOutcomeTag::Committed => 0,
+            EpochOutcomeTag::Skipped => 1,
+            EpochOutcomeTag::RolledBack => 2,
+            EpochOutcomeTag::Degraded => 3,
+        });
+        match rec.mode {
+            Mode::Active => e.u8(0),
+            Mode::Backoff { until_epoch } => {
+                e.u8(1);
+                e.u64(until_epoch);
+            }
+            Mode::ReadOnly => e.u8(2),
+        }
+        e.u64(rec.rounds);
+        for v in [
+            rec.exposed,
+            rec.served,
+            rec.would_block,
+            rec.starved,
+            rec.wallet_level,
+            rec.reservoir_level,
+            rec.failures,
+            rec.backoff_exp,
+        ] {
+            e.u32(v);
+        }
+        e.u8(match rec.refill {
+            RefillStatus::NotScheduled => 0,
+            RefillStatus::Ok => 1,
+            RefillStatus::Failed => 2,
+        });
+        e.u32(rec.refill_attempts);
+    }
+    e.u64(*total);
+
     let sum = checksum(&e.buf);
     e.u64(sum);
     e.buf
@@ -393,6 +451,62 @@ pub(crate) fn decode<F: Field>(bytes: &[u8]) -> Result<SnapshotState<F>, Snapsho
     }
     let comm = CommStats { messages: d.u64()?, bytes: d.u64()?, rounds: d.u64()? };
 
+    let blob_len = d.u32()? as usize;
+    let registry = Registry::from_bytes(d.take(blob_len)?)
+        .map_err(|_| SnapshotError::Malformed { field: "health registry" })?;
+
+    let record_count = d.u32()? as usize;
+    let mut records = Vec::with_capacity(record_count.min(1 << 16));
+    for _ in 0..record_count {
+        let epoch = d.u64()?;
+        let outcome = match d.u8()? {
+            0 => EpochOutcomeTag::Committed,
+            1 => EpochOutcomeTag::Skipped,
+            2 => EpochOutcomeTag::RolledBack,
+            3 => EpochOutcomeTag::Degraded,
+            _ => return Err(SnapshotError::Malformed { field: "health outcome tag" }),
+        };
+        let mode = match d.u8()? {
+            0 => Mode::Active,
+            1 => Mode::Backoff { until_epoch: d.u64()? },
+            2 => Mode::ReadOnly,
+            _ => return Err(SnapshotError::Malformed { field: "health mode tag" }),
+        };
+        let rounds = d.u64()?;
+        let exposed = d.u32()?;
+        let served = d.u32()?;
+        let would_block = d.u32()?;
+        let starved = d.u32()?;
+        let wallet_level = d.u32()?;
+        let reservoir_level = d.u32()?;
+        let failures = d.u32()?;
+        let backoff_exp = d.u32()?;
+        let refill = match d.u8()? {
+            0 => RefillStatus::NotScheduled,
+            1 => RefillStatus::Ok,
+            2 => RefillStatus::Failed,
+            _ => return Err(SnapshotError::Malformed { field: "health refill tag" }),
+        };
+        let refill_attempts = d.u32()?;
+        records.push(HealthRecord {
+            epoch,
+            outcome,
+            mode,
+            rounds,
+            exposed,
+            served,
+            would_block,
+            starved,
+            wallet_level,
+            reservoir_level,
+            failures,
+            backoff_exp,
+            refill,
+            refill_attempts,
+        });
+    }
+    let recorder_total = d.u64()?;
+
     if d.pos != body.len() {
         return Err(SnapshotError::Malformed { field: "trailing bytes" });
     }
@@ -408,6 +522,8 @@ pub(crate) fn decode<F: Field>(bytes: &[u8]) -> Result<SnapshotState<F>, Snapsho
         stats,
         trace,
         ledger: (snaps, comm),
+        registry,
+        recorder: (records, recorder_total),
     })
 }
 
@@ -460,6 +576,56 @@ mod tests {
                     .collect(),
                 CommStats { messages: 900, bytes: 80_000, rounds: 333 },
             ),
+            registry: {
+                let mut r = Registry::new();
+                r.counter_add("beacon_epochs_total", &[("outcome", "committed")], 30);
+                r.gauge_set(
+                    "beacon_reservoir_level",
+                    &[],
+                    dprbg_metrics::LogicalTime::at_epoch(41),
+                    2,
+                );
+                r.histogram_observe("beacon_epoch_rounds", &[], 6);
+                r.histogram_observe("beacon_epoch_rounds", &[], 9);
+                r
+            },
+            recorder: (
+                vec![
+                    HealthRecord {
+                        epoch: 40,
+                        outcome: EpochOutcomeTag::Committed,
+                        mode: Mode::Active,
+                        rounds: 6,
+                        exposed: 3,
+                        served: 2,
+                        would_block: 1,
+                        starved: 0,
+                        wallet_level: 9,
+                        reservoir_level: 2,
+                        failures: 0,
+                        backoff_exp: 0,
+                        refill: RefillStatus::Ok,
+                        refill_attempts: 1,
+                    },
+                    HealthRecord {
+                        epoch: 41,
+                        outcome: EpochOutcomeTag::Skipped,
+                        mode: Mode::Backoff { until_epoch: 44 },
+                        rounds: 0,
+                        exposed: 0,
+                        served: 0,
+                        would_block: 2,
+                        starved: 0,
+                        wallet_level: 9,
+                        reservoir_level: 2,
+                        failures: 2,
+                        backoff_exp: 1,
+                        refill: RefillStatus::NotScheduled,
+                        refill_attempts: 0,
+                    },
+                ],
+                42,
+            ),
         }
     }
 
@@ -474,6 +640,8 @@ mod tests {
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.trace, b.trace);
         assert_eq!(a.ledger, b.ledger);
+        assert_eq!(a.registry, b.registry);
+        assert_eq!(a.recorder, b.recorder);
     }
 
     #[test]

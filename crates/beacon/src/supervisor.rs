@@ -21,7 +21,7 @@ use std::collections::BTreeSet;
 use dprbg_core::{ProtocolError, MIN_SEEDS_PER_ATTEMPT};
 
 /// The supervisor's standing mode.
-// lint: snapshot-abi(v1, 124da62dc7bf7833)
+// lint: snapshot-abi(v2, 124da62dc7bf7833)
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
     /// Healthy: run the epoch pipeline normally.
@@ -35,6 +35,18 @@ pub enum Mode {
     /// Seed exhausted: no refill can ever succeed. Serve remaining stock,
     /// then starve.
     ReadOnly,
+}
+
+impl Mode {
+    /// Stable lowercase label, used as a metric label value and in
+    /// forensic dumps.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mode::Active => "active",
+            Mode::Backoff { .. } => "backoff",
+            Mode::ReadOnly => "read_only",
+        }
+    }
 }
 
 /// What the supervisor tells the service to do with one epoch.
@@ -84,6 +96,12 @@ impl Supervisor {
     /// Parties blamed by abort errors so far.
     pub fn blamed(&self) -> &BTreeSet<usize> {
         &self.blamed
+    }
+
+    /// The backoff exponent the current failure streak earns: the next
+    /// cooldown would be `2^backoff_exp` epochs (0 while healthy).
+    pub fn backoff_exp(&self) -> u32 {
+        self.failures.saturating_sub(1).min(self.max_exp)
     }
 
     /// Decide what epoch `epoch` does. Leaving backoff is decided here:

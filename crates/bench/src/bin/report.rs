@@ -16,6 +16,12 @@
 //! Chrome trace-event JSON to `<path>` (load it in Perfetto or
 //! `chrome://tracing`), and reports the E11 tracing-overhead timing.
 //! Combine with `--quick` for the small sweep.
+//!
+//! `--health` runs the health-plane smoke: a fixed-seed E15 short soak
+//! rendered through the `dprbg-metrics` exporters (dashboard, JSON
+//! lines, Prometheus), with cross-executor parity, kill/restore
+//! byte-identity, and forced-rollback forensics asserted inline.
+//! Combine with `--quick` for the short soak.
 
 use std::time::Instant;
 
@@ -30,6 +36,10 @@ fn main() {
         return;
     }
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    if args.iter().any(|a| a == "--health") {
+        dprbg_bench::health::run_health_report(quick);
+        return;
+    }
     if let Some(pos) = args.iter().position(|a| a == "--trace") {
         let Some(path) = args.get(pos + 1) else {
             eprintln!("--trace requires an output path for the Chrome trace JSON");

@@ -112,6 +112,11 @@ fn soak(master_seed: u64, epochs: u64, plan: &SoakPlan, kill_at: Option<u64>) ->
             out.downtime_epochs += down_epochs;
             svc = BeaconService::<F32>::restore(cfg, &boundary)
                 .expect("own boundary snapshot must restore");
+            // Fold the outage into the health plane: recovery count and
+            // depth are part of the replayed state, so the kill/restore
+            // determinism check still covers them. (The unscheduled
+            // `kill_at` below records nothing — it must be invisible.)
+            svc.note_recovery(down_epochs);
         }
         if kill_at == Some(e) {
             // The unscheduled determinism kill: snapshot → drop →

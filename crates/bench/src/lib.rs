@@ -40,10 +40,17 @@
 //! | [`experiments::e10`] | round anatomy of Coin-Gen: the n³ grade-cast delivery bulge behind Theorem 2's O(n⁴k) term |
 //! | [`experiments::e11`] | Coin-Gen at beacon scale (n ≤ 61) on the single-threaded executor |
 //! | [`experiments::e12`] | empirical soundness under adaptive adversaries: the [`chaos`] campaign, zero unsound outcomes at f ≤ t |
+//!
+//! `report --health` (the [`health`] module) is not a paper table but an
+//! operational smoke: a fixed-seed E15 short soak rendered through the
+//! `dprbg-metrics` health-plane exporters, with cross-executor parity,
+//! kill/restore byte-identity, and forced-rollback forensics asserted
+//! inline.
 
 pub mod chaos;
 pub mod experiments;
 pub mod harness;
+pub mod health;
 pub mod traced;
 
 pub use experiments::ExperimentCtx;

@@ -24,12 +24,14 @@
 //! | strict VSS broadcast break  | break-broadcast  | 1 | Unsound (beyond model) |
 //! | bare Bit-Gen equivocation   | equivocate       | 3 | Unsound (beyond threshold) |
 //! | escalating composite        | dormant→crash@2  | 3 | GracefulAbort |
+//! | beacon rollback drill       | lost output (injected) | — | rolled back + forensic dump |
 
+use dprbg_beacon::{BeaconConfig, BeaconService, ExecutorKind, ReservoirConfig};
 use dprbg_bench::chaos::{
     run_composite_episode, run_composite_episode_traced, run_episode, run_episode_traced,
     Episode, Executor, Outcome, Protocol, Schedule,
 };
-use dprbg_core::VssMode;
+use dprbg_core::{CoinGenConfig, Params, RetryPolicy, VssMode};
 use dprbg_sim::{Attack, Trace};
 use std::collections::BTreeSet;
 
@@ -138,4 +140,46 @@ fn escalating_composite_schedule_aborts_coin_gen() {
         run_composite_episode(Protocol::CoinGen, &s, legs, 17, Executor::Parallel),
         "composite repro must replay identically on the pool"
     );
+}
+
+#[test]
+fn beacon_rollback_drill_reproduces_its_forensic_dump() {
+    // The beacon-layer abort path. Every entry above shows in-model
+    // pressure failing *symmetrically* — no episode can make the epoch
+    // fleet diverge, so the beacon's transactional rollback is
+    // defense-in-depth against states the theorems rule out. The
+    // rollback fire-drill injects the one fault that reaches it (a
+    // party's output lost after the fleet ran); this entry pins that the
+    // drilled epoch rolls back, carries the flight-recorder dump, and
+    // replays byte-identically on either executor — the repro triple is
+    // just `(config, master seed, drill epoch)`.
+    let cfg = BeaconConfig {
+        coin_gen: CoinGenConfig { params: Params::p2p_model(7, 1).unwrap(), batch_size: 8 },
+        reservoir: ReservoirConfig { capacity: 16, low_water: 4 },
+        wallet_low_water: 6,
+        retry: RetryPolicy { max_attempts: 3, seed_budget: 12 },
+        max_backoff_exp: 3,
+        max_rounds_per_epoch: 4096,
+    };
+    let run = |executor| {
+        let mut svc = BeaconService::<dprbg_field::Gf2k<32>>::new(cfg, 0xD811, 12);
+        for _ in 0..4 {
+            svc.run_epoch(executor, &[(1, 1), (2, 1)], None).expect("clean epochs must commit");
+        }
+        let report = svc.rollback_drill(executor);
+        (report, svc.snapshot())
+    };
+
+    let (report, snapshot) = run(ExecutorKind::Step);
+    assert!(report.rolled_back);
+    assert_eq!(report.epoch, 4, "the drill fires at the pinned epoch");
+    let dump = report.forensics.as_ref().expect("the rollback must carry the forensic dump");
+    assert!(dump.contains("beacon forensic dump"), "{dump}");
+    assert!(dump.contains("rolled_back"), "the drilled epoch's record must be in the dump");
+    assert!(dump.contains("supervisor: mode="), "{dump}");
+
+    // Teleport property: the drill replays identically on the pool.
+    let (report_par, snapshot_par) = run(ExecutorKind::ParThreads(2));
+    assert_eq!(report.forensics, report_par.forensics, "dump must not depend on the executor");
+    assert_eq!(snapshot, snapshot_par, "drilled service must stay snapshot-identical");
 }

@@ -124,9 +124,13 @@ fn ledger_coverage(files: &[FlowFile<'_>], graph: &Graph, out: &mut [Vec<Diagnos
 /// identifier, number, or `(` on the right), and never inside a
 /// turbofish (`::<…>`), which is tracked explicitly. Longer angle runs
 /// (`F>>>` in a nested-generics tail) are skipped wholesale.
-/// Residual blind spot, documented in LINTS.md: the compound-assign
-/// forms `<<=`/`>>=` (their right neighbor is `=`, excluded here to keep
-/// `Vec<Vec<u8>> =` quiet).
+///
+/// The compound-assign forms `<<=`/`>>=` (an `=` right neighbor) are
+/// shifts too — the historical blind spot closed in PR 10. `<<=` is
+/// unambiguous (no type syntax produces it); `>>=` could also be a
+/// nested-generics close followed by `=` (`Vec<Vec<u8>> =`), so it is
+/// flagged only when a backward statement-scoped scan
+/// (`open_angles_before`) finds fewer than two unmatched `<` before it.
 pub fn find_shifts(toks: &[Tok], start: usize, end: usize) -> Vec<u32> {
     let end = end.min(toks.len());
     let mut lines = Vec::new();
@@ -175,11 +179,16 @@ pub fn find_shifts(toks: &[Tok], start: usize, end: usize) -> Vec<u32> {
                     &toks[i - 1].kind,
                     TokKind::Ident(_) | TokKind::Num(_) | TokKind::Punct(')') | TokKind::Punct(']')
                 );
-            let next_operand = matches!(
-                toks.get(i + 2).map(|t| &t.kind),
-                Some(TokKind::Ident(_) | TokKind::Num(_) | TokKind::Punct('('))
-            );
-            if prev_operand && next_operand {
+            let next = toks.get(i + 2).map(|t| &t.kind);
+            let next_operand =
+                matches!(next, Some(TokKind::Ident(_) | TokKind::Num(_) | TokKind::Punct('(')));
+            // `x <<= 1` / `x >>= 1`: an `=` follower makes a compound
+            // shift-assign — unless (for `>`) the pair is really a
+            // nested-generics close in `Vec<Vec<u8>> = …`, which the
+            // backward angle balance detects.
+            let compound_assign = matches!(next, Some(TokKind::Punct('=')))
+                && (angle == '<' || open_angles_before(toks, start, i) < 2);
+            if prev_operand && (next_operand || compound_assign) {
                 lines.push(toks[i].line);
             }
         }
@@ -187,6 +196,36 @@ pub fn find_shifts(toks: &[Tok], start: usize, end: usize) -> Vec<u32> {
     }
     lines.dedup();
     lines
+}
+
+/// Unmatched `<` openers between the enclosing statement boundary and
+/// `toks[i]`, scanning backwards from `i` until `;`/`{`/`}` (or `lo`).
+///
+/// Used by [`find_shifts`] to tell `x >>= 1` (no open angles) from
+/// `Vec<Vec<u8>> =` (two open angles waiting for the `>>` to close
+/// them). `<=` comparisons and the `>` of `->`/`=>` arrows are not
+/// angle brackets and are skipped.
+fn open_angles_before(toks: &[Tok], lo: usize, i: usize) -> isize {
+    let mut bal = 0isize;
+    for j in (lo..i).rev() {
+        match toks[j].kind {
+            TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}') => break,
+            TokKind::Punct('<')
+                if !matches!(toks.get(j + 1).map(|t| &t.kind), Some(TokKind::Punct('='))) =>
+            {
+                bal += 1;
+            }
+            TokKind::Punct('>') => {
+                let arrow = j > lo
+                    && matches!(toks[j - 1].kind, TokKind::Punct('-') | TokKind::Punct('='));
+                if !arrow {
+                    bal -= 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    bal
 }
 
 // ---------------------------------------------------------------------
@@ -418,8 +457,22 @@ mod tests {
     }
 
     #[test]
-    fn compound_assign_is_the_documented_blind_spot() {
-        // `<<=` / `>>=` are excluded by the `=` follower — see LINTS.md.
-        assert!(shifts("x <<= 1;").is_empty());
+    fn compound_assigns_are_shifts() {
+        // The former `=`-follower blind spot, closed in PR 10.
+        assert_eq!(shifts("x <<= 1;"), vec![1]);
+        assert_eq!(shifts("x >>= 3;"), vec![1]);
+        assert_eq!(shifts("acc <<= width; acc >>= half;"), vec![1]);
+        assert_eq!(shifts("limbs[0] >>= 7;"), vec![1]);
+    }
+
+    #[test]
+    fn generics_close_before_assign_is_not_a_compound_shift() {
+        // `>>` closing nested generics right before an `=` must stay
+        // quiet — the backward angle balance sees the two open `<`.
+        assert!(shifts("let m: BTreeMap<u32, Vec<u8>> = x;").is_empty());
+        assert!(shifts("let v: Vec<Vec<u8>> = Vec::new();").is_empty());
+        assert!(shifts("let p: Foo<(A, B), Bar<u8>> = make();").is_empty());
+        // ...and a real compound shift later in the same fn is still hit.
+        assert_eq!(shifts("let v: Vec<Vec<u8>> = x; y >>= 2;"), vec![1]);
     }
 }

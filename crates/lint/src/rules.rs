@@ -11,6 +11,7 @@
 //! | `transport` | machines talk only via `Outbox`; threads and channels stay in `dprbg-sim`; the retired blocking entry points exist nowhere, and `allow(transport)` is itself a violation |
 //! | `hermetic` | manifests declare only in-tree path/workspace dependencies (see [`crate::manifest`]) |
 //! | `trace-determinism` | `dprbg-trace` keeps to logical time (round, party, seq) — no wall clocks, thread ids, or environment |
+//! | `registry-determinism` | `dprbg-metrics` keys health data on logical time (epoch, round, party) — no wall clocks, hash iteration order, thread ids, or environment |
 //! | `field-ct` | `dprbg-field` multiplication paths stay fixed-iteration — no data-dependent bit-scan loops |
 //! | `ledger-coverage` | fns reaching `Gf2k` arithmetic contain no raw shifts (flow rule — [`crate::flow`]) |
 //! | `machine-contract` | every `impl RoundMachine` names its phase, can reach `Done`, and does no ambient I/O (flow rule) |
@@ -44,6 +45,8 @@ pub enum RuleId {
     Hermetic,
     /// Wall-clock / ambient state inside the logical-time trace crate.
     TraceDeterminism,
+    /// Wall-clock / ambient state inside the logical-time metrics crate.
+    RegistryDeterminism,
     /// Data-dependent bit-scan in `dprbg-field` arithmetic.
     FieldCt,
     /// Raw shift in a fn that reaches `Gf2k` arithmetic (flow rule).
@@ -68,6 +71,7 @@ impl RuleId {
             RuleId::Transport => "transport",
             RuleId::Hermetic => "hermetic",
             RuleId::TraceDeterminism => "trace-determinism",
+            RuleId::RegistryDeterminism => "registry-determinism",
             RuleId::FieldCt => "field-ct",
             RuleId::LedgerCoverage => "ledger-coverage",
             RuleId::MachineContract => "machine-contract",
@@ -86,6 +90,7 @@ impl RuleId {
             "transport" => Some(RuleId::Transport),
             "hermetic" => Some(RuleId::Hermetic),
             "trace-determinism" => Some(RuleId::TraceDeterminism),
+            "registry-determinism" => Some(RuleId::RegistryDeterminism),
             "field-ct" => Some(RuleId::FieldCt),
             "ledger-coverage" => Some(RuleId::LedgerCoverage),
             "machine-contract" => Some(RuleId::MachineContract),
@@ -239,6 +244,13 @@ const FIELD_VARTIME_METHODS: &[&str] = &["trailing_zeros"];
 /// is a protocol artifact compared byte-for-byte across executors and
 /// replays, so a wall-clock or ambient read anywhere in it is a bug.
 const TRACE_HOME: &str = "dprbg-trace";
+
+/// The crate whose metric registry must merge and export identically
+/// across executors and thread counts: health data is keyed on logical
+/// time (epoch, round, party) and compared byte-for-byte, so a wall
+/// clock, hash iteration order, or ambient read anywhere in it would
+/// make two healthy runs disagree about their own health.
+const METRICS_HOME: &str = "dprbg-metrics";
 
 /// A parsed `lint: allow` comment.
 #[derive(Debug)]
@@ -457,6 +469,38 @@ fn check_token(
                         format!(
                             "`{a}::{b}` in `dprbg-trace`: traces carry logical time only \
                              (round, party, seq) — {why}"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // -- registry-determinism -------------------------------------------
+    if crate_name == METRICS_HOME {
+        if let TokKind::Ident(id) = &tok.kind {
+            for (banned, why) in NONDET_IDENTS {
+                if id == banned {
+                    push(
+                        diags,
+                        RuleId::RegistryDeterminism,
+                        tok.line,
+                        format!(
+                            "`{banned}` in `dprbg-metrics`: health data is keyed on logical \
+                             time only (epoch, round, party) — {why}"
+                        ),
+                    );
+                }
+            }
+            for (a, b, why) in NONDET_PATHS {
+                if id == a && path_next(toks, i) == Some(*b) {
+                    push(
+                        diags,
+                        RuleId::RegistryDeterminism,
+                        tok.line,
+                        format!(
+                            "`{a}::{b}` in `dprbg-metrics`: health data is keyed on logical \
+                             time only (epoch, round, party) — {why}"
                         ),
                     );
                 }
@@ -902,6 +946,36 @@ mod tests {
         .is_empty());
         // The rule is scoped: the same tokens elsewhere fire `determinism`
         // (protocol crates) or nothing (bench code times things on purpose).
+        let bench = FileClass { crate_name: "dprbg-bench".into(), kind: FileKind::Lib };
+        assert!(lint_rust_source("x.rs", "use std::time::Instant;\n", &bench).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_in_metrics_crate_fires_registry_determinism() {
+        let metrics = FileClass { crate_name: "dprbg-metrics".into(), kind: FileKind::Lib };
+        for src in [
+            "use std::time::Instant;\n",
+            "fn f() { let m = HashMap::new(); }\n",
+            "fn f() { let id = thread::current().id(); }\n",
+            "fn f() { let home = env::var(\"HOME\"); }\n",
+        ] {
+            let d = lint_rust_source("x.rs", src, &metrics);
+            assert!(
+                d.iter().any(|x| x.rule == RuleId::RegistryDeterminism),
+                "expected registry-determinism for {src:?}, got {d:?}"
+            );
+        }
+        // Logical-time registry code is clean.
+        assert!(lint_rust_source(
+            "x.rs",
+            "fn key(epoch: u64, round: u64, party: u32) -> (u64, u64, u32) { (epoch, round, party) }\n",
+            &metrics
+        )
+        .is_empty());
+        // Scoped: the same tokens fire `determinism` in protocol crates
+        // and nothing in bench code.
+        let d = lint("use std::collections::HashMap;\n");
+        assert!(d.iter().all(|x| x.rule == RuleId::Determinism));
         let bench = FileClass { crate_name: "dprbg-bench".into(), kind: FileKind::Lib };
         assert!(lint_rust_source("x.rs", "use std::time::Instant;\n", &bench).is_empty());
     }

@@ -9,6 +9,13 @@ fn masked(x: Gf2k) -> u64 {
     x.to_u64() >> 3 // lint: allow(ledger-coverage) — fixture: same-line form
 }
 
+fn fold(x: Gf2k) -> u64 {
+    let mut v = x.to_u64();
+    // lint: allow(ledger-coverage) — fixture: checksum fold of the canonical u64, not field arithmetic
+    v >>= 32;
+    v
+}
+
 // Out of reach, no pin needed.
 fn checksum(tag: u64) -> u64 {
     tag << 1

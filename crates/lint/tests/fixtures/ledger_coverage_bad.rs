@@ -19,6 +19,17 @@ fn pack(raw: u64) -> u64 {
     lo << 8
 }
 
+// Compound assigns are shifts too (the `<<=`/`>>=` blind spot closed in
+// PR 10) — and the nested-generics close before `=` two lines down must
+// not be mistaken for one.
+fn normalize(x: Gf2k) -> u64 {
+    let layers: Vec<Vec<u8>> = Vec::new();
+    let mut acc = x.to_u64() + layers.len() as u64;
+    acc <<= 1;
+    acc >>= 2;
+    acc
+}
+
 // Scope check: this fn reaches no field arithmetic, so its shift is
 // plain integer formatting and stays legal.
 fn format_header(tag: u64) -> u64 {

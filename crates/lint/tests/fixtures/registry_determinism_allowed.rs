@@ -1,0 +1,21 @@
+// Fixture: a registry keyed on logical time needs no clock — plus one
+// justified exception.
+use std::collections::BTreeMap;
+
+/// Metric keys are logical time: (epoch, round, party), lexicographic.
+pub fn key(epoch: u64, round: u64, party: u32) -> (u64, u64, u32) {
+    (epoch, round, party)
+}
+
+/// Sorted storage is what makes equal registries export equal bytes.
+pub fn store() -> BTreeMap<(u64, u64, u32), u64> {
+    BTreeMap::new()
+}
+
+// lint: allow(registry-determinism) — fixture: local debug timing, never enters a metric value
+use std::time::Instant;
+
+// lint: allow(registry-determinism) — fixture: value never reaches the registry
+fn debug_clock() -> Instant {
+    Instant::now() // lint: allow(registry-determinism) — fixture: same-line form
+}

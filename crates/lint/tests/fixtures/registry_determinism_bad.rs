@@ -1,0 +1,23 @@
+// Fixture: wall-clock and ambient reads inside the logical-time metrics
+// crate, unsuppressed.
+use std::time::Instant;
+
+fn stamp() -> Instant {
+    Instant::now()
+}
+
+fn wall() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+fn who() -> std::thread::ThreadId {
+    std::thread::current().id()
+}
+
+fn unordered() -> std::collections::HashMap<String, u64> {
+    std::collections::HashMap::new()
+}
+
+fn ambient() -> Option<String> {
+    std::env::var("METRICS_SINK").ok()
+}

@@ -149,6 +149,35 @@ fn trace_determinism_is_scoped_to_the_trace_crate() {
 }
 
 #[test]
+fn registry_determinism_bad_fires() {
+    let d = lint_as("registry_determinism_bad.rs", "dprbg-metrics");
+    assert!(d.len() >= 5, "Instant, std::time, thread::current, HashMap, std::env: {d:#?}");
+    assert!(d.iter().all(|x| x.rule == RuleId::RegistryDeterminism));
+    for needle in ["Instant", "std::time", "thread", "HashMap", "env"] {
+        assert!(
+            d.iter().any(|x| x.message.contains(needle)),
+            "no diagnostic mentions {needle}: {d:#?}"
+        );
+    }
+}
+
+#[test]
+fn registry_determinism_allowed_is_clean() {
+    assert_eq!(lint_as("registry_determinism_allowed.rs", "dprbg-metrics"), vec![]);
+}
+
+#[test]
+fn registry_determinism_is_scoped_to_the_metrics_crate() {
+    // The same file inside the bench crate is out of scope (bench times
+    // things on purpose); inside a protocol crate it is plain
+    // `determinism` territory instead.
+    assert_eq!(lint_as("registry_determinism_bad.rs", "dprbg-bench").len(), 0);
+    let in_core = lint_as("registry_determinism_bad.rs", "dprbg-core");
+    assert!(!in_core.is_empty());
+    assert!(in_core.iter().all(|x| x.rule == RuleId::Determinism), "{in_core:#?}");
+}
+
+#[test]
 fn field_ct_bad_fires() {
     let d = lint_as("field_ct_bad.rs", "dprbg-field");
     assert_eq!(d.len(), 2, "both trailing_zeros loops flagged: {d:#?}");
@@ -202,12 +231,19 @@ fn malformed_allows_are_diagnostics_and_do_not_suppress() {
 fn ledger_coverage_bad_fires() {
     let d = scan_as("ledger_coverage_bad.rs", "dprbg-core");
     // One direct shift next to Gf2k, one reached only via the call graph
-    // (`pack` → `reduce_any` → `expose_low`); `format_header`'s shift is
-    // out of reach and stays legal.
-    assert_eq!(d.len(), 2, "{d:#?}");
+    // (`pack` → `reduce_any` → `expose_low`), and `normalize`'s two
+    // compound assigns (the `<<=`/`>>=` blind spot closed in PR 10) —
+    // whose `Vec<Vec<u8>> =` line stays quiet. `format_header`'s shift
+    // is out of reach and stays legal.
+    assert_eq!(d.len(), 4, "{d:#?}");
     assert!(d.iter().all(|x| x.rule == RuleId::LedgerCoverage));
     assert!(d.iter().any(|x| x.message.contains("`expose_low`")), "{d:#?}");
     assert!(d.iter().any(|x| x.message.contains("`pack`")), "{d:#?}");
+    assert_eq!(
+        d.iter().filter(|x| x.message.contains("`normalize`")).count(),
+        2,
+        "{d:#?}"
+    );
 }
 
 #[test]

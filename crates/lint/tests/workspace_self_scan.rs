@@ -241,5 +241,5 @@ fn json_report_carries_census_fields() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("\"stale_suppressions\": 0"), "{stdout}");
     assert!(stdout.contains("\"transport_suppressions\": 0"), "{stdout}");
-    assert!(stdout.contains("\"snapshot_pins\": 5"), "{stdout}");
+    assert!(stdout.contains("\"snapshot_pins\": 14"), "{stdout}");
 }

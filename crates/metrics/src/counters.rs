@@ -99,7 +99,7 @@ pub mod comm {
 ///
 /// Serialized inside the beacon snapshot, hence the ABI pin: it versions
 /// with `dprbg-beacon`'s `SNAPSHOT_VERSION`.
-// lint: snapshot-abi(v1, f05a0c742972543b)
+// lint: snapshot-abi(v2, f05a0c742972543b)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct CostSnapshot {
     /// Field additions performed.

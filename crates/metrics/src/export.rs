@@ -1,0 +1,579 @@
+//! Registry exporters: JSON lines, Prometheus-style exposition, dashboard.
+//!
+//! All three render from the registry's canonical iteration order, so the
+//! exports are as deterministic as the registry itself. The JSON-lines
+//! format is the machine interchange form and round-trips losslessly
+//! through [`from_json_lines`]; the exposition and dashboard forms are
+//! one-way renderings for scrapers and humans.
+
+use std::fmt;
+
+use crate::registry::{Histogram, LogicalTime, MetricId, MetricValue, Registry};
+use crate::report::Table;
+
+/// Why a JSON-lines export failed to parse back into a [`Registry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportParseError {
+    /// 1-based line the error was found on.
+    pub line: usize,
+    /// What was wrong with it.
+    pub what: &'static str,
+}
+
+impl fmt::Display for ExportParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "health export line {}: {}", self.line, self.what)
+    }
+}
+
+impl std::error::Error for ExportParseError {}
+
+/// Render the registry as JSON lines: one self-contained object per
+/// metric, in canonical id order.
+///
+/// # Examples
+///
+/// ```
+/// use dprbg_metrics::{export, Registry};
+/// let mut r = Registry::new();
+/// r.counter_add("epochs_total", &[("outcome", "committed")], 5);
+/// let lines = export::to_json_lines(&r);
+/// assert_eq!(export::from_json_lines(&lines).unwrap(), r);
+/// ```
+pub fn to_json_lines(reg: &Registry) -> String {
+    let mut out = String::new();
+    for (id, value) in reg.iter() {
+        out.push_str("{\"type\":\"");
+        match value {
+            MetricValue::Counter(_) => out.push_str("counter"),
+            MetricValue::Gauge { .. } => out.push_str("gauge"),
+            MetricValue::Histogram(_) => out.push_str("histogram"),
+        }
+        out.push_str("\",\"name\":");
+        json_string(&mut out, id.name());
+        out.push_str(",\"labels\":{");
+        for (i, (k, v)) in id.labels().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string(&mut out, k);
+            out.push(':');
+            json_string(&mut out, v);
+        }
+        out.push('}');
+        match value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!(",\"value\":{v}"));
+            }
+            MetricValue::Gauge { at, value } => {
+                out.push_str(&format!(
+                    ",\"epoch\":{},\"round\":{},\"party\":{},\"value\":{}",
+                    at.epoch, at.round, at.party, value
+                ));
+            }
+            MetricValue::Histogram(h) => {
+                out.push_str(&format!(",\"count\":{},\"sum\":{},\"buckets\":[", h.count(), h.sum()));
+                for (i, (idx, c)) in h.nonzero_buckets().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("[{idx},{c}]"));
+                }
+                out.push(']');
+            }
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Parse a JSON-lines export back into a [`Registry`].
+///
+/// Total and lossless on anything [`to_json_lines`] emits: the decoded
+/// registry re-renders to the identical string. Any malformed line is an
+/// error, never a panic.
+pub fn from_json_lines(s: &str) -> Result<Registry, ExportParseError> {
+    let mut reg = Registry::new();
+    for (i, line) in s.lines().enumerate() {
+        let lineno = i + 1;
+        let err = |what| ExportParseError { line: lineno, what };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let json = parse_json(line).map_err(err)?;
+        let obj = json.as_object().ok_or(err("not an object"))?;
+        let kind = get_str(obj, "type").ok_or(err("missing type"))?;
+        let name = get_str(obj, "name").ok_or(err("missing name"))?;
+        let labels_json = get(obj, "labels")
+            .and_then(Json::as_object)
+            .ok_or(err("missing labels"))?;
+        let mut labels = Vec::new();
+        for (k, v) in labels_json {
+            let v = v.as_str().ok_or(err("label value not a string"))?;
+            labels.push((k.clone(), v.to_string()));
+        }
+        if labels.windows(2).any(|w| w[0] > w[1]) {
+            return Err(err("label order"));
+        }
+        let value = match kind {
+            "counter" => {
+                MetricValue::Counter(get_u64(obj, "value").ok_or(err("missing value"))?)
+            }
+            "gauge" => MetricValue::Gauge {
+                at: LogicalTime {
+                    epoch: get_u64(obj, "epoch").ok_or(err("missing epoch"))?,
+                    round: get_u64(obj, "round").ok_or(err("missing round"))?,
+                    party: get_u64(obj, "party")
+                        .and_then(|p| u32::try_from(p).ok())
+                        .ok_or(err("missing party"))?,
+                },
+                value: get_u64(obj, "value").ok_or(err("missing value"))?,
+            },
+            "histogram" => {
+                let count = get_u64(obj, "count").ok_or(err("missing count"))?;
+                let sum = get_u64(obj, "sum").ok_or(err("missing sum"))?;
+                let buckets = get(obj, "buckets")
+                    .and_then(Json::as_array)
+                    .ok_or(err("missing buckets"))?;
+                let mut h = Histogram::new();
+                let mut total = 0u64;
+                let mut last: Option<usize> = None;
+                for b in buckets {
+                    let pair = b.as_array().ok_or(err("bucket not a pair"))?;
+                    if pair.len() != 2 {
+                        return Err(err("bucket not a pair"));
+                    }
+                    let idx = pair[0]
+                        .as_u64()
+                        .and_then(|i| usize::try_from(i).ok())
+                        .filter(|&i| i < crate::registry::HISTOGRAM_BUCKETS)
+                        .ok_or(err("bucket index"))?;
+                    if last.is_some_and(|l| l >= idx) {
+                        return Err(err("bucket order"));
+                    }
+                    last = Some(idx);
+                    let c = pair[1].as_u64().filter(|&c| c > 0).ok_or(err("bucket count"))?;
+                    h.buckets[idx] = c;
+                    total = total.checked_add(c).ok_or(err("bucket overflow"))?;
+                }
+                if total != count {
+                    return Err(err("histogram count"));
+                }
+                h.count = count;
+                h.sum = sum;
+                MetricValue::Histogram(Box::new(h))
+            }
+            _ => return Err(err("unknown metric type")),
+        };
+        reg.insert(MetricId { name: name.to_string(), labels }, value)
+            .map_err(|_| err("metric order"))?;
+    }
+    Ok(reg)
+}
+
+/// Render the registry in Prometheus plain-text exposition style, with
+/// logical-time labels on gauges and cumulative `le` buckets on
+/// histograms (`le` bounds are the log2 bucket upper edges).
+pub fn to_prometheus(reg: &Registry) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for (id, value) in reg.iter() {
+        if last_name != Some(id.name()) {
+            out.push_str(&format!("# TYPE {} {}\n", id.name(), match value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge { .. } => "gauge",
+                MetricValue::Histogram(_) => "histogram",
+            }));
+            last_name = Some(id.name());
+        }
+        match value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("{}{} {v}\n", id.name(), label_set(id, &[])));
+            }
+            MetricValue::Gauge { at, value } => {
+                let time = [
+                    ("epoch".to_string(), at.epoch.to_string()),
+                    ("round".to_string(), at.round.to_string()),
+                    ("party".to_string(), at.party.to_string()),
+                ];
+                out.push_str(&format!("{}{} {value}\n", id.name(), label_set(id, &time)));
+            }
+            MetricValue::Histogram(h) => {
+                let mut cumulative = 0u64;
+                for (idx, c) in h.nonzero_buckets() {
+                    cumulative += c;
+                    // Bucket upper edge: 0, 2^idx - 1, or u64::MAX at the top.
+                    let le = match idx {
+                        0 => 0,
+                        64 => u64::MAX,
+                        _ => (1u64 << idx) - 1,
+                    };
+                    let le = [("le".to_string(), le.to_string())];
+                    out.push_str(&format!(
+                        "{}_bucket{} {cumulative}\n",
+                        id.name(),
+                        label_set(id, &le)
+                    ));
+                }
+                let inf = [("le".to_string(), "+Inf".to_string())];
+                out.push_str(&format!(
+                    "{}_bucket{} {}\n",
+                    id.name(),
+                    label_set(id, &inf),
+                    h.count()
+                ));
+                out.push_str(&format!("{}_sum{} {}\n", id.name(), label_set(id, &[]), h.sum()));
+                out.push_str(&format!(
+                    "{}_count{} {}\n",
+                    id.name(),
+                    label_set(id, &[]),
+                    h.count()
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Render the registry as a human dashboard [`Table`].
+///
+/// One row per metric: its kind, headline value, and (for gauges) the
+/// logical time of the last write.
+pub fn dashboard(reg: &Registry, title: &str) -> Table {
+    let mut t = Table::new(title, &["kind", "value", "logical time"]);
+    for (id, value) in reg.iter() {
+        let label = format!("{}{}", id.name(), label_set(id, &[]));
+        match value {
+            MetricValue::Counter(v) => {
+                t.row(&label, &["counter".into(), v.to_string(), "-".into()]);
+            }
+            MetricValue::Gauge { at, value } => {
+                t.row(&label, &[
+                    "gauge".into(),
+                    value.to_string(),
+                    format!("e{} r{} p{}", at.epoch, at.round, at.party),
+                ]);
+            }
+            MetricValue::Histogram(h) => {
+                let mean = if h.count() == 0 { 0 } else { h.sum() / h.count() };
+                t.row(&label, &[
+                    "histogram".into(),
+                    format!("n={} sum={} mean~{}", h.count(), h.sum(), mean),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+/// `{k="v",...}` with extra pairs appended after the id's own labels;
+/// empty string when there are no labels at all.
+fn label_set(id: &MetricId, extra: &[(String, String)]) -> String {
+    if id.labels().is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in id.labels().iter().chain(extra.iter()).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{k}=\"{v}\""));
+    }
+    out.push('}');
+    out
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader — just enough for the export's own output shape
+// (objects, arrays, strings, unsigned integers), total on garbage.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    U64(u64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_str<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a str> {
+    get(obj, key).and_then(Json::as_str)
+}
+
+fn get_u64(obj: &[(String, Json)], key: &str) -> Option<u64> {
+    get(obj, key).and_then(Json::as_u64)
+}
+
+fn parse_json(s: &str) -> Result<Json, &'static str> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err("trailing characters");
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\r' | b'\n') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, &'static str> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err("expected ':'");
+                }
+                *pos += 1;
+                let value = parse_value(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(fields));
+                    }
+                    _ => return Err("expected ',' or '}'"),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err("expected ',' or ']'"),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(c) if c.is_ascii_digit() => {
+            let start = *pos;
+            while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|d| d.parse::<u64>().ok())
+                .map(Json::U64)
+                .ok_or("number out of range")
+        }
+        _ => Err("unexpected character"),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, &'static str> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err("expected string");
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string"),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or("bad \\u escape")?;
+                        *pos += 4;
+                        out.push(char::from_u32(hex).ok_or("bad \\u escape")?);
+                    }
+                    _ => return Err("bad escape"),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy one whole UTF-8 scalar.
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|_| "bad utf-8")?;
+                let c = rest.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Registry {
+        let mut r = Registry::new();
+        r.counter_add("epochs_total", &[("outcome", "committed")], 5);
+        r.counter_add("epochs_total", &[("outcome", "skipped")], 2);
+        r.gauge_set("reservoir_level", &[], LogicalTime::new(3, 0, 0), 9);
+        r.histogram_observe("epoch_rounds", &[], 0);
+        r.histogram_observe("epoch_rounds", &[], 7);
+        r.histogram_observe("epoch_rounds", &[], 1024);
+        r
+    }
+
+    #[test]
+    fn json_lines_round_trip_is_lossless() {
+        let r = sample();
+        let lines = to_json_lines(&r);
+        let back = from_json_lines(&lines).unwrap();
+        assert_eq!(back, r);
+        // Canonical: re-rendering the decoded registry reproduces the
+        // exact byte string.
+        assert_eq!(to_json_lines(&back), lines);
+    }
+
+    #[test]
+    fn json_lines_escape_awkward_labels() {
+        let mut r = Registry::new();
+        r.counter_add("m", &[("quote", "a\"b\\c\nd")], 1);
+        let lines = to_json_lines(&r);
+        assert_eq!(from_json_lines(&lines).unwrap(), r);
+    }
+
+    #[test]
+    fn malformed_lines_are_errors_never_panics() {
+        for bad in [
+            "not json",
+            "{\"type\":\"counter\"}",
+            "{\"type\":\"blimp\",\"name\":\"m\",\"labels\":{},\"value\":1}",
+            "{\"type\":\"counter\",\"name\":\"m\",\"labels\":{},\"value\":-1}",
+            "{\"type\":\"histogram\",\"name\":\"m\",\"labels\":{},\"count\":9,\"sum\":0,\"buckets\":[[1,1]]}",
+            "{\"type\":\"counter\",\"name\":\"m\",\"labels\":{},\"value\":1}garbage",
+        ] {
+            assert!(from_json_lines(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn truncated_json_is_an_error() {
+        let lines = to_json_lines(&sample());
+        let first = lines.lines().next().unwrap();
+        for cut in 1..first.len() {
+            if first.is_char_boundary(cut) {
+                assert!(from_json_lines(&first[..cut]).is_err(), "cut at {cut} parsed");
+            }
+        }
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let s = to_prometheus(&sample());
+        assert!(s.contains("# TYPE epochs_total counter"));
+        assert!(s.contains("epochs_total{outcome=\"committed\"} 5"));
+        assert!(s.contains("# TYPE reservoir_level gauge"));
+        assert!(s.contains("reservoir_level{epoch=\"3\",round=\"0\",party=\"0\"} 9"));
+        assert!(s.contains("# TYPE epoch_rounds histogram"));
+        // Cumulative buckets: one obs at 0, one in (4,7], one in (512,1024].
+        assert!(s.contains("epoch_rounds_bucket{le=\"0\"} 1"));
+        assert!(s.contains("epoch_rounds_bucket{le=\"7\"} 2"));
+        assert!(s.contains("epoch_rounds_bucket{le=\"2047\"} 3"));
+        assert!(s.contains("epoch_rounds_bucket{le=\"+Inf\"} 3"));
+        assert!(s.contains("epoch_rounds_sum 1031"));
+        assert!(s.contains("epoch_rounds_count 3"));
+    }
+
+    #[test]
+    fn type_header_appears_once_per_name() {
+        let s = to_prometheus(&sample());
+        assert_eq!(s.matches("# TYPE epochs_total").count(), 1);
+    }
+
+    #[test]
+    fn dashboard_renders_every_metric() {
+        let t = dashboard(&sample(), "beacon health");
+        let s = t.render();
+        assert!(s.contains("beacon health"));
+        assert!(s.contains("epochs_total{outcome=\"committed\"}"));
+        assert!(s.contains("reservoir_level"));
+        assert!(s.contains("e3 r0 p0"));
+        assert!(s.contains("n=3 sum=1031"));
+    }
+}

@@ -16,6 +16,14 @@
 //! work accumulates in its own thread, and the runner collects per-party
 //! [`CostSnapshot`]s which aggregate into a [`CostReport`].
 //!
+//! Since PR 10 the crate is also the workspace's *health plane*: a
+//! deterministic [`Registry`] of named counters, gauges, and log2-bucketed
+//! histograms keyed on logical time only (see [`LogicalTime`]), with
+//! associative + commutative merge semantics and canonical byte/JSON/
+//! Prometheus/dashboard exports (see [`export`]). The beacon service
+//! instruments itself through it; LINTS.md's `registry-determinism` rule
+//! keeps wall clocks and iteration nondeterminism out of this crate.
+//!
 //! # Examples
 //!
 //! ```
@@ -30,9 +38,15 @@
 //! ```
 
 mod counters;
+pub mod export;
+mod registry;
 mod report;
 mod wire;
 
 pub use counters::{comm, ops, CostSnapshot, OpsGuard};
+pub use registry::{
+    Histogram, LogicalTime, MetricId, MetricValue, Registry, RegistryDecodeError,
+    HISTOGRAM_BUCKETS,
+};
 pub use report::{CommStats, CostReport, PartyCost, Table, TableRow};
 pub use wire::WireSize;

@@ -20,7 +20,7 @@ pub struct PartyCost {
 ///
 /// Serialized inside the beacon snapshot, hence the ABI pin: it versions
 /// with `dprbg-beacon`'s `SNAPSHOT_VERSION`.
-// lint: snapshot-abi(v1, f56afa6f40fef777)
+// lint: snapshot-abi(v2, f56afa6f40fef777)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct CommStats {
     /// Total messages sent by all parties.

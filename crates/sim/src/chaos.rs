@@ -588,6 +588,33 @@ impl SoakPlan {
         self.faults.iter().map(|(e, f)| (*e, *f))
     }
 
+    /// Per-kind counts of the scheduled faults, as `(crashes,
+    /// stampedes, adversary epochs)` — the shape a health report prints
+    /// before a soak, so "no diagnostics" is never mistaken for
+    /// "nothing was thrown at it".
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dprbg_sim::{Attack, EpochFault, SoakPlan};
+    /// let plan = SoakPlan::new()
+    ///     .fault(3, EpochFault::Crash { down_epochs: 1 })
+    ///     .fault(5, EpochFault::Stampede { demand: 9 })
+    ///     .fault(8, EpochFault::Adversary { attack: Attack::LeaderEclipse, f: 1 });
+    /// assert_eq!(plan.census(), (1, 1, 1));
+    /// ```
+    pub fn census(&self) -> (u64, u64, u64) {
+        let mut counts = (0, 0, 0);
+        for fault in self.faults.values() {
+            match fault {
+                EpochFault::Crash { .. } => counts.0 += 1,
+                EpochFault::Stampede { .. } => counts.1 += 1,
+                EpochFault::Adversary { .. } => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
     /// A seeded composite plan striking every `period` epochs over
     /// `epochs` total, cycling pseudorandomly through crashes, stampedes
     /// and in-model adversary epochs — the mixed soak the E15 experiment

@@ -112,6 +112,25 @@ if ! grep -q "restore determinism OK" <<<"$beacon_report"; then
     exit 1
 fi
 
+echo "== health-plane smoke (fixed-seed soak, exporters, flight recorder) =="
+# The dprbg-metrics health plane over a short E15-style soak: JSON-lines
+# export must round-trip losslessly, exports must be byte-identical
+# across executors and thread counts, a kill/restore must preserve the
+# flight recorder byte-identically, and the rollback fire-drill must
+# come back with the forensic dump attached.
+health_report="$(cargo run -p dprbg-bench --release --offline -q --bin report -- --health --quick)"
+printf '%s\n' "$health_report"
+for needle in \
+    "health export round-trip OK" \
+    "health export executor parity OK" \
+    "flight recorder kill/restore OK" \
+    "forensic dump OK"; do
+    if ! grep -q "$needle" <<<"$health_report"; then
+        echo "health smoke FAILED: missing \"$needle\"" >&2
+        exit 1
+    fi
+done
+
 echo "== traced E2 smoke (fixed seed, Chrome-trace round trip) =="
 trace_out="$(mktemp -t dprbg-trace-XXXXXX.json)"
 trap 'rm -f "$trace_out"' EXIT
